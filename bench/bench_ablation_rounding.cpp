@@ -1,0 +1,110 @@
+// Ablation: banker's rounding (§3.2).
+//
+// The paper rounds half-to-even "to prevent an overall upward or downward
+// bias which is known to impact end-to-end inference accuracy". We evaluate
+// static INT8 graphs with round-half-to-even vs round-half-away-from-zero in
+// every quantizer and report (a) the mean per-quantizer output bias on the
+// calibration data and (b) validation accuracy.
+#include <cmath>
+
+#include "bench_util.h"
+#include "quant/fake_quant.h"
+#include "graph_opt/quantize_pass.h"
+
+namespace tqt {
+namespace {
+
+void set_round_mode(Graph& g, RoundMode mode) {
+  for (NodeId id : g.nodes_of_type("FakeQuant")) fake_quant_at(g, id).set_round_mode(mode);
+}
+
+/// Mean signed quantization error of the final network output over the
+/// validation set — the bias that accumulates across layers.
+double output_bias(Graph& g, NodeId input, NodeId quantized_output, NodeId fp_logits,
+                   const SyntheticImageDataset& data) {
+  double bias = 0.0;
+  int64_t n = 0;
+  for (int64_t first = 0; first < data.val_size(); first += 64) {
+    const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
+    Tensor q = g.run({{input, b.images}}, quantized_output);
+    set_quantizers_enabled(g, false);
+    Tensor fp = g.run({{input, b.images}}, fp_logits);
+    set_quantizers_enabled(g, true);
+    for (int64_t i = 0; i < q.numel(); ++i) bias += q[i] - fp[i];
+    n += q.numel();
+  }
+  return bias / static_cast<double>(n);
+}
+
+}  // namespace
+}  // namespace tqt
+
+int main() {
+  using namespace tqt;
+  bench::print_header(
+      "Ablation: banker's rounding vs round-half-away-from-zero (static INT8)");
+
+  // Part 1 — the mechanism, at a single quantizer: on tie-heavy data (values
+  // exactly on half-steps of the grid) half-away rounding adds a systematic
+  // +s/2 of magnitude per tie, while banker's rounding cancels.
+  {
+    auto make = [](RoundMode mode) {
+      auto th = make_threshold("t", 0.0f);
+      auto q = std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, th);
+      q->set_round_mode(mode);
+      return q;
+    };
+    const float s = std::exp2(-7.0f);
+    Tensor ties({200});
+    for (int64_t i = 0; i < ties.numel(); ++i) {
+      ties[i] = (static_cast<float>(i) - 100.0f + 0.5f) * s;  // every value is a tie
+    }
+    std::vector<const Tensor*> ins{&ties};
+    auto even = make(RoundMode::kHalfToEven);
+    auto away = make(RoundMode::kHalfAwayFromZero);
+    const Tensor ye = even->forward(ins);
+    const Tensor ya = away->forward(ins);
+    double be = 0.0, ba = 0.0;
+    for (int64_t i = 0; i < ties.numel(); ++i) {
+      be += (ye[i] - ties[i]) * (ties[i] >= 0 ? 1.0 : -1.0);
+      ba += (ya[i] - ties[i]) * (ties[i] >= 0 ? 1.0 : -1.0);
+    }
+    std::printf("\nSingle quantizer on 200 exact ties: mean outward drift per element\n"
+                "  half-to-even: %+.3e   half-away: %+.3e   (s/2 = %.3e)\n",
+                be / 200.0, ba / 200.0, s / 2.0);
+  }
+
+  // Part 2 — end-to-end on the mini networks. NOTE: these networks are 5-10
+  // quantized layers deep; the accumulated-bias effect the paper guards
+  // against builds up over the 50-150 layers of ImageNet CNNs, so expect the
+  // network-level differences here to sit within validation noise.
+  const auto& data = bench::shared_dataset();
+  std::printf("\n%-22s %16s %12s %16s %12s\n", "network", "even: top-1", "bias", "away: top-1",
+              "bias");
+  for (ModelKind kind : bench::selected_models()) {
+    const auto state = bench::pretrained(kind);
+    QuantTrialConfig cfg;
+    cfg.mode = TrialMode::kStatic;
+    cfg.weight_init = WeightInit::k3Sd;
+
+    double top1[2], bias[2];
+    for (int m = 0; m < 2; ++m) {
+      TrialOutput out = run_quant_trial(kind, state, data, cfg);
+      const RoundMode mode = m == 0 ? RoundMode::kHalfToEven : RoundMode::kHalfAwayFromZero;
+      set_round_mode(out.model.graph, mode);
+      const Accuracy acc =
+          evaluate_graph(out.model.graph, out.model.input, out.qres.quantized_output, data);
+      top1[m] = acc.top1();
+      bias[m] = output_bias(out.model.graph, out.model.input, out.qres.quantized_output,
+                            out.model.logits, data);
+    }
+    std::printf("%-22s %16.1f %12.4f %16.1f %12.4f\n", model_name(kind).c_str(),
+                bench::pct(top1[0]), bias[0], bench::pct(top1[1]), bias[1]);
+  }
+  std::printf(
+      "\nExpectation: the tie-level drift isolates the bias banker's rounding removes\n"
+      "(half-away drifts by ~s/2 per tie, half-even by ~0); at 5-10 layers deep the\n"
+      "network-level numbers above sit within validation noise, while the paper's\n"
+      "50-150-layer ImageNet CNNs accumulate it (§3.2).\n");
+  return 0;
+}

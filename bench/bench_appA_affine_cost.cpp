@@ -1,0 +1,124 @@
+// Reproduces paper Appendix A: the cost of the affine quantizer. Times an
+// int8 matrix multiply under the three rescaling regimes the paper derives:
+//
+//   Eq. (13)  affine with zero-points — the product grows cross-terms
+//             q1*z2, q2*z1, z1*z2 that need extra row/column reductions;
+//   Eq. (15)  symmetric with a real-valued scale — one int32 fixed-point
+//             multiplier plus a rounding right-shift per output;
+//   Eq. (16)  symmetric with power-of-2 scales (TQT's constraint) — a single
+//             bit-shift with round-half-to-even per output.
+//
+// Expected shape: zero-points cost measurably more than symmetric; the
+// power-of-2 variant is the cheapest. (Absolute numbers are host-specific.)
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+struct Gemm {
+  int64_t m, k, n;
+  std::vector<int8_t> a, b;
+  std::vector<int32_t> acc;
+  std::vector<int8_t> out;
+
+  explicit Gemm(int64_t dim) : m(dim), k(dim), n(dim) {
+    tqt::Rng rng(7);
+    a.resize(static_cast<size_t>(m * k));
+    b.resize(static_cast<size_t>(k * n));
+    for (auto& v : a) v = static_cast<int8_t>(rng.uniform_int(-128, 127));
+    for (auto& v : b) v = static_cast<int8_t>(rng.uniform_int(-128, 127));
+    acc.resize(static_cast<size_t>(m * n));
+    out.resize(static_cast<size_t>(m * n));
+  }
+
+  void accumulate() {
+    std::fill(acc.begin(), acc.end(), 0);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int32_t av = a[static_cast<size_t>(i * k + kk)];
+        const int8_t* brow = b.data() + kk * n;
+        int32_t* crow = acc.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+};
+
+int8_t saturate8(int32_t v) {
+  return static_cast<int8_t>(std::min(127, std::max(-128, v)));
+}
+
+/// Eq. (15): multiply by a Q31 fixed-point multiplier, then rounding shift.
+int8_t rescale_real(int32_t v, int32_t multiplier_q31, int shift) {
+  const int64_t prod = static_cast<int64_t>(v) * multiplier_q31;
+  const int64_t scaled = tqt::shift_round_half_to_even(prod, 31 + shift);
+  return saturate8(static_cast<int32_t>(scaled));
+}
+
+/// Eq. (16): single rounding bit-shift.
+int8_t rescale_pow2(int32_t v, int shift) {
+  return saturate8(static_cast<int32_t>(tqt::shift_round_half_to_even(v, shift)));
+}
+
+void BM_AffineZeroPoints(benchmark::State& state) {
+  Gemm g(state.range(0));
+  const int32_t z1 = 3, z2 = -5, z3 = 7;
+  // Eq. (13): q3 = z3 + M [ q1q2 - q1 z2 - q2 z1 + z1 z2 ].
+  std::vector<int32_t> row_sums(static_cast<size_t>(g.m));
+  std::vector<int32_t> col_sums(static_cast<size_t>(g.n));
+  for (auto _ : state) {
+    g.accumulate();
+    // Cross-term reductions (the "special handling" the paper amortizes).
+    std::fill(row_sums.begin(), row_sums.end(), 0);
+    std::fill(col_sums.begin(), col_sums.end(), 0);
+    for (int64_t i = 0; i < g.m; ++i)
+      for (int64_t kk = 0; kk < g.k; ++kk) row_sums[static_cast<size_t>(i)] += g.a[static_cast<size_t>(i * g.k + kk)];
+    for (int64_t kk = 0; kk < g.k; ++kk)
+      for (int64_t j = 0; j < g.n; ++j) col_sums[static_cast<size_t>(j)] += g.b[static_cast<size_t>(kk * g.n + j)];
+    const int32_t zz = z1 * z2 * static_cast<int32_t>(g.k);
+    for (int64_t i = 0; i < g.m; ++i) {
+      for (int64_t j = 0; j < g.n; ++j) {
+        const int32_t corrected = g.acc[static_cast<size_t>(i * g.n + j)] -
+                                  row_sums[static_cast<size_t>(i)] * z2 -
+                                  col_sums[static_cast<size_t>(j)] * z1 + zz;
+        g.out[static_cast<size_t>(i * g.n + j)] =
+            saturate8(z3 + rescale_real(corrected, 0x5a82799a, 9));
+      }
+    }
+    benchmark::DoNotOptimize(g.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.m * g.n * g.k);
+}
+
+void BM_SymmetricRealScale(benchmark::State& state) {
+  Gemm g(state.range(0));
+  for (auto _ : state) {
+    g.accumulate();
+    for (size_t i = 0; i < g.acc.size(); ++i) g.out[i] = rescale_real(g.acc[i], 0x5a82799a, 9);
+    benchmark::DoNotOptimize(g.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.m * g.n * g.k);
+}
+
+void BM_SymmetricPow2(benchmark::State& state) {
+  Gemm g(state.range(0));
+  for (auto _ : state) {
+    g.accumulate();
+    for (size_t i = 0; i < g.acc.size(); ++i) g.out[i] = rescale_pow2(g.acc[i], 9);
+    benchmark::DoNotOptimize(g.out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.m * g.n * g.k);
+}
+
+BENCHMARK(BM_AffineZeroPoints)->Arg(64)->Arg(128);
+BENCHMARK(BM_SymmetricRealScale)->Arg(64)->Arg(128);
+BENCHMARK(BM_SymmetricPow2)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

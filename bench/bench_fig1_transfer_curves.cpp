@@ -1,0 +1,40 @@
+// Reproduces paper Figure 1: forward and backward transfer curves of the TQT
+// quantizer for signed and unsigned data, bit-width b = 3, raw threshold
+// t = 1.0. Prints (x, q(x), dq/dx, dq/dlog2t, dL/dx, dL/dlog2t) series; the
+// L columns are the overall gradients of the toy L2 loss (Eqs. 9-10).
+//
+// Checkable shape: q is a staircase saturating at n*s = -1.0 / p*s = 0.75
+// (signed) and 0 / 0.875 (unsigned); dq/dx is 1 inside and 0 outside;
+// dL/dlog2t is >= 0 inside the clip range and < 0 outside (the
+// range-precision trade-off of §3.4).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/toy_model.h"
+
+namespace tqt {
+namespace {
+
+void print_curves(const char* title, QuantBits bits) {
+  std::printf("\n-- %s (b=%d, t=1.0, s=%g) --\n", title, bits.bits,
+              std::exp2(-bits.scale_shift()));
+  const QuantizerCurves c =
+      transfer_curves(bits, QuantMode::kTqt, /*log2_t=*/0.0f, -2.0f, 2.0f, 33);
+  std::printf("%8s %8s %8s %12s %8s %12s\n", "x", "q(x)", "dq/dx", "dq/dlog2t", "dL/dx",
+              "dL/dlog2t");
+  for (size_t i = 0; i < c.x.size(); ++i) {
+    std::printf("%8.3f %8.3f %8.1f %12.4f %8.3f %12.4f\n", c.x[i], c.q[i], c.dq_dx[i],
+                c.dq_dlog2t[i], c.dl_dx[i], c.dl_dlog2t[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tqt
+
+int main() {
+  tqt::bench::print_header("Figure 1: TQT quantizer transfer curves (signed & unsigned, b=3)");
+  tqt::print_curves("(a) signed", tqt::QuantBits{3, true});
+  tqt::print_curves("(b) unsigned", tqt::QuantBits{3, false});
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Figure 2: trained quantization thresholds move inward
+// (favoring precision) when most of the input mass is inside (xn, xp), move
+// outward (favoring range) when most mass is clipped, and settle where the
+// positive inside-gradients cancel the negative outside-gradients.
+//
+// We evaluate the cumulative dL/dlog2t of the toy L2 model on a Gaussian
+// batch at three threshold regimes and then locate the equilibrium.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/toy_model.h"
+#include "tensor/rng.h"
+
+int main() {
+  using namespace tqt;
+  bench::print_header("Figure 2: range-precision trade-off of TQT threshold gradients");
+  Rng rng(1);
+  const Tensor x = rng.normal_tensor({20000});
+  const QuantBits bits{8, true};
+
+  std::printf("%-34s %10s %14s %s\n", "Regime", "log2 t", "dL/dlog2t", "-> threshold moves");
+  struct Case {
+    const char* name;
+    float log2_t;
+  } cases[] = {
+      {"thresholds move in  (t >> data)", 4.0f},
+      {"thresholds move out (t << data)", -4.0f},
+  };
+  for (const Case& c : cases) {
+    const ToyEval e = toy_l2_eval(x, bits, QuantMode::kTqt, c.log2_t);
+    std::printf("%-34s %10.2f %14.4f %s\n", c.name, c.log2_t, e.grad_log2_t,
+                e.grad_log2_t > 0 ? "inward (precision)" : "outward (range)");
+  }
+
+  // Converged: scan for the sign change of the cumulative gradient.
+  float eq = 0.0f;
+  double prev = toy_l2_eval(x, bits, QuantMode::kTqt, -6.0f).grad_log2_t;
+  for (float t = -5.75f; t <= 6.0f; t += 0.25f) {
+    const double g = toy_l2_eval(x, bits, QuantMode::kTqt, t).grad_log2_t;
+    if (prev < 0.0 && g >= 0.0) {
+      eq = t;
+      break;
+    }
+    prev = g;
+  }
+  const ToyEval e = toy_l2_eval(x, bits, QuantMode::kTqt, eq);
+  std::printf("%-34s %10.2f %14.4f %s\n", "converged (equilibrium)", eq, e.grad_log2_t,
+              "positive inside cancels negative outside");
+  std::printf("\nGaussian(1) input, INT8: equilibrium raw threshold t = %.3f (= %.2f sigma)\n",
+              std::exp2(eq), std::exp2(eq));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Figure 3: transfer curves of TensorFlow's FakeQuant-style
+// *clipped* threshold-gradient formulation for signed data, b = 3, with
+// clipping thresholds n = -1.125, p = 0.875 (the same saturation points as
+// Figure 1's TQT example, which is why we evaluate our clipped mode at
+// t = 1.0 — identical forward, different backward).
+//
+// Checkable shape: the forward staircase matches Figure 1 exactly, but
+// dq/dlog2t (hence dL/dlog2t) is identically ZERO inside the clip range —
+// clipped formulations can only push thresholds outward (§3.5).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/toy_model.h"
+
+int main() {
+  using namespace tqt;
+  bench::print_header(
+      "Figure 3: TF FakeQuant (clipped gradient) transfer curves, signed b=3");
+  const QuantizerCurves tqt_c =
+      transfer_curves({3, true}, QuantMode::kTqt, 0.0f, -2.0f, 2.0f, 33);
+  const QuantizerCurves clip_c =
+      transfer_curves({3, true}, QuantMode::kClipped, 0.0f, -2.0f, 2.0f, 33);
+  std::printf("%8s %8s %12s %12s %14s %14s\n", "x", "q(x)", "clip:dq/dth", "tqt:dq/dth",
+              "clip:dL/dth", "tqt:dL/dth");
+  double clip_inside = 0.0, tqt_inside = 0.0;
+  for (size_t i = 0; i < clip_c.x.size(); ++i) {
+    std::printf("%8.3f %8.3f %12.4f %12.4f %14.4f %14.4f\n", clip_c.x[i], clip_c.q[i],
+                clip_c.dq_dlog2t[i], tqt_c.dq_dlog2t[i], clip_c.dl_dlog2t[i],
+                tqt_c.dl_dlog2t[i]);
+    if (clip_c.x[i] > -1.0f && clip_c.x[i] < 0.8f) {
+      clip_inside += std::fabs(clip_c.dl_dlog2t[i]);
+      tqt_inside += std::fabs(tqt_c.dl_dlog2t[i]);
+    }
+  }
+  std::printf("\nSum |dL/dlog2t| strictly inside the clip range:  clipped = %.4f   tqt = %.4f\n",
+              clip_inside, tqt_inside);
+  std::printf("(clipped formulation has no inward force; TQT does — §3.5)\n");
+  return 0;
+}

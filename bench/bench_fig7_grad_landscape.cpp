@@ -1,0 +1,48 @@
+// Reproduces paper Figure 7: gradients of the toy L2 loss with respect to the
+// raw threshold (left), the log threshold (middle), and the normed log
+// threshold (right) as functions of log2 t, for Gaussian(sigma) inputs with
+// sigma in {1e-2, 1e-1, 1, 1e1, 1e2}.
+//
+// Checkable shape (Appendix B.2): neither raw nor log gradients are scale
+// invariant — log-gradient magnitudes collapse for small log2 t and explode
+// for large log2 t, and depend quadratically on sigma — while the normed
+// gradient (gradient / sqrt(EMA variance), tanh-clipped) is a near-flat
+// +/-1 step for every sigma.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/toy_model.h"
+#include "tensor/rng.h"
+
+int main() {
+  using namespace tqt;
+  bench::print_header("Figure 7: threshold-gradient landscapes vs log2 t, Gaussian(sigma)");
+  const QuantBits bits{8, true};
+  const float sigmas[] = {1e-2f, 1e-1f, 1.0f, 1e1f, 1e2f};
+
+  for (float sigma : sigmas) {
+    Rng rng(3);
+    const Tensor x = rng.normal_tensor({20000}, 0.0f, sigma);
+    std::printf("\nsigma = %g\n", sigma);
+    std::printf("%8s %16s %16s %16s\n", "log2 t", "raw dL/dt", "log dL/dlog2t", "normed");
+    // Normed gradient: g / sqrt(EMA g^2); approximated here with the batch
+    // second moment over the sweep (stationary), then tanh-clipped (Eq. 18).
+    std::vector<double> raw, lg;
+    std::vector<float> ts;
+    for (float t = -10.0f; t <= 10.0f; t += 1.0f) {
+      const ToyEval e = toy_l2_eval(x, bits, QuantMode::kTqt, t);
+      ts.push_back(t);
+      raw.push_back(e.grad_raw_t);
+      lg.push_back(e.grad_log2_t);
+    }
+    double second = 0.0;
+    for (double g : lg) second += g * g;
+    second = std::sqrt(second / static_cast<double>(lg.size())) + 1e-12;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      std::printf("%8.1f %16.6g %16.6g %16.3f\n", ts[i], raw[i], lg[i],
+                  std::tanh(lg[i] / second));
+    }
+  }
+  return 0;
+}

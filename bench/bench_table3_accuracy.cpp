@@ -1,0 +1,82 @@
+// Reproduces paper Table 3: quantization accuracy on every network family
+// for the six trial flavours —
+//   FP32 baseline / static INT8 / retrain-wt FP32 / retrain-wt INT8 /
+//   TQT (wt,th) INT8 / TQT (wt,th) INT4  (INT4 = 4/8 W/A)
+// reporting top-1 / top-5 (%) and the best-checkpoint epoch.
+//
+// Expected shape (paper §5.3/§6.1, scaled to the synthetic mini workloads):
+//  - static INT8 roughly matches FP32 on VGG/Inception/ResNet;
+//  - static INT8 *collapses* on the MobileNets (per-tensor ranges starved by
+//    irregular depthwise weight distributions);
+//  - wt-only retraining recovers the easy networks but NOT the MobileNets;
+//  - TQT (wt+th) recovers everything to ~FP32 at INT8;
+//  - INT4 sits slightly below FP32, and needs wt+th training.
+#include "bench_util.h"
+
+namespace tqt {
+namespace {
+
+void run_model(ModelKind kind) {
+  using bench::pct;
+  const auto& data = bench::shared_dataset();
+  const auto state = bench::pretrained(kind);
+  const float epochs = bench::fast_mode() ? 1.0f : 4.0f;
+
+  std::printf("\n%s\n", model_name(kind).c_str());
+  std::printf("  %-10s %-9s %-6s %7s %7s %8s\n", "Mode", "Precision", "W/A", "top-1", "top-5",
+              "Epochs");
+
+  const Accuracy fp32 = eval_fp32(kind, state, data);
+  std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8s\n", "-", "FP32", "32/32", pct(fp32.top1()),
+              pct(fp32.top5()), "-");
+
+  {
+    QuantTrialConfig cfg;
+    cfg.mode = TrialMode::kStatic;
+    const TrialOutput out = run_quant_trial(kind, state, data, cfg);
+    std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8s\n", "Static", "INT8", "8/8",
+                pct(out.accuracy.top1()), pct(out.accuracy.top5()), "-");
+  }
+  {
+    const TrialOutput out = run_fp32_retrain(kind, state, data, default_retrain_schedule(epochs));
+    std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8.1f\n", "Retrain wt", "FP32", "32/32",
+                pct(out.accuracy.top1()), pct(out.accuracy.top5()), out.best_epoch);
+  }
+  {
+    QuantTrialConfig cfg;
+    cfg.mode = TrialMode::kRetrainWt;
+    cfg.schedule = default_retrain_schedule(epochs);
+    const TrialOutput out = run_quant_trial(kind, state, data, cfg);
+    std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8.1f\n", "Retrain wt", "INT8", "8/8",
+                pct(out.accuracy.top1()), pct(out.accuracy.top5()), out.best_epoch);
+  }
+  {
+    QuantTrialConfig cfg;
+    cfg.mode = TrialMode::kRetrainWtTh;
+    cfg.schedule = default_retrain_schedule(epochs);
+    const TrialOutput out = run_quant_trial(kind, state, data, cfg);
+    std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8.1f\n", "Retrain wt,th", "INT8", "8/8",
+                pct(out.accuracy.top1()), pct(out.accuracy.top5()), out.best_epoch);
+  }
+  {
+    QuantTrialConfig cfg;
+    cfg.mode = TrialMode::kRetrainWtTh;
+    cfg.quant.weight_bits = 4;
+    cfg.schedule = default_retrain_schedule(epochs);
+    const TrialOutput out = run_quant_trial(kind, state, data, cfg);
+    std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8.1f\n", "Retrain wt,th", "INT4", "4/8",
+                pct(out.accuracy.top1()), pct(out.accuracy.top5()), out.best_epoch);
+  }
+}
+
+}  // namespace
+}  // namespace tqt
+
+int main() {
+  tqt::bench::print_header(
+      "Table 3 (analog): quantization accuracy per network and trial mode\n"
+      "Synthetic 10-class dataset; mini model zoo (see DESIGN.md)");
+  for (tqt::ModelKind kind : tqt::bench::selected_models()) tqt::run_model(kind);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Validates paper Table 4: hyperparameter guidelines for log-threshold
+// training with Adam, derived in Appendix C —
+//
+//   alpha <= 0.1 / sqrt(p)        (p = 2^(b-1) - 1 for signed data)
+//   beta1 >= 1/e
+//   beta2 >= 1 - 0.1 / p
+//   steps to converge ~ 1/alpha + 1/(1 - beta2)
+//
+// For b in {4, 8} we sweep alpha across the bound and report the
+// post-convergence oscillation amplitude: learning rates within the bound
+// keep the threshold inside ~one integer bin; rates far above it oscillate
+// across bins (the behaviour threshold freezing exists to suppress).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "quant/toy_model.h"
+
+int main() {
+  using namespace tqt;
+  bench::print_header("Table 4: Adam guidelines for log-threshold training (App. C)");
+  for (int b : {4, 8}) {
+    const double p = static_cast<double>((1 << (b - 1)) - 1);
+    const double alpha_bound = 0.1 / std::sqrt(p);
+    const double beta2_bound = 1.0 - 0.1 / p;
+    const double steps_est = 1.0 / 0.01 + 1.0 / (1.0 - 0.999);
+    std::printf("\nb = %d:  alpha <= %.4f   beta1 >= %.3f   beta2 >= %.4f   steps ~ %.0f\n", b,
+                alpha_bound, 1.0 / 2.718281828, beta2_bound, steps_est);
+    std::printf("  %-12s %-14s %12s %s\n", "alpha", "vs bound", "osc band", "verdict");
+    for (double mult : {0.25, 1.0, 4.0, 16.0}) {
+      const float alpha = static_cast<float>(mult * alpha_bound);
+      ToyRunConfig cfg;
+      cfg.bits = {b, true};
+      cfg.sigma = 1.0f;
+      cfg.steps = 2000;
+      cfg.lr = alpha;
+      cfg.log2_t0 = 3.0f;
+      const ToyRunResult r = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+      float lo = 1e30f, hi = -1e30f;
+      for (size_t i = r.log2_t.size() / 2; i < r.log2_t.size(); ++i) {
+        lo = std::min(lo, r.log2_t[i]);
+        hi = std::max(hi, r.log2_t[i]);
+      }
+      std::printf("  %-12.4f %-14s %12.3f %s\n", alpha,
+                  mult <= 1.0 ? "within" : "above", hi - lo,
+                  (hi - lo) < 1.0 ? "stays in one integer bin" : "crosses integer bins");
+    }
+  }
+  std::printf("\n(The paper uses alpha=0.01, beta1=0.9, beta2=0.999 for all training.)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark/experiment binaries: a common dataset,
+// a pretrained-model cache on disk, and table formatting.
+//
+// Environment knobs:
+//   TQT_CACHE_DIR  where pretrained FP32 weights are cached
+//                  (default: ./tqt_artifacts)
+//   TQT_MODELS     comma-separated subset of model names to run
+//                  (default: all six families)
+//   TQT_FAST       if set, shrink epochs/datasets for a quick smoke pass
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace tqt::bench {
+
+inline bool fast_mode() { return std::getenv("TQT_FAST") != nullptr; }
+
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("TQT_CACHE_DIR")) return env;
+  return "tqt_artifacts";
+}
+
+inline const SyntheticImageDataset& shared_dataset() {
+  static SyntheticImageDataset data(default_dataset_config());
+  return data;
+}
+
+inline PretrainConfig default_pretrain() {
+  PretrainConfig cfg;
+  cfg.epochs = fast_mode() ? 4.0f : 14.0f;
+  cfg.lr = 2e-3f;
+  return cfg;
+}
+
+inline std::map<std::string, Tensor> pretrained(ModelKind kind) {
+  return load_or_pretrain(kind, shared_dataset(), cache_dir(), default_pretrain());
+}
+
+/// Models selected via TQT_MODELS (names per model_name()), default all.
+inline std::vector<ModelKind> selected_models() {
+  const char* env = std::getenv("TQT_MODELS");
+  if (!env) return all_model_kinds();
+  const std::string filter = env;
+  std::vector<ModelKind> out;
+  for (ModelKind k : all_model_kinds()) {
+    if (filter.find(model_name(k)) != std::string::npos) out.push_back(k);
+  }
+  return out.empty() ? all_model_kinds() : out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline double pct(double x) { return 100.0 * x; }
+
+}  // namespace tqt::bench

@@ -1,0 +1,93 @@
+// Deployment walkthrough: train with TQT, then compile the quantized
+// inference graph into the integer-only fixed-point program — the artifact
+// that would be "ported directly onto the target of choice" (paper §4.2) —
+// and inspect what the hardware actually executes: int8 tensors, int32
+// accumulators, and power-of-2 rescales as single bit-shifts.
+//
+// Build & run:  ./build/examples/fixedpoint_deploy
+#include <cstdio>
+#include <map>
+
+#include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+
+namespace {
+const char* kind_name(tqt::FpInstr::Kind k) {
+  using K = tqt::FpInstr::Kind;
+  switch (k) {
+    case K::kQuantizeInput: return "quantize_input";
+    case K::kConv2d: return "conv2d.int8";
+    case K::kDepthwise: return "depthwise.int8";
+    case K::kDense: return "dense.int8";
+    case K::kBiasAdd: return "bias_add.int16";
+    case K::kRequant: return "requant(shift)";
+    case K::kRelu: return "relu.int";
+    case K::kRelu6: return "relu6.int";
+    case K::kLeakyRelu: return "leaky_relu.int";
+    case K::kMaxPool: return "maxpool.int";
+    case K::kEltwiseAdd: return "eltwise_add.int";
+    case K::kConcat: return "concat";
+    case K::kFlatten: return "flatten";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  using namespace tqt;
+  SyntheticImageDataset data(default_dataset_config());
+  const ModelKind kind = ModelKind::kMiniDarkNet;  // exercises the leaky-ReLU q16 path
+  std::printf("Pretraining %s...\n", model_name(kind).c_str());
+  const auto state = load_or_pretrain(kind, data, "tqt_artifacts");
+
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kRetrainWtTh;
+  cfg.schedule = default_retrain_schedule(3.0f);
+  std::printf("TQT retraining...\n");
+  TrialOutput out = run_quant_trial(kind, state, data, cfg);
+  out.model.graph.set_training(false);
+
+  const FixedPointProgram prog =
+      compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
+
+  std::printf("\nCompiled fixed-point program: %lld instructions, %lld integer parameters\n",
+              static_cast<long long>(prog.instruction_count()),
+              static_cast<long long>(prog.parameter_count()));
+  std::map<std::string, int> histogram;
+  for (const auto& instr : prog.instructions()) histogram[kind_name(instr.kind)]++;
+  for (const auto& [name, count] : histogram) std::printf("  %-18s x%d\n", name.c_str(), count);
+
+  std::printf("\nFirst few instructions:\n");
+  int shown = 0;
+  for (const auto& instr : prog.instructions()) {
+    std::printf("  %-18s  %-40s", kind_name(instr.kind), instr.debug_name.c_str());
+    if (instr.kind == FpInstr::Kind::kRequant || instr.kind == FpInstr::Kind::kQuantizeInput) {
+      std::printf("  -> scale 2^%d, clamp [%lld, %lld]", instr.out_exponent,
+                  static_cast<long long>(instr.clamp_lo), static_cast<long long>(instr.clamp_hi));
+    }
+    std::printf("\n");
+    if (++shown == 12) break;
+  }
+
+  // Ship it: serialize the program (the deployment artifact) and reload it.
+  const std::string artifact = "tqt_artifacts/" + model_name(kind) + "_int8.tqtp";
+  prog.save(artifact);
+  const FixedPointProgram shipped = FixedPointProgram::load(artifact);
+  std::printf("\nSerialized program to %s and reloaded it.\n", artifact.c_str());
+
+  // Bit-exactness + accuracy of the integer program on the validation set.
+  Accuracy fake_acc, fixed_acc;
+  bool bit_exact = true;
+  for (int64_t first = 0; first < data.val_size(); first += 64) {
+    const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
+    const Tensor fake =
+        out.model.graph.run({{out.model.input, b.images}}, out.qres.quantized_output);
+    const Tensor fixed = shipped.run(b.images);
+    bit_exact = bit_exact && fake.equals(fixed);
+    accumulate_topk(fake, b.labels, fake_acc);
+    accumulate_topk(fixed, b.labels, fixed_acc);
+  }
+  std::printf("\nValidation: fake-quant graph %.1f%%, integer program %.1f%%, bit-exact: %s\n",
+              100.0 * fake_acc.top1(), 100.0 * fixed_acc.top1(), bit_exact ? "yes" : "NO");
+  return bit_exact ? 0 : 1;
+}

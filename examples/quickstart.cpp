@@ -1,0 +1,50 @@
+// Quickstart: the whole TQT pipeline in one sitting.
+//
+//   1. build a small CNN and pretrain it in FP32 on the synthetic dataset;
+//   2. fold batch norms and rewrite pools (Graffitist-style optimization);
+//   3. insert TQT fake-quantization (INT8, per-tensor, symmetric, power-of-2);
+//   4. calibrate thresholds (MAX/3SD weights, KL-J activations);
+//   5. retrain weights AND thresholds jointly for a couple of epochs;
+//   6. evaluate, and export a bit-exact integer-only program.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+
+int main() {
+  using namespace tqt;
+
+  // 1. Dataset + FP32 pretraining (cached to ./tqt_artifacts on first run).
+  SyntheticImageDataset data(default_dataset_config());
+  std::printf("Pretraining mini_resnet in FP32 (first run takes ~a minute)...\n");
+  const auto fp32_state = load_or_pretrain(ModelKind::kMiniResNet, data, "tqt_artifacts");
+  const Accuracy fp32 = eval_fp32(ModelKind::kMiniResNet, fp32_state, data);
+  std::printf("FP32 top-1: %.1f%%\n", 100.0 * fp32.top1());
+
+  // 2-5. Quantize (INT8 TQT) and retrain weights + thresholds.
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kRetrainWtTh;       // the TQT flavour
+  cfg.quant.weight_bits = 8;                // INT8 weights, INT8 activations
+  cfg.schedule = default_retrain_schedule(/*epochs=*/3.0f);
+  std::printf("Quantizing + TQT retraining (wt, th)...\n");
+  TrialOutput out = run_quant_trial(ModelKind::kMiniResNet, fp32_state, data, cfg);
+  std::printf("INT8 TQT top-1: %.1f%% (best at epoch %.1f)\n", 100.0 * out.accuracy.top1(),
+              out.best_epoch);
+
+  // 6. Export to the integer-only fixed-point engine and sanity-check that it
+  // is bit-exact against the fake-quant graph (the paper's FPGA contract).
+  out.model.graph.set_training(false);
+  const FixedPointProgram prog =
+      compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
+  const Batch probe = data.val_batch(0, 16);
+  const Tensor fake = out.model.graph.run({{out.model.input, probe.images}},
+                                          out.qres.quantized_output);
+  const Tensor fixed = prog.run(probe.images);
+  std::printf("Fixed-point program: %lld instructions, %lld int parameters, bit-exact: %s\n",
+              static_cast<long long>(prog.instruction_count()),
+              static_cast<long long>(prog.parameter_count()),
+              fake.equals(fixed) ? "yes" : "NO");
+  return fake.equals(fixed) ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tqt {
+
+void accumulate_topk(const Tensor& logits, const Tensor& labels, Accuracy& acc) {
+  if (logits.rank() != 2 || labels.rank() != 1 || logits.dim(0) != labels.dim(0)) {
+    throw std::invalid_argument("accumulate_topk: need logits [N,K], labels [N]");
+  }
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  const int64_t top_n = std::min<int64_t>(5, k);
+  std::vector<int64_t> idx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    const int64_t y = static_cast<int64_t>(labels[i]);
+    for (int64_t j = 0; j < k; ++j) idx[static_cast<size_t>(j)] = j;
+    std::partial_sort(idx.begin(), idx.begin() + top_n, idx.end(),
+                      [row](int64_t a, int64_t b) { return row[a] > row[b]; });
+    if (idx[0] == y) ++acc.correct1;
+    for (int64_t j = 0; j < top_n; ++j) {
+      if (idx[static_cast<size_t>(j)] == y) {
+        ++acc.correct5;
+        break;
+      }
+    }
+    ++acc.count;
+  }
+}
+
+}  // namespace tqt

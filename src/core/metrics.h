@@ -1,0 +1,22 @@
+// Classification metrics: running top-1 / top-5 accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+struct Accuracy {
+  int64_t correct1 = 0;
+  int64_t correct5 = 0;
+  int64_t count = 0;
+
+  double top1() const { return count ? static_cast<double>(correct1) / count : 0.0; }
+  double top5() const { return count ? static_cast<double>(correct5) / count : 0.0; }
+};
+
+/// Accumulate top-1/top-5 hits from a batch of logits [N,K] and labels [N].
+void accumulate_topk(const Tensor& logits, const Tensor& labels, Accuracy& acc);
+
+}  // namespace tqt

@@ -1,0 +1,83 @@
+// End-to-end experiment pipeline: pretrain (with on-disk caching) ->
+// optimize/fold -> quantize -> calibrate -> static eval or retrain ->
+// evaluate / export. This is the API every table/figure benchmark uses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/train.h"
+#include "graph_opt/quantize_pass.h"
+#include "models/zoo.h"
+
+namespace tqt {
+
+struct PretrainConfig {
+  float epochs = 14.0f;
+  float lr = 2e-3f;
+  int64_t batch_size = 32;
+  uint64_t seed = 7;
+};
+
+/// FP32-pretrain a model (or load it from `cache_dir` when available) and
+/// return its parameter state. The cache key includes the model name.
+std::map<std::string, Tensor> load_or_pretrain(ModelKind kind, const SyntheticImageDataset& data,
+                                               const std::string& cache_dir,
+                                               const PretrainConfig& cfg = {});
+
+/// The retrain flavours of Table 3.
+enum class TrialMode {
+  kStatic,       ///< calibrate-only (no retraining)
+  kRetrainWt,    ///< retrain weights, thresholds fixed at calibration
+  kRetrainWtTh,  ///< TQT: retrain weights and thresholds jointly
+};
+
+struct QuantTrialConfig {
+  QuantizeConfig quant;
+  TrialMode mode = TrialMode::kRetrainWtTh;
+  /// Weight-threshold init; defaults follow paper Table 2 (MAX for static /
+  /// wt-only, 3SD for wt+th).
+  std::optional<WeightInit> weight_init;
+  TrainSchedule schedule;
+  int64_t calib_images = 50;
+  uint64_t calib_seed = 50;
+};
+
+/// Everything a benchmark needs after a trial: metrics plus the live
+/// quantized graph for inspection/export.
+struct TrialOutput {
+  Accuracy accuracy;
+  float best_epoch = 0.0f;
+  TrainResult train;       ///< empty for static trials
+  BuiltModel model;        ///< the quantized graph (BN-folded)
+  QuantizePassResult qres;
+  /// log2-threshold values right after calibration (before any retraining),
+  /// keyed by threshold parameter name — the "initial thresholds" of the
+  /// paper's Figures 5/6/10.
+  std::map<std::string, float> initial_log2_thresholds;
+};
+
+/// Build the quantized graph from pretrained FP32 state, calibrate, and
+/// (optionally) retrain. Always starts from the pretrained FP32 weights
+/// (§5.3: INT8/INT4 runs are never initialized from retrained FP32 weights).
+TrialOutput run_quant_trial(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
+                            const SyntheticImageDataset& data, const QuantTrialConfig& cfg);
+
+/// FP32 baseline accuracy of the pretrained state.
+Accuracy eval_fp32(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
+                   const SyntheticImageDataset& data);
+
+/// FP32 wt-only retraining with the same procedure as quantized retraining
+/// (the "fair baseline" rows of Table 3): runs on the folded graph with all
+/// quantizers disabled.
+TrialOutput run_fp32_retrain(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
+                             const SyntheticImageDataset& data, const TrainSchedule& sched);
+
+/// The paper's retrain schedule scaled to this library's mini workloads.
+TrainSchedule default_retrain_schedule(float epochs = 3.0f);
+
+/// Dataset used across all benchmarks (fixed seed for reproducibility).
+DatasetConfig default_dataset_config();
+
+}  // namespace tqt

@@ -1,0 +1,133 @@
+#include "core/train.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops_basic.h"
+#include "nn/ops_loss.h"
+#include "nn/ops_norm.h"
+#include "quant/freeze.h"
+
+namespace tqt {
+
+Accuracy evaluate_graph(Graph& g, NodeId input, NodeId output, const SyntheticImageDataset& data,
+                        int64_t batch) {
+  g.set_training(false);
+  Accuracy acc;
+  const int64_t n = data.val_size();
+  for (int64_t first = 0; first < n; first += batch) {
+    const int64_t count = std::min(batch, n - first);
+    Batch b = data.val_batch(first, count);
+    Tensor logits = g.run({{input, b.images}}, output);
+    accumulate_topk(logits, b.labels, acc);
+  }
+  return acc;
+}
+
+namespace {
+/// Find-or-create the labels placeholder and loss node for `output`.
+std::pair<NodeId, NodeId> loss_nodes(Graph& g, NodeId output) {
+  const std::string loss_name = g.node(output).name + "/xent";
+  const std::string labels_name = "labels";
+  NodeId labels = g.find(labels_name);
+  if (labels == kNoNode) labels = g.add(labels_name, std::make_unique<InputOp>());
+  NodeId loss = g.find(loss_name);
+  if (loss == kNoNode) {
+    loss = g.add(loss_name, std::make_unique<SoftmaxCrossEntropyOp>(), {output, labels});
+  }
+  return {labels, loss};
+}
+}  // namespace
+
+TrainResult train_graph(Graph& g, NodeId input, NodeId output, const SyntheticImageDataset& data,
+                        const TrainSchedule& sched) {
+  const auto [labels, loss] = loss_nodes(g, output);
+
+  Adam opt(g.params(), sched.beta1, sched.beta2);
+  opt.set_default_schedule(sched.weight_lr);
+  opt.set_group_schedule("weight", sched.weight_lr);
+  opt.set_group_schedule("bias", sched.weight_lr);
+  opt.set_group_schedule("bn", sched.weight_lr);
+  opt.set_group_schedule("threshold", sched.threshold_lr);
+
+  // Thresholds that are currently trainable participate in the freezing
+  // schedule (§5.2).
+  std::vector<ParamPtr> live_thresholds;
+  for (const auto& p : g.params()) {
+    if (p->group == "threshold" && p->trainable && p->value.numel() == 1) {
+      live_thresholds.push_back(p);
+    }
+  }
+  std::unique_ptr<ThresholdFreezer> freezer;
+  if (sched.threshold_freeze_start >= 0 && !live_thresholds.empty()) {
+    freezer = std::make_unique<ThresholdFreezer>(live_thresholds, sched.threshold_freeze_start,
+                                                 sched.threshold_freeze_interval);
+  }
+
+  std::vector<BatchNormOp*> bns;
+  for (NodeId id : g.nodes_of_type("BatchNorm")) {
+    bns.push_back(dynamic_cast<BatchNormOp*>(g.node(id).op.get()));
+  }
+
+  Rng rng(sched.seed);
+  TrainResult res;
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, data.train_size() / sched.batch_size);
+  const int64_t total_steps =
+      std::max<int64_t>(1, static_cast<int64_t>(std::lround(sched.epochs * steps_per_epoch)));
+
+  std::map<std::string, Tensor> best_state;
+  double best_top1 = -1.0;
+
+  auto validate = [&](int64_t step) {
+    const Accuracy acc = evaluate_graph(g, input, output, data);
+    const float epoch = static_cast<float>(step + 1) / static_cast<float>(steps_per_epoch);
+    res.val_top1_history.push_back(acc.top1());
+    res.val_epoch_history.push_back(epoch);
+    if (acc.top1() > best_top1) {
+      best_top1 = acc.top1();
+      res.best_top1 = acc.top1();
+      res.best_top5 = acc.top5();
+      res.best_epoch = epoch;
+      best_state = g.state_dict();
+    }
+    g.set_training(true);
+  };
+
+  g.set_training(true);
+  std::vector<int64_t> order = data.epoch_order(rng);
+  int64_t cursor = 0;
+  for (int64_t step = 0; step < total_steps; ++step) {
+    if (cursor + sched.batch_size > static_cast<int64_t>(order.size())) {
+      order = data.epoch_order(rng);
+      cursor = 0;
+    }
+    Batch b = data.train_batch(
+        std::span(order.data() + cursor, static_cast<size_t>(sched.batch_size)));
+    cursor += sched.batch_size;
+
+    if (sched.bn_freeze_after_steps >= 0 && step == sched.bn_freeze_after_steps) {
+      for (auto* bn : bns) bn->freeze_stats(true);
+    }
+
+    g.zero_grad();
+    const Tensor l = g.run({{input, b.images}, {labels, b.labels}}, loss);
+    res.final_loss = l.item();
+    g.backward(loss);
+    opt.step();
+    if (freezer) freezer->observe(step);
+    if (sched.on_step) sched.on_step(step);
+
+    if (sched.validate_every > 0 && (step + 1) % sched.validate_every == 0) validate(step);
+  }
+  if (res.val_top1_history.empty() || sched.validate_every <= 0 ||
+      total_steps % sched.validate_every != 0) {
+    validate(total_steps - 1);
+  }
+  res.steps = total_steps;
+
+  if (sched.restore_best && !best_state.empty()) g.load_state_dict(best_state);
+  return res;
+}
+
+}  // namespace tqt

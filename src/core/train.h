@@ -1,0 +1,66 @@
+// Training and evaluation loops shared by pretraining, quantized retraining
+// and the experiment pipeline. Mirrors the paper's recipe (§5.2): Adam for
+// both weights and thresholds with separate exponential-staircase schedules,
+// BN statistic freezing after an initial phase, incremental threshold
+// freezing, and periodic validation with best-checkpoint tracking
+// (Appendix D discusses the best-vs-mean validation bias).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "nn/graph.h"
+#include "opt/optimizer.h"
+
+namespace tqt {
+
+struct TrainSchedule {
+  int64_t batch_size = 32;
+  float epochs = 3.0f;
+  LrSchedule weight_lr = LrSchedule::constant(1e-3f);
+  LrSchedule threshold_lr = LrSchedule::constant(1e-2f);
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  /// Validate every N steps (0 = only at the end). Best checkpoint kept.
+  int64_t validate_every = 32;
+  /// Freeze BN moving statistics after this many steps (-1 = never).
+  int64_t bn_freeze_after_steps = -1;
+  /// Incremental threshold freezing (§5.2); -1 disables.
+  int64_t threshold_freeze_start = -1;
+  int64_t threshold_freeze_interval = 50;
+  uint64_t seed = 7;
+  /// Restore the best checkpoint into the graph after training.
+  bool restore_best = true;
+  /// Optional observer invoked after every optimizer step (threshold
+  /// trajectory recording for Figure 6, custom logging, ...).
+  std::function<void(int64_t step)> on_step;
+};
+
+struct TrainResult {
+  double best_top1 = 0.0;
+  double best_top5 = 0.0;
+  float best_epoch = 0.0f;  ///< epoch at which the best checkpoint occurred
+  std::vector<double> val_top1_history;
+  std::vector<float> val_epoch_history;
+  double final_loss = 0.0;
+  int64_t steps = 0;
+};
+
+/// Top-1/top-5 over the full validation split. Runs in eval mode and
+/// restores the graph's previous mode.
+Accuracy evaluate_graph(Graph& g, NodeId input, NodeId output, const SyntheticImageDataset& data,
+                        int64_t batch = 64);
+
+/// Train with softmax cross-entropy on `output` (adds labels/loss nodes on
+/// first use, reusing them if already present). Which parameters train is
+/// controlled by their `trainable` flags — set thresholds non-trainable for
+/// wt-only retraining.
+TrainResult train_graph(Graph& g, NodeId input, NodeId output, const SyntheticImageDataset& data,
+                        const TrainSchedule& sched);
+
+}  // namespace tqt

@@ -1,0 +1,154 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt {
+
+namespace {
+constexpr float kTau = 6.28318530717958647692f;
+
+/// Parameters of one additive image component.
+struct Component {
+  bool is_blob = false;
+  // Grating: spatial frequency (cycles over the image) and orientation.
+  float fx = 0.0f, fy = 0.0f, phase = 0.0f;
+  // Blob: center (fractional coordinates) and radius.
+  float cx = 0.5f, cy = 0.5f, radius = 0.25f;
+  // Per-channel color weights.
+  float color[3] = {0.0f, 0.0f, 0.0f};
+};
+
+struct ClassPattern {
+  std::vector<Component> components;
+};
+
+ClassPattern make_class_pattern(Rng rng, int64_t channels) {
+  ClassPattern p;
+  const int n_components = 4;
+  for (int k = 0; k < n_components; ++k) {
+    Component c;
+    c.is_blob = (k >= 2);  // two gratings + two blobs per class
+    if (c.is_blob) {
+      c.cx = rng.uniform(0.15f, 0.85f);
+      c.cy = rng.uniform(0.15f, 0.85f);
+      c.radius = rng.uniform(0.12f, 0.3f);
+    } else {
+      const float freq = rng.uniform(1.0f, 3.5f);
+      const float theta = rng.uniform(0.0f, kTau);
+      c.fx = freq * std::cos(theta);
+      c.fy = freq * std::sin(theta);
+      c.phase = rng.uniform(0.0f, kTau);
+    }
+    for (int64_t ch = 0; ch < channels && ch < 3; ++ch) c.color[ch] = rng.uniform(-1.0f, 1.0f);
+    p.components.push_back(c);
+  }
+  return p;
+}
+
+/// Render one sample of a class pattern into `out` (size S*S*C), applying a
+/// circular shift, amplitude jitter and additive noise.
+void render(const ClassPattern& pat, int64_t s, int64_t channels, Rng& rng, float noise,
+            float* out) {
+  const float dx = rng.uniform(0.0f, 1.0f);  // fractional circular shift
+  const float dy = rng.uniform(0.0f, 1.0f);
+  const float amp = rng.uniform(0.8f, 1.2f);
+  for (int64_t y = 0; y < s; ++y) {
+    for (int64_t x = 0; x < s; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(s) + dx;
+      const float v = static_cast<float>(y) / static_cast<float>(s) + dy;
+      float value[3] = {0.0f, 0.0f, 0.0f};
+      for (const Component& c : pat.components) {
+        float a;
+        if (c.is_blob) {
+          // Wrap-around distance for shift invariance.
+          float du = std::fabs(u - std::floor(u) - c.cx);
+          float dv = std::fabs(v - std::floor(v) - c.cy);
+          du = std::min(du, 1.0f - du);
+          dv = std::min(dv, 1.0f - dv);
+          const float d2 = du * du + dv * dv;
+          a = std::exp(-d2 / (2.0f * c.radius * c.radius));
+        } else {
+          a = std::sin(kTau * (c.fx * u + c.fy * v) + c.phase);
+        }
+        for (int64_t ch = 0; ch < channels && ch < 3; ++ch) value[ch] += a * c.color[ch];
+      }
+      float* px = out + (y * s + x) * channels;
+      for (int64_t ch = 0; ch < channels; ++ch) {
+        const float base = ch < 3 ? value[ch] : 0.0f;
+        px[ch] = amp * base + rng.normal(0.0f, noise);
+      }
+    }
+  }
+}
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(DatasetConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_classes < 2) throw std::invalid_argument("dataset: need >= 2 classes");
+  if (cfg_.image_size < 4) throw std::invalid_argument("dataset: image_size too small");
+  Rng master(cfg_.seed);
+  std::vector<ClassPattern> patterns;
+  patterns.reserve(static_cast<size_t>(cfg_.num_classes));
+  for (int64_t c = 0; c < cfg_.num_classes; ++c) {
+    patterns.push_back(make_class_pattern(master.fork(1000 + static_cast<uint64_t>(c)), cfg_.channels));
+  }
+  const int64_t pixels = cfg_.image_size * cfg_.image_size * cfg_.channels;
+  auto fill_split = [&](int64_t count, uint64_t stream, std::vector<float>& images,
+                        std::vector<float>& labels) {
+    Rng rng = master.fork(stream);
+    images.resize(static_cast<size_t>(count * pixels));
+    labels.resize(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t cls = i % cfg_.num_classes;  // balanced splits
+      labels[static_cast<size_t>(i)] = static_cast<float>(cls);
+      render(patterns[static_cast<size_t>(cls)], cfg_.image_size, cfg_.channels, rng, cfg_.noise,
+             images.data() + i * pixels);
+    }
+  };
+  fill_split(cfg_.train_size, 1, train_images_, train_labels_);
+  fill_split(cfg_.val_size, 2, val_images_, val_labels_);
+}
+
+Batch SyntheticImageDataset::gather(const std::vector<float>& images,
+                                    const std::vector<float>& labels,
+                                    std::span<const int64_t> indices) const {
+  const int64_t pixels = cfg_.image_size * cfg_.image_size * cfg_.channels;
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch b{Tensor({n, cfg_.image_size, cfg_.image_size, cfg_.channels}), Tensor({n})};
+  const int64_t count = static_cast<int64_t>(labels.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = ((indices[static_cast<size_t>(i)] % count) + count) % count;
+    const float* src = images.data() + idx * pixels;
+    float* dst = b.images.data() + i * pixels;
+    for (int64_t j = 0; j < pixels; ++j) dst[j] = src[j];
+    b.labels[i] = labels[static_cast<size_t>(idx)];
+  }
+  return b;
+}
+
+Batch SyntheticImageDataset::train_batch(std::span<const int64_t> indices) const {
+  return gather(train_images_, train_labels_, indices);
+}
+
+Batch SyntheticImageDataset::val_batch(int64_t first, int64_t count) const {
+  if (first < 0 || first + count > cfg_.val_size) throw std::out_of_range("val_batch range");
+  std::vector<int64_t> idx(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) idx[static_cast<size_t>(i)] = first + i;
+  return gather(val_images_, val_labels_, idx);
+}
+
+Tensor SyntheticImageDataset::calibration_batch(int64_t count, uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<int64_t> idx(static_cast<size_t>(count));
+  for (auto& i : idx) i = rng.uniform_int(0, cfg_.val_size - 1);
+  return gather(val_images_, val_labels_, idx).images;
+}
+
+std::vector<int64_t> SyntheticImageDataset::epoch_order(Rng& rng) const {
+  std::vector<int64_t> order(static_cast<size_t>(cfg_.train_size));
+  for (int64_t i = 0; i < cfg_.train_size; ++i) order[static_cast<size_t>(i)] = i;
+  rng.shuffle(order);
+  return order;
+}
+
+}  // namespace tqt

@@ -1,0 +1,71 @@
+// Synthetic image-classification dataset — the ImageNet stand-in.
+//
+// The paper evaluates quantization dynamics on ImageNet CNNs. This library
+// cannot ship ImageNet, so it substitutes a deterministic procedural dataset
+// (see DESIGN.md §2): each class is a fixed mixture of oriented sinusoidal
+// gratings and soft blobs (parameters drawn from a per-class RNG stream);
+// each sample applies a random circular shift, amplitude jitter and additive
+// Gaussian noise. The task is learnable to high accuracy by small CNNs yet
+// non-trivial (multi-scale features, color structure, noise), which is what
+// the quantization experiments need: realistic conv/BN/ReLU stacks trained
+// with real gradients, and calibration data with smooth, long-tailed
+// activation distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+struct DatasetConfig {
+  int64_t num_classes = 10;
+  int64_t image_size = 16;   ///< square images, NHWC
+  int64_t channels = 3;
+  int64_t train_size = 2048;
+  int64_t val_size = 512;
+  float noise = 0.25f;       ///< additive Gaussian sigma
+  uint64_t seed = 2020;
+};
+
+/// One minibatch: images [N, S, S, C], labels [N] (class index as float).
+struct Batch {
+  Tensor images;
+  Tensor labels;
+};
+
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(DatasetConfig cfg);
+
+  const DatasetConfig& config() const { return cfg_; }
+  int64_t train_size() const { return cfg_.train_size; }
+  int64_t val_size() const { return cfg_.val_size; }
+
+  /// Batch of training samples by index (indices modulo train size).
+  Batch train_batch(std::span<const int64_t> indices) const;
+
+  /// Batch of validation samples [first, first+count).
+  Batch val_batch(int64_t first, int64_t count) const;
+
+  /// A calibration set of `count` images sampled without labels from the
+  /// validation split (paper §5.1: a batch of 50 unlabeled images randomly
+  /// sampled from the validation set).
+  Tensor calibration_batch(int64_t count, uint64_t seed = 50) const;
+
+  /// Shuffled index order for one training epoch.
+  std::vector<int64_t> epoch_order(Rng& rng) const;
+
+ private:
+  DatasetConfig cfg_;
+  std::vector<float> train_images_, val_images_;
+  std::vector<float> train_labels_, val_labels_;
+
+  Batch gather(const std::vector<float>& images, const std::vector<float>& labels,
+               std::span<const int64_t> indices) const;
+};
+
+}  // namespace tqt

@@ -1,0 +1,484 @@
+#include "fixedpoint/engine.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "graph_opt/quantize_pass.h"
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "quant/fake_quant.h"
+
+namespace tqt {
+
+namespace {
+
+int64_t saturate(int64_t v, int64_t lo, int64_t hi) { return std::min(std::max(v, lo), hi); }
+
+/// Rescale an integer value from exponent `from` to exponent `to`:
+/// right shift with round-half-to-even when `to > from`, exact left shift
+/// otherwise. This is Eq. (16) of the paper — the whole point of power-of-2
+/// scale-factors.
+int64_t rescale(int64_t v, int from, int to) {
+  if (to >= from) return shift_round_half_to_even(v, to - from);
+  return v << (from - to);
+}
+
+struct ConstEntry {
+  std::vector<int64_t> data;
+  Shape shape;
+  int exponent = 0;
+};
+
+}  // namespace
+
+FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quantized_output) {
+  FixedPointProgram prog;
+  std::map<NodeId, int> reg_of;          // value-producing node -> register
+  std::map<NodeId, int> reg_exponent;    // compile-time exponent per register holder
+  std::map<NodeId, ConstEntry> consts;   // Variable / weight-quant nodes
+
+  auto new_reg = [&]() { return prog.n_registers++; };
+
+  const auto order = g.topo_order({quantized_output});
+  for (NodeId id : order) {
+    Node& n = g.node(id);
+    const std::string type = n.op->type();
+
+    if (type == "Input") {
+      if (id != input_node) throw std::runtime_error("fp compile: unexpected extra input " + n.name);
+      const int r = new_reg();
+      reg_of[id] = r;
+      prog.input_register = r;
+      continue;
+    }
+
+    if (type == "Variable") {
+      auto* var = dynamic_cast<VariableOp*>(n.op.get());
+      ConstEntry e;
+      e.shape = var->param()->value.shape();
+      e.exponent = 0;  // raw float constant; must pass through a FakeQuant
+      e.data.clear();
+      // Stash the raw values scaled by nothing; the consuming FakeQuant
+      // quantizes. Store floats bit-cast? Keep a parallel float copy instead.
+      consts[id] = std::move(e);
+      continue;
+    }
+
+    if (type == "FakeQuant") {
+      auto& q = fake_quant_at(g, id);
+      if (!q.enabled()) throw std::runtime_error("fp compile: disabled quantizer " + n.name);
+      if (q.per_channel() || !q.power_of_2()) {
+        throw std::runtime_error("fp compile: only per-tensor power-of-2 quantizers export");
+      }
+      const NodeId src = n.inputs[0];
+      const int e = q.exponent();
+      const int64_t lo = q.bits().qmin();
+      const int64_t hi = q.bits().qmax();
+
+      if (g.node(src).op->type() == "Variable") {
+        // Quantize the constant now.
+        auto* var = dynamic_cast<VariableOp*>(g.node(src).op.get());
+        const Tensor& w = var->param()->value;
+        ConstEntry e2;
+        e2.shape = w.shape();
+        e2.exponent = e;
+        e2.data.resize(static_cast<size_t>(w.numel()));
+        const float s = std::exp2(static_cast<float>(e));
+        for (int64_t i = 0; i < w.numel(); ++i) {
+          e2.data[static_cast<size_t>(i)] =
+              saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
+        }
+        consts[id] = std::move(e2);
+        continue;
+      }
+
+      FpInstr instr;
+      instr.debug_name = n.name;
+      instr.output = new_reg();
+      instr.out_exponent = e;
+      instr.clamp_lo = lo;
+      instr.clamp_hi = hi;
+      if (src == input_node) {
+        instr.kind = FpInstr::Kind::kQuantizeInput;
+        instr.inputs = {reg_of.at(src)};
+      } else {
+        instr.kind = FpInstr::Kind::kRequant;
+        instr.inputs = {reg_of.at(src)};
+      }
+      reg_of[id] = instr.output;
+      reg_exponent[id] = e;
+      prog.instrs_.push_back(std::move(instr));
+      continue;
+    }
+
+    if (type == "Conv2D" || type == "DepthwiseConv2D" || type == "Dense") {
+      const NodeId xsrc = n.inputs[0];
+      const NodeId wsrc = n.inputs[1];
+      auto wit = consts.find(wsrc);
+      if (wit == consts.end() || wit->second.data.empty()) {
+        throw std::runtime_error("fp compile: weights of " + n.name + " are not quantized");
+      }
+      FpInstr instr;
+      instr.debug_name = n.name;
+      instr.inputs = {reg_of.at(xsrc)};
+      instr.output = new_reg();
+      instr.const_data = wit->second.data;
+      instr.const_shape = wit->second.shape;
+      instr.const_exponent = wit->second.exponent;
+      if (type == "Conv2D") {
+        instr.kind = FpInstr::Kind::kConv2d;
+        instr.geom = dynamic_cast<Conv2dOp*>(n.op.get())->geom();
+      } else if (type == "DepthwiseConv2D") {
+        instr.kind = FpInstr::Kind::kDepthwise;
+        instr.geom = dynamic_cast<DepthwiseConv2dOp*>(n.op.get())->geom();
+      } else {
+        instr.kind = FpInstr::Kind::kDense;
+      }
+      reg_of[id] = instr.output;
+      reg_exponent[id] = reg_exponent.at(xsrc) + wit->second.exponent;
+      prog.instrs_.push_back(std::move(instr));
+      continue;
+    }
+
+    if (type == "BiasAdd") {
+      const NodeId xsrc = n.inputs[0];
+      const NodeId bsrc = n.inputs[1];
+      auto bit = consts.find(bsrc);
+      if (bit == consts.end() || bit->second.data.empty()) {
+        throw std::runtime_error("fp compile: bias of " + n.name + " is not quantized");
+      }
+      if (bit->second.exponent != reg_exponent.at(xsrc)) {
+        throw std::runtime_error("fp compile: bias scale of " + n.name +
+                                 " is not merged with the accumulator scale");
+      }
+      FpInstr instr;
+      instr.debug_name = n.name;
+      instr.kind = FpInstr::Kind::kBiasAdd;
+      instr.inputs = {reg_of.at(xsrc)};
+      instr.output = new_reg();
+      instr.const_data = bit->second.data;
+      instr.const_shape = bit->second.shape;
+      instr.const_exponent = bit->second.exponent;
+      reg_of[id] = instr.output;
+      reg_exponent[id] = reg_exponent.at(xsrc);
+      prog.instrs_.push_back(std::move(instr));
+      continue;
+    }
+
+    FpInstr instr;
+    instr.debug_name = n.name;
+    instr.output = new_reg();
+    for (NodeId in : n.inputs) instr.inputs.push_back(reg_of.at(in));
+    const int e_in = reg_exponent.count(n.inputs[0]) ? reg_exponent.at(n.inputs[0]) : 0;
+
+    if (type == "Relu") {
+      instr.kind = FpInstr::Kind::kRelu;
+      reg_exponent[id] = e_in;
+    } else if (type == "Relu6") {
+      instr.kind = FpInstr::Kind::kRelu6;
+      if (e_in > 1) throw std::runtime_error("fp compile: relu6 bound 6 not on grid at " + n.name);
+      instr.clamp_lo = 0;
+      instr.clamp_hi = int64_t{3} << (1 - e_in);  // 6 * 2^-e
+      reg_exponent[id] = e_in;
+    } else if (type == "LeakyRelu") {
+      auto* lop = dynamic_cast<LeakyReluOp*>(n.op.get());
+      const float alpha = lop->alpha();
+      const int e_alpha = std::ilogb(alpha) - 14;
+      const int64_t q_alpha = static_cast<int64_t>(round_half_to_even(alpha * std::exp2(-e_alpha)));
+      instr.kind = FpInstr::Kind::kLeakyRelu;
+      instr.alpha_q = q_alpha;
+      instr.alpha_exponent = e_alpha;
+      reg_exponent[id] = e_in + e_alpha;
+    } else if (type == "MaxPool") {
+      instr.kind = FpInstr::Kind::kMaxPool;
+      instr.geom = dynamic_cast<MaxPoolOp*>(n.op.get())->geom();
+      reg_exponent[id] = e_in;
+    } else if (type == "EltwiseAdd") {
+      if (reg_exponent.at(n.inputs[0]) != reg_exponent.at(n.inputs[1])) {
+        throw std::runtime_error("fp compile: eltwise-add scales not merged at " + n.name);
+      }
+      instr.kind = FpInstr::Kind::kEltwiseAdd;
+      reg_exponent[id] = e_in;
+    } else if (type == "Concat") {
+      for (NodeId in : n.inputs) {
+        if (reg_exponent.at(in) != e_in) {
+          throw std::runtime_error("fp compile: concat scales not merged at " + n.name);
+        }
+      }
+      instr.kind = FpInstr::Kind::kConcat;
+      reg_exponent[id] = e_in;
+    } else if (type == "Flatten") {
+      instr.kind = FpInstr::Kind::kFlatten;
+      reg_exponent[id] = e_in;
+    } else {
+      throw std::runtime_error("fp compile: unsupported op " + type + " at " + n.name);
+    }
+    reg_of[id] = instr.output;
+    prog.instrs_.push_back(std::move(instr));
+  }
+
+  prog.output_register = reg_of.at(quantized_output);
+  return prog;
+}
+
+namespace {
+
+void run_conv(const FpInstr& in, const IntTensor& x, IntTensor& y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], cin = x.shape[3];
+  const int64_t kh = in.const_shape[0], kw = in.const_shape[1], cout = in.const_shape[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  y.shape = {n, oh, ow, cout};
+  y.data.assign(static_cast<size_t>(n * oh * ow * cout), 0);
+  y.exponent = x.exponent + in.const_exponent;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * cout;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const int64_t* xi = x.data.data() + ((b * h + iy) * w + ix) * cin;
+            const int64_t* wk = in.const_data.data() + (ky * kw + kx) * cin * cout;
+            for (int64_t c = 0; c < cin; ++c) {
+              const int64_t xv = xi[c];
+              if (xv == 0) continue;
+              const int64_t* wc = wk + c * cout;
+              for (int64_t o = 0; o < cout; ++o) out[o] += xv * wc[o];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void run_depthwise(const FpInstr& in, const IntTensor& x, IntTensor& y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], c = x.shape[3];
+  const int64_t kh = in.const_shape[0], kw = in.const_shape[1];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  y.shape = {n, oh, ow, c};
+  y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
+  y.exponent = x.exponent + in.const_exponent;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const int64_t* xi = x.data.data() + ((b * h + iy) * w + ix) * c;
+            const int64_t* wk = in.const_data.data() + (ky * kw + kx) * c;
+            for (int64_t ch = 0; ch < c; ++ch) out[ch] += xi[ch] * wk[ch];
+          }
+        }
+      }
+    }
+  }
+}
+
+void run_dense(const FpInstr& in, const IntTensor& x, IntTensor& y) {
+  const int64_t n = x.shape[0], k = x.shape[1], m = in.const_shape[1];
+  y.shape = {n, m};
+  y.data.assign(static_cast<size_t>(n * m), 0);
+  y.exponent = x.exponent + in.const_exponent;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t* out = y.data.data() + i * m;
+    const int64_t* xi = x.data.data() + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const int64_t xv = xi[kk];
+      if (xv == 0) continue;
+      const int64_t* wr = in.const_data.data() + kk * m;
+      for (int64_t j = 0; j < m; ++j) out[j] += xv * wr[j];
+    }
+  }
+}
+
+void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], c = x.shape[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  y.shape = {n, oh, ow, c};
+  y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
+  y.exponent = x.exponent;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          bool seen = false;
+          int64_t best = 0;
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              const int64_t v = x.data[static_cast<size_t>(((b * h + iy) * w + ix) * c + ch)];
+              if (!seen || v > best) {
+                best = v;
+                seen = true;
+              }
+            }
+          }
+          out[ch] = seen ? best : 0;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
+  std::vector<IntTensor> regs(static_cast<size_t>(n_registers));
+  // The input register conceptually holds the raw real input; we keep the
+  // float tensor aside and materialize it at the kQuantizeInput instruction.
+  for (const FpInstr& in : instrs_) {
+    IntTensor& y = regs[static_cast<size_t>(in.output)];
+    switch (in.kind) {
+      case FpInstr::Kind::kQuantizeInput: {
+        const float s = std::exp2(static_cast<float>(in.out_exponent));
+        y.shape = input.shape();
+        y.exponent = in.out_exponent;
+        y.data.resize(static_cast<size_t>(input.numel()));
+        for (int64_t i = 0; i < input.numel(); ++i) {
+          y.data[static_cast<size_t>(i)] = saturate(
+              static_cast<int64_t>(round_half_to_even(input[i] / s)), in.clamp_lo, in.clamp_hi);
+        }
+        break;
+      }
+      case FpInstr::Kind::kRequant: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        y.shape = x.shape;
+        y.exponent = in.out_exponent;
+        y.data.resize(x.data.size());
+        for (size_t i = 0; i < x.data.size(); ++i) {
+          y.data[i] = saturate(rescale(x.data[i], x.exponent, in.out_exponent), in.clamp_lo,
+                               in.clamp_hi);
+        }
+        break;
+      }
+      case FpInstr::Kind::kConv2d:
+        run_conv(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        break;
+      case FpInstr::Kind::kDepthwise:
+        run_depthwise(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        break;
+      case FpInstr::Kind::kDense:
+        run_dense(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        break;
+      case FpInstr::Kind::kBiasAdd: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        const int64_t channels = in.const_shape[0];
+        y.shape = x.shape;
+        y.exponent = x.exponent;
+        y.data.resize(x.data.size());
+        for (size_t i = 0; i < x.data.size(); ++i) {
+          y.data[i] = x.data[i] + in.const_data[i % static_cast<size_t>(channels)];
+        }
+        break;
+      }
+      case FpInstr::Kind::kRelu: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        y = x;
+        for (auto& v : y.data) v = std::max<int64_t>(v, 0);
+        break;
+      }
+      case FpInstr::Kind::kRelu6: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        y = x;
+        for (auto& v : y.data) v = saturate(v, in.clamp_lo, in.clamp_hi);
+        break;
+      }
+      case FpInstr::Kind::kLeakyRelu: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        y.shape = x.shape;
+        y.exponent = x.exponent + in.alpha_exponent;
+        y.data.resize(x.data.size());
+        const int lift = -in.alpha_exponent;  // alpha exponents are negative
+        for (size_t i = 0; i < x.data.size(); ++i) {
+          const int64_t aligned = x.data[i] << lift;       // x at the product scale
+          const int64_t scaled = x.data[i] * in.alpha_q;   // alpha * x, exact
+          y.data[i] = std::max(aligned, scaled);
+        }
+        break;
+      }
+      case FpInstr::Kind::kMaxPool:
+        run_maxpool(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        break;
+      case FpInstr::Kind::kEltwiseAdd: {
+        const IntTensor& a = regs[static_cast<size_t>(in.inputs[0])];
+        const IntTensor& b = regs[static_cast<size_t>(in.inputs[1])];
+        y.shape = a.shape;
+        y.exponent = a.exponent;
+        y.data.resize(a.data.size());
+        for (size_t i = 0; i < a.data.size(); ++i) y.data[i] = a.data[i] + b.data[i];
+        break;
+      }
+      case FpInstr::Kind::kConcat: {
+        const IntTensor& first = regs[static_cast<size_t>(in.inputs[0])];
+        Shape out_shape = first.shape;
+        int64_t total_c = 0;
+        for (int r : in.inputs) total_c += regs[static_cast<size_t>(r)].shape.back();
+        out_shape.back() = total_c;
+        y.shape = out_shape;
+        y.exponent = first.exponent;
+        y.data.resize(static_cast<size_t>(numel_of(out_shape)));
+        const int64_t rows = numel_of(out_shape) / total_c;
+        int64_t offset = 0;
+        for (int r : in.inputs) {
+          const IntTensor& src = regs[static_cast<size_t>(r)];
+          const int64_t c = src.shape.back();
+          for (int64_t row = 0; row < rows; ++row) {
+            for (int64_t j = 0; j < c; ++j) {
+              y.data[static_cast<size_t>(row * total_c + offset + j)] =
+                  src.data[static_cast<size_t>(row * c + j)];
+            }
+          }
+          offset += c;
+        }
+        break;
+      }
+      case FpInstr::Kind::kFlatten: {
+        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
+        y = x;
+        y.shape = {x.shape[0], x.numel() / x.shape[0]};
+        break;
+      }
+    }
+  }
+  return regs[static_cast<size_t>(output_register)];
+}
+
+Tensor FixedPointProgram::run(const Tensor& input) const {
+  const IntTensor raw = run_raw(input);
+  Tensor out(raw.shape);
+  const float s = std::exp2(static_cast<float>(raw.exponent));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(raw.data[static_cast<size_t>(i)]) * s;
+  }
+  return out;
+}
+
+int64_t FixedPointProgram::parameter_count() const {
+  int64_t n = 0;
+  for (const auto& in : instrs_) n += static_cast<int64_t>(in.const_data.size());
+  return n;
+}
+
+}  // namespace tqt

@@ -1,0 +1,110 @@
+// Integer-only fixed-point inference engine — the deployment target the
+// paper's Graffitist inference graphs map onto ("scale factors and quantized
+// weights from TQT can be ported directly onto the target of choice"; the
+// paper verified its CPU inference graphs bit-accurate to an FPGA
+// implementation, §4.2). This module substitutes for that FPGA: a quantized
+// inference graph is *compiled* into a linear program of integer instructions
+// (int8/int16 tensors, int32+ accumulators, power-of-2 rescales implemented
+// as bit-shifts with round-half-to-even), and the test suite asserts bit
+// exactness against the float fake-quant graph.
+//
+// Representation: every live value is an IntTensor holding int64 lanes (the
+// *logical* width — 8/16 bits — is enforced by saturation) together with the
+// power-of-2 exponent e such that real = data * 2^e.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+/// A tensor of integers at a power-of-2 scale: real value = data[i] * 2^e.
+struct IntTensor {
+  Shape shape;
+  std::vector<int64_t> data;
+  int exponent = 0;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+};
+
+/// One instruction of the compiled program. Register file semantics: each
+/// instruction reads `inputs` registers and writes register `output`.
+struct FpInstr {
+  enum class Kind {
+    kQuantizeInput,  ///< real input -> int8 at `out_exponent`
+    kConv2d,         ///< int8 x const int8 weights -> int32 accumulator
+    kDepthwise,
+    kDense,
+    kBiasAdd,        ///< add const integer bias (same exponent)
+    kRequant,        ///< rescale by bit-shift (round-half-to-even), saturate
+    kRelu,
+    kRelu6,
+    kLeakyRelu,      ///< alpha as integer multiplier at its own exponent
+    kMaxPool,
+    kEltwiseAdd,
+    kConcat,
+    kFlatten,
+  };
+
+  Kind kind{};
+  std::vector<int> inputs;
+  int output = -1;
+
+  Conv2dGeom geom{};             // conv / pool geometry
+  std::vector<int64_t> const_data;  // quantized weights or bias
+  Shape const_shape;
+  int const_exponent = 0;
+
+  int out_exponent = 0;          // requant / quantize target scale
+  int64_t clamp_lo = 0, clamp_hi = 0;  // saturation bounds (requant, relu6)
+
+  int64_t alpha_q = 0;           // leaky relu: slope = alpha_q * 2^alpha_exponent
+  int alpha_exponent = 0;
+
+  std::string debug_name;        // originating graph node
+};
+
+/// Compiled integer program.
+class FixedPointProgram {
+ public:
+  /// Execute on a real-valued NHWC input batch; returns the de-quantized
+  /// network output (bit-identical to the fake-quant graph by construction).
+  Tensor run(const Tensor& input) const;
+
+  /// Execute and return the raw integer output plus its exponent.
+  IntTensor run_raw(const Tensor& input) const;
+
+  int64_t instruction_count() const { return static_cast<int64_t>(instrs_.size()); }
+  const std::vector<FpInstr>& instructions() const { return instrs_; }
+
+  /// Total number of stored quantized parameters (weights + biases).
+  int64_t parameter_count() const;
+
+  /// Serialize the program (instructions + quantized weights + scales) to a
+  /// binary file — the artifact that would be shipped to the fixed-point
+  /// target ("scale factors and quantized weights from TQT can be ported
+  /// directly", paper §4.2). Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Load a program previously written by save(); throws on malformed input.
+  static FixedPointProgram load(const std::string& path);
+
+ private:
+  friend FixedPointProgram compile_fixed_point(Graph&, NodeId, NodeId);
+  std::vector<FpInstr> instrs_;
+  int n_registers = 0;
+  int input_register = -1;
+  int output_register = -1;
+};
+
+/// Compile a quantized inference graph (output of quantize_pass with
+/// emulate_intermediates, quantizers enabled, eval mode) into a fixed-point
+/// program. `quantized_output` is QuantizePassResult::quantized_output.
+FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quantized_output);
+
+}  // namespace tqt

@@ -1,0 +1,148 @@
+// Binary (de)serialization of compiled fixed-point programs.
+//
+// Format (little-endian host order; a deployment artifact for one host
+// family, not an interchange format):
+//   magic "TQTP" | u32 version | i32 n_registers | i32 input | i32 output |
+//   u64 instr_count | instructions...
+// Each instruction stores its kind, register ids, geometry, constants and
+// scale/clamp metadata; see FpInstr.
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "fixedpoint/engine.h"
+
+namespace tqt {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'Q', 'T', 'P'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void w(std::ofstream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T r(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("fixed-point program: truncated file");
+  return v;
+}
+
+void w_string(std::ofstream& os, const std::string& s) {
+  w(os, static_cast<uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string r_string(std::ifstream& is) {
+  const auto n = r<uint64_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("fixed-point program: absurd string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("fixed-point program: truncated string");
+  return s;
+}
+
+template <typename T>
+void w_vec(std::ofstream& os, const std::vector<T>& v) {
+  w(os, static_cast<uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> r_vec(std::ifstream& is) {
+  const auto n = r<uint64_t>(is);
+  if (n > (1ull << 28)) throw std::runtime_error("fixed-point program: absurd vector length");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is) throw std::runtime_error("fixed-point program: truncated vector");
+  return v;
+}
+}  // namespace
+
+void FixedPointProgram::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  os.write(kMagic, 4);
+  w(os, kVersion);
+  w(os, n_registers);
+  w(os, input_register);
+  w(os, output_register);
+  w(os, static_cast<uint64_t>(instrs_.size()));
+  for (const FpInstr& in : instrs_) {
+    w(os, static_cast<uint32_t>(in.kind));
+    w_vec(os, in.inputs);
+    w(os, in.output);
+    w(os, in.geom.kh);
+    w(os, in.geom.kw);
+    w(os, in.geom.stride_h);
+    w(os, in.geom.stride_w);
+    w(os, in.geom.pad_top);
+    w(os, in.geom.pad_bottom);
+    w(os, in.geom.pad_left);
+    w(os, in.geom.pad_right);
+    w_vec(os, in.const_data);
+    w_vec(os, in.const_shape);
+    w(os, in.const_exponent);
+    w(os, in.out_exponent);
+    w(os, in.clamp_lo);
+    w(os, in.clamp_hi);
+    w(os, in.alpha_q);
+    w(os, in.alpha_exponent);
+    w_string(os, in.debug_name);
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+FixedPointProgram FixedPointProgram::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("not a fixed-point program file: " + path);
+  }
+  if (r<uint32_t>(is) != kVersion) throw std::runtime_error("unsupported program version");
+  FixedPointProgram prog;
+  prog.n_registers = r<int>(is);
+  prog.input_register = r<int>(is);
+  prog.output_register = r<int>(is);
+  const auto count = r<uint64_t>(is);
+  if (count > (1u << 20)) throw std::runtime_error("fixed-point program: absurd instr count");
+  prog.instrs_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FpInstr in;
+    const auto kind = r<uint32_t>(is);
+    if (kind > static_cast<uint32_t>(FpInstr::Kind::kFlatten)) {
+      throw std::runtime_error("fixed-point program: bad instruction kind");
+    }
+    in.kind = static_cast<FpInstr::Kind>(kind);
+    in.inputs = r_vec<int>(is);
+    in.output = r<int>(is);
+    in.geom.kh = r<int64_t>(is);
+    in.geom.kw = r<int64_t>(is);
+    in.geom.stride_h = r<int64_t>(is);
+    in.geom.stride_w = r<int64_t>(is);
+    in.geom.pad_top = r<int64_t>(is);
+    in.geom.pad_bottom = r<int64_t>(is);
+    in.geom.pad_left = r<int64_t>(is);
+    in.geom.pad_right = r<int64_t>(is);
+    in.const_data = r_vec<int64_t>(is);
+    in.const_shape = r_vec<int64_t>(is);
+    in.const_exponent = r<int>(is);
+    in.out_exponent = r<int>(is);
+    in.clamp_lo = r<int64_t>(is);
+    in.clamp_hi = r<int64_t>(is);
+    in.alpha_q = r<int64_t>(is);
+    in.alpha_exponent = r<int>(is);
+    in.debug_name = r_string(is);
+    prog.instrs_.push_back(std::move(in));
+  }
+  return prog;
+}
+
+}  // namespace tqt

@@ -1,0 +1,430 @@
+#include "graph_opt/quantize_pass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "nn/ops_basic.h"
+#include "quant/asymmetric.h"
+#include "quant/calibrate.h"
+#include "tensor/ops.h"
+
+namespace tqt {
+
+FakeQuantOp& fake_quant_at(Graph& g, NodeId id) {
+  auto* q = dynamic_cast<FakeQuantOp*>(g.node(id).op.get());
+  if (!q) throw std::invalid_argument("node " + g.node(id).name + " is not a FakeQuant");
+  return *q;
+}
+
+namespace {
+
+bool is_compute(const std::string& type) {
+  return type == "Conv2D" || type == "DepthwiseConv2D" || type == "Dense";
+}
+
+/// Walk up through scale-preserving ops to the quantizer node that defines
+/// the scale of `id`'s output (a FakeQuant or AsymFakeQuant node).
+NodeId find_scale_source(Graph& g, NodeId id) {
+  for (int hops = 0; hops < 64; ++hops) {
+    const std::string type = g.node(id).op->type();
+    if (type == "FakeQuant" || type == "AsymFakeQuant") return id;
+    if (type == "MaxPool" || type == "Flatten" || type == "Identity" || type == "Concat") {
+      id = g.node(id).inputs[0];
+      continue;
+    }
+    throw std::runtime_error("quantize: output of node " + g.node(id).name +
+                             " (type " + type + ") is not quantized");
+  }
+  throw std::runtime_error("quantize: scale-source walk did not terminate");
+}
+
+/// Single consumer of `id` with the given type, or kNoNode.
+NodeId sole_consumer_of_type(Graph& g, NodeId id, std::initializer_list<const char*> types) {
+  const auto cons = g.consumers(id);
+  if (cons.size() != 1) return kNoNode;
+  const std::string& t = g.node(cons[0]).op->type();
+  for (const char* want : types)
+    if (t == want) return cons[0];
+  return kNoNode;
+}
+
+struct PassState {
+  Graph& g;
+  const QuantizeConfig& cfg;
+  QuantizePassResult& res;
+
+  /// Symmetric activation quantizer (the TQT scheme, or a clipped baseline).
+  std::unique_ptr<FakeQuantOp> sym_act_quant(QuantBits qb, const std::string& name,
+                                             ParamPtr shared = nullptr) const {
+    ParamPtr th = shared ? std::move(shared)
+                         : make_threshold(name + "/log2_t", 0.0f, cfg.trainable_thresholds);
+    return std::make_unique<FakeQuantOp>(qb, cfg.mode, std::move(th), cfg.power_of_2);
+  }
+
+  /// Activation quantizer per the configured scheme (asymmetric baseline or
+  /// symmetric). `shared` must match the scheme when supplied.
+  std::unique_ptr<Op> act_quant(QuantBits qb, const std::string& name,
+                                ParamPtr shared = nullptr) const {
+    if (cfg.asymmetric) {
+      ParamPtr range = shared ? std::move(shared)
+                              : std::make_shared<Param>(name + "/range", Tensor({2}, {-1.0f, 1.0f}),
+                                                        "threshold", cfg.trainable_thresholds);
+      return std::make_unique<AsymmetricFakeQuantOp>(qb.bits, std::move(range));
+    }
+    return sym_act_quant(qb, name, std::move(shared));
+  }
+
+  ParamPtr make_shared_act_param(const std::string& name) const {
+    if (cfg.asymmetric) {
+      return std::make_shared<Param>(name + "/range", Tensor({2}, {-1.0f, 1.0f}), "threshold",
+                                     cfg.trainable_thresholds);
+    }
+    return make_threshold(name + "/log2_t", 0.0f, cfg.trainable_thresholds);
+  }
+};
+
+/// Quantize one compute layer (conv / depthwise / dense) per §4.3.
+void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
+  Graph& g = st.g;
+  const std::string& name = g.node(c).name;
+
+  // --- Weight quantizer -----------------------------------------------------
+  const NodeId wvar_id = g.node(c).inputs[1];
+  auto* wvar = dynamic_cast<VariableOp*>(g.node(wvar_id).op.get());
+  if (!wvar) throw std::runtime_error("quantize: compute layer " + name + " has no Variable weight");
+  int wb = st.cfg.weight_bits;
+  // First/last layers and constant (reciprocal) weights stay at INT8 minimum.
+  if (wb < 8 && (min_int8_weights || !wvar->param()->trainable)) wb = 8;
+
+  NodeId qw_id;
+  if (st.cfg.asymmetric) {
+    auto range = std::make_shared<Param>(name + "/quant_w/range", Tensor({2}, {-1.0f, 1.0f}),
+                                         "threshold", st.cfg.trainable_thresholds);
+    qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
+                             std::make_unique<AsymmetricFakeQuantOp>(wb, std::move(range)));
+  } else if (st.cfg.per_channel_weights) {
+    const std::string& type = g.node(c).op->type();
+    const int64_t axis = type == "Conv2D" ? 3 : (type == "DepthwiseConv2D" ? 2 : 1);
+    const int64_t channels = wvar->param()->value.dim(axis);
+    auto ths = std::make_shared<Param>(name + "/quant_w/log2_t", Tensor({channels}), "threshold",
+                                       st.cfg.trainable_thresholds);
+    qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
+                             std::make_unique<FakeQuantOp>(QuantBits{wb, true}, std::move(ths),
+                                                           axis, st.cfg.power_of_2));
+  } else {
+    auto th = make_threshold(name + "/quant_w/log2_t", 0.0f, st.cfg.trainable_thresholds);
+    qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
+                             std::make_unique<FakeQuantOp>(QuantBits{wb, true}, st.cfg.mode,
+                                                           std::move(th), st.cfg.power_of_2));
+  }
+  st.res.weight_quants.push_back(qw_id);
+
+  // Validate the data input is quantized (throws otherwise).
+  (void)find_scale_source(g, g.node(c).inputs[0]);
+
+  // --- q16 accumulator + merged-scale bias (emulate_intermediates) ----------
+  NodeId cur = c;
+  ParamPtr acc_threshold;
+  if (st.cfg.emulate_intermediates) {
+    auto acc = st.sym_act_quant(int16_signed(), name + "/quant_acc");
+    acc_threshold = acc->threshold();
+    cur = g.insert_after(c, name + "/quant_acc", std::move(acc));
+    st.res.act_quants.push_back(cur);
+  }
+
+  // --- BiasAdd ---------------------------------------------------------------
+  if (NodeId bias_add = sole_consumer_of_type(g, cur, {"BiasAdd"}); bias_add != kNoNode) {
+    if (st.cfg.emulate_intermediates) {
+      const NodeId bvar = g.node(bias_add).inputs[1];
+      // Bias shares the accumulator's threshold (the q' merge of §4.3) so
+      // the fixed-point add happens at one scale.
+      const NodeId qb = g.insert_on_edge(
+          bvar, bias_add, name + "/quant_b",
+          st.sym_act_quant(int16_signed(), name + "/quant_b", acc_threshold));
+      st.res.act_quants.push_back(qb);
+    }
+    cur = bias_add;
+  }
+
+  // --- Output quantizer, delayed past ReLU/ReLU6, unsigned when delayed -----
+  const QuantBits out8{st.cfg.act_bits, true};
+  const QuantBits out8u{st.cfg.act_bits, false};
+  if (NodeId relu = sole_consumer_of_type(g, cur, {"Relu", "Relu6"}); relu != kNoNode) {
+    const NodeId qa = g.insert_after(relu, g.node(relu).name + "/quant",
+                                     st.act_quant(out8u, g.node(relu).name + "/quant"));
+    st.res.act_quants.push_back(qa);
+  } else if (NodeId leaky = sole_consumer_of_type(g, cur, {"LeakyRelu"}); leaky != kNoNode) {
+    // Leaky ReLU path (§4.3): keep 16-bit precision into the alpha-multiply,
+    // quantize alpha to 16 bits, then emit q8 after the activation.
+    const NodeId q16 =
+        g.insert_on_edge(cur, leaky, name + "/quant_pre_leaky",
+                         st.act_quant(int16_signed(), name + "/quant_pre_leaky"));
+    st.res.act_quants.push_back(q16);
+    auto* lop = dynamic_cast<LeakyReluOp*>(g.node(leaky).op.get());
+    const float alpha = lop->alpha();
+    // One magnitude bit of headroom so an exactly power-of-2 alpha does not
+    // saturate at the top level (round(2^k / s) == 2^15 would clip).
+    const float s_alpha = std::exp2(static_cast<float>(
+        static_cast<int>(std::ceil(std::log2(alpha))) - (int16_signed().scale_shift() - 1)));
+    lop->set_alpha(round_half_to_even(alpha / s_alpha) * s_alpha);
+    const NodeId qa = g.insert_after(leaky, g.node(leaky).name + "/quant",
+                                     st.act_quant(out8, g.node(leaky).name + "/quant"));
+    st.res.act_quants.push_back(qa);
+  } else {
+    const NodeId qa =
+        g.insert_after(cur, name + "/quant_out", st.act_quant(out8, name + "/quant_out"));
+    st.res.act_quants.push_back(qa);
+  }
+}
+
+/// Quantize an eltwise-add: shared-scale q'8 on both inputs, q8 after
+/// (delayed past ReLU and unsigned if present).
+void quantize_eltwise(PassState& st, NodeId add) {
+  Graph& g = st.g;
+  const std::string& name = g.node(add).name;
+  ParamPtr shared = st.make_shared_act_param(name + "/quant_in");
+  const QuantBits q8{st.cfg.act_bits, true};
+  // Snapshot inputs: inserting on edge 0 must not disturb slot 1.
+  const std::vector<NodeId> ins = g.node(add).inputs;
+  for (size_t slot = 0; slot < ins.size(); ++slot) {
+    const NodeId q = g.add(name + "/quant_in" + std::to_string(slot),
+                           st.act_quant(q8, name + "/quant_in" + std::to_string(slot), shared),
+                           {ins[slot]});
+    // Replace exactly this slot (both slots may read the same producer).
+    g.node(add).inputs[slot] = q;
+    st.res.act_quants.push_back(q);
+  }
+  if (NodeId relu = sole_consumer_of_type(g, add, {"Relu", "Relu6"}); relu != kNoNode) {
+    const NodeId qa =
+        g.insert_after(relu, g.node(relu).name + "/quant",
+                       st.act_quant(QuantBits{st.cfg.act_bits, false}, g.node(relu).name + "/quant"));
+    st.res.act_quants.push_back(qa);
+  } else {
+    const NodeId qa = g.insert_after(add, name + "/quant_out", st.act_quant(q8, name + "/quant_out"));
+    st.res.act_quants.push_back(qa);
+  }
+}
+
+/// Merge the threshold params of the quantizers feeding each Concat (§4.3:
+/// concat is lossless because input scales are explicitly merged).
+void merge_concat_scales(Graph& g) {
+  for (NodeId cat : g.nodes_of_type("Concat")) {
+    std::vector<NodeId> sources;
+    for (NodeId in : g.node(cat).inputs) sources.push_back(find_scale_source(g, in));
+    if (sources.size() < 2) continue;
+    if (auto* first = dynamic_cast<FakeQuantOp*>(g.node(sources[0]).op.get())) {
+      const ParamPtr& shared = first->threshold();
+      for (size_t i = 1; i < sources.size(); ++i) {
+        auto* q = dynamic_cast<FakeQuantOp*>(g.node(sources[i]).op.get());
+        if (!q || q->bits().is_signed != first->bits().is_signed ||
+            q->bits().bits != first->bits().bits) {
+          throw std::runtime_error("concat scale merge: mismatched quantizer types");
+        }
+        q->set_threshold(shared);
+      }
+    } else {
+      auto* first_a = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(sources[0]).op.get());
+      const ParamPtr& shared = first_a->range();
+      for (size_t i = 1; i < sources.size(); ++i) {
+        auto* q = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(sources[i]).op.get());
+        if (!q || q->bits() != first_a->bits()) {
+          throw std::runtime_error("concat scale merge: mismatched quantizer types");
+        }
+        q->set_range(shared);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+QuantizePassResult quantize_pass(Graph& g, NodeId input_node, NodeId logits,
+                                 const QuantizeConfig& cfg) {
+  if (cfg.mode == QuantMode::kPact) {
+    throw std::invalid_argument("quantize_pass: PACT is an activation-only baseline quantizer");
+  }
+  if (cfg.per_channel_weights && cfg.emulate_intermediates) {
+    throw std::invalid_argument(
+        "quantize_pass: per-channel weights cannot emulate power-of-2 intermediates");
+  }
+  if (cfg.asymmetric && (cfg.emulate_intermediates || cfg.power_of_2 || cfg.per_channel_weights)) {
+    throw std::invalid_argument(
+        "quantize_pass: asymmetric is a baseline scheme (no intermediates emulation, "
+        "no power-of-2 scaling, no per-channel)");
+  }
+  QuantizePassResult res;
+  PassState st{g, cfg, res};
+
+  // Primary input is explicitly quantized (§4.3).
+  res.input_quant = g.insert_after(
+      input_node, "input/quant", st.act_quant(QuantBits{cfg.act_bits, true}, "input/quant"));
+  res.act_quants.push_back(res.input_quant);
+
+  // First/last compute layers keep INT8 weights in INT4 mode (§6.1). Only
+  // layers with trainable weights count (reciprocal pools are constants).
+  const auto order = g.topo_order({logits});
+  std::vector<NodeId> compute_nodes;
+  NodeId first_compute = kNoNode, last_compute = kNoNode;
+  for (NodeId id : order) {
+    if (!is_compute(g.node(id).op->type())) continue;
+    compute_nodes.push_back(id);
+    auto* wvar = dynamic_cast<VariableOp*>(g.node(g.node(id).inputs[1]).op.get());
+    if (wvar && wvar->param()->trainable) {
+      if (first_compute == kNoNode) first_compute = id;
+      last_compute = id;
+    }
+  }
+
+  for (NodeId id : order) {
+    const std::string& type = g.node(id).op->type();
+    if (is_compute(type)) {
+      quantize_compute(st, id, id == first_compute || id == last_compute);
+    } else if (type == "EltwiseAdd") {
+      quantize_eltwise(st, id);
+    } else if (type == "BatchNorm") {
+      throw std::runtime_error("quantize_pass: fold batch norms first (node " + g.node(id).name +
+                               ")");
+    } else if (type == "AvgPool" || type == "GlobalAvgPool") {
+      throw std::runtime_error("quantize_pass: rewrite pools first (node " + g.node(id).name + ")");
+    }
+  }
+
+  merge_concat_scales(g);
+
+  // The network output itself is quantized; consumers (loss, eval) should
+  // read res.quantized_output.
+  res.quantized_output = g.insert_after(
+      logits, g.node(logits).name + "/quant",
+      st.act_quant(QuantBits{cfg.act_bits, true}, g.node(logits).name + "/quant"));
+  st.res.act_quants.push_back(res.quantized_output);
+  return res;
+}
+
+void calibrate_thresholds(Graph& g, const QuantizePassResult& result, NodeId input_node,
+                          const Tensor& calib_images, WeightInit weight_init) {
+  // --- Weight thresholds from tensor statistics (no data needed) ------------
+  for (NodeId id : result.weight_quants) {
+    auto* wvar = dynamic_cast<VariableOp*>(g.node(g.node(id).inputs[0]).op.get());
+    const Tensor& w = wvar->param()->value;
+    if (auto* aq = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(id).op.get())) {
+      // TF-QAT style: the range is the weight min/max, nudged to include 0.
+      aq->range()->value[0] = std::min(0.0f, w.min());
+      aq->range()->value[1] = std::max(0.0f, w.max());
+      continue;
+    }
+    FakeQuantOp& q = fake_quant_at(g, id);
+    if (q.per_channel()) {
+      const int64_t axis = q.channel_axis();
+      const auto ts = per_channel_max_thresholds(w, axis);
+      for (size_t c = 0; c < ts.size(); ++c) {
+        q.threshold()->value[static_cast<int64_t>(c)] = std::log2(ts[c]);
+      }
+    } else {
+      float t;
+      if (weight_init == WeightInit::kMax || !wvar->param()->trainable) {
+        t = max_threshold(std::span(w.vec()));
+      } else if (weight_init == WeightInit::kPercentile999) {
+        t = percentile_threshold(std::span(w.vec()), 99.9f);
+      } else {
+        t = sd_threshold(std::span(w.vec()), 3.0f);
+      }
+      if (q.mode() == QuantMode::kLsq) {
+        // LSQ learns the raw scale-factor: initialize s = t / qmax.
+        q.threshold()->value[0] = t / static_cast<float>(q.bits().qmax());
+      } else {
+        q.threshold()->value[0] = std::log2(t);
+      }
+    }
+  }
+
+  // --- Activation thresholds: KL-J, strictly topological, pooled per shared
+  // --- threshold group -------------------------------------------------------
+  std::vector<std::vector<NodeId>> groups;
+  std::map<Param*, size_t> group_of;
+  for (NodeId id : result.act_quants) {
+    Param* key;
+    if (auto* aq = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(id).op.get())) {
+      key = aq->range().get();
+    } else {
+      key = fake_quant_at(g, id).threshold().get();
+    }
+    auto [it, fresh] = group_of.try_emplace(key, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(id);
+  }
+
+  const Feed feed{{input_node, calib_images}};
+  for (const auto& group : groups) {
+    const bool asym = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(group.front()).op.get()) != nullptr;
+    for (NodeId id : group) {
+      if (asym) {
+        dynamic_cast<AsymmetricFakeQuantOp*>(g.node(id).op.get())->set_collect(true);
+      } else {
+        fake_quant_at(g, id).set_collect(true);
+      }
+    }
+    g.run(feed, result.quantized_output);
+    if (asym) {
+      // Asymmetric baseline: min/max over the group's observed data (with 0
+      // representable, gemmlowp-style).
+      float lo = 0.0f, hi = 0.0f;
+      for (NodeId id : group) {
+        auto* q = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(id).op.get());
+        for (float v : q->collected()) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        q->clear_collected();
+        q->set_collect(false);
+      }
+      auto* q0 = dynamic_cast<AsymmetricFakeQuantOp*>(g.node(group.front()).op.get());
+      if (hi <= lo) hi = lo + 1e-6f;
+      q0->range()->value[0] = lo;
+      q0->range()->value[1] = hi;
+      continue;
+    }
+    // A shared (merged) scale must cover every tensor that flows through it:
+    // calibrate each member on its own data and take the largest threshold.
+    // Pooling the members' values into one KL-J would let a small-range
+    // member drag the shared threshold down and clip the others (the
+    // multi-modal pooled-distribution failure).
+    float t_shared = 0.0f;
+    for (NodeId id : group) {
+      FakeQuantOp& q = fake_quant_at(g, id);
+      t_shared = std::max(t_shared, kl_j_threshold(q.collected(), q.bits()));
+      q.clear_collected();
+      q.set_collect(false);
+    }
+    FakeQuantOp& q0 = fake_quant_at(g, group.front());
+    if (q0.mode() == QuantMode::kLsq) {
+      q0.threshold()->value[0] = t_shared / static_cast<float>(q0.bits().qmax());
+    } else {
+      q0.threshold()->value[0] = std::log2(t_shared);
+    }
+  }
+}
+
+void set_quantizers_enabled(Graph& g, bool enabled) {
+  for (NodeId id : g.nodes_of_type("FakeQuant")) fake_quant_at(g, id).set_enabled(enabled);
+  for (NodeId id : g.nodes_of_type("AsymFakeQuant")) {
+    dynamic_cast<AsymmetricFakeQuantOp*>(g.node(id).op.get())->set_enabled(enabled);
+  }
+}
+
+std::vector<ParamPtr> threshold_params(Graph& g, const QuantizePassResult& result) {
+  std::vector<ParamPtr> out;
+  auto push_all = [&](NodeId id) {
+    for (const auto& p : g.node(id).op->params()) {
+      if (p && p->group == "threshold" && std::find(out.begin(), out.end(), p) == out.end()) {
+        out.push_back(p);
+      }
+    }
+  };
+  for (NodeId id : result.weight_quants) push_all(id);
+  for (NodeId id : result.act_quants) push_all(id);
+  return out;
+}
+
+}  // namespace tqt

@@ -1,0 +1,82 @@
+// The quantize pass: inserts FakeQuant nodes into an optimized (BN-folded,
+// pool-rewritten) graph following the layer-precision topology of paper §4.3:
+//
+//   compute layers   q8( q'16( sum( q8/4(w) * q8(x) ) ) + q'16(b) )
+//                    with the final q8 delayed past ReLU/ReLU6 and switched
+//                    to unsigned to use the spare sign bit;
+//   eltwise-add      q8( q'8(x) + q'8(y) ) with a shared input threshold;
+//   leaky relu       q8( max( q'16(x), q16(alpha) * q'16(x) ) );
+//   concat           input scales merged, concat itself lossless;
+//   avg pool         an ordinary compute layer after pools_to_depthwise;
+//   primary input    explicitly quantized q8.
+//
+// The q'16 accumulator/bias quantizers use *derived* scales s_w * s_x so the
+// graph maps 1:1 onto the fixed-point engine (src/fixedpoint); their
+// exponents track the trained thresholds automatically. First and last
+// compute layers are kept at a minimum of INT8 in INT4 mode (§6.1).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "nn/graph.h"
+#include "quant/fake_quant.h"
+
+namespace tqt {
+
+struct QuantizeConfig {
+  int weight_bits = 8;           ///< 8 (INT8) or 4 (INT4 = 4/8 W/A)
+  int act_bits = 8;
+  QuantMode mode = QuantMode::kTqt;
+  bool trainable_thresholds = true;  ///< false for static (calibrate-only) mode
+  bool power_of_2 = true;
+  /// Insert the q16 accumulator/bias emulation. Required for fixed-point
+  /// export; disabled for the plain QAT-style baselines of Table 1.
+  bool emulate_intermediates = true;
+  /// Per-channel static weight quantization (Table 1 QAT baseline only;
+  /// incompatible with emulate_intermediates).
+  bool per_channel_weights = false;
+  /// Asymmetric (zero-point) quantization of weights and activations — the
+  /// TF-QAT scheme of Table 1's "per-tensor, asymmetric, real scaling" row.
+  /// Baseline only: incompatible with emulate_intermediates and power_of_2.
+  bool asymmetric = false;
+};
+
+struct QuantizePassResult {
+  std::vector<NodeId> weight_quants;  ///< FakeQuant on Variable -> compute edges
+  std::vector<NodeId> act_quants;     ///< threshold-carrying activation quantizers
+                                      ///< (input quant, q16 acc/bias, outputs),
+                                      ///< in calibration (topological) order
+  NodeId input_quant = kNoNode;
+  NodeId quantized_output = kNoNode;  ///< q8 of the logits; feed this to the loss
+};
+
+/// Insert quantization nodes. The graph must already be BN-folded and
+/// pool-rewritten (see optimize_for_quantization). `input_node` is the
+/// primary placeholder; `logits` the network output.
+QuantizePassResult quantize_pass(Graph& g, NodeId input_node, NodeId logits,
+                                 const QuantizeConfig& cfg);
+
+/// Weight-threshold initialization scheme (paper Table 2; §5.1 mentions both
+/// "n standard deviations or percentile" as tight alternatives to MAX).
+enum class WeightInit { kMax, k3Sd, kPercentile999 };
+
+/// Calibrate every threshold (paper §4.2 static mode / §5.1 initialization):
+/// weights from their tensor statistics (MAX or 3SD), activations by KL-J
+/// distance on a calibration batch, computed strictly in topological order so
+/// each layer calibrates against already-quantized inputs. Thresholds that
+/// share a parameter (merged scales) are calibrated jointly on pooled data.
+void calibrate_thresholds(Graph& g, const QuantizePassResult& result, NodeId input_node,
+                          const Tensor& calib_images, WeightInit weight_init);
+
+/// Enable/disable every FakeQuant in the graph (disabled = FP32 baseline).
+void set_quantizers_enabled(Graph& g, bool enabled);
+
+/// The FakeQuantOp of a node id (throws if the node is not a FakeQuant).
+FakeQuantOp& fake_quant_at(Graph& g, NodeId id);
+
+/// Collect the distinct threshold/range parameters of the pass result
+/// (works for both symmetric FakeQuant and asymmetric AsymFakeQuant nodes).
+std::vector<ParamPtr> threshold_params(Graph& g, const QuantizePassResult& result);
+
+}  // namespace tqt

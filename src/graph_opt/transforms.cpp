@@ -1,0 +1,181 @@
+#include "graph_opt/transforms.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "nn/ops_norm.h"
+
+namespace tqt {
+
+namespace {
+/// The Variable op feeding input slot `slot` of node `id`, or nullptr.
+VariableOp* variable_input(Graph& g, NodeId id, size_t slot) {
+  const Node& n = g.node(id);
+  if (slot >= n.inputs.size()) return nullptr;
+  return dynamic_cast<VariableOp*>(g.node(n.inputs[slot]).op.get());
+}
+}  // namespace
+
+int fold_batch_norms(Graph& g) {
+  int folded = 0;
+  for (NodeId bn_id : g.nodes_of_type("BatchNorm")) {
+    Node& bn_node = g.node(bn_id);
+    auto* bn = dynamic_cast<BatchNormOp*>(bn_node.op.get());
+    const NodeId producer = bn_node.inputs[0];
+    const std::string& ptype = g.node(producer).op->type();
+    const bool is_conv = ptype == "Conv2D";
+    const bool is_dw = ptype == "DepthwiseConv2D";
+    const bool is_dense = ptype == "Dense";
+    if (!is_conv && !is_dw && !is_dense) continue;
+    if (g.consumers(producer).size() != 1) continue;  // conv output reused elsewhere
+
+    VariableOp* wvar = variable_input(g, producer, 1);
+    if (!wvar) continue;
+    Param& w = *wvar->param();
+
+    const int64_t channels = bn->gamma()->value.numel();
+    // Per-output-channel scale gamma / sqrt(var + eps) and shift
+    // beta - mean * scale, from the converged moving statistics.
+    std::vector<float> scale(static_cast<size_t>(channels));
+    Tensor bias({channels});
+    for (int64_t c = 0; c < channels; ++c) {
+      const float s =
+          bn->gamma()->value[c] / std::sqrt(bn->moving_var()->value[c] + bn->eps());
+      scale[static_cast<size_t>(c)] = s;
+      bias[c] = bn->beta()->value[c] - bn->moving_mean()->value[c] * s;
+    }
+
+    // Scale the weights along their output-channel axis.
+    if (is_conv) {
+      // [kh, kw, Cin, Cout]: channel is the innermost axis.
+      if (w.value.dim(3) != channels) throw std::runtime_error("fold: Cout mismatch");
+      for (int64_t i = 0; i < w.value.numel(); ++i) {
+        w.value[i] *= scale[static_cast<size_t>(i % channels)];
+      }
+    } else if (is_dw) {
+      // [kh, kw, C]: channel innermost as well.
+      if (w.value.dim(2) != channels) throw std::runtime_error("fold: C mismatch");
+      for (int64_t i = 0; i < w.value.numel(); ++i) {
+        w.value[i] *= scale[static_cast<size_t>(i % channels)];
+      }
+    } else {
+      // Dense [K, M]: output axis innermost.
+      if (w.value.dim(1) != channels) throw std::runtime_error("fold: M mismatch");
+      for (int64_t i = 0; i < w.value.numel(); ++i) {
+        w.value[i] *= scale[static_cast<size_t>(i % channels)];
+      }
+    }
+
+    // conv -> BiasAdd(folded bias) replaces conv -> BN.
+    auto bias_param = std::make_shared<Param>(bn->gamma()->name + "/folded_bias", std::move(bias),
+                                              "bias");
+    const NodeId bias_var =
+        g.add(bn_node.name + "/folded_bias", std::make_unique<VariableOp>(bias_param));
+    const NodeId bias_add = g.add(bn_node.name + "/folded_bias_add",
+                                  std::make_unique<BiasAddOp>(), {producer, bias_var});
+    g.rewire_consumers(bn_id, bias_add);
+    g.remove(bn_id);
+    ++folded;
+  }
+  return folded;
+}
+
+int splice_identities(Graph& g) {
+  int spliced = 0;
+  for (NodeId id : g.nodes_of_type("Identity")) {
+    const NodeId producer = g.node(id).inputs[0];
+    g.rewire_consumers(id, producer);
+    g.remove(id);
+    ++spliced;
+  }
+  return spliced;
+}
+
+int collapse_concats(Graph& g) {
+  int collapsed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : g.nodes_of_type("Concat")) {
+      Node& n = g.node(id);
+      std::vector<NodeId> flat;
+      bool any_inner = false;
+      for (NodeId in : n.inputs) {
+        if (g.node(in).op->type() == "Concat" && g.consumers(in).size() == 1) {
+          for (NodeId inner : g.node(in).inputs) flat.push_back(inner);
+          any_inner = true;
+        } else {
+          flat.push_back(in);
+        }
+      }
+      if (!any_inner) continue;
+      for (NodeId in : n.inputs) {
+        if (g.node(in).op->type() == "Concat" && g.consumers(in).size() == 1) g.remove(in);
+      }
+      n.inputs = std::move(flat);
+      ++collapsed;
+      changed = true;
+      break;  // consumer lists changed; restart scan
+    }
+  }
+  return collapsed;
+}
+
+int pools_to_depthwise(Graph& g, NodeId input_node, const Tensor& sample_input) {
+  const auto avg_pools = g.nodes_of_type("AvgPool");
+  const auto gaps = g.nodes_of_type("GlobalAvgPool");
+  if (avg_pools.empty() && gaps.empty()) return 0;
+
+  // Discover producer shapes with one dry run (outputs stay cached on nodes).
+  std::vector<NodeId> outputs = avg_pools;
+  outputs.insert(outputs.end(), gaps.begin(), gaps.end());
+  std::vector<NodeId> producers;
+  for (NodeId id : outputs) producers.push_back(g.node(id).inputs[0]);
+  g.run_multi({{input_node, sample_input}}, producers);
+
+  int rewritten = 0;
+  auto rewrite = [&](NodeId id, const Conv2dGeom& geom, bool add_flatten) {
+    Node& n = g.node(id);
+    const NodeId producer = n.inputs[0];
+    const Shape& in_shape = g.node(producer).output.shape();
+    const int64_t channels = in_shape[3];
+    // Reciprocal weights 1/F^2 (§4.1), constant and non-trainable; tagged
+    // "weight" so the quantize pass treats this as an ordinary compute layer.
+    auto w = std::make_shared<Param>(n.name + "/reciprocal",
+                                     Tensor({geom.kh, geom.kw, channels},
+                                            1.0f / static_cast<float>(geom.kh * geom.kw)),
+                                     "weight", /*trainable=*/false);
+    const NodeId wvar = g.add(n.name + "/reciprocal", std::make_unique<VariableOp>(w));
+    const NodeId dw = g.add(n.name + "/as_dwconv", std::make_unique<DepthwiseConv2dOp>(geom),
+                            {producer, wvar});
+    NodeId tail = dw;
+    if (add_flatten) {
+      tail = g.add(n.name + "/as_dwconv/flatten", std::make_unique<FlattenOp>(), {dw});
+    }
+    g.rewire_consumers(id, tail);
+    g.remove(id);
+    ++rewritten;
+  };
+
+  for (NodeId id : avg_pools) {
+    auto* pool = dynamic_cast<AvgPoolOp*>(g.node(id).op.get());
+    rewrite(id, pool->geom(), /*add_flatten=*/false);
+  }
+  for (NodeId id : gaps) {
+    const Shape& in_shape = g.node(g.node(id).inputs[0]).output.shape();
+    // Full-window "valid" depthwise conv emits [N,1,1,C]; flatten to [N,C].
+    rewrite(id, Conv2dGeom::valid(in_shape[1], in_shape[2], 1), /*add_flatten=*/true);
+  }
+  return rewritten;
+}
+
+void optimize_for_quantization(Graph& g, NodeId input_node, const Tensor& sample_input) {
+  splice_identities(g);
+  collapse_concats(g);
+  fold_batch_norms(g);
+  pools_to_depthwise(g, input_node, sample_input);
+}
+
+}  // namespace tqt

@@ -1,0 +1,41 @@
+// Graffitist-style graph optimizations run before quantization (paper §4.1):
+//
+//  - fold_batch_norms:   BN folded into the preceding conv / depthwise-conv /
+//                        dense weights using the (frozen) moving statistics,
+//                        leaving a conv -> BiasAdd -> act chain. Folding with
+//                        converged moving statistics makes the training and
+//                        inference forms mathematically equivalent, which is
+//                        the paper's requirement (a); statistic freezing —
+//                        requirement (c) — is available on BatchNormOp.
+//  - splice_identities:  remove Identity nodes not involved in control edges.
+//  - collapse_concats:   concat-of-concat flattened into a single concat.
+//  - pools_to_depthwise: AvgPool / GlobalAvgPool rewritten as depthwise convs
+//                        with constant reciprocal (1/F^2) weights so the
+//                        quantize pass can treat them as ordinary compute
+//                        layers (§4.1, §4.3 "average pool").
+#pragma once
+
+#include "nn/graph.h"
+
+namespace tqt {
+
+/// Returns the number of BatchNorm nodes folded.
+int fold_batch_norms(Graph& g);
+
+/// Returns the number of Identity nodes spliced out.
+int splice_identities(Graph& g);
+
+/// Returns the number of Concat nodes collapsed into their consumer.
+int collapse_concats(Graph& g);
+
+/// Returns the number of pooling nodes rewritten. GlobalAvgPool becomes a
+/// full-window depthwise conv followed by Flatten. The IR carries no static
+/// shape inference, so a sample input is run through the graph to discover
+/// channel counts.
+int pools_to_depthwise(Graph& g, NodeId input_node, const Tensor& sample_input);
+
+/// Run the standard pre-quantization pipeline: splice identities, collapse
+/// concats, fold batch norms, rewrite average pools.
+void optimize_for_quantization(Graph& g, NodeId input_node, const Tensor& sample_input);
+
+}  // namespace tqt

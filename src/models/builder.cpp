@@ -1,0 +1,180 @@
+#include "models/builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "nn/ops_norm.h"
+
+namespace tqt {
+
+ModelBuilder::ModelBuilder(std::string model_name, uint64_t seed)
+    : prefix_(std::move(model_name)), rng_(seed) {}
+
+NodeId ModelBuilder::input(int64_t size, int64_t channels) {
+  if (input_ != kNoNode) throw std::logic_error("ModelBuilder: input already added");
+  input_ = graph_.add("input", std::make_unique<InputOp>());
+  set_dims(input_, {size, size, channels, true});
+  return input_;
+}
+
+NodeId ModelBuilder::add_variable(const std::string& name, Tensor init, const std::string& group) {
+  auto p = std::make_shared<Param>(prefix_ + "/" + name, std::move(init), group);
+  return graph_.add(name, std::make_unique<VariableOp>(std::move(p)));
+}
+
+NodeId ModelBuilder::activation(const std::string& name, NodeId in, Act act) {
+  NodeId out = in;
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      out = graph_.add(name + "/relu", std::make_unique<ReluOp>(), {in});
+      break;
+    case Act::kRelu6:
+      out = graph_.add(name + "/relu6", std::make_unique<Relu6Op>(), {in});
+      break;
+    case Act::kLeakyRelu:
+      // Slope 0.125 (not DarkNet's 0.1): a power-of-2 slope is the standard
+      // fixed-point-hardware choice and keeps the leaky path bit-exact
+      // between the fake-quant graph and the integer engine (DESIGN.md §6).
+      out = graph_.add(name + "/leaky", std::make_unique<LeakyReluOp>(0.125f), {in});
+      break;
+  }
+  if (out != in) set_dims(out, dims_.at(in));
+  return out;
+}
+
+NodeId ModelBuilder::conv_bn(const std::string& name, NodeId in, int64_t cout, int64_t k,
+                             int64_t stride, Act act, float gamma_log2_spread) {
+  const Dims d = dims_.at(in);
+  if (!d.spatial) throw std::logic_error("conv on flattened tensor");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(k * k * d.c));
+  NodeId w = add_variable(name + "/weight", rng_.normal_tensor({k, k, d.c, cout}, 0.0f, stddev),
+                          "weight");
+  const auto geom = Conv2dGeom::same(k, k, stride, d.h, d.w);
+  NodeId conv = graph_.add(name + "/conv", std::make_unique<Conv2dOp>(geom), {in, w});
+  set_dims(conv, {geom.out_h(d.h), geom.out_w(d.w), cout, true});
+  auto bn = std::make_unique<BatchNormOp>(prefix_ + "/" + name + "/bn", cout);
+  if (gamma_log2_spread > 0.0f) {
+    for (int64_t c = 0; c < cout; ++c) {
+      bn->gamma()->value[c] = std::exp2(rng_.uniform(-gamma_log2_spread, gamma_log2_spread));
+    }
+  }
+  NodeId norm = graph_.add(name + "/bn", std::move(bn), {conv});
+  set_dims(norm, dims_.at(conv));
+  return activation(name, norm, act);
+}
+
+NodeId ModelBuilder::conv_bias(const std::string& name, NodeId in, int64_t cout, int64_t k,
+                               int64_t stride, Act act) {
+  const Dims d = dims_.at(in);
+  if (!d.spatial) throw std::logic_error("conv on flattened tensor");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(k * k * d.c));
+  NodeId w = add_variable(name + "/weight", rng_.normal_tensor({k, k, d.c, cout}, 0.0f, stddev),
+                          "weight");
+  NodeId b = add_variable(name + "/bias", Tensor({cout}), "bias");
+  const auto geom = Conv2dGeom::same(k, k, stride, d.h, d.w);
+  NodeId conv = graph_.add(name + "/conv", std::make_unique<Conv2dOp>(geom), {in, w});
+  set_dims(conv, {geom.out_h(d.h), geom.out_w(d.w), cout, true});
+  NodeId biased = graph_.add(name + "/bias_add", std::make_unique<BiasAddOp>(), {conv, b});
+  set_dims(biased, dims_.at(conv));
+  return activation(name, biased, act);
+}
+
+NodeId ModelBuilder::depthwise_bn(const std::string& name, NodeId in, int64_t k, int64_t stride,
+                                  Act act, float gamma_log2_spread) {
+  const Dims d = dims_.at(in);
+  if (!d.spatial) throw std::logic_error("depthwise conv on flattened tensor");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(k * k));
+  NodeId w = add_variable(name + "/weight", rng_.normal_tensor({k, k, d.c}, 0.0f, stddev),
+                          "weight");
+  const auto geom = Conv2dGeom::same(k, k, stride, d.h, d.w);
+  NodeId conv = graph_.add(name + "/dwconv", std::make_unique<DepthwiseConv2dOp>(geom), {in, w});
+  set_dims(conv, {geom.out_h(d.h), geom.out_w(d.w), d.c, true});
+  auto bn = std::make_unique<BatchNormOp>(prefix_ + "/" + name + "/bn", d.c);
+  if (gamma_log2_spread > 0.0f) {
+    // Outlier mixture rather than a uniform spread: real MobileNet depthwise
+    // layers have a *few* channels whose folded gain is orders of magnitude
+    // above the bulk (and which ReLU6 then saturates, making them
+    // information-poor) — exactly the channels a per-tensor MAX threshold
+    // wastes its range on (§6.2 of the paper).
+    for (int64_t c = 0; c < d.c; ++c) {
+      const bool outlier = rng_.uniform(0.0f, 1.0f) < 0.25f;
+      bn->gamma()->value[c] = outlier
+                                  ? std::exp2(rng_.uniform(gamma_log2_spread - 2.0f, gamma_log2_spread))
+                                  : std::exp2(rng_.uniform(-1.0f, 1.0f));
+    }
+  }
+  NodeId norm = graph_.add(name + "/bn", std::move(bn), {conv});
+  set_dims(norm, dims_.at(conv));
+  return activation(name, norm, act);
+}
+
+NodeId ModelBuilder::dense(const std::string& name, NodeId in, int64_t units, Act act) {
+  Dims d = dims_.at(in);
+  NodeId x = in;
+  if (d.spatial) {
+    x = flatten(name + "/auto_flatten", in);
+    d = dims_.at(x);
+  }
+  const float stddev = std::sqrt(2.0f / static_cast<float>(d.c));
+  NodeId w = add_variable(name + "/weight", rng_.normal_tensor({d.c, units}, 0.0f, stddev),
+                          "weight");
+  NodeId b = add_variable(name + "/bias", Tensor({units}), "bias");
+  NodeId mm = graph_.add(name + "/dense", std::make_unique<DenseOp>(), {x, w});
+  set_dims(mm, {0, 0, units, false});
+  NodeId biased = graph_.add(name + "/bias_add", std::make_unique<BiasAddOp>(), {mm, b});
+  set_dims(biased, dims_.at(mm));
+  return activation(name, biased, act);
+}
+
+NodeId ModelBuilder::max_pool(const std::string& name, NodeId in, int64_t k, int64_t stride) {
+  const Dims d = dims_.at(in);
+  const auto geom = Conv2dGeom::same(k, k, stride, d.h, d.w);
+  NodeId out = graph_.add(name, std::make_unique<MaxPoolOp>(geom), {in});
+  set_dims(out, {geom.out_h(d.h), geom.out_w(d.w), d.c, true});
+  return out;
+}
+
+NodeId ModelBuilder::avg_pool(const std::string& name, NodeId in, int64_t k, int64_t stride) {
+  const Dims d = dims_.at(in);
+  const auto geom = Conv2dGeom::same(k, k, stride, d.h, d.w);
+  NodeId out = graph_.add(name, std::make_unique<AvgPoolOp>(geom), {in});
+  set_dims(out, {geom.out_h(d.h), geom.out_w(d.w), d.c, true});
+  return out;
+}
+
+NodeId ModelBuilder::global_avg_pool(const std::string& name, NodeId in) {
+  const Dims d = dims_.at(in);
+  NodeId out = graph_.add(name, std::make_unique<GlobalAvgPoolOp>(), {in});
+  set_dims(out, {0, 0, d.c, false});
+  return out;
+}
+
+NodeId ModelBuilder::flatten(const std::string& name, NodeId in) {
+  const Dims d = dims_.at(in);
+  NodeId out = graph_.add(name, std::make_unique<FlattenOp>(), {in});
+  set_dims(out, {0, 0, d.spatial ? d.h * d.w * d.c : d.c, false});
+  return out;
+}
+
+NodeId ModelBuilder::eltwise_add(const std::string& name, NodeId a, NodeId b, Act act) {
+  const Dims da = dims_.at(a);
+  NodeId out = graph_.add(name + "/add", std::make_unique<EltwiseAddOp>(), {a, b});
+  set_dims(out, da);
+  return activation(name, out, act);
+}
+
+NodeId ModelBuilder::concat(const std::string& name, const std::vector<NodeId>& inputs) {
+  Dims d = dims_.at(inputs.at(0));
+  int64_t total_c = 0;
+  for (NodeId id : inputs) total_c += dims_.at(id).c;
+  d.c = total_c;
+  NodeId out = graph_.add(name, std::make_unique<ConcatOp>(), inputs);
+  set_dims(out, d);
+  return out;
+}
+
+}  // namespace tqt

@@ -1,0 +1,77 @@
+// Fluent builder over the graph IR for assembling CNN classifiers.
+//
+// The builder emits the node patterns the Graffitist-style transform passes
+// expect: compute layers are Conv2D/DepthwiseConv2D/Dense reading a Variable
+// weight edge, followed by either a BatchNorm (pretraining form) or a BiasAdd
+// (folded/inference form), followed by an optional activation. It also tracks
+// spatial extents so "SAME" conv geometry can be resolved at build time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/graph.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+
+enum class Act { kNone, kRelu, kRelu6, kLeakyRelu };
+
+class ModelBuilder {
+ public:
+  ModelBuilder(std::string model_name, uint64_t seed);
+
+  /// Add the primary input placeholder ("input"), NHWC.
+  NodeId input(int64_t size, int64_t channels);
+
+  /// conv (no bias) -> BatchNorm -> activation. He-normal init.
+  /// `gamma_log2_spread` > 0 initializes BN gamma to 2^U(-s, s) per channel —
+  /// the mechanism that reproduces MobileNets' widely varying per-channel
+  /// folded-weight ranges (see DESIGN.md §2).
+  NodeId conv_bn(const std::string& name, NodeId in, int64_t cout, int64_t k, int64_t stride,
+                 Act act, float gamma_log2_spread = 0.0f);
+
+  /// conv -> BiasAdd -> activation (no BN; used for folded-form models).
+  NodeId conv_bias(const std::string& name, NodeId in, int64_t cout, int64_t k, int64_t stride,
+                   Act act);
+
+  /// depthwise conv (no bias) -> BatchNorm -> activation.
+  NodeId depthwise_bn(const std::string& name, NodeId in, int64_t k, int64_t stride, Act act,
+                      float gamma_log2_spread = 0.0f);
+
+  /// Flatten if needed, then dense -> BiasAdd -> activation.
+  NodeId dense(const std::string& name, NodeId in, int64_t units, Act act);
+
+  NodeId max_pool(const std::string& name, NodeId in, int64_t k, int64_t stride);
+  NodeId avg_pool(const std::string& name, NodeId in, int64_t k, int64_t stride);
+  NodeId global_avg_pool(const std::string& name, NodeId in);
+  NodeId flatten(const std::string& name, NodeId in);
+  NodeId eltwise_add(const std::string& name, NodeId a, NodeId b, Act act = Act::kNone);
+  NodeId concat(const std::string& name, const std::vector<NodeId>& inputs);
+
+  NodeId input_node() const { return input_; }
+  Graph& graph() { return graph_; }
+  Graph take() { return std::move(graph_); }
+
+  /// Channel count of a node's output (builder bookkeeping).
+  int64_t channels_of(NodeId id) const { return dims_.at(id).c; }
+  int64_t height_of(NodeId id) const { return dims_.at(id).h; }
+
+ private:
+  struct Dims {
+    int64_t h = 0, w = 0, c = 0;
+    bool spatial = true;  // false once flattened
+  };
+
+  NodeId activation(const std::string& name, NodeId in, Act act);
+  NodeId add_variable(const std::string& name, Tensor init, const std::string& group);
+  void set_dims(NodeId id, Dims d) { dims_[id] = d; }
+
+  std::string prefix_;
+  Graph graph_;
+  Rng rng_;
+  NodeId input_ = kNoNode;
+  std::map<NodeId, Dims> dims_;
+};
+
+}  // namespace tqt

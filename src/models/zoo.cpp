@@ -1,0 +1,181 @@
+#include "models/zoo.h"
+
+#include <stdexcept>
+
+#include "models/builder.h"
+
+namespace tqt {
+
+std::vector<ModelKind> all_model_kinds() {
+  return {ModelKind::kMiniVgg,         ModelKind::kMiniInception,
+          ModelKind::kMiniResNet,      ModelKind::kMiniMobileNetV1,
+          ModelKind::kMiniMobileNetV2, ModelKind::kMiniDarkNet};
+}
+
+std::string model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMiniVgg: return "mini_vgg";
+    case ModelKind::kMiniInception: return "mini_inception";
+    case ModelKind::kMiniResNet: return "mini_resnet";
+    case ModelKind::kMiniMobileNetV1: return "mini_mobilenet_v1";
+    case ModelKind::kMiniMobileNetV2: return "mini_mobilenet_v2";
+    case ModelKind::kMiniDarkNet: return "mini_darknet";
+  }
+  throw std::invalid_argument("unknown model kind");
+}
+
+namespace {
+
+constexpr int64_t kImageSize = 16;
+constexpr int64_t kChannels = 3;
+/// Per-channel power-of-2 spread of depthwise BN gammas; folds into the
+/// depthwise weights, reproducing the paper's "irregular weight distributions
+/// and widely varying ranges between channels" (§6.2).
+constexpr float kDwGammaSpread = 5.0f;
+
+BuiltModel finish(ModelBuilder& b, NodeId logits, ModelKind kind) {
+  BuiltModel m;
+  m.input = b.input_node();
+  m.logits = logits;
+  m.name = model_name(kind);
+  m.graph = b.take();
+  return m;
+}
+
+BuiltModel mini_vgg(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniVgg), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("conv1a", x, 8, 3, 1, Act::kRelu);
+  x = b.conv_bn("conv1b", x, 8, 3, 1, Act::kRelu);
+  x = b.max_pool("pool1", x, 2, 2);
+  x = b.conv_bn("conv2a", x, 12, 3, 1, Act::kRelu);
+  x = b.conv_bn("conv2b", x, 12, 3, 1, Act::kRelu);
+  x = b.max_pool("pool2", x, 2, 2);
+  x = b.conv_bn("conv3", x, 16, 3, 1, Act::kRelu);
+  x = b.max_pool("pool3", x, 2, 2);
+  x = b.dense("fc1", x, 32, Act::kRelu);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniVgg);
+}
+
+NodeId inception_block(ModelBuilder& b, const std::string& name, NodeId in, int64_t c1,
+                       int64_t c3, int64_t c5, int64_t cp) {
+  NodeId t1 = b.conv_bn(name + "/t1_1x1", in, c1, 1, 1, Act::kRelu);
+  NodeId t2 = b.conv_bn(name + "/t2_reduce", in, c3 / 2 + 1, 1, 1, Act::kRelu);
+  t2 = b.conv_bn(name + "/t2_3x3", t2, c3, 3, 1, Act::kRelu);
+  // 5x5 tower factorized as two 3x3s (Inception v2/v3 style).
+  NodeId t3 = b.conv_bn(name + "/t3_reduce", in, c5 / 2 + 1, 1, 1, Act::kRelu);
+  t3 = b.conv_bn(name + "/t3_3x3a", t3, c5, 3, 1, Act::kRelu);
+  t3 = b.conv_bn(name + "/t3_3x3b", t3, c5, 3, 1, Act::kRelu);
+  NodeId t4 = b.max_pool(name + "/t4_pool", in, 3, 1);
+  t4 = b.conv_bn(name + "/t4_proj", t4, cp, 1, 1, Act::kRelu);
+  return b.concat(name + "/concat", {t1, t2, t3, t4});
+}
+
+BuiltModel mini_inception(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniInception), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("stem", x, 8, 3, 1, Act::kRelu);
+  x = b.max_pool("pool1", x, 2, 2);
+  x = inception_block(b, "incep1", x, 4, 6, 4, 3);
+  x = b.max_pool("pool2", x, 2, 2);
+  x = inception_block(b, "incep2", x, 6, 8, 4, 4);
+  x = b.global_avg_pool("gap", x);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniInception);
+}
+
+NodeId residual_block(ModelBuilder& b, const std::string& name, NodeId in, int64_t cout,
+                      int64_t stride) {
+  NodeId branch = b.conv_bn(name + "/conv1", in, cout, 3, stride, Act::kRelu);
+  branch = b.conv_bn(name + "/conv2", branch, cout, 3, 1, Act::kNone);
+  NodeId shortcut = in;
+  if (stride != 1 || b.channels_of(in) != cout) {
+    shortcut = b.conv_bn(name + "/proj", in, cout, 1, stride, Act::kNone);
+  }
+  return b.eltwise_add(name, branch, shortcut, Act::kRelu);
+}
+
+BuiltModel mini_resnet(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniResNet), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("stem", x, 8, 3, 1, Act::kRelu);
+  x = residual_block(b, "res1a", x, 8, 1);
+  x = residual_block(b, "res1b", x, 8, 1);
+  x = residual_block(b, "res2a", x, 14, 2);
+  x = residual_block(b, "res2b", x, 14, 1);
+  x = b.global_avg_pool("gap", x);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniResNet);
+}
+
+BuiltModel mini_mobilenet_v1(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniMobileNetV1), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("stem", x, 8, 3, 2, Act::kRelu6);
+  auto separable = [&](const std::string& name, NodeId in, int64_t cout, int64_t stride) {
+    NodeId dw = b.depthwise_bn(name + "/dw", in, 3, stride, Act::kRelu6, kDwGammaSpread);
+    return b.conv_bn(name + "/pw", dw, cout, 1, 1, Act::kRelu6);
+  };
+  x = separable("sep1", x, 16, 1);
+  x = separable("sep2", x, 24, 2);
+  x = separable("sep3", x, 24, 1);
+  x = separable("sep4", x, 32, 1);
+  x = b.global_avg_pool("gap", x);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniMobileNetV1);
+}
+
+BuiltModel mini_mobilenet_v2(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniMobileNetV2), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("stem", x, 8, 3, 2, Act::kRelu6);
+  auto inverted_residual = [&](const std::string& name, NodeId in, int64_t cout, int64_t stride,
+                               int64_t expand) {
+    const int64_t cin = b.channels_of(in);
+    NodeId h = b.conv_bn(name + "/expand", in, cin * expand, 1, 1, Act::kRelu6);
+    h = b.depthwise_bn(name + "/dw", h, 3, stride, Act::kRelu6, kDwGammaSpread);
+    h = b.conv_bn(name + "/project", h, cout, 1, 1, Act::kNone);  // linear bottleneck
+    if (stride == 1 && cin == cout) h = b.eltwise_add(name, h, in, Act::kNone);
+    return h;
+  };
+  x = inverted_residual("ir1", x, 12, 1, 3);
+  x = inverted_residual("ir2", x, 16, 2, 3);
+  x = inverted_residual("ir3", x, 16, 1, 3);
+  x = b.conv_bn("head", x, 32, 1, 1, Act::kRelu6);
+  x = b.global_avg_pool("gap", x);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniMobileNetV2);
+}
+
+BuiltModel mini_darknet(int64_t classes, uint64_t seed) {
+  ModelBuilder b(model_name(ModelKind::kMiniDarkNet), seed);
+  NodeId x = b.input(kImageSize, kChannels);
+  x = b.conv_bn("conv1", x, 8, 3, 1, Act::kLeakyRelu);
+  x = b.max_pool("pool1", x, 2, 2);
+  x = b.conv_bn("conv2", x, 12, 3, 1, Act::kLeakyRelu);
+  x = b.max_pool("pool2", x, 2, 2);
+  // DarkNet-19 style 3x3 / 1x1 alternation.
+  x = b.conv_bn("conv3", x, 16, 3, 1, Act::kLeakyRelu);
+  x = b.conv_bn("conv4", x, 8, 1, 1, Act::kLeakyRelu);
+  x = b.conv_bn("conv5", x, 16, 3, 1, Act::kLeakyRelu);
+  x = b.global_avg_pool("gap", x);
+  NodeId logits = b.dense("logits", x, classes, Act::kNone);
+  return finish(b, logits, ModelKind::kMiniDarkNet);
+}
+
+}  // namespace
+
+BuiltModel build_model(ModelKind kind, int64_t num_classes, uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kMiniVgg: return mini_vgg(num_classes, seed);
+    case ModelKind::kMiniInception: return mini_inception(num_classes, seed);
+    case ModelKind::kMiniResNet: return mini_resnet(num_classes, seed);
+    case ModelKind::kMiniMobileNetV1: return mini_mobilenet_v1(num_classes, seed);
+    case ModelKind::kMiniMobileNetV2: return mini_mobilenet_v2(num_classes, seed);
+    case ModelKind::kMiniDarkNet: return mini_darknet(num_classes, seed);
+  }
+  throw std::invalid_argument("unknown model kind");
+}
+
+}  // namespace tqt

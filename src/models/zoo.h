@@ -1,0 +1,48 @@
+// The mini model zoo: one small network per CNN family evaluated in the
+// paper (Table 3). Each mini network preserves the topological feature that
+// drives its family's quantization behaviour:
+//
+//   MiniVGG          plain conv stacks + dense head          (easy to quantize)
+//   MiniInception    parallel towers + channel concat        (scale merging)
+//   MiniResNet       residual eltwise-adds                   (shared scales)
+//   MiniMobileNetV1  depthwise-separable convs, ReLU6        (hard: per-channel
+//                                                             weight-range spread)
+//   MiniMobileNetV2  inverted residuals, linear bottlenecks  (hard, adds skips)
+//   MiniDarkNet      leaky-ReLU conv stacks                  (16-bit alpha path)
+//
+// All networks take 16x16x3 inputs and emit `num_classes` logits. MobileNet
+// depthwise BN gammas are initialized with a per-channel power-of-2 spread to
+// reproduce the folded-weight range irregularity of real MobileNets (§6.2 of
+// the paper; DESIGN.md §2 documents the substitution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace tqt {
+
+enum class ModelKind {
+  kMiniVgg,
+  kMiniInception,
+  kMiniResNet,
+  kMiniMobileNetV1,
+  kMiniMobileNetV2,
+  kMiniDarkNet,
+};
+
+std::vector<ModelKind> all_model_kinds();
+std::string model_name(ModelKind kind);
+
+struct BuiltModel {
+  Graph graph;
+  NodeId input = kNoNode;
+  NodeId logits = kNoNode;
+  std::string name;
+};
+
+/// Construct a freshly initialized (untrained) model.
+BuiltModel build_model(ModelKind kind, int64_t num_classes = 10, uint64_t seed = 1);
+
+}  // namespace tqt

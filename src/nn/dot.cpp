@@ -1,0 +1,58 @@
+#include "nn/dot.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tqt {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* style_for(const std::string& type) {
+  if (type == "FakeQuant" || type == "AsymFakeQuant" || type == "UnfusedFakeQuant") {
+    return "shape=box, style=filled, fillcolor=lightgoldenrod";
+  }
+  if (type == "Conv2D" || type == "DepthwiseConv2D" || type == "Dense") {
+    return "shape=box, style=filled, fillcolor=lightblue";
+  }
+  if (type == "Variable") return "shape=ellipse, style=filled, fillcolor=lightgrey";
+  if (type == "Input") return "shape=invhouse, style=filled, fillcolor=palegreen";
+  return "shape=box";
+}
+}  // namespace
+
+std::string graph_to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(title) << "\" {\n";
+  os << "  rankdir=TB;\n  node [fontsize=10, fontname=\"Helvetica\"];\n";
+  for (NodeId id : g.live_nodes()) {
+    const Node& n = g.node(id);
+    os << "  n" << id << " [label=\"" << escape(n.name) << "\\n(" << escape(n.op->type())
+       << ")\", " << style_for(n.op->type()) << "];\n";
+  }
+  for (NodeId id : g.live_nodes()) {
+    for (NodeId in : g.node(id).inputs) {
+      os << "  n" << in << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const Graph& g, const std::string& path, const std::string& title) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  os << graph_to_dot(g, title);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace tqt

@@ -1,0 +1,20 @@
+// Graphviz export of the graph IR — the practical way to inspect what the
+// transform and quantize passes produced (Graffitist users debug their
+// output graphs the same way).
+#pragma once
+
+#include <string>
+
+#include "nn/graph.h"
+
+namespace tqt {
+
+/// Render the live nodes of `g` as a Graphviz digraph. Quantization nodes
+/// are styled distinctly so the inserted q8/q16 structure is easy to audit.
+std::string graph_to_dot(const Graph& g, const std::string& title = "tqt");
+
+/// Write graph_to_dot() output to a file; throws std::runtime_error on I/O
+/// failure.
+void write_dot(const Graph& g, const std::string& path, const std::string& title = "tqt");
+
+}  // namespace tqt

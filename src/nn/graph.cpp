@@ -1,0 +1,249 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tqt {
+
+NodeId Graph::add(std::string name, std::unique_ptr<Op> op, std::vector<NodeId> inputs) {
+  if (!op) throw std::invalid_argument("Graph::add: null op");
+  const int ar = op->arity();
+  if (ar >= 0 && ar != static_cast<int>(inputs.size())) {
+    throw std::invalid_argument("Graph::add: op " + op->type() + " expects " + std::to_string(ar) +
+                                " inputs, got " + std::to_string(inputs.size()));
+  }
+  for (NodeId in : inputs) {
+    if (in < 0 || in >= node_count() || dead_[static_cast<size_t>(in)]) {
+      throw std::invalid_argument("Graph::add: bad input node id " + std::to_string(in));
+    }
+  }
+  if (name.empty()) name = op->type() + "_" + std::to_string(anon_counter_++);
+  if (by_name_.count(name)) throw std::invalid_argument("Graph::add: duplicate node name " + name);
+
+  auto n = std::make_unique<Node>();
+  n->id = static_cast<NodeId>(nodes_.size());
+  n->name = std::move(name);
+  n->op = std::move(op);
+  n->inputs = std::move(inputs);
+  by_name_[n->name] = n->id;
+  nodes_.push_back(std::move(n));
+  dead_.push_back(false);
+  return nodes_.back()->id;
+}
+
+Node& Graph::node(NodeId id) {
+  if (id < 0 || id >= node_count()) throw std::out_of_range("bad node id " + std::to_string(id));
+  return *nodes_[static_cast<size_t>(id)];
+}
+
+const Node& Graph::node(NodeId id) const {
+  if (id < 0 || id >= node_count()) throw std::out_of_range("bad node id " + std::to_string(id));
+  return *nodes_[static_cast<size_t>(id)];
+}
+
+NodeId Graph::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return kNoNode;
+  return dead_[static_cast<size_t>(it->second)] ? kNoNode : it->second;
+}
+
+std::vector<NodeId> Graph::live_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < node_count(); ++i)
+    if (!dead_[static_cast<size_t>(i)]) out.push_back(i);
+  return out;
+}
+
+std::vector<NodeId> Graph::nodes_of_type(const std::string& type) const {
+  std::vector<NodeId> out;
+  for (NodeId i : live_nodes())
+    if (node(i).op->type() == type) out.push_back(i);
+  return out;
+}
+
+std::vector<NodeId> Graph::consumers(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId i : live_nodes()) {
+    const auto& ins = node(i).inputs;
+    if (std::find(ins.begin(), ins.end(), id) != ins.end()) out.push_back(i);
+  }
+  return out;
+}
+
+void Graph::rewire_consumers(NodeId from, NodeId to, const std::vector<NodeId>* only) {
+  for (NodeId c : consumers(from)) {
+    if (only && std::find(only->begin(), only->end(), c) == only->end()) continue;
+    if (c == to) continue;  // never create a self-loop on the new node
+    replace_input(c, from, to);
+  }
+}
+
+void Graph::replace_input(NodeId id, NodeId old_in, NodeId new_in) {
+  for (NodeId& in : node(id).inputs)
+    if (in == old_in) in = new_in;
+}
+
+void Graph::remove(NodeId id) {
+  node(id);  // bounds check
+  dead_[static_cast<size_t>(id)] = true;
+}
+
+NodeId Graph::insert_after(NodeId producer, std::string name, std::unique_ptr<Op> op) {
+  const auto before = consumers(producer);
+  const NodeId nid = add(std::move(name), std::move(op), {producer});
+  for (NodeId c : before) replace_input(c, producer, nid);
+  return nid;
+}
+
+NodeId Graph::insert_on_edge(NodeId producer, NodeId consumer, std::string name, std::unique_ptr<Op> op) {
+  const auto& ins = node(consumer).inputs;
+  if (std::find(ins.begin(), ins.end(), producer) == ins.end()) {
+    throw std::invalid_argument("insert_on_edge: no edge " + std::to_string(producer) + " -> " +
+                                std::to_string(consumer));
+  }
+  const NodeId nid = add(std::move(name), std::move(op), {producer});
+  replace_input(consumer, producer, nid);
+  return nid;
+}
+
+std::vector<NodeId> Graph::topo_order(const std::vector<NodeId>& outputs) const {
+  std::vector<int> state(static_cast<size_t>(node_count()), 0);  // 0 new, 1 visiting, 2 done
+  std::vector<NodeId> order;
+  // Iterative DFS to avoid deep recursion on long chains.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId out : outputs) {
+    if (out < 0 || out >= node_count() || dead_[static_cast<size_t>(out)]) {
+      throw std::invalid_argument("topo_order: bad output node " + std::to_string(out));
+    }
+    if (state[static_cast<size_t>(out)] == 2) continue;
+    stack.emplace_back(out, 0);
+    state[static_cast<size_t>(out)] = 1;
+    while (!stack.empty()) {
+      auto& [id, next_in] = stack.back();
+      const auto& ins = node(id).inputs;
+      if (next_in < ins.size()) {
+        const NodeId in = ins[next_in++];
+        if (dead_[static_cast<size_t>(in)]) {
+          throw std::runtime_error("topo_order: node " + node(id).name + " reads dead node");
+        }
+        if (state[static_cast<size_t>(in)] == 1) throw std::runtime_error("topo_order: cycle detected");
+        if (state[static_cast<size_t>(in)] == 0) {
+          state[static_cast<size_t>(in)] = 1;
+          stack.emplace_back(in, 0);
+        }
+      } else {
+        state[static_cast<size_t>(id)] = 2;
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Tensor Graph::run(const Feed& feeds, NodeId output) { return run_multi(feeds, {output})[0]; }
+
+std::vector<Tensor> Graph::run_multi(const Feed& feeds, const std::vector<NodeId>& outputs) {
+  const auto order = topo_order(outputs);
+  last_order_ = order;
+  for (NodeId id : order) {
+    Node& n = node(id);
+    n.computed = false;
+    n.has_grad = false;
+  }
+  for (NodeId id : order) {
+    Node& n = node(id);
+    if (n.op->type() == "Input") {
+      auto it = feeds.find(id);
+      if (it == feeds.end()) throw std::invalid_argument("missing feed for input node " + n.name);
+      n.output = it->second;
+    } else {
+      std::vector<const Tensor*> ins;
+      ins.reserve(n.inputs.size());
+      for (NodeId in : n.inputs) ins.push_back(&node(in).output);
+      n.output = n.op->forward(ins);
+    }
+    n.computed = true;
+  }
+  std::vector<Tensor> result;
+  result.reserve(outputs.size());
+  for (NodeId out : outputs) result.push_back(node(out).output);
+  return result;
+}
+
+void Graph::backward(NodeId loss) {
+  Node& ln = node(loss);
+  if (!ln.computed) throw std::runtime_error("backward: loss node not computed");
+  if (ln.output.numel() != 1) throw std::runtime_error("backward: loss must be scalar");
+  if (last_order_.empty() || last_order_.back() != loss) {
+    // The loss must have been an output of the last run so cached op state
+    // matches. We accept it anywhere in the last order for multi-output runs.
+    if (std::find(last_order_.begin(), last_order_.end(), loss) == last_order_.end()) {
+      throw std::runtime_error("backward: loss node was not part of the last forward run");
+    }
+  }
+  ln.grad = Tensor(ln.output.shape(), 1.0f);
+  ln.has_grad = true;
+  for (auto it = last_order_.rbegin(); it != last_order_.rend(); ++it) {
+    Node& n = node(*it);
+    if (!n.has_grad) continue;  // not on a path to the loss
+    if (n.op->type() == "Input") continue;
+    const auto input_grads = n.op->backward(n.grad);
+    if (input_grads.size() != n.inputs.size()) {
+      throw std::runtime_error("backward: op " + n.op->type() + " returned " +
+                               std::to_string(input_grads.size()) + " grads for " +
+                               std::to_string(n.inputs.size()) + " inputs");
+    }
+    for (size_t i = 0; i < n.inputs.size(); ++i) {
+      Node& in = node(n.inputs[i]);
+      if (in.has_grad) {
+        in.grad += input_grads[i];
+      } else {
+        in.grad = input_grads[i];
+        in.has_grad = true;
+      }
+    }
+  }
+}
+
+std::vector<ParamPtr> Graph::params() const {
+  std::vector<ParamPtr> out;
+  for (NodeId id : live_nodes()) {
+    for (const auto& p : node(id).op->params()) {
+      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void Graph::zero_grad() {
+  for (const auto& p : params()) p->zero_grad();
+}
+
+void Graph::set_training(bool training) {
+  for (NodeId id : live_nodes()) node(id).op->set_training(training);
+}
+
+std::map<std::string, Tensor> Graph::state_dict() const {
+  std::map<std::string, Tensor> out;
+  for (const auto& p : params()) {
+    if (!out.emplace(p->name, p->value).second) {
+      throw std::runtime_error("state_dict: duplicate param name " + p->name);
+    }
+  }
+  return out;
+}
+
+void Graph::load_state_dict(const std::map<std::string, Tensor>& state) {
+  for (const auto& p : params()) {
+    auto it = state.find(p->name);
+    if (it == state.end()) throw std::runtime_error("load_state_dict: missing param " + p->name);
+    if (it->second.shape() != p->value.shape()) {
+      throw std::runtime_error("load_state_dict: shape mismatch for " + p->name);
+    }
+    p->value = it->second;
+    p->grad = Tensor(p->value.shape());
+  }
+}
+
+}  // namespace tqt

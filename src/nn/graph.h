@@ -1,0 +1,127 @@
+// Static computation graph: nodes, topological execution, backprop, and the
+// surgery primitives the Graffitist-style transform passes are built on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/op.h"
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+using NodeId = int;
+constexpr NodeId kNoNode = -1;
+
+/// One vertex of the graph: an Op plus its input edges and per-step runtime
+/// state (output value and accumulated output gradient).
+struct Node {
+  NodeId id = kNoNode;
+  std::string name;
+  std::unique_ptr<Op> op;
+  std::vector<NodeId> inputs;
+
+  // Runtime state, valid between forward() and the end of backward().
+  Tensor output;
+  Tensor grad;
+  bool computed = false;
+  bool has_grad = false;
+};
+
+/// Feeds for placeholder (Input) nodes, keyed by node id.
+using Feed = std::map<NodeId, Tensor>;
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Add a node; `inputs` must be ids of existing nodes. Names must be
+  /// unique; an empty name is auto-generated from the op type.
+  NodeId add(std::string name, std::unique_ptr<Op> op, std::vector<NodeId> inputs = {});
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+
+  /// Find a live node by exact name; kNoNode if absent.
+  NodeId find(const std::string& name) const;
+
+  /// Ids of all live nodes, in insertion order.
+  std::vector<NodeId> live_nodes() const;
+
+  /// Live nodes whose op reports the given type.
+  std::vector<NodeId> nodes_of_type(const std::string& type) const;
+
+  /// Ids of live nodes that consume `id` as an input.
+  std::vector<NodeId> consumers(NodeId id) const;
+
+  // ---- Surgery (used by transform passes) --------------------------------
+
+  /// Rewire every consumer of `from` (optionally restricted to `only`) to
+  /// read `to` instead.
+  void rewire_consumers(NodeId from, NodeId to, const std::vector<NodeId>* only = nullptr);
+
+  /// Replace occurrences of input `old_in` with `new_in` on node `id`.
+  void replace_input(NodeId id, NodeId old_in, NodeId new_in);
+
+  /// Mark a node dead. Dead nodes are never executed and never returned by
+  /// find/live_nodes; ids of other nodes are unaffected.
+  void remove(NodeId id);
+
+  /// Insert a new node consuming `producer` and rewire `producer`'s previous
+  /// consumers to the new node. Returns the new node's id.
+  NodeId insert_after(NodeId producer, std::string name, std::unique_ptr<Op> op);
+
+  /// Insert a new node on the single edge producer -> consumer.
+  NodeId insert_on_edge(NodeId producer, NodeId consumer, std::string name, std::unique_ptr<Op> op);
+
+  // ---- Execution ----------------------------------------------------------
+
+  /// Topological order of the ancestors of `outputs` (inclusive).
+  std::vector<NodeId> topo_order(const std::vector<NodeId>& outputs) const;
+
+  /// Evaluate the graph for the given feeds; returns node(output).output.
+  /// All runtime state of ancestor nodes is refreshed.
+  Tensor run(const Feed& feeds, NodeId output);
+
+  /// Evaluate several outputs in one pass.
+  std::vector<Tensor> run_multi(const Feed& feeds, const std::vector<NodeId>& outputs);
+
+  /// Backprop from `loss` (must be scalar and previously run). Seeds
+  /// dL/dloss = 1 and accumulates parameter gradients.
+  void backward(NodeId loss);
+
+  // ---- Parameters ---------------------------------------------------------
+
+  /// Unique parameters reachable from live nodes, in first-seen order.
+  std::vector<ParamPtr> params() const;
+
+  /// Zero every parameter gradient.
+  void zero_grad();
+
+  /// Train/eval mode for all ops.
+  void set_training(bool training);
+
+  /// Snapshot of all named parameter values (for save/load).
+  std::map<std::string, Tensor> state_dict() const;
+
+  /// Load values by parameter name; throws if a name is missing or a shape
+  /// mismatches. Extra entries in `state` are ignored.
+  void load_state_dict(const std::map<std::string, Tensor>& state);
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, NodeId> by_name_;
+  std::vector<bool> dead_;
+  std::vector<NodeId> last_order_;  // topo order of the most recent run
+  int anon_counter_ = 0;
+};
+
+}  // namespace tqt

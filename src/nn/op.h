@@ -1,0 +1,69 @@
+// Operator interface of the static graph IR.
+//
+// The IR mirrors the paper's TensorFlow heritage: a network is a DAG of
+// nodes, each node evaluates one Op, and *weights are nodes too* (Variable
+// ops producing their parameter tensor). That choice is load-bearing: the
+// Graffitist-style transforms in src/graph_opt quantize a network purely by
+// splicing FakeQuant nodes onto edges (weight edges, activation edges), with
+// no special-casing inside compute ops.
+//
+// Ops are stateful per training step: forward() may cache whatever it needs
+// for the matching backward(). A graph executes forward once, then backward
+// once, per step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+/// A named, trainable (or not) tensor with its gradient accumulator.
+/// Parameters are shared_ptr-held because quantization scale-merging (§4.3 of
+/// the paper) makes several FakeQuant nodes share one threshold parameter.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+  /// Optimizer group tag: "weight", "bias", "bn", "threshold". The paper
+  /// trains thresholds and weights with different learning rates (§5.2).
+  std::string group = "weight";
+
+  Param(std::string n, Tensor v, std::string g = "weight", bool train = true)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()), trainable(train), group(std::move(g)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+using ParamPtr = std::shared_ptr<Param>;
+
+/// Base class for all graph operators.
+class Op {
+ public:
+  virtual ~Op() = default;
+
+  /// Stable type tag used by graph transforms for pattern matching
+  /// (e.g. "Conv2D", "BatchNorm", "FakeQuant").
+  virtual std::string type() const = 0;
+
+  /// Compute the output from the inputs; may cache state for backward().
+  virtual Tensor forward(const std::vector<const Tensor*>& inputs) = 0;
+
+  /// Given dL/d(output), return dL/d(input_i) for every input, and
+  /// accumulate parameter gradients into this op's Params.
+  virtual std::vector<Tensor> backward(const Tensor& grad_out) = 0;
+
+  /// Parameters owned (or shared) by this op; empty by default.
+  virtual std::vector<ParamPtr> params() { return {}; }
+
+  /// Train/eval mode switch (BatchNorm statistics, etc.). Default: no-op.
+  virtual void set_training(bool) {}
+
+  /// Number of inputs this op expects, or -1 for variadic (Concat).
+  virtual int arity() const = 0;
+};
+
+}  // namespace tqt

@@ -1,0 +1,169 @@
+#include "nn/ops_basic.h"
+
+#include <stdexcept>
+
+namespace tqt {
+
+Tensor InputOp::forward(const std::vector<const Tensor*>&) {
+  throw std::logic_error("InputOp::forward should never be called; feed the node instead");
+}
+
+VariableOp::VariableOp(ParamPtr param) : param_(std::move(param)) {
+  if (!param_) throw std::invalid_argument("VariableOp: null param");
+}
+
+std::vector<Tensor> VariableOp::backward(const Tensor& grad_out) {
+  if (param_->trainable) param_->grad += grad_out;
+  return {};
+}
+
+Tensor ReluOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  Tensor y(x.shape());
+  mask_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+  }
+  return y;
+}
+
+std::vector<Tensor> ReluOp::backward(const Tensor& g) { return {g * mask_}; }
+
+Tensor Relu6Op::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  Tensor y(x.shape());
+  mask_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (x[i] <= 0.0f) {
+      y[i] = 0.0f;
+      mask_[i] = 0.0f;
+    } else if (x[i] >= 6.0f) {
+      y[i] = 6.0f;
+      mask_[i] = 0.0f;
+    } else {
+      y[i] = x[i];
+      mask_[i] = 1.0f;
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Relu6Op::backward(const Tensor& g) { return {g * mask_}; }
+
+Tensor LeakyReluOp::forward(const std::vector<const Tensor*>& in) {
+  input_ = *in[0];
+  Tensor y(input_.shape());
+  for (int64_t i = 0; i < input_.numel(); ++i) {
+    y[i] = input_[i] > 0.0f ? input_[i] : alpha_ * input_[i];
+  }
+  return y;
+}
+
+std::vector<Tensor> LeakyReluOp::backward(const Tensor& g) {
+  Tensor dx(g.shape());
+  for (int64_t i = 0; i < g.numel(); ++i) dx[i] = g[i] * (input_[i] > 0.0f ? 1.0f : alpha_);
+  return {dx};
+}
+
+Tensor BiasAddOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  const Tensor& b = *in[1];
+  if (b.rank() != 1) throw std::invalid_argument("BiasAdd: bias must be rank 1");
+  x_shape_ = x.shape();
+  channels_ = b.dim(0);
+  if (x.rank() < 1 || x.dim(-1) != channels_) {
+    throw std::invalid_argument("BiasAdd: last dim " + shape_to_string(x.shape()) + " vs bias " +
+                                std::to_string(channels_));
+  }
+  Tensor y = x;
+  float* p = y.data();
+  const float* pb = b.data();
+  const int64_t rows = y.numel() / channels_;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * channels_;
+    for (int64_t c = 0; c < channels_; ++c) row[c] += pb[c];
+  }
+  return y;
+}
+
+std::vector<Tensor> BiasAddOp::backward(const Tensor& g) {
+  Tensor db({channels_});
+  const int64_t rows = g.numel() / channels_;
+  const float* pg = g.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pg + r * channels_;
+    for (int64_t c = 0; c < channels_; ++c) db[c] += row[c];
+  }
+  return {g, db};
+}
+
+Tensor EltwiseAddOp::forward(const std::vector<const Tensor*>& in) {
+  return *in[0] + *in[1];
+}
+
+Tensor ConcatOp::forward(const std::vector<const Tensor*>& in) {
+  if (in.empty()) throw std::invalid_argument("Concat: needs at least one input");
+  const Shape& s0 = in[0]->shape();
+  channel_splits_.clear();
+  int64_t total_c = 0;
+  for (const Tensor* t : in) {
+    if (t->rank() != static_cast<int64_t>(s0.size())) throw std::invalid_argument("Concat: rank mismatch");
+    for (int64_t d = 0; d + 1 < t->rank(); ++d) {
+      if (t->dim(d) != in[0]->dim(d)) throw std::invalid_argument("Concat: leading dim mismatch");
+    }
+    channel_splits_.push_back(t->dim(-1));
+    total_c += t->dim(-1);
+  }
+  Shape out_shape = s0;
+  out_shape.back() = total_c;
+  out_shape_ = out_shape;
+  Tensor y(out_shape);
+  const int64_t rows = y.numel() / total_c;
+  float* py = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = py + r * total_c;
+    for (size_t k = 0; k < in.size(); ++k) {
+      const int64_t c = channel_splits_[k];
+      const float* src = in[k]->data() + r * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] = src[j];
+      dst += c;
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> ConcatOp::backward(const Tensor& g) {
+  const int64_t total_c = out_shape_.back();
+  const int64_t rows = g.numel() / total_c;
+  std::vector<Tensor> grads;
+  grads.reserve(channel_splits_.size());
+  Shape base = out_shape_;
+  for (int64_t c : channel_splits_) {
+    base.back() = c;
+    grads.emplace_back(base);
+  }
+  const float* pg = g.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = pg + r * total_c;
+    for (size_t k = 0; k < channel_splits_.size(); ++k) {
+      const int64_t c = channel_splits_[k];
+      float* dst = grads[k].data() + r * c;
+      for (int64_t j = 0; j < c; ++j) dst[j] = src[j];
+      src += c;
+    }
+  }
+  return grads;
+}
+
+Tensor FlattenOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  if (x.rank() < 1) throw std::invalid_argument("Flatten: rank must be >= 1");
+  in_shape_ = x.shape();
+  return x.reshape({x.dim(0), -1});
+}
+
+std::vector<Tensor> FlattenOp::backward(const Tensor& g) { return {g.reshape(in_shape_)}; }
+
+}  // namespace tqt

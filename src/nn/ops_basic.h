@@ -1,0 +1,137 @@
+// Elementwise / structural graph ops: placeholders, variables, identity,
+// activations, bias add, eltwise add, concat, flatten.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/op.h"
+
+namespace tqt {
+
+/// Placeholder fed at run time. The Graph feeds its output directly;
+/// forward() is never called.
+class InputOp final : public Op {
+ public:
+  std::string type() const override { return "Input"; }
+  int arity() const override { return 0; }
+  Tensor forward(const std::vector<const Tensor*>&) override;
+  std::vector<Tensor> backward(const Tensor&) override { return {}; }
+};
+
+/// Produces a parameter tensor; backward accumulates into the parameter's
+/// gradient. Weights/biases enter the graph through this op so transform
+/// passes can splice quantizers onto the weight edge.
+class VariableOp final : public Op {
+ public:
+  explicit VariableOp(ParamPtr param);
+  std::string type() const override { return "Variable"; }
+  int arity() const override { return 0; }
+  Tensor forward(const std::vector<const Tensor*>&) override { return param_->value; }
+  std::vector<Tensor> backward(const Tensor& grad_out) override;
+  std::vector<ParamPtr> params() override { return {param_}; }
+  const ParamPtr& param() const { return param_; }
+
+ private:
+  ParamPtr param_;
+};
+
+/// Pass-through; exists so the identity-splicing transform has something to
+/// splice (mirrors Graffitist's handling of TF Identity nodes).
+class IdentityOp final : public Op {
+ public:
+  std::string type() const override { return "Identity"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override { return *in[0]; }
+  std::vector<Tensor> backward(const Tensor& g) override { return {g}; }
+};
+
+class ReluOp final : public Op {
+ public:
+  std::string type() const override { return "Relu"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Tensor mask_;
+};
+
+class Relu6Op final : public Op {
+ public:
+  std::string type() const override { return "Relu6"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Tensor mask_;
+};
+
+/// Leaky ReLU with fixed slope alpha (an attribute, as in DarkNet; the
+/// quantize pass reads alpha to build the q16 internal path of §4.3).
+class LeakyReluOp final : public Op {
+ public:
+  explicit LeakyReluOp(float alpha) : alpha_(alpha) {}
+  std::string type() const override { return "LeakyRelu"; }
+  int arity() const override { return 1; }
+  float alpha() const { return alpha_; }
+  /// The quantize pass replaces alpha with its q16 representation (§4.3).
+  void set_alpha(float alpha) { alpha_ = alpha; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  float alpha_;
+  Tensor input_;
+};
+
+/// x + b where b has shape [C] and x has shape [..., C].
+class BiasAddOp final : public Op {
+ public:
+  std::string type() const override { return "BiasAdd"; }
+  int arity() const override { return 2; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Shape x_shape_;
+  int64_t channels_ = 0;
+};
+
+/// Elementwise sum of two same-shape tensors (residual connections).
+class EltwiseAddOp final : public Op {
+ public:
+  std::string type() const override { return "EltwiseAdd"; }
+  int arity() const override { return 2; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override { return {g, g}; }
+};
+
+/// Concatenation along the last (channel) axis.
+class ConcatOp final : public Op {
+ public:
+  std::string type() const override { return "Concat"; }
+  int arity() const override { return -1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  std::vector<int64_t> channel_splits_;
+  Shape out_shape_;
+};
+
+/// [N, ...] -> [N, prod(...)].
+class FlattenOp final : public Op {
+ public:
+  std::string type() const override { return "Flatten"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace tqt

@@ -1,0 +1,278 @@
+#include "nn/ops_conv.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace tqt {
+
+Tensor Conv2dOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  const Tensor& w = *in[1];
+  if (x.rank() != 4) throw std::invalid_argument("Conv2D: input must be NHWC");
+  if (w.rank() != 4) throw std::invalid_argument("Conv2D: weight must be [kh,kw,Cin,Cout]");
+  if (w.dim(0) != geom_.kh || w.dim(1) != geom_.kw) throw std::invalid_argument("Conv2D: kernel size mismatch");
+  if (w.dim(2) != x.dim(3)) throw std::invalid_argument("Conv2D: Cin mismatch");
+  x_shape_ = x.shape();
+  w_shape_ = w.shape();
+  w_ = w;
+  const int64_t n = x.dim(0), oh = geom_.out_h(x.dim(1)), ow = geom_.out_w(x.dim(2));
+  const int64_t cout = w.dim(3);
+  cols_ = im2col(x, geom_);
+  const Tensor wmat = w.reshape({geom_.kh * geom_.kw * x.dim(3), cout});
+  Tensor y = matmul(cols_, wmat);
+  out_shape_ = {n, oh, ow, cout};
+  return y.reshape(out_shape_);
+}
+
+std::vector<Tensor> Conv2dOp::backward(const Tensor& g) {
+  const int64_t cout = w_shape_[3];
+  const Tensor gmat = g.reshape({g.numel() / cout, cout});
+  // dW = cols^T * dY, reshaped back to [kh,kw,Cin,Cout].
+  Tensor dw = matmul_tn(cols_, gmat).reshape(w_shape_);
+  // dX = col2im(dY * W^T), where W is stored as [kh*kw*Cin, Cout].
+  const Tensor wmat = w_.reshape({geom_.kh * geom_.kw * x_shape_[3], cout});
+  Tensor dcols = matmul_nt(gmat, wmat);  // [rows, cout] * [khkwCin, cout]^T
+  Tensor dx = col2im(dcols, x_shape_, geom_);
+  return {std::move(dx), std::move(dw)};
+}
+
+Tensor DepthwiseConv2dOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  const Tensor& w = *in[1];
+  if (x.rank() != 4) throw std::invalid_argument("DepthwiseConv2D: input must be NHWC");
+  if (w.rank() != 3) throw std::invalid_argument("DepthwiseConv2D: weight must be [kh,kw,C]");
+  if (w.dim(0) != geom_.kh || w.dim(1) != geom_.kw) throw std::invalid_argument("DepthwiseConv2D: kernel mismatch");
+  if (w.dim(2) != x.dim(3)) throw std::invalid_argument("DepthwiseConv2D: channel mismatch");
+  x_ = x;
+  w_ = w;
+  w_shape_ = w.shape();
+  const int64_t n = x.dim(0), h = x.dim(1), wd = x.dim(2), c = x.dim(3);
+  const int64_t oh = geom_.out_h(h), ow = geom_.out_w(wd);
+  out_shape_ = {n, oh, ow, c};
+  Tensor y(out_shape_);
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* py = y.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float* out = py + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+        for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= wd) continue;
+            const float* xi = px + ((b * h + iy) * wd + ix) * c;
+            const float* wi = pw + (ky * geom_.kw + kx) * c;
+            for (int64_t ch = 0; ch < c; ++ch) out[ch] += xi[ch] * wi[ch];
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> DepthwiseConv2dOp::backward(const Tensor& g) {
+  const int64_t n = x_.dim(0), h = x_.dim(1), wd = x_.dim(2), c = x_.dim(3);
+  const int64_t oh = out_shape_[1], ow = out_shape_[2];
+  Tensor dx(x_.shape());
+  Tensor dw(w_shape_);
+  const float* px = x_.data();
+  const float* pg = g.data();
+  float* pdx = dx.data();
+  float* pdw = dw.data();
+  // Reconstruct w for dx: it was an input, we cached x only; re-read w from
+  // the forward is not possible, so cache it. (w_ kept below.)
+  const float* pw = w_.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float* gout = pg + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+        for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= wd) continue;
+            const float* xi = px + ((b * h + iy) * wd + ix) * c;
+            float* dxi = pdx + ((b * h + iy) * wd + ix) * c;
+            const float* wi = pw + (ky * geom_.kw + kx) * c;
+            float* dwi = pdw + (ky * geom_.kw + kx) * c;
+            for (int64_t ch = 0; ch < c; ++ch) {
+              dwi[ch] += gout[ch] * xi[ch];
+              dxi[ch] += gout[ch] * wi[ch];
+            }
+          }
+        }
+      }
+    }
+  }
+  return {std::move(dx), std::move(dw)};
+}
+
+Tensor DenseOp::forward(const std::vector<const Tensor*>& in) {
+  x_ = *in[0];
+  w_ = *in[1];
+  return matmul(x_, w_);
+}
+
+std::vector<Tensor> DenseOp::backward(const Tensor& g) {
+  Tensor dx = matmul_nt(g, w_);   // [n,m] * [k,m]^T -> [n,k]
+  Tensor dw = matmul_tn(x_, g);   // [n,k]^T * [n,m] -> [k,m]
+  return {std::move(dx), std::move(dw)};
+}
+
+Tensor MaxPoolOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool: input must be NHWC");
+  x_shape_ = x.shape();
+  const int64_t n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  const int64_t oh = geom_.out_h(h), ow = geom_.out_w(w);
+  Tensor y({n, oh, ow, c});
+  argmax_.assign(static_cast<size_t>(y.numel()), -1);
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const int64_t out_base = ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              const int64_t idx = ((b * h + iy) * w + ix) * c + ch;
+              if (px[idx] > best) {
+                best = px[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          py[out_base + ch] = best_idx >= 0 ? best : 0.0f;
+          argmax_[static_cast<size_t>(out_base + ch)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> MaxPoolOp::backward(const Tensor& g) {
+  Tensor dx(x_shape_);
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    const int64_t idx = argmax_[static_cast<size_t>(i)];
+    if (idx >= 0) dx[idx] += g[i];
+  }
+  return {dx};
+}
+
+Tensor AvgPoolOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  if (x.rank() != 4) throw std::invalid_argument("AvgPool: input must be NHWC");
+  x_shape_ = x.shape();
+  const int64_t n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  const int64_t oh = geom_.out_h(h), ow = geom_.out_w(w);
+  Tensor y({n, oh, ow, c});
+  const float* px = x.data();
+  float* py = y.data();
+  // Divisor is the full window size (count_include_pad), matching the
+  // depthwise-conv-with-reciprocal replacement (reciprocal = 1/F^2, §4.1).
+  const float inv = 1.0f / static_cast<float>(geom_.kh * geom_.kw);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float* out = py + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+        for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float* xi = px + ((b * h + iy) * w + ix) * c;
+            for (int64_t ch = 0; ch < c; ++ch) out[ch] += xi[ch];
+          }
+        }
+        for (int64_t ch = 0; ch < c; ++ch) out[ch] *= inv;
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> AvgPoolOp::backward(const Tensor& g) {
+  const int64_t n = x_shape_[0], h = x_shape_[1], w = x_shape_[2], c = x_shape_[3];
+  const int64_t oh = geom_.out_h(h), ow = geom_.out_w(w);
+  Tensor dx(x_shape_);
+  float* pdx = dx.data();
+  const float* pg = g.data();
+  const float inv = 1.0f / static_cast<float>(geom_.kh * geom_.kw);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float* gout = pg + ((b * oh + oy) * ow + ox) * c;
+        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+        for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            float* dxi = pdx + ((b * h + iy) * w + ix) * c;
+            for (int64_t ch = 0; ch < c; ++ch) dxi[ch] += gout[ch] * inv;
+          }
+        }
+      }
+    }
+  }
+  return {dx};
+}
+
+Tensor GlobalAvgPoolOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  if (x.rank() != 4) throw std::invalid_argument("GlobalAvgPool: input must be NHWC");
+  x_shape_ = x.shape();
+  const int64_t n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* px = x.data();
+  for (int64_t b = 0; b < n; ++b) {
+    float* out = y.data() + b * c;
+    for (int64_t i = 0; i < h * w; ++i) {
+      const float* xi = px + (b * h * w + i) * c;
+      for (int64_t ch = 0; ch < c; ++ch) out[ch] += xi[ch];
+    }
+    for (int64_t ch = 0; ch < c; ++ch) out[ch] *= inv;
+  }
+  return y;
+}
+
+std::vector<Tensor> GlobalAvgPoolOp::backward(const Tensor& g) {
+  const int64_t n = x_shape_[0], h = x_shape_[1], w = x_shape_[2], c = x_shape_[3];
+  Tensor dx(x_shape_);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t b = 0; b < n; ++b) {
+    const float* gout = g.data() + b * c;
+    for (int64_t i = 0; i < h * w; ++i) {
+      float* dxi = dx.data() + (b * h * w + i) * c;
+      for (int64_t ch = 0; ch < c; ++ch) dxi[ch] += gout[ch] * inv;
+    }
+  }
+  return {dx};
+}
+
+}  // namespace tqt

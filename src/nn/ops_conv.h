@@ -1,0 +1,106 @@
+// Compute ops: 2-D convolution, depthwise convolution, dense (fully
+// connected), and pooling. All activations are NHWC; conv weights are
+// [kh, kw, Cin, Cout] and depthwise weights [kh, kw, C].
+#pragma once
+
+#include "nn/op.h"
+#include "tensor/ops.h"
+
+namespace tqt {
+
+/// Standard 2-D convolution, inputs: (x, w). Lowered through im2col so the
+/// forward is one GEMM and the backward two GEMMs plus a col2im scatter.
+class Conv2dOp final : public Op {
+ public:
+  explicit Conv2dOp(Conv2dGeom geom) : geom_(geom) {}
+  std::string type() const override { return "Conv2D"; }
+  int arity() const override { return 2; }
+  const Conv2dGeom& geom() const { return geom_; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Conv2dGeom geom_;
+  Tensor cols_;      // cached im2col(x)
+  Tensor w_;         // cached weight (needed for dX)
+  Shape x_shape_;
+  Shape w_shape_;
+  Shape out_shape_;
+};
+
+/// Depthwise 2-D convolution (channel multiplier 1), inputs: (x, w).
+class DepthwiseConv2dOp final : public Op {
+ public:
+  explicit DepthwiseConv2dOp(Conv2dGeom geom) : geom_(geom) {}
+  std::string type() const override { return "DepthwiseConv2D"; }
+  int arity() const override { return 2; }
+  const Conv2dGeom& geom() const { return geom_; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Conv2dGeom geom_;
+  Tensor x_;
+  Tensor w_;
+  Shape w_shape_;
+  Shape out_shape_;
+};
+
+/// Fully connected layer: y[n,m] = x[n,k] * w[k,m]. Inputs: (x, w).
+class DenseOp final : public Op {
+ public:
+  std::string type() const override { return "Dense"; }
+  int arity() const override { return 2; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Tensor x_;
+  Tensor w_;
+};
+
+/// Max pooling over NHWC windows; backward routes to the argmax tap.
+class MaxPoolOp final : public Op {
+ public:
+  explicit MaxPoolOp(Conv2dGeom geom) : geom_(geom) {}
+  std::string type() const override { return "MaxPool"; }
+  int arity() const override { return 1; }
+  const Conv2dGeom& geom() const { return geom_; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Conv2dGeom geom_;
+  Shape x_shape_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling. The quantize pass may replace this with a depthwise conv
+/// whose weights are the reciprocal 1/(kh*kw), matching Graffitist (§4.1).
+class AvgPoolOp final : public Op {
+ public:
+  explicit AvgPoolOp(Conv2dGeom geom) : geom_(geom) {}
+  std::string type() const override { return "AvgPool"; }
+  int arity() const override { return 1; }
+  const Conv2dGeom& geom() const { return geom_; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Conv2dGeom geom_;
+  Shape x_shape_;
+};
+
+/// Global average pool: [N,H,W,C] -> [N,C].
+class GlobalAvgPoolOp final : public Op {
+ public:
+  std::string type() const override { return "GlobalAvgPool"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Shape x_shape_;
+};
+
+}  // namespace tqt

@@ -1,0 +1,60 @@
+#include "nn/ops_loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tqt {
+
+Tensor SoftmaxCrossEntropyOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& logits = *in[0];
+  const Tensor& labels = *in[1];
+  if (logits.rank() != 2) throw std::invalid_argument("SoftmaxCE: logits must be [N,K]");
+  if (labels.rank() != 1 || labels.dim(0) != logits.dim(0)) {
+    throw std::invalid_argument("SoftmaxCE: labels must be [N]");
+  }
+  probs_ = softmax_rows(logits);
+  labels_ = labels;
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = static_cast<int64_t>(labels[i]);
+    if (y < 0 || y >= k) throw std::invalid_argument("SoftmaxCE: label out of range");
+    loss -= std::log(std::max(probs_[i * k + y], 1e-12f));
+  }
+  return Tensor::scalar(static_cast<float>(loss / static_cast<double>(n)));
+}
+
+std::vector<Tensor> SoftmaxCrossEntropyOp::backward(const Tensor& g) {
+  const float scale = g.item();
+  const int64_t n = probs_.dim(0), k = probs_.dim(1);
+  Tensor dlogits = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = static_cast<int64_t>(labels_[i]);
+    dlogits[i * k + y] -= 1.0f;
+  }
+  dlogits *= scale * inv_n;
+  // Labels get a zero gradient of matching shape.
+  return {std::move(dlogits), Tensor(labels_.shape())};
+}
+
+Tensor L2LossOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  const Tensor& target = *in[1];
+  if (x.shape() != target.shape()) throw std::invalid_argument("L2Loss: shape mismatch");
+  diff_ = x - target;
+  double acc = 0.0;
+  for (int64_t i = 0; i < diff_.numel(); ++i) acc += 0.5 * static_cast<double>(diff_[i]) * diff_[i];
+  return Tensor::scalar(static_cast<float>(acc));
+}
+
+std::vector<Tensor> L2LossOp::backward(const Tensor& g) {
+  const float s = g.item();
+  Tensor dx = diff_ * s;
+  Tensor dt = diff_ * -s;
+  return {std::move(dx), std::move(dt)};
+}
+
+}  // namespace tqt

@@ -1,0 +1,37 @@
+// Softmax cross-entropy loss, the training loss used throughout the paper's
+// experiments ("Softmax cross-entropy loss is used to compute quantization
+// threshold gradients", §5.2).
+#pragma once
+
+#include "nn/op.h"
+
+namespace tqt {
+
+/// Inputs: (logits [N,K], labels [N] holding class indices as floats).
+/// Output: scalar mean cross-entropy over the batch.
+class SoftmaxCrossEntropyOp final : public Op {
+ public:
+  std::string type() const override { return "SoftmaxCrossEntropy"; }
+  int arity() const override { return 2; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Tensor probs_;   // softmax(logits)
+  Tensor labels_;
+};
+
+/// 0.5 * sum((x - target)^2). Used by gradient-check tests and the toy L2
+/// quantization problem of §3.4.
+class L2LossOp final : public Op {
+ public:
+  std::string type() const override { return "L2Loss"; }
+  int arity() const override { return 2; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+
+ private:
+  Tensor diff_;
+};
+
+}  // namespace tqt

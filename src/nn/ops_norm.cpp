@@ -1,0 +1,118 @@
+#include "nn/ops_norm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt {
+
+BatchNormOp::BatchNormOp(const std::string& name_prefix, int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_ = std::make_shared<Param>(name_prefix + "/gamma", Tensor({channels}, 1.0f), "bn");
+  beta_ = std::make_shared<Param>(name_prefix + "/beta", Tensor({channels}), "bn");
+  moving_mean_ = std::make_shared<Param>(name_prefix + "/moving_mean", Tensor({channels}), "bn", false);
+  moving_var_ = std::make_shared<Param>(name_prefix + "/moving_var", Tensor({channels}, 1.0f), "bn", false);
+}
+
+Tensor BatchNormOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  if (x.rank() < 2 || x.dim(-1) != channels_) {
+    throw std::invalid_argument("BatchNorm: expected [..., " + std::to_string(channels_) + "], got " +
+                                shape_to_string(x.shape()));
+  }
+  x_ = x;
+  rows_ = x.numel() / channels_;
+  used_batch_stats_ = training_ && !frozen_;
+
+  Tensor mean({channels_});
+  Tensor var({channels_});
+  if (used_batch_stats_) {
+    const float* px = x.data();
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* row = px + r * channels_;
+      for (int64_t c = 0; c < channels_; ++c) mean[c] += row[c];
+    }
+    mean *= 1.0f / static_cast<float>(rows_);
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* row = px + r * channels_;
+      for (int64_t c = 0; c < channels_; ++c) {
+        const float d = row[c] - mean[c];
+        var[c] += d * d;
+      }
+    }
+    var *= 1.0f / static_cast<float>(rows_);
+    // EMA update of moving statistics.
+    for (int64_t c = 0; c < channels_; ++c) {
+      moving_mean_->value[c] = momentum_ * moving_mean_->value[c] + (1.0f - momentum_) * mean[c];
+      moving_var_->value[c] = momentum_ * moving_var_->value[c] + (1.0f - momentum_) * var[c];
+    }
+  } else {
+    mean = moving_mean_->value;
+    var = moving_var_->value;
+  }
+
+  mean_used_ = mean;
+  inv_std_ = Tensor({channels_});
+  for (int64_t c = 0; c < channels_; ++c) inv_std_[c] = 1.0f / std::sqrt(var[c] + eps_);
+
+  x_hat_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* ph = x_hat_.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* row = px + r * channels_;
+    float* hrow = ph + r * channels_;
+    float* yrow = py + r * channels_;
+    for (int64_t c = 0; c < channels_; ++c) {
+      hrow[c] = (row[c] - mean_used_[c]) * inv_std_[c];
+      yrow[c] = gamma_->value[c] * hrow[c] + beta_->value[c];
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> BatchNormOp::backward(const Tensor& g) {
+  // Per-channel reductions of the upstream gradient.
+  Tensor dgamma({channels_});
+  Tensor dbeta({channels_});
+  const float* pg = g.data();
+  const float* ph = x_hat_.data();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* grow = pg + r * channels_;
+    const float* hrow = ph + r * channels_;
+    for (int64_t c = 0; c < channels_; ++c) {
+      dgamma[c] += grow[c] * hrow[c];
+      dbeta[c] += grow[c];
+    }
+  }
+
+  Tensor dx(x_.shape());
+  float* pdx = dx.data();
+  if (used_batch_stats_) {
+    // Full batch-stats backward:
+    // dx = gamma*inv_std/R * (R*g - sum(g) - x_hat * sum(g*x_hat))
+    const float inv_r = 1.0f / static_cast<float>(rows_);
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* grow = pg + r * channels_;
+      const float* hrow = ph + r * channels_;
+      float* dxrow = pdx + r * channels_;
+      for (int64_t c = 0; c < channels_; ++c) {
+        dxrow[c] = gamma_->value[c] * inv_std_[c] * inv_r *
+                   (static_cast<float>(rows_) * grow[c] - dbeta[c] - hrow[c] * dgamma[c]);
+      }
+    }
+  } else {
+    // Moving stats are constants: dx = g * gamma * inv_std.
+    for (int64_t r = 0; r < rows_; ++r) {
+      const float* grow = pg + r * channels_;
+      float* dxrow = pdx + r * channels_;
+      for (int64_t c = 0; c < channels_; ++c) dxrow[c] = grow[c] * gamma_->value[c] * inv_std_[c];
+    }
+  }
+
+  if (gamma_->trainable) gamma_->grad += dgamma;
+  if (beta_->trainable) beta_->grad += dbeta;
+  return {std::move(dx)};
+}
+
+}  // namespace tqt

@@ -1,0 +1,62 @@
+// Batch normalization over the channel axis of NHWC (or [N,C]) tensors.
+//
+// Modes (following §4.1 of the paper / Jacob et al. 2017 best practice):
+//  - training, not frozen: normalize with batch statistics, update moving
+//    statistics with EMA;
+//  - training, frozen: normalize with the (fixed) moving statistics while
+//    gamma/beta keep training — "freeze batch norm moving mean and variance
+//    updates post convergence";
+//  - inference: moving statistics.
+//
+// The BN-fold transform (src/graph_opt) consumes gamma/beta/moving stats and
+// removes this op from inference/quantized graphs.
+#pragma once
+
+#include "nn/op.h"
+
+namespace tqt {
+
+class BatchNormOp final : public Op {
+ public:
+  /// channels: size of the last axis. momentum: EMA coefficient for moving
+  /// statistics (moving = momentum*moving + (1-momentum)*batch).
+  BatchNormOp(const std::string& name_prefix, int64_t channels, float momentum = 0.95f,
+              float eps = 1e-5f);
+
+  std::string type() const override { return "BatchNorm"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+  std::vector<ParamPtr> params() override { return {gamma_, beta_, moving_mean_, moving_var_}; }
+  void set_training(bool training) override { training_ = training; }
+
+  /// Stop updating moving statistics (but keep training gamma/beta).
+  void freeze_stats(bool frozen) { frozen_ = frozen; }
+  bool stats_frozen() const { return frozen_; }
+
+  float eps() const { return eps_; }
+  const ParamPtr& gamma() const { return gamma_; }
+  const ParamPtr& beta() const { return beta_; }
+  const ParamPtr& moving_mean() const { return moving_mean_; }
+  const ParamPtr& moving_var() const { return moving_var_; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  bool training_ = false;
+  bool frozen_ = false;
+
+  ParamPtr gamma_, beta_;
+  ParamPtr moving_mean_, moving_var_;  // non-trainable
+
+  // Cached forward state for backward.
+  Tensor x_hat_;     // normalized input
+  Tensor inv_std_;   // per-channel 1/sqrt(var+eps) actually used
+  Tensor mean_used_; // per-channel mean actually used
+  Tensor x_;
+  bool used_batch_stats_ = false;
+  int64_t rows_ = 0;
+};
+
+}  // namespace tqt

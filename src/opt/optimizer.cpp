@@ -1,0 +1,126 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt {
+
+float LrSchedule::at(int64_t step) const {
+  if (period <= 0 || decay == 1.0f) return base;
+  const double exponent = staircase ? static_cast<double>(step / period)
+                                    : static_cast<double>(step) / static_cast<double>(period);
+  return static_cast<float>(base * std::pow(static_cast<double>(decay), exponent));
+}
+
+Optimizer::Optimizer(std::vector<ParamPtr> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (!p) throw std::invalid_argument("Optimizer: null param");
+  }
+}
+
+void Optimizer::set_group_schedule(const std::string& group, LrSchedule sched) {
+  group_sched_[group] = sched;
+}
+
+float Optimizer::lr_for(const Param& p) const {
+  auto it = group_sched_.find(p.group);
+  const LrSchedule& s = it != group_sched_.end() ? it->second : default_sched_;
+  return s.at(step_);
+}
+
+void Optimizer::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    if (!p.trainable) continue;
+    update(p, lr_for(p), i);
+  }
+  ++step_;
+}
+
+// ---- SGD -------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<ParamPtr> params, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::update(Param& p, float lr, size_t slot) {
+  if (momentum_ != 0.0f) {
+    Tensor& v = velocity_[slot];
+    v *= momentum_;
+    v.add_scaled(p.grad, 1.0f);
+    p.value.add_scaled(v, -lr);
+  } else {
+    p.value.add_scaled(p.grad, -lr);
+  }
+}
+
+// ---- Adam ------------------------------------------------------------------
+
+Adam::Adam(std::vector<ParamPtr> params, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::update(Param& p, float lr, size_t slot) {
+  Tensor& m = m_[slot];
+  Tensor& v = v_[slot];
+  const double t = static_cast<double>(step_ + 1);
+  const float bc1 = static_cast<float>(1.0 - std::pow(static_cast<double>(beta1_), t));
+  const float bc2 = static_cast<float>(1.0 - std::pow(static_cast<double>(beta2_), t));
+  for (int64_t i = 0; i < p.value.numel(); ++i) {
+    const float g = p.grad[i];
+    m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    p.value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+// ---- RMSprop ---------------------------------------------------------------
+
+RmsProp::RmsProp(std::vector<ParamPtr> params, float beta2, float eps)
+    : Optimizer(std::move(params)), beta2_(beta2), eps_(eps) {
+  v_.reserve(params_.size());
+  for (const auto& p : params_) v_.emplace_back(p->value.shape());
+}
+
+void RmsProp::update(Param& p, float lr, size_t slot) {
+  Tensor& v = v_[slot];
+  for (int64_t i = 0; i < p.value.numel(); ++i) {
+    const float g = p.grad[i];
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+    p.value[i] -= lr * g / (std::sqrt(v[i]) + eps_);
+  }
+}
+
+// ---- Normed SGD (paper Eqs. 17-18) ------------------------------------------
+
+NormedSgd::NormedSgd(std::vector<ParamPtr> params, float beta2, float eps, bool tanh_clip)
+    : Optimizer(std::move(params)), beta2_(beta2), eps_(eps), tanh_clip_(tanh_clip) {
+  v_.reserve(params_.size());
+  for (const auto& p : params_) v_.emplace_back(p->value.shape());
+}
+
+void NormedSgd::update(Param& p, float lr, size_t slot) {
+  Tensor& v = v_[slot];
+  const double t = static_cast<double>(step_ + 1);
+  const float bc2 = static_cast<float>(1.0 - std::pow(static_cast<double>(beta2_), t));
+  for (int64_t i = 0; i < p.value.numel(); ++i) {
+    const float g = p.grad[i];
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+    const float v_hat = v[i] / bc2;
+    float normed = g / (std::sqrt(v_hat) + eps_);
+    if (tanh_clip_) normed = std::tanh(normed);
+    p.value[i] -= lr * normed;
+  }
+}
+
+}  // namespace tqt

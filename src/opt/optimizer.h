@@ -1,0 +1,123 @@
+// Optimizers and learning-rate schedules.
+//
+// The paper trains weights and thresholds simultaneously but with different
+// learning rates and decay schedules (§5.2: Adam for both, lr 1e-2 for
+// thresholds / 1e-6 for weights, exponential staircase decay). Parameters
+// carry a `group` tag ("weight", "bias", "bn", "threshold") and the optimizer
+// resolves each parameter's schedule through its group.
+//
+// Appendix B motivates two extra optimizers used by the convergence
+// benchmarks (Figure 8): plain SGD (which fails on raw/log threshold
+// gradients) and SGD on *normed* gradients (Eqs. 17-18), which normalizes
+// each gradient by a bias-corrected EMA of its variance and squashes through
+// tanh — reproducing Adam's scale invariance without momentum.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/op.h"
+
+namespace tqt {
+
+/// Exponentially decayed learning rate with optional staircase quantization:
+/// lr(step) = base * decay^(step/period)   (floor division when staircase).
+struct LrSchedule {
+  float base = 1e-3f;
+  float decay = 1.0f;
+  int64_t period = 0;  // 0 disables decay
+  bool staircase = true;
+
+  float at(int64_t step) const;
+
+  static LrSchedule constant(float lr) { return {lr, 1.0f, 0, true}; }
+};
+
+/// Base optimizer: owns the parameter list and per-group schedules.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamPtr> params);
+  virtual ~Optimizer() = default;
+
+  /// Set the schedule for parameters whose group matches `group`.
+  void set_group_schedule(const std::string& group, LrSchedule sched);
+  /// Fallback schedule for groups without an explicit entry.
+  void set_default_schedule(LrSchedule sched) { default_sched_ = sched; }
+
+  /// Apply one update from the accumulated gradients, then advance the step
+  /// counter. Parameters with trainable == false are skipped.
+  void step();
+
+  int64_t step_count() const { return step_; }
+  const std::vector<ParamPtr>& params() const { return params_; }
+
+ protected:
+  /// Per-parameter update rule; `lr` already resolved from the schedule,
+  /// `slot` is a stable per-parameter state index.
+  virtual void update(Param& p, float lr, size_t slot) = 0;
+
+  float lr_for(const Param& p) const;
+
+  std::vector<ParamPtr> params_;
+  std::map<std::string, LrSchedule> group_sched_;
+  LrSchedule default_sched_ = LrSchedule::constant(1e-3f);
+  int64_t step_ = 0;
+};
+
+/// Vanilla SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(std::vector<ParamPtr> params, float momentum = 0.0f);
+
+ private:
+  void update(Param& p, float lr, size_t slot) override;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2014) with bias correction — the optimizer the paper
+/// recommends for log-threshold training (Appendix B.2).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ParamPtr> params, float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  float beta1() const { return beta1_; }
+  float beta2() const { return beta2_; }
+
+ private:
+  void update(Param& p, float lr, size_t slot) override;
+  float beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+};
+
+/// RMSprop (Hinton 2012): EMA of squared gradients, no momentum.
+class RmsProp final : public Optimizer {
+ public:
+  RmsProp(std::vector<ParamPtr> params, float beta2 = 0.999f, float eps = 1e-8f);
+
+ private:
+  void update(Param& p, float lr, size_t slot) override;
+  float beta2_, eps_;
+  std::vector<Tensor> v_;
+};
+
+/// SGD on normed gradients (paper Eqs. 17-18): g~ = tanh(g / sqrt(v_hat+eps))
+/// where v_hat is the bias-corrected EMA of g^2. |g~| <= 1 by construction,
+/// so with lr << 1 threshold oscillations stay within one integer bin
+/// (Appendix B.3).
+class NormedSgd final : public Optimizer {
+ public:
+  NormedSgd(std::vector<ParamPtr> params, float beta2 = 0.999f, float eps = 1e-8f,
+            bool tanh_clip = true);
+
+ private:
+  void update(Param& p, float lr, size_t slot) override;
+  float beta2_, eps_;
+  bool tanh_clip_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace tqt

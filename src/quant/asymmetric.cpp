@@ -1,0 +1,87 @@
+#include "quant/asymmetric.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tqt {
+
+ParamPtr make_range(const std::string& name, float min, float max, bool trainable) {
+  if (!(min < max)) throw std::invalid_argument("make_range: need min < max");
+  return std::make_shared<Param>(name, Tensor({2}, {min, max}), "threshold", trainable);
+}
+
+AsymmetricFakeQuantOp::AsymmetricFakeQuantOp(int bits, ParamPtr range)
+    : bits_(bits), range_(std::move(range)) {
+  if (bits_ < 2 || bits_ > 16) throw std::invalid_argument("AsymFakeQuant: bits in [2,16]");
+  if (!range_ || range_->value.numel() != 2) {
+    throw std::invalid_argument("AsymFakeQuant: range must be a {min,max} pair");
+  }
+}
+
+void AsymmetricFakeQuantOp::set_range(ParamPtr range) {
+  if (!range || range->value.numel() != 2) {
+    throw std::invalid_argument("set_range: range must be a {min,max} pair");
+  }
+  range_ = std::move(range);
+}
+
+float AsymmetricFakeQuantOp::scale() const {
+  const float min = range_->value[0];
+  const float max = range_->value[1];
+  const float levels = static_cast<float>((int64_t{1} << bits_) - 1);
+  return std::max((max - min) / levels, 1e-12f);
+}
+
+int64_t AsymmetricFakeQuantOp::zero_point() const {
+  const float s = scale();
+  const int64_t levels = (int64_t{1} << bits_) - 1;
+  int64_t z = static_cast<int64_t>(round_half_to_even(-range_->value[0] / s));
+  return std::min(std::max<int64_t>(z, 0), levels);
+}
+
+Tensor AsymmetricFakeQuantOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  x_ = x;
+  if (!enabled_ || collect_) {
+    if (collect_) collected_.insert(collected_.end(), x.vec().begin(), x.vec().end());
+    bypassed_ = true;
+    return x;
+  }
+  bypassed_ = false;
+  s_used_ = scale();
+  z_used_ = zero_point();
+  const float hi = static_cast<float>((int64_t{1} << bits_) - 1);
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    float q = round_half_to_even(x[i] / s_used_) + static_cast<float>(z_used_);
+    q = std::min(std::max(q, 0.0f), hi);
+    y[i] = (q - static_cast<float>(z_used_)) * s_used_;
+  }
+  return y;
+}
+
+std::vector<Tensor> AsymmetricFakeQuantOp::backward(const Tensor& g) {
+  if (bypassed_) return {g};
+  const float hi = static_cast<float>((int64_t{1} << bits_) - 1);
+  Tensor dx(g.shape());
+  double dmin = 0.0, dmax = 0.0;
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    const float q = round_half_to_even(x_[i] / s_used_) + static_cast<float>(z_used_);
+    if (q < 0.0f) {
+      dmin += g[i];  // below range: gradient flows to min (TF FakeQuant)
+    } else if (q > hi) {
+      dmax += g[i];
+    } else {
+      dx[i] = g[i];
+    }
+  }
+  if (range_->trainable) {
+    range_->grad[0] += static_cast<float>(dmin);
+    range_->grad[1] += static_cast<float>(dmax);
+  }
+  return {dx};
+}
+
+}  // namespace tqt

@@ -1,0 +1,62 @@
+// Asymmetric (affine) fake quantizer with a zero-point — the quantization
+// scheme of TensorFlow's QAT / gemmlowp that the paper compares against in
+// Table 1 ("per-tensor, asymmetric, real scaling") and Appendix A (the cost
+// of cross-terms). TQT deliberately avoids this scheme; it exists here as a
+// faithful baseline:
+//
+//    s = (max - min) / (2^b - 1),  z = round(-min / s) clipped to [0, 2^b-1]
+//    q(x) = ( clip(round(x/s) + z, 0, 2^b - 1) - z ) * s
+//
+// The backward pass follows TF's FakeQuantWithMinMaxVars: straight-through
+// for in-range x, and *clipped* gradients for the min/max range parameters
+// (gradient flows to min below the range and to max above it) — the
+// formulation §3.5 shows can only expand the range.
+#pragma once
+
+#include "nn/op.h"
+#include "quant/quant_spec.h"
+
+namespace tqt {
+
+class AsymmetricFakeQuantOp final : public Op {
+ public:
+  /// `range` holds {min, max} as a 2-element tensor (group "threshold").
+  AsymmetricFakeQuantOp(int bits, ParamPtr range);
+
+  std::string type() const override { return "AsymFakeQuant"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+  std::vector<ParamPtr> params() override { return {range_}; }
+
+  int bits() const { return bits_; }
+  const ParamPtr& range() const { return range_; }
+  /// Replace the range parameter (scale merging for concat inputs).
+  void set_range(ParamPtr range);
+  float scale() const;
+  /// Zero-point: the integer level that represents real 0 exactly.
+  int64_t zero_point() const;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  void set_collect(bool collect) { collect_ = collect; }
+  const std::vector<float>& collected() const { return collected_; }
+  void clear_collected() { collected_.clear(); }
+
+ private:
+  int bits_;
+  ParamPtr range_;
+  bool enabled_ = true;
+  bool collect_ = false;
+  std::vector<float> collected_;
+
+  Tensor x_;
+  float s_used_ = 1.0f;
+  int64_t z_used_ = 0;
+  bool bypassed_ = false;
+};
+
+/// {min, max} range parameter helper.
+ParamPtr make_range(const std::string& name, float min, float max, bool trainable = true);
+
+}  // namespace tqt

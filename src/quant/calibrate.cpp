@@ -1,0 +1,154 @@
+#include "quant/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tqt {
+
+namespace {
+constexpr float kMinThreshold = 1e-7f;  // keep log2(t) finite on degenerate data
+}
+
+float max_threshold(std::span<const float> values) {
+  float m = 0.0f;
+  for (float v : values) m = std::max(m, std::fabs(v));
+  return std::max(m, kMinThreshold);
+}
+
+float sd_threshold(std::span<const float> values, float n_sd) {
+  if (values.empty()) return kMinThreshold;
+  double mean = 0.0;
+  for (float v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (float v : values) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  return std::max(static_cast<float>(n_sd * std::sqrt(var)), kMinThreshold);
+}
+
+float percentile_threshold(std::span<const float> values, float pct) {
+  if (values.empty()) return kMinThreshold;
+  if (pct < 0.0f || pct > 100.0f) throw std::invalid_argument("percentile out of [0,100]");
+  std::vector<float> mags(values.size());
+  for (size_t i = 0; i < values.size(); ++i) mags[i] = std::fabs(values[i]);
+  const size_t k = std::min(mags.size() - 1,
+                            static_cast<size_t>(static_cast<double>(pct) / 100.0 *
+                                                static_cast<double>(mags.size() - 1) + 0.5));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k), mags.end());
+  return std::max(mags[k], kMinThreshold);
+}
+
+double kl_j_distance(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) throw std::invalid_argument("kl_j_distance: size mismatch");
+  double sp = 0.0, sq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < 0.0 || q[i] < 0.0) throw std::invalid_argument("kl_j_distance: negative mass");
+    sp += p[i];
+    sq += q[i];
+  }
+  if (sp <= 0.0 || sq <= 0.0) return 0.0;
+  // Epsilon smoothing keeps the distance finite when supports differ.
+  constexpr double eps = 1e-10;
+  double j = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / sp + eps;
+    const double qi = q[i] / sq + eps;
+    j += (pi - qi) * std::log(pi / qi);
+  }
+  return j;
+}
+
+float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max, QuantBits bits) {
+  bits.validate();
+  const int n_bins = static_cast<int>(hist.size());
+  if (n_bins == 0 || abs_max <= 0.0f) return kMinThreshold;
+  // Number of magnitude levels the quantizer can represent: 0..qmax.
+  const int levels = static_cast<int>(bits.qmax()) + 1;
+  if (n_bins <= levels) {
+    return std::max(abs_max, kMinThreshold);  // nothing to clip at this resolution
+  }
+  const float bin_width = abs_max / static_cast<float>(n_bins);
+
+  double best_j = -1.0;
+  int best_i = n_bins;
+  std::vector<double> p, q;
+  for (int i = levels; i <= n_bins; ++i) {
+    // Reference distribution: bins [0, i), clipped tail folded into bin i-1.
+    p.assign(static_cast<size_t>(i), 0.0);
+    for (int b = 0; b < i; ++b) p[static_cast<size_t>(b)] = hist[static_cast<size_t>(b)];
+    double tail = 0.0;
+    for (int b = i; b < n_bins; ++b) tail += hist[static_cast<size_t>(b)];
+    p[static_cast<size_t>(i - 1)] += tail;
+
+    // Quantized distribution: collapse the *unfolded* first i bins into
+    // `levels` groups, spreading each group's mass uniformly over the bins
+    // that had any mass. Building Q without the tail fold is what makes
+    // clipping cost divergence (P's last bin carries the folded tail mass
+    // that Q cannot represent).
+    q.assign(static_cast<size_t>(i), 0.0);
+    for (int g = 0; g < levels; ++g) {
+      const int start = static_cast<int>(static_cast<int64_t>(g) * i / levels);
+      const int end = static_cast<int>(static_cast<int64_t>(g + 1) * i / levels);
+      double mass = 0.0;
+      int support = 0;
+      for (int b = start; b < end; ++b) {
+        mass += hist[static_cast<size_t>(b)];
+        if (hist[static_cast<size_t>(b)] > 0.0) ++support;
+      }
+      if (support == 0) continue;
+      const double share = mass / support;
+      for (int b = start; b < end; ++b) {
+        if (hist[static_cast<size_t>(b)] > 0.0) q[static_cast<size_t>(b)] = share;
+      }
+    }
+
+    const double j = kl_j_distance(p, q);
+    if (best_j < 0.0 || j < best_j) {
+      best_j = j;
+      best_i = i;
+    }
+  }
+  return std::max(static_cast<float>(best_i) * bin_width, kMinThreshold);
+}
+
+float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins) {
+  if (values.empty()) return kMinThreshold;
+  float abs_max = 0.0f;
+  for (float v : values) abs_max = std::max(abs_max, std::fabs(v));
+  if (abs_max <= 0.0f) return kMinThreshold;
+  // Exact zeros (the ReLU spike) are representable at every threshold, so
+  // they carry no information for the range-precision trade-off. Leaving
+  // them in lets the quantized distribution's group-spreading dilute the
+  // zero spike, which systematically biases KL-J toward tiny thresholds.
+  std::vector<float> nonzero;
+  nonzero.reserve(values.size());
+  for (float v : values) {
+    if (v != 0.0f) nonzero.push_back(v);
+  }
+  if (nonzero.empty()) return kMinThreshold;
+  const int64_t count = static_cast<int64_t>(nonzero.size());
+  const Tensor t({count}, std::move(nonzero));
+  const std::vector<float> hist = abs_histogram(t, bins, abs_max);
+  return kl_j_threshold_from_hist(hist, abs_max, bits);
+}
+
+std::vector<float> per_channel_max_thresholds(const Tensor& w, int64_t axis) {
+  if (axis < 0 || axis >= w.rank()) throw std::invalid_argument("per_channel_max_thresholds: bad axis");
+  const int64_t channels = w.dim(axis);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < w.rank(); ++d) inner *= w.dim(d);
+  std::vector<float> out(static_cast<size_t>(channels), kMinThreshold);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const int64_t c = (i / inner) % channels;
+    out[static_cast<size_t>(c)] = std::max(out[static_cast<size_t>(c)], std::fabs(w[i]));
+  }
+  return out;
+}
+
+}  // namespace tqt

@@ -1,0 +1,52 @@
+// Threshold calibration: choosing the raw clipping threshold t of a
+// quantization layer from observed data (paper Table 2 and §4.2).
+//
+//   MAX         max |x|                       (weights, static & wt-retrain)
+//   3SD         3 standard deviations         (weights, TQT wt+th retrain)
+//   percentile  p-th percentile of |x|        (FAQ-style; offered as option)
+//   KL-J        minimizer of the symmetric Kullback-Leibler-J distance
+//               between the original and quantized distributions
+//               (activations; D'Alberto & Dasdan 2009, TensorRT-style)
+//
+// All functions return the *raw* threshold t > 0; callers store log2(t).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quant/quant_spec.h"
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+/// max |x|; returns a tiny positive floor if the data is all-zero.
+float max_threshold(std::span<const float> values);
+
+/// n_sd standard deviations of the raw distribution (not of |x|).
+float sd_threshold(std::span<const float> values, float n_sd = 3.0f);
+
+/// pct-th percentile (in [0,100]) of |x|.
+float percentile_threshold(std::span<const float> values, float pct = 99.9f);
+
+/// KL-J calibration on a histogram of |x|:
+///   hist  counts over `hist.size()` equal bins spanning [0, abs_max]
+///   bits  target precision; the quantized distribution has qmax(bits)+1
+///         magnitude levels
+/// Scans candidate thresholds (bin edges) and returns the t minimizing
+///   J(P, Q) = KL(P||Q) + KL(Q||P)
+/// where P is the clipped reference distribution and Q the
+/// collapse-and-expand quantized approximation.
+float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max, QuantBits bits);
+
+/// Convenience: histogram `values` (default 2048 bins, the TensorRT choice —
+/// fewer bins under-resolve the bulk against far outliers) then run KL-J.
+float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins = 2048);
+
+/// The J distance itself, exposed for tests: both inputs are unnormalized
+/// non-negative mass vectors of equal length.
+double kl_j_distance(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Per-channel MAX thresholds of a weight tensor along `axis`.
+std::vector<float> per_channel_max_thresholds(const Tensor& w, int64_t axis);
+
+}  // namespace tqt

@@ -1,0 +1,290 @@
+#include "quant/fake_quant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tqt {
+
+namespace {
+constexpr float kLn2 = 0.69314718055994530942f;
+
+float apply_round(float x, RoundMode mode) {
+  if (mode == RoundMode::kHalfToEven) return round_half_to_even(x);
+  // Half away from zero: the biased schoolbook rule (ablation only).
+  return x >= 0.0f ? std::floor(x + 0.5f) : std::ceil(x - 0.5f);
+}
+}
+
+std::string to_string(QuantMode m) {
+  switch (m) {
+    case QuantMode::kTqt: return "tqt";
+    case QuantMode::kClipped: return "clipped";
+    case QuantMode::kPact: return "pact";
+    case QuantMode::kLsq: return "lsq";
+  }
+  return "?";
+}
+
+ParamPtr make_threshold(const std::string& name, float log2_t0, bool trainable) {
+  auto p = std::make_shared<Param>(name, Tensor::scalar(log2_t0), "threshold", trainable);
+  return p;
+}
+
+FakeQuantOp::FakeQuantOp(QuantBits bits, QuantMode mode, ParamPtr threshold, bool power_of_2)
+    : bits_(bits), mode_(mode), power_of_2_(power_of_2), threshold_(std::move(threshold)) {
+  bits_.validate();
+  if (!threshold_) throw std::invalid_argument("FakeQuant: null threshold param");
+  if (mode_ == QuantMode::kPact && bits_.is_signed) {
+    throw std::invalid_argument("FakeQuant: PACT applies to unsigned (post-ReLU) tensors only");
+  }
+  if (mode_ == QuantMode::kLsq && power_of_2_) {
+    throw std::invalid_argument("FakeQuant: LSQ learns a real-valued scale (power_of_2 must be false)");
+  }
+}
+
+FakeQuantOp::FakeQuantOp(QuantBits bits, DerivedExponent derived)
+    : bits_(bits), derived_(std::move(derived)) {
+  bits_.validate();
+  if (!derived_) throw std::invalid_argument("FakeQuant: null derived-exponent callback");
+}
+
+FakeQuantOp::FakeQuantOp(QuantBits bits, ParamPtr log2_thresholds, int64_t axis, bool power_of_2)
+    : bits_(bits), power_of_2_(power_of_2), threshold_(std::move(log2_thresholds)), channel_axis_(axis) {
+  bits_.validate();
+  if (!threshold_) throw std::invalid_argument("FakeQuant: null per-channel thresholds");
+  if (axis < 0) throw std::invalid_argument("FakeQuant: per-channel axis must be >= 0");
+}
+
+void FakeQuantOp::set_threshold(ParamPtr p) {
+  if (!p) throw std::invalid_argument("set_threshold: null param");
+  if (derived_) throw std::logic_error("set_threshold: derived-scale quantizer has no threshold");
+  threshold_ = std::move(p);
+}
+
+std::vector<ParamPtr> FakeQuantOp::params() {
+  if (threshold_) return {threshold_};
+  return {};
+}
+
+float FakeQuantOp::raw_threshold() const {
+  if (!threshold_ || per_channel()) throw std::logic_error("raw_threshold: not a per-tensor trainable quantizer");
+  switch (mode_) {
+    case QuantMode::kTqt:
+    case QuantMode::kClipped:
+      return std::exp2(threshold_->value[0]);
+    case QuantMode::kPact:
+    case QuantMode::kLsq:
+      return threshold_->value[0];
+  }
+  return 0.0f;
+}
+
+int FakeQuantOp::exponent() const {
+  if (derived_) return derived_();
+  if (!power_of_2_) throw std::logic_error("exponent: quantizer does not use a power-of-2 scale");
+  if (per_channel()) throw std::logic_error("exponent: per-channel quantizer has no single exponent");
+  const float log2_t = threshold_->value[0];
+  return static_cast<int>(std::ceil(log2_t)) - bits_.scale_shift();
+}
+
+float FakeQuantOp::scale() const {
+  if (derived_ || power_of_2_) return std::exp2(static_cast<float>(exponent()));
+  switch (mode_) {
+    case QuantMode::kLsq:
+      return std::max(threshold_->value[0], 1e-12f);
+    case QuantMode::kPact:
+      return std::max(threshold_->value[0], 1e-12f) / static_cast<float>(bits_.qmax());
+    case QuantMode::kTqt:
+    case QuantMode::kClipped:
+      // Real-scale static variant: map raw threshold t to the largest level.
+      return std::exp2(threshold_->value[0]) / static_cast<float>(bits_.qmax());
+  }
+  return 1.0f;
+}
+
+Tensor FakeQuantOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  x_ = x;
+  if (!enabled_ || collect_) {
+    if (collect_) {
+      collected_.insert(collected_.end(), x.vec().begin(), x.vec().end());
+    }
+    bypassed_ = true;
+    return x;
+  }
+  bypassed_ = false;
+  if (per_channel()) return forward_per_channel(x);
+  if (mode_ == QuantMode::kPact) return forward_pact(x);
+  return forward_per_tensor(x);
+}
+
+Tensor FakeQuantOp::forward_per_tensor(const Tensor& x) {
+  const float s = scale();
+  s_used_ = s;
+  const float n = static_cast<float>(bits_.qmin());
+  const float p = static_cast<float>(bits_.qmax());
+  Tensor y(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    float q = apply_round(px[i] / s, round_mode_);
+    q = std::min(std::max(q, n), p);
+    py[i] = q * s;
+  }
+  return y;
+}
+
+Tensor FakeQuantOp::forward_pact(const Tensor& x) {
+  const float alpha = std::max(threshold_->value[0], 1e-12f);
+  const float s = alpha / static_cast<float>(bits_.qmax());
+  s_used_ = s;
+  const float p = static_cast<float>(bits_.qmax());
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    float q = round_half_to_even(x[i] / s);
+    q = std::min(std::max(q, 0.0f), p);
+    y[i] = q * s;
+  }
+  return y;
+}
+
+Tensor FakeQuantOp::forward_per_channel(const Tensor& x) {
+  const int64_t axis = channel_axis_;
+  if (axis >= x.rank()) throw std::invalid_argument("FakeQuant per-channel: axis out of range");
+  const int64_t channels = x.dim(axis);
+  if (threshold_->value.numel() != channels) {
+    throw std::invalid_argument("FakeQuant per-channel: thresholds size mismatch");
+  }
+  // Precompute per-channel scales.
+  std::vector<float> scales(static_cast<size_t>(channels));
+  for (int64_t c = 0; c < channels; ++c) {
+    const float log2_t = threshold_->value[c];
+    if (power_of_2_) {
+      scales[static_cast<size_t>(c)] =
+          std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - bits_.scale_shift()));
+    } else {
+      scales[static_cast<size_t>(c)] = std::exp2(log2_t) / static_cast<float>(bits_.qmax());
+    }
+  }
+  // Iterate with the channel index recovered from the flat index.
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < x.rank(); ++d) inner *= x.dim(d);
+  const float n = static_cast<float>(bits_.qmin());
+  const float p = static_cast<float>(bits_.qmax());
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const int64_t c = (i / inner) % channels;
+    const float s = scales[static_cast<size_t>(c)];
+    float q = round_half_to_even(x[i] / s);
+    q = std::min(std::max(q, n), p);
+    y[i] = q * s;
+  }
+  return y;
+}
+
+std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
+  if (bypassed_) return {g};
+
+  if (per_channel()) {
+    // Straight-through input gradients inside each channel's clip range; when
+    // the per-channel thresholds are trainable, each channel also receives
+    // its own Eq. 7 gradient (the per-channel TQT extension of §7).
+    const int64_t axis = channel_axis_;
+    const int64_t channels = x_.dim(axis);
+    int64_t inner = 1;
+    for (int64_t d = axis + 1; d < x_.rank(); ++d) inner *= x_.dim(d);
+    const float n = static_cast<float>(bits_.qmin());
+    const float p = static_cast<float>(bits_.qmax());
+    const bool train_th = threshold_->trainable && mode_ == QuantMode::kTqt;
+    std::vector<double> dth(static_cast<size_t>(channels), 0.0);
+    std::vector<float> scales(static_cast<size_t>(channels));
+    for (int64_t c = 0; c < channels; ++c) {
+      const float log2_t = threshold_->value[c];
+      scales[static_cast<size_t>(c)] =
+          power_of_2_ ? std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) -
+                                                     bits_.scale_shift()))
+                      : std::exp2(log2_t) / p;
+    }
+    Tensor dx(g.shape());
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      const int64_t c = (i / inner) % channels;
+      const float s = scales[static_cast<size_t>(c)];
+      const float xs = x_[i] / s;
+      const float r = round_half_to_even(xs);
+      if (r < n) {
+        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * n;
+      } else if (r > p) {
+        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * p;
+      } else {
+        dx[i] = g[i];
+        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * (r - xs);
+      }
+    }
+    if (train_th) {
+      for (int64_t c = 0; c < channels; ++c) {
+        threshold_->grad[c] +=
+            scales[static_cast<size_t>(c)] * kLn2 * static_cast<float>(dth[static_cast<size_t>(c)]);
+      }
+    }
+    return {dx};
+  }
+
+  if (mode_ == QuantMode::kPact) {
+    const float alpha = std::max(threshold_->value[0], 1e-12f);
+    Tensor dx(g.shape());
+    double dalpha = 0.0;
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      if (x_[i] >= alpha) {
+        dalpha += g[i];  // Eq. (1): gradient 1 above the clip threshold
+      } else if (x_[i] > 0.0f) {
+        dx[i] = g[i];
+      }
+    }
+    if (threshold_->trainable) threshold_->grad[0] += static_cast<float>(dalpha);
+    return {dx};
+  }
+
+  const float s = s_used_;
+  const float n = static_cast<float>(bits_.qmin());
+  const float p = static_cast<float>(bits_.qmax());
+  Tensor dx(g.shape());
+  double dth = 0.0;
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    const float xs = x_[i] / s;
+    const float r = apply_round(xs, round_mode_);  // same rule as forward
+    if (r < n) {
+      // Below range: clipped to n. Threshold gradient contribution n (Eq. 6).
+      dth += static_cast<double>(g[i]) * n;
+    } else if (r > p) {
+      dth += static_cast<double>(g[i]) * p;
+    } else {
+      dx[i] = g[i];  // Eq. (8)
+      if (mode_ != QuantMode::kClipped) {
+        // Eq. (6): the rounded-minus-exact term the STE keeps as a value.
+        dth += static_cast<double>(g[i]) * (r - xs);
+      }
+      // kClipped: round treated as identity -> zero contribution inside.
+    }
+  }
+  if (threshold_ && threshold_->trainable && !derived_) {
+    float gth = 0.0f;
+    switch (mode_) {
+      case QuantMode::kTqt:
+      case QuantMode::kClipped:
+        // d/d(log2 t) = s ln2 * (...)   (Eq. 7)
+        gth = s * kLn2 * static_cast<float>(dth);
+        break;
+      case QuantMode::kLsq:
+        gth = static_cast<float>(dth);  // gradient on the raw scale s
+        break;
+      case QuantMode::kPact:
+        break;  // handled above
+    }
+    threshold_->grad[0] += gth;
+  }
+  return {dx};
+}
+
+}  // namespace tqt

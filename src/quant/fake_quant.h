@@ -1,0 +1,122 @@
+// FakeQuant: the quantization-emulation op at the heart of TQT.
+//
+// Forward (paper §3.2, Eq. 4): scale -> round (half-to-even) -> saturate ->
+// de-quant, with a power-of-2 scale-factor derived from the trainable
+// log2-threshold:  s = 2^ceil(log2 t) / 2^(b-1)   (signed; 2^b unsigned).
+//
+// Backward (paper §3.3):
+//   d q / d x        = 1 inside the clip range, 0 outside            (Eq. 8)
+//   d q / d log2 t   = s ln2 * { round(x/s) - x/s | n | p }          (Eq. 7)
+// The crucial detail (§3.5): the straight-through estimator sets the
+// *derivative* of round to 1 but keeps round(x/s) != x/s as a value, which is
+// what gives the threshold gradient its sign structure (range-precision
+// trade-off). QuantMode selects between this formulation and the baselines
+// it is compared against (TF-FakeQuant clipped gradients, PACT, LSQ).
+//
+// One FakeQuantOp = one quantization layer. Scale merging (§4.3's q' nodes)
+// is expressed by *sharing the threshold Param* between ops; derived scales
+// (the q16 accumulator/bias nodes whose scale must equal s_w * s_x for the
+// fixed-point mapping) are expressed by a DerivedExponent callback.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/op.h"
+#include "quant/quant_spec.h"
+
+namespace tqt {
+
+/// Returns the current integer exponent e with s = 2^e (power-of-2 mode).
+using DerivedExponent = std::function<int()>;
+
+class FakeQuantOp final : public Op {
+ public:
+  /// Trainable/static per-tensor quantizer. `threshold` holds log2(t) as a
+  /// scalar tensor (TQT/Clipped), raw alpha (PACT) or raw scale s (LSQ).
+  FakeQuantOp(QuantBits bits, QuantMode mode, ParamPtr threshold, bool power_of_2 = true);
+
+  /// Derived-scale quantizer (q16 accumulator/bias nodes): the exponent is
+  /// computed by the callback each forward; no trainable threshold.
+  FakeQuantOp(QuantBits bits, DerivedExponent derived);
+
+  /// Per-channel quantizer along `axis`. `log2_thresholds` holds one log2(t)
+  /// per channel. With a non-trainable parameter this is the per-channel QAT
+  /// baseline of Table 1; with a trainable one it is the per-channel TQT
+  /// extension the paper sketches as future work (§7) — each channel's
+  /// threshold receives its own Eq. 7 gradient.
+  FakeQuantOp(QuantBits bits, ParamPtr log2_thresholds, int64_t axis, bool power_of_2);
+
+  std::string type() const override { return "FakeQuant"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+  std::vector<ParamPtr> params() override;
+
+  QuantBits bits() const { return bits_; }
+  QuantMode mode() const { return mode_; }
+  bool power_of_2() const { return power_of_2_; }
+  bool is_derived() const { return static_cast<bool>(derived_); }
+  bool per_channel() const { return channel_axis_ >= 0; }
+  int64_t channel_axis() const { return channel_axis_; }
+  const ParamPtr& threshold() const { return threshold_; }
+
+  /// Replace the threshold parameter — used by the scale-merging pass (§4.3)
+  /// to make several quantizers share one trained threshold.
+  void set_threshold(ParamPtr p);
+
+  /// Current scale-factor (per-tensor forms only).
+  float scale() const;
+  /// Current integer exponent e with s = 2^e (power-of-2 forms only).
+  int exponent() const;
+  /// Current raw threshold t (per-tensor trainable forms).
+  float raw_threshold() const;
+
+  /// Rounding rule of the round stage (default: banker's rounding, §3.2).
+  /// kHalfAwayFromZero exists for the rounding-bias ablation; the fixed-point
+  /// engine always uses half-to-even.
+  void set_round_mode(RoundMode mode) { round_mode_ = mode; }
+  RoundMode round_mode() const { return round_mode_; }
+
+  /// Enable/disable. A disabled FakeQuant is an identity in both directions
+  /// (used to run the FP32 baseline through the same graph).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Calibration-collect mode: forward passes x through unchanged and
+  /// appends its values to an internal buffer for the calibrator.
+  void set_collect(bool collect) { collect_ = collect; }
+  bool collecting() const { return collect_; }
+  const std::vector<float>& collected() const { return collected_; }
+  void clear_collected() { collected_.clear(); }
+
+ private:
+  QuantBits bits_;
+  QuantMode mode_ = QuantMode::kTqt;
+  bool power_of_2_ = true;
+  ParamPtr threshold_;          // semantics depend on mode; null if derived
+  DerivedExponent derived_;     // set for accumulator/bias quantizers
+  int64_t channel_axis_ = -1;   // >= 0 for per-channel static mode
+
+  bool enabled_ = true;
+  bool collect_ = false;
+  RoundMode round_mode_ = RoundMode::kHalfToEven;
+  std::vector<float> collected_;
+
+  // Cached forward state for backward.
+  Tensor x_;
+  float s_used_ = 1.0f;
+  bool bypassed_ = false;  // disabled or collecting during this forward
+
+  Tensor forward_per_tensor(const Tensor& x);
+  Tensor forward_per_channel(const Tensor& x);
+  Tensor forward_pact(const Tensor& x);
+};
+
+/// Convenience: make a trainable TQT threshold parameter initialized to
+/// log2(t0). Group is "threshold" so optimizers can schedule it separately.
+ParamPtr make_threshold(const std::string& name, float log2_t0, bool trainable = true);
+
+}  // namespace tqt

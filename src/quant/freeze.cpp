@@ -1,0 +1,60 @@
+#include "quant/freeze.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tqt {
+
+ThresholdFreezer::ThresholdFreezer(std::vector<ParamPtr> thresholds, int64_t start_step,
+                                   int64_t interval, float ema_beta)
+    : start_step_(start_step), interval_(interval), beta_(ema_beta) {
+  if (interval_ <= 0) throw std::invalid_argument("ThresholdFreezer: interval must be positive");
+  states_.reserve(thresholds.size());
+  for (auto& p : thresholds) {
+    if (!p) throw std::invalid_argument("ThresholdFreezer: null param");
+    if (p->value.numel() != 1) throw std::invalid_argument("ThresholdFreezer: thresholds must be scalar");
+    states_.push_back({std::move(p), 0.0f, 0.0f, false, false});
+  }
+}
+
+void ThresholdFreezer::observe(int64_t step) {
+  for (State& s : states_) {
+    if (s.frozen) continue;
+    const float v = s.param->value[0];
+    const float g = std::fabs(s.param->grad[0]);
+    if (!s.initialized) {
+      s.ema_value = v;
+      s.ema_grad_abs = g;
+      s.initialized = true;
+    } else {
+      s.ema_value = beta_ * s.ema_value + (1.0f - beta_) * v;
+      s.ema_grad_abs = beta_ * s.ema_grad_abs + (1.0f - beta_) * g;
+    }
+  }
+  if (step < start_step_) return;
+  if ((step - start_step_) % interval_ != 0) return;
+
+  // Freeze the eligible threshold with the smallest EMA |gradient|.
+  State* best = nullptr;
+  for (State& s : states_) {
+    if (s.frozen || !s.initialized) continue;
+    // "Correct side of log2 t*": current value rounds (ceil) into the same
+    // integer bin as its EMA, i.e. the side it spends most of its time on.
+    if (std::ceil(s.param->value[0]) != std::ceil(s.ema_value)) continue;
+    if (!best || s.ema_grad_abs < best->ema_grad_abs) best = &s;
+  }
+  if (best) {
+    best->frozen = true;
+    best->param->trainable = false;
+  }
+}
+
+int64_t ThresholdFreezer::frozen_count() const {
+  int64_t n = 0;
+  for (const State& s : states_)
+    if (s.frozen) ++n;
+  return n;
+}
+
+}  // namespace tqt

@@ -1,0 +1,47 @@
+// Incremental threshold freezing (paper §5.2).
+//
+// With power-of-2 scaling a converged threshold oscillates around a critical
+// integer log2 t* (Appendix B.3). Every crossing changes downstream
+// activation distributions, so Graffitist's training scripts incrementally
+// freeze thresholds: starting at `start_step`, once every `interval` steps,
+// the unfrozen threshold with the smallest EMA |gradient| is frozen if its
+// current value sits on the "correct" side of its critical integer
+// (i.e. in the same integer bin as its EMA).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/op.h"
+
+namespace tqt {
+
+class ThresholdFreezer {
+ public:
+  /// thresholds: the log2-threshold parameters to manage (group "threshold").
+  ThresholdFreezer(std::vector<ParamPtr> thresholds, int64_t start_step, int64_t interval,
+                   float ema_beta = 0.9f);
+
+  /// Call once per training step, after the optimizer step, with the step
+  /// index and before gradients are zeroed (grad EMAs read Param::grad).
+  void observe(int64_t step);
+
+  int64_t frozen_count() const;
+  int64_t total() const { return static_cast<int64_t>(states_.size()); }
+  bool all_frozen() const { return frozen_count() == total(); }
+
+ private:
+  struct State {
+    ParamPtr param;
+    float ema_value = 0.0f;
+    float ema_grad_abs = 0.0f;
+    bool initialized = false;
+    bool frozen = false;
+  };
+  std::vector<State> states_;
+  int64_t start_step_;
+  int64_t interval_;
+  float beta_;
+};
+
+}  // namespace tqt

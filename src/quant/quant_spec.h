@@ -1,0 +1,57 @@
+// Quantizer configuration types shared by the fake-quantization op, the
+// graph quantize pass, and the fixed-point engine.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tqt {
+
+/// Threshold-gradient formulation of a trainable quantizer.
+enum class QuantMode {
+  kTqt,      ///< Paper Eqs. 6-8: STE with round kept in the backward value.
+  kClipped,  ///< TF FakeQuant (§3.5): round treated as identity; threshold
+             ///< gradient is zero inside the clip range.
+  kPact,     ///< PACT (Eq. 1): d q/d alpha = [x >= alpha]; unsigned only.
+  kLsq,      ///< LSQ-style: same gradient value as TQT but applied to the
+             ///< raw scale-factor parameter (no log-domain, no power-of-2).
+};
+
+std::string to_string(QuantMode m);
+
+/// Rounding rule of the quantizer's round stage. The paper uses banker's
+/// rounding (§3.2) because round-half-away introduces a systematic bias that
+/// accumulates across layers; kHalfAwayFromZero exists for the ablation that
+/// demonstrates exactly that.
+enum class RoundMode {
+  kHalfToEven,       ///< banker's rounding (paper §3.2; IEEE default)
+  kHalfAwayFromZero, ///< schoolbook rounding; biased away from zero
+};
+
+/// Static description of one quantized tensor.
+struct QuantBits {
+  int bits = 8;
+  bool is_signed = true;
+
+  /// Smallest representable level (n of §3.2).
+  int64_t qmin() const { return is_signed ? -(int64_t{1} << (bits - 1)) : 0; }
+  /// Largest representable level (p of §3.2).
+  int64_t qmax() const {
+    return is_signed ? (int64_t{1} << (bits - 1)) - 1 : (int64_t{1} << bits) - 1;
+  }
+  /// Power of two that the saturation threshold 2^ceil(log2 t) divides by:
+  /// 2^(b-1) signed, 2^b unsigned (§3.2 "Scale").
+  int scale_shift() const { return is_signed ? bits - 1 : bits; }
+
+  void validate() const {
+    if (bits < 2 || bits > 16) throw std::invalid_argument("QuantBits: bits must be in [2,16]");
+  }
+};
+
+inline QuantBits int8_signed() { return {8, true}; }
+inline QuantBits int8_unsigned() { return {8, false}; }
+inline QuantBits int16_signed() { return {16, true}; }
+inline QuantBits int4_signed() { return {4, true}; }
+
+}  // namespace tqt

@@ -1,0 +1,133 @@
+#include "quant/toy_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/optimizer.h"
+#include "tensor/ops.h"
+
+namespace tqt {
+
+namespace {
+constexpr float kLn2 = 0.69314718055994530942f;
+}
+
+QuantizerCurves transfer_curves(QuantBits bits, QuantMode mode, float log2_t, float lo, float hi,
+                                int points) {
+  if (points < 2) throw std::invalid_argument("transfer_curves: points must be >= 2");
+  QuantizerCurves c;
+  const Tensor xs = Tensor::linspace(lo, hi, points);
+  const float s = std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - bits.scale_shift()));
+  const float n = static_cast<float>(bits.qmin());
+  const float p = static_cast<float>(bits.qmax());
+  for (int64_t i = 0; i < xs.numel(); ++i) {
+    const float x = xs[i];
+    const float xs_ratio = x / s;
+    const float r = round_half_to_even(xs_ratio);
+    const float rq = std::min(std::max(r, n), p);
+    const float q = rq * s;
+    const bool inside = (r >= n && r <= p);
+    float dq_dx = inside ? 1.0f : 0.0f;
+    float local;
+    if (inside) {
+      local = (mode == QuantMode::kClipped) ? 0.0f : s * kLn2 * (r - xs_ratio);
+    } else {
+      local = s * kLn2 * (r < n ? n : p);
+    }
+    const float err = q - x;
+    c.x.push_back(x);
+    c.q.push_back(q);
+    c.dq_dx.push_back(dq_dx);
+    c.dq_dlog2t.push_back(local);
+    c.dl_dx.push_back(err * (dq_dx - 1.0f));  // Eq. (10)
+    c.dl_dlog2t.push_back(err * local);       // Eq. (9)
+  }
+  return c;
+}
+
+ToyEval toy_l2_eval(const Tensor& x, QuantBits bits, QuantMode mode, float log2_t) {
+  const float s = std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - bits.scale_shift()));
+  const float n = static_cast<float>(bits.qmin());
+  const float p = static_cast<float>(bits.qmax());
+  ToyEval e;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float xs_ratio = x[i] / s;
+    const float r = round_half_to_even(xs_ratio);
+    const float rq = std::min(std::max(r, n), p);
+    const float q = rq * s;
+    const float err = q - x[i];
+    e.loss += 0.5 * static_cast<double>(err) * err;
+    float local;
+    if (r < n) {
+      local = s * kLn2 * n;
+    } else if (r > p) {
+      local = s * kLn2 * p;
+    } else {
+      local = (mode == QuantMode::kClipped) ? 0.0f : s * kLn2 * (r - xs_ratio);
+    }
+    e.grad_log2_t += static_cast<double>(err) * local;
+  }
+  const double t = std::exp2(static_cast<double>(log2_t));
+  e.grad_raw_t = e.grad_log2_t / (t * kLn2);
+  return e;
+}
+
+ToyRunResult run_toy_training(const ToyRunConfig& cfg, ToyOptimizer opt) {
+  Rng rng(cfg.seed);
+  ToyRunResult res;
+  res.log2_t.reserve(static_cast<size_t>(cfg.steps));
+  res.grad.reserve(static_cast<size_t>(cfg.steps));
+
+  auto th = make_threshold("toy/log2_t", cfg.log2_t0);
+  std::unique_ptr<Optimizer> optimizer;
+  switch (opt) {
+    case ToyOptimizer::kRawSgd:
+    case ToyOptimizer::kLogSgd:
+      optimizer = std::make_unique<Sgd>(std::vector<ParamPtr>{th});
+      break;
+    case ToyOptimizer::kNormedLogSgd:
+      optimizer = std::make_unique<NormedSgd>(std::vector<ParamPtr>{th}, cfg.beta2);
+      break;
+    case ToyOptimizer::kLogAdam:
+      optimizer = std::make_unique<Adam>(std::vector<ParamPtr>{th}, cfg.beta1, cfg.beta2);
+      break;
+  }
+  optimizer->set_default_schedule(LrSchedule::constant(cfg.lr));
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    const Tensor x = rng.normal_tensor({cfg.batch}, 0.0f, cfg.sigma);
+    const ToyEval e = toy_l2_eval(x, cfg.bits, cfg.mode, th->value[0]);
+    th->zero_grad();
+    if (opt == ToyOptimizer::kRawSgd) {
+      // Raw-threshold SGD: update t, then map back to log2 t. If the update
+      // would make t non-positive the run has diverged (the failure mode of
+      // B.1); clamp to a tiny value so the trajectory records the collapse.
+      const double t = std::exp2(static_cast<double>(th->value[0]));
+      const double t_new = std::max(t - static_cast<double>(cfg.lr) * e.grad_raw_t, 1e-30);
+      th->value[0] = static_cast<float>(std::log2(t_new));
+      res.grad.push_back(static_cast<float>(e.grad_raw_t));
+    } else {
+      th->grad[0] = static_cast<float>(e.grad_log2_t);
+      optimizer->step();
+      res.grad.push_back(static_cast<float>(e.grad_log2_t));
+    }
+    res.log2_t.push_back(th->value[0]);
+  }
+  res.final_log2_t = res.log2_t.back();
+
+  // Gradient ratio r_g = -g_low / g_high around the critical integer the
+  // threshold converged to (Appendix C): gradients are piecewise constant in
+  // log2 t between integers (power-of-2 scaling), so evaluating mid-bin on a
+  // large fixed batch characterizes the bang-bang dynamics exactly.
+  const float crit = std::round(res.final_log2_t);
+  Rng probe_rng(cfg.seed ^ 0xabcdef);
+  const Tensor probe = probe_rng.normal_tensor({50000}, 0.0f, cfg.sigma);
+  const double g_low = toy_l2_eval(probe, cfg.bits, cfg.mode, crit - 0.5f).grad_log2_t;
+  const double g_high = toy_l2_eval(probe, cfg.bits, cfg.mode, crit + 0.5f).grad_log2_t;
+  if (g_low < 0.0 && g_high > 0.0) {
+    res.empirical_rg = static_cast<float>(-g_low / g_high);
+  }
+  return res;
+}
+
+}  // namespace tqt

@@ -1,0 +1,77 @@
+// The toy L2 quantization problem of §3.4 and Appendices B/C:
+//
+//   L = sum_i (q(x_i; s) - x_i)^2 / 2   with x ~ Gaussian(sigma)
+//
+// A single quantizer optimized against least-square reconstruction error.
+// The paper uses it to visualize transfer curves (Fig. 1-3), gradient
+// landscapes (Fig. 7), threshold-training convergence across optimizers
+// (Fig. 8-9), and to validate the Adam hyperparameter guidelines (Table 4).
+// The benchmarks reproducing those figures all build on these helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/fake_quant.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+
+/// Pointwise quantizer evaluation used by the transfer-curve figures.
+struct QuantizerCurves {
+  std::vector<float> x;          ///< input sweep
+  std::vector<float> q;          ///< forward q(x; s)
+  std::vector<float> dq_dx;      ///< local input gradient (Eq. 8)
+  std::vector<float> dq_dlog2t;  ///< local threshold gradient (Eq. 7)
+  std::vector<float> dl_dx;      ///< overall L2-loss input gradient (Eq. 10)
+  std::vector<float> dl_dlog2t;  ///< overall L2-loss threshold gradient (Eq. 9)
+};
+
+/// Evaluate the quantizer and its gradients point-by-point over [lo, hi].
+/// `mode` chooses between the TQT formulation and the TF-FakeQuant clipped
+/// formulation (Fig. 1 vs Fig. 3).
+QuantizerCurves transfer_curves(QuantBits bits, QuantMode mode, float log2_t, float lo, float hi,
+                                int points);
+
+/// L2 loss and its log2-threshold gradient on a fixed batch.
+struct ToyEval {
+  double loss = 0.0;
+  double grad_log2_t = 0.0;  ///< dL/d(log2 t)
+  double grad_raw_t = 0.0;   ///< dL/dt = dL/d(log2 t) / (t ln 2)
+};
+
+ToyEval toy_l2_eval(const Tensor& x, QuantBits bits, QuantMode mode, float log2_t);
+
+/// Optimizer choice for toy threshold-training runs (Fig. 8 legend).
+enum class ToyOptimizer {
+  kRawSgd,        ///< SGD on dL/dt (raw threshold domain)
+  kLogSgd,        ///< SGD on dL/d(log2 t)
+  kNormedLogSgd,  ///< SGD on normed log gradients (Eqs. 17-18)
+  kLogAdam,       ///< Adam on dL/d(log2 t) — the paper's recommendation
+};
+
+struct ToyRunConfig {
+  QuantBits bits = int8_signed();
+  float sigma = 1.0f;        ///< input Gaussian scale
+  int batch = 1000;          ///< fresh Gaussian batch per step
+  int steps = 2000;
+  float lr = 0.1f;
+  float beta1 = 0.9f;        ///< Adam only
+  float beta2 = 0.999f;      ///< Adam / normed SGD
+  float log2_t0 = 0.0f;      ///< initial log2 threshold
+  uint64_t seed = 42;
+  QuantMode mode = QuantMode::kTqt;
+};
+
+struct ToyRunResult {
+  std::vector<float> log2_t;      ///< trajectory, one entry per step (post-update)
+  std::vector<float> grad;        ///< dL/d(log2 t) per step (pre-update)
+  float final_log2_t = 0.0f;
+  /// Empirical gradient ratio r_g = -g_low / g_high around the final integer
+  /// bin, estimated from the last quarter of the run (Appendix C).
+  float empirical_rg = 0.0f;
+};
+
+ToyRunResult run_toy_training(const ToyRunConfig& cfg, ToyOptimizer opt);
+
+}  // namespace tqt

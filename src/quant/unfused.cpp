@@ -1,0 +1,69 @@
+#include "quant/unfused.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace tqt {
+
+namespace {
+constexpr float kLn2 = 0.69314718055994530942f;
+}
+
+UnfusedFakeQuantOp::UnfusedFakeQuantOp(QuantBits bits, ParamPtr log2_threshold)
+    : bits_(bits), threshold_(std::move(log2_threshold)) {
+  bits_.validate();
+  if (!threshold_) throw std::invalid_argument("UnfusedFakeQuant: null threshold");
+}
+
+Tensor UnfusedFakeQuantOp::forward(const std::vector<const Tensor*>& in) {
+  const Tensor& x = *in[0];
+  // Threshold path: s = 2^(ceil(log2 t) - shift); ceil is STE'd (grad 1).
+  const float log2_t = threshold_->value[0];
+  s_used_ = std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - bits_.scale_shift()));
+  const float n = static_cast<float>(bits_.qmin());
+  const float p = static_cast<float>(bits_.qmax());
+
+  // Each stage materializes its output, exactly like a composed TF graph.
+  x_scaled_ = x / s_used_;
+  x_rounded_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) x_rounded_[i] = round_half_to_even(x_scaled_[i]);
+  sat_mask_ = Tensor(x.shape());
+  x_saturated_ = Tensor(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float r = x_rounded_[i];
+    const bool inside = r >= n && r <= p;
+    sat_mask_[i] = inside ? 1.0f : 0.0f;
+    x_saturated_[i] = std::min(std::max(r, n), p);
+  }
+  return x_saturated_ * s_used_;  // de-quant
+}
+
+std::vector<Tensor> UnfusedFakeQuantOp::backward(const Tensor& g) {
+  // Chain rule through the stored intermediates:
+  //   y = sat(r) * s,  r = round(x/s) with STE,  s = 2^(ceil(log2 t)-k) with
+  //   STE on ceil so ds/d(log2 t) = s ln2.
+  //
+  //   dy/dx      = sat'(r) * 1 * (1/s) * s = mask
+  //   dy/d log2t = [ sat'(r) * (-x/s^2) * s + sat(r) ] * s ln2
+  //              = [ sat(r) - mask * x/s ] * s ln2
+  // which reduces to Eq. (7)'s three cases.
+  Tensor dx(g.shape());
+  double dth = 0.0;
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    dx[i] = g[i] * sat_mask_[i];
+    dth += static_cast<double>(g[i]) * (x_saturated_[i] - sat_mask_[i] * x_scaled_[i]);
+  }
+  if (threshold_->trainable) {
+    threshold_->grad[0] += s_used_ * kLn2 * static_cast<float>(dth);
+  }
+  return {dx};
+}
+
+int64_t UnfusedFakeQuantOp::cached_bytes() const {
+  return static_cast<int64_t>(sizeof(float)) *
+         (x_scaled_.numel() + x_rounded_.numel() + sat_mask_.numel() + x_saturated_.numel());
+}
+
+}  // namespace tqt

@@ -1,0 +1,47 @@
+// Unfused reference implementation of the TQT quantizer (paper Figure 4).
+//
+// Graffitist ships *fused* quantization kernels because the naive composition
+// of primitive ops (pow2/ceil on the threshold, scale, round with
+// stop-gradient, saturate, de-quant) materializes several intermediate
+// tensors that autograd must keep alive for the backward pass, inflating
+// training memory and limiting batch size (§4.4). This class reproduces that
+// naive composition faithfully — every intermediate a TensorFlow graph would
+// cache is cached here — so the fused/unfused comparison of Figure 4 can be
+// measured, and so tests can assert the two implementations are numerically
+// identical in both directions.
+#pragma once
+
+#include "nn/op.h"
+#include "quant/quant_spec.h"
+
+namespace tqt {
+
+class UnfusedFakeQuantOp final : public Op {
+ public:
+  UnfusedFakeQuantOp(QuantBits bits, ParamPtr log2_threshold);
+
+  std::string type() const override { return "UnfusedFakeQuant"; }
+  int arity() const override { return 1; }
+  Tensor forward(const std::vector<const Tensor*>& in) override;
+  std::vector<Tensor> backward(const Tensor& g) override;
+  std::vector<ParamPtr> params() override { return {threshold_}; }
+
+  /// Bytes of intermediate state cached between forward and backward — the
+  /// quantity Figure 4's fused kernels exist to eliminate.
+  int64_t cached_bytes() const;
+
+ private:
+  QuantBits bits_;
+  ParamPtr threshold_;
+
+  // The intermediates the unfused graph keeps alive (Figure 4, training
+  // form): scaled input, rounded value (via the STE stop-gradient trick),
+  // saturation mask, saturated value.
+  Tensor x_scaled_;
+  Tensor x_rounded_;
+  Tensor sat_mask_;
+  Tensor x_saturated_;
+  float s_used_ = 1.0f;
+};
+
+}  // namespace tqt

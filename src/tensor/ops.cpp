@@ -1,0 +1,244 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt {
+
+float round_half_to_even(float x) {
+  // The default IEEE-754 rounding mode is round-to-nearest-even and we never
+  // change it, so nearbyint implements banker's rounding directly.
+  return std::nearbyintf(x);
+}
+
+int64_t shift_round_half_to_even(int64_t value, int shift) {
+  if (shift < 0) throw std::invalid_argument("shift_round_half_to_even: negative shift");
+  if (shift == 0) return value;
+  const int64_t one = int64_t{1} << shift;
+  const int64_t half = one >> 1;
+  const int64_t mask = one - 1;
+  // Floor division then adjust: round up when remainder > half, or when
+  // remainder == half and the floor quotient is odd (ties to even).
+  int64_t q = value >> shift;  // arithmetic shift: floor for negatives too
+  const int64_t r = value & mask;
+  if (r > half || (r == half && (q & 1))) ++q;
+  return q;
+}
+
+namespace {
+void check_matrix(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + " must be rank 2, got " + shape_to_string(t.shape()));
+  }
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul: a");
+  check_matrix(b, "matmul: b");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dims " + std::to_string(k) + " vs " + std::to_string(b.dim(0)));
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j order: unit-stride access on both B and C rows.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul_tn: a");
+  check_matrix(b, "matmul_tn: b");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_tn: inner dims " + std::to_string(k) + " vs " + std::to_string(b.dim(0)));
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul_nt: a");
+  check_matrix(b, "matmul_nt: b");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_nt: inner dims " + std::to_string(k) + " vs " + std::to_string(b.dim(1)));
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  check_matrix(a, "transpose2d");
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) t[j * m + i] = a[i * n + j];
+  return t;
+}
+
+Conv2dGeom Conv2dGeom::same(int64_t kh, int64_t kw, int64_t stride, int64_t in_h, int64_t in_w) {
+  Conv2dGeom g;
+  g.kh = kh;
+  g.kw = kw;
+  g.stride_h = g.stride_w = stride;
+  const int64_t out_h = (in_h + stride - 1) / stride;
+  const int64_t out_w = (in_w + stride - 1) / stride;
+  const int64_t pad_h = std::max<int64_t>(0, (out_h - 1) * stride + kh - in_h);
+  const int64_t pad_w = std::max<int64_t>(0, (out_w - 1) * stride + kw - in_w);
+  g.pad_top = pad_h / 2;
+  g.pad_bottom = pad_h - g.pad_top;
+  g.pad_left = pad_w / 2;
+  g.pad_right = pad_w - g.pad_left;
+  return g;
+}
+
+Conv2dGeom Conv2dGeom::valid(int64_t kh, int64_t kw, int64_t stride) {
+  Conv2dGeom g;
+  g.kh = kh;
+  g.kw = kw;
+  g.stride_h = g.stride_w = stride;
+  return g;
+}
+
+Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: input must be NHWC");
+  const int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2), c = input.dim(3);
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("im2col: empty output");
+  Tensor cols({n * oh * ow, g.kh * g.kw * c});
+  const float* in = input.data();
+  float* out = cols.data();
+  const int64_t patch = g.kh * g.kw * c;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float* dst = out + ((b * oh + oy) * ow + ox) * patch;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          for (int64_t kx = 0; kx < g.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            float* d = dst + (ky * g.kw + kx) * c;
+            if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
+              for (int64_t ch = 0; ch < c; ++ch) d[ch] = 0.0f;
+            } else {
+              const float* s = in + ((b * h + iy) * w + ix) * c;
+              for (int64_t ch = 0; ch < c; ++ch) d[ch] = s[ch];
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dGeom& g) {
+  if (input_shape.size() != 4) throw std::invalid_argument("col2im: input shape must be NHWC");
+  const int64_t n = input_shape[0], h = input_shape[1], w = input_shape[2], c = input_shape[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  const int64_t patch = g.kh * g.kw * c;
+  if (cols.shape() != Shape{n * oh * ow, patch}) {
+    throw std::invalid_argument("col2im: cols shape " + shape_to_string(cols.shape()) + " mismatch");
+  }
+  Tensor grad(input_shape);
+  const float* src = cols.data();
+  float* out = grad.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const float* s0 = src + ((b * oh + oy) * ow + ox) * patch;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < g.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const float* s = s0 + (ky * g.kw + kx) * c;
+            float* d = out + ((b * h + iy) * w + ix) * c;
+            for (int64_t ch = 0; ch < c; ++ch) d[ch] += s[ch];
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: need [rows, cols]");
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<float> abs_histogram(const Tensor& x, int bins, float abs_max) {
+  if (bins <= 0) throw std::invalid_argument("abs_histogram: bins must be positive");
+  std::vector<float> h(static_cast<size_t>(bins), 0.0f);
+  if (abs_max <= 0.0f) return h;
+  const float scale = static_cast<float>(bins) / abs_max;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float a = std::fabs(x[i]);
+    int b = static_cast<int>(a * scale);
+    if (b >= bins) b = bins - 1;
+    h[static_cast<size_t>(b)] += 1.0f;
+  }
+  return h;
+}
+
+}  // namespace tqt

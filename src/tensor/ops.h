@@ -1,0 +1,79 @@
+// Free-function kernels on Tensors: matrix multiply (plus the transposed
+// variants needed by backprop), im2col/col2im for NHWC convolutions,
+// row-wise softmax, histogramming for calibration, and the rounding
+// primitives shared by the fake-quantizer and the fixed-point engine.
+//
+// Layout conventions (TensorFlow-flavoured, matching the paper's heritage):
+//   activations  [N, H, W, C]
+//   conv weights [kh, kw, Cin, Cout]
+//   depthwise    [kh, kw, C]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+// ---- Rounding -------------------------------------------------------------
+
+/// Round-half-to-even ("banker's rounding", IEEE 754 default). The paper
+/// (§3.2) uses this for the quantizer's round stage to avoid systematic
+/// up/down bias, and the fixed-point engine uses the integer form for
+/// rescaling shifts.
+float round_half_to_even(float x);
+
+/// (value * 2^-shift) rounded half-to-even, computed exactly in integers.
+/// shift must be >= 0. Matches round_half_to_even(value / 2^shift).
+int64_t shift_round_half_to_even(int64_t value, int shift);
+
+// ---- Matmul family ---------------------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A^T[k,m] * B[k,n]  (A stored [k,m]); used for weight gradients.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[m,k] * B^T[n,k]  (B stored [n,k]); used for input gradients.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+// ---- Convolution lowering --------------------------------------------------
+
+/// Geometry of a 2-D convolution / pooling window over an NHWC tensor.
+struct Conv2dGeom {
+  int64_t kh = 1, kw = 1;
+  int64_t stride_h = 1, stride_w = 1;
+  int64_t pad_top = 0, pad_bottom = 0, pad_left = 0, pad_right = 0;
+
+  int64_t out_h(int64_t in_h) const { return (in_h + pad_top + pad_bottom - kh) / stride_h + 1; }
+  int64_t out_w(int64_t in_w) const { return (in_w + pad_left + pad_right - kw) / stride_w + 1; }
+
+  /// TensorFlow "SAME" padding for the given input extents.
+  static Conv2dGeom same(int64_t kh, int64_t kw, int64_t stride, int64_t in_h, int64_t in_w);
+  /// "VALID" padding (none).
+  static Conv2dGeom valid(int64_t kh, int64_t kw, int64_t stride);
+};
+
+/// Lower input [N,H,W,C] to a patch matrix [N*oh*ow, kh*kw*C]; out-of-bounds
+/// taps read as 0.
+Tensor im2col(const Tensor& input, const Conv2dGeom& g);
+
+/// Adjoint of im2col: scatter-add a patch-matrix gradient back to [N,H,W,C].
+Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dGeom& g);
+
+// ---- Misc ------------------------------------------------------------------
+
+/// Row-wise softmax of a [rows, cols] tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Histogram of |x| over [0, abs_max] with `bins` equal-width bins.
+/// Used by the KL-J threshold calibrator. Returns counts (double precision
+/// kept as float; calibration batches are small).
+std::vector<float> abs_histogram(const Tensor& x, int bins, float abs_max);
+
+}  // namespace tqt

@@ -1,0 +1,96 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Modulo bias is negligible for span << 2^64 (our use: tiny spans).
+  return lo + static_cast<int64_t>(next_u64() % span);
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  has_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+Rng Rng::fork(uint64_t stream) const {
+  // Mix the current state with the stream id through SplitMix so that forks
+  // are independent of both each other and the parent's future output.
+  uint64_t mix = s_[0] ^ rotl(s_[2], 13) ^ (stream * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  return Rng(mix);
+}
+
+Tensor Rng::normal_tensor(Shape shape, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = normal(mean, stddev);
+  return t;
+}
+
+Tensor Rng::uniform_tensor(Shape shape, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = uniform(lo, hi);
+  return t;
+}
+
+void Rng::shuffle(std::vector<int64_t>& v) {
+  for (size_t i = v.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(uniform_int(0, static_cast<int64_t>(i) - 1));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace tqt

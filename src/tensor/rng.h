@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for the TQT library.
+//
+// All stochastic behaviour in the library (weight init, synthetic data,
+// sampling of calibration batches) is driven through this Rng so experiments
+// are reproducible from a single seed across platforms. The generator is
+// xoshiro256** (Blackman & Vigna), chosen for its tiny state, speed, and
+// well-understood statistical quality; we do not depend on the unspecified
+// distributions of <random>.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (uses cached second value).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Derive an independent stream for a sub-task; deterministic in (seed,
+  /// stream id). Used so e.g. "class 3's pattern" never depends on how many
+  /// draws happened before it.
+  Rng fork(uint64_t stream) const;
+
+  // ---- Tensor fills ------------------------------------------------------
+  Tensor normal_tensor(Shape shape, float mean = 0.0f, float stddev = 1.0f);
+  Tensor uniform_tensor(Shape shape, float lo, float hi);
+
+  /// In-place Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int64_t>& v);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace tqt

@@ -1,0 +1,82 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tqt {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'Q', 'T', 'W'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("tensor file: truncated");
+  return v;
+}
+}  // namespace
+
+void save_tensors(const std::string& path, const TensorMap& tensors) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<uint64_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_pod(os, static_cast<uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<uint64_t>(t.rank()));
+    for (int64_t d : t.shape()) write_pod(os, d);
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * static_cast<int64_t>(sizeof(float))));
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+TensorMap load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0) throw std::runtime_error("bad magic in " + path);
+  const auto version = read_pod<uint32_t>(is);
+  if (version != kVersion) throw std::runtime_error("unsupported tensor file version");
+  const auto count = read_pod<uint64_t>(is);
+  TensorMap out;
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<uint64_t>(is);
+    if (name_len > (1u << 20)) throw std::runtime_error("tensor file: absurd name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) throw std::runtime_error("tensor file: truncated name");
+    const auto rank = read_pod<uint64_t>(is);
+    if (rank > 8) throw std::runtime_error("tensor file: absurd rank");
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<int64_t>(is);
+    const int64_t n = numel_of(shape);
+    std::vector<float> data(static_cast<size_t>(n));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(n * static_cast<int64_t>(sizeof(float))));
+    if (!is) throw std::runtime_error("tensor file: truncated data for " + name);
+    out.emplace(std::move(name), Tensor(std::move(shape), std::move(data)));
+  }
+  return out;
+}
+
+bool is_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[4];
+  is.read(magic, 4);
+  return is && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+}  // namespace tqt

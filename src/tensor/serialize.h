@@ -1,0 +1,33 @@
+// Minimal binary (de)serialization of named tensor collections.
+//
+// Used to cache pretrained mini-network weights between benchmark runs so a
+// full experiment sweep does not re-pretrain every network. The format is a
+// private cache format, not an interchange format:
+//
+//   magic "TQTW" | u32 version | u64 count |
+//   repeat count times:
+//     u64 name_len | name bytes | u64 rank | i64 extents... | f32 data...
+//
+// All integers are little-endian host order (the library targets a single
+// host; the cache is not meant to move between machines).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace tqt {
+
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Write the map to `path`; throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path, const TensorMap& tensors);
+
+/// Read a map previously written by save_tensors; throws on malformed input.
+TensorMap load_tensors(const std::string& path);
+
+/// True if `path` exists and starts with the expected magic.
+bool is_tensor_file(const std::string& path);
+
+}  // namespace tqt

@@ -1,0 +1,289 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tqt {
+
+int64_t numel_of(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative extent in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel_of(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (numel_of(shape_) != static_cast<int64_t>(data_.size())) {
+    throw std::invalid_argument("data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({static_cast<int64_t>(values.size())}, std::vector<float>(values));
+}
+
+Tensor Tensor::scalar(float value) { return Tensor(Shape{}, std::vector<float>{value}); }
+
+Tensor Tensor::arange(float start, float stop, float step) {
+  if (step == 0.0f) throw std::invalid_argument("arange: step must be non-zero");
+  std::vector<float> v;
+  if (step > 0) {
+    for (float x = start; x < stop; x += step) v.push_back(x);
+  } else {
+    for (float x = start; x > stop; x += step) v.push_back(x);
+  }
+  const int64_t n = static_cast<int64_t>(v.size());
+  return Tensor({n}, std::move(v));
+}
+
+Tensor Tensor::linspace(float start, float stop, int64_t count) {
+  if (count < 2) throw std::invalid_argument("linspace: count must be >= 2");
+  std::vector<float> v(static_cast<size_t>(count));
+  const double step = (static_cast<double>(stop) - start) / static_cast<double>(count - 1);
+  for (int64_t i = 0; i < count; ++i) v[static_cast<size_t>(i)] = static_cast<float>(start + step * static_cast<double>(i));
+  v.back() = stop;
+  return Tensor({count}, std::move(v));
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  const int64_t r = rank();
+  if (d < 0) d += r;
+  if (d < 0 || d >= r) {
+    throw std::out_of_range("dim " + std::to_string(d) + " out of range for rank " + std::to_string(r));
+  }
+  return shape_[static_cast<size_t>(d)];
+}
+
+float& Tensor::at(int64_t i) {
+  if (i < 0 || i >= numel()) throw std::out_of_range("flat index " + std::to_string(i));
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  if (i < 0 || i >= numel()) throw std::out_of_range("flat index " + std::to_string(i));
+  return data_[static_cast<size_t>(i)];
+}
+
+namespace {
+int64_t flat_index(const Shape& shape, std::initializer_list<int64_t> idx) {
+  if (static_cast<int64_t>(idx.size()) != static_cast<int64_t>(shape.size())) {
+    throw std::invalid_argument("index rank mismatch");
+  }
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    if (i < 0 || i >= shape[d]) throw std::out_of_range("index out of range at dim " + std::to_string(d));
+    flat = flat * shape[d] + i;
+    ++d;
+  }
+  return flat;
+}
+}  // namespace
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  return data_[static_cast<size_t>(flat_index(shape_, idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data_[static_cast<size_t>(flat_index(shape_, idx))];
+}
+
+float Tensor::item() const {
+  if (numel() != 1) throw std::invalid_argument("item() on tensor with numel " + std::to_string(numel()));
+  return data_[0];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  int64_t inferred = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (inferred >= 0) throw std::invalid_argument("reshape: more than one -1");
+      inferred = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred >= 0) {
+    if (known == 0 || numel() % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer extent for " + shape_to_string(new_shape));
+    }
+    new_shape[static_cast<size_t>(inferred)] = numel() / known;
+  }
+  if (numel_of(new_shape) != numel()) {
+    throw std::invalid_argument("reshape " + shape_to_string(shape_) + " -> " + shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + shape_to_string(a.shape()) +
+                                " vs " + shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(*this, other, "+=");
+  for (int64_t i = 0; i < numel(); ++i) data_[static_cast<size_t>(i)] += other[i];
+  return *this;
+}
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(*this, other, "-=");
+  for (int64_t i = 0; i < numel(); ++i) data_[static_cast<size_t>(i)] -= other[i];
+  return *this;
+}
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(*this, other, "*=");
+  for (int64_t i = 0; i < numel(); ++i) data_[static_cast<size_t>(i)] *= other[i];
+  return *this;
+}
+Tensor& Tensor::operator/=(const Tensor& other) {
+  check_same_shape(*this, other, "/=");
+  for (int64_t i = 0; i < numel(); ++i) data_[static_cast<size_t>(i)] /= other[i];
+  return *this;
+}
+Tensor& Tensor::operator+=(float v) {
+  for (float& x : data_) x += v;
+  return *this;
+}
+Tensor& Tensor::operator-=(float v) {
+  for (float& x : data_) x -= v;
+  return *this;
+}
+Tensor& Tensor::operator*=(float v) {
+  for (float& x : data_) x *= v;
+  return *this;
+}
+Tensor& Tensor::operator/=(float v) {
+  for (float& x : data_) x /= v;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  check_same_shape(*this, other, "add_scaled");
+  const float* o = other.data();
+  float* d = data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (empty()) throw std::invalid_argument("mean of empty tensor");
+  return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(numel()));
+}
+
+float Tensor::min() const {
+  if (empty()) throw std::invalid_argument("min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (empty()) throw std::invalid_argument("max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::std() const {
+  if (empty()) throw std::invalid_argument("std of empty tensor");
+  const double mu = mean();
+  double acc = 0.0;
+  for (float x : data_) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(numel())));
+}
+
+int64_t Tensor::argmax() const {
+  if (empty()) throw std::invalid_argument("argmax of empty tensor");
+  return static_cast<int64_t>(std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (int64_t i = 0; i < numel(); ++i) {
+    if (std::fabs(data_[static_cast<size_t>(i)] - other[i]) > tol) return false;
+  }
+  return true;
+}
+
+#define TQT_BINOP(OP)                                       \
+  Tensor operator OP(const Tensor& a, const Tensor& b) {   \
+    Tensor r = a;                                           \
+    r OP## = b;                                             \
+    return r;                                               \
+  }                                                         \
+  Tensor operator OP(const Tensor& a, float v) {            \
+    Tensor r = a;                                           \
+    r OP## = v;                                             \
+    return r;                                               \
+  }
+
+TQT_BINOP(+)
+TQT_BINOP(-)
+TQT_BINOP(*)
+TQT_BINOP(/)
+#undef TQT_BINOP
+
+Tensor operator*(float v, const Tensor& a) { return a * v; }
+
+Tensor operator-(const Tensor& a) { return a * -1.0f; }
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  os << "Tensor" << shape_to_string(t.shape()) << " {";
+  const int64_t n = std::min<int64_t>(t.numel(), 16);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << t[i];
+  }
+  if (t.numel() > n) os << ", ...";
+  os << '}';
+  return os;
+}
+
+}  // namespace tqt

@@ -1,0 +1,150 @@
+// Dense row-major float tensor used throughout the TQT library.
+//
+// Design notes:
+//  - Value semantics: a Tensor owns its storage (std::vector<float>); copies
+//    are deep, moves are cheap. This keeps ownership trivially correct (no
+//    aliasing surprises) at the cost of explicit copies, which is fine at the
+//    mini-network scale this library targets.
+//  - Shapes are vectors of non-negative int64_t. Rank 0 is a scalar holding
+//    one element. All storage is contiguous row-major (C order).
+//  - Errors are programming errors and throw std::invalid_argument /
+//    std::out_of_range; there is no "maybe" API surface.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tqt {
+
+/// Shape of a tensor: extent along each dimension, row-major.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (product of extents; 1 for rank 0).
+int64_t numel_of(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form, for error messages and logging.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major float32 tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor with zero elements.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting `data` (size must match the shape's element count).
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Rank-1 tensor from a braced list: Tensor::of({1.f, 2.f}).
+  static Tensor of(std::initializer_list<float> values);
+
+  /// Scalar (rank-0) tensor.
+  static Tensor scalar(float value);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+
+  /// Evenly spaced values in [start, stop) with the given step, rank 1.
+  static Tensor arange(float start, float stop, float step = 1.0f);
+
+  /// `count` evenly spaced values from start to stop inclusive, rank 1.
+  static Tensor linspace(float start, float stop, int64_t count);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent along dimension `dim`; negative indices count from the back.
+  int64_t dim(int64_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Bounds-checked flat access.
+  float& at(int64_t i);
+  float at(int64_t i) const;
+
+  /// Multi-dimensional access (bounds-checked); rank must match.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Value of a scalar / single-element tensor.
+  float item() const;
+
+  /// Same storage viewed under a new shape (element counts must agree).
+  /// One extent may be -1 and is inferred.
+  Tensor reshape(Shape new_shape) const;
+
+  /// In-place fill.
+  void fill(float value);
+
+  /// In-place zero.
+  void zero() { fill(0.0f); }
+
+  // ---- In-place arithmetic (shapes must match exactly for tensor forms) --
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator/=(const Tensor& other);
+  Tensor& operator+=(float v);
+  Tensor& operator-=(float v);
+  Tensor& operator*=(float v);
+  Tensor& operator/=(float v);
+
+  /// this += alpha * other  (axpy, the hot path of every optimizer).
+  void add_scaled(const Tensor& other, float alpha);
+
+  // ---- Reductions -------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// max(|x_i|) over all elements; 0 for empty tensors.
+  float abs_max() const;
+  /// Population standard deviation.
+  float std() const;
+  /// Index of the largest element (first on ties).
+  int64_t argmax() const;
+
+  /// True if shapes are equal and all elements are exactly equal.
+  bool equals(const Tensor& other) const;
+  /// True if shapes are equal and elements differ by at most `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-6f) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Out-of-place arithmetic (exact shape match; no broadcasting) --------
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator/(const Tensor& a, const Tensor& b);
+Tensor operator+(const Tensor& a, float v);
+Tensor operator-(const Tensor& a, float v);
+Tensor operator*(const Tensor& a, float v);
+Tensor operator/(const Tensor& a, float v);
+Tensor operator*(float v, const Tensor& a);
+Tensor operator-(const Tensor& a);
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace tqt

@@ -1,0 +1,146 @@
+// Tests for the asymmetric (zero-point) fake quantizer — the TF-QAT baseline
+// scheme of Table 1 — and its integration with the quantize pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "quant/asymmetric.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+Tensor fq(AsymmetricFakeQuantOp& op, const Tensor& x) {
+  std::vector<const Tensor*> ins{&x};
+  return op.forward(ins);
+}
+
+TEST(AsymQuant, ScaleAndZeroPoint) {
+  auto r = make_range("r", -1.0f, 3.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  EXPECT_FLOAT_EQ(q.scale(), 4.0f / 255.0f);
+  // z = round(1 / (4/255)) = round(63.75) = 64.
+  EXPECT_EQ(q.zero_point(), 64);
+}
+
+TEST(AsymQuant, ZeroIsExactlyRepresentable) {
+  // The defining property of the affine scheme (paper footnote 1).
+  auto r = make_range("r", -0.7f, 2.3f);
+  AsymmetricFakeQuantOp q(8, r);
+  Tensor x({1}, {0.0f});
+  EXPECT_FLOAT_EQ(fq(q, x)[0], 0.0f);
+}
+
+TEST(AsymQuant, ClipsAtRangeEnds) {
+  auto r = make_range("r", -1.0f, 1.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  Tensor x({3}, {-5.0f, 0.5f, 5.0f});
+  Tensor y = fq(q, x);
+  EXPECT_NEAR(y[0], -1.0f, 0.01f);
+  EXPECT_NEAR(y[1], 0.5f, 0.01f);
+  EXPECT_NEAR(y[2], 1.0f, 0.01f);
+}
+
+TEST(AsymQuant, AsymmetricRangeUsesAllLevels) {
+  // Unlike symmetric quantization, a [0, 6] range spends no levels below 0.
+  auto r = make_range("r", 0.0f, 6.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  EXPECT_EQ(q.zero_point(), 0);
+  Tensor x({1}, {6.0f});
+  EXPECT_NEAR(fq(q, x)[0], 6.0f, 1e-5f);
+  // Resolution is 6/255, roughly half the symmetric [-6,6] step.
+  Tensor fine({1}, {6.0f / 255.0f});
+  EXPECT_NEAR(fq(q, fine)[0], 6.0f / 255.0f, 1e-6f);
+}
+
+TEST(AsymQuant, Idempotent) {
+  Rng rng(5);
+  auto r = make_range("r", -2.0f, 1.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  Tensor x = rng.normal_tensor({500});
+  Tensor once = fq(q, x);
+  EXPECT_TRUE(once.equals(fq(q, once)));
+}
+
+TEST(AsymQuant, ClippedRangeGradients) {
+  auto r = make_range("r", -1.0f, 1.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  Tensor x({4}, {-3.0f, -0.5f, 0.5f, 3.0f});
+  fq(q, x);
+  auto g = q.backward(Tensor({4}, {1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(r->grad[0], 1.0f);  // below-range sample
+  EXPECT_FLOAT_EQ(r->grad[1], 1.0f);  // above-range sample
+  EXPECT_EQ(g[0][0], 0.0f);
+  EXPECT_EQ(g[0][1], 1.0f);
+  EXPECT_EQ(g[0][2], 1.0f);
+  EXPECT_EQ(g[0][3], 0.0f);
+}
+
+TEST(AsymQuant, DisabledAndCollect) {
+  Rng rng(6);
+  auto r = make_range("r", -1.0f, 1.0f);
+  AsymmetricFakeQuantOp q(8, r);
+  Tensor x = rng.normal_tensor({32});
+  q.set_enabled(false);
+  EXPECT_TRUE(fq(q, x).equals(x));
+  q.set_enabled(true);
+  q.set_collect(true);
+  EXPECT_TRUE(fq(q, x).equals(x));
+  EXPECT_EQ(q.collected().size(), 32u);
+}
+
+TEST(AsymQuant, RejectsBadArgs) {
+  EXPECT_THROW(make_range("r", 1.0f, 1.0f), std::invalid_argument);
+  auto r = make_range("r", -1.0f, 1.0f);
+  EXPECT_THROW(AsymmetricFakeQuantOp(1, r), std::invalid_argument);
+  auto bad = std::make_shared<Param>("b", Tensor({3}), "threshold");
+  EXPECT_THROW(AsymmetricFakeQuantOp(8, bad), std::invalid_argument);
+}
+
+// ---- Pass integration ----------------------------------------------------------
+
+TEST(AsymQuantPass, QuantizesAndEvaluates) {
+  BuiltModel m = build_model(ModelKind::kMiniResNet, 10, 3);
+  Rng rng(3);
+  m.graph.set_training(true);
+  for (int i = 0; i < 8; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig cfg;
+  cfg.asymmetric = true;
+  cfg.emulate_intermediates = false;
+  cfg.power_of_2 = false;
+  auto qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+
+  // Every quantizer in this graph is asymmetric; ranges cover the data.
+  EXPECT_FALSE(m.graph.nodes_of_type("AsymFakeQuant").empty());
+  EXPECT_TRUE(m.graph.nodes_of_type("FakeQuant").empty());
+  for (const auto& th : threshold_params(m.graph, qres)) {
+    ASSERT_EQ(th->value.numel(), 2);
+    EXPECT_LT(th->value[0], th->value[1]);
+  }
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.0f);
+  set_quantizers_enabled(m.graph, false);
+  Tensor off = m.graph.run({{m.input, probe}}, qres.quantized_output);
+  set_quantizers_enabled(m.graph, true);
+  Tensor on = m.graph.run({{m.input, probe}}, qres.quantized_output);
+  EXPECT_FALSE(on.equals(off));
+  EXPECT_TRUE(on.allclose(off, 0.5f * std::max(1.0f, off.abs_max())));
+}
+
+TEST(AsymQuantPass, RejectsIncompatibleConfig) {
+  BuiltModel m = build_model(ModelKind::kMiniVgg);
+  QuantizeConfig cfg;
+  cfg.asymmetric = true;  // default power_of_2 / emulate are on
+  EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqt

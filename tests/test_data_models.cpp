@@ -1,0 +1,214 @@
+// Tests for the synthetic dataset and the mini model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/synthetic.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "nn/ops_basic.h"
+#include "nn/ops_loss.h"
+
+namespace tqt {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.train_size = 64;
+  cfg.val_size = 32;
+  return cfg;
+}
+
+TEST(Dataset, ShapesAndDeterminism) {
+  SyntheticImageDataset a(small_config());
+  SyntheticImageDataset b(small_config());
+  const std::vector<int64_t> idx{0, 1, 5};
+  Batch ba = a.train_batch(idx);
+  Batch bb = b.train_batch(idx);
+  EXPECT_EQ(ba.images.shape(), (Shape{3, 16, 16, 3}));
+  EXPECT_EQ(ba.labels.shape(), (Shape{3}));
+  EXPECT_TRUE(ba.images.equals(bb.images));  // fully deterministic from seed
+  EXPECT_TRUE(ba.labels.equals(bb.labels));
+}
+
+TEST(Dataset, DifferentSeedDifferentData) {
+  DatasetConfig cfg = small_config();
+  SyntheticImageDataset a(cfg);
+  cfg.seed = 999;
+  SyntheticImageDataset b(cfg);
+  const std::vector<int64_t> idx{0};
+  EXPECT_FALSE(a.train_batch(idx).images.equals(b.train_batch(idx).images));
+}
+
+TEST(Dataset, BalancedLabels) {
+  SyntheticImageDataset d(small_config());
+  std::vector<int64_t> all(64);
+  for (int64_t i = 0; i < 64; ++i) all[static_cast<size_t>(i)] = i;
+  Batch b = d.train_batch(all);
+  std::map<int64_t, int> counts;
+  for (int64_t i = 0; i < 64; ++i) counts[static_cast<int64_t>(b.labels[i])]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [cls, n] : counts) EXPECT_NEAR(n, 6, 1) << "class " << cls;
+}
+
+TEST(Dataset, ValBatchBounds) {
+  SyntheticImageDataset d(small_config());
+  EXPECT_NO_THROW(d.val_batch(0, 32));
+  EXPECT_THROW(d.val_batch(16, 32), std::out_of_range);
+}
+
+TEST(Dataset, CalibrationBatchFromValSplit) {
+  SyntheticImageDataset d(small_config());
+  Tensor c1 = d.calibration_batch(8, 5);
+  Tensor c2 = d.calibration_batch(8, 5);
+  EXPECT_EQ(c1.shape(), (Shape{8, 16, 16, 3}));
+  EXPECT_TRUE(c1.equals(c2));  // deterministic in the seed
+  EXPECT_FALSE(c1.equals(d.calibration_batch(8, 6)));
+}
+
+TEST(Dataset, ClassesAreSeparable) {
+  // Same-class samples must be closer to their class mean than to other
+  // class means on average — a basic sanity floor for learnability.
+  DatasetConfig cfg = small_config();
+  cfg.noise = 0.1f;
+  SyntheticImageDataset d(cfg);
+  std::vector<int64_t> all(64);
+  for (int64_t i = 0; i < 64; ++i) all[static_cast<size_t>(i)] = i;
+  Batch b = d.train_batch(all);
+  const int64_t pixels = 16 * 16 * 3;
+  std::vector<Tensor> means(10, Tensor({pixels}));
+  std::vector<int> counts(10, 0);
+  for (int64_t i = 0; i < 64; ++i) {
+    const int c = static_cast<int>(b.labels[i]);
+    for (int64_t j = 0; j < pixels; ++j) means[static_cast<size_t>(c)][j] += b.images[i * pixels + j];
+    counts[static_cast<size_t>(c)]++;
+  }
+  for (int c = 0; c < 10; ++c) means[static_cast<size_t>(c)] *= 1.0f / counts[static_cast<size_t>(c)];
+  int nearest_correct = 0;
+  for (int64_t i = 0; i < 64; ++i) {
+    double best = 1e30;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (int64_t j = 0; j < pixels; ++j) {
+        const double diff = b.images[i * pixels + j] - means[static_cast<size_t>(c)][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == static_cast<int>(b.labels[i])) ++nearest_correct;
+  }
+  EXPECT_GT(nearest_correct, 32);  // far above the 10% chance level
+}
+
+TEST(Dataset, TrainAndValSplitsAreIndependentDraws) {
+  SyntheticImageDataset d(small_config());
+  const std::vector<int64_t> idx{0};
+  Batch train = d.train_batch(idx);
+  Batch val = d.val_batch(0, 1);
+  EXPECT_EQ(train.labels[0], val.labels[0]);  // both are class 0 (balanced)
+  EXPECT_FALSE(train.images.equals(val.images));
+}
+
+TEST(Dataset, RejectsBadConfig) {
+  DatasetConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticImageDataset{cfg}, std::invalid_argument);
+}
+
+// ---- Model zoo -----------------------------------------------------------------
+
+class ZooTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ZooTest, ForwardBackwardSmoke) {
+  BuiltModel m = build_model(GetParam());
+  Rng rng(1);
+  Tensor x = rng.normal_tensor({2, 16, 16, 3});
+  m.graph.set_training(true);
+  Tensor logits = m.graph.run({{m.input, x}}, m.logits);
+  EXPECT_EQ(logits.shape(), (Shape{2, 10}));
+  for (int64_t i = 0; i < logits.numel(); ++i) EXPECT_TRUE(std::isfinite(logits[i]));
+
+  // Attach a loss and check gradients flow to every trainable parameter.
+  NodeId labels = m.graph.add("labels", std::make_unique<InputOp>());
+  NodeId loss =
+      m.graph.add("loss", std::make_unique<SoftmaxCrossEntropyOp>(), {m.logits, labels});
+  Tensor y({2}, {1.0f, 3.0f});
+  m.graph.zero_grad();
+  m.graph.run({{m.input, x}, {labels, y}}, loss);
+  m.graph.backward(loss);
+  int with_grad = 0, trainable = 0;
+  for (const auto& p : m.graph.params()) {
+    if (!p->trainable) continue;
+    ++trainable;
+    if (p->grad.abs_max() > 0.0f) ++with_grad;
+  }
+  EXPECT_GT(trainable, 4);
+  // Allow at most a couple of dead parameters (dead ReLUs at init).
+  EXPECT_GE(with_grad, trainable - 2);
+}
+
+TEST_P(ZooTest, DeterministicConstruction) {
+  BuiltModel a = build_model(GetParam(), 10, 33);
+  BuiltModel b = build_model(GetParam(), 10, 33);
+  const auto sa = a.graph.state_dict();
+  const auto sb = b.graph.state_dict();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (const auto& [name, t] : sa) EXPECT_TRUE(t.equals(sb.at(name))) << name;
+}
+
+TEST_P(ZooTest, EvalModeIsDeterministic) {
+  BuiltModel m = build_model(GetParam());
+  m.graph.set_training(false);
+  Rng rng(2);
+  Tensor x = rng.normal_tensor({1, 16, 16, 3});
+  Tensor y1 = m.graph.run({{m.input, x}}, m.logits);
+  Tensor y2 = m.graph.run({{m.input, x}}, m.logits);
+  EXPECT_TRUE(y1.equals(y2));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooTest, ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+TEST(Zoo, NamesAreUnique) {
+  std::set<std::string> names;
+  for (ModelKind k : all_model_kinds()) names.insert(model_name(k));
+  EXPECT_EQ(names.size(), all_model_kinds().size());
+}
+
+TEST(Zoo, MobileNetHasDepthwiseGammaSpread) {
+  // The documented substitution: depthwise BN gammas must span a wide
+  // power-of-2 range so folded depthwise weights have irregular per-channel
+  // ranges (paper §6.2).
+  BuiltModel m = build_model(ModelKind::kMiniMobileNetV1);
+  float lo = 1e30f, hi = 0.0f;
+  for (const auto& p : m.graph.params()) {
+    if (p->name.find("/dw/bn/gamma") == std::string::npos) continue;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      lo = std::min(lo, p->value[i]);
+      hi = std::max(hi, p->value[i]);
+    }
+  }
+  ASSERT_LT(lo, hi);
+  EXPECT_GT(hi / lo, 4.0f);
+}
+
+TEST(Builder, RejectsDoubleInput) {
+  ModelBuilder b("t", 1);
+  b.input(16, 3);
+  EXPECT_THROW(b.input(16, 3), std::logic_error);
+}
+
+TEST(Builder, RejectsConvAfterFlatten) {
+  ModelBuilder b("t", 1);
+  NodeId x = b.input(16, 3);
+  x = b.flatten("flat", x);
+  EXPECT_THROW(b.conv_bn("c", x, 8, 3, 1, Act::kRelu), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tqt

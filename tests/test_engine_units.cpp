@@ -1,0 +1,161 @@
+// Instruction-level tests of the fixed-point engine on hand-built micrographs:
+// requant shifts and saturation, eltwise/concat scale-merge enforcement,
+// relu6 grid constraints, and leaky-relu integer alignment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "quant/fake_quant.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+std::unique_ptr<FakeQuantOp> quant(QuantBits qb, float log2_t, const std::string& name) {
+  return std::make_unique<FakeQuantOp>(qb, QuantMode::kTqt, make_threshold(name, log2_t));
+}
+
+TEST(EngineUnit, InputQuantizeOnly) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q = g.add("q", quant(int8_signed(), 0.0f, "q/t"), {in});
+  FixedPointProgram prog = compile_fixed_point(g, in, q);
+  Rng rng(1);
+  Tensor x = rng.normal_tensor({64}, 0.0f, 1.0f);
+  Tensor fake = g.run({{in, x}}, q);
+  Tensor fixed = prog.run(x);
+  EXPECT_TRUE(fake.equals(fixed));
+}
+
+TEST(EngineUnit, RequantRightShiftSaturates) {
+  // q16 at fine scale requantized to q8 at coarse scale: values beyond the
+  // 8-bit range must saturate exactly like the fake graph.
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q16 = g.add("q16", quant(int16_signed(), 3.0f, "q16/t"), {in});
+  NodeId q8 = g.add("q8", quant(int8_signed(), 0.0f, "q8/t"), {q16});
+  FixedPointProgram prog = compile_fixed_point(g, in, q8);
+  Tensor x({5}, {-7.9f, -1.01f, 0.37f, 0.999f, 6.5f});
+  Tensor fake = g.run({{in, x}}, q8);
+  Tensor fixed = prog.run(x);
+  EXPECT_TRUE(fake.equals(fixed));
+  EXPECT_FLOAT_EQ(fixed[0], -1.0f);  // saturated at n*s = -128 * 2^-7
+}
+
+TEST(EngineUnit, RequantLeftShiftExact) {
+  // Coarse q8 to finer q16 scale: a left shift, always exact.
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q8 = g.add("q8", quant(int8_signed(), 0.0f, "q8/t"), {in});
+  NodeId q16 = g.add("q16", quant(int16_signed(), 0.0f, "q16/t"), {q8});
+  FixedPointProgram prog = compile_fixed_point(g, in, q16);
+  Rng rng(3);
+  Tensor x = rng.normal_tensor({128});
+  EXPECT_TRUE(g.run({{in, x}}, q16).equals(prog.run(x)));
+}
+
+TEST(EngineUnit, EltwiseRequiresMergedScales) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId a = g.add("a", quant(int8_signed(), 0.0f, "a/t"), {in});
+  NodeId b = g.add("b", quant(int8_signed(), 2.0f, "b/t"), {in});  // different scale!
+  NodeId add = g.add("add", std::make_unique<EltwiseAddOp>(), {a, b});
+  NodeId out = g.add("out", quant(int8_signed(), 2.0f, "out/t"), {add});
+  EXPECT_THROW(compile_fixed_point(g, in, out), std::runtime_error);
+}
+
+TEST(EngineUnit, EltwiseWithSharedScaleIsExact) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  auto shared = make_threshold("shared/t", 1.0f);
+  NodeId a = g.add("a", std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, shared), {in});
+  NodeId b = g.add("b", std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, shared), {in});
+  NodeId add = g.add("add", std::make_unique<EltwiseAddOp>(), {a, b});
+  NodeId out = g.add("out", quant(int8_signed(), 2.0f, "out/t"), {add});
+  FixedPointProgram prog = compile_fixed_point(g, in, out);
+  Rng rng(4);
+  Tensor x = rng.normal_tensor({64});
+  EXPECT_TRUE(g.run({{in, x}}, out).equals(prog.run(x)));
+}
+
+TEST(EngineUnit, ConcatRequiresMergedScales) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId a = g.add("a", quant(int8_signed(), 0.0f, "a/t"), {in});
+  NodeId b = g.add("b", quant(int8_signed(), 1.0f, "b/t"), {in});
+  NodeId cat = g.add("cat", std::make_unique<ConcatOp>(), {a, b});
+  NodeId out = g.add("out", quant(int8_signed(), 1.0f, "out/t"), {cat});
+  EXPECT_THROW(compile_fixed_point(g, in, out), std::runtime_error);
+}
+
+TEST(EngineUnit, Relu6OnIntegerGrid) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q16 = g.add("q16", quant(int16_signed(), 3.0f, "q16/t"), {in});
+  NodeId r6 = g.add("relu6", std::make_unique<Relu6Op>(), {q16});
+  NodeId q8 = g.add("q8", std::make_unique<FakeQuantOp>(int8_unsigned(), QuantMode::kTqt,
+                                                        make_threshold("q8/t", std::log2(6.0f))),
+                    {r6});
+  FixedPointProgram prog = compile_fixed_point(g, in, q8);
+  Tensor x({6}, {-3.0f, -0.1f, 0.0f, 3.0f, 5.999f, 7.5f});
+  Tensor fake = g.run({{in, x}}, q8);
+  Tensor fixed = prog.run(x);
+  EXPECT_TRUE(fake.equals(fixed));
+  EXPECT_FLOAT_EQ(fixed[0], 0.0f);
+  EXPECT_FLOAT_EQ(fixed[5], fixed[4]);  // both clamped to 6 then quantized
+}
+
+TEST(EngineUnit, LeakyReluPowerOfTwoAlphaExact) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q16 = g.add("q16", quant(int16_signed(), 2.0f, "q16/t"), {in});
+  NodeId lk = g.add("leaky", std::make_unique<LeakyReluOp>(0.125f), {q16});
+  NodeId q8 = g.add("q8", quant(int8_signed(), 2.0f, "q8/t"), {lk});
+  FixedPointProgram prog = compile_fixed_point(g, in, q8);
+  Rng rng(6);
+  Tensor x = rng.normal_tensor({256}, 0.0f, 2.0f);
+  Tensor fake = g.run({{in, x}}, q8);
+  Tensor fixed = prog.run(x);
+  for (int64_t i = 0; i < fake.numel(); ++i) ASSERT_EQ(fake[i], fixed[i]) << i;
+}
+
+TEST(EngineUnit, MaxPoolPreservesScale) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q8 = g.add("q8", quant(int8_signed(), 0.5f, "q8/t"), {in});
+  NodeId pool = g.add("pool", std::make_unique<MaxPoolOp>(Conv2dGeom::valid(2, 2, 2)), {q8});
+  NodeId out = g.add("out", quant(int8_signed(), 0.5f, "out/t"), {pool});
+  FixedPointProgram prog = compile_fixed_point(g, in, out);
+  Rng rng(7);
+  Tensor x = rng.normal_tensor({1, 4, 4, 2});
+  EXPECT_TRUE(g.run({{in, x}}, out).equals(prog.run(x)));
+}
+
+TEST(EngineUnit, PerChannelQuantizerRejected) {
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  auto ths = std::make_shared<Param>("t", Tensor({2}), "threshold", false);
+  NodeId q = g.add("q", std::make_unique<FakeQuantOp>(int8_signed(), ths, 1, true), {in});
+  EXPECT_THROW(compile_fixed_point(g, in, q), std::runtime_error);
+}
+
+TEST(EngineUnit, RescaleHelperBehaviour) {
+  // Covered indirectly everywhere; pin down the exact semantics here.
+  // value 100 at 2^-4 rescaled to 2^-2: 100/4 = 25.
+  // value 101 at 2^-4 to 2^-2: 25.25 -> 25; 102 -> 25.5 -> ties to even 26...
+  // (verify via a requant micrograph rather than private functions)
+  Graph g;
+  NodeId in = g.add("input", std::make_unique<InputOp>());
+  NodeId q_fine = g.add("qf", quant(int16_signed(), 3.0f, "qf/t"), {in});    // s = 2^-12
+  NodeId q_coarse = g.add("qc", quant(int8_signed(), 3.0f, "qc/t"), {q_fine});  // s = 2^-4
+  FixedPointProgram prog = compile_fixed_point(g, in, q_coarse);
+  Tensor x({3}, {100.0f / 4096.0f * 16.0f, 0.031f, -0.031f});
+  EXPECT_TRUE(g.run({{in, x}}, q_coarse).equals(prog.run(x)));
+}
+
+}  // namespace
+}  // namespace tqt

@@ -1,0 +1,144 @@
+// Tests for the fixed-point engine, headlined by the paper's bit-accuracy
+// contract (§4.2): the integer-only program must produce outputs EXACTLY
+// equal to the float fake-quant inference graph, for every model family.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+struct Prepared {
+  BuiltModel m;
+  QuantizePassResult qres;
+};
+
+Prepared prepare(ModelKind kind, int weight_bits = 8, uint64_t seed = 11) {
+  Prepared p;
+  p.m = build_model(kind, 10, seed);
+  Rng rng(seed);
+  p.m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    p.m.graph.run({{p.m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, p.m.logits);
+  }
+  p.m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(p.m.graph, p.m.input, calib);
+  QuantizeConfig cfg;
+  cfg.weight_bits = weight_bits;
+  p.qres = quantize_pass(p.m.graph, p.m.input, p.m.logits, cfg);
+  calibrate_thresholds(p.m.graph, p.qres, p.m.input, calib, WeightInit::kMax);
+  return p;
+}
+
+class BitExact : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(BitExact, Int8MatchesFakeQuantGraphExactly) {
+  Prepared p = prepare(GetParam());
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  Rng rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
+    Tensor fake = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+    Tensor fixed = prog.run(probe);
+    ASSERT_EQ(fake.shape(), fixed.shape());
+    for (int64_t i = 0; i < fake.numel(); ++i) {
+      ASSERT_EQ(fake[i], fixed[i]) << model_name(GetParam()) << " element " << i
+                                   << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(BitExact, Int4MatchesFakeQuantGraphExactly) {
+  Prepared p = prepare(GetParam(), /*weight_bits=*/4);
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  Rng rng(78);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
+  Tensor fake = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+  Tensor fixed = prog.run(probe);
+  for (int64_t i = 0; i < fake.numel(); ++i) {
+    ASSERT_EQ(fake[i], fixed[i]) << model_name(GetParam()) << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BitExact, ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+TEST(FixedPoint, RawOutputIsInt8Range) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  Rng rng(79);
+  IntTensor raw = prog.run_raw(rng.normal_tensor({2, 16, 16, 3}));
+  for (int64_t v : raw.data) {
+    EXPECT_GE(v, -128);
+    EXPECT_LE(v, 127);
+  }
+}
+
+TEST(FixedPoint, ProgramMetadata) {
+  Prepared p = prepare(ModelKind::kMiniResNet);
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  EXPECT_GT(prog.instruction_count(), 20);
+  EXPECT_GT(prog.parameter_count(), 1000);
+  // Instruction stream starts by quantizing the input.
+  EXPECT_EQ(prog.instructions().front().kind, FpInstr::Kind::kQuantizeInput);
+}
+
+TEST(FixedPoint, RefusesUnquantizedGraph) {
+  BuiltModel m = build_model(ModelKind::kMiniVgg);
+  Rng rng(80);
+  m.graph.set_training(false);
+  Tensor sample = rng.normal_tensor({1, 16, 16, 3});
+  optimize_for_quantization(m.graph, m.input, sample);
+  EXPECT_THROW(compile_fixed_point(m.graph, m.input, m.logits), std::runtime_error);
+}
+
+TEST(FixedPoint, RefusesDisabledQuantizers) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  set_quantizers_enabled(p.m.graph, false);
+  EXPECT_THROW(compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output),
+               std::runtime_error);
+}
+
+TEST(FixedPoint, DeterministicAcrossRuns) {
+  Prepared p = prepare(ModelKind::kMiniMobileNetV2);
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  Rng rng(81);
+  Tensor probe = rng.normal_tensor({1, 16, 16, 3});
+  EXPECT_TRUE(prog.run(probe).equals(prog.run(probe)));
+}
+
+TEST(FixedPoint, SaveLoadRoundTrip) {
+  Prepared p = prepare(ModelKind::kMiniInception);
+  FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
+  const std::string path = ::testing::TempDir() + "/prog.tqtp";
+  prog.save(path);
+  FixedPointProgram back = FixedPointProgram::load(path);
+  EXPECT_EQ(back.instruction_count(), prog.instruction_count());
+  EXPECT_EQ(back.parameter_count(), prog.parameter_count());
+  Rng rng(90);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  EXPECT_TRUE(prog.run(probe).equals(back.run(probe)));
+  std::remove(path.c_str());
+}
+
+TEST(FixedPoint, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.tqtp";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a program";
+  }
+  EXPECT_THROW(FixedPointProgram::load(path), std::runtime_error);
+  EXPECT_THROW(FixedPointProgram::load("/nonexistent/prog.tqtp"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tqt

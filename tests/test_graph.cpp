@@ -1,0 +1,413 @@
+// Tests for the graph IR: construction, surgery, execution, and analytic vs
+// numerical gradients for every op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "nn/dot.h"
+#include "nn/graph.h"
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "nn/ops_loss.h"
+#include "nn/ops_norm.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace tqt {
+namespace {
+
+using test::check_input_grad;
+using test::check_param_grads;
+
+ParamPtr make_param(const std::string& name, Tensor value, const std::string& group = "weight") {
+  return std::make_shared<Param>(name, std::move(value), group);
+}
+
+TEST(Graph, AddAndFind) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId id = g.add("id", std::make_unique<IdentityOp>(), {in});
+  EXPECT_EQ(g.find("x"), in);
+  EXPECT_EQ(g.find("id"), id);
+  EXPECT_EQ(g.find("nope"), kNoNode);
+  EXPECT_THROW(g.add("x", std::make_unique<InputOp>()), std::invalid_argument);
+  EXPECT_THROW(g.add("bad", std::make_unique<IdentityOp>(), {42}), std::invalid_argument);
+}
+
+TEST(Graph, ArityChecked) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  EXPECT_THROW(g.add("r", std::make_unique<ReluOp>(), {in, in}), std::invalid_argument);
+  EXPECT_THROW(g.add("a", std::make_unique<EltwiseAddOp>(), {in}), std::invalid_argument);
+}
+
+TEST(Graph, RunIdentityChain) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  NodeId b = g.add("b", std::make_unique<IdentityOp>(), {a});
+  Tensor x({2}, {1, 2});
+  Tensor y = g.run({{in, x}}, b);
+  EXPECT_TRUE(y.equals(x));
+}
+
+TEST(Graph, MissingFeedThrows) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  EXPECT_THROW(g.run({}, in), std::invalid_argument);
+}
+
+TEST(Graph, ConsumersAndRewire) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  NodeId b = g.add("b", std::make_unique<IdentityOp>(), {in});
+  auto cons = g.consumers(in);
+  EXPECT_EQ(cons.size(), 2u);
+  NodeId c = g.add("c", std::make_unique<IdentityOp>(), {in});
+  g.rewire_consumers(in, c, nullptr);
+  // a and b now read c; c still reads in.
+  EXPECT_EQ(g.node(a).inputs[0], c);
+  EXPECT_EQ(g.node(b).inputs[0], c);
+  EXPECT_EQ(g.node(c).inputs[0], in);
+}
+
+TEST(Graph, InsertAfterRewiresExistingConsumers) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId relu = g.add("relu", std::make_unique<ReluOp>(), {in});
+  NodeId mid = g.insert_after(in, "mid", std::make_unique<IdentityOp>());
+  EXPECT_EQ(g.node(relu).inputs[0], mid);
+  EXPECT_EQ(g.node(mid).inputs[0], in);
+  Tensor x({2}, {-1, 2});
+  Tensor y = g.run({{in, x}}, relu);
+  EXPECT_TRUE(y.equals(Tensor({2}, {0, 2})));
+}
+
+TEST(Graph, InsertOnEdgeOnlyAffectsThatEdge) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  NodeId b = g.add("b", std::make_unique<IdentityOp>(), {in});
+  g.insert_on_edge(in, a, "q", std::make_unique<IdentityOp>());
+  EXPECT_NE(g.node(a).inputs[0], in);
+  EXPECT_EQ(g.node(b).inputs[0], in);
+  EXPECT_THROW(g.insert_on_edge(a, b, "bad", std::make_unique<IdentityOp>()), std::invalid_argument);
+}
+
+TEST(Graph, RemoveAndDeadNodes) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  g.remove(a);
+  EXPECT_EQ(g.find("a"), kNoNode);
+  EXPECT_EQ(g.live_nodes().size(), 1u);
+  // Executing a graph that references a dead node must fail loudly.
+  NodeId b = g.add("b", std::make_unique<IdentityOp>(), {in});
+  g.replace_input(b, in, a);
+  EXPECT_THROW(g.run({{in, Tensor({1})}}, b), std::runtime_error);
+}
+
+TEST(Graph, TopoOrderDiamond) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId l = g.add("l", std::make_unique<IdentityOp>(), {in});
+  NodeId r = g.add("r", std::make_unique<IdentityOp>(), {in});
+  NodeId sum = g.add("sum", std::make_unique<EltwiseAddOp>(), {l, r});
+  auto order = g.topo_order({sum});
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), in);
+  EXPECT_EQ(order.back(), sum);
+}
+
+TEST(Graph, BackwardAccumulatesFanout) {
+  // y = x + x => dy/dx = 2.
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId sum = g.add("sum", std::make_unique<EltwiseAddOp>(), {in, in});
+  NodeId tgt = g.add("t", std::make_unique<InputOp>());
+  NodeId loss = g.add("loss", std::make_unique<L2LossOp>(), {sum, tgt});
+  Tensor x({2}, {1, 2});
+  Tensor t({2}, {0, 0});
+  g.run({{in, x}, {tgt, t}}, loss);
+  g.backward(loss);
+  // dL/d(sum) = sum - t = 2x; dL/dx = 2 * (2x) = 4x.
+  EXPECT_TRUE(g.node(in).grad.allclose(Tensor({2}, {4, 8}), 1e-5f));
+}
+
+TEST(Graph, BackwardRequiresScalarLoss) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId id = g.add("id", std::make_unique<IdentityOp>(), {in});
+  g.run({{in, Tensor({3})}}, id);
+  EXPECT_THROW(g.backward(id), std::runtime_error);
+}
+
+TEST(Graph, StateDictRoundTrip) {
+  Graph g;
+  auto w = make_param("w", Tensor({2, 2}, {1, 2, 3, 4}));
+  NodeId v = g.add("w", std::make_unique<VariableOp>(w));
+  (void)v;
+  auto sd = g.state_dict();
+  ASSERT_TRUE(sd.count("w"));
+  w->value.fill(0.0f);
+  g.load_state_dict(sd);
+  EXPECT_TRUE(w->value.equals(Tensor({2, 2}, {1, 2, 3, 4})));
+  EXPECT_THROW(g.load_state_dict({}), std::runtime_error);
+}
+
+// ---- Per-op gradient checks -------------------------------------------------
+
+struct GradCheckFixture : public ::testing::Test {
+  Graph g;
+  Rng rng{1234};
+
+  /// Builds loss = L2(x_out, target) and checks input + param grads.
+  void check(NodeId x_in, NodeId out, Feed feed) {
+    Tensor out_val = g.run(feed, out);
+    NodeId tgt = g.add("target", std::make_unique<InputOp>());
+    NodeId loss = g.add("loss", std::make_unique<L2LossOp>(), {out, tgt});
+    feed[tgt] = rng.normal_tensor(out_val.shape());
+    check_param_grads(g, feed, loss);
+    check_input_grad(g, feed, x_in, loss);
+  }
+};
+
+TEST_F(GradCheckFixture, Dense) {
+  auto w = make_param("w", rng.normal_tensor({4, 3}));
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId wv = g.add("w", std::make_unique<VariableOp>(w));
+  NodeId y = g.add("dense", std::make_unique<DenseOp>(), {x, wv});
+  check(x, y, {{x, rng.normal_tensor({2, 4})}});
+}
+
+TEST_F(GradCheckFixture, BiasAdd) {
+  auto b = make_param("b", rng.normal_tensor({3}), "bias");
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId bv = g.add("b", std::make_unique<VariableOp>(b));
+  NodeId y = g.add("biasadd", std::make_unique<BiasAddOp>(), {x, bv});
+  check(x, y, {{x, rng.normal_tensor({2, 5, 5, 3})}});
+}
+
+TEST_F(GradCheckFixture, Conv2dSame) {
+  auto w = make_param("w", rng.normal_tensor({3, 3, 2, 4}, 0.0f, 0.5f));
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId wv = g.add("w", std::make_unique<VariableOp>(w));
+  NodeId y = g.add("conv", std::make_unique<Conv2dOp>(Conv2dGeom::same(3, 3, 1, 5, 5)), {x, wv});
+  check(x, y, {{x, rng.normal_tensor({1, 5, 5, 2})}});
+}
+
+TEST_F(GradCheckFixture, Conv2dStride2) {
+  auto w = make_param("w", rng.normal_tensor({3, 3, 2, 3}, 0.0f, 0.5f));
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId wv = g.add("w", std::make_unique<VariableOp>(w));
+  NodeId y = g.add("conv", std::make_unique<Conv2dOp>(Conv2dGeom::same(3, 3, 2, 6, 6)), {x, wv});
+  check(x, y, {{x, rng.normal_tensor({1, 6, 6, 2})}});
+}
+
+TEST_F(GradCheckFixture, DepthwiseConv2d) {
+  auto w = make_param("w", rng.normal_tensor({3, 3, 3}, 0.0f, 0.5f));
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId wv = g.add("w", std::make_unique<VariableOp>(w));
+  NodeId y = g.add("dw", std::make_unique<DepthwiseConv2dOp>(Conv2dGeom::same(3, 3, 1, 5, 5)), {x, wv});
+  check(x, y, {{x, rng.normal_tensor({2, 5, 5, 3})}});
+}
+
+TEST_F(GradCheckFixture, DepthwiseConv2dStride2) {
+  auto w = make_param("w", rng.normal_tensor({3, 3, 2}, 0.0f, 0.5f));
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId wv = g.add("w", std::make_unique<VariableOp>(w));
+  NodeId y = g.add("dw", std::make_unique<DepthwiseConv2dOp>(Conv2dGeom::same(3, 3, 2, 6, 6)), {x, wv});
+  check(x, y, {{x, rng.normal_tensor({1, 6, 6, 2})}});
+}
+
+TEST_F(GradCheckFixture, ReluAwayFromKink) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("relu", std::make_unique<ReluOp>(), {x});
+  Tensor xv = rng.normal_tensor({2, 7});
+  for (int64_t i = 0; i < xv.numel(); ++i)
+    if (std::fabs(xv[i]) < 0.05f) xv[i] = 0.5f;
+  check(x, y, {{x, xv}});
+}
+
+TEST_F(GradCheckFixture, Relu6AwayFromKinks) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("relu6", std::make_unique<Relu6Op>(), {x});
+  Tensor xv = rng.uniform_tensor({2, 9}, -3.0f, 9.0f);
+  for (int64_t i = 0; i < xv.numel(); ++i) {
+    if (std::fabs(xv[i]) < 0.05f) xv[i] = 0.5f;
+    if (std::fabs(xv[i] - 6.0f) < 0.05f) xv[i] = 5.0f;
+  }
+  check(x, y, {{x, xv}});
+}
+
+TEST_F(GradCheckFixture, LeakyRelu) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("lrelu", std::make_unique<LeakyReluOp>(0.1f), {x});
+  Tensor xv = rng.normal_tensor({2, 9});
+  for (int64_t i = 0; i < xv.numel(); ++i)
+    if (std::fabs(xv[i]) < 0.05f) xv[i] = 0.5f;
+  check(x, y, {{x, xv}});
+}
+
+TEST_F(GradCheckFixture, MaxPool) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("pool", std::make_unique<MaxPoolOp>(Conv2dGeom::valid(2, 2, 2)), {x});
+  check(x, y, {{x, rng.normal_tensor({1, 4, 4, 3})}});
+}
+
+TEST_F(GradCheckFixture, AvgPool) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("pool", std::make_unique<AvgPoolOp>(Conv2dGeom::valid(2, 2, 2)), {x});
+  check(x, y, {{x, rng.normal_tensor({1, 4, 4, 3})}});
+}
+
+TEST_F(GradCheckFixture, GlobalAvgPool) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("gap", std::make_unique<GlobalAvgPoolOp>(), {x});
+  check(x, y, {{x, rng.normal_tensor({2, 3, 3, 4})}});
+}
+
+TEST_F(GradCheckFixture, ConcatAndFlatten) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {x});
+  NodeId b = g.add("b", std::make_unique<ReluOp>(), {x});
+  NodeId cat = g.add("cat", std::make_unique<ConcatOp>(), {a, b});
+  NodeId flat = g.add("flat", std::make_unique<FlattenOp>(), {cat});
+  Tensor xv = rng.normal_tensor({2, 2, 2, 3});
+  for (int64_t i = 0; i < xv.numel(); ++i)
+    if (std::fabs(xv[i]) < 0.05f) xv[i] = 0.5f;
+  check(x, flat, {{x, xv}});
+}
+
+TEST_F(GradCheckFixture, EltwiseAdd) {
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {x});
+  NodeId sum = g.add("sum", std::make_unique<EltwiseAddOp>(), {a, x});
+  check(x, sum, {{x, rng.normal_tensor({2, 5})}});
+}
+
+TEST_F(GradCheckFixture, BatchNormTrainMode) {
+  auto bn = std::make_unique<BatchNormOp>("bn", 3);
+  BatchNormOp* bn_raw = bn.get();
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("bn", std::move(bn), {x});
+  g.set_training(true);
+  // Freeze moving-stat updates so repeated forwards during numerical
+  // gradient checks are pure functions of the input.
+  bn_raw->freeze_stats(false);
+  // Batch-stat BN forward is deterministic per batch; EMA updates do not
+  // change the output in train mode, so the gradcheck stays valid.
+  check(x, y, {{x, rng.normal_tensor({8, 3}, 1.0f, 2.0f)}});
+}
+
+TEST_F(GradCheckFixture, BatchNormFrozenStats) {
+  auto bn = std::make_unique<BatchNormOp>("bn", 4);
+  BatchNormOp* bn_raw = bn.get();
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("bn", std::move(bn), {x});
+  g.set_training(true);
+  bn_raw->freeze_stats(true);
+  bn_raw->moving_mean()->value = Tensor({4}, {0.5f, -0.5f, 1.0f, 0.0f});
+  bn_raw->moving_var()->value = Tensor({4}, {1.0f, 2.0f, 0.5f, 4.0f});
+  check(x, y, {{x, rng.normal_tensor({4, 4})}});
+}
+
+TEST(SoftmaxCE, LossValueAndGradient) {
+  Graph g;
+  Rng rng(5);
+  NodeId x = g.add("logits", std::make_unique<InputOp>());
+  NodeId labels = g.add("labels", std::make_unique<InputOp>());
+  NodeId loss = g.add("loss", std::make_unique<SoftmaxCrossEntropyOp>(), {x, labels});
+  Tensor logits = rng.normal_tensor({4, 5});
+  Tensor y({4}, {0, 3, 2, 4});
+  Feed feed{{x, logits}, {labels, y}};
+  Tensor l = g.run(feed, loss);
+  EXPECT_GT(l.item(), 0.0f);
+  test::check_input_grad(g, feed, x, loss, 1e-2f);
+}
+
+TEST(SoftmaxCE, PerfectPredictionLowLoss) {
+  Graph g;
+  NodeId x = g.add("logits", std::make_unique<InputOp>());
+  NodeId labels = g.add("labels", std::make_unique<InputOp>());
+  NodeId loss = g.add("loss", std::make_unique<SoftmaxCrossEntropyOp>(), {x, labels});
+  Tensor logits({2, 3}, {10, -10, -10, -10, 10, -10});
+  Tensor y({2}, {0, 1});
+  Tensor l = g.run({{x, logits}, {labels, y}}, loss);
+  EXPECT_LT(l.item(), 1e-3f);
+}
+
+TEST(SoftmaxCE, RejectsBadLabels) {
+  Graph g;
+  NodeId x = g.add("logits", std::make_unique<InputOp>());
+  NodeId labels = g.add("labels", std::make_unique<InputOp>());
+  NodeId loss = g.add("loss", std::make_unique<SoftmaxCrossEntropyOp>(), {x, labels});
+  Tensor logits({1, 3}, {0, 0, 0});
+  Tensor y({1}, {5.0f});
+  EXPECT_THROW(g.run({{x, logits}, {labels, y}}, loss), std::invalid_argument);
+}
+
+TEST(BatchNorm, MovingStatsConvergeToBatchStats) {
+  Graph g;
+  auto bn = std::make_unique<BatchNormOp>("bn", 2, 0.5f);
+  BatchNormOp* bn_raw = bn.get();
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("bn", std::move(bn), {x});
+  g.set_training(true);
+  Rng rng(2);
+  Tensor batch = rng.normal_tensor({256, 2}, 3.0f, 2.0f);
+  for (int i = 0; i < 30; ++i) g.run({{x, batch}}, y);
+  EXPECT_NEAR(bn_raw->moving_mean()->value[0], 3.0f, 0.3f);
+  EXPECT_NEAR(bn_raw->moving_var()->value[0], 4.0f, 0.8f);
+  // Inference mode then normalizes with those stats.
+  g.set_training(false);
+  Tensor out = g.run({{x, batch}}, y);
+  EXPECT_NEAR(out.mean(), 0.0f, 0.2f);
+}
+
+TEST(BatchNorm, FrozenStatsStopUpdating) {
+  Graph g;
+  auto bn = std::make_unique<BatchNormOp>("bn", 1);
+  BatchNormOp* bn_raw = bn.get();
+  NodeId x = g.add("x", std::make_unique<InputOp>());
+  NodeId y = g.add("bn", std::move(bn), {x});
+  g.set_training(true);
+  bn_raw->freeze_stats(true);
+  const float before = bn_raw->moving_mean()->value[0];
+  Rng rng(3);
+  g.run({{x, rng.normal_tensor({16, 1}, 5.0f, 1.0f)}}, y);
+  EXPECT_EQ(bn_raw->moving_mean()->value[0], before);
+}
+
+TEST(Dot, ExportContainsNodesAndEdges) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId relu = g.add("act", std::make_unique<ReluOp>(), {in});
+  (void)relu;
+  const std::string dot = graph_to_dot(g, "unit");
+  EXPECT_NE(dot.find("digraph \"unit\""), std::string::npos);
+  EXPECT_NE(dot.find("x\\n(Input)"), std::string::npos);
+  EXPECT_NE(dot.find("act\\n(Relu)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, DeadNodesExcludedAndFileWritten) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId dead = g.add("dead", std::make_unique<IdentityOp>(), {in});
+  g.remove(dead);
+  const std::string dot = graph_to_dot(g);
+  EXPECT_EQ(dot.find("dead"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/g.dot";
+  write_dot(g, path);
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(write_dot(g, "/nonexistent/dir/g.dot"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tqt

@@ -1,0 +1,185 @@
+// Tests for optimizers and learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/optimizer.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+ParamPtr quad_param(float x0, const std::string& group = "weight") {
+  return std::make_shared<Param>("p", Tensor::scalar(x0), group);
+}
+
+/// One step of dL/dx for L = 0.5*(x - target)^2.
+void quad_grad(Param& p, float target) {
+  p.zero_grad();
+  p.grad[0] = p.value[0] - target;
+}
+
+TEST(LrSchedule, ConstantWhenNoPeriod) {
+  LrSchedule s = LrSchedule::constant(0.5f);
+  EXPECT_FLOAT_EQ(s.at(0), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(100000), 0.5f);
+}
+
+TEST(LrSchedule, StaircaseDecay) {
+  LrSchedule s{1.0f, 0.5f, 10, true};
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(10), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(25), 0.25f);
+}
+
+TEST(LrSchedule, SmoothDecay) {
+  LrSchedule s{1.0f, 0.5f, 10, false};
+  EXPECT_NEAR(s.at(5), std::pow(0.5, 0.5), 1e-6);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  auto p = quad_param(10.0f);
+  Sgd opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.1f));
+  for (int i = 0; i < 200; ++i) {
+    quad_grad(*p, 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p->value[0], 3.0f, 1e-4f);
+  EXPECT_EQ(opt.step_count(), 200);
+}
+
+TEST(Sgd, MomentumAcceleratesIllConditioned) {
+  // On a stiff quadratic, momentum reaches the optimum in fewer steps.
+  auto run = [](float momentum) {
+    auto p = quad_param(10.0f);
+    Sgd opt({p}, momentum);
+    opt.set_default_schedule(LrSchedule::constant(0.01f));
+    int steps = 0;
+    while (std::fabs(p->value[0]) > 0.01f && steps < 5000) {
+      quad_grad(*p, 0.0f);
+      opt.step();
+      ++steps;
+    }
+    return steps;
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(Sgd, SkipsNonTrainable) {
+  auto p = quad_param(1.0f);
+  p->trainable = false;
+  Sgd opt({p});
+  quad_grad(*p, 0.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p->value[0], 1.0f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the first Adam update is exactly lr * sign(g).
+  auto p = quad_param(5.0f);
+  Adam opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.1f));
+  quad_grad(*p, 0.0f);
+  opt.step();
+  EXPECT_NEAR(p->value[0], 5.0f - 0.1f, 1e-5f);
+}
+
+TEST(Adam, GradientScaleInvariance) {
+  // Appendix B: Adam's built-in norming makes updates insensitive to a
+  // constant gradient scale — the property that rescues log-threshold
+  // training across input scales.
+  auto run = [](float scale) {
+    auto p = quad_param(1.0f);
+    Adam opt({p});
+    opt.set_default_schedule(LrSchedule::constant(0.01f));
+    for (int i = 0; i < 50; ++i) {
+      p->zero_grad();
+      p->grad[0] = scale * (p->value[0] - 0.0f);
+      opt.step();
+    }
+    return p->value[0];
+  };
+  EXPECT_NEAR(run(1.0f), run(1000.0f), 1e-3f);
+  EXPECT_NEAR(run(1.0f), run(0.001f), 1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  auto p = quad_param(-4.0f);
+  Adam opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.05f));
+  for (int i = 0; i < 2000; ++i) {
+    quad_grad(*p, 2.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p->value[0], 2.0f, 0.01f);
+}
+
+TEST(RmsProp, ConvergesOnQuadratic) {
+  auto p = quad_param(4.0f);
+  RmsProp opt({p}, 0.99f);
+  opt.set_default_schedule(LrSchedule::constant(0.05f));
+  for (int i = 0; i < 2000; ++i) {
+    quad_grad(*p, -1.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p->value[0], -1.0f, 0.05f);
+}
+
+TEST(NormedSgd, UpdatesBoundedByLr) {
+  // Eq. (18): |g~| <= 1, so every update moves at most lr.
+  auto p = quad_param(0.0f);
+  NormedSgd opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.02f));
+  Rng rng(3);
+  float prev = p->value[0];
+  for (int i = 0; i < 100; ++i) {
+    p->zero_grad();
+    p->grad[0] = rng.normal(0.0f, 1000.0f);  // wild gradient scales
+    opt.step();
+    EXPECT_LE(std::fabs(p->value[0] - prev), 0.02f + 1e-7f);
+    prev = p->value[0];
+  }
+}
+
+TEST(NormedSgd, ConvergesOnQuadratic) {
+  auto p = quad_param(3.0f);
+  NormedSgd opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.05f));
+  for (int i = 0; i < 2000; ++i) {
+    quad_grad(*p, 1.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p->value[0], 1.0f, 0.1f);
+}
+
+TEST(Optimizer, GroupSchedules) {
+  // The paper's setup: thresholds train fast, weights train slowly.
+  auto w = quad_param(1.0f, "weight");
+  auto t = quad_param(1.0f, "threshold");
+  Sgd opt({w, t});
+  opt.set_group_schedule("weight", LrSchedule::constant(1e-3f));
+  opt.set_group_schedule("threshold", LrSchedule::constant(1e-1f));
+  quad_grad(*w, 0.0f);
+  quad_grad(*t, 0.0f);
+  opt.step();
+  EXPECT_NEAR(w->value[0], 1.0f - 1e-3f, 1e-7f);
+  EXPECT_NEAR(t->value[0], 1.0f - 1e-1f, 1e-6f);
+}
+
+TEST(Optimizer, DefaultScheduleForUnknownGroup) {
+  auto p = quad_param(1.0f, "exotic");
+  Sgd opt({p});
+  opt.set_default_schedule(LrSchedule::constant(0.5f));
+  quad_grad(*p, 0.0f);
+  opt.step();
+  EXPECT_NEAR(p->value[0], 0.5f, 1e-6f);
+}
+
+TEST(Optimizer, RejectsNullParam) {
+  EXPECT_THROW(Sgd({nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqt

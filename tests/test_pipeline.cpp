@@ -1,0 +1,183 @@
+// Integration tests of the experiment pipeline: pretraining (with cache),
+// static quantization, and the retrain flavours, on a reduced dataset so the
+// suite stays fast on one CPU core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+
+namespace tqt {
+namespace {
+
+DatasetConfig tiny_config() {
+  DatasetConfig cfg = default_dataset_config();
+  cfg.train_size = 320;
+  cfg.val_size = 160;
+  return cfg;
+}
+
+TEST(Metrics, TopkCounting) {
+  Tensor logits({2, 6}, {0, 9, 1, 2, 3, 4,   // top1 = 1; top5 = {1,5,4,3,2}
+                         5, 4, 3, 2, 1, 0});  // top1 = 0
+  Tensor labels({2}, {5.0f, 0.0f});
+  Accuracy acc;
+  accumulate_topk(logits, labels, acc);
+  EXPECT_EQ(acc.count, 2);
+  EXPECT_EQ(acc.correct1, 1);   // sample 2 only
+  EXPECT_EQ(acc.correct5, 2);   // 5 is within top-5 of sample 1
+  EXPECT_DOUBLE_EQ(acc.top1(), 0.5);
+}
+
+TEST(Pipeline, PretrainLearnsAboveChance) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig cfg;
+  cfg.epochs = 4.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniVgg, data, /*cache_dir=*/"", cfg);
+  EXPECT_FALSE(state.empty());
+  const Accuracy acc = eval_fp32(ModelKind::kMiniVgg, state, data);
+  EXPECT_GT(acc.top1(), 0.35);  // 10 classes, chance = 0.1
+}
+
+TEST(Pipeline, PretrainCacheRoundTrip) {
+  SyntheticImageDataset data(tiny_config());
+  const std::string dir = ::testing::TempDir() + "/tqt_cache";
+  std::filesystem::remove_all(dir);
+  PretrainConfig cfg;
+  cfg.epochs = 1.0f;
+  auto a = load_or_pretrain(ModelKind::kMiniDarkNet, data, dir, cfg);
+  auto b = load_or_pretrain(ModelKind::kMiniDarkNet, data, dir, cfg);  // cache hit
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, t] : a) EXPECT_TRUE(t.equals(b.at(name))) << name;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, StaticInt8TrialRuns) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 4.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniVgg, data, "", pc);
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kStatic;
+  TrialOutput out = run_quant_trial(ModelKind::kMiniVgg, state, data, cfg);
+  // Static INT8 on an easy network stays within a few points of FP32.
+  const Accuracy fp32 = eval_fp32(ModelKind::kMiniVgg, state, data);
+  EXPECT_GT(out.accuracy.top1(), fp32.top1() - 0.15);
+  // All thresholds are frozen in static mode.
+  for (const auto& th : threshold_params(out.model.graph, out.qres)) {
+    EXPECT_FALSE(th->trainable);
+  }
+}
+
+TEST(Pipeline, RetrainTrialImprovesOrMatchesStatic) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 10.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniMobileNetV1, data, "", pc);
+
+  QuantTrialConfig stat;
+  stat.mode = TrialMode::kStatic;
+  const double static_top1 =
+      run_quant_trial(ModelKind::kMiniMobileNetV1, state, data, stat).accuracy.top1();
+
+  QuantTrialConfig rt;
+  rt.mode = TrialMode::kRetrainWtTh;
+  rt.schedule = default_retrain_schedule(2.0f);
+  rt.schedule.validate_every = 10;
+  TrialOutput out = run_quant_trial(ModelKind::kMiniMobileNetV1, state, data, rt);
+  // Allow a small slack: on this reduced dataset both runs carry sampling
+  // noise of a few validation images.
+  EXPECT_GE(out.accuracy.top1() + 0.04, static_top1);
+  EXPECT_GT(out.train.steps, 0);
+}
+
+TEST(Pipeline, WtOnlyRetrainKeepsThresholdsFixed) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 2.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniVgg, data, "", pc);
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kRetrainWt;
+  cfg.schedule = default_retrain_schedule(0.5f);
+  TrialOutput out = run_quant_trial(ModelKind::kMiniVgg, state, data, cfg);
+  for (const auto& th : threshold_params(out.model.graph, out.qres)) {
+    EXPECT_FALSE(th->trainable) << th->name;
+  }
+}
+
+TEST(Pipeline, TqtRetrainMovesThresholds) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 2.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniMobileNetV1, data, "", pc);
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kRetrainWtTh;
+  cfg.schedule = default_retrain_schedule(1.0f);
+  cfg.schedule.validate_every = 0;
+  cfg.schedule.restore_best = false;
+
+  // Snapshot calibrated thresholds by re-running calibration on a twin graph.
+  QuantTrialConfig stat = cfg;
+  stat.mode = TrialMode::kStatic;
+  TrialOutput before = run_quant_trial(ModelKind::kMiniMobileNetV1, state, data, stat);
+  TrialOutput after = run_quant_trial(ModelKind::kMiniMobileNetV1, state, data, cfg);
+
+  // Note: wt+th uses 3SD weight init vs MAX for static (Table 2), so weight
+  // thresholds differ by construction; check that *activation* thresholds
+  // moved from their KL-J initialization during training.
+  auto act_values = [](Graph& g, const QuantizePassResult& r) {
+    std::vector<float> v;
+    for (NodeId id : r.act_quants) v.push_back(fake_quant_at(g, id).threshold()->value[0]);
+    return v;
+  };
+  const auto v0 = act_values(before.model.graph, before.qres);
+  const auto v1 = act_values(after.model.graph, after.qres);
+  ASSERT_EQ(v0.size(), v1.size());
+  float total_move = 0.0f;
+  for (size_t i = 0; i < v0.size(); ++i) total_move += std::fabs(v1[i] - v0[i]);
+  EXPECT_GT(total_move, 0.01f);
+}
+
+TEST(Pipeline, Fp32RetrainBaselineRuns) {
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 2.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniResNet, data, "", pc);
+  TrainSchedule sched = default_retrain_schedule(0.5f);
+  TrialOutput out = run_fp32_retrain(ModelKind::kMiniResNet, state, data, sched);
+  EXPECT_GT(out.accuracy.top1(), 0.1);
+  // Quantizers must be disabled: output equals the plain folded graph.
+  Tensor probe = data.calibration_batch(2, 9);
+  Tensor a = out.model.graph.run({{out.model.input, probe}}, out.qres.quantized_output);
+  Tensor b = out.model.graph.run({{out.model.input, probe}}, out.model.logits);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Pipeline, TrainedModelExportsBitExact) {
+  // End-to-end: pretrain -> quantize -> TQT retrain -> fixed-point export.
+  SyntheticImageDataset data(tiny_config());
+  PretrainConfig pc;
+  pc.epochs = 3.0f;
+  auto state = load_or_pretrain(ModelKind::kMiniMobileNetV2, data, "", pc);
+  QuantTrialConfig cfg;
+  cfg.mode = TrialMode::kRetrainWtTh;
+  cfg.schedule = default_retrain_schedule(1.0f);
+  TrialOutput out = run_quant_trial(ModelKind::kMiniMobileNetV2, state, data, cfg);
+  out.model.graph.set_training(false);
+  FixedPointProgram prog =
+      compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
+  Batch b = data.val_batch(0, 8);
+  Tensor fake = out.model.graph.run({{out.model.input, b.images}}, out.qres.quantized_output);
+  Tensor fixed = prog.run(b.images);
+  for (int64_t i = 0; i < fake.numel(); ++i) ASSERT_EQ(fake[i], fixed[i]) << i;
+  // And the integer program classifies as well as the fake-quant graph.
+  Accuracy fa, fb;
+  accumulate_topk(fake, b.labels, fa);
+  accumulate_topk(fixed, b.labels, fb);
+  EXPECT_EQ(fa.correct1, fb.correct1);
+}
+
+}  // namespace
+}  // namespace tqt

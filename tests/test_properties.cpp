@@ -1,0 +1,217 @@
+// Property-based sweeps (parameterized gtest) over the quantizer invariants:
+// for every bit-width and signedness the forward must be idempotent,
+// monotone, on-grid, correctly clipped at the §3.4 limits, and its gradients
+// must obey the sign structure that produces the range-precision trade-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/calibrate.h"
+#include "quant/fake_quant.h"
+#include "quant/toy_model.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+struct QuantCase {
+  int bits;
+  bool is_signed;
+  float log2_t;
+};
+
+std::string case_name(const ::testing::TestParamInfo<QuantCase>& info) {
+  const QuantCase& c = info.param;
+  std::string n(c.is_signed ? "s" : "u");
+  n += std::to_string(c.bits);
+  n += c.log2_t >= 0 ? "_t_pos" : "_t_neg";
+  n += std::to_string(std::abs(static_cast<int>(c.log2_t * 10)));
+  return n;
+}
+
+class QuantizerProperty : public ::testing::TestWithParam<QuantCase> {
+ protected:
+  QuantBits bits() const { return {GetParam().bits, GetParam().is_signed}; }
+  float log2_t() const { return GetParam().log2_t; }
+
+  Tensor quantize(const Tensor& x) {
+    auto th = make_threshold("t", log2_t());
+    FakeQuantOp q(bits(), QuantMode::kTqt, th);
+    std::vector<const Tensor*> ins{&x};
+    return q.forward(ins);
+  }
+};
+
+TEST_P(QuantizerProperty, Idempotent) {
+  Rng rng(GetParam().bits * 7 + 1);
+  Tensor x = rng.normal_tensor({512}, 0.0f, std::exp2(log2_t()));
+  Tensor once = quantize(x);
+  Tensor twice = quantize(once);
+  EXPECT_TRUE(once.equals(twice));
+}
+
+TEST_P(QuantizerProperty, Monotone) {
+  // q(x) is a nondecreasing function of x.
+  Tensor x = Tensor::linspace(-4.0f * std::exp2(log2_t()), 4.0f * std::exp2(log2_t()), 301);
+  Tensor y = quantize(x);
+  for (int64_t i = 1; i < y.numel(); ++i) EXPECT_GE(y[i], y[i - 1]) << i;
+}
+
+TEST_P(QuantizerProperty, OnGridAndInRange) {
+  Rng rng(GetParam().bits * 11 + 3);
+  Tensor x = rng.normal_tensor({512}, 0.2f, 2.0f * std::exp2(log2_t()));
+  auto th = make_threshold("t", log2_t());
+  FakeQuantOp q(bits(), QuantMode::kTqt, th);
+  std::vector<const Tensor*> ins{&x};
+  Tensor y = q.forward(ins);
+  const float s = q.scale();
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float level = y[i] / s;
+    EXPECT_NEAR(level, std::nearbyintf(level), 1e-2f);
+    EXPECT_GE(level, static_cast<float>(bits().qmin()) - 0.01f);
+    EXPECT_LE(level, static_cast<float>(bits().qmax()) + 0.01f);
+  }
+}
+
+TEST_P(QuantizerProperty, ScaleIsPowerOfTwo) {
+  auto th = make_threshold("t", log2_t());
+  FakeQuantOp q(bits(), QuantMode::kTqt, th);
+  const float s = q.scale();
+  const float l = std::log2(s);
+  EXPECT_FLOAT_EQ(l, std::nearbyintf(l));
+  EXPECT_EQ(s, std::exp2(static_cast<float>(q.exponent())));
+}
+
+TEST_P(QuantizerProperty, ClipLimitsFormula) {
+  // Exact real-domain clip limits: xn = s*(n - 0.5), xp = s*(p + 0.5) (§3.4).
+  auto th = make_threshold("t", log2_t());
+  FakeQuantOp q(bits(), QuantMode::kTqt, th);
+  const float s = q.scale();
+  const float xn = s * (static_cast<float>(bits().qmin()) - 0.5f);
+  const float xp = s * (static_cast<float>(bits().qmax()) + 0.5f);
+  const float eps = s * 0.01f;
+  // Just inside: gradient mask 1; just outside: 0.
+  Tensor x({4}, {xn + eps, xp - eps, xn - eps, xp + eps});
+  std::vector<const Tensor*> ins{&x};
+  q.forward(ins);
+  auto g = q.backward(Tensor({4}, {1, 1, 1, 1}));
+  if (bits().is_signed) {
+    EXPECT_EQ(g[0][0], 1.0f);
+    EXPECT_EQ(g[0][2], 0.0f);
+  }
+  EXPECT_EQ(g[0][1], 1.0f);
+  EXPECT_EQ(g[0][3], 0.0f);
+}
+
+TEST_P(QuantizerProperty, MaxErrorBoundedByHalfStep) {
+  // For in-range values the reconstruction error is at most s/2.
+  Rng rng(GetParam().bits * 13 + 5);
+  auto th = make_threshold("t", log2_t());
+  FakeQuantOp q(bits(), QuantMode::kTqt, th);
+  const float s = q.scale();
+  const float lo = bits().is_signed ? s * static_cast<float>(bits().qmin()) : 0.0f;
+  const float hi = s * static_cast<float>(bits().qmax());
+  Tensor x = rng.uniform_tensor({512}, lo, hi);
+  std::vector<const Tensor*> ins{&x};
+  Tensor y = q.forward(ins);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(y[i] - x[i]), 0.5f * s + 1e-6f) << x[i];
+  }
+}
+
+TEST_P(QuantizerProperty, ThresholdGradientSignFlipsAroundEquilibrium) {
+  // Far too wide -> positive cumulative gradient; far too narrow -> negative.
+  Rng rng(GetParam().bits * 17 + 7);
+  const Tensor x = rng.normal_tensor({4000});
+  const ToyEval wide = toy_l2_eval(x, bits(), QuantMode::kTqt, 8.0f);
+  const ToyEval narrow = toy_l2_eval(x, bits(), QuantMode::kTqt, -8.0f);
+  EXPECT_GT(wide.grad_log2_t, 0.0);
+  EXPECT_LT(narrow.grad_log2_t, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantizerProperty,
+    ::testing::Values(QuantCase{2, true, 0.0f}, QuantCase{3, true, 0.0f},
+                      QuantCase{4, true, 1.3f}, QuantCase{4, false, 1.3f},
+                      QuantCase{8, true, 0.0f}, QuantCase{8, true, -2.7f},
+                      QuantCase{8, false, 0.6f}, QuantCase{16, true, 2.0f}),
+    case_name);
+
+// ---- Rounding shift property sweep ------------------------------------------
+
+class ShiftRounding : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftRounding, MatchesFloatReferenceOnRandomValues) {
+  const int shift = GetParam();
+  Rng rng(shift * 31 + 5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int64_t v = rng.uniform_int(-(int64_t{1} << 40), int64_t{1} << 40);
+    const double ref = static_cast<double>(v) / static_cast<double>(int64_t{1} << shift);
+    // Recompute round-half-to-even in double for an independent reference.
+    double r = std::nearbyint(ref);
+    EXPECT_EQ(shift_round_half_to_even(v, shift), static_cast<int64_t>(r)) << v;
+  }
+}
+
+TEST_P(ShiftRounding, ExactOnMultiples) {
+  const int shift = GetParam();
+  for (int64_t q = -100; q <= 100; ++q) {
+    EXPECT_EQ(shift_round_half_to_even(q << shift, shift), q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ShiftRounding, ::testing::Values(1, 2, 3, 7, 12, 20));
+
+// ---- Calibrator property sweep ------------------------------------------------
+
+class KlJProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlJProperty, ThresholdWithinDataRange) {
+  Rng rng(GetParam() * 3 + 11);
+  Tensor x = rng.normal_tensor({20000}, 0.0f, std::exp2(static_cast<float>(GetParam() - 3)));
+  const float t = kl_j_threshold(std::span(x.vec()), int8_signed());
+  EXPECT_GT(t, 0.0f);
+  EXPECT_LE(t, x.abs_max() * 1.0001f);
+}
+
+TEST_P(KlJProperty, ScaleEquivariance) {
+  // Scaling the data by 2^k scales the KL-J threshold by ~2^k.
+  Rng rng(GetParam() * 5 + 13);
+  Tensor x = rng.normal_tensor({20000});
+  const float t1 = kl_j_threshold(std::span(x.vec()), int8_signed());
+  Tensor x8 = x * 8.0f;
+  const float t8 = kl_j_threshold(std::span(x8.vec()), int8_signed());
+  EXPECT_NEAR(t8 / t1, 8.0f, 0.4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlJProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Table 4 guideline as a property ------------------------------------------
+
+class AdamBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamBoundProperty, WithinBoundStaysInOneIntegerBin) {
+  // Appendix C: alpha <= 0.1/sqrt(p) keeps post-convergence oscillation of
+  // the log threshold within a single integer bin.
+  const int b = GetParam();
+  const double p = static_cast<double>((1 << (b - 1)) - 1);
+  ToyRunConfig cfg;
+  cfg.bits = {b, true};
+  cfg.sigma = 1.0f;
+  cfg.steps = 1200;
+  cfg.lr = static_cast<float>(0.1 / std::sqrt(p));
+  cfg.log2_t0 = 3.0f;
+  const ToyRunResult r = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  float lo = 1e30f, hi = -1e30f;
+  for (size_t i = r.log2_t.size() / 2; i < r.log2_t.size(); ++i) {
+    lo = std::min(lo, r.log2_t[i]);
+    hi = std::max(hi, r.log2_t[i]);
+  }
+  EXPECT_LT(hi - lo, 1.0f) << "b=" << b << " alpha=" << cfg.lr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AdamBoundProperty, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace tqt

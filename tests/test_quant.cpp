@@ -1,0 +1,573 @@
+// Tests for the TQT quantizer core: forward semantics (Eq. 4), backward
+// gradient formulations (Eqs. 6-8 and the baselines of §3.5), calibrators
+// (Table 2), threshold freezing (§5.2), and the toy L2 model (§3.4, App. B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/calibrate.h"
+#include "quant/fake_quant.h"
+#include "quant/freeze.h"
+#include "quant/toy_model.h"
+#include "quant/unfused.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+Tensor fq_forward(FakeQuantOp& op, const Tensor& x) {
+  std::vector<const Tensor*> ins{&x};
+  return op.forward(ins);
+}
+
+// ---- Forward semantics -------------------------------------------------------
+
+TEST(FakeQuant, SignedScaleFromThreshold) {
+  // b=3, t=1.0: s = 2^ceil(log2 1) / 2^2 = 0.25 (paper Fig. 1 example).
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  EXPECT_EQ(q.exponent(), -2);
+  EXPECT_FLOAT_EQ(q.scale(), 0.25f);
+  EXPECT_FLOAT_EQ(q.raw_threshold(), 1.0f);
+}
+
+TEST(FakeQuant, CeilBiasesScaleOutward) {
+  // t = 1.1 -> ceil(log2 t) = 1 -> saturation threshold 2, not 1.1.
+  auto th = make_threshold("t", std::log2(1.1f));
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  EXPECT_FLOAT_EQ(q.scale(), 0.5f);
+}
+
+TEST(FakeQuant, SignedClipLimits) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s = 0.25, n = -4, p = 3
+  Tensor x({4}, {-10.0f, 10.0f, -1.0f, 0.74f});
+  Tensor y = fq_forward(q, x);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);   // clipped to n*s
+  EXPECT_FLOAT_EQ(y[1], 0.75f);   // clipped to p*s
+  EXPECT_FLOAT_EQ(y[2], -1.0f);   // exactly representable
+  EXPECT_FLOAT_EQ(y[3], 0.75f);   // rounds to 3*s
+}
+
+TEST(FakeQuant, UnsignedClipLimits) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, false}, QuantMode::kTqt, th);  // s = 1/8, n = 0, p = 7
+  EXPECT_FLOAT_EQ(q.scale(), 0.125f);
+  Tensor x({3}, {-0.5f, 0.4f, 5.0f});
+  Tensor y = fq_forward(q, x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.375f);
+  EXPECT_FLOAT_EQ(y[2], 0.875f);  // p*s
+}
+
+TEST(FakeQuant, BankersRoundingAtTies) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s = 0.25
+  // x/s = 0.5 -> 0 (even), x/s = 1.5 -> 2 (even), x/s = 2.5 -> 2 (even).
+  Tensor x({3}, {0.125f, 0.375f, 0.625f});
+  Tensor y = fq_forward(q, x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+}
+
+TEST(FakeQuant, Idempotent) {
+  Rng rng(3);
+  auto th = make_threshold("t", 1.3f);
+  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  Tensor x = rng.normal_tensor({1000}, 0.0f, 2.0f);
+  Tensor once = fq_forward(q, x);
+  Tensor twice = fq_forward(q, once);
+  EXPECT_TRUE(once.equals(twice));
+}
+
+TEST(FakeQuant, OutputsAreOnGrid) {
+  Rng rng(4);
+  auto th = make_threshold("t", 0.7f);
+  FakeQuantOp q({4, true}, QuantMode::kTqt, th);
+  const float s = q.scale();
+  Tensor x = rng.normal_tensor({500});
+  Tensor y = fq_forward(q, x);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float level = y[i] / s;
+    EXPECT_FLOAT_EQ(level, std::nearbyintf(level));
+    EXPECT_GE(level, -8.0f);
+    EXPECT_LE(level, 7.0f);
+  }
+}
+
+TEST(FakeQuant, DisabledIsIdentityBothWays) {
+  Rng rng(5);
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  q.set_enabled(false);
+  Tensor x = rng.normal_tensor({64});
+  Tensor y = fq_forward(q, x);
+  EXPECT_TRUE(y.equals(x));
+  Tensor g = rng.normal_tensor({64});
+  auto grads = q.backward(g);
+  EXPECT_TRUE(grads[0].equals(g));
+  EXPECT_EQ(th->grad[0], 0.0f);
+}
+
+TEST(FakeQuant, CollectModeGathersValues) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  q.set_collect(true);
+  Tensor x1({2}, {1.0f, -2.0f});
+  Tensor x2({2}, {3.0f, 4.0f});
+  EXPECT_TRUE(fq_forward(q, x1).equals(x1));
+  fq_forward(q, x2);
+  ASSERT_EQ(q.collected().size(), 4u);
+  EXPECT_EQ(q.collected()[3], 4.0f);
+  q.clear_collected();
+  EXPECT_TRUE(q.collected().empty());
+}
+
+TEST(FakeQuant, PerChannelUsesOwnScales) {
+  // Two channels with wildly different ranges (the depthwise-conv problem of
+  // §6.2): per-channel quantization keeps the small channel's resolution.
+  auto ths = std::make_shared<Param>("t", Tensor({2}, {std::log2(0.01f), std::log2(10.0f)}),
+                                     "threshold", false);
+  FakeQuantOp q({8, true}, ths, /*axis=*/1, /*power_of_2=*/true);
+  Tensor x({1, 2}, {0.005f, 5.0f});
+  Tensor y = fq_forward(q, x);
+  EXPECT_NEAR(y[0], 0.005f, 1e-4f);  // resolvable with per-channel scale
+  EXPECT_NEAR(y[1], 5.0f, 0.05f);
+  // A per-tensor quantizer at the large threshold flattens the small value.
+  auto th = make_threshold("t2", std::log2(10.0f));
+  FakeQuantOp qt({8, true}, QuantMode::kTqt, th);
+  Tensor yt = fq_forward(qt, x);
+  EXPECT_FLOAT_EQ(yt[0], 0.0f);
+}
+
+TEST(FakeQuant, DerivedExponentSumsParents) {
+  auto thw = make_threshold("tw", 0.0f);   // e_w = ceil(0) - 7 = -7
+  auto thx = make_threshold("tx", 2.0f);   // e_x = 2 - 7 = -5
+  FakeQuantOp qw(int8_signed(), QuantMode::kTqt, thw);
+  FakeQuantOp qx(int8_signed(), QuantMode::kTqt, thx);
+  FakeQuantOp acc(int16_signed(), [&]() { return qw.exponent() + qx.exponent(); });
+  EXPECT_TRUE(acc.is_derived());
+  EXPECT_EQ(acc.exponent(), -12);
+  EXPECT_FLOAT_EQ(acc.scale(), std::exp2(-12.0f));
+  // Accumulator scale tracks threshold changes.
+  thx->value[0] = 3.0f;
+  EXPECT_EQ(acc.exponent(), -11);
+}
+
+// ---- Backward: TQT gradients (Eqs. 6-8) ---------------------------------------
+
+TEST(FakeQuantGrad, InputGradientMask) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s=0.25, clip x in [-1.125, 0.875]
+  Tensor x({4}, {-2.0f, 0.5f, 0.86f, 0.9f});
+  fq_forward(q, x);
+  Tensor g({4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  auto grads = q.backward(g);
+  EXPECT_EQ(grads[0][0], 0.0f);  // below range
+  EXPECT_EQ(grads[0][1], 1.0f);  // inside
+  EXPECT_EQ(grads[0][2], 1.0f);  // inside (rounds to 3)
+  EXPECT_EQ(grads[0][3], 0.0f);  // rounds to 4 > p
+}
+
+TEST(FakeQuantGrad, ThresholdGradientClosedForm) {
+  // Check Eq. (7) element contributions: s ln2 * (r - x/s | n | p).
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  const float s = 0.25f;
+  Tensor x({3}, {0.3f, -5.0f, 5.0f});
+  fq_forward(q, x);
+  Tensor g({3}, {1.0f, 1.0f, 1.0f});
+  q.backward(g);
+  const float r = std::nearbyintf(0.3f / s);
+  const float expected = s * std::log(2.0f) * ((r - 0.3f / s) + (-4.0f) + 3.0f);
+  EXPECT_NEAR(th->grad[0], expected, 1e-6f);
+}
+
+TEST(FakeQuantGrad, UpstreamGradientWeighting) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  Tensor x({1}, {5.0f});  // above range: contribution p = 3
+  fq_forward(q, x);
+  Tensor g({1}, {-2.0f});
+  q.backward(g);
+  EXPECT_NEAR(th->grad[0], 0.25f * std::log(2.0f) * 3.0f * -2.0f, 1e-6f);
+}
+
+TEST(FakeQuantGrad, SharedThresholdAccumulates) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q1({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q2({3, true}, QuantMode::kTqt, th);
+  Tensor x({1}, {5.0f});
+  fq_forward(q1, x);
+  fq_forward(q2, x);
+  Tensor g({1}, {1.0f});
+  q1.backward(g);
+  const float after_one = th->grad[0];
+  q2.backward(g);
+  EXPECT_NEAR(th->grad[0], 2.0f * after_one, 1e-6f);
+}
+
+TEST(FakeQuantGrad, FrozenThresholdGetsNoGradient) {
+  auto th = make_threshold("t", 0.0f, /*trainable=*/false);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  Tensor x({1}, {5.0f});
+  fq_forward(q, x);
+  q.backward(Tensor({1}, {1.0f}));
+  EXPECT_EQ(th->grad[0], 0.0f);
+}
+
+TEST(FakeQuantGrad, PerChannelTrainedThresholds) {
+  // Per-channel TQT extension (§7): each channel receives its own Eq. 7
+  // gradient, matching the per-tensor formula applied channel-wise.
+  auto ths = std::make_shared<Param>("t", Tensor({2}, {0.0f, 2.0f}), "threshold", true);
+  FakeQuantOp q({3, true}, ths, /*axis=*/1, /*power_of_2=*/true);
+  // Channel 0: s = 0.25; channel 1: s = 1.0.
+  Tensor x({2, 2}, {5.0f, 5.0f,     // row 0: ch0 above range (p), ch1 above range (p)
+                    0.3f, -9.0f});  // row 1: ch0 inside, ch1 below range (n)
+  std::vector<const Tensor*> ins{&x};
+  q.forward(ins);
+  q.backward(Tensor({2, 2}, {1, 1, 1, 1}));
+  const float ln2 = std::log(2.0f);
+  const float r = std::nearbyintf(0.3f / 0.25f);
+  EXPECT_NEAR(ths->grad[0], 0.25f * ln2 * (3.0f + (r - 0.3f / 0.25f)), 1e-5f);
+  EXPECT_NEAR(ths->grad[1], 1.0f * ln2 * (3.0f + -4.0f), 1e-5f);
+}
+
+TEST(FakeQuantGrad, PerChannelFrozenGetsNoGradient) {
+  auto ths = std::make_shared<Param>("t", Tensor({2}), "threshold", false);
+  FakeQuantOp q({8, true}, ths, 1, true);
+  Tensor x({1, 2}, {5.0f, -5.0f});
+  std::vector<const Tensor*> ins{&x};
+  q.forward(ins);
+  q.backward(Tensor({1, 2}, {1, 1}));
+  EXPECT_EQ(ths->grad[0], 0.0f);
+  EXPECT_EQ(ths->grad[1], 0.0f);
+}
+
+// ---- Backward: baseline formulations (§3.5) -----------------------------------
+
+TEST(FakeQuantGrad, ClippedModeZeroInsideRange) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kClipped, th);
+  Tensor x({2}, {0.3f, -0.6f});  // all inside
+  fq_forward(q, x);
+  q.backward(Tensor({2}, {1.0f, 1.0f}));
+  EXPECT_EQ(th->grad[0], 0.0f);  // TF FakeQuant: round treated as identity
+}
+
+TEST(FakeQuantGrad, ClippedModeMatchesTqtOutsideRange) {
+  Tensor x({2}, {-9.0f, 9.0f});
+  Tensor g({2}, {1.0f, 2.0f});
+  auto th_a = make_threshold("a", 0.0f);
+  auto th_b = make_threshold("b", 0.0f);
+  FakeQuantOp qa({3, true}, QuantMode::kTqt, th_a);
+  FakeQuantOp qb({3, true}, QuantMode::kClipped, th_b);
+  fq_forward(qa, x);
+  fq_forward(qb, x);
+  qa.backward(g);
+  qb.backward(g);
+  EXPECT_FLOAT_EQ(th_a->grad[0], th_b->grad[0]);
+}
+
+TEST(FakeQuantGrad, ClippedOnlyExpandsOnL2Toy) {
+  // §3.5: with clipped gradients the overall L2 gradient can only push the
+  // limits outward (negative dL/dlog2t), never inward.
+  Rng rng(7);
+  const Tensor x = rng.normal_tensor({4000});
+  for (float log2_t = -3.0f; log2_t <= 3.0f; log2_t += 0.5f) {
+    const ToyEval e = toy_l2_eval(x, {8, true}, QuantMode::kClipped, log2_t);
+    EXPECT_LE(e.grad_log2_t, 1e-9) << "log2_t = " << log2_t;
+  }
+}
+
+TEST(FakeQuantGrad, TqtBalancesRangeAndPrecision) {
+  // §3.4: with thresholds too wide most mass is inside -> positive gradient
+  // (move in, favor precision); too narrow -> negative (move out).
+  Rng rng(8);
+  const Tensor x = rng.normal_tensor({4000});
+  const ToyEval wide = toy_l2_eval(x, {8, true}, QuantMode::kTqt, 5.0f);
+  const ToyEval narrow = toy_l2_eval(x, {8, true}, QuantMode::kTqt, -5.0f);
+  EXPECT_GT(wide.grad_log2_t, 0.0);
+  EXPECT_LT(narrow.grad_log2_t, 0.0);
+}
+
+TEST(FakeQuantGrad, PactGradient) {
+  auto alpha = std::make_shared<Param>("alpha", Tensor::scalar(1.0f), "threshold");
+  FakeQuantOp q({8, false}, QuantMode::kPact, alpha, /*power_of_2=*/false);
+  Tensor x({4}, {-0.5f, 0.4f, 1.5f, 2.0f});
+  Tensor y = fq_forward(q, x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);  // clipped to alpha
+  Tensor g({4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  auto grads = q.backward(g);
+  // d/d alpha = sum over x >= alpha (Eq. 1) = 2; dx passes only for 0<x<alpha.
+  EXPECT_FLOAT_EQ(alpha->grad[0], 2.0f);
+  EXPECT_EQ(grads[0][0], 0.0f);
+  EXPECT_EQ(grads[0][1], 1.0f);
+  EXPECT_EQ(grads[0][3], 0.0f);
+}
+
+TEST(FakeQuantGrad, PactRequiresUnsigned) {
+  auto alpha = std::make_shared<Param>("alpha", Tensor::scalar(1.0f), "threshold");
+  EXPECT_THROW(FakeQuantOp({8, true}, QuantMode::kPact, alpha, false), std::invalid_argument);
+}
+
+TEST(FakeQuantGrad, LsqLearnsRawScale) {
+  auto s = std::make_shared<Param>("s", Tensor::scalar(0.25f), "threshold");
+  FakeQuantOp q({3, true}, QuantMode::kLsq, s, /*power_of_2=*/false);
+  EXPECT_FLOAT_EQ(q.scale(), 0.25f);
+  Tensor x({3}, {0.3f, -5.0f, 5.0f});
+  fq_forward(q, x);
+  q.backward(Tensor({3}, {1, 1, 1}));
+  // Same bracket as TQT but without the s*ln2 chain factor.
+  const float r = std::nearbyintf(0.3f / 0.25f);
+  EXPECT_NEAR(s->grad[0], (r - 0.3f / 0.25f) - 4.0f + 3.0f, 1e-5f);
+  EXPECT_THROW(FakeQuantOp({3, true}, QuantMode::kLsq, s, true), std::invalid_argument);
+}
+
+// ---- Fused vs unfused (paper Figure 4 / §4.4) -----------------------------------
+
+TEST(UnfusedQuant, ForwardMatchesFusedExactly) {
+  Rng rng(21);
+  auto th1 = make_threshold("a", 0.7f);
+  auto th2 = make_threshold("b", 0.7f);
+  FakeQuantOp fused({8, true}, QuantMode::kTqt, th1);
+  UnfusedFakeQuantOp unfused({8, true}, th2);
+  Tensor x = rng.normal_tensor({2000}, 0.1f, 1.5f);
+  std::vector<const Tensor*> ins{&x};
+  EXPECT_TRUE(fused.forward(ins).equals(unfused.forward(ins)));
+}
+
+TEST(UnfusedQuant, GradientsMatchFused) {
+  Rng rng(22);
+  auto th1 = make_threshold("a", -0.3f);
+  auto th2 = make_threshold("b", -0.3f);
+  FakeQuantOp fused({4, true}, QuantMode::kTqt, th1);
+  UnfusedFakeQuantOp unfused({4, true}, th2);
+  Tensor x = rng.normal_tensor({2000});
+  Tensor g = rng.normal_tensor({2000});
+  std::vector<const Tensor*> ins{&x};
+  fused.forward(ins);
+  unfused.forward(ins);
+  auto dx_f = fused.backward(g);
+  auto dx_u = unfused.backward(g);
+  EXPECT_TRUE(dx_f[0].equals(dx_u[0]));
+  EXPECT_NEAR(th1->grad[0], th2->grad[0], 1e-4f * std::max(1.0f, std::fabs(th1->grad[0])));
+}
+
+TEST(UnfusedQuant, CachesMoreThanFused) {
+  // The point of the fused kernel (§4.4): the composed form keeps four
+  // intermediate tensors alive for backward.
+  auto th = make_threshold("a", 0.0f);
+  UnfusedFakeQuantOp unfused({8, true}, th);
+  Tensor x({1024});
+  std::vector<const Tensor*> ins{&x};
+  unfused.forward(ins);
+  EXPECT_EQ(unfused.cached_bytes(), 4 * 1024 * static_cast<int64_t>(sizeof(float)));
+}
+
+// ---- Calibration ----------------------------------------------------------------
+
+TEST(Calibrate, MaxThreshold) {
+  std::vector<float> v{-3.0f, 1.0f, 2.5f};
+  EXPECT_FLOAT_EQ(max_threshold(v), 3.0f);
+  EXPECT_GT(max_threshold(std::vector<float>{0.0f, 0.0f}), 0.0f);  // floored
+}
+
+TEST(Calibrate, SdThreshold) {
+  Rng rng(11);
+  Tensor x = rng.normal_tensor({50000}, 0.0f, 2.0f);
+  EXPECT_NEAR(sd_threshold(std::span(x.vec()), 3.0f), 6.0f, 0.15f);
+}
+
+TEST(Calibrate, PercentileThreshold) {
+  std::vector<float> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<float>(i));
+  EXPECT_NEAR(percentile_threshold(v, 99.0f), 99.0f, 1.01f);
+  EXPECT_NEAR(percentile_threshold(v, 50.0f), 50.0f, 1.01f);
+  EXPECT_THROW(percentile_threshold(v, 101.0f), std::invalid_argument);
+}
+
+TEST(Calibrate, KlJDistanceProperties) {
+  std::vector<double> p{1, 2, 3, 4};
+  std::vector<double> q{4, 3, 2, 1};
+  EXPECT_NEAR(kl_j_distance(p, p), 0.0, 1e-9);
+  EXPECT_GT(kl_j_distance(p, q), 0.0);
+  EXPECT_NEAR(kl_j_distance(p, q), kl_j_distance(q, p), 1e-12);  // symmetric
+  EXPECT_THROW(kl_j_distance(p, {1.0}), std::invalid_argument);
+}
+
+TEST(Calibrate, KlJClipsLongTails) {
+  // Gaussian bulk + far outliers: KL-J should clip well below the outlier.
+  Rng rng(13);
+  Tensor x = rng.normal_tensor({20000});
+  std::vector<float> v = x.vec();
+  v.push_back(100.0f);
+  v.push_back(-100.0f);
+  const float t = kl_j_threshold(v, int8_signed());
+  EXPECT_LT(t, 50.0f);
+  EXPECT_GT(t, 1.0f);
+}
+
+TEST(Calibrate, KlJKeepsCompactDistributions) {
+  // Uniform data has no tail to trade away: threshold stays near max.
+  Rng rng(14);
+  Tensor x = rng.uniform_tensor({20000}, -1.0f, 1.0f);
+  const float t = kl_j_threshold(std::span(x.vec()), int8_signed());
+  EXPECT_GT(t, 0.8f);
+}
+
+TEST(Calibrate, PerChannelMax) {
+  Tensor w({1, 1, 2, 3}, {1, -2, 3, -4, 0.5f, 6});
+  auto t = per_channel_max_thresholds(w, 3);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_FLOAT_EQ(t[0], 4.0f);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+  EXPECT_FLOAT_EQ(t[2], 6.0f);
+  EXPECT_THROW(per_channel_max_thresholds(w, 7), std::invalid_argument);
+}
+
+// ---- Threshold freezing -----------------------------------------------------------
+
+TEST(Freezer, FreezesSmallestGradientFirst) {
+  auto a = make_threshold("a", 1.0f);
+  auto b = make_threshold("b", 2.0f);
+  ThresholdFreezer fz({a, b}, /*start=*/2, /*interval=*/1, /*beta=*/0.0f);
+  a->grad[0] = 0.5f;
+  b->grad[0] = 0.1f;
+  fz.observe(0);
+  fz.observe(1);
+  EXPECT_EQ(fz.frozen_count(), 0);
+  fz.observe(2);
+  EXPECT_EQ(fz.frozen_count(), 1);
+  EXPECT_TRUE(a->trainable);
+  EXPECT_FALSE(b->trainable);  // smaller |grad| freezes first
+  fz.observe(3);
+  EXPECT_EQ(fz.frozen_count(), 2);
+  EXPECT_TRUE(fz.all_frozen());
+}
+
+TEST(Freezer, WrongSideOfCriticalIntegerNotFrozen) {
+  auto a = make_threshold("a", 0.9f);
+  // Freezing only begins at step 19; the EMA warms up around 0.9 first.
+  ThresholdFreezer fz({a}, /*start=*/19, 1, /*beta=*/0.9f);
+  for (int i = 0; i < 20; ++i) {
+    a->grad[0] = 0.1f;
+    if (i == 19) a->value[0] = 1.5f;  // ceil=2 != ceil(EMA)=1: not frozen
+    fz.observe(i);
+  }
+  EXPECT_TRUE(a->trainable);
+  // Back on the EMA side, it freezes.
+  a->value[0] = 0.9f;
+  fz.observe(20);
+  EXPECT_FALSE(a->trainable);
+}
+
+TEST(Freezer, RejectsBadArgs) {
+  auto a = make_threshold("a", 0.0f);
+  EXPECT_THROW(ThresholdFreezer({a}, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ThresholdFreezer({nullptr}, 0, 1), std::invalid_argument);
+}
+
+// ---- Toy model / transfer curves ----------------------------------------------------
+
+TEST(ToyModel, TransferCurvesMatchQuantizerOp) {
+  auto th = make_threshold("t", 0.0f);
+  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  auto c = transfer_curves({3, true}, QuantMode::kTqt, 0.0f, -2.0f, 2.0f, 101);
+  Tensor x({101}, c.x);
+  Tensor y = fq_forward(q, x);
+  for (int64_t i = 0; i < 101; ++i) EXPECT_FLOAT_EQ(c.q[static_cast<size_t>(i)], y[i]);
+}
+
+TEST(ToyModel, CurveGradientSignStructure) {
+  // Fig. 2: dL/dlog2t positive inside (xn, xp), negative outside.
+  auto c = transfer_curves({3, true}, QuantMode::kTqt, 0.0f, -3.0f, 3.0f, 601);
+  const float xn = 0.25f * (-4 - 0.5f);
+  const float xp = 0.25f * (3 + 0.5f);
+  for (size_t i = 0; i < c.x.size(); ++i) {
+    if (c.x[i] < xn - 0.02f || c.x[i] > xp + 0.02f) {
+      EXPECT_LT(c.dl_dlog2t[i], 1e-6f) << c.x[i];
+    } else if (c.x[i] > xn + 0.02f && c.x[i] < xp - 0.02f) {
+      EXPECT_GE(c.dl_dlog2t[i], -1e-6f) << c.x[i];
+    }
+  }
+}
+
+TEST(ToyModel, InputLossGradientZeroInside) {
+  // Eq. (10): dL/dx = (q-x)(dq/dx - 1) = 0 inside (dq/dx = 1), biased to pull
+  // clipped values back inside.
+  auto c = transfer_curves({3, true}, QuantMode::kTqt, 0.0f, -3.0f, 3.0f, 601);
+  for (size_t i = 0; i < c.x.size(); ++i) {
+    if (c.dq_dx[i] == 1.0f) {
+      EXPECT_FLOAT_EQ(c.dl_dx[i], 0.0f);
+    } else if (c.x[i] > 1.0f) {
+      EXPECT_GT(c.dl_dx[i], 0.0f);  // positive grad -> descent decreases x
+    } else if (c.x[i] < -1.2f) {
+      EXPECT_LT(c.dl_dx[i], 0.0f);
+    }
+  }
+}
+
+TEST(ToyModel, AdamConvergesToStableBin) {
+  ToyRunConfig cfg;
+  cfg.bits = int8_signed();
+  cfg.sigma = 1.0f;
+  cfg.steps = 800;
+  cfg.lr = 0.01f;
+  cfg.log2_t0 = 3.0f;
+  ToyRunResult r = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  // Gaussian(1) at INT8: optimum threshold is a few sigma; certainly in (0,4).
+  EXPECT_GT(r.final_log2_t, 0.0f);
+  EXPECT_LT(r.final_log2_t, 4.0f);
+  // Post-convergence oscillation stays within ~one integer bin (App. B.3).
+  float lo = r.final_log2_t, hi = r.final_log2_t;
+  for (size_t i = r.log2_t.size() - 200; i < r.log2_t.size(); ++i) {
+    lo = std::min(lo, r.log2_t[i]);
+    hi = std::max(hi, r.log2_t[i]);
+  }
+  EXPECT_LT(hi - lo, 1.2f);
+}
+
+TEST(ToyModel, NormedSgdConvergesLikeAdam) {
+  ToyRunConfig cfg;
+  cfg.steps = 800;
+  cfg.lr = 0.05f;
+  cfg.log2_t0 = 4.0f;
+  ToyRunResult adam = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  ToyRunResult normed = run_toy_training(cfg, ToyOptimizer::kNormedLogSgd);
+  EXPECT_NEAR(adam.final_log2_t, normed.final_log2_t, 1.5f);
+}
+
+TEST(ToyModel, LogSgdStallsForSmallSigma) {
+  // Appendix B.2: un-normed log-gradient SGD converges far too slowly when
+  // the input scale is small (gradients shrink quadratically with sigma).
+  ToyRunConfig cfg;
+  cfg.sigma = 0.01f;
+  cfg.steps = 400;
+  cfg.lr = 0.1f;
+  cfg.log2_t0 = 1.0f;  // optimum is near log2(3*sigma) ~ -5
+  ToyRunResult sgd = run_toy_training(cfg, ToyOptimizer::kLogSgd);
+  ToyRunResult adam = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  EXPECT_GT(sgd.final_log2_t, adam.final_log2_t + 2.0f);
+}
+
+TEST(ToyModel, ClippedModeNeverTightens) {
+  // Training the clipped formulation from a too-wide threshold stays wide
+  // (it has no inward force), while TQT tightens. This is Table 1's story.
+  ToyRunConfig cfg;
+  cfg.steps = 500;
+  cfg.lr = 0.01f;
+  cfg.log2_t0 = 5.0f;
+  cfg.mode = QuantMode::kClipped;
+  ToyRunResult clipped = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  cfg.mode = QuantMode::kTqt;
+  ToyRunResult tqt = run_toy_training(cfg, ToyOptimizer::kLogAdam);
+  EXPECT_GT(clipped.final_log2_t, 4.5f);
+  EXPECT_LT(tqt.final_log2_t, 4.0f);
+}
+
+}  // namespace
+}  // namespace tqt

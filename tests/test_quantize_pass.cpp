@@ -1,0 +1,275 @@
+// Tests for the quantize pass: §4.3 precision topology, scale merging,
+// calibration, INT4 first/last exemptions, FP32-via-disabled-quantizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "nn/ops_basic.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+struct Prepared {
+  BuiltModel m;
+  QuantizePassResult qres;
+  Tensor calib;
+};
+
+Prepared prepare(ModelKind kind, QuantizeConfig cfg = {}, uint64_t seed = 1) {
+  Prepared p;
+  p.m = build_model(kind, 10, seed);
+  Rng rng(seed);
+  // Warm BN stats, then fold.
+  p.m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    p.m.graph.run({{p.m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, p.m.logits);
+  }
+  p.m.graph.set_training(false);
+  p.calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(p.m.graph, p.m.input, p.calib);
+  p.qres = quantize_pass(p.m.graph, p.m.input, p.m.logits, cfg);
+  calibrate_thresholds(p.m.graph, p.qres, p.m.input, p.calib, WeightInit::kMax);
+  return p;
+}
+
+int count_compute(Graph& g) {
+  return static_cast<int>(g.nodes_of_type("Conv2D").size() +
+                          g.nodes_of_type("DepthwiseConv2D").size() +
+                          g.nodes_of_type("Dense").size());
+}
+
+TEST(QuantizePass, EveryComputeLayerHasWeightQuant) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  EXPECT_EQ(static_cast<int>(p.qres.weight_quants.size()), count_compute(p.m.graph));
+  EXPECT_NE(p.qres.input_quant, kNoNode);
+  EXPECT_NE(p.qres.quantized_output, kNoNode);
+}
+
+TEST(QuantizePass, WeightQuantsReadVariables) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  for (NodeId id : p.qres.weight_quants) {
+    const NodeId src = p.m.graph.node(id).inputs[0];
+    EXPECT_EQ(p.m.graph.node(src).op->type(), "Variable");
+    EXPECT_TRUE(fake_quant_at(p.m.graph, id).bits().is_signed);
+  }
+}
+
+TEST(QuantizePass, ReluOutputsAreUnsigned) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  int unsigned_quants = 0;
+  for (NodeId id : p.qres.act_quants) {
+    FakeQuantOp& q = fake_quant_at(p.m.graph, id);
+    const NodeId src = p.m.graph.node(id).inputs[0];
+    const std::string& stype = p.m.graph.node(src).op->type();
+    if (stype == "Relu" || stype == "Relu6") {
+      EXPECT_FALSE(q.bits().is_signed) << p.m.graph.node(id).name;
+      ++unsigned_quants;
+    }
+  }
+  EXPECT_GT(unsigned_quants, 3);
+}
+
+TEST(QuantizePass, AccumulatorAndBiasShareScale) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  // For every quant_acc there must be a quant_b with the same threshold param.
+  int pairs = 0;
+  for (NodeId id : p.qres.act_quants) {
+    const std::string& name = p.m.graph.node(id).name;
+    if (name.find("/quant_acc") == std::string::npos) continue;
+    const std::string bias_name = name.substr(0, name.size() - 10) + "/quant_b";
+    const NodeId bid = p.m.graph.find(bias_name);
+    if (bid == kNoNode) continue;  // layers without bias
+    EXPECT_EQ(fake_quant_at(p.m.graph, id).threshold().get(),
+              fake_quant_at(p.m.graph, bid).threshold().get());
+    EXPECT_EQ(fake_quant_at(p.m.graph, id).bits().bits, 16);
+    ++pairs;
+  }
+  EXPECT_GT(pairs, 3);
+}
+
+TEST(QuantizePass, EltwiseInputsShareScale) {
+  Prepared p = prepare(ModelKind::kMiniResNet);
+  bool found = false;
+  for (NodeId add : p.m.graph.nodes_of_type("EltwiseAdd")) {
+    const auto& ins = p.m.graph.node(add).inputs;
+    ASSERT_EQ(ins.size(), 2u);
+    FakeQuantOp& a = fake_quant_at(p.m.graph, ins[0]);
+    FakeQuantOp& b = fake_quant_at(p.m.graph, ins[1]);
+    EXPECT_EQ(a.threshold().get(), b.threshold().get());
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QuantizePass, ConcatInputScalesMerged) {
+  Prepared p = prepare(ModelKind::kMiniInception);
+  bool found = false;
+  for (NodeId cat : p.m.graph.nodes_of_type("Concat")) {
+    std::set<Param*> params;
+    for (NodeId in : p.m.graph.node(cat).inputs) {
+      // Inputs may pass through maxpool etc.; walk to the quant source the
+      // same way the pass does by checking the immediate producer chain.
+      NodeId cur = in;
+      while (p.m.graph.node(cur).op->type() != "FakeQuant") {
+        cur = p.m.graph.node(cur).inputs[0];
+      }
+      params.insert(fake_quant_at(p.m.graph, cur).threshold().get());
+    }
+    EXPECT_EQ(params.size(), 1u) << "concat " << p.m.graph.node(cat).name;
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QuantizePass, LeakyReluGetsQ16Path) {
+  Prepared p = prepare(ModelKind::kMiniDarkNet);
+  int leaky_q16 = 0;
+  for (NodeId id : p.qres.act_quants) {
+    const std::string& name = p.m.graph.node(id).name;
+    if (name.find("quant_pre_leaky") == std::string::npos) continue;
+    EXPECT_EQ(fake_quant_at(p.m.graph, id).bits().bits, 16);
+    ++leaky_q16;
+  }
+  EXPECT_GT(leaky_q16, 2);
+}
+
+TEST(QuantizePass, Int4KeepsFirstAndLastAtInt8) {
+  QuantizeConfig cfg;
+  cfg.weight_bits = 4;
+  Prepared p = prepare(ModelKind::kMiniVgg, cfg);
+  std::vector<int> bits;
+  for (NodeId id : p.qres.weight_quants) {
+    FakeQuantOp& q = fake_quant_at(p.m.graph, id);
+    // Reciprocal (constant) weights also stay at 8 bits; skip them here.
+    const NodeId src = p.m.graph.node(id).inputs[0];
+    auto* var = dynamic_cast<VariableOp*>(p.m.graph.node(src).op.get());
+    if (!var->param()->trainable) continue;
+    bits.push_back(q.bits().bits);
+  }
+  ASSERT_GE(bits.size(), 3u);
+  EXPECT_EQ(bits.front(), 8);
+  EXPECT_EQ(bits.back(), 8);
+  for (size_t i = 1; i + 1 < bits.size(); ++i) EXPECT_EQ(bits[i], 4) << i;
+}
+
+TEST(QuantizePass, StaticModeThresholdsNotTrainable) {
+  QuantizeConfig cfg;
+  cfg.trainable_thresholds = false;
+  Prepared p = prepare(ModelKind::kMiniVgg, cfg);
+  for (const auto& th : threshold_params(p.m.graph, p.qres)) EXPECT_FALSE(th->trainable);
+}
+
+TEST(QuantizePass, DisabledQuantizersReproduceFp32) {
+  Prepared p = prepare(ModelKind::kMiniResNet);
+  Rng rng(3);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.0f);
+  set_quantizers_enabled(p.m.graph, false);
+  Tensor off = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+  set_quantizers_enabled(p.m.graph, true);
+  Tensor on = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+  // Disabled == the folded FP32 network.
+  Tensor fp32 = [&] {
+    set_quantizers_enabled(p.m.graph, false);
+    return p.m.graph.run({{p.m.input, probe}}, p.m.logits);
+  }();
+  EXPECT_TRUE(off.equals(fp32));
+  // Enabled output differs (it is quantized) but stays within a fraction of
+  // the output's own magnitude (the net is untrained, so logits can be large).
+  EXPECT_FALSE(on.equals(off));
+  EXPECT_TRUE(on.allclose(off, 0.5f * std::max(1.0f, off.abs_max())));
+}
+
+TEST(QuantizePass, QuantizedOutputsStayOnGrid) {
+  Prepared p = prepare(ModelKind::kMiniMobileNetV1);
+  Rng rng(4);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.0f);
+  Tensor out = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+  FakeQuantOp& q = fake_quant_at(p.m.graph, p.qres.quantized_output);
+  const float s = q.scale();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    const float level = out[i] / s;
+    EXPECT_NEAR(level, std::nearbyintf(level), 1e-3f);
+  }
+}
+
+TEST(QuantizePass, CalibrationSetsFiniteThresholds) {
+  Prepared p = prepare(ModelKind::kMiniInception);
+  for (const auto& th : threshold_params(p.m.graph, p.qres)) {
+    for (int64_t i = 0; i < th->value.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(th->value[i])) << th->name;
+      EXPECT_GT(th->value[i], -40.0f) << th->name;
+      EXPECT_LT(th->value[i], 40.0f) << th->name;
+    }
+  }
+}
+
+TEST(QuantizePass, RequiresFoldedGraph) {
+  BuiltModel m = build_model(ModelKind::kMiniVgg);
+  QuantizeConfig cfg;
+  EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::runtime_error);
+}
+
+TEST(QuantizePass, RejectsIncompatibleConfigs) {
+  BuiltModel m = build_model(ModelKind::kMiniVgg);
+  QuantizeConfig cfg;
+  cfg.per_channel_weights = true;
+  cfg.emulate_intermediates = true;
+  EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
+  cfg.per_channel_weights = false;
+  cfg.mode = QuantMode::kPact;
+  EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
+}
+
+TEST(QuantizePass, PercentileInitTighterThanMax) {
+  // §5.1 offers percentile as an alternative tight init; it must produce
+  // weight thresholds no larger than MAX and the graph must still evaluate.
+  QuantizeConfig cfg;
+  Prepared pm = prepare(ModelKind::kMiniMobileNetV1, cfg);
+  BuiltModel m2 = build_model(ModelKind::kMiniMobileNetV1, 10, 1);
+  Rng rng(1);
+  m2.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m2.graph.run({{m2.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m2.logits);
+  }
+  m2.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m2.graph, m2.input, calib);
+  auto qres2 = quantize_pass(m2.graph, m2.input, m2.logits, cfg);
+  calibrate_thresholds(m2.graph, qres2, m2.input, calib, WeightInit::kPercentile999);
+  ASSERT_EQ(pm.qres.weight_quants.size(), qres2.weight_quants.size());
+  int strictly_tighter = 0;
+  for (size_t i = 0; i < qres2.weight_quants.size(); ++i) {
+    const float pct = fake_quant_at(m2.graph, qres2.weight_quants[i]).threshold()->value[0];
+    const float max = fake_quant_at(pm.m.graph, pm.qres.weight_quants[i]).threshold()->value[0];
+    EXPECT_LE(pct, max + 1e-5f);
+    if (pct < max - 1e-3f) ++strictly_tighter;
+  }
+  EXPECT_GT(strictly_tighter, 0);  // heavy-tailed depthwise weights clip
+}
+
+TEST(QuantizePass, PerChannelBaselineRuns) {
+  QuantizeConfig cfg;
+  cfg.per_channel_weights = true;
+  cfg.emulate_intermediates = false;
+  cfg.power_of_2 = false;
+  cfg.trainable_thresholds = false;
+  Prepared p = prepare(ModelKind::kMiniMobileNetV1, cfg);
+  Rng rng(5);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.0f);
+  Tensor out = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
+  for (int64_t i = 0; i < out.numel(); ++i) EXPECT_TRUE(std::isfinite(out[i]));
+  // Per-channel thresholds really are vectors.
+  bool vector_thresholds = false;
+  for (NodeId id : p.qres.weight_quants) {
+    if (fake_quant_at(p.m.graph, id).threshold()->value.numel() > 1) vector_thresholds = true;
+  }
+  EXPECT_TRUE(vector_thresholds);
+}
+
+}  // namespace
+}  // namespace tqt

@@ -1,0 +1,354 @@
+// Unit tests for the tensor substrate: shapes, arithmetic, reductions,
+// rounding primitives, matmul kernels, im2col/col2im, RNG, serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace tqt {
+namespace {
+
+TEST(Shape, NumelAndString) {
+  EXPECT_EQ(numel_of({2, 3, 4}), 24);
+  EXPECT_EQ(numel_of({}), 1);
+  EXPECT_EQ(numel_of({5, 0}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_THROW(numel_of({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+  Tensor u({2, 2}, 3.5f);
+  EXPECT_EQ(u.sum(), 14.0f);
+  EXPECT_THROW(Tensor({2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarAndItem) {
+  Tensor s = Tensor::scalar(2.5f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.item(), 2.5f);
+  EXPECT_THROW(Tensor({3}).item(), std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ((t.at({1, 2})), 5.0f);
+  EXPECT_EQ((t.at({0, 1})), 1.0f);
+  t.at({1, 0}) = 9.0f;
+  EXPECT_EQ(t[3], 9.0f);
+  EXPECT_THROW((t.at({2, 0})), std::out_of_range);
+  EXPECT_THROW((t.at({0})), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeDimIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+}
+
+TEST(Tensor, ReshapeWithInference) {
+  Tensor t({2, 6});
+  Tensor r = t.reshape({3, -1});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.reshape({5, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticElementwise) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE((a + b).equals(Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE((b - a).equals(Tensor({3}, {3, 3, 3})));
+  EXPECT_TRUE((a * b).equals(Tensor({3}, {4, 10, 18})));
+  EXPECT_TRUE((b / 2.0f).equals(Tensor({3}, {2, 2.5, 3})));
+  EXPECT_TRUE((-a).equals(Tensor({3}, {-1, -2, -3})));
+  EXPECT_THROW(a + Tensor({4}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor g({3}, {10, 10, 10});
+  a.add_scaled(g, -0.1f);
+  EXPECT_TRUE(a.allclose(Tensor({3}, {0, 1, 2}), 1e-6f));
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-3, 1, 2, -1});
+  EXPECT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.25f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 2.0f);
+  EXPECT_EQ(t.abs_max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2);
+}
+
+TEST(Tensor, StdDev) {
+  Tensor t({4}, {2, 2, 2, 2});
+  EXPECT_FLOAT_EQ(t.std(), 0.0f);
+  Tensor u({2}, {-1, 1});
+  EXPECT_FLOAT_EQ(u.std(), 1.0f);
+}
+
+TEST(Tensor, ArangeLinspace) {
+  Tensor a = Tensor::arange(0, 5);
+  EXPECT_EQ(a.numel(), 5);
+  EXPECT_EQ(a[4], 4.0f);
+  Tensor l = Tensor::linspace(-1, 1, 5);
+  EXPECT_EQ(l.numel(), 5);
+  EXPECT_FLOAT_EQ(l[0], -1.0f);
+  EXPECT_FLOAT_EQ(l[2], 0.0f);
+  EXPECT_FLOAT_EQ(l[4], 1.0f);
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(a.allclose(b, 1e-6f));
+  EXPECT_FALSE(a.allclose(b, 1e-9f));
+  EXPECT_FALSE(a.allclose(Tensor({3}), 1.0f));
+}
+
+// ---- Rounding --------------------------------------------------------------
+
+TEST(Rounding, HalfToEvenTies) {
+  EXPECT_EQ(round_half_to_even(0.5f), 0.0f);
+  EXPECT_EQ(round_half_to_even(1.5f), 2.0f);
+  EXPECT_EQ(round_half_to_even(2.5f), 2.0f);
+  EXPECT_EQ(round_half_to_even(-0.5f), 0.0f);
+  EXPECT_EQ(round_half_to_even(-1.5f), -2.0f);
+  EXPECT_EQ(round_half_to_even(-2.5f), -2.0f);
+}
+
+TEST(Rounding, NonTies) {
+  EXPECT_EQ(round_half_to_even(0.49f), 0.0f);
+  EXPECT_EQ(round_half_to_even(0.51f), 1.0f);
+  EXPECT_EQ(round_half_to_even(-1.2f), -1.0f);
+  EXPECT_EQ(round_half_to_even(-1.8f), -2.0f);
+}
+
+TEST(Rounding, NoOverallBias) {
+  // Ties alternate up/down so sums of symmetric ties cancel (the property the
+  // paper wants from banker's rounding in §3.2).
+  double acc = 0.0;
+  for (int i = -100; i <= 100; ++i) acc += round_half_to_even(static_cast<float>(i) + 0.5f);
+  // Σ (i + 0.5) over symmetric range = 100.5; banker's sum should be close
+  // to the true sum, unlike round-half-away which would add +201*0.5 bias.
+  EXPECT_NEAR(acc, 100.0, 1.0);
+}
+
+TEST(Rounding, IntegerShiftMatchesFloat) {
+  for (int shift = 1; shift <= 8; ++shift) {
+    for (int64_t v = -1030; v <= 1030; ++v) {
+      const float f = static_cast<float>(v) / static_cast<float>(int64_t{1} << shift);
+      EXPECT_EQ(shift_round_half_to_even(v, shift), static_cast<int64_t>(round_half_to_even(f)))
+          << "v=" << v << " shift=" << shift;
+    }
+  }
+}
+
+TEST(Rounding, ShiftZeroIsIdentity) {
+  EXPECT_EQ(shift_round_half_to_even(12345, 0), 12345);
+  EXPECT_EQ(shift_round_half_to_even(-7, 0), -7);
+  EXPECT_THROW(shift_round_half_to_even(1, -1), std::invalid_argument);
+}
+
+// ---- Matmul family -----------------------------------------------------------
+
+TEST(Matmul, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_TRUE(c.equals(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(Matmul, ShapeErrors) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor({6}), Tensor({6, 1})), std::invalid_argument);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  Rng rng(7);
+  Tensor a = rng.normal_tensor({4, 5});
+  Tensor b = rng.normal_tensor({5, 3});
+  Tensor ref = matmul(a, b);
+  EXPECT_TRUE(matmul_tn(transpose2d(a), b).allclose(ref, 1e-4f));
+  EXPECT_TRUE(matmul_nt(a, transpose2d(b)).allclose(ref, 1e-4f));
+}
+
+TEST(Matmul, Transpose2dInvolution) {
+  Rng rng(3);
+  Tensor a = rng.normal_tensor({3, 7});
+  EXPECT_TRUE(transpose2d(transpose2d(a)).equals(a));
+}
+
+// ---- im2col / col2im --------------------------------------------------------
+
+TEST(Im2col, IdentityKernel) {
+  // 1x1 kernel stride 1: im2col is a reshape.
+  Rng rng(1);
+  Tensor x = rng.normal_tensor({2, 3, 3, 4});
+  Tensor cols = im2col(x, Conv2dGeom::valid(1, 1, 1));
+  EXPECT_EQ(cols.shape(), (Shape{2 * 3 * 3, 4}));
+  EXPECT_TRUE(cols.reshape(x.shape()).equals(x));
+}
+
+TEST(Im2col, SamePaddingShape) {
+  Tensor x({1, 5, 5, 1});
+  const auto g = Conv2dGeom::same(3, 3, 1, 5, 5);
+  Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{25, 9}));
+  EXPECT_EQ(g.out_h(5), 5);
+}
+
+TEST(Im2col, StrideTwoGeometry) {
+  const auto g = Conv2dGeom::same(3, 3, 2, 8, 8);
+  EXPECT_EQ(g.out_h(8), 4);
+  EXPECT_EQ(g.out_w(8), 4);
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  Tensor x({1, 2, 2, 1}, {1, 2, 3, 4});
+  const auto g = Conv2dGeom::same(3, 3, 1, 2, 2);
+  Tensor cols = im2col(x, g);
+  // Center output (0,0): top-left patch has zeros on top and left borders.
+  // patch layout kh*kw: rows (ky,kx).
+  EXPECT_EQ(cols.at({0, 0}), 0.0f);  // (-1,-1) out of bounds
+  EXPECT_EQ(cols.at({0, 4}), 1.0f);  // center tap = x[0,0]
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the transpose, which is exactly what conv backward needs.
+  Rng rng(11);
+  Tensor x = rng.normal_tensor({2, 6, 5, 3});
+  const auto g = Conv2dGeom::same(3, 3, 2, 6, 5);
+  Tensor cols = im2col(x, g);
+  Tensor y = rng.normal_tensor(cols.shape());
+  Tensor back = col2im(y, x.shape(), g);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+// ---- Softmax / histogram ----------------------------------------------------
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(5);
+  Tensor logits = rng.normal_tensor({4, 10}, 0.0f, 3.0f);
+  Tensor p = softmax_rows(logits);
+  for (int64_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (int64_t c = 0; c < 10; ++c) s += p[r * 10 + c];
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({1, 3}, {101, 102, 103});
+  EXPECT_TRUE(softmax_rows(a).allclose(softmax_rows(b), 1e-6f));
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Tensor x({5}, {0.1f, -0.1f, 0.5f, 0.95f, 2.0f});
+  auto h = abs_histogram(x, 10, 1.0f);
+  EXPECT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[1], 2.0f);  // the two 0.1-magnitude entries
+  EXPECT_EQ(h[5], 1.0f);
+  EXPECT_EQ(h[9], 2.0f);  // 0.95 and clamped 2.0
+  float total = 0;
+  for (float v : h) total += v;
+  EXPECT_EQ(total, 5.0f);
+}
+
+// ---- RNG ---------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(123);
+  Rng f1 = a.fork(1);
+  Rng f2 = a.fork(2);
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  // Forks are deterministic in (state, stream).
+  Rng b(123);
+  EXPECT_EQ(b.fork(1).next_u64(), Rng(123).fork(1).next_u64());
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  Tensor t = rng.normal_tensor({20000}, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.05f);
+  EXPECT_NEAR(t.std(), 2.0f, 0.05f);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.uniform_int(5, 7);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int64_t> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---- Serialization ------------------------------------------------------------
+
+TEST(Serialize, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tqt_roundtrip.bin";
+  TensorMap m;
+  Rng rng(17);
+  m["a/weight"] = rng.normal_tensor({3, 4});
+  m["b/scalar"] = Tensor::scalar(7.0f);
+  save_tensors(path, m);
+  EXPECT_TRUE(is_tensor_file(path));
+  TensorMap back = load_tensors(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.at("a/weight").equals(m.at("a/weight")));
+  EXPECT_TRUE(back.at("b/scalar").equals(m.at("b/scalar")));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/tqt_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a tensor file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(is_tensor_file(path));
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  EXPECT_THROW(load_tensors("/nonexistent/nowhere.bin"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tqt

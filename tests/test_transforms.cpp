@@ -1,0 +1,181 @@
+// Tests for the Graffitist-style graph transforms: BN folding, identity
+// splicing, concat collapsing, pool rewriting — all must preserve the
+// inference-mode function of the graph.
+#include <gtest/gtest.h>
+
+#include "graph_opt/transforms.h"
+#include "models/builder.h"
+#include "models/zoo.h"
+#include "nn/ops_basic.h"
+#include "nn/ops_conv.h"
+#include "nn/ops_norm.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+/// Run a few training steps' worth of forwards so BN moving stats are
+/// non-trivial, then switch to eval.
+void warm_up_bn(Graph& g, NodeId input, NodeId out, Rng& rng) {
+  g.set_training(true);
+  for (int i = 0; i < 12; ++i) {
+    g.run({{input, rng.normal_tensor({8, 16, 16, 3}, 0.3f, 1.5f)}}, out);
+  }
+  g.set_training(false);
+}
+
+TEST(FoldBn, ConvBnEquivalence) {
+  ModelBuilder b("t", 3);
+  NodeId x = b.input(16, 3);
+  NodeId out = b.conv_bn("c1", x, 8, 3, 1, Act::kRelu);
+  Graph g = b.take();
+  Rng rng(1);
+  warm_up_bn(g, x, out, rng);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  Tensor before = g.run({{x, probe}}, out);
+  EXPECT_EQ(fold_batch_norms(g), 1);
+  EXPECT_TRUE(g.nodes_of_type("BatchNorm").empty());
+  EXPECT_EQ(g.nodes_of_type("BiasAdd").size(), 1u);
+  Tensor after = g.run({{x, probe}}, out);
+  EXPECT_TRUE(before.allclose(after, 1e-4f));
+}
+
+TEST(FoldBn, DepthwiseAndGammaSpreadEquivalence) {
+  ModelBuilder b("t", 4);
+  NodeId x = b.input(16, 3);
+  NodeId out = b.depthwise_bn("dw", x, 3, 1, Act::kRelu6, /*gamma_log2_spread=*/2.0f);
+  Graph g = b.take();
+  Rng rng(2);
+  warm_up_bn(g, x, out, rng);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  Tensor before = g.run({{x, probe}}, out);
+  EXPECT_EQ(fold_batch_norms(g), 1);
+  Tensor after = g.run({{x, probe}}, out);
+  EXPECT_TRUE(before.allclose(after, 1e-4f));
+}
+
+TEST(FoldBn, SkipsSharedConvOutputs) {
+  // If the conv output feeds both BN and something else, folding would change
+  // the other consumer; the transform must leave it alone.
+  ModelBuilder b("t", 5);
+  NodeId x = b.input(16, 3);
+  NodeId out = b.conv_bn("c1", x, 4, 3, 1, Act::kNone);
+  Graph g = b.take();
+  const NodeId conv = g.find("c1/conv");
+  ASSERT_NE(conv, kNoNode);
+  g.add("tap", std::make_unique<IdentityOp>(), {conv});
+  EXPECT_EQ(fold_batch_norms(g), 0);
+  (void)out;
+}
+
+TEST(Splice, RemovesIdentities) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId id1 = g.add("id1", std::make_unique<IdentityOp>(), {in});
+  NodeId id2 = g.add("id2", std::make_unique<IdentityOp>(), {id1});
+  NodeId relu = g.add("relu", std::make_unique<ReluOp>(), {id2});
+  EXPECT_EQ(splice_identities(g), 2);
+  EXPECT_EQ(g.node(relu).inputs[0], in);
+  Tensor xv({2}, {-1, 2});
+  EXPECT_TRUE(g.run({{in, xv}}, relu).equals(Tensor({2}, {0, 2})));
+}
+
+TEST(Collapse, ConcatOfConcat) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  NodeId bnode = g.add("b", std::make_unique<IdentityOp>(), {in});
+  NodeId c = g.add("c", std::make_unique<IdentityOp>(), {in});
+  NodeId inner = g.add("inner", std::make_unique<ConcatOp>(), {a, bnode});
+  NodeId outer = g.add("outer", std::make_unique<ConcatOp>(), {inner, c});
+  Rng rng(3);
+  Tensor xv = rng.normal_tensor({2, 4});
+  Tensor before = g.run({{in, xv}}, outer);
+  EXPECT_EQ(collapse_concats(g), 1);
+  EXPECT_EQ(g.node(outer).inputs.size(), 3u);
+  EXPECT_TRUE(g.run({{in, xv}}, outer).equals(before));
+}
+
+TEST(Collapse, KeepsSharedInnerConcat) {
+  Graph g;
+  NodeId in = g.add("x", std::make_unique<InputOp>());
+  NodeId a = g.add("a", std::make_unique<IdentityOp>(), {in});
+  NodeId inner = g.add("inner", std::make_unique<ConcatOp>(), {a, a});
+  NodeId outer = g.add("outer", std::make_unique<ConcatOp>(), {inner, a});
+  NodeId tap = g.add("tap", std::make_unique<IdentityOp>(), {inner});
+  EXPECT_EQ(collapse_concats(g), 0);  // inner has another consumer
+  (void)outer;
+  (void)tap;
+}
+
+TEST(Pools, AvgPoolToDepthwiseEquivalence) {
+  ModelBuilder b("t", 6);
+  NodeId x = b.input(16, 3);
+  NodeId pooled = b.avg_pool("ap", x, 2, 2);
+  Graph g = b.take();
+  Rng rng(4);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  Tensor before = g.run({{x, probe}}, pooled);
+  EXPECT_EQ(pools_to_depthwise(g, x, probe), 1);
+  EXPECT_TRUE(g.nodes_of_type("AvgPool").empty());
+  const NodeId dw = g.find("ap/as_dwconv");
+  ASSERT_NE(dw, kNoNode);
+  Tensor after = g.run({{x, probe}}, dw);
+  EXPECT_TRUE(before.allclose(after, 1e-5f));
+}
+
+TEST(Pools, GlobalAvgPoolToDepthwiseEquivalence) {
+  ModelBuilder b("t", 7);
+  NodeId x = b.input(16, 3);
+  NodeId gap = b.global_avg_pool("gap", x);
+  Graph g = b.take();
+  Rng rng(5);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  Tensor before = g.run({{x, probe}}, gap);
+  EXPECT_EQ(pools_to_depthwise(g, x, probe), 1);
+  const NodeId flat = g.find("gap/as_dwconv/flatten");
+  ASSERT_NE(flat, kNoNode);
+  Tensor after = g.run({{x, probe}}, flat);
+  EXPECT_EQ(after.shape(), before.shape());
+  EXPECT_TRUE(before.allclose(after, 1e-5f));
+}
+
+TEST(Pools, ReciprocalWeightsAreConstant) {
+  ModelBuilder b("t", 8);
+  NodeId x = b.input(16, 3);
+  b.avg_pool("ap", x, 2, 2);
+  Graph g = b.take();
+  Rng rng(6);
+  pools_to_depthwise(g, x, rng.normal_tensor({1, 16, 16, 3}));
+  bool found = false;
+  for (const auto& p : g.params()) {
+    if (p->name.find("reciprocal") == std::string::npos) continue;
+    found = true;
+    EXPECT_FALSE(p->trainable);
+    for (int64_t i = 0; i < p->value.numel(); ++i) EXPECT_FLOAT_EQ(p->value[i], 0.25f);
+  }
+  EXPECT_TRUE(found);
+}
+
+class FullPipelineTransform : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(FullPipelineTransform, PreservesInference) {
+  BuiltModel m = build_model(GetParam());
+  Rng rng(9);
+  warm_up_bn(m.graph, m.input, m.logits, rng);
+  Tensor probe = rng.normal_tensor({2, 16, 16, 3});
+  Tensor before = m.graph.run({{m.input, probe}}, m.logits);
+  optimize_for_quantization(m.graph, m.input, probe);
+  EXPECT_TRUE(m.graph.nodes_of_type("BatchNorm").empty());
+  EXPECT_TRUE(m.graph.nodes_of_type("AvgPool").empty());
+  EXPECT_TRUE(m.graph.nodes_of_type("GlobalAvgPool").empty());
+  Tensor after = m.graph.run({{m.input, probe}}, m.logits);
+  EXPECT_TRUE(before.allclose(after, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FullPipelineTransform,
+                         ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+}  // namespace
+}  // namespace tqt

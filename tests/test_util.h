@@ -1,0 +1,85 @@
+// Shared helpers for the test suite: numerical gradient checking against the
+// graph's analytic backward pass.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "nn/graph.h"
+#include "tensor/rng.h"
+
+namespace tqt::test {
+
+/// Central-difference numerical gradient of `f` with respect to `t`,
+/// evaluated elementwise. `f` must be a pure function of the tensor's
+/// current contents.
+inline Tensor numerical_grad(Tensor& t, const std::function<double()>& f, float eps = 1e-3f) {
+  Tensor g(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const float orig = t[i];
+    t[i] = orig + eps;
+    const double hi = f();
+    t[i] = orig - eps;
+    const double lo = f();
+    t[i] = orig;
+    g[i] = static_cast<float>((hi - lo) / (2.0 * eps));
+  }
+  return g;
+}
+
+/// Assert the analytic gradient of every trainable parameter of `graph`
+/// against central differences of the loss node. The graph must already have
+/// fed inputs supplied via `feed`. Ops with kinks (ReLU, quantizers) need
+/// inputs away from the kink; callers are responsible for that.
+inline void check_param_grads(Graph& graph, const Feed& feed, NodeId loss_node, float tol = 2e-2f,
+                              float eps = 1e-3f) {
+  graph.zero_grad();
+  graph.run(feed, loss_node);
+  graph.backward(loss_node);
+  auto params = graph.params();
+  for (auto& p : params) {
+    if (!p->trainable) continue;
+    Tensor analytic = p->grad;
+    auto f = [&]() { return static_cast<double>(graph.run(feed, loss_node).item()); };
+    Tensor numeric = numerical_grad(p->value, f, eps);
+    for (int64_t i = 0; i < numeric.numel(); ++i) {
+      const float scale = std::max({1.0f, std::fabs(numeric[i]), std::fabs(analytic[i])});
+      EXPECT_NEAR(analytic[i], numeric[i], tol * scale)
+          << "param " << p->name << " element " << i;
+    }
+    // Re-establish analytic gradients for the next parameter (numerical_grad
+    // perturbed and restored values; grads are unchanged but forward caches
+    // were clobbered, which check only matters for subsequent params' f()).
+    graph.zero_grad();
+    graph.run(feed, loss_node);
+    graph.backward(loss_node);
+    p->grad = analytic;  // keep the asserted values coherent
+  }
+}
+
+/// Assert dL/d(input node) against central differences for a fed input.
+inline void check_input_grad(Graph& graph, Feed feed, NodeId input_node, NodeId loss_node,
+                             float tol = 2e-2f, float eps = 1e-3f) {
+  graph.zero_grad();
+  graph.run(feed, loss_node);
+  graph.backward(loss_node);
+  const Tensor analytic = graph.node(input_node).grad;
+  ASSERT_TRUE(graph.node(input_node).has_grad);
+  Tensor x = feed.at(input_node);
+  auto f = [&]() {
+    Feed fd = feed;
+    fd[input_node] = x;
+    return static_cast<double>(graph.run(fd, loss_node).item());
+  };
+  const Tensor numeric = numerical_grad(x, f, eps);
+  ASSERT_EQ(analytic.shape(), numeric.shape());
+  for (int64_t i = 0; i < numeric.numel(); ++i) {
+    const float scale = std::max({1.0f, std::fabs(numeric[i]), std::fabs(analytic[i])});
+    EXPECT_NEAR(analytic[i], numeric[i], tol * scale) << "input element " << i;
+  }
+}
+
+}  // namespace tqt::test

@@ -1,0 +1,154 @@
+// tqt_cli — command-line front end for the TQT pipeline.
+//
+//   tqt_cli list
+//       List the model zoo.
+//   tqt_cli pretrain <model> [--cache DIR]
+//       FP32-pretrain a model (cached) and report accuracy.
+//   tqt_cli quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]
+//       Quantize (and optionally retrain) from the cached FP32 weights.
+//   tqt_cli export <model> -o FILE [--bits 8|4] [--epochs N]
+//       TQT-retrain and compile to a fixed-point program file.
+//   tqt_cli run <model> -i FILE
+//       Load a fixed-point program and evaluate it on the validation split.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+
+namespace {
+
+using namespace tqt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tqt_cli <list|pretrain|quantize|export|run> [args]\n"
+               "  list\n"
+               "  pretrain <model> [--cache DIR]\n"
+               "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
+               "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
+               "  run      <model> -i FILE\n");
+  return 2;
+}
+
+ModelKind parse_model(const std::string& name) {
+  for (ModelKind k : all_model_kinds()) {
+    if (model_name(k) == name) return k;
+  }
+  throw std::invalid_argument("unknown model '" + name + "' (try: tqt_cli list)");
+}
+
+const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_list() {
+  for (ModelKind k : all_model_kinds()) std::printf("%s\n", model_name(k).c_str());
+  return 0;
+}
+
+int cmd_pretrain(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const ModelKind kind = parse_model(argv[0]);
+  const std::string cache = flag_value(argc, argv, "--cache", "tqt_artifacts");
+  SyntheticImageDataset data(default_dataset_config());
+  const auto state = load_or_pretrain(kind, data, cache);
+  const Accuracy acc = eval_fp32(kind, state, data);
+  std::printf("%s FP32: top-1 %.1f%%  top-5 %.1f%%  (%zu tensors cached in %s)\n",
+              model_name(kind).c_str(), 100.0 * acc.top1(), 100.0 * acc.top5(), state.size(),
+              cache.c_str());
+  return 0;
+}
+
+QuantTrialConfig trial_config(int argc, char** argv) {
+  QuantTrialConfig cfg;
+  const std::string mode = flag_value(argc, argv, "--mode", "wt_th");
+  if (mode == "static") {
+    cfg.mode = TrialMode::kStatic;
+  } else if (mode == "wt") {
+    cfg.mode = TrialMode::kRetrainWt;
+  } else if (mode == "wt_th") {
+    cfg.mode = TrialMode::kRetrainWtTh;
+  } else {
+    throw std::invalid_argument("bad --mode " + mode);
+  }
+  cfg.quant.weight_bits = std::atoi(flag_value(argc, argv, "--bits", "8"));
+  cfg.schedule = default_retrain_schedule(
+      static_cast<float>(std::atof(flag_value(argc, argv, "--epochs", "4"))));
+  return cfg;
+}
+
+int cmd_quantize(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const ModelKind kind = parse_model(argv[0]);
+  SyntheticImageDataset data(default_dataset_config());
+  const auto state = load_or_pretrain(kind, data, flag_value(argc, argv, "--cache", "tqt_artifacts"));
+  const QuantTrialConfig cfg = trial_config(argc, argv);
+  const TrialOutput out = run_quant_trial(kind, state, data, cfg);
+  std::printf("%s INT%d (%s): top-1 %.1f%%  top-5 %.1f%%", model_name(kind).c_str(),
+              cfg.quant.weight_bits, flag_value(argc, argv, "--mode", "wt_th"),
+              100.0 * out.accuracy.top1(), 100.0 * out.accuracy.top5());
+  if (cfg.mode != TrialMode::kStatic) std::printf("  (best epoch %.1f)", out.best_epoch);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* out_path = flag_value(argc, argv, "-o", nullptr);
+  if (!out_path) return usage();
+  const ModelKind kind = parse_model(argv[0]);
+  SyntheticImageDataset data(default_dataset_config());
+  const auto state = load_or_pretrain(kind, data, flag_value(argc, argv, "--cache", "tqt_artifacts"));
+  QuantTrialConfig cfg = trial_config(argc, argv);
+  cfg.mode = TrialMode::kRetrainWtTh;
+  TrialOutput out = run_quant_trial(kind, state, data, cfg);
+  out.model.graph.set_training(false);
+  const FixedPointProgram prog =
+      compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
+  prog.save(out_path);
+  std::printf("%s: top-1 %.1f%%; wrote %lld instructions / %lld int params to %s\n",
+              model_name(kind).c_str(), 100.0 * out.accuracy.top1(),
+              static_cast<long long>(prog.instruction_count()),
+              static_cast<long long>(prog.parameter_count()), out_path);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* in_path = flag_value(argc, argv, "-i", nullptr);
+  if (!in_path) return usage();
+  parse_model(argv[0]);  // validated for the error message only
+  SyntheticImageDataset data(default_dataset_config());
+  const FixedPointProgram prog = FixedPointProgram::load(in_path);
+  Accuracy acc;
+  for (int64_t first = 0; first < data.val_size(); first += 64) {
+    const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
+    accumulate_topk(prog.run(b.images), b.labels, acc);
+  }
+  std::printf("%s (integer-only program): top-1 %.1f%%  top-5 %.1f%%\n", in_path,
+              100.0 * acc.top1(), 100.0 * acc.top5());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "pretrain") return cmd_pretrain(argc - 2, argv + 2);
+    if (cmd == "quantize") return cmd_quantize(argc - 2, argv + 2);
+    if (cmd == "export") return cmd_export(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
