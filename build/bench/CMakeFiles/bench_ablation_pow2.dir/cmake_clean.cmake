@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pow2.dir/bench_ablation_pow2.cpp.o"
+  "CMakeFiles/bench_ablation_pow2.dir/bench_ablation_pow2.cpp.o.d"
+  "bench_ablation_pow2"
+  "bench_ablation_pow2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pow2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appA_affine_cost.dir/bench_appA_affine_cost.cpp.o"
+  "CMakeFiles/bench_appA_affine_cost.dir/bench_appA_affine_cost.cpp.o.d"
+  "bench_appA_affine_cost"
+  "bench_appA_affine_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appA_affine_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appA_affine_cost.
+# This may be replaced when dependencies are built.

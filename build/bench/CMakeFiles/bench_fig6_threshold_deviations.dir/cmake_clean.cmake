@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_threshold_deviations.dir/bench_fig6_threshold_deviations.cpp.o"
+  "CMakeFiles/bench_fig6_threshold_deviations.dir/bench_fig6_threshold_deviations.cpp.o.d"
+  "bench_fig6_threshold_deviations"
+  "bench_fig6_threshold_deviations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_threshold_deviations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

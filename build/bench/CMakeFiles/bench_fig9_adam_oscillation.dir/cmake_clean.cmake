@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_adam_oscillation.dir/bench_fig9_adam_oscillation.cpp.o"
+  "CMakeFiles/bench_fig9_adam_oscillation.dir/bench_fig9_adam_oscillation.cpp.o.d"
+  "bench_fig9_adam_oscillation"
+  "bench_fig9_adam_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_adam_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

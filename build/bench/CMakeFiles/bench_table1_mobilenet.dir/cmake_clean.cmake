@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mobilenet.dir/bench_table1_mobilenet.cpp.o"
+  "CMakeFiles/bench_table1_mobilenet.dir/bench_table1_mobilenet.cpp.o.d"
+  "bench_table1_mobilenet"
+  "bench_table1_mobilenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mobilenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

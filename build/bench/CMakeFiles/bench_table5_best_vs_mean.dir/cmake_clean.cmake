@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_best_vs_mean.dir/bench_table5_best_vs_mean.cpp.o"
+  "CMakeFiles/bench_table5_best_vs_mean.dir/bench_table5_best_vs_mean.cpp.o.d"
+  "bench_table5_best_vs_mean"
+  "bench_table5_best_vs_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_best_vs_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_compare.dir/calibration_compare.cpp.o"
+  "CMakeFiles/calibration_compare.dir/calibration_compare.cpp.o.d"
+  "calibration_compare"
+  "calibration_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpoint_deploy.dir/fixedpoint_deploy.cpp.o"
+  "CMakeFiles/fixedpoint_deploy.dir/fixedpoint_deploy.cpp.o.d"
+  "fixedpoint_deploy"
+  "fixedpoint_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpoint_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

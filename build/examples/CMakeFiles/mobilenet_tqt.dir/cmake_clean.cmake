@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobilenet_tqt.dir/mobilenet_tqt.cpp.o"
+  "CMakeFiles/mobilenet_tqt.dir/mobilenet_tqt.cpp.o.d"
+  "mobilenet_tqt"
+  "mobilenet_tqt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobilenet_tqt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

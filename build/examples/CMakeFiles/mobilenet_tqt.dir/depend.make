@@ -1,0 +1,2 @@
+# Empty dependencies file for mobilenet_tqt.
+# This may be replaced when dependencies are built.

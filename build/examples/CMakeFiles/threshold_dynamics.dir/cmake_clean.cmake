@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_dynamics.dir/threshold_dynamics.cpp.o"
+  "CMakeFiles/threshold_dynamics.dir/threshold_dynamics.cpp.o.d"
+  "threshold_dynamics"
+  "threshold_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_core.dir/metrics.cpp.o"
+  "CMakeFiles/tqt_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/tqt_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tqt_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tqt_core.dir/train.cpp.o"
+  "CMakeFiles/tqt_core.dir/train.cpp.o.d"
+  "libtqt_core.a"
+  "libtqt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_data.dir/synthetic.cpp.o"
+  "CMakeFiles/tqt_data.dir/synthetic.cpp.o.d"
+  "libtqt_data.a"
+  "libtqt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_fixedpoint.dir/engine.cpp.o"
+  "CMakeFiles/tqt_fixedpoint.dir/engine.cpp.o.d"
+  "CMakeFiles/tqt_fixedpoint.dir/serialize_program.cpp.o"
+  "CMakeFiles/tqt_fixedpoint.dir/serialize_program.cpp.o.d"
+  "libtqt_fixedpoint.a"
+  "libtqt_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph_opt/quantize_pass.cpp" "src/graph_opt/CMakeFiles/tqt_graph_opt.dir/quantize_pass.cpp.o" "gcc" "src/graph_opt/CMakeFiles/tqt_graph_opt.dir/quantize_pass.cpp.o.d"
+  "/root/repo/src/graph_opt/transforms.cpp" "src/graph_opt/CMakeFiles/tqt_graph_opt.dir/transforms.cpp.o" "gcc" "src/graph_opt/CMakeFiles/tqt_graph_opt.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tqt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/tqt_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tqt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tqt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_graph_opt.dir/quantize_pass.cpp.o"
+  "CMakeFiles/tqt_graph_opt.dir/quantize_pass.cpp.o.d"
+  "CMakeFiles/tqt_graph_opt.dir/transforms.cpp.o"
+  "CMakeFiles/tqt_graph_opt.dir/transforms.cpp.o.d"
+  "libtqt_graph_opt.a"
+  "libtqt_graph_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_graph_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

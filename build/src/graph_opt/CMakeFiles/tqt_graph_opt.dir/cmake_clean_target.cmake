@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtqt_graph_opt.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_models.dir/builder.cpp.o"
+  "CMakeFiles/tqt_models.dir/builder.cpp.o.d"
+  "CMakeFiles/tqt_models.dir/zoo.cpp.o"
+  "CMakeFiles/tqt_models.dir/zoo.cpp.o.d"
+  "libtqt_models.a"
+  "libtqt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

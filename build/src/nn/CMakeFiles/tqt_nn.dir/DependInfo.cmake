@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dot.cpp" "src/nn/CMakeFiles/tqt_nn.dir/dot.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/dot.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/tqt_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/ops_basic.cpp" "src/nn/CMakeFiles/tqt_nn.dir/ops_basic.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/ops_basic.cpp.o.d"
+  "/root/repo/src/nn/ops_conv.cpp" "src/nn/CMakeFiles/tqt_nn.dir/ops_conv.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/nn/ops_loss.cpp" "src/nn/CMakeFiles/tqt_nn.dir/ops_loss.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/ops_loss.cpp.o.d"
+  "/root/repo/src/nn/ops_norm.cpp" "src/nn/CMakeFiles/tqt_nn.dir/ops_norm.cpp.o" "gcc" "src/nn/CMakeFiles/tqt_nn.dir/ops_norm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tqt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_nn.dir/dot.cpp.o"
+  "CMakeFiles/tqt_nn.dir/dot.cpp.o.d"
+  "CMakeFiles/tqt_nn.dir/graph.cpp.o"
+  "CMakeFiles/tqt_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/tqt_nn.dir/ops_basic.cpp.o"
+  "CMakeFiles/tqt_nn.dir/ops_basic.cpp.o.d"
+  "CMakeFiles/tqt_nn.dir/ops_conv.cpp.o"
+  "CMakeFiles/tqt_nn.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/tqt_nn.dir/ops_loss.cpp.o"
+  "CMakeFiles/tqt_nn.dir/ops_loss.cpp.o.d"
+  "CMakeFiles/tqt_nn.dir/ops_norm.cpp.o"
+  "CMakeFiles/tqt_nn.dir/ops_norm.cpp.o.d"
+  "libtqt_nn.a"
+  "libtqt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

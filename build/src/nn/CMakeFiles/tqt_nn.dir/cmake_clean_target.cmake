@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtqt_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/tqt_opt.dir/optimizer.cpp.o.d"
+  "libtqt_opt.a"
+  "libtqt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/asymmetric.cpp" "src/quant/CMakeFiles/tqt_quant.dir/asymmetric.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/asymmetric.cpp.o.d"
+  "/root/repo/src/quant/calibrate.cpp" "src/quant/CMakeFiles/tqt_quant.dir/calibrate.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/calibrate.cpp.o.d"
+  "/root/repo/src/quant/fake_quant.cpp" "src/quant/CMakeFiles/tqt_quant.dir/fake_quant.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/fake_quant.cpp.o.d"
+  "/root/repo/src/quant/freeze.cpp" "src/quant/CMakeFiles/tqt_quant.dir/freeze.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/freeze.cpp.o.d"
+  "/root/repo/src/quant/toy_model.cpp" "src/quant/CMakeFiles/tqt_quant.dir/toy_model.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/toy_model.cpp.o.d"
+  "/root/repo/src/quant/unfused.cpp" "src/quant/CMakeFiles/tqt_quant.dir/unfused.cpp.o" "gcc" "src/quant/CMakeFiles/tqt_quant.dir/unfused.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tqt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tqt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tqt_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

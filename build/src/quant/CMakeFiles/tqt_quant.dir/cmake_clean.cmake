@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_quant.dir/asymmetric.cpp.o"
+  "CMakeFiles/tqt_quant.dir/asymmetric.cpp.o.d"
+  "CMakeFiles/tqt_quant.dir/calibrate.cpp.o"
+  "CMakeFiles/tqt_quant.dir/calibrate.cpp.o.d"
+  "CMakeFiles/tqt_quant.dir/fake_quant.cpp.o"
+  "CMakeFiles/tqt_quant.dir/fake_quant.cpp.o.d"
+  "CMakeFiles/tqt_quant.dir/freeze.cpp.o"
+  "CMakeFiles/tqt_quant.dir/freeze.cpp.o.d"
+  "CMakeFiles/tqt_quant.dir/toy_model.cpp.o"
+  "CMakeFiles/tqt_quant.dir/toy_model.cpp.o.d"
+  "CMakeFiles/tqt_quant.dir/unfused.cpp.o"
+  "CMakeFiles/tqt_quant.dir/unfused.cpp.o.d"
+  "libtqt_quant.a"
+  "libtqt_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

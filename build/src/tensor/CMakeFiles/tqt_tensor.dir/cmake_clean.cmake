@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_tensor.dir/ops.cpp.o"
+  "CMakeFiles/tqt_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/tqt_tensor.dir/rng.cpp.o"
+  "CMakeFiles/tqt_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/tqt_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/tqt_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/tqt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tqt_tensor.dir/tensor.cpp.o.d"
+  "libtqt_tensor.a"
+  "libtqt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

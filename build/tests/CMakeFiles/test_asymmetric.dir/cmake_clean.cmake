@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asymmetric.dir/test_asymmetric.cpp.o"
+  "CMakeFiles/test_asymmetric.dir/test_asymmetric.cpp.o.d"
+  "test_asymmetric"
+  "test_asymmetric.pdb"
+  "test_asymmetric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

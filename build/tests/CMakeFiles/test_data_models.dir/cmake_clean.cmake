@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_models.dir/test_data_models.cpp.o"
+  "CMakeFiles/test_data_models.dir/test_data_models.cpp.o.d"
+  "test_data_models"
+  "test_data_models.pdb"
+  "test_data_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_units.dir/test_engine_units.cpp.o"
+  "CMakeFiles/test_engine_units.dir/test_engine_units.cpp.o.d"
+  "test_engine_units"
+  "test_engine_units.pdb"
+  "test_engine_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantize_pass.dir/test_quantize_pass.cpp.o"
+  "CMakeFiles/test_quantize_pass.dir/test_quantize_pass.cpp.o.d"
+  "test_quantize_pass"
+  "test_quantize_pass.pdb"
+  "test_quantize_pass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantize_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

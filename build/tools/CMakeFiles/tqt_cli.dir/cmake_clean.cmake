@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqt_cli.dir/tqt_cli.cpp.o"
+  "CMakeFiles/tqt_cli.dir/tqt_cli.cpp.o.d"
+  "tqt_cli"
+  "tqt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
