@@ -1,0 +1,156 @@
+// Serial-vs-parallel throughput of the runtime-backed hot paths: GEMM,
+// GEMM-backed conv forward, fake-quant forward/backward, and fixed-point
+// engine inference, swept over 1/2/4/8 threads.
+//
+// Each workload is timed at every thread count and its output compared
+// bit-for-bit against the 1-thread result — the determinism contract of
+// src/runtime/parallel.h means any mismatch is a bug, not noise. Results are
+// printed as a table plus one JSON object per line (machine-readable, same
+// spirit as the other bench_* binaries' stdout artifacts).
+//
+// TQT_FAST shrinks the workloads for a smoke pass. Speedups only materialize
+// on machines with that many physical cores; on a 1-core box every thread
+// count must still produce identical bits (that is what this bench asserts).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "nn/ops_conv.h"
+#include "quant/fake_quant.h"
+#include "runtime/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace tqt::bench {
+namespace {
+
+double time_ms(const std::function<void()>& fn, int iters) {
+  fn();  // warm-up (page-in, pool wake)
+  double best = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  int64_t elements;                  ///< size of the tensor the kernel chews
+  std::function<Tensor()> run;       ///< returns the output for bit-comparison
+};
+
+void report(const Workload& w, const std::vector<int>& threads, int iters) {
+  set_num_threads(1);
+  const Tensor ref = w.run();
+  const double ms1 = time_ms([&] { (void)w.run(); }, iters);
+  for (int t : threads) {
+    set_num_threads(t);
+    const Tensor out = w.run();
+    const bool exact = out.equals(ref);
+    const double ms = t == 1 ? ms1 : time_ms([&] { (void)w.run(); }, iters);
+    const double speedup = ms1 / ms;
+    std::printf("%-16s  threads=%d  %9.2f ms  speedup %5.2fx  bitexact=%s\n", w.name.c_str(), t,
+                ms, speedup, exact ? "yes" : "NO");
+    std::printf(
+        "{\"bench\":\"parallel_scaling\",\"workload\":\"%s\",\"elements\":%lld,"
+        "\"threads\":%d,\"ms\":%.3f,\"speedup\":%.3f,\"bitexact\":%s}\n",
+        w.name.c_str(), static_cast<long long>(w.elements), t, ms, speedup,
+        exact ? "true" : "false");
+  }
+  set_num_threads(0);
+}
+
+}  // namespace
+}  // namespace tqt::bench
+
+int main() {
+  using namespace tqt;
+  using namespace tqt::bench;
+
+  const bool fast = fast_mode();
+  const int iters = fast ? 2 : 3;
+  const std::vector<int> threads = {1, 2, 4, 8};
+  print_header("Parallel runtime scaling: serial vs parallel hot paths");
+  std::printf("pool default: %d thread(s); TQT_NUM_THREADS overrides\n\n", num_threads());
+
+  Rng rng(42);
+
+  // GEMM: square matmul, >= 1M output elements in full mode.
+  const int64_t mnk = fast ? 256 : 512;
+  const Tensor ga = rng.normal_tensor({mnk, mnk}, 0.0f, 1.0f);
+  const Tensor gb = rng.normal_tensor({mnk, mnk}, 0.0f, 1.0f);
+
+  // GEMM-backed conv forward: NHWC input >= 1M elements in full mode.
+  const int64_t cn = fast ? 2 : 4, chw = 64, cc = fast ? 16 : 64;
+  const Tensor cx = rng.normal_tensor({cn, chw, chw, cc}, 0.0f, 1.0f);
+  const Tensor cw = rng.normal_tensor({3, 3, cc, cc}, 0.0f, 0.1f);
+  const Conv2dGeom cgeom = Conv2dGeom::same(3, 3, 1, chw, chw);
+
+  // Depthwise conv forward (the §4.1 MobileNet workhorse).
+  const Tensor dwx = rng.normal_tensor({cn, chw, chw, cc}, 0.0f, 1.0f);
+  const Tensor dww = rng.normal_tensor({3, 3, cc}, 0.0f, 0.1f);
+
+  // Fake-quant forward/backward: >= 1M elements in full mode.
+  const int64_t qn = fast ? (1 << 18) : (1 << 22);
+  const Tensor qx = rng.normal_tensor({qn}, 0.0f, 1.0f);
+  const Tensor qg = rng.normal_tensor({qn}, 0.0f, 1.0f);
+
+  // Fixed-point engine: a quantized mini model end to end.
+  SyntheticImageDataset data(default_dataset_config());
+  BuiltModel fpm = build_model(ModelKind::kMiniDarkNet, 10, 11);
+  {
+    Rng warm(11);
+    fpm.graph.set_training(true);
+    for (int i = 0; i < 4; ++i) {
+      fpm.graph.run({{fpm.input, warm.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, fpm.logits);
+    }
+    fpm.graph.set_training(false);
+  }
+  Rng crng(19);
+  const Tensor calib = crng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(fpm.graph, fpm.input, calib);
+  QuantizePassResult qres = quantize_pass(fpm.graph, fpm.input, fpm.logits, QuantizeConfig{});
+  calibrate_thresholds(fpm.graph, qres, fpm.input, calib, WeightInit::kMax);
+  const FixedPointProgram prog = compile_fixed_point(fpm.graph, fpm.input, qres.quantized_output);
+  const Tensor probe = crng.normal_tensor({fast ? 16 : 64, 16, 16, 3}, 0.2f, 1.0f);
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"gemm", mnk * mnk, [&] { return matmul(ga, gb); }});
+  workloads.push_back({"conv_forward", cx.numel(), [&] {
+                         Conv2dOp op(cgeom);
+                         return op.forward({&cx, &cw});
+                       }});
+  workloads.push_back({"depthwise_fwd", dwx.numel(), [&] {
+                         DepthwiseConv2dOp op(cgeom);
+                         return op.forward({&dwx, &dww});
+                       }});
+  workloads.push_back({"fakequant_fwd", qx.numel(), [&] {
+                         auto th = make_threshold("t", 0.5f, true);
+                         FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+                         return op.forward({&qx});
+                       }});
+  workloads.push_back({"fakequant_bwd", qx.numel(), [&] {
+                         auto th = make_threshold("t", 0.5f, true);
+                         FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+                         op.forward({&qx});
+                         Tensor dx = op.backward(qg)[0];
+                         // Fold grad_log2t into the comparison tensor so the
+                         // Eq. 7 reduction is bit-checked too.
+                         dx[0] += th->grad[0];
+                         return dx;
+                       }});
+  workloads.push_back({"engine_infer", probe.numel(), [&] { return prog.run(probe); }});
+
+  for (const Workload& w : workloads) report(w, threads, iters);
+  return 0;
+}

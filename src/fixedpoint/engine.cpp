@@ -8,6 +8,7 @@
 #include "nn/ops_basic.h"
 #include "nn/ops_conv.h"
 #include "quant/fake_quant.h"
+#include "runtime/parallel.h"
 
 namespace tqt {
 
@@ -232,10 +233,17 @@ void run_conv(const FpInstr& in, const IntTensor& x, IntTensor& y) {
   y.shape = {n, oh, ow, cout};
   y.data.assign(static_cast<size_t>(n * oh * ow * cout), 0);
   y.exponent = x.exponent + in.const_exponent;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
+  // Integer accumulation is exact, so any disjoint split over output rows is
+  // deterministic for free. The zero-skip on activations is safe here: INT8
+  // tensors have no NaN/inf to drop, and post-ReLU they are genuinely sparse.
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * kh * kw * cin * cout * 2),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
       for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * cout;
+        int64_t* out = y.data.data() + (r * ow + ox) * cout;
         const int64_t iy0 = oy * g.stride_h - g.pad_top;
         const int64_t ix0 = ox * g.stride_w - g.pad_left;
         for (int64_t ky = 0; ky < kh; ++ky) {
@@ -256,7 +264,7 @@ void run_conv(const FpInstr& in, const IntTensor& x, IntTensor& y) {
         }
       }
     }
-  }
+  });
 }
 
 void run_depthwise(const FpInstr& in, const IntTensor& x, IntTensor& y) {
@@ -267,10 +275,13 @@ void run_depthwise(const FpInstr& in, const IntTensor& x, IntTensor& y) {
   y.shape = {n, oh, ow, c};
   y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
   y.exponent = x.exponent + in.const_exponent;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * kh * kw * c * 2), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
       for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * c;
+        int64_t* out = y.data.data() + (r * ow + ox) * c;
         const int64_t iy0 = oy * g.stride_h - g.pad_top;
         const int64_t ix0 = ox * g.stride_w - g.pad_left;
         for (int64_t ky = 0; ky < kh; ++ky) {
@@ -286,7 +297,7 @@ void run_depthwise(const FpInstr& in, const IntTensor& x, IntTensor& y) {
         }
       }
     }
-  }
+  });
 }
 
 void run_dense(const FpInstr& in, const IntTensor& x, IntTensor& y) {
@@ -294,16 +305,18 @@ void run_dense(const FpInstr& in, const IntTensor& x, IntTensor& y) {
   y.shape = {n, m};
   y.data.assign(static_cast<size_t>(n * m), 0);
   y.exponent = x.exponent + in.const_exponent;
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t* out = y.data.data() + i * m;
-    const int64_t* xi = x.data.data() + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const int64_t xv = xi[kk];
-      if (xv == 0) continue;
-      const int64_t* wr = in.const_data.data() + kk * m;
-      for (int64_t j = 0; j < m; ++j) out[j] += xv * wr[j];
+  parallel_for(0, n, grain_for(n, 2 * k * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int64_t* out = y.data.data() + i * m;
+      const int64_t* xi = x.data.data() + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t xv = xi[kk];
+        if (xv == 0) continue;
+        const int64_t* wr = in.const_data.data() + kk * m;
+        for (int64_t j = 0; j < m; ++j) out[j] += xv * wr[j];
+      }
     }
-  }
+  });
 }
 
 void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
@@ -313,10 +326,13 @@ void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
   y.shape = {n, oh, ow, c};
   y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
   y.exponent = x.exponent;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
+  const int64_t prows = n * oh;
+  parallel_for(0, prows, grain_for(prows, ow * g.kh * g.kw * c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
       for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + ((b * oh + oy) * ow + ox) * c;
+        int64_t* out = y.data.data() + (r * ow + ox) * c;
         const int64_t iy0 = oy * g.stride_h - g.pad_top;
         const int64_t ix0 = ox * g.stride_w - g.pad_left;
         for (int64_t ch = 0; ch < c; ++ch) {
@@ -339,7 +355,7 @@ void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -356,10 +372,12 @@ IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
         y.shape = input.shape();
         y.exponent = in.out_exponent;
         y.data.resize(static_cast<size_t>(input.numel()));
-        for (int64_t i = 0; i < input.numel(); ++i) {
-          y.data[static_cast<size_t>(i)] = saturate(
-              static_cast<int64_t>(round_half_to_even(input[i] / s)), in.clamp_lo, in.clamp_hi);
-        }
+        parallel_for(0, input.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y.data[static_cast<size_t>(i)] = saturate(
+                static_cast<int64_t>(round_half_to_even(input[i] / s)), in.clamp_lo, in.clamp_hi);
+          }
+        });
         break;
       }
       case FpInstr::Kind::kRequant: {
@@ -367,10 +385,14 @@ IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
         y.shape = x.shape;
         y.exponent = in.out_exponent;
         y.data.resize(x.data.size());
-        for (size_t i = 0; i < x.data.size(); ++i) {
-          y.data[i] = saturate(rescale(x.data[i], x.exponent, in.out_exponent), in.clamp_lo,
-                               in.clamp_hi);
-        }
+        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y.data[static_cast<size_t>(i)] =
+                saturate(rescale(x.data[static_cast<size_t>(i)], x.exponent, in.out_exponent),
+                         in.clamp_lo, in.clamp_hi);
+          }
+        });
         break;
       }
       case FpInstr::Kind::kConv2d:
@@ -388,21 +410,38 @@ IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
         y.shape = x.shape;
         y.exponent = x.exponent;
         y.data.resize(x.data.size());
-        for (size_t i = 0; i < x.data.size(); ++i) {
-          y.data[i] = x.data[i] + in.const_data[i % static_cast<size_t>(channels)];
-        }
+        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y.data[static_cast<size_t>(i)] =
+                x.data[static_cast<size_t>(i)] +
+                in.const_data[static_cast<size_t>(i % channels)];
+          }
+        });
         break;
       }
       case FpInstr::Kind::kRelu: {
         const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
         y = x;
-        for (auto& v : y.data) v = std::max<int64_t>(v, 0);
+        parallel_for(0, static_cast<int64_t>(y.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = std::max<int64_t>(v, 0);
+          }
+        });
         break;
       }
       case FpInstr::Kind::kRelu6: {
         const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
         y = x;
-        for (auto& v : y.data) v = saturate(v, in.clamp_lo, in.clamp_hi);
+        parallel_for(0, static_cast<int64_t>(y.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = saturate(v, in.clamp_lo, in.clamp_hi);
+          }
+        });
         break;
       }
       case FpInstr::Kind::kLeakyRelu: {
@@ -411,11 +450,15 @@ IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
         y.exponent = x.exponent + in.alpha_exponent;
         y.data.resize(x.data.size());
         const int lift = -in.alpha_exponent;  // alpha exponents are negative
-        for (size_t i = 0; i < x.data.size(); ++i) {
-          const int64_t aligned = x.data[i] << lift;       // x at the product scale
-          const int64_t scaled = x.data[i] * in.alpha_q;   // alpha * x, exact
-          y.data[i] = std::max(aligned, scaled);
-        }
+        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            const size_t si = static_cast<size_t>(i);
+            const int64_t aligned = x.data[si] << lift;      // x at the product scale
+            const int64_t scaled = x.data[si] * in.alpha_q;  // alpha * x, exact
+            y.data[si] = std::max(aligned, scaled);
+          }
+        });
         break;
       }
       case FpInstr::Kind::kMaxPool:
@@ -427,7 +470,13 @@ IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
         y.shape = a.shape;
         y.exponent = a.exponent;
         y.data.resize(a.data.size());
-        for (size_t i = 0; i < a.data.size(); ++i) y.data[i] = a.data[i] + b.data[i];
+        parallel_for(0, static_cast<int64_t>(a.data.size()), kElementGrain,
+                     [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y.data[static_cast<size_t>(i)] =
+                a.data[static_cast<size_t>(i)] + b.data[static_cast<size_t>(i)];
+          }
+        });
         break;
       }
       case FpInstr::Kind::kConcat: {
@@ -469,9 +518,11 @@ Tensor FixedPointProgram::run(const Tensor& input) const {
   const IntTensor raw = run_raw(input);
   Tensor out(raw.shape);
   const float s = std::exp2(static_cast<float>(raw.exponent));
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] = static_cast<float>(raw.data[static_cast<size_t>(i)]) * s;
-  }
+  parallel_for(0, out.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      out[i] = static_cast<float>(raw.data[static_cast<size_t>(i)]) * s;
+    }
+  });
   return out;
 }
 

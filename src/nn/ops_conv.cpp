@@ -1,7 +1,11 @@
 #include "nn/ops_conv.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.h"
 
 namespace tqt {
 
@@ -53,10 +57,16 @@ Tensor DepthwiseConv2dOp::forward(const std::vector<const Tensor*>& in) {
   const float* px = x.data();
   const float* pw = w.data();
   float* py = y.data();
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
+  // Output rows (b, oy) are disjoint; each output element keeps the serial
+  // ky/kx accumulation order, so the result is thread-count independent.
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * geom_.kh * geom_.kw * c * 2),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
       for (int64_t ox = 0; ox < ow; ++ox) {
-        float* out = py + ((b * oh + oy) * ow + ox) * c;
+        float* out = py + (r * ow + ox) * c;
         const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
         const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
         for (int64_t ky = 0; ky < geom_.kh; ++ky) {
@@ -72,7 +82,7 @@ Tensor DepthwiseConv2dOp::forward(const std::vector<const Tensor*>& in) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -84,35 +94,50 @@ std::vector<Tensor> DepthwiseConv2dOp::backward(const Tensor& g) {
   const float* px = x_.data();
   const float* pg = g.data();
   float* pdx = dx.data();
-  float* pdw = dw.data();
   // Reconstruct w for dx: it was an input, we cached x only; re-read w from
   // the forward is not possible, so cache it. (w_ kept below.)
   const float* pw = w_.data();
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        const float* gout = pg + ((b * oh + oy) * ow + ox) * c;
-        const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
-        const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
-        for (int64_t ky = 0; ky < geom_.kh; ++ky) {
-          const int64_t iy = iy0 + ky;
-          if (iy < 0 || iy >= h) continue;
-          for (int64_t kx = 0; kx < geom_.kw; ++kx) {
-            const int64_t ix = ix0 + kx;
-            if (ix < 0 || ix >= wd) continue;
-            const float* xi = px + ((b * h + iy) * wd + ix) * c;
-            float* dxi = pdx + ((b * h + iy) * wd + ix) * c;
-            const float* wi = pw + (ky * geom_.kw + kx) * c;
-            float* dwi = pdw + (ky * geom_.kw + kx) * c;
-            for (int64_t ch = 0; ch < c; ++ch) {
-              dwi[ch] += gout[ch] * xi[ch];
-              dxi[ch] += gout[ch] * wi[ch];
+  // dx scatters only within one image, so batch-parallelism is race-free.
+  // dw is shared across the whole batch: each batch chunk accumulates into a
+  // private partial and the partials are tree-combined in fixed batch order
+  // (parallel_reduce), keeping dw bit-identical at every thread count.
+  const size_t wn = static_cast<size_t>(dw.numel());
+  std::vector<float> dw_acc = parallel_reduce<std::vector<float>>(
+      0, n, 1, std::vector<float>(wn, 0.0f),
+      [&](int64_t b0, int64_t b1) {
+        std::vector<float> local(wn, 0.0f);
+        for (int64_t b = b0; b < b1; ++b) {
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const float* gout = pg + ((b * oh + oy) * ow + ox) * c;
+              const int64_t iy0 = oy * geom_.stride_h - geom_.pad_top;
+              const int64_t ix0 = ox * geom_.stride_w - geom_.pad_left;
+              for (int64_t ky = 0; ky < geom_.kh; ++ky) {
+                const int64_t iy = iy0 + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int64_t kx = 0; kx < geom_.kw; ++kx) {
+                  const int64_t ix = ix0 + kx;
+                  if (ix < 0 || ix >= wd) continue;
+                  const float* xi = px + ((b * h + iy) * wd + ix) * c;
+                  float* dxi = pdx + ((b * h + iy) * wd + ix) * c;
+                  const float* wi = pw + (ky * geom_.kw + kx) * c;
+                  float* dwi = local.data() + (ky * geom_.kw + kx) * c;
+                  for (int64_t ch = 0; ch < c; ++ch) {
+                    dwi[ch] += gout[ch] * xi[ch];
+                    dxi[ch] += gout[ch] * wi[ch];
+                  }
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+        return local;
+      },
+      [](std::vector<float> acc, std::vector<float> part) {
+        for (size_t i = 0; i < acc.size(); ++i) acc[i] += part[i];
+        return acc;
+      });
+  std::copy(dw_acc.begin(), dw_acc.end(), dw.data());
   return {std::move(dx), std::move(dw)};
 }
 

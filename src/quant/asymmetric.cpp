@@ -1,8 +1,10 @@
 #include "quant/asymmetric.h"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace tqt {
@@ -54,11 +56,15 @@ Tensor AsymmetricFakeQuantOp::forward(const std::vector<const Tensor*>& in) {
   z_used_ = zero_point();
   const float hi = static_cast<float>((int64_t{1} << bits_) - 1);
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    float q = round_half_to_even(x[i] / s_used_) + static_cast<float>(z_used_);
-    q = std::min(std::max(q, 0.0f), hi);
-    y[i] = (q - static_cast<float>(z_used_)) * s_used_;
-  }
+  const float s = s_used_;
+  const float z = static_cast<float>(z_used_);
+  parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float q = round_half_to_even(x[i] / s) + z;
+      q = std::min(std::max(q, 0.0f), hi);
+      y[i] = (q - z) * s;
+    }
+  });
   return y;
 }
 
@@ -66,20 +72,30 @@ std::vector<Tensor> AsymmetricFakeQuantOp::backward(const Tensor& g) {
   if (bypassed_) return {g};
   const float hi = static_cast<float>((int64_t{1} << bits_) - 1);
   Tensor dx(g.shape());
-  double dmin = 0.0, dmax = 0.0;
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    const float q = round_half_to_even(x_[i] / s_used_) + static_cast<float>(z_used_);
-    if (q < 0.0f) {
-      dmin += g[i];  // below range: gradient flows to min (TF FakeQuant)
-    } else if (q > hi) {
-      dmax += g[i];
-    } else {
-      dx[i] = g[i];
-    }
-  }
+  // {dmin, dmax} reduce together; deterministic chunking keeps both range
+  // gradients thread-count independent.
+  const std::array<double, 2> dr = parallel_reduce<std::array<double, 2>>(
+      0, g.numel(), kElementGrain, {0.0, 0.0},
+      [&](int64_t i0, int64_t i1) {
+        std::array<double, 2> local = {0.0, 0.0};
+        for (int64_t i = i0; i < i1; ++i) {
+          const float q = round_half_to_even(x_[i] / s_used_) + static_cast<float>(z_used_);
+          if (q < 0.0f) {
+            local[0] += g[i];  // below range: gradient flows to min (TF FakeQuant)
+          } else if (q > hi) {
+            local[1] += g[i];
+          } else {
+            dx[i] = g[i];
+          }
+        }
+        return local;
+      },
+      [](std::array<double, 2> a, std::array<double, 2> b) {
+        return std::array<double, 2>{a[0] + b[0], a[1] + b[1]};
+      });
   if (range_->trainable) {
-    range_->grad[0] += static_cast<float>(dmin);
-    range_->grad[1] += static_cast<float>(dmax);
+    range_->grad[0] += static_cast<float>(dr[0]);
+    range_->grad[1] += static_cast<float>(dr[1]);
   }
   return {dx};
 }

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace tqt {
@@ -128,11 +130,14 @@ Tensor FakeQuantOp::forward_per_tensor(const Tensor& x) {
   Tensor y(x.shape());
   const float* px = x.data();
   float* py = y.data();
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    float q = apply_round(px[i] / s, round_mode_);
-    q = std::min(std::max(q, n), p);
-    py[i] = q * s;
-  }
+  const RoundMode rm = round_mode_;
+  parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float q = apply_round(px[i] / s, rm);
+      q = std::min(std::max(q, n), p);
+      py[i] = q * s;
+    }
+  });
   return y;
 }
 
@@ -142,11 +147,13 @@ Tensor FakeQuantOp::forward_pact(const Tensor& x) {
   s_used_ = s;
   const float p = static_cast<float>(bits_.qmax());
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    float q = round_half_to_even(x[i] / s);
-    q = std::min(std::max(q, 0.0f), p);
-    y[i] = q * s;
-  }
+  parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float q = round_half_to_even(x[i] / s);
+      q = std::min(std::max(q, 0.0f), p);
+      y[i] = q * s;
+    }
+  });
   return y;
 }
 
@@ -174,13 +181,15 @@ Tensor FakeQuantOp::forward_per_channel(const Tensor& x) {
   const float n = static_cast<float>(bits_.qmin());
   const float p = static_cast<float>(bits_.qmax());
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    const int64_t c = (i / inner) % channels;
-    const float s = scales[static_cast<size_t>(c)];
-    float q = round_half_to_even(x[i] / s);
-    q = std::min(std::max(q, n), p);
-    y[i] = q * s;
-  }
+  parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int64_t c = (i / inner) % channels;
+      const float s = scales[static_cast<size_t>(c)];
+      float q = round_half_to_even(x[i] / s);
+      q = std::min(std::max(q, n), p);
+      y[i] = q * s;
+    }
+  });
   return y;
 }
 
@@ -198,7 +207,6 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
     const float n = static_cast<float>(bits_.qmin());
     const float p = static_cast<float>(bits_.qmax());
     const bool train_th = threshold_->trainable && mode_ == QuantMode::kTqt;
-    std::vector<double> dth(static_cast<size_t>(channels), 0.0);
     std::vector<float> scales(static_cast<size_t>(channels));
     for (int64_t c = 0; c < channels; ++c) {
       const float log2_t = threshold_->value[c];
@@ -208,20 +216,33 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
                       : std::exp2(log2_t) / p;
     }
     Tensor dx(g.shape());
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      const int64_t c = (i / inner) % channels;
-      const float s = scales[static_cast<size_t>(c)];
-      const float xs = x_[i] / s;
-      const float r = round_half_to_even(xs);
-      if (r < n) {
-        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * n;
-      } else if (r > p) {
-        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * p;
-      } else {
-        dx[i] = g[i];
-        if (train_th) dth[static_cast<size_t>(c)] += static_cast<double>(g[i]) * (r - xs);
-      }
-    }
+    // dx is elementwise; the per-channel Eq. 7 sums reduce over fixed-size
+    // chunks with tree-combined partials so every channel's grad_log2t is
+    // bit-identical at any thread count.
+    std::vector<double> dth = parallel_reduce<std::vector<double>>(
+        0, g.numel(), kElementGrain, std::vector<double>(static_cast<size_t>(channels), 0.0),
+        [&](int64_t i0, int64_t i1) {
+          std::vector<double> local(static_cast<size_t>(channels), 0.0);
+          for (int64_t i = i0; i < i1; ++i) {
+            const int64_t c = (i / inner) % channels;
+            const float s = scales[static_cast<size_t>(c)];
+            const float xs = x_[i] / s;
+            const float r = round_half_to_even(xs);
+            if (r < n) {
+              if (train_th) local[static_cast<size_t>(c)] += static_cast<double>(g[i]) * n;
+            } else if (r > p) {
+              if (train_th) local[static_cast<size_t>(c)] += static_cast<double>(g[i]) * p;
+            } else {
+              dx[i] = g[i];
+              if (train_th) local[static_cast<size_t>(c)] += static_cast<double>(g[i]) * (r - xs);
+            }
+          }
+          return local;
+        },
+        [](std::vector<double> acc, std::vector<double> part) {
+          for (size_t c = 0; c < acc.size(); ++c) acc[c] += part[c];
+          return acc;
+        });
     if (train_th) {
       for (int64_t c = 0; c < channels; ++c) {
         threshold_->grad[c] +=
@@ -234,14 +255,20 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
   if (mode_ == QuantMode::kPact) {
     const float alpha = std::max(threshold_->value[0], 1e-12f);
     Tensor dx(g.shape());
-    double dalpha = 0.0;
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      if (x_[i] >= alpha) {
-        dalpha += g[i];  // Eq. (1): gradient 1 above the clip threshold
-      } else if (x_[i] > 0.0f) {
-        dx[i] = g[i];
-      }
-    }
+    const double dalpha = parallel_reduce<double>(
+        0, g.numel(), kElementGrain, 0.0,
+        [&](int64_t i0, int64_t i1) {
+          double local = 0.0;
+          for (int64_t i = i0; i < i1; ++i) {
+            if (x_[i] >= alpha) {
+              local += g[i];  // Eq. (1): gradient 1 above the clip threshold
+            } else if (x_[i] > 0.0f) {
+              dx[i] = g[i];
+            }
+          }
+          return local;
+        },
+        [](double a, double b) { return a + b; });
     if (threshold_->trainable) threshold_->grad[0] += static_cast<float>(dalpha);
     return {dx};
   }
@@ -250,24 +277,36 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
   const float n = static_cast<float>(bits_.qmin());
   const float p = static_cast<float>(bits_.qmax());
   Tensor dx(g.shape());
-  double dth = 0.0;
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    const float xs = x_[i] / s;
-    const float r = apply_round(xs, round_mode_);  // same rule as forward
-    if (r < n) {
-      // Below range: clipped to n. Threshold gradient contribution n (Eq. 6).
-      dth += static_cast<double>(g[i]) * n;
-    } else if (r > p) {
-      dth += static_cast<double>(g[i]) * p;
-    } else {
-      dx[i] = g[i];  // Eq. (8)
-      if (mode_ != QuantMode::kClipped) {
-        // Eq. (6): the rounded-minus-exact term the STE keeps as a value.
-        dth += static_cast<double>(g[i]) * (r - xs);
-      }
-      // kClipped: round treated as identity -> zero contribution inside.
-    }
-  }
+  // The Eq. 6/7 threshold gradient is a full-tensor reduction; fixed-size
+  // chunks + tree-combined double partials keep grad_log2t bit-identical at
+  // 1, 2, and N threads (the determinism contract of src/runtime/parallel.h).
+  const RoundMode rm = round_mode_;
+  const bool clipped = mode_ == QuantMode::kClipped;
+  const double dth = parallel_reduce<double>(
+      0, g.numel(), kElementGrain, 0.0,
+      [&](int64_t i0, int64_t i1) {
+        double local = 0.0;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float xs = x_[i] / s;
+          const float r = apply_round(xs, rm);  // same rule as forward
+          if (r < n) {
+            // Below range: clipped to n. Threshold gradient contribution n
+            // (Eq. 6).
+            local += static_cast<double>(g[i]) * n;
+          } else if (r > p) {
+            local += static_cast<double>(g[i]) * p;
+          } else {
+            dx[i] = g[i];  // Eq. (8)
+            if (!clipped) {
+              // Eq. (6): the rounded-minus-exact term the STE keeps as a value.
+              local += static_cast<double>(g[i]) * (r - xs);
+            }
+            // kClipped: round treated as identity -> zero contribution inside.
+          }
+        }
+        return local;
+      },
+      [](double a, double b) { return a + b; });
   if (threshold_ && threshold_->trainable && !derived_) {
     float gth = 0.0f;
     switch (mode_) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
 #include "tensor/ops.h"
 
 namespace tqt {
@@ -28,15 +29,17 @@ Tensor UnfusedFakeQuantOp::forward(const std::vector<const Tensor*>& in) {
   // Each stage materializes its output, exactly like a composed TF graph.
   x_scaled_ = x / s_used_;
   x_rounded_ = Tensor(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) x_rounded_[i] = round_half_to_even(x_scaled_[i]);
   sat_mask_ = Tensor(x.shape());
   x_saturated_ = Tensor(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    const float r = x_rounded_[i];
-    const bool inside = r >= n && r <= p;
-    sat_mask_[i] = inside ? 1.0f : 0.0f;
-    x_saturated_[i] = std::min(std::max(r, n), p);
-  }
+  parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) x_rounded_[i] = round_half_to_even(x_scaled_[i]);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float r = x_rounded_[i];
+      const bool inside = r >= n && r <= p;
+      sat_mask_[i] = inside ? 1.0f : 0.0f;
+      x_saturated_[i] = std::min(std::max(r, n), p);
+    }
+  });
   return x_saturated_ * s_used_;  // de-quant
 }
 
@@ -50,11 +53,19 @@ std::vector<Tensor> UnfusedFakeQuantOp::backward(const Tensor& g) {
   //              = [ sat(r) - mask * x/s ] * s ln2
   // which reduces to Eq. (7)'s three cases.
   Tensor dx(g.shape());
-  double dth = 0.0;
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    dx[i] = g[i] * sat_mask_[i];
-    dth += static_cast<double>(g[i]) * (x_saturated_[i] - sat_mask_[i] * x_scaled_[i]);
-  }
+  // Deterministic chunked reduction for the threshold gradient (see
+  // src/runtime/parallel.h); dx is elementwise and rides in the same pass.
+  const double dth = parallel_reduce<double>(
+      0, g.numel(), kElementGrain, 0.0,
+      [&](int64_t i0, int64_t i1) {
+        double local = 0.0;
+        for (int64_t i = i0; i < i1; ++i) {
+          dx[i] = g[i] * sat_mask_[i];
+          local += static_cast<double>(g[i]) * (x_saturated_[i] - sat_mask_[i] * x_scaled_[i]);
+        }
+        return local;
+      },
+      [](double a, double b) { return a + b; });
   if (threshold_->trainable) {
     threshold_->grad[0] += s_used_ * kLn2 * static_cast<float>(dth);
   }

@@ -1,0 +1,179 @@
+#include "runtime/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace tqt {
+
+namespace {
+
+// Set while a pool worker executes chunks; nested parallel_for calls from a
+// worker run inline instead of deadlocking on the (busy) pool.
+thread_local bool tls_in_worker = false;
+
+// Oversubscription is allowed (determinism tests run 8 threads on 1 core)
+// but unbounded requests would hit thread-creation limits and abort.
+constexpr int kMaxThreads = 256;
+
+int default_thread_count() {
+  if (const char* env = std::getenv("TQT_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n < kMaxThreads ? n : kMaxThreads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+// Persistent pool. One job (parallel region) runs at a time; the caller and
+// all workers pull chunk indices from a shared atomic counter. run() does not
+// return until every worker has checked in for the job's generation, so no
+// thread can touch job state after run() returns — workers only read job
+// fields between observing the generation bump (under the mutex) and their
+// check-in decrement.
+class Pool {
+ public:
+  Pool() { spawn(default_thread_count()); }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  int size() const { return nthreads_; }
+
+  void resize(int n) {
+    std::lock_guard<std::mutex> run_lk(run_mu_);
+    if (n <= 0) n = default_thread_count();
+    if (n > kMaxThreads) n = kMaxThreads;
+    if (n == nthreads_) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+    spawn(n);
+  }
+
+  void run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    std::lock_guard<std::mutex> run_lk(run_mu_);  // one region at a time
+    job_begin_ = begin;
+    job_end_ = end;
+    job_chunk_ = grain;
+    job_nchunks_ = num_chunks(end - begin, grain);
+    job_fn_ = &fn;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      error_ = nullptr;
+      pending_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    work();  // the caller is a full participant
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] { return pending_ == 0; });
+    }
+    job_fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void spawn(int n) {
+    nthreads_ = n;
+    workers_.reserve(static_cast<size_t>(n - 1));
+    // Capture the current generation as the worker's starting point: spawn
+    // happens with run_mu_ effectively held (constructor or resize), so no
+    // job can be posted concurrently, and any later job bumps generation_
+    // past `gen0` — a fresh worker can never mistake a new job for seen.
+    const uint64_t gen0 = generation_;
+    for (int i = 0; i < n - 1; ++i) workers_.emplace_back([this, gen0] { worker_main(gen0); });
+  }
+
+  void work() {
+    for (;;) {
+      const int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job_nchunks_) return;
+      const int64_t lo = job_begin_ + c * job_chunk_;
+      const int64_t hi = lo + job_chunk_ < job_end_ ? lo + job_chunk_ : job_end_;
+      try {
+        (*job_fn_)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  void worker_main(uint64_t seen) {
+    tls_in_worker = true;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      lk.unlock();
+      work();
+      lk.lock();
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes parallel regions and resizes
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> workers_;
+  int nthreads_ = 1;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+
+  int64_t job_begin_ = 0, job_end_ = 0, job_chunk_ = 1, job_nchunks_ = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  std::atomic<int64_t> next_chunk_{0};
+  std::exception_ptr error_;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+int num_threads() { return pool().size(); }
+
+void set_num_threads(int n) { pool().resize(n); }
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  Pool& p = pool();
+  // Serial fast paths: a one-thread pool, a nested call from a worker, or a
+  // single-chunk range. Chunk *boundaries* never depend on this choice —
+  // reductions iterate their chunks explicitly — so results are unchanged.
+  if (tls_in_worker || p.size() == 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  p.run(begin, end, grain, fn);
+}
+
+}  // namespace tqt

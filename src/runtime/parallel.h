@@ -1,0 +1,105 @@
+// Deterministic shared-memory parallel runtime.
+//
+// A single lazily-initialized persistent thread pool backs `parallel_for` and
+// `parallel_reduce`. Sizing: the TQT_NUM_THREADS environment variable if set,
+// otherwise std::thread::hardware_concurrency(); a pool of 1 runs everything
+// inline on the caller (serial fallback, zero synchronization).
+//
+// Determinism contract
+// --------------------
+// The threshold gradient of TQT (Eq. 6/7 of the paper) is a full-tensor
+// floating-point reduction; its value must not depend on how many threads
+// happen to execute it, or `log2 t` trajectories and the golden tests become
+// irreproducible. The runtime therefore guarantees:
+//
+//  * `parallel_for`: chunk boundaries are a pure function of (range, grain),
+//    never of the pool size. Chunks may run on any thread in any order, so
+//    bodies must write disjoint locations (elementwise maps, disjoint rows).
+//  * `parallel_reduce`: one partial accumulator per chunk, chunk boundaries
+//    again a function of (range, grain) only, and the partials are combined
+//    by a fixed-order pairwise tree. The result is bit-identical at 1, 2,
+//    and N threads (though not, in general, bit-identical to a single
+//    running-accumulator loop — it is its own, stable, summation order).
+//
+// Exceptions thrown by chunk bodies are captured and rethrown on the calling
+// thread after all chunks drain (first captured wins).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tqt {
+
+/// Current pool size (>= 1). Reads TQT_NUM_THREADS on first use.
+int num_threads();
+
+/// Resize the pool (joins and respawns workers). n <= 0 restores the default
+/// (TQT_NUM_THREADS or hardware_concurrency). Must not be called while a
+/// parallel region is executing; intended for benches/tests that sweep thread
+/// counts, and safe to call at any thread count since results never depend on
+/// the pool size.
+void set_num_threads(int n);
+
+/// Default grain for cheap elementwise loops: ~32k elements per chunk keeps
+/// scheduling overhead < 1% while still splitting the >= 1M-element tensors
+/// the training path actually sees.
+inline constexpr int64_t kElementGrain = int64_t{1} << 15;
+
+/// Grain so that one chunk covers roughly `target_ops` scalar operations,
+/// given `ops_per_item` work per index. Depends only on the problem size —
+/// never on the pool — so reduce chunking stays deterministic.
+inline int64_t grain_for(int64_t items, int64_t ops_per_item,
+                         int64_t target_ops = int64_t{1} << 16) {
+  if (ops_per_item < 1) ops_per_item = 1;
+  int64_t g = target_ops / ops_per_item;
+  if (g < 1) g = 1;
+  if (g > items && items > 0) g = items;
+  return g;
+}
+
+/// Number of chunks `[begin, end)` splits into at the given grain.
+inline int64_t num_chunks(int64_t range, int64_t grain) {
+  if (range <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return (range + grain - 1) / grain;
+}
+
+/// Run `fn(lo, hi)` over disjoint sub-ranges covering [begin, end). The body
+/// must tolerate concurrent invocation on distinct sub-ranges. Nested calls
+/// (from inside a worker) run inline.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic reduction: `chunk(lo, hi)` produces one partial T per chunk,
+/// `combine(a, b)` folds two partials (b's chunk indices strictly follow a's).
+/// Partials are combined by a fixed-order pairwise tree over the chunk index,
+/// so the result is bit-identical for every pool size.
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(int64_t begin, int64_t end, int64_t grain, T identity, ChunkFn&& chunk,
+                  CombineFn&& combine) {
+  const int64_t range = end - begin;
+  if (range <= 0) return identity;
+  if (grain < 1) grain = 1;
+  const int64_t nc = num_chunks(range, grain);
+  if (nc == 1) return combine(std::move(identity), chunk(begin, end));
+  std::vector<T> parts(static_cast<size_t>(nc), identity);
+  parallel_for(0, nc, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = lo + grain < end ? lo + grain : end;
+      parts[static_cast<size_t>(c)] = chunk(lo, hi);
+    }
+  });
+  // Fixed-order pairwise tree: parts[i] <- combine(parts[i], parts[i+stride]).
+  for (int64_t stride = 1; stride < nc; stride *= 2) {
+    for (int64_t i = 0; i + stride < nc; i += 2 * stride) {
+      parts[static_cast<size_t>(i)] = combine(std::move(parts[static_cast<size_t>(i)]),
+                                              std::move(parts[static_cast<size_t>(i + stride)]));
+    }
+  }
+  return combine(std::move(identity), std::move(parts[0]));
+}
+
+}  // namespace tqt

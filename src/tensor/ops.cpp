@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
+
 namespace tqt {
 
 float round_half_to_even(float x) {
@@ -31,6 +33,13 @@ void check_matrix(const Tensor& t, const char* name) {
     throw std::invalid_argument(std::string(name) + " must be rank 2, got " + shape_to_string(t.shape()));
   }
 }
+
+// K-panel height for the cache-blocked matmuls: a 256-row slab of B (256*n
+// floats) stays resident in L2 while a thread's C rows stream over it.
+// Blocking only regroups the kk loop; within each output element the
+// contributions still accumulate in ascending kk order, so blocked results
+// are bit-identical to the naive i-k-j loop.
+constexpr int64_t kBlockK = 256;
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -44,17 +53,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j order: unit-stride access on both B and C rows.
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    const float* arow = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Rows of C are independent: parallelize over i, block over kk. i-k-j
+  // order inside a block keeps unit-stride access on both B and C rows.
+  // No zero-skip on A values: `0 * inf = NaN` must propagate, and on dense
+  // data the branch only costs mispredictions.
+  parallel_for(0, m, grain_for(m, 2 * k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k, k0 + kBlockK);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        const float* arow = pa + i * k;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          const float* brow = pb + kk * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -69,16 +85,26 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Parallel over rows of C (columns of A); A is read with stride m but each
+  // element is touched once, while B's k-panel and C's rows stream at unit
+  // stride. Per output element the kk order is unchanged (ascending), so the
+  // result is bit-identical to the serial kk-i-j loop. The zero-skip stays
+  // here: this kernel consumes activation gradients, which ReLU makes
+  // genuinely sparse.
+  parallel_for(0, m, grain_for(m, 2 * k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k, k0 + kBlockK);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = pa[kk * m + i];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -93,16 +119,20 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(acc);
+  // Dot-product form: every output element owns a private accumulator, so
+  // row-parallelism is trivially bit-identical to the serial loop.
+  parallel_for(0, m, grain_for(m, 2 * k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+        crow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -148,28 +178,32 @@ Tensor im2col(const Tensor& input, const Conv2dGeom& g) {
   const float* in = input.data();
   float* out = cols.data();
   const int64_t patch = g.kh * g.kw * c;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        float* dst = out + ((b * oh + oy) * ow + ox) * patch;
-        const int64_t iy0 = oy * g.stride_h - g.pad_top;
-        const int64_t ix0 = ox * g.stride_w - g.pad_left;
-        for (int64_t ky = 0; ky < g.kh; ++ky) {
-          const int64_t iy = iy0 + ky;
-          for (int64_t kx = 0; kx < g.kw; ++kx) {
-            const int64_t ix = ix0 + kx;
-            float* d = dst + (ky * g.kw + kx) * c;
-            if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
-              for (int64_t ch = 0; ch < c; ++ch) d[ch] = 0.0f;
-            } else {
-              const float* s = in + ((b * h + iy) * w + ix) * c;
-              for (int64_t ch = 0; ch < c; ++ch) d[ch] = s[ch];
-            }
+  // One patch row per output pixel; rows are disjoint, so a flat parallel
+  // loop over all (b, oy, ox) triples is a pure gather.
+  const int64_t patches = n * oh * ow;
+  parallel_for(0, patches, grain_for(patches, patch), [&](int64_t p0, int64_t p1) {
+    for (int64_t pi = p0; pi < p1; ++pi) {
+      const int64_t b = pi / (oh * ow);
+      const int64_t oy = (pi / ow) % oh;
+      const int64_t ox = pi % ow;
+      float* dst = out + pi * patch;
+      const int64_t iy0 = oy * g.stride_h - g.pad_top;
+      const int64_t ix0 = ox * g.stride_w - g.pad_left;
+      for (int64_t ky = 0; ky < g.kh; ++ky) {
+        const int64_t iy = iy0 + ky;
+        for (int64_t kx = 0; kx < g.kw; ++kx) {
+          const int64_t ix = ix0 + kx;
+          float* d = dst + (ky * g.kw + kx) * c;
+          if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
+            for (int64_t ch = 0; ch < c; ++ch) d[ch] = 0.0f;
+          } else {
+            const float* s = in + ((b * h + iy) * w + ix) * c;
+            for (int64_t ch = 0; ch < c; ++ch) d[ch] = s[ch];
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -184,7 +218,12 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dGeom& g)
   Tensor grad(input_shape);
   const float* src = cols.data();
   float* out = grad.data();
-  for (int64_t b = 0; b < n; ++b) {
+  // Scatter-add: overlapping patches collide within an image but never
+  // across images, so parallelize over the batch only (grain 1). Each image
+  // keeps the serial oy/ox/ky/kx accumulation order, which makes the result
+  // bit-identical to the serial loop at every thread count.
+  parallel_for(0, n, 1, [&](int64_t b0, int64_t b1) {
+  for (int64_t b = b0; b < b1; ++b) {
     for (int64_t oy = 0; oy < oh; ++oy) {
       for (int64_t ox = 0; ox < ow; ++ox) {
         const float* s0 = src + ((b * oh + oy) * ow + ox) * patch;
@@ -204,6 +243,7 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape, const Conv2dGeom& g)
       }
     }
   }
+  });
   return grad;
 }
 

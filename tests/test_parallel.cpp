@@ -1,0 +1,238 @@
+// Tests for the deterministic parallel runtime: parallel_for/parallel_reduce
+// edge cases, and the bit-identical-across-thread-counts contract on the hot
+// kernels it backs — matmul, fake-quant backward (including grad_log2t), and
+// a full quantized training run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/train.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "quant/fake_quant.h"
+#include "runtime/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+// Restores the default pool size when a test that sweeps thread counts exits
+// (including via an assertion failure).
+struct ThreadGuard {
+  ~ThreadGuard() { set_num_threads(0); }
+};
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  parallel_for(5, 5, 16, [&](int64_t, int64_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](int64_t, int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  std::atomic<int> calls{0};
+  int64_t lo = -1, hi = -1;
+  parallel_for(3, 10, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(lo, 3);
+  EXPECT_EQ(hi, 10);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  const int64_t n = 10007;  // prime: uneven final chunk
+  std::vector<int> hits(static_cast<size_t>(n), 0);
+  parallel_for(0, n, 64, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n);
+  for (int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+}
+
+TEST(ParallelFor, ExceptionFromWorkerPropagates) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  auto boom = [&](int64_t b, int64_t) {
+    if (b >= 512) throw std::runtime_error("chunk failed");
+  };
+  EXPECT_THROW(parallel_for(0, 4096, 64, boom), std::runtime_error);
+  // The pool must stay usable after an exception drained.
+  std::atomic<int64_t> sum{0};
+  parallel_for(0, 1000, 10, [&](int64_t b, int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 1000);
+  // Serial fast path (single chunk) throws straight through.
+  EXPECT_THROW(
+      parallel_for(0, 10, 100, [](int64_t, int64_t) { throw std::runtime_error("serial"); }),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  EXPECT_EQ(parallel_reduce<double>(
+                0, 0, 8, 42.0, [](int64_t, int64_t) { return 1.0; },
+                [](double a, double b) { return a + b; }),
+            42.0);
+}
+
+TEST(ParallelReduce, SingleChunkAndExactSums) {
+  ThreadGuard guard;
+  set_num_threads(4);
+  auto count = [](int64_t b, int64_t e) { return static_cast<double>(e - b); };
+  auto add = [](double a, double b) { return a + b; };
+  EXPECT_EQ(parallel_reduce<double>(0, 7, 100, 0.0, count, add), 7.0);   // < grain
+  EXPECT_EQ(parallel_reduce<double>(0, 1000, 9, 0.0, count, add), 1000.0);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  // Sum values whose floating-point total depends on association order, so
+  // any thread-count-dependent regrouping would change the bits.
+  Rng rng(123);
+  const Tensor x = rng.normal_tensor({1 << 18}, 0.0f, 1.0f);
+  auto run = [&] {
+    return parallel_reduce<double>(
+        0, x.numel(), 1000, 0.0,
+        [&](int64_t b, int64_t e) {
+          double local = 0.0;
+          for (int64_t i = b; i < e; ++i) local += static_cast<double>(x[i]) * x[i];
+          return local;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  set_num_threads(1);
+  const double r1 = run();
+  set_num_threads(2);
+  const double r2 = run();
+  set_num_threads(8);
+  const double r8 = run();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(ParallelKernels, MatmulFamilyBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(7);
+  const Tensor a = rng.normal_tensor({129, 67}, 0.0f, 1.0f);
+  const Tensor b = rng.normal_tensor({67, 93}, 0.0f, 1.0f);
+  const Tensor bt = transpose2d(b);
+  const Tensor at = transpose2d(a);
+  set_num_threads(1);
+  const Tensor c1 = matmul(a, b), tn1 = matmul_tn(at, b), nt1 = matmul_nt(a, bt);
+  set_num_threads(4);
+  const Tensor c4 = matmul(a, b), tn4 = matmul_tn(at, b), nt4 = matmul_nt(a, bt);
+  EXPECT_TRUE(c1.equals(c4));
+  EXPECT_TRUE(tn1.equals(tn4));
+  EXPECT_TRUE(nt1.equals(nt4));
+}
+
+TEST(ParallelKernels, MatmulPropagatesZeroTimesInf) {
+  // The old kernel skipped a == 0 rows and silently dropped 0 * inf = NaN.
+  Tensor a({1, 2}, {0.0f, 1.0f});
+  Tensor b({2, 1}, {std::numeric_limits<float>::infinity(), 2.0f});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));
+}
+
+TEST(ParallelKernels, FakeQuantBackwardBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(17);
+  const Tensor x = rng.normal_tensor({300007}, 0.0f, 1.0f);
+  const Tensor g = rng.normal_tensor({300007}, 0.0f, 1.0f);
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    auto th = make_threshold("t", 0.5f, true);
+    FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+    Tensor y = op.forward({&x});
+    std::vector<Tensor> dx = op.backward(g);
+    return std::make_tuple(std::move(y), std::move(dx[0]), th->grad[0]);
+  };
+  auto [y1, dx1, gth1] = run(1);
+  auto [y2, dx2, gth2] = run(2);
+  auto [y8, dx8, gth8] = run(8);
+  EXPECT_TRUE(y1.equals(y2));
+  EXPECT_TRUE(y1.equals(y8));
+  EXPECT_TRUE(dx1.equals(dx2));
+  EXPECT_TRUE(dx1.equals(dx8));
+  // grad_log2t is the Eq. 6/7 full-tensor reduction: exact bit equality.
+  EXPECT_EQ(gth1, gth2);
+  EXPECT_EQ(gth1, gth8);
+}
+
+TEST(ParallelKernels, PerChannelGradLog2tBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(23);
+  const Tensor x = rng.normal_tensor({4, 9, 9, 8}, 0.0f, 1.0f);
+  const Tensor g = rng.normal_tensor({4, 9, 9, 8}, 0.0f, 1.0f);
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    auto th = std::make_shared<Param>("t", Tensor({8}, 0.25f), "threshold", true);
+    FakeQuantOp op(int8_signed(), th, /*axis=*/3, /*power_of_2=*/true);
+    op.forward({&x});
+    Tensor dx = op.backward(g)[0];
+    return std::make_pair(std::move(dx), th->grad);
+  };
+  auto [dx1, gth1] = run(1);
+  auto [dx4, gth4] = run(4);
+  EXPECT_TRUE(dx1.equals(dx4));
+  EXPECT_TRUE(gth1.equals(gth4));
+}
+
+// A full quantized training run — forward, backward (conv, GEMM, fake-quant),
+// Adam updates on weights and thresholds — must leave every parameter,
+// thresholds included, bit-identical whether the pool has 1 or 4 threads.
+TEST(ParallelKernels, QuantizedTrainingRunBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  DatasetConfig dcfg;
+  dcfg.train_size = 64;
+  dcfg.val_size = 32;
+  auto run = [&](int threads) {
+    set_num_threads(threads);
+    SyntheticImageDataset data(dcfg);
+    BuiltModel m = build_model(ModelKind::kMiniDarkNet, 10, 11);
+    Rng rng(11);
+    m.graph.set_training(true);
+    for (int i = 0; i < 4; ++i) {
+      m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+    }
+    m.graph.set_training(false);
+    Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+    optimize_for_quantization(m.graph, m.input, calib);
+    QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, QuantizeConfig{});
+    calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+    TrainSchedule sched;
+    sched.epochs = 1.0f;
+    sched.batch_size = 32;  // 2 steps on 64 train images
+    sched.validate_every = 0;
+    sched.restore_best = false;
+    train_graph(m.graph, m.input, qres.quantized_output, data, sched);
+    std::vector<Tensor> out;
+    for (const ParamPtr& p : m.graph.params()) out.push_back(p->value);
+    return out;
+  };
+  std::vector<Tensor> p1 = run(1);
+  std::vector<Tensor> p4 = run(4);
+  ASSERT_EQ(p1.size(), p4.size());
+  ASSERT_FALSE(p1.empty());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i].equals(p4[i])) << "param " << i << " diverged across thread counts";
+  }
+}
+
+}  // namespace
+}  // namespace tqt

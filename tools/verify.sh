@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification loop: configure, build, then run the test suite twice —
+# once serial (TQT_NUM_THREADS=1) and once parallel (TQT_NUM_THREADS=4) — so
+# any thread-count-dependent result or data race surfaces as a test failure.
+#
+# Usage:
+#   tools/verify.sh [build-dir]               # default build dir: build
+#   TQT_SANITIZE=thread tools/verify.sh tsan  # TSan build in ./tsan
+#
+# TQT_SANITIZE is forwarded to CMake (-DTQT_SANITIZE=thread|address|undefined).
+# A TSan run of the parallel pass is the strongest check: the pool, the
+# kernels' disjoint-write claims, and the reduction tree all get exercised
+# under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CMAKE_ARGS=(-B "$BUILD_DIR" -S . -G Ninja)
+if [[ -n "${TQT_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DTQT_SANITIZE="$TQT_SANITIZE")
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR"
+
+for threads in 1 4; do
+  echo "==== ctest with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+done
+
+echo "verify.sh: all test passes completed"
