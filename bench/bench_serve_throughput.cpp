@@ -1,0 +1,169 @@
+// Load generator for the tqt-serve subsystem: N closed-loop client threads
+// hammer one deployed model with single-sample requests; the micro-batcher
+// coalesces them and the fixed-point engine executes batches on the
+// runtime/parallel thread pool. Run once with a 1-thread pool and once with
+// a 4-thread pool, and report a JSON throughput/latency comparison — the
+// serving counterpart of bench_parallel_scaling.
+//
+//   bench_serve_throughput [--model NAME] [--clients N] [--requests N]
+//                          [--max-batch B] [--delay-us D] [--smoke] [-o FILE]
+//
+// --smoke (or env TQT_FAST) shrinks the request count for CI. Note the
+// speedup is only meaningful on a machine with >= 4 cores; the JSON records
+// hardware_concurrency so a 1-core CI box is not mistaken for a regression.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "runtime/parallel.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace tqt;
+
+const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+FixedPointProgram make_program(ModelKind kind) {
+  BuiltModel m = build_model(kind, 10, 11);
+  Rng rng(11);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig qcfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+struct PhaseResult {
+  int threads = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  serve::StatsSnapshot stats;
+};
+
+PhaseResult run_phase(const FixedPointProgram& prog, int pool_threads, int clients,
+                      int64_t total_requests, const serve::ServerConfig& scfg) {
+  set_num_threads(pool_threads);
+  serve::InferenceServer server(scfg);
+  server.deploy("bench", prog, {16, 16, 3});
+
+  Rng rng(7);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int64_t i = c; i < total_requests; i += clients) {
+        serve::SubmitResult res;
+        for (;;) {
+          res = server.submit("bench", sample);
+          if (res.status != serve::SubmitStatus::kShed) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        if (res.status != serve::SubmitStatus::kOk) return;
+        res.response.get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  server.shutdown_and_drain();
+
+  PhaseResult r;
+  r.threads = pool_threads;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.throughput_rps = static_cast<double>(total_requests) / r.seconds;
+  r.stats = server.stats("bench");
+  return r;
+}
+
+std::string phase_json(const PhaseResult& r) {
+  std::ostringstream os;
+  os << "{\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+     << ", \"throughput_rps\": " << r.throughput_rps
+     << ", \"p50_us\": " << r.stats.p50_us << ", \"p95_us\": " << r.stats.p95_us
+     << ", \"p99_us\": " << r.stats.p99_us << ", \"shed\": " << r.stats.shed
+     << ", \"batches\": " << r.stats.batches << ", \"mean_batch\": " << r.stats.mean_batch()
+     << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = flag_value(argc, argv, "--model", "mini_vgg");
+  const bool smoke = has_flag(argc, argv, "--smoke") || std::getenv("TQT_FAST") != nullptr;
+  const int clients = std::atoi(flag_value(argc, argv, "--clients", "16"));
+  const int64_t total = std::atoll(flag_value(argc, argv, "--requests", smoke ? "256" : "2000"));
+
+  ModelKind kind = ModelKind::kMiniVgg;
+  for (ModelKind k : all_model_kinds()) {
+    if (model_name(k) == model) kind = k;
+  }
+
+  std::fprintf(stderr, "building %s program...\n", model_name(kind).c_str());
+  const FixedPointProgram prog = make_program(kind);
+
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = std::atoll(flag_value(argc, argv, "--max-batch", "16"));
+  scfg.batch.max_delay_us = std::atoll(flag_value(argc, argv, "--delay-us", "200"));
+  scfg.batch.max_queue = 1024;
+
+  std::vector<PhaseResult> phases;
+  for (const int threads : {1, 4}) {
+    std::fprintf(stderr, "phase: pool=%d threads, %d clients, %lld requests\n", threads,
+                 clients, static_cast<long long>(total));
+    phases.push_back(run_phase(prog, threads, clients, total, scfg));
+  }
+  set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
+
+  std::ostringstream os;
+  os << "{\"bench\": \"serve_throughput\", \"model\": \"" << model_name(kind)
+     << "\", \"clients\": " << clients << ", \"requests_per_phase\": " << total
+     << ", \"max_batch\": " << scfg.batch.max_batch
+     << ", \"max_delay_us\": " << scfg.batch.max_delay_us
+     << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ", \"phases\": [" << phase_json(phases[0]) << ", " << phase_json(phases[1])
+     << "], \"speedup_4_over_1\": "
+     << phases[1].throughput_rps / phases[0].throughput_rps << "}";
+  const std::string json = os.str();
+  std::printf("%s\n", json.c_str());
+
+  if (const char* out = flag_value(argc, argv, "-o", nullptr)) {
+    std::ofstream f(out, std::ios::trunc);
+    f << json << "\n";
+    std::fprintf(stderr, "wrote %s\n", out);
+  }
+  return 0;
+}

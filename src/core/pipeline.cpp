@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
 #include <filesystem>
 
 #include "graph_opt/transforms.h"
@@ -50,7 +51,14 @@ std::map<std::string, Tensor> load_or_pretrain(ModelKind kind, const SyntheticIm
     std::filesystem::create_directories(cache_dir);
     path = std::filesystem::path(cache_dir) / (model_name(kind) + "_fp32.tqt");
     if (std::filesystem::exists(path) && is_tensor_file(path.string())) {
-      return load_tensors(path.string());
+      try {
+        return load_tensors(path.string());
+      } catch (const std::exception& e) {
+        // A stale or damaged cache entry must not wedge the pipeline: warn,
+        // re-pretrain, and overwrite it below.
+        std::fprintf(stderr, "warning: ignoring unreadable weight cache %s (%s)\n",
+                     path.string().c_str(), e.what());
+      }
     }
   }
   BuiltModel m = build_model(kind, data.config().num_classes);

@@ -106,7 +106,12 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
   if (!is || std::memcmp(magic, kMagic, 4) != 0) {
     throw std::runtime_error("not a fixed-point program file: " + path);
   }
-  if (r<uint32_t>(is) != kVersion) throw std::runtime_error("unsupported program version");
+  const uint32_t version = r<uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("fixed-point program: unsupported version " +
+                             std::to_string(version) + " (this build reads version " +
+                             std::to_string(kVersion) + "): " + path);
+  }
   FixedPointProgram prog;
   prog.n_registers = r<int>(is);
   prog.input_register = r<int>(is);

@@ -1,0 +1,165 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tqt::serve {
+
+namespace {
+
+uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(dt).count());
+}
+
+}  // namespace
+
+const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::kOk: return "ok";
+    case SubmitStatus::kShed: return "shed";
+    case SubmitStatus::kShuttingDown: return "shutting_down";
+    case SubmitStatus::kUnknownModel: return "unknown_model";
+  }
+  return "?";
+}
+
+MicroBatcher::MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execute,
+                           ServeStats* stats)
+    : cfg_(cfg), sample_shape_(std::move(sample_shape)), execute_(std::move(execute)),
+      stats_(stats) {
+  if (cfg_.max_batch < 1) throw std::invalid_argument("batcher: max_batch must be >= 1");
+  if (cfg_.max_queue < 1) throw std::invalid_argument("batcher: max_queue must be >= 1");
+  if (cfg_.num_workers < 1) throw std::invalid_argument("batcher: num_workers must be >= 1");
+  workers_.reserve(static_cast<size_t>(cfg_.num_workers));
+  for (int i = 0; i < cfg_.num_workers; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { shutdown_and_drain(); }
+
+SubmitResult MicroBatcher::submit(Tensor sample) {
+  // Accept [sample_shape...] or an explicit leading batch dim of 1.
+  Shape batched = sample_shape_;
+  batched.insert(batched.begin(), 1);
+  if (sample.shape() != sample_shape_ && sample.shape() != batched) {
+    throw std::invalid_argument("batcher: sample shape " + shape_to_string(sample.shape()) +
+                                " does not match deployed shape " +
+                                shape_to_string(sample_shape_));
+  }
+
+  SubmitResult res;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      res.status = SubmitStatus::kShuttingDown;
+      return res;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= cfg_.max_queue) {
+      stats_->on_shed();
+      res.status = SubmitStatus::kShed;
+      return res;
+    }
+    Request req;
+    req.input = std::move(sample);
+    req.enqueued = std::chrono::steady_clock::now();
+    res.response = req.promise.get_future();
+    queue_.push_back(std::move(req));
+    stats_->on_accept(static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  res.status = SubmitStatus::kOk;
+  return res;
+}
+
+void MicroBatcher::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+
+    // Wait (bounded by max_delay_us from the OLDEST pending request) for the
+    // batch to fill. While draining, execute immediately.
+    const auto deadline = queue_.front().enqueued + std::chrono::microseconds(cfg_.max_delay_us);
+    while (!stopping_ && static_cast<int64_t>(queue_.size()) < cfg_.max_batch) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      if (queue_.empty()) break;  // another worker took everything
+    }
+    if (queue_.empty()) continue;
+
+    const auto take =
+        std::min<int64_t>(cfg_.max_batch, static_cast<int64_t>(queue_.size()));
+    std::vector<Request> batch;
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lk.unlock();
+    execute_batch(batch);
+    lk.lock();
+  }
+}
+
+void MicroBatcher::execute_batch(std::vector<Request>& batch) {
+  const auto n = static_cast<int64_t>(batch.size());
+  stats_->on_batch(n);
+
+  // Coalesce: stack the samples along a fresh batch dimension. Row-major
+  // NHWC layout makes each sample one contiguous block.
+  Shape in_shape = sample_shape_;
+  in_shape.insert(in_shape.begin(), n);
+  Tensor input(in_shape);
+  const int64_t sample_numel = numel_of(sample_shape_);
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy_n(batch[static_cast<size_t>(i)].input.data(), sample_numel,
+                input.data() + i * sample_numel);
+  }
+
+  Tensor output;
+  try {
+    output = execute_(input);
+    if (output.rank() < 1 || output.dim(0) != n) {
+      throw std::runtime_error("batcher: execute returned batch dim " +
+                               (output.rank() ? std::to_string(output.dim(0)) : "<rank 0>") +
+                               ", expected " + std::to_string(n));
+    }
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (Request& req : batch) {
+      req.promise.set_exception(err);
+      stats_->on_failure(us_since(req.enqueued));
+    }
+    return;
+  }
+
+  // Split back into per-request responses of shape [1, ...] — exactly what a
+  // single-sample engine run would have produced.
+  Shape row_shape = output.shape();
+  row_shape[0] = 1;
+  const int64_t row_numel = output.numel() / n;
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor row(row_shape);
+    std::copy_n(output.data() + i * row_numel, row_numel, row.data());
+    Request& req = batch[static_cast<size_t>(i)];
+    req.promise.set_value(std::move(row));
+    stats_->on_response(us_since(req.enqueued));
+  }
+}
+
+void MicroBatcher::shutdown_and_drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int64_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace tqt::serve

@@ -1,0 +1,99 @@
+// Dynamic micro-batching request queue.
+//
+// Single-sample requests are coalesced into batches of up to `max_batch`
+// samples: the worker that picks up the oldest pending request waits at most
+// `max_delay_us` (measured from that request's enqueue time) for the batch to
+// fill, then executes whatever has accumulated. Because every instruction of
+// the fixed-point engine is per-sample independent and integer-exact, a
+// batched execution is bit-identical to running each sample alone — batching
+// trades a bounded latency delay for engine-side parallel efficiency without
+// touching the paper's bit-exactness contract (§4.2).
+//
+// Admission control: the pending queue is bounded by `max_queue`. A submit
+// against a full queue is *shed* immediately (SubmitStatus::kShed) instead of
+// growing the queue without bound — the caller gets explicit backpressure it
+// can retry against. shutdown_and_drain() stops admission, lets the workers
+// finish every already-accepted request, and joins them; accepted requests
+// are never dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/stats.h"
+#include "tensor/tensor.h"
+
+namespace tqt::serve {
+
+struct BatchConfig {
+  int64_t max_batch = 8;       ///< coalesce at most this many samples
+  int64_t max_delay_us = 200;  ///< max wait (from oldest request) to fill a batch
+  int64_t max_queue = 256;     ///< admission control: pending-request bound
+  int num_workers = 1;         ///< executor threads per model lane
+};
+
+enum class SubmitStatus {
+  kOk,            ///< accepted; `response` is a valid future
+  kShed,          ///< rejected: queue full (backpressure — retry later)
+  kShuttingDown,  ///< rejected: server is draining
+  kUnknownModel,  ///< rejected: no such deployed model
+};
+
+const char* to_string(SubmitStatus s);
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kShuttingDown;
+  std::future<Tensor> response;  ///< valid only when status == kOk
+};
+
+class MicroBatcher {
+ public:
+  /// `execute` maps a batched input [N, sample_shape...] to a batched output
+  /// [N, ...]; it runs on the batcher's worker threads. `sample_shape` is the
+  /// per-sample shape WITHOUT the batch dimension.
+  using ExecuteFn = std::function<Tensor(const Tensor&)>;
+  MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execute, ServeStats* stats);
+
+  /// Drains and joins (equivalent to shutdown_and_drain()).
+  ~MicroBatcher();
+
+  /// Enqueue one sample of shape `sample_shape` (or [1, sample_shape...]).
+  /// Throws std::invalid_argument on a shape mismatch; never blocks.
+  SubmitResult submit(Tensor sample);
+
+  /// Stop admitting, execute every already-queued request, join workers.
+  /// Idempotent; safe to call concurrently with submit().
+  void shutdown_and_drain();
+
+  int64_t queue_depth() const;
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void execute_batch(std::vector<Request>& batch);
+
+  BatchConfig cfg_;
+  Shape sample_shape_;
+  ExecuteFn execute_;
+  ServeStats* stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tqt::serve

@@ -1,0 +1,38 @@
+#include "serve/model_registry.h"
+
+namespace tqt::serve {
+
+uint64_t ModelRegistry::install(const std::string& name, FixedPointProgram program) {
+  auto holder = std::make_shared<const FixedPointProgram>(std::move(program));
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[name];
+  e.program = std::move(holder);
+  return ++e.version;
+}
+
+uint64_t ModelRegistry::install_from_file(const std::string& name, const std::string& path) {
+  // Deserialize outside the lock; only the pointer swap needs it.
+  return install(name, FixedPointProgram::load(path));
+}
+
+std::shared_ptr<const FixedPointProgram> ModelRegistry::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.program;
+}
+
+uint64_t ModelRegistry::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tqt::serve

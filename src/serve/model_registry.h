@@ -1,0 +1,50 @@
+// Versioned registry of deployed fixed-point programs.
+//
+// A model name maps to an immutable, reference-counted FixedPointProgram
+// plus a monotonically increasing version. install() replaces the program
+// atomically: in-flight batches keep executing against the shared_ptr they
+// already snapshotted, new batches pick up the new version — a hot swap with
+// no pause and no torn state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+
+namespace tqt::serve {
+
+class ModelRegistry {
+ public:
+  /// Install (or replace) `name`; returns the new version (1 on first
+  /// install, previous + 1 on a hot swap).
+  uint64_t install(const std::string& name, FixedPointProgram program);
+
+  /// Deserialize a TQTP file and install it. Throws std::runtime_error on a
+  /// missing/corrupt/mismatched-version file (see FixedPointProgram::load).
+  uint64_t install_from_file(const std::string& name, const std::string& path);
+
+  /// Current program for `name`, or nullptr if not deployed. The returned
+  /// pointer stays valid (and immutable) across any concurrent install().
+  std::shared_ptr<const FixedPointProgram> lookup(const std::string& name) const;
+
+  /// Current version of `name`; 0 if not deployed.
+  uint64_t version(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const FixedPointProgram> program;
+    uint64_t version = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tqt::serve

@@ -1,0 +1,92 @@
+#include "serve/server.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tqt::serve {
+
+InferenceServer::InferenceServer(ServerConfig cfg) : cfg_(cfg) {}
+
+InferenceServer::~InferenceServer() { shutdown_and_drain(); }
+
+uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram program,
+                                 Shape sample_shape) {
+  const uint64_t version = registry_.install(name, std::move(program));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lanes_.find(name) == lanes_.end()) {
+    Lane lane;
+    lane.stats = std::make_unique<ServeStats>();
+    // The execute hook snapshots the registry per batch, so a hot swap takes
+    // effect at the next batch boundary without touching the lane.
+    lane.batcher = std::make_unique<MicroBatcher>(
+        cfg_.batch, std::move(sample_shape),
+        [this, name](const Tensor& batch) {
+          const auto program_snapshot = registry_.lookup(name);
+          if (!program_snapshot) {
+            throw std::runtime_error("serve: model '" + name + "' disappeared from registry");
+          }
+          return program_snapshot->run(batch);
+        },
+        lane.stats.get());
+    lanes_.emplace(name, std::move(lane));
+  }
+  return version;
+}
+
+uint64_t InferenceServer::deploy_file(const std::string& name, const std::string& path,
+                                      Shape sample_shape) {
+  return deploy(name, FixedPointProgram::load(path), std::move(sample_shape));
+}
+
+InferenceServer::Lane* InferenceServer::find_lane(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = lanes_.find(name);
+  // Lanes are created once and destroyed only with the server, so the raw
+  // pointer stays valid after the map lock is released.
+  return it == lanes_.end() ? nullptr : const_cast<Lane*>(&it->second);
+}
+
+SubmitResult InferenceServer::submit(const std::string& name, Tensor sample) {
+  Lane* lane = find_lane(name);
+  if (!lane) {
+    SubmitResult res;
+    res.status = SubmitStatus::kUnknownModel;
+    return res;
+  }
+  return lane->batcher->submit(std::move(sample));
+}
+
+StatsSnapshot InferenceServer::stats(const std::string& name) const {
+  Lane* lane = find_lane(name);
+  if (!lane) throw std::invalid_argument("serve: unknown model '" + name + "'");
+  return lane->stats->snapshot();
+}
+
+std::string InferenceServer::stats_json() const {
+  std::ostringstream os;
+  os << "{\"models\": [";
+  std::lock_guard<std::mutex> lk(mu_);
+  bool first = true;
+  for (const auto& [name, lane] : lanes_) {
+    if (!first) os << ", ";
+    first = false;
+    os << to_json(name, registry_.version(name), lane.stats->snapshot());
+  }
+  os << "]}";
+  return os.str();
+}
+
+void InferenceServer::shutdown_and_drain() {
+  // Collect lanes under the lock, drain outside it: draining blocks on
+  // worker threads, which may still be executing submit/stats calls that
+  // need mu_.
+  std::vector<MicroBatcher*> batchers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batchers.reserve(lanes_.size());
+    for (auto& [name, lane] : lanes_) batchers.push_back(lane.batcher.get());
+  }
+  for (MicroBatcher* b : batchers) b->shutdown_and_drain();
+}
+
+}  // namespace tqt::serve

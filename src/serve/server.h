@@ -1,0 +1,80 @@
+// tqt-serve: batched fixed-point inference server.
+//
+//   registry  --(atomic program snapshot per batch)-->  batcher workers
+//   clients   --submit()-->  per-model bounded queue --> micro-batches -->
+//   engine (runtime/parallel thread pool) --> per-request futures
+//
+// One InferenceServer hosts any number of deployed models ("lanes"), each
+// with its own bounded request queue, micro-batcher worker threads and stats
+// block. Programs execute through the fixed-point engine, whose kernels run
+// on the process-wide deterministic thread pool (src/runtime/parallel.h), so
+// a batch of N samples gets intra-batch parallelism for free — and results
+// stay bit-identical to single-sample runs at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/stats.h"
+
+namespace tqt::serve {
+
+struct ServerConfig {
+  BatchConfig batch;  ///< applied to every deployed model lane
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig cfg = {});
+
+  /// Drains every lane (accepted requests complete) and joins all workers.
+  ~InferenceServer();
+
+  /// Deploy a compiled program under `name` with the given per-sample input
+  /// shape (no batch dimension, e.g. {16, 16, 3}). Re-deploying an existing
+  /// name hot-swaps the program atomically — in-flight batches finish on the
+  /// old version, subsequent batches use the new one, the queue survives.
+  /// Returns the installed version.
+  uint64_t deploy(const std::string& name, FixedPointProgram program, Shape sample_shape);
+
+  /// Deploy from a serialized TQTP file; throws std::runtime_error on a
+  /// missing/corrupt file.
+  uint64_t deploy_file(const std::string& name, const std::string& path, Shape sample_shape);
+
+  /// Submit one sample. Returns a future (status kOk) or an explicit
+  /// rejection: kShed (queue full — backpressure), kShuttingDown, or
+  /// kUnknownModel. Never blocks.
+  SubmitResult submit(const std::string& name, Tensor sample);
+
+  /// Stats for one deployed model (throws std::invalid_argument if unknown).
+  StatsSnapshot stats(const std::string& name) const;
+
+  /// JSON snapshot of every deployed model's stats block:
+  /// {"models": [{"name": ..., "version": ..., "latency_us": {...}, ...}]}.
+  std::string stats_json() const;
+
+  /// Stop admission on every lane, drain accepted requests, join workers.
+  void shutdown_and_drain();
+
+  ModelRegistry& registry() { return registry_; }
+
+ private:
+  struct Lane {
+    std::unique_ptr<ServeStats> stats;
+    std::unique_ptr<MicroBatcher> batcher;
+  };
+
+  Lane* find_lane(const std::string& name) const;
+
+  ServerConfig cfg_;
+  ModelRegistry registry_;
+  mutable std::mutex mu_;  // guards the lanes_ map structure (not the lanes)
+  std::map<std::string, Lane> lanes_;
+};
+
+}  // namespace tqt::serve

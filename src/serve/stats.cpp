@@ -1,0 +1,113 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tqt::serve {
+
+LatencyHistogram::LatencyHistogram() {
+  // Geometric bounds: 1us, then *5/4 (integer, strictly increasing) until we
+  // pass 2^31 us (~36 minutes); one overflow bucket catches the rest.
+  uint64_t b = 1;
+  while (b < (uint64_t{1} << 31)) {
+    bounds_.push_back(b);
+    const uint64_t next = b + b / 4;
+    b = next > b ? next : b + 1;
+  }
+  bounds_.push_back(UINT64_MAX);
+  counts_.assign(bounds_.size(), 0);
+}
+
+void LatencyHistogram::record(uint64_t us) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), us);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += static_cast<double>(us);
+  if (us > max_) max_ = us;
+}
+
+uint64_t LatencyHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  const auto rank = static_cast<uint64_t>(p * static_cast<double>(total_) + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank && counts_[i] > 0) {
+      // Clamp the overflow bucket to the true max so we never report 2^64.
+      return std::min(bounds_[i], max_);
+    }
+  }
+  return max_;
+}
+
+double StatsSnapshot::mean_batch() const {
+  uint64_t n = 0, sum = 0;
+  for (const auto& [size, count] : batch_histogram) {
+    n += count;
+    sum += static_cast<uint64_t>(size) * count;
+  }
+  return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+}
+
+void ServeStats::on_accept(int64_t queue_depth_after) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.requests;
+  const auto depth = static_cast<uint64_t>(queue_depth_after);
+  if (depth > counters_.queue_high_water) counters_.queue_high_water = depth;
+}
+
+void ServeStats::on_shed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.shed;
+}
+
+void ServeStats::on_batch(int64_t batch_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.batches;
+  ++counters_.batch_histogram[batch_size];
+}
+
+void ServeStats::on_response(uint64_t latency_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.responses;
+  latency_.record(latency_us);
+}
+
+void ServeStats::on_failure(uint64_t latency_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.failed;
+  latency_.record(latency_us);
+}
+
+StatsSnapshot ServeStats::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  StatsSnapshot s = counters_;
+  s.p50_us = latency_.percentile(0.50);
+  s.p95_us = latency_.percentile(0.95);
+  s.p99_us = latency_.percentile(0.99);
+  s.max_us = latency_.max_us();
+  s.mean_us = latency_.mean_us();
+  return s;
+}
+
+std::string to_json(const std::string& model_name, uint64_t model_version,
+                    const StatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << model_name << "\", \"version\": " << model_version
+     << ", \"requests\": " << s.requests << ", \"responses\": " << s.responses
+     << ", \"failed\": " << s.failed << ", \"shed\": " << s.shed
+     << ", \"batches\": " << s.batches << ", \"queue_high_water\": " << s.queue_high_water
+     << ", \"mean_batch\": " << s.mean_batch() << ", \"batch_histogram\": [";
+  bool first = true;
+  for (const auto& [size, count] : s.batch_histogram) {
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << size << ", " << count << "]";
+  }
+  os << "], \"latency_us\": {\"p50\": " << s.p50_us << ", \"p95\": " << s.p95_us
+     << ", \"p99\": " << s.p99_us << ", \"max\": " << s.max_us << ", \"mean\": " << s.mean_us
+     << "}}";
+  return os.str();
+}
+
+}  // namespace tqt::serve

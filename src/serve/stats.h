@@ -1,0 +1,80 @@
+// Per-model serving statistics for tqt-serve: request/response/shed counters,
+// a batch-size histogram, the queue-depth high-water mark, and a geometric
+// latency histogram good enough for p50/p95/p99 under heavy traffic (fixed
+// memory, no per-request allocation, O(buckets) snapshot cost).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tqt::serve {
+
+/// Latency histogram with geometrically spaced buckets (ratio 5/4, from 1us
+/// up past 30 minutes, plus an overflow bucket). percentile() returns the
+/// upper bound of the bucket containing the requested rank — an upper
+/// estimate with at most ~25% relative error, which is plenty for a serving
+/// dashboard and never under-reports a tail.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(uint64_t us);
+
+  /// p in (0, 1]; returns 0 when no samples were recorded.
+  uint64_t percentile(double p) const;
+
+  uint64_t max_us() const { return max_; }
+  double mean_us() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  uint64_t count() const { return total_; }
+
+ private:
+  std::vector<uint64_t> bounds_;  // ascending inclusive upper bounds
+  std::vector<uint64_t> counts_;  // one per bound
+  uint64_t total_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Point-in-time copy of one model's serving counters.
+struct StatsSnapshot {
+  uint64_t requests = 0;    ///< accepted by admission control
+  uint64_t responses = 0;   ///< futures fulfilled with a tensor
+  uint64_t failed = 0;      ///< futures fulfilled with an exception
+  uint64_t shed = 0;        ///< rejected: queue already at max_queue
+  uint64_t batches = 0;     ///< batches executed
+  uint64_t queue_high_water = 0;
+  std::map<int64_t, uint64_t> batch_histogram;  ///< batch size -> batch count
+
+  // Request latency (enqueue -> response), from the geometric histogram.
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0, max_us = 0;
+  double mean_us = 0.0;
+
+  double mean_batch() const;
+};
+
+/// Thread-safe stats block; one per deployed model lane.
+class ServeStats {
+ public:
+  void on_accept(int64_t queue_depth_after);
+  void on_shed();
+  void on_batch(int64_t batch_size);
+  void on_response(uint64_t latency_us);
+  void on_failure(uint64_t latency_us);
+
+  StatsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  StatsSnapshot counters_;  // percentile fields unused until snapshot()
+  LatencyHistogram latency_;
+};
+
+/// Render one model's snapshot as a JSON object (stable key order; no
+/// external JSON dependency).
+std::string to_json(const std::string& model_name, uint64_t model_version,
+                    const StatsSnapshot& s);
+
+}  // namespace tqt::serve

@@ -1,0 +1,190 @@
+// TQTP serialization hardening tests: version-mismatch rejection with a
+// clear message, truncated-file rejection at every interesting prefix, and
+// absurd-length guards — a serving host must never misparse (or allocate
+// terabytes for) a damaged deployment artifact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+const FixedPointProgram& shared_program() {
+  static const FixedPointProgram prog = [] {
+    BuiltModel m = build_model(ModelKind::kMiniVgg, 10, 11);
+    Rng rng(11);
+    m.graph.set_training(true);
+    for (int i = 0; i < 10; ++i) {
+      m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+    }
+    m.graph.set_training(false);
+    Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+    optimize_for_quantization(m.graph, m.input, calib);
+    QuantizeConfig cfg;
+    QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+    calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+    return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+  }();
+  return prog;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Append a trivially copyable value to a raw byte buffer (mirrors the
+/// little-endian host-order writer in serialize_program.cpp).
+template <typename T>
+void append(std::string& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+std::string valid_header(uint64_t instr_count) {
+  std::string buf = "TQTP";
+  append<uint32_t>(buf, 1);           // version
+  append<int>(buf, 4);                // n_registers
+  append<int>(buf, 0);                // input register
+  append<int>(buf, 3);                // output register
+  append<uint64_t>(buf, instr_count);
+  return buf;
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(Serialize, RoundTripPreservesProgramAndOutputsExactly) {
+  const FixedPointProgram& prog = shared_program();
+  const std::string path = temp_path("roundtrip.tqtp");
+  prog.save(path);
+  const FixedPointProgram back = FixedPointProgram::load(path);
+  EXPECT_EQ(back.instruction_count(), prog.instruction_count());
+  EXPECT_EQ(back.parameter_count(), prog.parameter_count());
+  Rng rng(42);
+  for (int trial = 0; trial < 2; ++trial) {
+    const Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
+    EXPECT_TRUE(prog.run(probe).equals(back.run(probe))) << "trial " << trial;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, VersionMismatchIsRejectedWithAClearError) {
+  const std::string path = temp_path("badversion.tqtp");
+  shared_program().save(path);
+  std::string bytes = read_file(path);
+  const uint32_t bogus = 99;
+  std::memcpy(bytes.data() + 4, &bogus, sizeof(bogus));  // version field follows magic
+  write_file(path, bytes);
+  try {
+    FixedPointProgram::load(path);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("version 1"), std::string::npos) << "expected version missing: " << msg;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileIsRejectedAtEveryPrefix) {
+  const std::string path = temp_path("full.tqtp");
+  shared_program().save(path);
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string cut_path = temp_path("truncated.tqtp");
+  const size_t cuts[] = {0, 3, 4, 7, 12, 20, bytes.size() / 3, bytes.size() / 2,
+                         bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    write_file(cut_path, bytes.substr(0, cut));
+    EXPECT_THROW(FixedPointProgram::load(cut_path), std::runtime_error) << "prefix " << cut;
+  }
+  // Sanity: the untruncated file still loads.
+  write_file(cut_path, bytes);
+  EXPECT_NO_THROW(FixedPointProgram::load(cut_path));
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(Serialize, AbsurdInstructionCountIsRejected) {
+  const std::string path = temp_path("absurd_count.tqtp");
+  write_file(path, valid_header(uint64_t{1} << 40));
+  try {
+    FixedPointProgram::load(path);
+    FAIL() << "expected an absurd-count error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absurd"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, AbsurdVectorLengthIsRejected) {
+  std::string buf = valid_header(1);
+  append<uint32_t>(buf, 0);             // kind = kQuantizeInput
+  append<uint64_t>(buf, uint64_t{1} << 60);  // inputs vector "length"
+  const std::string path = temp_path("absurd_vec.tqtp");
+  write_file(path, buf);
+  try {
+    FixedPointProgram::load(path);
+    FAIL() << "expected an absurd-length error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absurd"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, AbsurdStringLengthIsRejected) {
+  // A syntactically complete instruction up to the debug-name string, whose
+  // length field then claims 2^50 bytes.
+  std::string buf = valid_header(1);
+  append<uint32_t>(buf, 0);        // kind
+  append<uint64_t>(buf, 1);        // inputs: 1 register id
+  append<int>(buf, 0);
+  append<int>(buf, 1);             // output register
+  for (int i = 0; i < 8; ++i) append<int64_t>(buf, 0);  // geometry
+  append<uint64_t>(buf, 0);        // const_data: empty
+  append<uint64_t>(buf, 0);        // const_shape: empty
+  append<int>(buf, 0);             // const_exponent
+  append<int>(buf, -4);            // out_exponent
+  append<int64_t>(buf, -128);      // clamp_lo
+  append<int64_t>(buf, 127);       // clamp_hi
+  append<int64_t>(buf, 0);         // alpha_q
+  append<int>(buf, 0);             // alpha_exponent
+  append<uint64_t>(buf, uint64_t{1} << 50);  // debug_name "length"
+  const std::string path = temp_path("absurd_str.tqtp");
+  write_file(path, buf);
+  try {
+    FixedPointProgram::load(path);
+    FAIL() << "expected an absurd-length error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absurd"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadInstructionKindIsRejected) {
+  std::string buf = valid_header(1);
+  append<uint32_t>(buf, 1000);  // past kFlatten
+  const std::string path = temp_path("bad_kind.tqtp");
+  write_file(path, buf);
+  EXPECT_THROW(FixedPointProgram::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tqt

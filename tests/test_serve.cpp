@@ -1,0 +1,258 @@
+// Tests for the tqt-serve subsystem. Headline: micro-batched serving must
+// preserve the engine's bit-exactness contract — a response produced inside
+// a coalesced batch equals the single-sample engine run bit for bit, for
+// every zoo model and every batch size.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+FixedPointProgram make_program(ModelKind kind, uint64_t seed = 11) {
+  BuiltModel m = build_model(kind, 10, seed);
+  Rng rng(seed);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig cfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+const Shape kSampleShape = {16, 16, 3};
+
+class ServeBitExact : public ::testing::TestWithParam<ModelKind> {};
+
+// The tentpole contract: responses served through the dynamic micro-batcher
+// are bit-identical to single-sample engine runs at batch sizes 1, 3 and
+// max_batch (8), for every zoo model.
+TEST_P(ServeBitExact, BatchedResponseEqualsSingleSampleRun) {
+  const FixedPointProgram prog = make_program(GetParam());
+  Rng rng(123);
+  constexpr int kRequests = 12;
+  std::vector<Tensor> samples, reference;
+  for (int i = 0; i < kRequests; ++i) {
+    samples.push_back(rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f));
+    reference.push_back(prog.run(samples.back()));
+  }
+
+  for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+    serve::ServerConfig cfg;
+    cfg.batch.max_batch = max_batch;
+    cfg.batch.max_delay_us = 20000;  // generous: coalescing must not change bits
+    cfg.batch.max_queue = 64;
+    serve::InferenceServer server(cfg);
+    server.deploy("m", prog, kSampleShape);
+
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      serve::SubmitResult res = server.submit("m", samples[static_cast<size_t>(i)]);
+      ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+      futures.push_back(std::move(res.response));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      const Tensor got = futures[static_cast<size_t>(i)].get();
+      ASSERT_EQ(got.shape(), reference[static_cast<size_t>(i)].shape());
+      EXPECT_TRUE(got.equals(reference[static_cast<size_t>(i)]))
+          << model_name(GetParam()) << " request " << i << " max_batch " << max_batch;
+    }
+
+    server.shutdown_and_drain();
+    const serve::StatsSnapshot s = server.stats("m");
+    EXPECT_EQ(s.requests, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(s.responses, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.shed, 0u);
+    uint64_t served = 0;
+    for (const auto& [size, count] : s.batch_histogram) {
+      EXPECT_GE(size, 1);
+      EXPECT_LE(size, max_batch);
+      served += static_cast<uint64_t>(size) * count;
+    }
+    EXPECT_EQ(served, static_cast<uint64_t>(kRequests));
+  }
+}
+
+// Engine-level check without the server: a multi-sample batch run produces
+// the same rows as the per-sample runs.
+TEST_P(ServeBitExact, EngineBatchRowsMatchSingleRuns) {
+  const FixedPointProgram prog = make_program(GetParam());
+  Rng rng(321);
+  const Tensor batch = rng.normal_tensor({3, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor batched = prog.run(batch);
+  const int64_t sample_numel = numel_of(kSampleShape);
+  const int64_t row = batched.numel() / 3;
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor single({1, 16, 16, 3});
+    for (int64_t j = 0; j < sample_numel; ++j) single[j] = batch[i * sample_numel + j];
+    const Tensor ref = prog.run(single);
+    for (int64_t j = 0; j < row; ++j) {
+      ASSERT_EQ(ref[j], batched[i * row + j]) << model_name(GetParam()) << " sample " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ServeBitExact, ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+serve::InferenceServer& mini_vgg_server(serve::ServerConfig cfg) {
+  static const FixedPointProgram prog = make_program(ModelKind::kMiniVgg);
+  static std::unique_ptr<serve::InferenceServer> server;
+  server = std::make_unique<serve::InferenceServer>(cfg);
+  server->deploy("mini_vgg", prog, kSampleShape);
+  return *server;
+}
+
+TEST(Serve, AdmissionControlShedsWhenQueueIsFull) {
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 8;         // > max_queue: the worker keeps waiting...
+  cfg.batch.max_delay_us = 200000; // ...long past the submit burst below
+  cfg.batch.max_queue = 2;
+  serve::InferenceServer& server = mini_vgg_server(cfg);
+
+  Rng rng(5);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3});
+  int accepted = 0, shed = 0;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 10; ++i) {
+    serve::SubmitResult res = server.submit("mini_vgg", sample);
+    if (res.status == serve::SubmitStatus::kOk) {
+      ++accepted;
+      futures.push_back(std::move(res.response));
+    } else {
+      EXPECT_EQ(res.status, serve::SubmitStatus::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(shed, 8);
+
+  // Drain: every *accepted* request still completes.
+  server.shutdown_and_drain();
+  for (auto& f : futures) EXPECT_GT(f.get().numel(), 0);
+  const serve::StatsSnapshot s = server.stats("mini_vgg");
+  EXPECT_EQ(s.shed, 8u);
+  EXPECT_EQ(s.responses, 2u);
+  EXPECT_EQ(s.queue_high_water, 2u);
+}
+
+TEST(Serve, SubmitAfterShutdownIsRejected) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  server.shutdown_and_drain();
+  Rng rng(6);
+  const serve::SubmitResult res = server.submit("mini_vgg", rng.normal_tensor({1, 16, 16, 3}));
+  EXPECT_EQ(res.status, serve::SubmitStatus::kShuttingDown);
+}
+
+TEST(Serve, UnknownModelIsRejected) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(7);
+  const serve::SubmitResult res = server.submit("nope", rng.normal_tensor({1, 16, 16, 3}));
+  EXPECT_EQ(res.status, serve::SubmitStatus::kUnknownModel);
+}
+
+TEST(Serve, BadSampleShapeThrows) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(8);
+  EXPECT_THROW(server.submit("mini_vgg", rng.normal_tensor({2, 16, 16, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(server.submit("mini_vgg", rng.normal_tensor({16, 16})), std::invalid_argument);
+}
+
+TEST(Serve, HotSwapServesNewProgramAtomically) {
+  const FixedPointProgram v1 = make_program(ModelKind::kMiniVgg, /*seed=*/11);
+  const FixedPointProgram v2 = make_program(ModelKind::kMiniVgg, /*seed=*/99);
+  Rng rng(9);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor want_v1 = v1.run(sample);
+  const Tensor want_v2 = v2.run(sample);
+  ASSERT_FALSE(want_v1.equals(want_v2)) << "swap test needs distinguishable programs";
+
+  serve::InferenceServer server;
+  EXPECT_EQ(server.deploy("m", v1, kSampleShape), 1u);
+  EXPECT_TRUE(server.submit("m", sample).response.get().equals(want_v1));
+
+  EXPECT_EQ(server.deploy("m", v2, kSampleShape), 2u);  // hot swap, same lane
+  EXPECT_EQ(server.registry().version("m"), 2u);
+  EXPECT_TRUE(server.submit("m", sample).response.get().equals(want_v2));
+  server.shutdown_and_drain();
+}
+
+TEST(Serve, ConcurrentClientsAllGetExactResponses) {
+  const FixedPointProgram prog = make_program(ModelKind::kMiniVgg);
+  Rng rng(10);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor want = prog.run(sample);
+
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_delay_us = 500;
+  serve::InferenceServer server(cfg);
+  server.deploy("m", prog, kSampleShape);
+
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> ok(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        serve::SubmitResult res = server.submit("m", sample);
+        if (res.status != serve::SubmitStatus::kOk) continue;
+        if (res.response.get().equals(want)) ++ok[static_cast<size_t>(c)];
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.shutdown_and_drain();
+  int total = 0;
+  for (int c = 0; c < kClients; ++c) total += ok[static_cast<size_t>(c)];
+  EXPECT_EQ(total, kClients * kPerClient);  // queue of 256 never sheds here
+}
+
+TEST(Serve, StatsJsonSnapshotHasTheAdvertisedFields) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(12);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3});
+  server.submit("mini_vgg", sample).response.get();
+  const std::string json = server.stats_json();
+  for (const char* key :
+       {"\"models\"", "\"name\": \"mini_vgg\"", "\"version\": 1", "\"requests\"",
+        "\"responses\"", "\"shed\"", "\"batches\"", "\"queue_high_water\"",
+        "\"batch_histogram\"", "\"latency_us\"", "\"p50\"", "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+  }
+  server.shutdown_and_drain();
+}
+
+TEST(Serve, RegistryLookupAndVersioning) {
+  serve::ModelRegistry reg;
+  EXPECT_EQ(reg.lookup("m"), nullptr);
+  EXPECT_EQ(reg.version("m"), 0u);
+  EXPECT_EQ(reg.install("m", make_program(ModelKind::kMiniVgg)), 1u);
+  const auto p1 = reg.lookup("m");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(reg.install("m", make_program(ModelKind::kMiniVgg, 99)), 2u);
+  // The old snapshot stays alive and immutable for in-flight batches.
+  EXPECT_GT(p1->instruction_count(), 0);
+  EXPECT_NE(reg.lookup("m"), p1);
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"m"});
+}
+
+}  // namespace
+}  // namespace tqt

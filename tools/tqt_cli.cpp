@@ -8,14 +8,26 @@
 //       Quantize (and optionally retrain) from the cached FP32 weights.
 //   tqt_cli export <model> -o FILE [--bits 8|4] [--epochs N]
 //       TQT-retrain and compile to a fixed-point program file.
-//   tqt_cli run <model> -i FILE
+//   tqt_cli run <model> -i FILE [--threads N]
 //       Load a fixed-point program and evaluate it on the validation split.
+//   tqt_cli serve <model> -i FILE [--threads N] [--clients C] [--requests R]
+//                 [--max-batch B] [--delay-us D] [--queue Q]
+//       Serve a fixed-point program through the tqt-serve micro-batching
+//       server, drive it with C in-process client threads over the
+//       validation split, and print the per-model stats block as JSON.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/metrics.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
+#include "runtime/parallel.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -23,12 +35,14 @@ using namespace tqt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tqt_cli <list|pretrain|quantize|export|run> [args]\n"
+               "usage: tqt_cli <list|pretrain|quantize|export|run|serve> [args]\n"
                "  list\n"
                "  pretrain <model> [--cache DIR]\n"
                "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
                "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
-               "  run      <model> -i FILE\n");
+               "  run      <model> -i FILE [--threads N]\n"
+               "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
+               "           [--max-batch B] [--delay-us D] [--queue Q]\n");
   return 2;
 }
 
@@ -44,6 +58,21 @@ const char* flag_value(int argc, char** argv, const char* flag, const char* fall
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+int positive_flag(int argc, char** argv, const char* flag, int fallback) {
+  const char* v = flag_value(argc, argv, flag, nullptr);
+  if (!v) return fallback;
+  const int n = std::atoi(v);
+  if (n < 1) throw std::invalid_argument(std::string(flag) + " must be a positive integer, got '" +
+                                         v + "'");
+  return n;
+}
+
+/// --threads N overrides TQT_NUM_THREADS for the engine's thread pool.
+void apply_threads_flag(int argc, char** argv) {
+  const char* v = flag_value(argc, argv, "--threads", nullptr);
+  if (v) set_num_threads(positive_flag(argc, argv, "--threads", 0));
 }
 
 int cmd_list() {
@@ -123,6 +152,7 @@ int cmd_run(int argc, char** argv) {
   const char* in_path = flag_value(argc, argv, "-i", nullptr);
   if (!in_path) return usage();
   parse_model(argv[0]);  // validated for the error message only
+  apply_threads_flag(argc, argv);
   SyntheticImageDataset data(default_dataset_config());
   const FixedPointProgram prog = FixedPointProgram::load(in_path);
   Accuracy acc;
@@ -132,6 +162,63 @@ int cmd_run(int argc, char** argv) {
   }
   std::printf("%s (integer-only program): top-1 %.1f%%  top-5 %.1f%%\n", in_path,
               100.0 * acc.top1(), 100.0 * acc.top5());
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* in_path = flag_value(argc, argv, "-i", nullptr);
+  if (!in_path) return usage();
+  const std::string model = model_name(parse_model(argv[0]));
+  apply_threads_flag(argc, argv);
+  const int clients = positive_flag(argc, argv, "--clients", 4);
+  const int64_t total_requests = positive_flag(argc, argv, "--requests", 256);
+
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = positive_flag(argc, argv, "--max-batch", 8);
+  scfg.batch.max_delay_us = positive_flag(argc, argv, "--delay-us", 200);
+  scfg.batch.max_queue = positive_flag(argc, argv, "--queue", 256);
+
+  SyntheticImageDataset data(default_dataset_config());
+  const DatasetConfig& dcfg = data.config();
+
+  serve::InferenceServer server(scfg);
+  server.deploy_file(model, in_path, {dcfg.image_size, dcfg.image_size, dcfg.channels});
+
+  // In-process closed-loop clients: each owns the validation indices
+  // congruent to its id, submits one sample at a time, and retries on shed
+  // (the explicit backpressure signal).
+  std::mutex acc_mu;
+  Accuracy acc;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Accuracy local;
+      for (int64_t i = c; i < total_requests; i += clients) {
+        const Batch b = data.val_batch(i % data.val_size(), 1);
+        serve::SubmitResult res;
+        for (;;) {
+          res = server.submit(model, b.images);
+          if (res.status != serve::SubmitStatus::kShed) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (res.status != serve::SubmitStatus::kOk) return;
+        accumulate_topk(res.response.get(), b.labels, local);
+      }
+      std::lock_guard<std::mutex> lk(acc_mu);
+      acc.correct1 += local.correct1;
+      acc.correct5 += local.correct5;
+      acc.count += local.count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.shutdown_and_drain();
+
+  std::fprintf(stderr, "%s served %lld requests (%d clients): top-1 %.1f%%  top-5 %.1f%%\n",
+               model.c_str(), static_cast<long long>(acc.count), clients, 100.0 * acc.top1(),
+               100.0 * acc.top5());
+  std::printf("%s\n", server.stats_json().c_str());
   return 0;
 }
 
@@ -146,6 +233,7 @@ int main(int argc, char** argv) {
     if (cmd == "quantize") return cmd_quantize(argc - 2, argv + 2);
     if (cmd == "export") return cmd_export(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

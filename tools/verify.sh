@@ -23,9 +23,20 @@ fi
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR"
 
+# Fail fast on the serving subsystem: the serve + serialization tests run
+# first, at both pool sizes, before the full suite (which includes them too).
+for threads in 1 4; do
+  echo "==== serve/serialize tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" -R 'Serve|Serialize|serve' \
+    --output-on-failure -j "$(nproc)"
+done
+
 for threads in 1 4; do
   echo "==== ctest with TQT_NUM_THREADS=$threads ===="
   TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 done
+
+echo "==== bench_serve_throughput smoke -> $BUILD_DIR/BENCH_serve.json ===="
+"$BUILD_DIR/bench/bench_serve_throughput" --smoke -o "$BUILD_DIR/BENCH_serve.json"
 
 echo "verify.sh: all test passes completed"
