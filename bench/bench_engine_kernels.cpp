@@ -1,0 +1,191 @@
+// Typed narrow-width engine vs the int64 reference interpreter, across the
+// whole model zoo: single-thread throughput (img/s), estimated memory
+// traffic (GB moved per 1k inferences), plan summary (arena slots, register
+// widths), and a bit-exactness spot check per model. Emits one JSON report.
+//
+//   bench_engine_kernels [--batch N] [--iters N] [--smoke] [-o FILE]
+//
+// Runs with a 1-thread pool so the comparison isolates the kernel/storage
+// work (thread scaling is bench_parallel_scaling's job). --smoke (or env
+// TQT_FAST) shrinks iteration counts for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+#include "fixedpoint/kernels/kernels.h"
+#include "fixedpoint/plan.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "runtime/parallel.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace tqt;
+
+const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+FixedPointProgram make_program(ModelKind kind) {
+  BuiltModel m = build_model(kind, 10, 11);
+  Rng rng(11);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig qcfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+template <typename Fn>
+double time_once(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Best-of timing for two bodies, alternating short same-body blocks
+/// (AAAA BBBB AAAA ...). Back-to-back runs inside a block keep each engine at
+/// its steady-state cache footprint — what repeated inference actually looks
+/// like — while alternating blocks spreads both bodies across the same time
+/// windows, so a frequency dip or noisy neighbor cannot skew the ratio by
+/// landing entirely on one side.
+template <typename FnA, typename FnB>
+std::pair<double, double> time_best_of_blocks(int iters, FnA&& a, FnB&& b) {
+  constexpr int kBlock = 4;
+  double best_a = 1e300, best_b = 1e300;
+  for (int done = 0; done < iters; done += kBlock) {
+    const int n = std::min(kBlock, iters - done);
+    for (int i = 0; i < n; ++i) best_a = std::min(best_a, time_once(a));
+    for (int i = 0; i < n; ++i) best_b = std::min(best_b, time_once(b));
+  }
+  return {best_a, best_b};
+}
+
+struct ModelResult {
+  std::string name;
+  double ref_imgs_per_s = 0.0;
+  double typed_imgs_per_s = 0.0;
+  double speedup = 0.0;
+  double ref_gb_per_1k = 0.0;    // estimated activation+const traffic
+  double typed_gb_per_1k = 0.0;
+  int slots = 0;
+  int registers = 0;
+  int64_t arena_bytes = 0;
+  bool bit_exact = false;
+  std::string kernels;
+};
+
+std::string model_json(const ModelResult& r) {
+  std::ostringstream os;
+  os << "{\"model\": \"" << r.name << "\", \"reference_imgs_per_s\": " << r.ref_imgs_per_s
+     << ", \"typed_imgs_per_s\": " << r.typed_imgs_per_s << ", \"speedup\": " << r.speedup
+     << ", \"reference_gb_per_1k\": " << r.ref_gb_per_1k
+     << ", \"typed_gb_per_1k\": " << r.typed_gb_per_1k << ", \"arena_slots\": " << r.slots
+     << ", \"registers\": " << r.registers << ", \"arena_bytes\": " << r.arena_bytes
+     << ", \"kernels\": \"" << r.kernels << "\", \"bit_exact\": "
+     << (r.bit_exact ? "true" : "false") << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = has_flag(argc, argv, "--smoke") || std::getenv("TQT_FAST") != nullptr;
+  const int64_t batch = std::atoll(flag_value(argc, argv, "--batch", "16"));
+  const int iters = std::atoi(flag_value(argc, argv, "--iters", smoke ? "2" : "5"));
+
+  set_num_threads(1);  // isolate per-core kernel + storage effects
+
+  Rng rng(7);
+  const Tensor input = rng.normal_tensor({batch, 16, 16, 3}, 0.2f, 1.2f);
+
+  std::vector<ModelResult> results;
+  for (ModelKind kind : all_model_kinds()) {
+    ModelResult r;
+    r.name = model_name(kind);
+    std::fprintf(stderr, "building %s program...\n", r.name.c_str());
+    const FixedPointProgram prog = make_program(kind);
+
+    const ExecPlan& plan = prog.plan();
+    r.registers = prog.register_count();
+    r.slots = plan.n_slots;
+    r.kernels = fpk::active_kernels().name;
+
+    // Bit-exactness spot check before timing anything.
+    const IntTensor a = prog.run_raw(input);
+    const IntTensor b = prog.run_raw_reference(input);
+    r.bit_exact = a.shape == b.shape && a.exponent == b.exponent && a.data == b.data;
+
+    ExecContext ctx;
+    Tensor out;
+    prog.run_into(input, ctx, out);  // warm the arena
+    r.arena_bytes = ctx.arena_bytes();
+
+    const auto [typed_s, ref_s] = time_best_of_blocks(
+        iters, [&] { prog.run_into(input, ctx, out); },
+        [&] { (void)prog.run_reference(input); });
+    r.typed_imgs_per_s = static_cast<double>(batch) / typed_s;
+    r.ref_imgs_per_s = static_cast<double>(batch) / ref_s;
+    r.speedup = ref_s / typed_s;
+
+    const TrafficEstimate traffic = estimate_traffic(prog, input.shape());
+    const double per_img = 1.0 / static_cast<double>(batch);
+    r.typed_gb_per_1k = static_cast<double>(traffic.typed_bytes) * per_img * 1000.0 / 1e9;
+    r.ref_gb_per_1k = static_cast<double>(traffic.reference_bytes) * per_img * 1000.0 / 1e9;
+
+    std::fprintf(stderr, "%-18s typed %8.1f img/s  ref %8.1f img/s  speedup %.2fx  %s\n",
+                 r.name.c_str(), r.typed_imgs_per_s, r.ref_imgs_per_s, r.speedup,
+                 r.bit_exact ? "bit-exact" : "MISMATCH");
+    results.push_back(std::move(r));
+  }
+  set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
+
+  std::ostringstream os;
+  os << "{\"bench\": \"engine_kernels\", \"batch\": " << batch << ", \"iters\": " << iters
+     << ", \"threads\": 1, \"models\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) os << ", ";
+    os << model_json(results[i]);
+  }
+  int exact = 0, faster2x = 0;
+  for (const ModelResult& r : results) {
+    exact += r.bit_exact ? 1 : 0;
+    faster2x += r.speedup >= 2.0 ? 1 : 0;
+  }
+  os << "], \"bit_exact_models\": " << exact << ", \"models_ge_2x\": " << faster2x << "}";
+  const std::string json = os.str();
+  std::printf("%s\n", json.c_str());
+
+  if (const char* out = flag_value(argc, argv, "-o", nullptr)) {
+    std::ofstream f(out, std::ios::trunc);
+    f << json << "\n";
+    std::fprintf(stderr, "wrote %s\n", out);
+  }
+  return (exact == static_cast<int>(results.size())) ? 0 : 1;
+}

@@ -1,29 +1,22 @@
+// Compile stage of the fixed-point engine: walk the quantized inference
+// graph in topological order and lower it to a linear FpInstr program. The
+// plan stage (plan.cpp) then infers widths and arena slots; execution lives
+// in exec.cpp (typed kernels) and reference.cpp (int64 interpreter).
 #include "fixedpoint/engine.h"
 
 #include <cmath>
 #include <map>
 #include <stdexcept>
 
+#include "fixedpoint/rescale.h"
 #include "graph_opt/quantize_pass.h"
 #include "nn/ops_basic.h"
 #include "nn/ops_conv.h"
 #include "quant/fake_quant.h"
-#include "runtime/parallel.h"
 
 namespace tqt {
 
 namespace {
-
-int64_t saturate(int64_t v, int64_t lo, int64_t hi) { return std::min(std::max(v, lo), hi); }
-
-/// Rescale an integer value from exponent `from` to exponent `to`:
-/// right shift with round-half-to-even when `to > from`, exact left shift
-/// otherwise. This is Eq. (16) of the paper — the whole point of power-of-2
-/// scale-factors.
-int64_t rescale(int64_t v, int from, int to) {
-  if (to >= from) return shift_round_half_to_even(v, to - from);
-  return v << (from - to);
-}
 
 struct ConstEntry {
   std::vector<int64_t> data;
@@ -60,8 +53,12 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
       e.shape = var->param()->value.shape();
       e.exponent = 0;  // raw float constant; must pass through a FakeQuant
       e.data.clear();
-      // Stash the raw values scaled by nothing; the consuming FakeQuant
-      // quantizes. Store floats bit-cast? Keep a parallel float copy instead.
+      // Record the Variable as a placeholder entry with no data: raw float
+      // constants never reach the integer program directly. The consuming
+      // FakeQuant node (below) reads var->param()->value straight off the
+      // graph and stores the *quantized* integers under its own NodeId; a
+      // matmul/bias whose weight lookup finds this empty entry instead of a
+      // quantized one fails compilation with "not quantized".
       consts[id] = std::move(e);
       continue;
     }
@@ -88,7 +85,7 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
         const float s = std::exp2(static_cast<float>(e));
         for (int64_t i = 0; i < w.numel(); ++i) {
           e2.data[static_cast<size_t>(i)] =
-              saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
+              fp::saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
         }
         consts[id] = std::move(e2);
         continue;
@@ -220,310 +217,8 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
   }
 
   prog.output_register = reg_of.at(quantized_output);
+  prog.finalize();
   return prog;
-}
-
-namespace {
-
-void run_conv(const FpInstr& in, const IntTensor& x, IntTensor& y) {
-  const Conv2dGeom& g = in.geom;
-  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], cin = x.shape[3];
-  const int64_t kh = in.const_shape[0], kw = in.const_shape[1], cout = in.const_shape[3];
-  const int64_t oh = g.out_h(h), ow = g.out_w(w);
-  y.shape = {n, oh, ow, cout};
-  y.data.assign(static_cast<size_t>(n * oh * ow * cout), 0);
-  y.exponent = x.exponent + in.const_exponent;
-  // Integer accumulation is exact, so any disjoint split over output rows is
-  // deterministic for free. The zero-skip on activations is safe here: INT8
-  // tensors have no NaN/inf to drop, and post-ReLU they are genuinely sparse.
-  const int64_t rows = n * oh;
-  parallel_for(0, rows, grain_for(rows, ow * kh * kw * cin * cout * 2),
-               [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t b = r / oh;
-      const int64_t oy = r % oh;
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + (r * ow + ox) * cout;
-        const int64_t iy0 = oy * g.stride_h - g.pad_top;
-        const int64_t ix0 = ox * g.stride_w - g.pad_left;
-        for (int64_t ky = 0; ky < kh; ++ky) {
-          const int64_t iy = iy0 + ky;
-          if (iy < 0 || iy >= h) continue;
-          for (int64_t kx = 0; kx < kw; ++kx) {
-            const int64_t ix = ix0 + kx;
-            if (ix < 0 || ix >= w) continue;
-            const int64_t* xi = x.data.data() + ((b * h + iy) * w + ix) * cin;
-            const int64_t* wk = in.const_data.data() + (ky * kw + kx) * cin * cout;
-            for (int64_t c = 0; c < cin; ++c) {
-              const int64_t xv = xi[c];
-              if (xv == 0) continue;
-              const int64_t* wc = wk + c * cout;
-              for (int64_t o = 0; o < cout; ++o) out[o] += xv * wc[o];
-            }
-          }
-        }
-      }
-    }
-  });
-}
-
-void run_depthwise(const FpInstr& in, const IntTensor& x, IntTensor& y) {
-  const Conv2dGeom& g = in.geom;
-  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], c = x.shape[3];
-  const int64_t kh = in.const_shape[0], kw = in.const_shape[1];
-  const int64_t oh = g.out_h(h), ow = g.out_w(w);
-  y.shape = {n, oh, ow, c};
-  y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
-  y.exponent = x.exponent + in.const_exponent;
-  const int64_t rows = n * oh;
-  parallel_for(0, rows, grain_for(rows, ow * kh * kw * c * 2), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t b = r / oh;
-      const int64_t oy = r % oh;
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + (r * ow + ox) * c;
-        const int64_t iy0 = oy * g.stride_h - g.pad_top;
-        const int64_t ix0 = ox * g.stride_w - g.pad_left;
-        for (int64_t ky = 0; ky < kh; ++ky) {
-          const int64_t iy = iy0 + ky;
-          if (iy < 0 || iy >= h) continue;
-          for (int64_t kx = 0; kx < kw; ++kx) {
-            const int64_t ix = ix0 + kx;
-            if (ix < 0 || ix >= w) continue;
-            const int64_t* xi = x.data.data() + ((b * h + iy) * w + ix) * c;
-            const int64_t* wk = in.const_data.data() + (ky * kw + kx) * c;
-            for (int64_t ch = 0; ch < c; ++ch) out[ch] += xi[ch] * wk[ch];
-          }
-        }
-      }
-    }
-  });
-}
-
-void run_dense(const FpInstr& in, const IntTensor& x, IntTensor& y) {
-  const int64_t n = x.shape[0], k = x.shape[1], m = in.const_shape[1];
-  y.shape = {n, m};
-  y.data.assign(static_cast<size_t>(n * m), 0);
-  y.exponent = x.exponent + in.const_exponent;
-  parallel_for(0, n, grain_for(n, 2 * k * m), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      int64_t* out = y.data.data() + i * m;
-      const int64_t* xi = x.data.data() + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const int64_t xv = xi[kk];
-        if (xv == 0) continue;
-        const int64_t* wr = in.const_data.data() + kk * m;
-        for (int64_t j = 0; j < m; ++j) out[j] += xv * wr[j];
-      }
-    }
-  });
-}
-
-void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
-  const Conv2dGeom& g = in.geom;
-  const int64_t n = x.shape[0], h = x.shape[1], w = x.shape[2], c = x.shape[3];
-  const int64_t oh = g.out_h(h), ow = g.out_w(w);
-  y.shape = {n, oh, ow, c};
-  y.data.assign(static_cast<size_t>(n * oh * ow * c), 0);
-  y.exponent = x.exponent;
-  const int64_t prows = n * oh;
-  parallel_for(0, prows, grain_for(prows, ow * g.kh * g.kw * c), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t b = r / oh;
-      const int64_t oy = r % oh;
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        int64_t* out = y.data.data() + (r * ow + ox) * c;
-        const int64_t iy0 = oy * g.stride_h - g.pad_top;
-        const int64_t ix0 = ox * g.stride_w - g.pad_left;
-        for (int64_t ch = 0; ch < c; ++ch) {
-          bool seen = false;
-          int64_t best = 0;
-          for (int64_t ky = 0; ky < g.kh; ++ky) {
-            const int64_t iy = iy0 + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (int64_t kx = 0; kx < g.kw; ++kx) {
-              const int64_t ix = ix0 + kx;
-              if (ix < 0 || ix >= w) continue;
-              const int64_t v = x.data[static_cast<size_t>(((b * h + iy) * w + ix) * c + ch)];
-              if (!seen || v > best) {
-                best = v;
-                seen = true;
-              }
-            }
-          }
-          out[ch] = seen ? best : 0;
-        }
-      }
-    }
-  });
-}
-
-}  // namespace
-
-IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
-  std::vector<IntTensor> regs(static_cast<size_t>(n_registers));
-  // The input register conceptually holds the raw real input; we keep the
-  // float tensor aside and materialize it at the kQuantizeInput instruction.
-  for (const FpInstr& in : instrs_) {
-    IntTensor& y = regs[static_cast<size_t>(in.output)];
-    switch (in.kind) {
-      case FpInstr::Kind::kQuantizeInput: {
-        const float s = std::exp2(static_cast<float>(in.out_exponent));
-        y.shape = input.shape();
-        y.exponent = in.out_exponent;
-        y.data.resize(static_cast<size_t>(input.numel()));
-        parallel_for(0, input.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            y.data[static_cast<size_t>(i)] = saturate(
-                static_cast<int64_t>(round_half_to_even(input[i] / s)), in.clamp_lo, in.clamp_hi);
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kRequant: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        y.shape = x.shape;
-        y.exponent = in.out_exponent;
-        y.data.resize(x.data.size());
-        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            y.data[static_cast<size_t>(i)] =
-                saturate(rescale(x.data[static_cast<size_t>(i)], x.exponent, in.out_exponent),
-                         in.clamp_lo, in.clamp_hi);
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kConv2d:
-        run_conv(in, regs[static_cast<size_t>(in.inputs[0])], y);
-        break;
-      case FpInstr::Kind::kDepthwise:
-        run_depthwise(in, regs[static_cast<size_t>(in.inputs[0])], y);
-        break;
-      case FpInstr::Kind::kDense:
-        run_dense(in, regs[static_cast<size_t>(in.inputs[0])], y);
-        break;
-      case FpInstr::Kind::kBiasAdd: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        const int64_t channels = in.const_shape[0];
-        y.shape = x.shape;
-        y.exponent = x.exponent;
-        y.data.resize(x.data.size());
-        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            y.data[static_cast<size_t>(i)] =
-                x.data[static_cast<size_t>(i)] +
-                in.const_data[static_cast<size_t>(i % channels)];
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kRelu: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        y = x;
-        parallel_for(0, static_cast<int64_t>(y.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            int64_t& v = y.data[static_cast<size_t>(i)];
-            v = std::max<int64_t>(v, 0);
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kRelu6: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        y = x;
-        parallel_for(0, static_cast<int64_t>(y.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            int64_t& v = y.data[static_cast<size_t>(i)];
-            v = saturate(v, in.clamp_lo, in.clamp_hi);
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kLeakyRelu: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        y.shape = x.shape;
-        y.exponent = x.exponent + in.alpha_exponent;
-        y.data.resize(x.data.size());
-        const int lift = -in.alpha_exponent;  // alpha exponents are negative
-        parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            const size_t si = static_cast<size_t>(i);
-            const int64_t aligned = x.data[si] << lift;      // x at the product scale
-            const int64_t scaled = x.data[si] * in.alpha_q;  // alpha * x, exact
-            y.data[si] = std::max(aligned, scaled);
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kMaxPool:
-        run_maxpool(in, regs[static_cast<size_t>(in.inputs[0])], y);
-        break;
-      case FpInstr::Kind::kEltwiseAdd: {
-        const IntTensor& a = regs[static_cast<size_t>(in.inputs[0])];
-        const IntTensor& b = regs[static_cast<size_t>(in.inputs[1])];
-        y.shape = a.shape;
-        y.exponent = a.exponent;
-        y.data.resize(a.data.size());
-        parallel_for(0, static_cast<int64_t>(a.data.size()), kElementGrain,
-                     [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            y.data[static_cast<size_t>(i)] =
-                a.data[static_cast<size_t>(i)] + b.data[static_cast<size_t>(i)];
-          }
-        });
-        break;
-      }
-      case FpInstr::Kind::kConcat: {
-        const IntTensor& first = regs[static_cast<size_t>(in.inputs[0])];
-        Shape out_shape = first.shape;
-        int64_t total_c = 0;
-        for (int r : in.inputs) total_c += regs[static_cast<size_t>(r)].shape.back();
-        out_shape.back() = total_c;
-        y.shape = out_shape;
-        y.exponent = first.exponent;
-        y.data.resize(static_cast<size_t>(numel_of(out_shape)));
-        const int64_t rows = numel_of(out_shape) / total_c;
-        int64_t offset = 0;
-        for (int r : in.inputs) {
-          const IntTensor& src = regs[static_cast<size_t>(r)];
-          const int64_t c = src.shape.back();
-          for (int64_t row = 0; row < rows; ++row) {
-            for (int64_t j = 0; j < c; ++j) {
-              y.data[static_cast<size_t>(row * total_c + offset + j)] =
-                  src.data[static_cast<size_t>(row * c + j)];
-            }
-          }
-          offset += c;
-        }
-        break;
-      }
-      case FpInstr::Kind::kFlatten: {
-        const IntTensor& x = regs[static_cast<size_t>(in.inputs[0])];
-        y = x;
-        y.shape = {x.shape[0], x.numel() / x.shape[0]};
-        break;
-      }
-    }
-  }
-  return regs[static_cast<size_t>(output_register)];
-}
-
-Tensor FixedPointProgram::run(const Tensor& input) const {
-  const IntTensor raw = run_raw(input);
-  Tensor out(raw.shape);
-  const float s = std::exp2(static_cast<float>(raw.exponent));
-  parallel_for(0, out.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      out[i] = static_cast<float>(raw.data[static_cast<size_t>(i)]) * s;
-    }
-  });
-  return out;
 }
 
 int64_t FixedPointProgram::parameter_count() const {

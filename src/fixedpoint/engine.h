@@ -8,12 +8,22 @@
 // as bit-shifts with round-half-to-even), and the test suite asserts bit
 // exactness against the float fake-quant graph.
 //
-// Representation: every live value is an IntTensor holding int64 lanes (the
-// *logical* width — 8/16 bits — is enforced by saturation) together with the
-// power-of-2 exponent e such that real = data * 2^e.
+// The engine is split into three stages (see DESIGN.md §9):
+//   compile  (engine.cpp)    graph -> linear FpInstr program
+//   plan     (plan.cpp)      value-bound width inference (int8/16/32/64 per
+//                            register), typed weight packing, liveness-based
+//                            arena-slot assignment
+//   execute  (exec.cpp)      narrow-width kernels (src/fixedpoint/kernels/)
+//                            running in a reusable, grow-only ExecContext
+//                            arena — zero heap allocations at steady state
+//
+// The original interpreter, which stores every lane as int64, is retained as
+// run_reference()/run_raw_reference() (reference.cpp): it is the executable
+// specification the typed engine is asserted bit-identical against.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +34,9 @@
 namespace tqt {
 
 /// A tensor of integers at a power-of-2 scale: real value = data[i] * 2^e.
+/// This is the *reference* representation (int64 lanes, the logical 8/16-bit
+/// width enforced by saturation); the typed engine keeps registers in
+/// int8_t/int16_t/int32_t/int64_t buffers chosen by the memory plan.
 struct IntTensor {
   Shape shape;
   std::vector<int64_t> data;
@@ -31,6 +44,21 @@ struct IntTensor {
 
   int64_t numel() const { return static_cast<int64_t>(data.size()); }
 };
+
+/// Physical storage width of a register or constant in the typed engine.
+enum class IntWidth : uint8_t { kI8, kI16, kI32, kI64 };
+
+inline int width_bytes(IntWidth w) {
+  switch (w) {
+    case IntWidth::kI8: return 1;
+    case IntWidth::kI16: return 2;
+    case IntWidth::kI32: return 4;
+    case IntWidth::kI64: return 8;
+  }
+  return 8;
+}
+
+const char* to_string(IntWidth w);
 
 /// One instruction of the compiled program. Register file semantics: each
 /// instruction reads `inputs` registers and writes register `output`.
@@ -69,18 +97,74 @@ struct FpInstr {
   std::string debug_name;        // originating graph node
 };
 
+struct ExecPlan;  // plan.h
+
+/// Runtime shape of one register (rank <= 4, the engine's NHWC world).
+struct FpRegShape {
+  int64_t dims[4] = {0, 0, 0, 0};
+  int rank = 0;
+  int64_t numel = 0;
+};
+
+/// Reusable execution state for the typed engine: the slot arena the memory
+/// plan maps registers onto, the im2col pack scratch, and per-run register
+/// shapes. All buffers are grow-only — after a warm-up run at a given
+/// (program, input shape), subsequent runs perform zero heap allocations.
+///
+/// A context is NOT thread-safe; give each worker thread its own (the serve
+/// micro-batcher owns one per worker). One context may be reused freely
+/// across different programs and input shapes — buffers grow to the
+/// high-water mark and stay.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  /// Bytes currently held by the arena (slots + scratch), for tests/bench.
+  int64_t arena_bytes() const;
+
+ private:
+  friend class FixedPointProgram;
+  std::vector<std::vector<unsigned char>> slots_;  // indexed by plan slot id
+  std::vector<unsigned char> scratch_;             // im2col pack buffer
+  std::vector<FpRegShape> regs_;                   // per-register run shapes
+};
+
 /// Compiled integer program.
 class FixedPointProgram {
  public:
-  /// Execute on a real-valued NHWC input batch; returns the de-quantized
-  /// network output (bit-identical to the fake-quant graph by construction).
+  /// Execute on a real-valued NHWC input batch via the typed kernel engine;
+  /// returns the de-quantized network output (bit-identical to the fake-quant
+  /// graph and to run_reference by construction). Uses a thread-local
+  /// ExecContext; prefer the ExecContext overloads on worker threads.
   Tensor run(const Tensor& input) const;
 
-  /// Execute and return the raw integer output plus its exponent.
+  /// Typed execution with a caller-owned context (zero allocations at steady
+  /// state, apart from the returned Tensor).
+  Tensor run(const Tensor& input, ExecContext& ctx) const;
+
+  /// Typed execution writing into `out` (resized only when the output shape
+  /// changes). After one warm-up call per (program, input shape), this
+  /// performs zero heap allocations — asserted in tests.
+  void run_into(const Tensor& input, ExecContext& ctx, Tensor& out) const;
+
+  /// Execute (typed engine) and return the raw integer output plus exponent.
   IntTensor run_raw(const Tensor& input) const;
+
+  /// Reference interpreter: every lane an int64. Slow; retained as the
+  /// executable specification for bit-exactness tests and as the baseline
+  /// for bench_engine_kernels.
+  Tensor run_reference(const Tensor& input) const;
+  IntTensor run_raw_reference(const Tensor& input) const;
 
   int64_t instruction_count() const { return static_cast<int64_t>(instrs_.size()); }
   const std::vector<FpInstr>& instructions() const { return instrs_; }
+
+  /// The memory/width plan the typed engine executes under (built once at
+  /// compile/load time). Exposed for tests and the kernel bench.
+  const ExecPlan& plan() const;
+
+  int register_count() const { return n_registers; }
+  int output_reg() const { return output_register; }
 
   /// Total number of stored quantized parameters (weights + biases).
   int64_t parameter_count() const;
@@ -96,10 +180,16 @@ class FixedPointProgram {
 
  private:
   friend FixedPointProgram compile_fixed_point(Graph&, NodeId, NodeId);
+
+  /// Build the ExecPlan (width inference + typed consts + slot assignment).
+  /// Called by compile_fixed_point and load; programs always carry a plan.
+  void finalize();
+
   std::vector<FpInstr> instrs_;
   int n_registers = 0;
   int input_register = -1;
   int output_register = -1;
+  std::shared_ptr<const ExecPlan> plan_;
 };
 
 /// Compile a quantized inference graph (output of quantize_pass with

@@ -1,0 +1,708 @@
+// Typed execution of a compiled fixed-point program.
+//
+// Registers live in int8_t/int16_t/int32_t/int64_t arena slots chosen by the
+// memory plan (plan.cpp); the hot matmul instructions dispatch to the
+// narrow-width kernel registry (kernels/) when the plan proves the
+// int8 x int8 -> int32 contract holds, and fall back to generic width-typed
+// loops otherwise. Every elementwise op computes internally in int64 — the
+// plan's value bounds make the narrowing store lossless — and shares
+// fp::saturate / fp::rescale with the reference interpreter, so the typed
+// result is bit-identical to run_reference() by construction (and by test).
+//
+// Allocation discipline: all run-time state lives in the caller's
+// ExecContext, whose buffers are grow-only. After one warm-up run at a given
+// (program, input shape), run_into() performs zero heap allocations; the
+// zero-alloc test holds a global operator-new hook against it.
+#include <algorithm>
+#ifdef TQT_EXEC_PROFILE
+#include <chrono>
+#include <cstdio>
+#endif
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "fixedpoint/engine.h"
+#include "fixedpoint/kernels/kernels.h"
+#include "fixedpoint/plan.h"
+#include "fixedpoint/rescale.h"
+#include "runtime/parallel.h"
+
+namespace tqt {
+
+namespace {
+
+using fp::rescale;
+using fp::saturate;
+
+/// Invoke `fn` with a zero-valued prototype of the C++ type behind `w`.
+template <typename Fn>
+void with_width(IntWidth w, Fn&& fn) {
+  switch (w) {
+    case IntWidth::kI8: fn(int8_t{0}); return;
+    case IntWidth::kI16: fn(int16_t{0}); return;
+    case IntWidth::kI32: fn(int32_t{0}); return;
+    case IntWidth::kI64: fn(int64_t{0}); return;
+  }
+}
+
+/// y[i] = f(x[i]) with x, y lanes at arbitrary widths; f maps int64 -> int64
+/// and must produce values within y's planned bounds (narrowing is lossless).
+template <typename MapFn>
+void map_lanes(const void* xv, IntWidth wx, void* yv, IntWidth wy, int64_t n, MapFn&& f) {
+  with_width(wx, [&](auto xt) {
+    using XT = decltype(xt);
+    const XT* x = static_cast<const XT*>(xv);
+    with_width(wy, [&](auto yt) {
+      using YT = decltype(yt);
+      YT* y = static_cast<YT*>(yv);
+      parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          y[i] = static_cast<YT>(f(static_cast<int64_t>(x[i])));
+        }
+      });
+    });
+  });
+}
+
+/// y[i] = f(a[i], b[i]) (two integer inputs, e.g. EltwiseAdd).
+template <typename MapFn>
+void map2_lanes(const void* av, IntWidth wa, const void* bv, IntWidth wb, void* yv,
+                IntWidth wy, int64_t n, MapFn&& f) {
+  with_width(wa, [&](auto at) {
+    using AT = decltype(at);
+    const AT* a = static_cast<const AT*>(av);
+    with_width(wb, [&](auto bt) {
+      using BT = decltype(bt);
+      const BT* b = static_cast<const BT*>(bv);
+      with_width(wy, [&](auto yt) {
+        using YT = decltype(yt);
+        YT* y = static_cast<YT*>(yv);
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y[i] = static_cast<YT>(f(static_cast<int64_t>(a[i]), static_cast<int64_t>(b[i])));
+          }
+        });
+      });
+    });
+  });
+}
+
+// ---- Generic (any-width) matmul-family fallbacks --------------------------
+// Weights are read from FpInstr::const_data (always retained at int64).
+// Accumulating directly in YT is safe: every partial sum of sum_k x_k*w_k is
+// bounded by sum_k |x_k||w_k| <= max|x| * max_o(sum_k |w[k][o]|), exactly the
+// bound the plan sized YT for.
+
+template <typename XT, typename YT>
+void conv_generic(const FpInstr& in, const XT* x, const FpRegShape& xs, YT* y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = xs.dims[0], h = xs.dims[1], w = xs.dims[2], cin = xs.dims[3];
+  const int64_t kh = in.const_shape[0], kw = in.const_shape[1], cout = in.const_shape[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * kh * kw * cin * cout * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        YT* out = y + (r * ow + ox) * cout;
+        std::memset(out, 0, static_cast<size_t>(cout) * sizeof(YT));
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const XT* xi = x + ((b * h + iy) * w + ix) * cin;
+            const int64_t* wk = in.const_data.data() + (ky * kw + kx) * cin * cout;
+            for (int64_t c = 0; c < cin; ++c) {
+              const int64_t xv = xi[c];
+              if (xv == 0) continue;
+              const int64_t* wc = wk + c * cout;
+              for (int64_t o = 0; o < cout; ++o) {
+                out[o] = static_cast<YT>(out[o] + xv * wc[o]);
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+template <typename XT, typename YT>
+void depthwise_generic(const FpInstr& in, const XT* x, const FpRegShape& xs, YT* y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = xs.dims[0], h = xs.dims[1], w = xs.dims[2], c = xs.dims[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * g.kh * g.kw * c * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        YT* out = y + (r * ow + ox) * c;
+        std::memset(out, 0, static_cast<size_t>(c) * sizeof(YT));
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < g.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const XT* xi = x + ((b * h + iy) * w + ix) * c;
+            const int64_t* wk = in.const_data.data() + (ky * g.kw + kx) * c;
+            for (int64_t ch = 0; ch < c; ++ch) {
+              out[ch] = static_cast<YT>(out[ch] + static_cast<int64_t>(xi[ch]) * wk[ch]);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+template <typename XT, typename YT>
+void dense_generic(const FpInstr& in, const XT* x, const FpRegShape& xs, YT* y) {
+  const int64_t n = xs.dims[0], k = xs.dims[1], m = in.const_shape[1];
+  parallel_for(0, n, grain_for(n, 2 * k * m, kGemmTargetOps), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      YT* out = y + i * m;
+      std::memset(out, 0, static_cast<size_t>(m) * sizeof(YT));
+      const XT* xi = x + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t xv = xi[kk];
+        if (xv == 0) continue;
+        const int64_t* wr = in.const_data.data() + kk * m;
+        for (int64_t j = 0; j < m; ++j) out[j] = static_cast<YT>(out[j] + xv * wr[j]);
+      }
+    }
+  });
+}
+
+template <typename XT, typename YT>
+void maxpool_typed(const FpInstr& in, const XT* x, const FpRegShape& xs, YT* y) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t n = xs.dims[0], h = xs.dims[1], w = xs.dims[2], c = xs.dims[3];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  const int64_t rows = n * oh;
+  parallel_for(0, rows, grain_for(rows, ow * g.kh * g.kw * c), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / oh;
+      const int64_t oy = r % oh;
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        YT* out = y + (r * ow + ox) * c;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        // Window-tap outer loop keeps the channel loop contiguous (it
+        // auto-vectorizes); the first valid tap initializes the output row.
+        bool seen = false;
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int64_t kx = 0; kx < g.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            const XT* xi = x + ((b * h + iy) * w + ix) * c;
+            if (!seen) {
+              for (int64_t ch = 0; ch < c; ++ch) out[ch] = static_cast<YT>(xi[ch]);
+              seen = true;
+            } else {
+              for (int64_t ch = 0; ch < c; ++ch) {
+                const YT v = static_cast<YT>(xi[ch]);
+                if (v > out[ch]) out[ch] = v;
+              }
+            }
+          }
+        }
+        if (!seen) std::memset(out, 0, static_cast<size_t>(c) * sizeof(YT));
+      }
+    }
+  });
+}
+
+/// im2col geometry of one Conv2d instruction at a given input shape.
+struct GemmShape {
+  int64_t m = 0, n = 0, k = 0;
+};
+
+GemmShape conv_gemm_shape(const FpInstr& in, const FpRegShape& xs) {
+  GemmShape s;
+  s.m = xs.dims[0] * in.geom.out_h(xs.dims[1]) * in.geom.out_w(xs.dims[2]);
+  s.k = in.const_shape[0] * in.const_shape[1] * in.const_shape[2];
+  s.n = in.const_shape[3];
+  return s;
+}
+
+/// Pack the conv input into the im2col A matrix (M x K, row-major, same
+/// element type as the input register) in `a`; padded taps become 0 rows,
+/// which the zero-skipping kernels then jump.
+template <typename XT>
+void im2col_pack(const FpInstr& in, const XT* x, const FpRegShape& xs, XT* a) {
+  const Conv2dGeom& g = in.geom;
+  const int64_t h = xs.dims[1], w = xs.dims[2], cin = xs.dims[3];
+  const int64_t kh = in.const_shape[0], kw = in.const_shape[1];
+  const int64_t oh = g.out_h(h), ow = g.out_w(w);
+  const int64_t m = xs.dims[0] * oh * ow;
+  const int64_t k = kh * kw * cin;
+  parallel_for(0, m, grain_for(m, k), [&](int64_t m0, int64_t m1) {
+    for (int64_t r = m0; r < m1; ++r) {
+      const int64_t b = r / (oh * ow);
+      const int64_t oy = (r / ow) % oh;
+      const int64_t ox = r % ow;
+      XT* row = a + r * k;
+      const int64_t iy0 = oy * g.stride_h - g.pad_top;
+      const int64_t ix0 = ox * g.stride_w - g.pad_left;
+      for (int64_t ky = 0; ky < kh; ++ky) {
+        const int64_t iy = iy0 + ky;
+        XT* dst = row + ky * kw * cin;
+        if (iy < 0 || iy >= h) {
+          std::memset(dst, 0, static_cast<size_t>(kw * cin) * sizeof(XT));
+          continue;
+        }
+        // Consecutive kx taps are contiguous in NHWC, so the whole valid
+        // [kx_lo, kx_hi) span is one copy framed by zeroed padding.
+        const int64_t kx_lo = std::max<int64_t>(0, -ix0);
+        const int64_t kx_hi = std::min(kw, w - ix0);
+        if (kx_lo > 0) std::memset(dst, 0, static_cast<size_t>(kx_lo * cin) * sizeof(XT));
+        if (kx_hi > kx_lo) {
+          std::memcpy(dst + kx_lo * cin, x + ((b * h + iy) * w + ix0 + kx_lo) * cin,
+                      static_cast<size_t>((kx_hi - kx_lo) * cin) * sizeof(XT));
+        }
+        if (kx_hi < kw) {
+          std::memset(dst + std::max(kx_hi, kx_lo) * cin, 0,
+                      static_cast<size_t>((kw - std::max(kx_hi, kx_lo)) * cin) * sizeof(XT));
+        }
+      }
+    }
+  });
+}
+
+/// One typed execution over an ExecContext. Only borrows program state; all
+/// mutation happens in ctx.
+class Executor {
+ public:
+  Executor(const std::vector<FpInstr>& instrs, const ExecPlan& plan, const Tensor& input,
+           std::vector<std::vector<unsigned char>>& slots, std::vector<unsigned char>& scratch,
+           const std::vector<FpRegShape>& shapes)
+      : instrs_(instrs), plan_(plan), input_(input), slots_(slots), scratch_(scratch),
+        shapes_(shapes) {}
+
+  void run() {
+#ifdef TQT_EXEC_PROFILE
+    static double kind_s[16] = {};
+    static long long runs = 0;
+    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
+      const auto t0 = std::chrono::steady_clock::now();
+      exec_one(idx);
+      kind_s[static_cast<int>(instrs_[idx].kind)] +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+    if (++runs % 64 == 0) {
+      std::fprintf(stderr, "exec profile after %lld runs:\n", runs);
+      for (int k = 0; k < 16; ++k)
+        if (kind_s[k] > 0) std::fprintf(stderr, "  kind %2d: %8.3f ms\n", k, kind_s[k] * 1e3);
+      for (int k = 0; k < 16; ++k) kind_s[k] = 0;
+    }
+#else
+    for (size_t idx = 0; idx < instrs_.size(); ++idx) exec_one(idx);
+#endif
+  }
+
+ private:
+  void* reg_ptr(int r) const {
+    return slots_[static_cast<size_t>(plan_.regs[static_cast<size_t>(r)].slot)].data();
+  }
+  IntWidth reg_w(int r) const { return plan_.regs[static_cast<size_t>(r)].width; }
+  int reg_exp(int r) const { return plan_.regs[static_cast<size_t>(r)].exponent; }
+  const FpRegShape& reg_shape(int r) const { return shapes_[static_cast<size_t>(r)]; }
+
+  /// True when (x, weights, out) match the registry kernels' native
+  /// int8 x int8 -> int32 contract.
+  bool fast_matmul(const FpInstr& in, size_t idx) const {
+    return reg_w(in.inputs[0]) == IntWidth::kI8 &&
+           plan_.consts[idx].width == IntWidth::kI8 && reg_w(in.output) == IntWidth::kI32;
+  }
+
+  /// True for the int16-activation variant (int16 x int8 -> int32): taken
+  /// only when the active set ships the s16 packed kernel, otherwise the
+  /// generic loops handle it.
+  bool fast_matmul16(const FpInstr& in, size_t idx) const {
+    return reg_w(in.inputs[0]) == IntWidth::kI16 &&
+           plan_.consts[idx].width == IntWidth::kI8 &&
+           reg_w(in.output) == IntWidth::kI32 &&
+           fpk::active_kernels().gemm_s16p16s32 != nullptr &&
+           !plan_.consts[idx].b_pair16.empty();
+  }
+
+  /// GEMM through the active kernel set, preferring its packed-B entry point
+  /// when the plan carries the pair-interleaved weight copy. The packed
+  /// kernel overwrites C; the raw += kernel needs the zeroing pass first.
+  void run_gemm(size_t idx, const int8_t* a, int32_t* c, const GemmShape& gs) const {
+    const fpk::KernelSet& ks = fpk::active_kernels();
+    const ExecPlan::Const& w = plan_.consts[idx];
+    if (ks.gemm_s8p16s32 && !w.b_pair16.empty()) {
+      ks.gemm_s8p16s32(a, w.b_pair16.data(), c, gs.m, gs.n, gs.k);
+    } else {
+      std::memset(c, 0, static_cast<size_t>(gs.m * gs.n) * sizeof(int32_t));
+      ks.gemm_s8s8s32(a, w.i8.data(), c, gs.m, gs.n, gs.k);
+    }
+  }
+
+  void run_gemm16(size_t idx, const int16_t* a, int32_t* c, const GemmShape& gs) const {
+    fpk::active_kernels().gemm_s16p16s32(a, plan_.consts[idx].b_pair16.data(), c, gs.m,
+                                         gs.n, gs.k);
+  }
+
+  /// True for a 1x1 stride-1 unpadded conv: the NHWC activations are already
+  /// the [M, cin] GEMM A operand, so the im2col copy can be skipped.
+  static bool is_pointwise(const FpInstr& in) {
+    const Conv2dGeom& g = in.geom;
+    return in.const_shape[0] == 1 && in.const_shape[1] == 1 && g.stride_h == 1 &&
+           g.stride_w == 1 && g.pad_top == 0 && g.pad_bottom == 0 && g.pad_left == 0 &&
+           g.pad_right == 0;
+  }
+
+  void exec_one(size_t idx) {
+    const FpInstr& in = instrs_[idx];
+    void* y = reg_ptr(in.output);
+    const IntWidth wy = reg_w(in.output);
+    const int64_t yn = reg_shape(in.output).numel;
+
+    switch (in.kind) {
+      case FpInstr::Kind::kQuantizeInput: {
+        const float s = std::exp2(static_cast<float>(in.out_exponent));
+        with_width(wy, [&](auto yt) {
+          using YT = decltype(yt);
+          YT* out = static_cast<YT*>(y);
+          parallel_for(0, yn, kElementGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              out[i] = static_cast<YT>(
+                  saturate(static_cast<int64_t>(round_half_to_even(input_[i] / s)),
+                           in.clamp_lo, in.clamp_hi));
+            }
+          });
+        });
+        break;
+      }
+      case FpInstr::Kind::kRequant: {
+        const int shift = in.out_exponent - reg_exp(in.inputs[0]);
+        const int64_t lo = in.clamp_lo, hi = in.clamp_hi;
+        const void* xv = reg_ptr(in.inputs[0]);
+        const IntWidth wx = reg_w(in.inputs[0]);
+        if (shift > 0) {
+          // Branch-free round-half-to-even right shift, equivalent to
+          // fp::rescale (pinned by the Rescale unit tests): with q = v >> s,
+          // adding 2^(s-1) - 1 + (q & 1) before the shift rounds up exactly
+          // when the remainder exceeds half, or ties at half with q odd.
+          const int64_t round = (int64_t{1} << (shift - 1)) - 1;
+          map_lanes(xv, wx, y, wy, yn, [=](int64_t v) {
+            return saturate((v + round + ((v >> shift) & 1)) >> shift, lo, hi);
+          });
+        } else if (shift == 0) {
+          map_lanes(xv, wx, y, wy, yn, [=](int64_t v) { return saturate(v, lo, hi); });
+        } else {
+          map_lanes(xv, wx, y, wy, yn,
+                    [=](int64_t v) { return saturate(v << -shift, lo, hi); });
+        }
+        break;
+      }
+      case FpInstr::Kind::kConv2d: {
+        const int x = in.inputs[0];
+        if (fast_matmul(in, idx)) {
+          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
+          const int8_t* a;
+          if (is_pointwise(in)) {
+            a = static_cast<const int8_t*>(reg_ptr(x));
+          } else {
+            int8_t* packed = reinterpret_cast<int8_t*>(scratch_.data());
+            im2col_pack(in, static_cast<const int8_t*>(reg_ptr(x)), reg_shape(x), packed);
+            a = packed;
+          }
+          run_gemm(idx, a, static_cast<int32_t*>(y), gs);
+        } else if (fast_matmul16(in, idx)) {
+          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
+          const int16_t* a;
+          if (is_pointwise(in)) {
+            a = static_cast<const int16_t*>(reg_ptr(x));
+          } else {
+            int16_t* packed = reinterpret_cast<int16_t*>(scratch_.data());
+            im2col_pack(in, static_cast<const int16_t*>(reg_ptr(x)), reg_shape(x), packed);
+            a = packed;
+          }
+          run_gemm16(idx, a, static_cast<int32_t*>(y), gs);
+        } else {
+          with_width(reg_w(x), [&](auto xt) {
+            with_width(wy, [&](auto yt) {
+              conv_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), reg_shape(x),
+                           static_cast<decltype(yt)*>(y));
+            });
+          });
+        }
+        break;
+      }
+      case FpInstr::Kind::kDepthwise: {
+        const int x = in.inputs[0];
+        const FpRegShape& xs = reg_shape(x);
+        if (fast_matmul(in, idx)) {
+          fpk::DepthwiseArgs a;
+          a.batch = xs.dims[0];
+          a.h = xs.dims[1];
+          a.w = xs.dims[2];
+          a.c = xs.dims[3];
+          a.oh = in.geom.out_h(a.h);
+          a.ow = in.geom.out_w(a.w);
+          a.geom = in.geom;
+          fpk::active_kernels().depthwise_s8s8s32(static_cast<const int8_t*>(reg_ptr(x)),
+                                                  plan_.consts[idx].i8.data(),
+                                                  static_cast<int32_t*>(y), a);
+        } else {
+          with_width(reg_w(x), [&](auto xt) {
+            with_width(wy, [&](auto yt) {
+              depthwise_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs,
+                                static_cast<decltype(yt)*>(y));
+            });
+          });
+        }
+        break;
+      }
+      case FpInstr::Kind::kDense: {
+        const int x = in.inputs[0];
+        const FpRegShape& xs = reg_shape(x);
+        if (fast_matmul(in, idx) || fast_matmul16(in, idx)) {
+          // Activations are already the [M, K] A operand — no packing.
+          GemmShape gs;
+          gs.m = xs.dims[0];
+          gs.n = in.const_shape[1];
+          gs.k = xs.dims[1];
+          if (reg_w(x) == IntWidth::kI8) {
+            run_gemm(idx, static_cast<const int8_t*>(reg_ptr(x)), static_cast<int32_t*>(y),
+                     gs);
+          } else {
+            run_gemm16(idx, static_cast<const int16_t*>(reg_ptr(x)),
+                       static_cast<int32_t*>(y), gs);
+          }
+        } else {
+          with_width(reg_w(x), [&](auto xt) {
+            with_width(wy, [&](auto yt) {
+              dense_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs,
+                            static_cast<decltype(yt)*>(y));
+            });
+          });
+        }
+        break;
+      }
+      case FpInstr::Kind::kBiasAdd: {
+        // The channel dimension is innermost in NHWC, so the reference's
+        // bias[i % channels] indexing is row-by-row broadcast; iterate rows
+        // explicitly to keep the modulo out of the per-lane loop.
+        const int64_t channels = in.const_shape[0];
+        const int64_t rows = yn / channels;
+        const int64_t* bias = in.const_data.data();
+        with_width(reg_w(in.inputs[0]), [&](auto xt) {
+          using XT = decltype(xt);
+          const XT* x = static_cast<const XT*>(reg_ptr(in.inputs[0]));
+          with_width(wy, [&](auto yt) {
+            using YT = decltype(yt);
+            YT* out = static_cast<YT*>(y);
+            parallel_for(0, rows, grain_for(rows, channels), [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                const XT* xr = x + r * channels;
+                YT* yr = out + r * channels;
+                for (int64_t c = 0; c < channels; ++c) {
+                  yr[c] = static_cast<YT>(static_cast<int64_t>(xr[c]) + bias[c]);
+                }
+              }
+            });
+          });
+        });
+        break;
+      }
+      case FpInstr::Kind::kRelu:
+        map_lanes(reg_ptr(in.inputs[0]), reg_w(in.inputs[0]), y, wy, yn,
+                  [](int64_t v) { return v > 0 ? v : 0; });
+        break;
+      case FpInstr::Kind::kRelu6:
+        map_lanes(reg_ptr(in.inputs[0]), reg_w(in.inputs[0]), y, wy, yn,
+                  [&](int64_t v) { return saturate(v, in.clamp_lo, in.clamp_hi); });
+        break;
+      case FpInstr::Kind::kLeakyRelu: {
+        const int lift = -in.alpha_exponent;  // alpha exponents are negative
+        map_lanes(reg_ptr(in.inputs[0]), reg_w(in.inputs[0]), y, wy, yn, [&](int64_t v) {
+          return std::max(v << lift, v * in.alpha_q);
+        });
+        break;
+      }
+      case FpInstr::Kind::kMaxPool: {
+        const int x = in.inputs[0];
+        with_width(reg_w(x), [&](auto xt) {
+          with_width(wy, [&](auto yt) {
+            maxpool_typed(in, static_cast<const decltype(xt)*>(reg_ptr(x)), reg_shape(x),
+                          static_cast<decltype(yt)*>(y));
+          });
+        });
+        break;
+      }
+      case FpInstr::Kind::kEltwiseAdd:
+        map2_lanes(reg_ptr(in.inputs[0]), reg_w(in.inputs[0]), reg_ptr(in.inputs[1]),
+                   reg_w(in.inputs[1]), y, wy, yn,
+                   [](int64_t a, int64_t b) { return a + b; });
+        break;
+      case FpInstr::Kind::kConcat: {
+        const int64_t total_c = reg_shape(in.output).dims[reg_shape(in.output).rank - 1];
+        const int64_t rows = yn / total_c;
+        int64_t offset = 0;
+        for (int r : in.inputs) {
+          const FpRegShape& s = reg_shape(r);
+          const int64_t c = s.dims[s.rank - 1];
+          with_width(reg_w(r), [&](auto xt) {
+            using XT = decltype(xt);
+            const XT* src = static_cast<const XT*>(reg_ptr(r));
+            with_width(wy, [&](auto yt) {
+              using YT = decltype(yt);
+              YT* out = static_cast<YT*>(y);
+              parallel_for(0, rows, grain_for(rows, c), [&](int64_t r0, int64_t r1) {
+                for (int64_t row = r0; row < r1; ++row) {
+                  for (int64_t j = 0; j < c; ++j) {
+                    out[row * total_c + offset + j] = static_cast<YT>(src[row * c + j]);
+                  }
+                }
+              });
+            });
+          });
+          offset += c;
+        }
+        break;
+      }
+      case FpInstr::Kind::kFlatten: {
+        // Bounds (hence width) pass through; a flatten is a pure copy into
+        // the output's slot under a new shape.
+        const int x = in.inputs[0];
+        if (reg_w(x) == wy) {
+          std::memcpy(y, reg_ptr(x), static_cast<size_t>(yn) * width_bytes(wy));
+        } else {
+          map_lanes(reg_ptr(x), reg_w(x), y, wy, yn, [](int64_t v) { return v; });
+        }
+        break;
+      }
+    }
+  }
+
+  const std::vector<FpInstr>& instrs_;
+  const ExecPlan& plan_;
+  const Tensor& input_;
+  std::vector<std::vector<unsigned char>>& slots_;
+  std::vector<unsigned char>& scratch_;
+  const std::vector<FpRegShape>& shapes_;
+};
+
+}  // namespace
+
+int64_t ExecContext::arena_bytes() const {
+  int64_t b = static_cast<int64_t>(scratch_.capacity());
+  for (const auto& s : slots_) b += static_cast<int64_t>(s.capacity());
+  return b;
+}
+
+void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& out) const {
+  const ExecPlan& plan = this->plan();
+
+  // Per-run shape inference + arena sizing; every container is grow-only, so
+  // after a warm-up run at this (program, shape) nothing below allocates.
+  infer_register_shapes(instrs_, n_registers, input_register, input.shape(), ctx.regs_);
+  if (static_cast<int>(ctx.slots_.size()) < plan.n_slots) {
+    ctx.slots_.resize(static_cast<size_t>(plan.n_slots));
+  }
+  // kBufSlack trailing bytes let the SIMD GEMM's mask loads read a whole
+  // 32-byte block past the end of an A row without faulting; the padded
+  // lanes multiply the zero-padded tail of the packed B operand, so their
+  // contents never reach a result.
+  constexpr size_t kBufSlack = 32;
+  for (int r = 0; r < n_registers; ++r) {
+    const ExecPlan::Reg& pr = plan.regs[static_cast<size_t>(r)];
+    if (pr.slot < 0) continue;
+    const size_t need = static_cast<size_t>(ctx.regs_[static_cast<size_t>(r)].numel) *
+                            static_cast<size_t>(width_bytes(pr.width)) +
+                        kBufSlack;
+    auto& buf = ctx.slots_[static_cast<size_t>(pr.slot)];
+    if (buf.size() < need) buf.resize(need);
+  }
+  if (plan.needs_scratch) {
+    size_t need = 0;
+    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
+      const FpInstr& in = instrs_[idx];
+      if (in.kind != FpInstr::Kind::kConv2d) continue;
+      if (plan.consts[idx].width != IntWidth::kI8) continue;
+      const GemmShape gs = conv_gemm_shape(in, ctx.regs_[static_cast<size_t>(in.inputs[0])]);
+      const int xw = width_bytes(plan.regs[static_cast<size_t>(in.inputs[0])].width);
+      need = std::max(need,
+                      static_cast<size_t>(gs.m * gs.k) * static_cast<size_t>(xw) + kBufSlack);
+    }
+    if (ctx.scratch_.size() < need) ctx.scratch_.resize(need);
+  }
+
+  Executor ex(instrs_, plan, input, ctx.slots_, ctx.scratch_, ctx.regs_);
+  ex.run();
+
+  // De-quantize the output register into `out`, resizing only on shape change.
+  const FpRegShape& os = ctx.regs_[static_cast<size_t>(output_register)];
+  bool same = out.rank() == os.rank && out.numel() == os.numel;
+  for (int d = 0; same && d < os.rank; ++d) same = out.shape()[static_cast<size_t>(d)] == os.dims[d];
+  if (!same) {
+    Shape shape(os.dims, os.dims + os.rank);
+    out = Tensor(std::move(shape));
+  }
+  const ExecPlan::Reg& orr = plan.regs[static_cast<size_t>(output_register)];
+  const float s = std::exp2(static_cast<float>(orr.exponent));
+  const void* raw = ctx.slots_[static_cast<size_t>(orr.slot)].data();
+  with_width(orr.width, [&](auto yt) {
+    using YT = decltype(yt);
+    const YT* lanes = static_cast<const YT*>(raw);
+    float* o = out.data();
+    parallel_for(0, os.numel, kElementGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) o[i] = static_cast<float>(lanes[i]) * s;
+    });
+  });
+}
+
+Tensor FixedPointProgram::run(const Tensor& input, ExecContext& ctx) const {
+  Tensor out;
+  run_into(input, ctx, out);
+  return out;
+}
+
+Tensor FixedPointProgram::run(const Tensor& input) const {
+  thread_local ExecContext ctx;
+  return run(input, ctx);
+}
+
+IntTensor FixedPointProgram::run_raw(const Tensor& input) const {
+  thread_local ExecContext ctx;
+  Tensor scratch_out;  // run_into needs a Tensor sink; cheap relative to raw copy
+  run_into(input, ctx, scratch_out);
+
+  const ExecPlan& plan = this->plan();
+  const ExecPlan::Reg& orr = plan.regs[static_cast<size_t>(output_register)];
+  // ctx buffers still hold the output register lanes — run_into's dequantize
+  // does not disturb the arena.
+  const FpRegShape& os = ctx.regs_[static_cast<size_t>(output_register)];
+  IntTensor raw;
+  raw.shape.assign(os.dims, os.dims + os.rank);
+  raw.exponent = orr.exponent;
+  raw.data.resize(static_cast<size_t>(os.numel));
+  const void* src = ctx.slots_[static_cast<size_t>(orr.slot)].data();
+  with_width(orr.width, [&](auto yt) {
+    using YT = decltype(yt);
+    const YT* lanes = static_cast<const YT*>(src);
+    for (int64_t i = 0; i < os.numel; ++i) raw.data[static_cast<size_t>(i)] = lanes[i];
+  });
+  return raw;
+}
+
+}  // namespace tqt

@@ -1,0 +1,354 @@
+// AVX2 variants of the narrow-width kernels, compile-time gated: the file
+// always builds, but the vector bodies exist only when the compiler targets
+// AVX2 (e.g. -march=native on an AVX2 machine), and avx2_kernels() further
+// checks the running CPU. Everything here is exact integer arithmetic —
+// int8 operands widened to int32 lanes, multiplied and added in int32 — so
+// results are bit-identical to the scalar set (asserted in tests).
+//
+// A NEON set would slot in the same way behind fpk::KernelSet; this repo's
+// CI targets x86, so only the AVX2 instance is provided.
+#include <algorithm>
+
+#include "fixedpoint/kernels/kernels.h"
+#include "runtime/parallel.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace tqt::fpk {
+
+#if defined(__AVX2__)
+
+namespace {
+
+constexpr int64_t kKBlock = 256;
+
+// C row tile: 16 int32 lanes (two 256-bit accumulators) per (i, j0) panel.
+void gemm_s8_avx2(const int8_t* A, const int8_t* B, int32_t* C, int64_t M, int64_t N,
+                  int64_t K) {
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    const int64_t n16 = N - (N % 16);
+    for (int64_t i = m0; i < m1; ++i) {
+      const int8_t* a = A + i * K;
+      int32_t* c = C + i * N;
+      for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+        __m256i acc0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + j0));
+        __m256i acc1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + j0 + 8));
+        for (int64_t k = 0; k < K; ++k) {
+          const int32_t av = a[k];
+          if (av == 0) continue;
+          const __m256i va = _mm256_set1_epi32(av);
+          const int8_t* b = B + k * N + j0;
+          const __m256i vb0 = _mm256_cvtepi8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b)));
+          const __m256i vb1 = _mm256_cvtepi8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + 8)));
+          acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(va, vb0));
+          acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(va, vb1));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0 + 8), acc1);
+      }
+      // Scalar tail for N % 16 columns, K-blocked like the scalar kernel.
+      if (n16 < N) {
+        for (int64_t k0 = 0; k0 < K; k0 += kKBlock) {
+          const int64_t k1 = std::min(K, k0 + kKBlock);
+          for (int64_t k = k0; k < k1; ++k) {
+            const int32_t av = a[k];
+            if (av == 0) continue;
+            const int8_t* b = B + k * N;
+            for (int64_t j = n16; j < N; ++j) c[j] += av * b[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+// Bit p*2 set when A-row pair p of this 8-pair block (bytes 2p, 2p+1 of
+// `av`) has any nonzero byte.
+inline uint32_t nonzero_pair_mask8(const __m128i av) {
+  const uint32_t nz =
+      0xFFFFu ^ static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(av, _mm_setzero_si128())));
+  return (nz | (nz >> 1)) & 0x5555u;
+}
+
+// The eight (a0, a1) int16 pair-broadcasts of one 16-byte A block, built with
+// vector shuffles only: sign-extend the block to int16 (one 32-bit lane per
+// pair), mirror its 128-bit halves, then broadcast each lane with an
+// immediate-index shuffle. ~2 uops per broadcast, vs ~6 for rebuilding
+// (a1 << 16) | a0 through scalar registers each pair.
+struct PairBroadcast8 {
+  __m256i va[8];
+  explicit PairBroadcast8(const __m128i a8) {
+    const __m256i a16 = _mm256_cvtepi8_epi16(a8);
+    const __m256i lo = _mm256_permute2x128_si256(a16, a16, 0x00);
+    const __m256i hi = _mm256_permute2x128_si256(a16, a16, 0x11);
+    va[0] = _mm256_shuffle_epi32(lo, 0x00);
+    va[1] = _mm256_shuffle_epi32(lo, 0x55);
+    va[2] = _mm256_shuffle_epi32(lo, 0xAA);
+    va[3] = _mm256_shuffle_epi32(lo, 0xFF);
+    va[4] = _mm256_shuffle_epi32(hi, 0x00);
+    va[5] = _mm256_shuffle_epi32(hi, 0x55);
+    va[6] = _mm256_shuffle_epi32(hi, 0xAA);
+    va[7] = _mm256_shuffle_epi32(hi, 0xFF);
+  }
+};
+
+// Below this many nonzero pairs (of 8) the tzcnt-driven sparse walk beats
+// processing the whole block; post-ReLU activation rows sit on both sides.
+constexpr int kDensePairThreshold = 3;
+
+// Packed-B GEMM: B comes k-pair-interleaved as int16 (pack_b_pair16), so one
+// vpmaddwd computes a0*B[2p][n] + a1*B[2p+1][n] for 8 columns at once — 16
+// exact int16*int16 multiply-adds per instruction, with the pair sum and the
+// running accumulation both in int32 (the plan's bounds prove no partial sum
+// can overflow). K runs in a single pass, so C is overwritten from
+// zero-initialized registers — the caller skips its memset entirely.
+//
+// The packed layout pads columns to packed_n(N) (zoo conv layers run 8-16
+// channels wide, frequently not a multiple of 8), so every column group is a
+// full 8-lane vector; the last partial group computes all 8 lanes against
+// zero-padded B columns and retires through one maskstore.
+//
+// A rows are walked in 8-pair (16-byte) blocks. One vector compare finds the
+// block's nonzero pairs; near-dense blocks (LeakyReLU activations, im2col
+// interiors) take an unrolled path whose pair broadcasts come from
+// PairBroadcast8 shuffles, while sparse blocks (post-ReLU zeros) visit only
+// their nonzero pairs via a count-trailing-zeros loop. Both read A through
+// the 32-byte slack the caller guarantees; any beyond-K byte of the final
+// pair multiplies the zero-padded tail of packed B.
+// This is the engine's hot conv/dense path.
+void gemm_s8p16_avx2(const int8_t* A, const int16_t* Bp, int32_t* C, int64_t M, int64_t N,
+                     int64_t K) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  const int64_t n16 = N - (N % 16);
+  const int64_t n8 = N - (N % 8);
+  // Lane mask for the final partial column group: lane l live iff n8 + l < N.
+  const __m256i tail_mask = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int32_t>(N - n8)),
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    for (int64_t i = m0; i < m1; ++i) {
+      const int8_t* a = A + i * K;
+      int32_t* c = C + i * N;
+      for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m128i a8 =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 2 * pb));
+          uint32_t pm = nonzero_pair_mask8(a8);
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << (2 * rem)) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const PairBroadcast8 bc(a8);
+            const int16_t* b = Bp + (pb * np + j0) * 2;
+            for (int j = 0; j < 8; ++j, b += 2 * np) {
+              acc0 = _mm256_add_epi32(
+                  acc0, _mm256_madd_epi16(bc.va[j],
+                                          _mm256_loadu_si256(
+                                              reinterpret_cast<const __m256i*>(b))));
+              acc1 = _mm256_add_epi32(
+                  acc1, _mm256_madd_epi16(bc.va[j],
+                                          _mm256_loadu_si256(
+                                              reinterpret_cast<const __m256i*>(b + 16))));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + (__builtin_ctz(pm) >> 1);
+            pm &= pm - 1;
+            const int32_t a0 = a[2 * p];
+            const int32_t a1 = a[2 * p + 1];  // odd-K slack multiplies zero B
+            const __m256i va = _mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF));
+            const int16_t* b = Bp + (p * np + j0) * 2;
+            acc0 = _mm256_add_epi32(
+                acc0, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                                reinterpret_cast<const __m256i*>(b))));
+            acc1 = _mm256_add_epi32(
+                acc1, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                                reinterpret_cast<const __m256i*>(b + 16))));
+          }
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0 + 8), acc1);
+      }
+      for (int64_t j0 = n16; j0 < np; j0 += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m128i a8 =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + 2 * pb));
+          uint32_t pm = nonzero_pair_mask8(a8);
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << (2 * rem)) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const PairBroadcast8 bc(a8);
+            const int16_t* b = Bp + (pb * np + j0) * 2;
+            for (int j = 0; j < 8; ++j, b += 2 * np) {
+              acc = _mm256_add_epi32(
+                  acc, _mm256_madd_epi16(bc.va[j],
+                                         _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(b))));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + (__builtin_ctz(pm) >> 1);
+            pm &= pm - 1;
+            const int32_t a0 = a[2 * p];
+            const int32_t a1 = a[2 * p + 1];
+            const __m256i va = _mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF));
+            const int16_t* b = Bp + (p * np + j0) * 2;
+            acc = _mm256_add_epi32(
+                acc, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                               reinterpret_cast<const __m256i*>(b))));
+          }
+        }
+        if (j0 < n8) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0), acc);
+        } else {
+          _mm256_maskstore_epi32(c + j0, tail_mask, acc);
+        }
+      }
+    }
+  });
+}
+
+// int16-activation variant of the packed-B GEMM. Identical structure; the
+// 8-pair block is one 32-byte load whose 32-bit lanes already hold the
+// (a0, a1) int16 pairs, so no widening shuffle is needed and the nonzero-pair
+// mask is a single epi32 compare. Pair products are bounded by
+// 2 * 2^15 * 2^7 < 2^23, and the plan's int32 output width certifies the
+// |x| * sum|w| bound that dominates every partial sum.
+void gemm_s16p16_avx2(const int16_t* A, const int16_t* Bp, int32_t* C, int64_t M,
+                      int64_t N, int64_t K) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  const int64_t n16 = N - (N % 16);
+  const int64_t n8 = N - (N % 8);
+  const __m256i tail_mask = _mm256_cmpgt_epi32(
+      _mm256_set1_epi32(static_cast<int32_t>(N - n8)),
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    for (int64_t i = m0; i < m1; ++i) {
+      const int16_t* a = A + i * K;
+      int32_t* c = C + i * N;
+      for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m256i av =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 2 * pb));
+          uint32_t pm = 0xFFu ^ static_cast<uint32_t>(_mm256_movemask_ps(
+              _mm256_castsi256_ps(_mm256_cmpeq_epi32(av, _mm256_setzero_si256()))));
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << rem) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const __m256i lo = _mm256_permute2x128_si256(av, av, 0x00);
+            const __m256i hi = _mm256_permute2x128_si256(av, av, 0x11);
+            const __m256i va[8] = {
+                _mm256_shuffle_epi32(lo, 0x00), _mm256_shuffle_epi32(lo, 0x55),
+                _mm256_shuffle_epi32(lo, 0xAA), _mm256_shuffle_epi32(lo, 0xFF),
+                _mm256_shuffle_epi32(hi, 0x00), _mm256_shuffle_epi32(hi, 0x55),
+                _mm256_shuffle_epi32(hi, 0xAA), _mm256_shuffle_epi32(hi, 0xFF)};
+            const int16_t* b = Bp + (pb * np + j0) * 2;
+            for (int j = 0; j < 8; ++j, b += 2 * np) {
+              acc0 = _mm256_add_epi32(
+                  acc0, _mm256_madd_epi16(va[j],
+                                          _mm256_loadu_si256(
+                                              reinterpret_cast<const __m256i*>(b))));
+              acc1 = _mm256_add_epi32(
+                  acc1, _mm256_madd_epi16(va[j],
+                                          _mm256_loadu_si256(
+                                              reinterpret_cast<const __m256i*>(b + 16))));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + __builtin_ctz(pm);
+            pm &= pm - 1;
+            const int32_t a0 = a[2 * p];
+            const int32_t a1 = a[2 * p + 1];  // odd-K slack multiplies zero B
+            const __m256i va = _mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF));
+            const int16_t* b = Bp + (p * np + j0) * 2;
+            acc0 = _mm256_add_epi32(
+                acc0, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                                reinterpret_cast<const __m256i*>(b))));
+            acc1 = _mm256_add_epi32(
+                acc1, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                                reinterpret_cast<const __m256i*>(b + 16))));
+          }
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0), acc0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0 + 8), acc1);
+      }
+      for (int64_t j0 = n16; j0 < np; j0 += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m256i av =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 2 * pb));
+          uint32_t pm = 0xFFu ^ static_cast<uint32_t>(_mm256_movemask_ps(
+              _mm256_castsi256_ps(_mm256_cmpeq_epi32(av, _mm256_setzero_si256()))));
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << rem) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const __m256i lo = _mm256_permute2x128_si256(av, av, 0x00);
+            const __m256i hi = _mm256_permute2x128_si256(av, av, 0x11);
+            const __m256i va[8] = {
+                _mm256_shuffle_epi32(lo, 0x00), _mm256_shuffle_epi32(lo, 0x55),
+                _mm256_shuffle_epi32(lo, 0xAA), _mm256_shuffle_epi32(lo, 0xFF),
+                _mm256_shuffle_epi32(hi, 0x00), _mm256_shuffle_epi32(hi, 0x55),
+                _mm256_shuffle_epi32(hi, 0xAA), _mm256_shuffle_epi32(hi, 0xFF)};
+            const int16_t* b = Bp + (pb * np + j0) * 2;
+            for (int j = 0; j < 8; ++j, b += 2 * np) {
+              acc = _mm256_add_epi32(
+                  acc, _mm256_madd_epi16(va[j],
+                                         _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(b))));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + __builtin_ctz(pm);
+            pm &= pm - 1;
+            const int32_t a0 = a[2 * p];
+            const int32_t a1 = a[2 * p + 1];
+            const __m256i va = _mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF));
+            const int16_t* b = Bp + (p * np + j0) * 2;
+            acc = _mm256_add_epi32(
+                acc, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                                               reinterpret_cast<const __m256i*>(b))));
+          }
+        }
+        if (j0 < n8) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + j0), acc);
+        } else {
+          _mm256_maskstore_epi32(c + j0, tail_mask, acc);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+const KernelSet* avx2_kernels() {
+  if (!__builtin_cpu_supports("avx2")) return nullptr;
+  // Depthwise reuses the scalar body: its per-channel inner loop is already
+  // memory-bound at int8 widths and keeping one definition keeps the
+  // registry honest about what the SIMD set actually accelerates.
+  static const KernelSet ks{"avx2", gemm_s8_avx2, scalar_kernels().depthwise_s8s8s32,
+                            gemm_s8p16_avx2, gemm_s16p16_avx2};
+  return &ks;
+}
+
+#else  // !__AVX2__
+
+const KernelSet* avx2_kernels() { return nullptr; }
+
+#endif
+
+}  // namespace tqt::fpk

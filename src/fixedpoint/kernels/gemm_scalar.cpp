@@ -1,0 +1,122 @@
+// Scalar (portable) narrow-width kernels + kernel-set selection.
+//
+// The GEMM is cache-blocked over K: a 256-row slab of B (256*N int8) stays
+// L1/L2-resident while a thread's C rows stream over it. Blocking only
+// regroups the k loop; integer accumulation is exact, so the result is
+// bit-identical for every block size, thread count, and skip pattern.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "fixedpoint/kernels/kernels.h"
+#include "runtime/parallel.h"
+
+namespace tqt::fpk {
+
+namespace {
+
+constexpr int64_t kKBlock = 256;
+
+void gemm_s8_scalar(const int8_t* A, const int8_t* B, int32_t* C, int64_t M, int64_t N,
+                    int64_t K) {
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    for (int64_t k0 = 0; k0 < K; k0 += kKBlock) {
+      const int64_t k1 = std::min(K, k0 + kKBlock);
+      for (int64_t i = m0; i < m1; ++i) {
+        const int8_t* a = A + i * K;
+        int32_t* c = C + i * N;
+        for (int64_t k = k0; k < k1; ++k) {
+          // Zero-skip: im2col padding and post-ReLU activations are
+          // genuinely sparse, and skipping zeros cannot change the sum.
+          const int32_t av = a[k];
+          if (av == 0) continue;
+          const int8_t* b = B + k * N;
+          for (int64_t j = 0; j < N; ++j) c[j] += av * b[j];
+        }
+      }
+    }
+  });
+}
+
+void depthwise_s8_scalar(const int8_t* x, const int8_t* w, int32_t* y,
+                         const DepthwiseArgs& a) {
+  const Conv2dGeom& g = a.geom;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * g.kh * g.kw * a.c * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      for (int64_t ox = 0; ox < a.ow; ++ox) {
+        int32_t* out = y + (r * a.ow + ox) * a.c;
+        std::memset(out, 0, static_cast<size_t>(a.c) * sizeof(int32_t));
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ky = 0; ky < g.kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= a.h) continue;
+          for (int64_t kx = 0; kx < g.kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= a.w) continue;
+            const int8_t* xi = x + ((b * a.h + iy) * a.w + ix) * a.c;
+            const int8_t* wk = w + (ky * g.kw + kx) * a.c;
+            for (int64_t ch = 0; ch < a.c; ++ch) {
+              out[ch] += static_cast<int32_t>(xi[ch]) * wk[ch];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+const KernelSet* g_forced = nullptr;
+
+}  // namespace
+
+std::vector<int16_t> pack_b_pair16(const int8_t* B, int64_t K, int64_t N) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  std::vector<int16_t> packed(static_cast<size_t>(pairs * np * 2), int16_t{0});
+  for (int64_t p = 0; p < pairs; ++p) {
+    const int8_t* row0 = B + (2 * p) * N;
+    const int8_t* row1 = (2 * p + 1 < K) ? B + (2 * p + 1) * N : nullptr;
+    int16_t* dst = packed.data() + p * np * 2;
+    for (int64_t n = 0; n < N; ++n) {
+      dst[2 * n] = row0[n];
+      dst[2 * n + 1] = row1 ? row1[n] : int16_t{0};
+    }
+  }
+  return packed;
+}
+
+namespace {
+
+const KernelSet* pick_auto() {
+  if (const KernelSet* avx2 = avx2_kernels()) return avx2;
+  return &scalar_kernels();
+}
+
+const KernelSet* pick_from_env() {
+  if (const char* env = std::getenv("TQT_KERNELS")) {
+    if (std::strcmp(env, "scalar") == 0) return &scalar_kernels();
+    if (std::strcmp(env, "avx2") == 0 && avx2_kernels()) return avx2_kernels();
+  }
+  return pick_auto();
+}
+
+}  // namespace
+
+const KernelSet& scalar_kernels() {
+  static const KernelSet ks{"scalar", gemm_s8_scalar, depthwise_s8_scalar};
+  return ks;
+}
+
+const KernelSet& active_kernels() {
+  static const KernelSet* auto_pick = pick_from_env();
+  return g_forced ? *g_forced : *auto_pick;
+}
+
+void set_active_kernels(const KernelSet* ks) { g_forced = ks; }
+
+}  // namespace tqt::fpk

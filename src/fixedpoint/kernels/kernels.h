@@ -1,0 +1,97 @@
+// Narrow-width integer kernel registry for the typed fixed-point engine.
+//
+// The hot instructions of a compiled program — Conv2d (as im2col + GEMM),
+// Dense (GEMM directly; activations are already the [M, K] A operand) and
+// DepthwiseConv2d — dispatch through one KernelSet. The contract is pure
+// integer arithmetic with no saturation: the memory plan (plan.h) proves the
+// int32 accumulators cannot overflow, so every implementation — scalar,
+// AVX2, a future NEON — produces bit-identical results and variants can slot
+// in behind the same function pointers.
+//
+// Kernels parallelize internally over output rows via runtime/parallel.h;
+// integer accumulation is exact, so chunking never changes results.
+//
+// Selection: active_kernels() picks the best compiled-in set for this CPU
+// (AVX2 when the build and the machine support it, scalar otherwise). The
+// TQT_KERNELS environment variable (scalar|avx2|auto) and
+// set_active_kernels() override for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace tqt::fpk {
+
+/// C[M,N] (int32, caller-zeroed) += A[M,K] * B[K,N]; all row-major int8.
+using GemmS8Fn = void (*)(const int8_t* A, const int8_t* B, int32_t* C, int64_t M,
+                          int64_t N, int64_t K);
+
+/// C[M,N] (int32) = A[M,K] * B[K,N], OVERWRITING C (no caller zeroing — the
+/// kernel covers all of K in one pass). B is pre-packed by pack_b_pair16():
+/// consecutive K rows interleaved column-wise as int16 pairs over a column
+/// stride of packed_n(N) — N rounded up to a whole 8-lane vector, extra
+/// columns zero — i.e. Bp[(kp*packed_n(N) + n)*2 + d] = B[2*kp + d][n]
+/// (zero-padded when K is odd). The pairing feeds two multiply-accumulates
+/// per 32-bit lane (e.g. AVX2 vpmaddwd), and the padded stride lets every
+/// column group run vector-width with a masked store on the last partial
+/// group. Packing happens once per program because B is a weight constant.
+/// A must be followed by at least 32 readable bytes of slack (ExecContext
+/// pads its arena): implementations scan A rows for nonzero runs in whole
+/// 16-byte blocks.
+using GemmS8P16Fn = void (*)(const int8_t* A, const int16_t* Bp, int32_t* C, int64_t M,
+                             int64_t N, int64_t K);
+
+/// Same contract with an int16 A operand (the plan keeps many conv inputs at
+/// int16 — e.g. pre-requant residual sums). Exactness holds unchanged: a
+/// vpmaddwd pair sum is bounded by 2 * 2^15 * 2^7 < 2^23, and the plan only
+/// narrows the output register to int32 when the full |x| * sum|w| bound —
+/// which also dominates every partial sum — fits it.
+using GemmS16P16Fn = void (*)(const int16_t* A, const int16_t* Bp, int32_t* C, int64_t M,
+                              int64_t N, int64_t K);
+
+/// Column stride of the packed layout: N rounded up to a multiple of 8.
+inline int64_t packed_n(int64_t N) { return (N + 7) & ~int64_t{7}; }
+
+/// Pack a row-major int8 [K, N] B operand into the k-pair-interleaved int16
+/// layout consumed by GemmS8P16Fn.
+std::vector<int16_t> pack_b_pair16(const int8_t* B, int64_t K, int64_t N);
+
+/// Geometry bundle for the depthwise kernel (NHWC, one filter per channel,
+/// weights in (kh, kw, c) row-major order).
+struct DepthwiseArgs {
+  int64_t batch = 0, h = 0, w = 0, c = 0;
+  int64_t oh = 0, ow = 0;
+  Conv2dGeom geom;
+};
+
+/// y[n,oh,ow,c] (int32, need not be pre-zeroed) = depthwise conv of int8 x.
+using DepthwiseS8Fn = void (*)(const int8_t* x, const int8_t* w, int32_t* y,
+                               const DepthwiseArgs& a);
+
+struct KernelSet {
+  const char* name = "?";
+  GemmS8Fn gemm_s8s8s32 = nullptr;
+  DepthwiseS8Fn depthwise_s8s8s32 = nullptr;
+  /// Optional packed-B GEMM; null means the set only takes raw int8 B. The
+  /// executor prefers this entry point when the plan carries a packed copy.
+  GemmS8P16Fn gemm_s8p16s32 = nullptr;
+  /// Optional int16-activation variant of the packed-B GEMM.
+  GemmS16P16Fn gemm_s16p16s32 = nullptr;
+};
+
+/// Portable cache-blocked scalar kernels (always available).
+const KernelSet& scalar_kernels();
+
+/// AVX2 kernels, or nullptr when not compiled in (no -mavx2/-march support)
+/// or the CPU lacks AVX2.
+const KernelSet* avx2_kernels();
+
+/// The set the engine dispatches through. Honors TQT_KERNELS on first call.
+const KernelSet& active_kernels();
+
+/// Force a specific set (tests/bench); nullptr restores automatic selection.
+void set_active_kernels(const KernelSet* ks);
+
+}  // namespace tqt::fpk

@@ -1,0 +1,399 @@
+#include "fixedpoint/plan.h"
+
+#include <algorithm>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "fixedpoint/kernels/kernels.h"
+#include "fixedpoint/rescale.h"
+
+namespace tqt {
+
+const char* to_string(IntWidth w) {
+  switch (w) {
+    case IntWidth::kI8: return "i8";
+    case IntWidth::kI16: return "i16";
+    case IntWidth::kI32: return "i32";
+    case IntWidth::kI64: return "i64";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+
+// Saturating int64 arithmetic for the bound propagation. Bounds that blow
+// past int64 simply pin the register at the (always safe) kI64 width.
+int64_t sat_add(int64_t a, int64_t b) {
+  __int128 r = static_cast<__int128>(a) + b;
+  if (r > kI64Max) return kI64Max;
+  if (r < kI64Min) return kI64Min;
+  return static_cast<int64_t>(r);
+}
+
+int64_t sat_mul(int64_t a, int64_t b) {
+  __int128 r = static_cast<__int128>(a) * b;
+  if (r > kI64Max) return kI64Max;
+  if (r < kI64Min) return kI64Min;
+  return static_cast<int64_t>(r);
+}
+
+int64_t sat_shl(int64_t a, int shift) {
+  if (a == 0) return 0;
+  __int128 r = static_cast<__int128>(a) << shift;
+  if (r > kI64Max) return kI64Max;
+  if (r < kI64Min) return kI64Min;
+  return static_cast<int64_t>(r);
+}
+
+IntWidth width_for_bounds(int64_t lo, int64_t hi) {
+  if (lo >= std::numeric_limits<int8_t>::min() && hi <= std::numeric_limits<int8_t>::max()) {
+    return IntWidth::kI8;
+  }
+  if (lo >= std::numeric_limits<int16_t>::min() && hi <= std::numeric_limits<int16_t>::max()) {
+    return IntWidth::kI16;
+  }
+  if (lo >= std::numeric_limits<int32_t>::min() && hi <= std::numeric_limits<int32_t>::max()) {
+    return IntWidth::kI32;
+  }
+  return IntWidth::kI64;
+}
+
+IntWidth widen_to(IntWidth w, IntWidth at_least) {
+  return static_cast<uint8_t>(w) < static_cast<uint8_t>(at_least) ? at_least : w;
+}
+
+/// Largest per-output-channel sum of |w| for a matmul-family weight tensor:
+/// the tight accumulator bound is max_o(sum_k |w[k][o]|) * max|x|. The
+/// constant layouts are (kh, kw, cin, cout) for conv, (k, m) for dense —
+/// both row-major with the output channel innermost — and (kh, kw, c) for
+/// depthwise where each channel accumulates only its own taps.
+int64_t max_abs_col_sum(const std::vector<int64_t>& w, int64_t cols) {
+  if (cols <= 0 || w.empty()) return 0;
+  std::vector<int64_t> sums(static_cast<size_t>(cols), 0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    int64_t& s = sums[i % static_cast<size_t>(cols)];
+    s = sat_add(s, w[i] < 0 ? -w[i] : w[i]);
+  }
+  return *std::max_element(sums.begin(), sums.end());
+}
+
+struct Interval {
+  int64_t lo = 0, hi = 0;
+  int64_t abs_max() const { return std::max(lo < 0 ? sat_mul(lo, -1) : lo, hi); }
+};
+
+}  // namespace
+
+ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
+                         int input_register, int output_register) {
+  ExecPlan plan;
+  plan.regs.assign(static_cast<size_t>(n_registers), ExecPlan::Reg{});
+  plan.consts.assign(instrs.size(), ExecPlan::Const{});
+
+  // ---- Pass 1: value bounds -> storage widths --------------------------
+  // Exponents are static: replay the same propagation the compiler and the
+  // reference interpreter perform, so the typed executor never has to track
+  // scales at run time.
+  std::vector<Interval> iv(static_cast<size_t>(n_registers));
+  std::vector<int> rex(static_cast<size_t>(n_registers), 0);
+  auto in_iv = [&](const FpInstr& in, int i) -> Interval& {
+    return iv[static_cast<size_t>(in.inputs[static_cast<size_t>(i)])];
+  };
+  auto in_exp = [&](const FpInstr& in) {
+    return in.inputs.empty() ? 0 : rex[static_cast<size_t>(in.inputs[0])];
+  };
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const FpInstr& in = instrs[idx];
+    Interval out;
+    IntWidth min_width = IntWidth::kI8;
+    switch (in.kind) {
+      case FpInstr::Kind::kQuantizeInput:
+      case FpInstr::Kind::kRequant:
+        out = {in.clamp_lo, in.clamp_hi};
+        break;
+      case FpInstr::Kind::kConv2d:
+      case FpInstr::Kind::kDense:
+      case FpInstr::Kind::kDepthwise: {
+        const int64_t cols = in.kind == FpInstr::Kind::kDense
+                                 ? in.const_shape[1]
+                                 : in.const_shape.back();
+        const int64_t wsum = max_abs_col_sum(in.const_data, cols);
+        const int64_t bound = sat_mul(wsum, in_iv(in, 0).abs_max());
+        out = {sat_mul(bound, -1), bound};
+        // Accumulate natively in the GEMM kernels' int32 (or int64).
+        min_width = IntWidth::kI32;
+        break;
+      }
+      case FpInstr::Kind::kBiasAdd: {
+        int64_t bmin = 0, bmax = 0;
+        if (!in.const_data.empty()) {
+          const auto [mn, mx] = std::minmax_element(in.const_data.begin(), in.const_data.end());
+          bmin = *mn;
+          bmax = *mx;
+        }
+        out = {sat_add(in_iv(in, 0).lo, bmin), sat_add(in_iv(in, 0).hi, bmax)};
+        break;
+      }
+      case FpInstr::Kind::kRelu:
+        out = {std::max<int64_t>(in_iv(in, 0).lo, 0), std::max<int64_t>(in_iv(in, 0).hi, 0)};
+        break;
+      case FpInstr::Kind::kRelu6:
+        out = {fp::saturate(in_iv(in, 0).lo, in.clamp_lo, in.clamp_hi),
+               fp::saturate(in_iv(in, 0).hi, in.clamp_lo, in.clamp_hi)};
+        break;
+      case FpInstr::Kind::kLeakyRelu: {
+        const int lift = -in.alpha_exponent;
+        // f(x) = max(x << lift, x * alpha_q) is monotone in x (both branches
+        // increase with x, alpha_q > 0), so the output interval is
+        // [f(lo), f(hi)].
+        auto f = [&](int64_t x) {
+          return std::max(sat_shl(x, lift), sat_mul(x, in.alpha_q));
+        };
+        out = {f(in_iv(in, 0).lo), f(in_iv(in, 0).hi)};
+        break;
+      }
+      case FpInstr::Kind::kMaxPool:
+        // An all-padding window yields 0, so 0 joins the interval.
+        out = {std::min<int64_t>(in_iv(in, 0).lo, 0), std::max<int64_t>(in_iv(in, 0).hi, 0)};
+        break;
+      case FpInstr::Kind::kEltwiseAdd:
+        out = {sat_add(in_iv(in, 0).lo, in_iv(in, 1).lo),
+               sat_add(in_iv(in, 0).hi, in_iv(in, 1).hi)};
+        break;
+      case FpInstr::Kind::kConcat: {
+        out = in_iv(in, 0);
+        for (size_t i = 1; i < in.inputs.size(); ++i) {
+          out.lo = std::min(out.lo, in_iv(in, static_cast<int>(i)).lo);
+          out.hi = std::max(out.hi, in_iv(in, static_cast<int>(i)).hi);
+        }
+        break;
+      }
+      case FpInstr::Kind::kFlatten:
+        out = in_iv(in, 0);
+        break;
+    }
+    int out_exp = in_exp(in);
+    switch (in.kind) {
+      case FpInstr::Kind::kQuantizeInput:
+      case FpInstr::Kind::kRequant:
+        out_exp = in.out_exponent;
+        break;
+      case FpInstr::Kind::kConv2d:
+      case FpInstr::Kind::kDense:
+      case FpInstr::Kind::kDepthwise:
+        out_exp = in_exp(in) + in.const_exponent;
+        break;
+      case FpInstr::Kind::kLeakyRelu:
+        out_exp = in_exp(in) + in.alpha_exponent;
+        break;
+      default:
+        break;  // exponent passes through
+    }
+    rex[static_cast<size_t>(in.output)] = out_exp;
+
+    iv[static_cast<size_t>(in.output)] = out;
+    ExecPlan::Reg& reg = plan.regs[static_cast<size_t>(in.output)];
+    reg.lo = out.lo;
+    reg.hi = out.hi;
+    reg.exponent = out_exp;
+    reg.width = widen_to(width_for_bounds(out.lo, out.hi), min_width);
+
+    if (in.kind == FpInstr::Kind::kConv2d) plan.needs_scratch = true;
+
+    // ---- Typed weight constants for the matmul family ------------------
+    if (in.kind == FpInstr::Kind::kConv2d || in.kind == FpInstr::Kind::kDense ||
+        in.kind == FpInstr::Kind::kDepthwise) {
+      int64_t wmin = 0, wmax = 0;
+      if (!in.const_data.empty()) {
+        const auto [mn, mx] = std::minmax_element(in.const_data.begin(), in.const_data.end());
+        wmin = *mn;
+        wmax = *mx;
+      }
+      ExecPlan::Const& c = plan.consts[idx];
+      c.width = width_for_bounds(wmin, wmax);
+      switch (c.width) {
+        case IntWidth::kI8:
+          c.i8.assign(in.const_data.begin(), in.const_data.end());
+          // Conv/dense weights are the GEMM B operand; pre-pack the
+          // k-pair-interleaved int16 copy the vpmaddwd kernels consume.
+          if (in.kind != FpInstr::Kind::kDepthwise) {
+            const int64_t n = in.const_shape[in.kind == FpInstr::Kind::kDense ? 1 : 3];
+            if (n > 0) {
+              c.b_pair16 = fpk::pack_b_pair16(
+                  c.i8.data(), static_cast<int64_t>(c.i8.size()) / n, n);
+            }
+          }
+          break;
+        case IntWidth::kI16:
+          c.i16.assign(in.const_data.begin(), in.const_data.end());
+          break;
+        case IntWidth::kI32:
+          c.i32.assign(in.const_data.begin(), in.const_data.end());
+          break;
+        case IntWidth::kI64:
+          break;  // read from instr.const_data directly
+      }
+    }
+  }
+
+  // ---- Pass 2: liveness -> arena slots ---------------------------------
+  std::vector<int> last_use(static_cast<size_t>(n_registers), -1);
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    for (int r : instrs[idx].inputs) last_use[static_cast<size_t>(r)] = static_cast<int>(idx);
+  }
+  if (output_register >= 0) {
+    last_use[static_cast<size_t>(output_register)] =
+        static_cast<int>(instrs.size());  // live past the end
+  }
+
+  std::vector<int> free_slots;
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const FpInstr& in = instrs[idx];
+    // Assign the output a slot no live register holds (an instruction's
+    // output must never alias an input it is still reading).
+    ExecPlan::Reg& reg = plan.regs[static_cast<size_t>(in.output)];
+    if (free_slots.empty()) {
+      reg.slot = plan.n_slots++;
+    } else {
+      reg.slot = free_slots.back();
+      free_slots.pop_back();
+    }
+    // Inputs that die here release their slots for the NEXT instruction.
+    for (int r : in.inputs) {
+      if (r == input_register) continue;  // float input: no slot
+      if (last_use[static_cast<size_t>(r)] == static_cast<int>(idx)) {
+        const int s = plan.regs[static_cast<size_t>(r)].slot;
+        if (s >= 0) free_slots.push_back(s);
+      }
+    }
+    // An output nothing ever reads (cannot happen for compiled graphs, but
+    // harmless): release immediately.
+    if (last_use[static_cast<size_t>(in.output)] < 0 && in.output != output_register) {
+      free_slots.push_back(reg.slot);
+    }
+  }
+  return plan;
+}
+
+void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
+                           int input_register, const Shape& input_shape,
+                           std::vector<FpRegShape>& out) {
+  if (static_cast<int>(input_shape.size()) > 4) {
+    throw std::invalid_argument("fp exec: input rank > 4 unsupported");
+  }
+  out.resize(static_cast<size_t>(n_registers));
+  auto set_shape = [&](int reg, const FpRegShape& s) { out[static_cast<size_t>(reg)] = s; };
+
+  FpRegShape in_s;
+  in_s.rank = static_cast<int>(input_shape.size());
+  in_s.numel = 1;
+  for (int i = 0; i < in_s.rank; ++i) {
+    in_s.dims[i] = input_shape[static_cast<size_t>(i)];
+    in_s.numel *= in_s.dims[i];
+  }
+  if (input_register >= 0) set_shape(input_register, in_s);
+
+  for (const FpInstr& in : instrs) {
+    const FpRegShape& x = out[static_cast<size_t>(in.inputs.empty() ? in.output : in.inputs[0])];
+    FpRegShape y = x;
+    switch (in.kind) {
+      case FpInstr::Kind::kQuantizeInput:
+        y = in_s;
+        break;
+      case FpInstr::Kind::kConv2d:
+      case FpInstr::Kind::kDepthwise:
+      case FpInstr::Kind::kMaxPool: {
+        y.rank = 4;
+        y.dims[0] = x.dims[0];
+        y.dims[1] = in.geom.out_h(x.dims[1]);
+        y.dims[2] = in.geom.out_w(x.dims[2]);
+        y.dims[3] = in.kind == FpInstr::Kind::kConv2d ? in.const_shape[3] : x.dims[3];
+        y.numel = y.dims[0] * y.dims[1] * y.dims[2] * y.dims[3];
+        break;
+      }
+      case FpInstr::Kind::kDense:
+        y.rank = 2;
+        y.dims[0] = x.dims[0];
+        y.dims[1] = in.const_shape[1];
+        y.dims[2] = y.dims[3] = 0;
+        y.numel = y.dims[0] * y.dims[1];
+        break;
+      case FpInstr::Kind::kConcat: {
+        int64_t total_c = 0;
+        for (int r : in.inputs) {
+          const FpRegShape& s = out[static_cast<size_t>(r)];
+          total_c += s.dims[s.rank - 1];
+        }
+        y.dims[y.rank - 1] = total_c;
+        y.numel = 1;
+        for (int i = 0; i < y.rank; ++i) y.numel *= y.dims[i];
+        break;
+      }
+      case FpInstr::Kind::kFlatten:
+        y.rank = 2;
+        y.dims[1] = x.numel / x.dims[0];
+        y.dims[2] = y.dims[3] = 0;
+        y.numel = x.numel;
+        break;
+      default:  // elementwise: shape passes through
+        break;
+    }
+    set_shape(in.output, y);
+  }
+}
+
+TrafficEstimate estimate_traffic(const FixedPointProgram& prog, const Shape& input_shape) {
+  const ExecPlan& plan = prog.plan();
+  std::vector<FpRegShape> shapes;
+  int input_reg = -1;
+  for (const FpInstr& in : prog.instructions()) {
+    if (in.kind == FpInstr::Kind::kQuantizeInput) input_reg = in.inputs[0];
+  }
+  infer_register_shapes(prog.instructions(), prog.register_count(), input_reg, input_shape,
+                        shapes);
+
+  TrafficEstimate t;
+  const auto& instrs = prog.instructions();
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const FpInstr& in = instrs[idx];
+    const FpRegShape& y = shapes[static_cast<size_t>(in.output)];
+    // Writes.
+    t.typed_bytes += y.numel * width_bytes(plan.regs[static_cast<size_t>(in.output)].width);
+    t.reference_bytes += y.numel * 8;
+    // Activation reads (the float input counts as 4 bytes/lane for both).
+    for (int r : in.inputs) {
+      const FpRegShape& s = shapes[static_cast<size_t>(r)];
+      if (r == input_reg) {
+        t.typed_bytes += s.numel * 4;
+        t.reference_bytes += s.numel * 4;
+      } else {
+        t.typed_bytes += s.numel * width_bytes(plan.regs[static_cast<size_t>(r)].width);
+        t.reference_bytes += s.numel * 8;
+      }
+    }
+    // Constant reads.
+    const int64_t cn = static_cast<int64_t>(in.const_data.size());
+    t.typed_bytes += cn * width_bytes(plan.consts[idx].width);
+    t.reference_bytes += cn * 8;
+  }
+  return t;
+}
+
+const ExecPlan& FixedPointProgram::plan() const {
+  if (!plan_) {
+    throw std::logic_error("fixed-point program has no execution plan (not finalized)");
+  }
+  return *plan_;
+}
+
+void FixedPointProgram::finalize() {
+  plan_ = std::make_shared<const ExecPlan>(
+      build_exec_plan(instrs_, n_registers, input_register, output_register));
+}
+
+}  // namespace tqt

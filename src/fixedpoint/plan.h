@@ -1,0 +1,80 @@
+// Static memory/width plan for the typed fixed-point engine.
+//
+// Built once per program (at compile or load time) from the instruction
+// stream alone — no input required:
+//
+//  * Width inference: conservative interval arithmetic propagates a value
+//    bound [lo, hi] through every instruction (quantizer clamps, per-output-
+//    channel sums of |w| for the matmul family, bias/eltwise interval sums),
+//    and each register gets the narrowest of int8/int16/int32/int64 that
+//    provably holds it. Matmul-family outputs are widened to >= int32 so the
+//    int8xint8->int32 kernels accumulate in their native type; the bounds
+//    also prove that no int32 partial sum can overflow, which is what makes
+//    narrow accumulation bit-identical to the int64 reference interpreter.
+//  * Typed constants: conv/depthwise/dense weights are re-packed into
+//    int8_t/int16_t arrays (already in [K, Cout] row-major order, i.e. the
+//    GEMM B operand). Biases stay int64 in the instruction.
+//  * Slot assignment: a linear-scan liveness pass maps registers onto a
+//    small set of reusable arena slots (a register's slot is freed after its
+//    last use; an instruction's output never aliases a live input). Slot
+//    byte sizes are shape-dependent and therefore resolved at run time by
+//    the grow-only ExecContext arena.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+
+namespace tqt {
+
+struct ExecPlan {
+  struct Reg {
+    IntWidth width = IntWidth::kI64;
+    int slot = -1;           ///< arena slot; -1 for the float input register
+    int exponent = 0;        ///< static power-of-2 scale of the register
+    int64_t lo = 0, hi = 0;  ///< inferred value bounds
+  };
+
+  /// Typed copy of one instruction's weight constant (empty for non-matmul
+  /// instructions). Only the vector matching `width` is populated; int64
+  /// constants are read from FpInstr::const_data directly.
+  struct Const {
+    IntWidth width = IntWidth::kI64;
+    std::vector<int8_t> i8;
+    std::vector<int16_t> i16;
+    std::vector<int32_t> i32;
+    /// pack_b_pair16() copy of an int8 conv/dense weight (the GEMM B
+    /// operand), consumed by kernel sets exposing gemm_s8p16s32.
+    std::vector<int16_t> b_pair16;
+  };
+
+  std::vector<Reg> regs;      ///< indexed by register id
+  std::vector<Const> consts;  ///< indexed by instruction index
+  int n_slots = 0;            ///< arena value slots (<= live registers)
+  bool needs_scratch = false; ///< any Conv2d instruction (im2col packing)
+};
+
+/// Build the plan for an instruction stream. `input_register` holds the raw
+/// float input and gets no slot; `output_register` stays live to the end.
+ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
+                         int input_register, int output_register);
+
+/// Per-run shape inference: fill `out[r]` for every register reachable from
+/// the input, given the (runtime) input shape. Grow-only on `out`; performs
+/// no allocation once `out` has n_registers entries. Shared by the executor
+/// and the traffic estimator.
+void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
+                           int input_register, const Shape& input_shape,
+                           std::vector<FpRegShape>& out);
+
+/// Estimated bytes moved by one execution (activations read + written, plus
+/// constants read) under the typed plan vs the int64 reference interpreter.
+/// Used by bench_engine_kernels to report GB moved.
+struct TrafficEstimate {
+  int64_t typed_bytes = 0;
+  int64_t reference_bytes = 0;
+};
+TrafficEstimate estimate_traffic(const FixedPointProgram& prog, const Shape& input_shape);
+
+}  // namespace tqt

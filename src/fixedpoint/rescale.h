@@ -1,0 +1,28 @@
+// Scale-change arithmetic shared by the reference interpreter and the typed
+// kernel engine. Both paths MUST use these exact helpers: the engine's
+// bit-exactness contract (typed == reference == fake-quant graph) hinges on a
+// single definition of saturation and power-of-2 rescaling.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/ops.h"
+
+namespace tqt::fp {
+
+/// Clamp v into [lo, hi].
+inline int64_t saturate(int64_t v, int64_t lo, int64_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Rescale an integer value from exponent `from` to exponent `to`:
+/// right shift with round-half-to-even when `to > from`, exact left shift
+/// otherwise. This is Eq. (16) of the paper — the whole point of power-of-2
+/// scale-factors is that requantization is a bit-shift, not a multiply.
+inline int64_t rescale(int64_t v, int from, int to) {
+  if (to >= from) return shift_round_half_to_even(v, to - from);
+  return v << (from - to);
+}
+
+}  // namespace tqt::fp

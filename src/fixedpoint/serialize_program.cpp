@@ -147,6 +147,9 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
     in.debug_name = r_string(is);
     prog.instrs_.push_back(std::move(in));
   }
+  // The plan (widths, typed consts, slots) is derived state, not serialized:
+  // rebuild it so loaded programs execute typed exactly like compiled ones.
+  prog.finalize();
   return prog;
 }
 

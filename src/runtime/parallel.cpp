@@ -160,20 +160,20 @@ int num_threads() { return pool().size(); }
 
 void set_num_threads(int n) { pool().resize(n); }
 
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn) {
-  const int64_t range = end - begin;
-  if (range <= 0) return;
-  if (grain < 1) grain = 1;
-  Pool& p = pool();
-  // Serial fast paths: a one-thread pool, a nested call from a worker, or a
-  // single-chunk range. Chunk *boundaries* never depend on this choice —
-  // reductions iterate their chunks explicitly — so results are unchanged.
-  if (tls_in_worker || p.size() == 1 || range <= grain) {
-    fn(begin, end);
-    return;
-  }
-  p.run(begin, end, grain, fn);
+namespace detail {
+
+// Serial fast paths: a one-thread pool, a nested call from a worker, or a
+// single-chunk range. Chunk *boundaries* never depend on this choice —
+// reductions iterate their chunks explicitly — so results are unchanged.
+bool run_serial(int64_t range, int64_t grain) {
+  return tls_in_worker || pool().size() == 1 || range <= grain;
 }
+
+void pool_run(int64_t begin, int64_t end, int64_t grain,
+              const std::function<void(int64_t, int64_t)>& fn) {
+  pool().run(begin, end, grain, fn);
+}
+
+}  // namespace detail
 
 }  // namespace tqt

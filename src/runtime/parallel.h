@@ -47,6 +47,12 @@ void set_num_threads(int n);
 /// the training path actually sees.
 inline constexpr int64_t kElementGrain = int64_t{1} << 15;
 
+/// Target ops per chunk for the integer GEMM/conv kernels. Heavier than the
+/// default grain_for target: a GEMM chunk streams a B slab from cache, so
+/// fewer, larger chunks amortize that traffic, and ~256k multiply-adds is
+/// still fine-grained enough to split every zoo-model layer across 8 threads.
+inline constexpr int64_t kGemmTargetOps = int64_t{1} << 18;
+
 /// Grain so that one chunk covers roughly `target_ops` scalar operations,
 /// given `ops_per_item` work per index. Depends only on the problem size —
 /// never on the pool — so reduce chunking stays deterministic.
@@ -66,11 +72,38 @@ inline int64_t num_chunks(int64_t range, int64_t grain) {
   return (range + grain - 1) / grain;
 }
 
+namespace detail {
+
+/// True when the calling context must run the whole range inline: a
+/// one-thread pool, a nested call from a pool worker, or a single chunk.
+bool run_serial(int64_t range, int64_t grain);
+
+/// Dispatch a multi-chunk region to the pool (range > 0, grain >= 1).
+void pool_run(int64_t begin, int64_t end, int64_t grain,
+              const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace detail
+
 /// Run `fn(lo, hi)` over disjoint sub-ranges covering [begin, end). The body
 /// must tolerate concurrent invocation on distinct sub-ranges. Nested calls
 /// (from inside a worker) run inline.
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn);
+///
+/// Template on purpose: the serial fast path calls `fn` directly, so no
+/// std::function is materialized — at TQT_NUM_THREADS=1 a parallel_for is
+/// allocation-free, which the typed engine's zero-allocation steady-state
+/// contract (and its test) relies on. The type-erased std::function is built
+/// only when the region actually goes to the pool.
+template <typename Fn>
+void parallel_for(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  if (detail::run_serial(range, grain)) {
+    fn(begin, end);
+    return;
+  }
+  detail::pool_run(begin, end, grain, fn);
+}
 
 /// Deterministic reduction: `chunk(lo, hi)` produces one partial T per chunk,
 /// `combine(a, b)` folds two partials (b's chunk indices strictly follow a's).

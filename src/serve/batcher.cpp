@@ -72,6 +72,9 @@ SubmitResult MicroBatcher::submit(Tensor sample) {
 }
 
 void MicroBatcher::worker_loop() {
+  // One arena per worker: batches reuse its buffers, so steady-state serving
+  // does no per-request heap allocation inside the engine.
+  ExecContext ctx;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
@@ -95,12 +98,12 @@ void MicroBatcher::worker_loop() {
       queue_.pop_front();
     }
     lk.unlock();
-    execute_batch(batch);
+    execute_batch(batch, ctx);
     lk.lock();
   }
 }
 
-void MicroBatcher::execute_batch(std::vector<Request>& batch) {
+void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx) {
   const auto n = static_cast<int64_t>(batch.size());
   stats_->on_batch(n);
 
@@ -117,7 +120,7 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch) {
 
   Tensor output;
   try {
-    output = execute_(input);
+    output = execute_(input, ctx);
     if (output.rank() < 1 || output.dim(0) != n) {
       throw std::runtime_error("batcher: execute returned batch dim " +
                                (output.rank() ? std::to_string(output.dim(0)) : "<rank 0>") +

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "fixedpoint/engine.h"
 #include "serve/stats.h"
 #include "tensor/tensor.h"
 
@@ -57,8 +58,11 @@ class MicroBatcher {
  public:
   /// `execute` maps a batched input [N, sample_shape...] to a batched output
   /// [N, ...]; it runs on the batcher's worker threads. `sample_shape` is the
-  /// per-sample shape WITHOUT the batch dimension.
-  using ExecuteFn = std::function<Tensor(const Tensor&)>;
+  /// per-sample shape WITHOUT the batch dimension. The ExecContext is owned
+  /// by the calling worker and reused across batches (and across hot-swapped
+  /// program versions) — the typed engine's steady-state zero-allocation
+  /// contract extends to serving.
+  using ExecuteFn = std::function<Tensor(const Tensor&, ExecContext&)>;
   MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execute, ServeStats* stats);
 
   /// Drains and joins (equivalent to shutdown_and_drain()).
@@ -82,7 +86,7 @@ class MicroBatcher {
   };
 
   void worker_loop();
-  void execute_batch(std::vector<Request>& batch);
+  void execute_batch(std::vector<Request>& batch, ExecContext& ctx);
 
   BatchConfig cfg_;
   Shape sample_shape_;

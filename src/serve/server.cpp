@@ -20,12 +20,12 @@ uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram prog
     // effect at the next batch boundary without touching the lane.
     lane.batcher = std::make_unique<MicroBatcher>(
         cfg_.batch, std::move(sample_shape),
-        [this, name](const Tensor& batch) {
+        [this, name](const Tensor& batch, ExecContext& ctx) {
           const auto program_snapshot = registry_.lookup(name);
           if (!program_snapshot) {
             throw std::runtime_error("serve: model '" + name + "' disappeared from registry");
           }
-          return program_snapshot->run(batch);
+          return program_snapshot->run(batch, ctx);
         },
         lane.stats.get());
     lanes_.emplace(name, std::move(lane));

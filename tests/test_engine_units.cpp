@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "fixedpoint/engine.h"
+#include "fixedpoint/rescale.h"
 #include "graph_opt/quantize_pass.h"
 #include "nn/ops_basic.h"
 #include "nn/ops_conv.h"
@@ -155,6 +156,63 @@ TEST(EngineUnit, RescaleHelperBehaviour) {
   FixedPointProgram prog = compile_fixed_point(g, in, q_coarse);
   Tensor x({3}, {100.0f / 4096.0f * 16.0f, 0.031f, -0.031f});
   EXPECT_TRUE(g.run({{in, x}}, q_coarse).equals(prog.run(x)));
+}
+
+// ---- fp::rescale / fp::saturate unit tests --------------------------------
+// The shared scale-change helpers (fixedpoint/rescale.h) are the single
+// definition both the reference interpreter and the typed engine requantize
+// through; pin down their behavior at the awkward points — exact-half ties
+// at every shift and values straddling the clamp bounds.
+
+TEST(Rescale, ShiftZeroIsIdentity) {
+  for (int64_t v : {int64_t{-129}, int64_t{-128}, int64_t{-1}, int64_t{0}, int64_t{1},
+                    int64_t{127}, int64_t{128}, int64_t{1} << 40}) {
+    EXPECT_EQ(fp::rescale(v, -4, -4), v);
+  }
+}
+
+TEST(Rescale, ExactHalfTiesToEvenAtEveryShift) {
+  for (int shift = 1; shift <= 16; ++shift) {
+    const int64_t unit = int64_t{1} << shift;
+    for (int64_t q = -6; q <= 6; ++q) {
+      // v / 2^shift == q + 0.5 exactly: the tie is between q and q + 1 and
+      // must resolve to whichever is even.
+      const int64_t v = (2 * q + 1) * (unit / 2);
+      const int64_t even = (q % 2 == 0) ? q : q + 1;
+      EXPECT_EQ(fp::rescale(v, -shift, 0), even) << "tie q=" << q << " shift=" << shift;
+      // One LSB to either side of the tie is no longer a tie: plain nearest.
+      EXPECT_EQ(fp::rescale(v + 1, -shift, 0), q + 1) << "q=" << q << " shift=" << shift;
+      EXPECT_EQ(fp::rescale(v - 1, -shift, 0), q) << "q=" << q << " shift=" << shift;
+    }
+  }
+}
+
+TEST(Rescale, SaturationBoundariesAtInt8ClampEdges) {
+  constexpr int64_t kLo = -128, kHi = 127;
+  for (int shift = 0; shift <= 16; ++shift) {
+    const int64_t unit = int64_t{1} << shift;
+    // Exactly representable clamp values pass through untouched.
+    EXPECT_EQ(fp::saturate(fp::rescale(kHi * unit, -shift, 0), kLo, kHi), kHi);
+    EXPECT_EQ(fp::saturate(fp::rescale(kLo * unit, -shift, 0), kLo, kHi), kLo);
+    // One quantum beyond either bound saturates instead of wrapping.
+    EXPECT_EQ(fp::saturate(fp::rescale((kHi + 1) * unit, -shift, 0), kLo, kHi), kHi);
+    EXPECT_EQ(fp::saturate(fp::rescale((kLo - 1) * unit, -shift, 0), kLo, kHi), kLo);
+    if (shift == 0) continue;
+    // 127.5 ties to even 128, which must then clamp back to 127; -128.5 ties
+    // to even -128 and stays exactly at the bound.
+    EXPECT_EQ(fp::saturate(fp::rescale(kHi * unit + unit / 2, -shift, 0), kLo, kHi), kHi);
+    EXPECT_EQ(fp::rescale(kHi * unit + unit / 2, -shift, 0), kHi + 1);
+    EXPECT_EQ(fp::saturate(fp::rescale(kLo * unit - unit / 2, -shift, 0), kLo, kHi), kLo);
+    EXPECT_EQ(fp::rescale(kLo * unit - unit / 2, -shift, 0), kLo);
+  }
+}
+
+TEST(Rescale, LeftShiftIsExactScaleUp) {
+  for (int lift = 1; lift <= 16; ++lift) {
+    for (int64_t v : {int64_t{-127}, int64_t{-1}, int64_t{0}, int64_t{1}, int64_t{100}}) {
+      EXPECT_EQ(fp::rescale(v, 0, -lift), v * (int64_t{1} << lift));
+    }
+  }
 }
 
 }  // namespace

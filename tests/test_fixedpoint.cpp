@@ -53,6 +53,12 @@ TEST_P(BitExact, Int8MatchesFakeQuantGraphExactly) {
       ASSERT_EQ(fake[i], fixed[i]) << model_name(GetParam()) << " element " << i
                                    << " trial " << trial;
     }
+    if (trial == 0) {
+      // The typed engine (run) and the int64 reference interpreter must also
+      // agree with each other, not just with the fake-quant graph.
+      Tensor ref = prog.run_reference(probe);
+      ASSERT_TRUE(fixed.equals(ref)) << model_name(GetParam()) << " typed vs reference";
+    }
   }
 }
 

@@ -8,13 +8,15 @@
 //       Quantize (and optionally retrain) from the cached FP32 weights.
 //   tqt_cli export <model> -o FILE [--bits 8|4] [--epochs N]
 //       TQT-retrain and compile to a fixed-point program file.
-//   tqt_cli run <model> -i FILE [--threads N]
+//   tqt_cli run <model> -i FILE [--threads N] [--repeat N]
 //       Load a fixed-point program and evaluate it on the validation split.
+//       --repeat runs the split N times and reports wall time per inference.
 //   tqt_cli serve <model> -i FILE [--threads N] [--clients C] [--requests R]
-//                 [--max-batch B] [--delay-us D] [--queue Q]
+//                 [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]
 //       Serve a fixed-point program through the tqt-serve micro-batching
 //       server, drive it with C in-process client threads over the
-//       validation split, and print the per-model stats block as JSON.
+//       validation split (N passes with --repeat), and print the per-model
+//       stats block as JSON plus wall time per inference.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,9 +42,9 @@ int usage() {
                "  pretrain <model> [--cache DIR]\n"
                "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
                "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
-               "  run      <model> -i FILE [--threads N]\n"
+               "  run      <model> -i FILE [--threads N] [--repeat N]\n"
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
-               "           [--max-batch B] [--delay-us D] [--queue Q]\n");
+               "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n");
   return 2;
 }
 
@@ -153,15 +155,30 @@ int cmd_run(int argc, char** argv) {
   if (!in_path) return usage();
   parse_model(argv[0]);  // validated for the error message only
   apply_threads_flag(argc, argv);
+  const int repeat = positive_flag(argc, argv, "--repeat", 1);
   SyntheticImageDataset data(default_dataset_config());
   const FixedPointProgram prog = FixedPointProgram::load(in_path);
+  ExecContext ctx;  // arena reused across batches and passes
   Accuracy acc;
-  for (int64_t first = 0; first < data.val_size(); first += 64) {
-    const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
-    accumulate_topk(prog.run(b.images), b.labels, acc);
+  int64_t inferences = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeat; ++rep) {
+    Accuracy pass;
+    for (int64_t first = 0; first < data.val_size(); first += 64) {
+      const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
+      accumulate_topk(prog.run(b.images, ctx), b.labels, pass);
+      inferences += b.images.dim(0);
+    }
+    acc = pass;  // every pass is bit-identical; keep the last
   }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::printf("%s (integer-only program): top-1 %.1f%%  top-5 %.1f%%\n", in_path,
               100.0 * acc.top1(), 100.0 * acc.top5());
+  std::printf("%lld inferences in %.3f s: %.3f ms/inference (%.1f img/s, %d pass%s)\n",
+              static_cast<long long>(inferences), secs,
+              inferences > 0 ? 1e3 * secs / static_cast<double>(inferences) : 0.0,
+              secs > 0 ? static_cast<double>(inferences) / secs : 0.0, repeat,
+              repeat == 1 ? "" : "es");
   return 0;
 }
 
@@ -172,7 +189,9 @@ int cmd_serve(int argc, char** argv) {
   const std::string model = model_name(parse_model(argv[0]));
   apply_threads_flag(argc, argv);
   const int clients = positive_flag(argc, argv, "--clients", 4);
-  const int64_t total_requests = positive_flag(argc, argv, "--requests", 256);
+  const int repeat = positive_flag(argc, argv, "--repeat", 1);
+  const int64_t total_requests =
+      static_cast<int64_t>(positive_flag(argc, argv, "--requests", 256)) * repeat;
 
   serve::ServerConfig scfg;
   scfg.batch.max_batch = positive_flag(argc, argv, "--max-batch", 8);
@@ -192,6 +211,7 @@ int cmd_serve(int argc, char** argv) {
   Accuracy acc;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       Accuracy local;
@@ -214,10 +234,15 @@ int cmd_serve(int argc, char** argv) {
   }
   for (auto& t : threads) t.join();
   server.shutdown_and_drain();
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   std::fprintf(stderr, "%s served %lld requests (%d clients): top-1 %.1f%%  top-5 %.1f%%\n",
                model.c_str(), static_cast<long long>(acc.count), clients, 100.0 * acc.top1(),
                100.0 * acc.top5());
+  std::fprintf(stderr, "%lld inferences in %.3f s: %.3f ms/inference (%.1f img/s)\n",
+               static_cast<long long>(acc.count), secs,
+               acc.count > 0 ? 1e3 * secs / static_cast<double>(acc.count) : 0.0,
+               secs > 0 ? static_cast<double>(acc.count) / secs : 0.0);
   std::printf("%s\n", server.stats_json().c_str());
   return 0;
 }

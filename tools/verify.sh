@@ -2,6 +2,9 @@
 # Full verification loop: configure, build, then run the test suite twice —
 # once serial (TQT_NUM_THREADS=1) and once parallel (TQT_NUM_THREADS=4) — so
 # any thread-count-dependent result or data race surfaces as a test failure.
+# The engine tests (typed executor, kernels, plan, rescale, bit-exactness)
+# additionally run from a Debug build, and the engine bench smoke-runs as a
+# bit-exactness gate at the end.
 #
 # Usage:
 #   tools/verify.sh [build-dir]               # default build dir: build
@@ -23,6 +26,16 @@ fi
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR"
 
+# Engine tests also run from a Debug build: the typed engine's kernels and
+# memory plan are UB-sensitive (masked loads, arena slack, width narrowing),
+# and assertions plus -O0 evaluation order give a second angle on them.
+DEBUG_DIR="${BUILD_DIR}-debug"
+cmake -B "$DEBUG_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$DEBUG_DIR" --target test_engine_exec test_engine_units test_fixedpoint
+echo "==== engine tests (Debug) ===="
+ctest --test-dir "$DEBUG_DIR" -R 'TypedEngine|EngineUnit|Rescale|FixedPoint|BitExact' \
+  --output-on-failure -j "$(nproc)"
+
 # Fail fast on the serving subsystem: the serve + serialization tests run
 # first, at both pool sizes, before the full suite (which includes them too).
 for threads in 1 4; do
@@ -38,5 +51,10 @@ done
 
 echo "==== bench_serve_throughput smoke -> $BUILD_DIR/BENCH_serve.json ===="
 "$BUILD_DIR/bench/bench_serve_throughput" --smoke -o "$BUILD_DIR/BENCH_serve.json"
+
+# The engine bench doubles as a release gate: it exits nonzero if any zoo
+# model's typed output diverges from the reference interpreter.
+echo "==== bench_engine_kernels smoke -> $BUILD_DIR/BENCH_engine.json ===="
+"$BUILD_DIR/bench/bench_engine_kernels" --smoke -o "$BUILD_DIR/BENCH_engine.json"
 
 echo "verify.sh: all test passes completed"
