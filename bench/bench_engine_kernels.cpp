@@ -4,6 +4,10 @@
 // widths), and a bit-exactness spot check per model. Emits one JSON report.
 //
 //   bench_engine_kernels [--batch N] [--iters N] [--smoke] [-o FILE]
+//                        [--export-dir DIR]
+//
+// --export-dir saves each model's compiled program to DIR/<model>.tqtp —
+// cheap calibration-only artifacts for CLI / trace end-to-end checks.
 //
 // Runs with a 1-thread pool so the comparison isolates the kernel/storage
 // work (thread scaling is bench_parallel_scaling's job). --smoke (or env
@@ -13,18 +17,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.h"
 #include "fixedpoint/engine.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/plan.h"
-#include "graph_opt/quantize_pass.h"
-#include "graph_opt/transforms.h"
 #include "models/zoo.h"
+#include "observe/json.h"
 #include "runtime/parallel.h"
 #include "tensor/rng.h"
 
@@ -44,22 +47,6 @@ bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
-}
-
-FixedPointProgram make_program(ModelKind kind) {
-  BuiltModel m = build_model(kind, 10, 11);
-  Rng rng(11);
-  m.graph.set_training(true);
-  for (int i = 0; i < 10; ++i) {
-    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
-  }
-  m.graph.set_training(false);
-  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
-  optimize_for_quantization(m.graph, m.input, calib);
-  QuantizeConfig qcfg;
-  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
-  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
-  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
 }
 
 template <typename Fn>
@@ -101,16 +88,20 @@ struct ModelResult {
   std::string kernels;
 };
 
-std::string model_json(const ModelResult& r) {
-  std::ostringstream os;
-  os << "{\"model\": \"" << r.name << "\", \"reference_imgs_per_s\": " << r.ref_imgs_per_s
-     << ", \"typed_imgs_per_s\": " << r.typed_imgs_per_s << ", \"speedup\": " << r.speedup
-     << ", \"reference_gb_per_1k\": " << r.ref_gb_per_1k
-     << ", \"typed_gb_per_1k\": " << r.typed_gb_per_1k << ", \"arena_slots\": " << r.slots
-     << ", \"registers\": " << r.registers << ", \"arena_bytes\": " << r.arena_bytes
-     << ", \"kernels\": \"" << r.kernels << "\", \"bit_exact\": "
-     << (r.bit_exact ? "true" : "false") << "}";
-  return os.str();
+void write_model(observe::JsonWriter& w, const ModelResult& r) {
+  w.obj();
+  w.kv("model", r.name);
+  w.kv("reference_imgs_per_s", r.ref_imgs_per_s);
+  w.kv("typed_imgs_per_s", r.typed_imgs_per_s);
+  w.kv("speedup", r.speedup);
+  w.kv("reference_gb_per_1k", r.ref_gb_per_1k);
+  w.kv("typed_gb_per_1k", r.typed_gb_per_1k);
+  w.kv("arena_slots", r.slots);
+  w.kv("registers", r.registers);
+  w.kv("arena_bytes", static_cast<long long>(r.arena_bytes));
+  w.kv("kernels", r.kernels);
+  w.kv("bit_exact", r.bit_exact);
+  w.end();
 }
 
 }  // namespace
@@ -119,6 +110,8 @@ int main(int argc, char** argv) {
   const bool smoke = has_flag(argc, argv, "--smoke") || std::getenv("TQT_FAST") != nullptr;
   const int64_t batch = std::atoll(flag_value(argc, argv, "--batch", "16"));
   const int iters = std::atoi(flag_value(argc, argv, "--iters", smoke ? "2" : "5"));
+  const char* export_dir = flag_value(argc, argv, "--export-dir", nullptr);
+  if (export_dir) std::filesystem::create_directories(export_dir);
 
   set_num_threads(1);  // isolate per-core kernel + storage effects
 
@@ -130,7 +123,12 @@ int main(int argc, char** argv) {
     ModelResult r;
     r.name = model_name(kind);
     std::fprintf(stderr, "building %s program...\n", r.name.c_str());
-    const FixedPointProgram prog = make_program(kind);
+    const FixedPointProgram prog = bench::calibrated_program(kind);
+    if (export_dir) {
+      const std::string path = std::string(export_dir) + "/" + r.name + ".tqtp";
+      prog.save(path);
+      std::fprintf(stderr, "exported %s\n", path.c_str());
+    }
 
     const ExecPlan& plan = prog.plan();
     r.registers = prog.register_count();
@@ -166,26 +164,24 @@ int main(int argc, char** argv) {
   }
   set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
 
-  std::ostringstream os;
-  os << "{\"bench\": \"engine_kernels\", \"batch\": " << batch << ", \"iters\": " << iters
-     << ", \"threads\": 1, \"models\": [";
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (i) os << ", ";
-    os << model_json(results[i]);
-  }
   int exact = 0, faster2x = 0;
   for (const ModelResult& r : results) {
     exact += r.bit_exact ? 1 : 0;
     faster2x += r.speedup >= 2.0 ? 1 : 0;
   }
-  os << "], \"bit_exact_models\": " << exact << ", \"models_ge_2x\": " << faster2x << "}";
-  const std::string json = os.str();
-  std::printf("%s\n", json.c_str());
 
-  if (const char* out = flag_value(argc, argv, "-o", nullptr)) {
-    std::ofstream f(out, std::ios::trunc);
-    f << json << "\n";
-    std::fprintf(stderr, "wrote %s\n", out);
-  }
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("bench", "engine_kernels");
+  w.kv("batch", static_cast<long long>(batch));
+  w.kv("iters", iters);
+  w.kv("threads", 1);
+  w.key("models").arr();
+  for (const ModelResult& r : results) write_model(w, r);
+  w.end();
+  w.kv("bit_exact_models", exact);
+  w.kv("models_ge_2x", faster2x);
+  w.end();
+  bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
   return (exact == static_cast<int>(results.size())) ? 0 : 1;
 }

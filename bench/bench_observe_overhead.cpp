@@ -1,0 +1,118 @@
+// Overhead gate for the tqt-observe instrumentation (DESIGN.md §10):
+// with tracing disabled, the hooks compiled into the engine hot path must
+// cost < 1% of a steady-state run_into. Measured from first principles —
+// per-primitive cost (disabled span, counter increment) times the number of
+// hooks a run executes, divided by the measured run time — so the gate stays
+// meaningful even when run-to-run timing noise exceeds 1%.
+//
+//   bench_observe_overhead [--smoke] [-o FILE]
+//
+// Also reports the enabled-tracing span cost (ring-buffer write) for scale.
+// Exits 1 when the disabled-path overhead breaches the 1% contract.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "fixedpoint/engine.h"
+#include "models/zoo.h"
+#include "observe/json.h"
+#include "observe/observe.h"
+#include "runtime/parallel.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace tqt;
+
+const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ns per iteration of `fn` over `iters` repetitions (one timed block).
+template <typename Fn>
+double ns_per_iter(int64_t iters, Fn&& fn) {
+  const double t0 = now_s();
+  for (int64_t i = 0; i < iters; ++i) fn();
+  return (now_s() - t0) * 1e9 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) || std::getenv("TQT_FAST") != nullptr;
+  const int64_t prim_iters = smoke ? (1 << 18) : (1 << 21);
+  const int run_iters = smoke ? 10 : 30;
+
+  set_num_threads(1);  // the zero-alloc steady-state configuration under test
+
+  // Primitive costs. Tracing must be off so the span measures the
+  // disabled-path check (one relaxed atomic load, no ring write).
+  observe::Tracer::global().set_enabled(false);
+  observe::Counter& c = observe::MetricsRegistry::global().counter("bench.observe.counter");
+  const double counter_ns = ns_per_iter(prim_iters, [&] { c.inc(); });
+  const double span_off_ns =
+      ns_per_iter(prim_iters, [] { TQT_TRACE("bench.noop", "bench"); });
+
+  // Enabled-span cost (for scale; not part of the disabled-path gate).
+  observe::Tracer::global().set_enabled(true);
+  const double span_on_ns =
+      ns_per_iter(smoke ? (1 << 14) : (1 << 16), [] { TQT_TRACE("bench.noop", "bench"); });
+  observe::Tracer::global().set_enabled(false);
+  observe::Tracer::global().clear();
+
+  // Steady-state engine run: mini_vgg, batch 16, reused context.
+  std::fprintf(stderr, "building mini_vgg program...\n");
+  const FixedPointProgram prog = tqt::bench::calibrated_program(ModelKind::kMiniVgg);
+  Rng rng(7);
+  const Tensor input = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.2f);
+  ExecContext ctx;
+  Tensor out;
+  prog.run_into(input, ctx, out);  // warm the arena + static instrument refs
+  double best_run_ns = 1e300;
+  for (int i = 0; i < run_iters; ++i) {
+    const double t0 = now_s();
+    prog.run_into(input, ctx, out);
+    best_run_ns = std::min(best_run_ns, (now_s() - t0) * 1e9);
+  }
+
+  // Disabled-path hooks one run_into executes with a 1-thread pool: two
+  // counter increments (engine.runs / engine.instructions) plus two disabled
+  // trace checks (the run_into span and the executor's run_traced branch).
+  const double hook_ns = 2.0 * counter_ns + 2.0 * span_off_ns;
+  const double overhead_pct = 100.0 * hook_ns / best_run_ns;
+  const bool ok = overhead_pct < 1.0;
+
+  std::fprintf(stderr,
+               "counter.inc %.2f ns  span(off) %.2f ns  span(on) %.1f ns\n"
+               "run_into %.0f ns  hooks/run %.2f ns  overhead %.4f%%  %s\n",
+               counter_ns, span_off_ns, span_on_ns, best_run_ns, hook_ns, overhead_pct,
+               ok ? "OK (<1%)" : "BREACH (>=1%)");
+
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("bench", "observe_overhead");
+  w.kv("counter_inc_ns", counter_ns);
+  w.kv("span_disabled_ns", span_off_ns);
+  w.kv("span_enabled_ns", span_on_ns);
+  w.kv("run_into_ns", best_run_ns);
+  w.kv("hooks_per_run_ns", hook_ns);
+  w.kv("overhead_pct", overhead_pct);
+  w.kv("within_contract", ok);
+  w.end();
+  tqt::bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
+
+  set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
+  return ok ? 0 : 1;
+}

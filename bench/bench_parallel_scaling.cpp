@@ -149,7 +149,12 @@ int main() {
                          dx[0] += th->grad[0];
                          return dx;
                        }});
-  workloads.push_back({"engine_infer", probe.numel(), [&] { return prog.run(probe); }});
+  workloads.push_back({"engine_infer", probe.numel(), [&] {
+                         ExecContext ctx;
+                         Tensor out;
+                         prog.run_into(probe, ctx, out);
+                         return out;
+                       }});
 
   for (const Workload& w : workloads) report(w, threads, iters);
   return 0;

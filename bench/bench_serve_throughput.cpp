@@ -15,16 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "fixedpoint/engine.h"
-#include "graph_opt/quantize_pass.h"
-#include "graph_opt/transforms.h"
 #include "models/zoo.h"
+#include "observe/json.h"
 #include "runtime/parallel.h"
 #include "serve/server.h"
 #include "tensor/rng.h"
@@ -45,22 +43,6 @@ bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
-}
-
-FixedPointProgram make_program(ModelKind kind) {
-  BuiltModel m = build_model(kind, 10, 11);
-  Rng rng(11);
-  m.graph.set_training(true);
-  for (int i = 0; i < 10; ++i) {
-    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
-  }
-  m.graph.set_training(false);
-  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
-  optimize_for_quantization(m.graph, m.input, calib);
-  QuantizeConfig qcfg;
-  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
-  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
-  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
 }
 
 struct PhaseResult {
@@ -108,15 +90,18 @@ PhaseResult run_phase(const FixedPointProgram& prog, int pool_threads, int clien
   return r;
 }
 
-std::string phase_json(const PhaseResult& r) {
-  std::ostringstream os;
-  os << "{\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
-     << ", \"throughput_rps\": " << r.throughput_rps
-     << ", \"p50_us\": " << r.stats.p50_us << ", \"p95_us\": " << r.stats.p95_us
-     << ", \"p99_us\": " << r.stats.p99_us << ", \"shed\": " << r.stats.shed
-     << ", \"batches\": " << r.stats.batches << ", \"mean_batch\": " << r.stats.mean_batch()
-     << "}";
-  return os.str();
+void write_phase(observe::JsonWriter& w, const PhaseResult& r) {
+  w.obj();
+  w.kv("threads", r.threads);
+  w.kv("seconds", r.seconds);
+  w.kv("throughput_rps", r.throughput_rps);
+  w.kv("p50_us", static_cast<long long>(r.stats.p50_us));
+  w.kv("p95_us", static_cast<long long>(r.stats.p95_us));
+  w.kv("p99_us", static_cast<long long>(r.stats.p99_us));
+  w.kv("shed", static_cast<long long>(r.stats.shed));
+  w.kv("batches", static_cast<long long>(r.stats.batches));
+  w.kv("mean_batch", r.stats.mean_batch());
+  w.end();
 }
 
 }  // namespace
@@ -133,7 +118,7 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "building %s program...\n", model_name(kind).c_str());
-  const FixedPointProgram prog = make_program(kind);
+  const FixedPointProgram prog = bench::calibrated_program(kind);
 
   serve::ServerConfig scfg;
   scfg.batch.max_batch = std::atoll(flag_value(argc, argv, "--max-batch", "16"));
@@ -148,22 +133,21 @@ int main(int argc, char** argv) {
   }
   set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
 
-  std::ostringstream os;
-  os << "{\"bench\": \"serve_throughput\", \"model\": \"" << model_name(kind)
-     << "\", \"clients\": " << clients << ", \"requests_per_phase\": " << total
-     << ", \"max_batch\": " << scfg.batch.max_batch
-     << ", \"max_delay_us\": " << scfg.batch.max_delay_us
-     << ", \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-     << ", \"phases\": [" << phase_json(phases[0]) << ", " << phase_json(phases[1])
-     << "], \"speedup_4_over_1\": "
-     << phases[1].throughput_rps / phases[0].throughput_rps << "}";
-  const std::string json = os.str();
-  std::printf("%s\n", json.c_str());
-
-  if (const char* out = flag_value(argc, argv, "-o", nullptr)) {
-    std::ofstream f(out, std::ios::trunc);
-    f << json << "\n";
-    std::fprintf(stderr, "wrote %s\n", out);
-  }
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("bench", "serve_throughput");
+  w.kv("model", model_name(kind));
+  w.kv("clients", clients);
+  w.kv("requests_per_phase", static_cast<long long>(total));
+  w.kv("max_batch", static_cast<long long>(scfg.batch.max_batch));
+  w.kv("max_delay_us", static_cast<long long>(scfg.batch.max_delay_us));
+  w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+  w.key("phases").arr();
+  write_phase(w, phases[0]);
+  write_phase(w, phases[1]);
+  w.end();
+  w.kv("speedup_4_over_1", phases[1].throughput_rps / phases[0].throughput_rps);
+  w.end();
+  bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
   return 0;
 }

@@ -11,10 +11,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "observe/json.h"
+#include "tensor/rng.h"
 
 namespace tqt::bench {
 
@@ -60,5 +66,36 @@ inline void print_header(const std::string& title) {
 }
 
 inline double pct(double x) { return 100.0 * x; }
+
+/// Calibration-only fixed-point program for `kind` (no retraining): warm the
+/// BN statistics on random batches, fold + quantize the graph, calibrate
+/// thresholds on one calibration batch, and compile. Shared by the engine /
+/// serve / observe benches, which measure execution rather than accuracy.
+inline FixedPointProgram calibrated_program(ModelKind kind) {
+  BuiltModel m = build_model(kind, 10, 11);
+  Rng rng(11);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig qcfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+/// Standard tail of every bench binary: print the one-line JSON report to
+/// stdout and, when `path` is non-null (the -o flag), render it to disk.
+inline void emit_report(const std::string& json, const char* path) {
+  std::printf("%s\n", json.c_str());
+  if (path) {
+    std::ofstream f(path, std::ios::trunc);
+    f << json << "\n";
+    std::fprintf(stderr, "wrote %s\n", path);
+  }
+}
 
 }  // namespace tqt::bench

@@ -78,11 +78,13 @@ int main() {
   // Bit-exactness + accuracy of the integer program on the validation set.
   Accuracy fake_acc, fixed_acc;
   bool bit_exact = true;
+  ExecContext ctx;  // reused across batches: steady-state engine runs allocate nothing
+  Tensor fixed;
   for (int64_t first = 0; first < data.val_size(); first += 64) {
     const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
     const Tensor fake =
         out.model.graph.run({{out.model.input, b.images}}, out.qres.quantized_output);
-    const Tensor fixed = shipped.run(b.images);
+    shipped.run_into(b.images, ctx, fixed);
     bit_exact = bit_exact && fake.equals(fixed);
     accumulate_topk(fake, b.labels, fake_acc);
     accumulate_topk(fixed, b.labels, fixed_acc);

@@ -41,7 +41,9 @@ int main() {
   const Batch probe = data.val_batch(0, 16);
   const Tensor fake = out.model.graph.run({{out.model.input, probe.images}},
                                           out.qres.quantized_output);
-  const Tensor fixed = prog.run(probe.images);
+  ExecContext ctx;
+  Tensor fixed;
+  prog.run_into(probe.images, ctx, fixed);
   std::printf("Fixed-point program: %lld instructions, %lld int parameters, bit-exact: %s\n",
               static_cast<long long>(prog.instruction_count()),
               static_cast<long long>(prog.parameter_count()),

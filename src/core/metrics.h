@@ -1,4 +1,6 @@
-// Classification metrics: running top-1 / top-5 accuracy.
+// Classification metrics: running top-1 / top-5 accuracy. These are pure
+// evaluation computations; process-wide telemetry (counters, gauges,
+// histograms, trace spans) lives in observe/observe.h.
 #pragma once
 
 #include <cstdint>

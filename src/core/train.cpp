@@ -6,6 +6,7 @@
 #include "nn/ops_basic.h"
 #include "nn/ops_loss.h"
 #include "nn/ops_norm.h"
+#include "observe/observe.h"
 #include "quant/freeze.h"
 
 namespace tqt {
@@ -94,10 +95,27 @@ TrainResult train_graph(Graph& g, NodeId input, NodeId output, const SyntheticIm
     g.set_training(true);
   };
 
+  // Per-step convergence series (paper Fig. 8/9 style): loss, the two lr
+  // staircases, and the L2 norm of the live log2-threshold vector, whose
+  // flattening-out is the paper's threshold-convergence signal.
+  observe::Series* loss_series = nullptr;
+  observe::Series* wlr_series = nullptr;
+  observe::Series* tlr_series = nullptr;
+  observe::Series* log2t_series = nullptr;
+  observe::Counter* steps_counter = nullptr;
+  if (sched.metrics) {
+    loss_series = &sched.metrics->series("train.loss");
+    wlr_series = &sched.metrics->series("train.weight_lr");
+    tlr_series = &sched.metrics->series("train.threshold_lr");
+    log2t_series = &sched.metrics->series("train.log2t_norm");
+    steps_counter = &sched.metrics->counter("train.steps");
+  }
+
   g.set_training(true);
   std::vector<int64_t> order = data.epoch_order(rng);
   int64_t cursor = 0;
   for (int64_t step = 0; step < total_steps; ++step) {
+    TQT_TRACE("train.step", "train");
     if (cursor + sched.batch_size > static_cast<int64_t>(order.size())) {
       order = data.epoch_order(rng);
       cursor = 0;
@@ -116,6 +134,19 @@ TrainResult train_graph(Graph& g, NodeId input, NodeId output, const SyntheticIm
     g.backward(loss);
     opt.step();
     if (freezer) freezer->observe(step);
+    if (sched.metrics) {
+      const auto s = static_cast<double>(step);
+      loss_series->append(s, res.final_loss);
+      wlr_series->append(s, sched.weight_lr.at(step));
+      tlr_series->append(s, sched.threshold_lr.at(step));
+      double sq = 0.0;
+      for (const auto& p : live_thresholds) {
+        const double v = p->value[0];
+        sq += v * v;
+      }
+      log2t_series->append(s, std::sqrt(sq));
+      steps_counter->inc();
+    }
     if (sched.on_step) sched.on_step(step);
 
     if (sched.validate_every > 0 && (step + 1) % sched.validate_every == 0) validate(step);

@@ -19,6 +19,10 @@
 
 namespace tqt {
 
+namespace observe {
+class MetricsRegistry;
+}  // namespace observe
+
 struct TrainSchedule {
   int64_t batch_size = 32;
   float epochs = 3.0f;
@@ -39,6 +43,13 @@ struct TrainSchedule {
   /// Optional observer invoked after every optimizer step (threshold
   /// trajectory recording for Figure 6, custom logging, ...).
   std::function<void(int64_t step)> on_step;
+  /// Optional metrics sink: when set, the loop appends per-step series
+  /// ("train.loss", "train.weight_lr", "train.threshold_lr",
+  /// "train.log2t_norm") and counts "train.steps" — the paper-style
+  /// convergence dump (Fig. 8/9 oscillation analysis) without a custom
+  /// on_step hook. Pass &observe::MetricsRegistry::global() or a private
+  /// registry; null disables.
+  observe::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrainResult {

@@ -97,6 +97,10 @@ struct FpInstr {
   std::string debug_name;        // originating graph node
 };
 
+/// Instruction kind name ("conv2d", "requant", ...) — used by the trace
+/// spans the executor emits and by diagnostics.
+const char* to_string(FpInstr::Kind k);
+
 struct ExecPlan;  // plan.h
 
 /// Runtime shape of one register (rank <= 4, the engine's NHWC world).
@@ -132,20 +136,36 @@ class ExecContext {
 /// Compiled integer program.
 class FixedPointProgram {
  public:
-  /// Execute on a real-valued NHWC input batch via the typed kernel engine;
-  /// returns the de-quantized network output (bit-identical to the fake-quant
-  /// graph and to run_reference by construction). Uses a thread-local
-  /// ExecContext; prefer the ExecContext overloads on worker threads.
-  Tensor run(const Tensor& input) const;
-
-  /// Typed execution with a caller-owned context (zero allocations at steady
-  /// state, apart from the returned Tensor).
-  Tensor run(const Tensor& input, ExecContext& ctx) const;
-
-  /// Typed execution writing into `out` (resized only when the output shape
-  /// changes). After one warm-up call per (program, input shape), this
-  /// performs zero heap allocations — asserted in tests.
+  /// THE execution entry point of the typed engine: run on a real-valued
+  /// NHWC input batch, writing the de-quantized network output into `out`
+  /// (bit-identical to the fake-quant graph and to run_reference by
+  /// construction). `out` is resized only when the output shape changes;
+  /// after one warm-up call per (program, input shape), this performs zero
+  /// heap allocations — asserted in tests. Every other run variant is a thin
+  /// wrapper over this one, so the observe hooks (engine.runs /
+  /// engine.instructions counters, per-instruction TQT_TRACE spans) are
+  /// wired in exactly one place.
   void run_into(const Tensor& input, ExecContext& ctx, Tensor& out) const;
+
+  /// Convenience wrapper: run_into with a fresh result tensor. Deprecated —
+  /// call run_into with a reused output tensor to keep the steady-state
+  /// zero-allocation contract.
+  [[deprecated("use run_into(input, ctx, out)")]]
+  Tensor run(const Tensor& input, ExecContext& ctx) const {
+    Tensor out;
+    run_into(input, ctx, out);
+    return out;
+  }
+
+  /// Convenience wrapper: run_into with a thread-local context. Deprecated —
+  /// own an ExecContext (and a reused output tensor) on worker threads.
+  [[deprecated("use run_into(input, ctx, out) with a caller-owned ExecContext")]]
+  Tensor run(const Tensor& input) const {
+    thread_local ExecContext ctx;
+    Tensor out;
+    run_into(input, ctx, out);
+    return out;
+  }
 
   /// Execute (typed engine) and return the raw integer output plus exponent.
   IntTensor run_raw(const Tensor& input) const;

@@ -26,9 +26,29 @@
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/plan.h"
 #include "fixedpoint/rescale.h"
+#include "observe/observe.h"
 #include "runtime/parallel.h"
 
 namespace tqt {
+
+const char* to_string(FpInstr::Kind k) {
+  switch (k) {
+    case FpInstr::Kind::kQuantizeInput: return "quantize_input";
+    case FpInstr::Kind::kConv2d: return "conv2d";
+    case FpInstr::Kind::kDepthwise: return "depthwise";
+    case FpInstr::Kind::kDense: return "dense";
+    case FpInstr::Kind::kBiasAdd: return "bias_add";
+    case FpInstr::Kind::kRequant: return "requant";
+    case FpInstr::Kind::kRelu: return "relu";
+    case FpInstr::Kind::kRelu6: return "relu6";
+    case FpInstr::Kind::kLeakyRelu: return "leaky_relu";
+    case FpInstr::Kind::kMaxPool: return "max_pool";
+    case FpInstr::Kind::kEltwiseAdd: return "eltwise_add";
+    case FpInstr::Kind::kConcat: return "concat";
+    case FpInstr::Kind::kFlatten: return "flatten";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -295,6 +315,10 @@ class Executor {
         shapes_(shapes) {}
 
   void run() {
+    if (observe::trace_enabled()) {
+      run_traced();
+      return;
+    }
 #ifdef TQT_EXEC_PROFILE
     static double kind_s[16] = {};
     static long long runs = 0;
@@ -316,6 +340,31 @@ class Executor {
   }
 
  private:
+  /// Tracing-enabled path: one span per instruction, tagged with the
+  /// originating graph node, operand widths, and — for the matmul family —
+  /// the kernel set actually dispatched to. Kept out of the default loop so
+  /// disabled-tracing execution pays only the one branch above.
+  void run_traced() {
+    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
+      const FpInstr& in = instrs_[idx];
+      observe::TraceSpan span(to_string(in.kind), "engine");
+      const char* xw = in.inputs.empty() ? "-" : to_string(reg_w(in.inputs[0]));
+      const char* yw = to_string(reg_w(in.output));
+      const bool matmul = in.kind == FpInstr::Kind::kConv2d ||
+                          in.kind == FpInstr::Kind::kDepthwise ||
+                          in.kind == FpInstr::Kind::kDense;
+      if (matmul && (fast_matmul(in, idx) || fast_matmul16(in, idx))) {
+        span.argf("%s %s->%s kernels=%s", in.debug_name.c_str(), xw, yw,
+                  fpk::active_kernels().name);
+      } else if (matmul) {
+        span.argf("%s %s->%s kernels=generic", in.debug_name.c_str(), xw, yw);
+      } else {
+        span.argf("%s %s->%s", in.debug_name.c_str(), xw, yw);
+      }
+      exec_one(idx);
+    }
+  }
+
   void* reg_ptr(int r) const {
     return slots_[static_cast<size_t>(plan_.regs[static_cast<size_t>(r)].slot)].data();
   }
@@ -611,6 +660,18 @@ int64_t ExecContext::arena_bytes() const {
 }
 
 void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& out) const {
+  // Resolved once per process (the static-local guard + relaxed increments
+  // are the entire disabled-telemetry cost); the first call lands during the
+  // warm-up run, so the steady-state zero-allocation window stays clean.
+  static observe::Counter& runs_counter =
+      observe::MetricsRegistry::global().counter("engine.runs");
+  static observe::Counter& instr_counter =
+      observe::MetricsRegistry::global().counter("engine.instructions");
+  runs_counter.inc();
+  instr_counter.inc(instrs_.size());
+  observe::TraceSpan span("engine.run_into", "engine");
+  span.argf("instrs=%zu", instrs_.size());
+
   const ExecPlan& plan = this->plan();
 
   // Per-run shape inference + arena sizing; every container is grow-only, so
@@ -669,17 +730,6 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
       for (int64_t i = i0; i < i1; ++i) o[i] = static_cast<float>(lanes[i]) * s;
     });
   });
-}
-
-Tensor FixedPointProgram::run(const Tensor& input, ExecContext& ctx) const {
-  Tensor out;
-  run_into(input, ctx, out);
-  return out;
-}
-
-Tensor FixedPointProgram::run(const Tensor& input) const {
-  thread_local ExecContext ctx;
-  return run(input, ctx);
 }
 
 IntTensor FixedPointProgram::run_raw(const Tensor& input) const {

@@ -1,0 +1,130 @@
+#include "observe/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tqt::observe {
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (has_items_.back()) out_ += ", ";
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::obj() {
+  before_value();
+  out_ += '{';
+  scopes_.push_back('{');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::arr() {
+  before_value();
+  out_ += '[';
+  scopes_.push_back('[');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end() {
+  out_ += scopes_.back() == '{' ? '}' : ']';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (has_items_.back()) out_ += ", ";
+  has_items_.back() = true;
+  out_ += escape(k);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += escape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  // Shortest representation that parses back to exactly `d`: start at the
+  // 6-significant-digit default the hand-rolled emitters used (so common
+  // values keep their old spelling) and widen only when round-tripping
+  // demands it — snapshot means/series values must survive a parse-back.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view fragment) {
+  before_value();
+  out_ += fragment;
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace tqt::observe

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer — the single place string escaping and
+// number formatting live for every JSON emitter in the repo (metrics
+// snapshots, trace export, serve stats, bench reports). No external
+// dependency, no DOM: the writer appends to an internal string and tracks
+// open scopes so objects/arrays always balance.
+//
+// Output style matches what the pre-existing hand-rolled emitters produced
+// (": " after keys, ", " between members, %g doubles), so JSON produced
+// through the writer is drop-in compatible with the PR 2 serve snapshot
+// schema and the BENCH_*.json consumers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tqt::observe {
+
+class JsonWriter {
+ public:
+  /// Begin an object / array (as the root, an array element, or after key()).
+  JsonWriter& obj();
+  JsonWriter& arr();
+  /// Close the innermost open object or array.
+  JsonWriter& end();
+
+  /// Emit `"k": ` inside an object (handles the separating comma).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(unsigned long v) { return value(static_cast<unsigned long long>(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Splice a pre-rendered JSON fragment in value position (trusted input —
+  /// no escaping). Lets emitters compose from helpers that return JSON.
+  JsonWriter& raw(std::string_view fragment);
+
+  /// The document so far. Call after every scope is end()ed.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  /// Escape `s` as a JSON string literal including the surrounding quotes.
+  static std::string escape(std::string_view s);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<char> scopes_;      // '{' or '['
+  std::vector<bool> has_items_;   // per scope: a separator is needed
+  bool after_key_ = false;
+};
+
+}  // namespace tqt::observe

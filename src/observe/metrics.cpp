@@ -1,0 +1,189 @@
+#include "observe/observe.h"
+
+#include <algorithm>
+
+namespace tqt::observe {
+
+// ---- HistogramSnapshot ------------------------------------------------------
+
+uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  // Same rank rule the serve latency dashboard shipped with: the target rank
+  // is p*count rounded to nearest, the answer is the inclusive upper bound of
+  // the bucket that contains it, clamped to the true observed max so sparse
+  // tails don't over-report.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(count) + 0.5));
+  uint64_t cum = 0;
+  for (const auto& [bound, n] : buckets) {
+    cum += n;
+    if (cum >= rank) return std::min(bound, max);
+  }
+  return max;
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+namespace {
+std::vector<uint64_t> make_bounds(Histogram::Layout layout) {
+  std::vector<uint64_t> bounds;
+  if (layout == Histogram::Layout::kLinear) {
+    bounds.reserve(Histogram::kLinearMax + 2);
+    for (uint64_t b = 0; b <= Histogram::kLinearMax; ++b) bounds.push_back(b);
+  } else {
+    // Geometric bounds with ratio 5/4 starting at 1us — byte-identical to the
+    // layout serve/stats.h used, so rebased percentiles match the old ones.
+    uint64_t b = 1;
+    while (b < (1ull << 31)) {
+      bounds.push_back(b);
+      b = std::max(b + b / 4, b + 1);
+    }
+    bounds.push_back(b);
+  }
+  bounds.push_back(UINT64_MAX);  // overflow bucket
+  return bounds;
+}
+}  // namespace
+
+Histogram::Histogram(Layout layout)
+    : layout_(layout), bounds_(make_bounds(layout)), counts_(bounds_.size()) {}
+
+void Histogram::record(uint64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n) s.buckets.emplace_back(bounds_[i], n);
+  }
+  return s;
+}
+
+// ---- Series -----------------------------------------------------------------
+
+void Series::append(double step, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.size() >= kMaxPoints) {
+    ++dropped_;
+    return;
+  }
+  points_.emplace_back(step, value);
+}
+
+std::vector<std::pair<double, double>> Series::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+uint64_t Series::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaked: usable at exit
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Histogram::Layout layout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(layout);
+  return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.obj();
+  w.key("counters").obj();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end();
+  w.key("gauges").obj();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).obj();
+    w.kv("value", g->value());
+    w.kv("high_water", g->high_water());
+    w.end();
+  }
+  w.end();
+  w.key("histograms").obj();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    w.key(name).obj();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("max", s.max);
+    w.kv("mean", s.mean());
+    w.kv("p50", s.percentile(0.50));
+    w.kv("p95", s.percentile(0.95));
+    w.kv("p99", s.percentile(0.99));
+    w.key("buckets").arr();
+    for (const auto& [bound, n] : s.buckets) {
+      w.arr().value(bound).value(n).end();
+    }
+    w.end();  // buckets
+    w.end();  // histogram
+  }
+  w.end();
+  w.key("series").obj();
+  for (const auto& [name, ser] : series_) {
+    w.key(name).obj();
+    w.kv("dropped", ser->dropped());
+    w.key("points").arr();
+    for (const auto& [step, value] : ser->points()) {
+      w.arr().value(step).value(value).end();
+    }
+    w.end();  // points
+    w.end();  // series entry
+  }
+  w.end();
+  w.end();
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+}  // namespace tqt::observe

@@ -1,0 +1,292 @@
+// tqt-observe: the one way any layer of this codebase reports telemetry.
+//
+//   MetricsRegistry   named counters / gauges / fixed-memory histograms /
+//                     bounded series. `MetricsRegistry::global()` is the
+//                     process-wide registry the engine, thread pool and
+//                     training loop record into; subsystems that need
+//                     isolated counts (one InferenceServer per test, one
+//                     bench phase at a time) own a private instance.
+//   Tracer/TQT_TRACE  a low-overhead span tracer: RAII spans recorded into
+//                     per-thread ring buffers, exported as chrome://tracing
+//                     JSON. With tracing disabled a span costs one relaxed
+//                     atomic load — the instrumented hot paths (engine
+//                     executor, serve batcher, thread pool) stay within the
+//                     <1% overhead contract and allocate nothing.
+//
+// This header absorbs and supersedes the bespoke telemetry structs that grew
+// inside subsystems (serve/stats.h's LatencyHistogram, ad-hoc bench JSON);
+// see DESIGN.md §10 for the architecture and the overhead contract.
+//
+// Usage pattern for hot paths: resolve the instrument ONCE (registry lookup
+// takes a mutex) and keep the reference — instruments live as long as their
+// registry and are internally thread-safe:
+//
+//   static observe::Counter& runs =
+//       observe::MetricsRegistry::global().counter("engine.runs");
+//   runs.inc();
+//
+//   {
+//     TQT_TRACE("conv2d");          // span covers the enclosing scope
+//     ...
+//   }
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "observe/json.h"
+
+namespace tqt::observe {
+
+// ---- Instruments -----------------------------------------------------------
+// All instruments are thread-safe via relaxed atomics: per-event cost is one
+// uncontended atomic RMW, and cross-metric snapshot consistency is
+// best-effort (fine for monitoring; tests snapshot after joining writers).
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, arena bytes, ...) with a high-water
+/// mark maintained across set()/add().
+class Gauge {
+ public:
+  void set(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    raise_high_water(v);
+  }
+  void add(int64_t d) { raise_high_water(v_.fetch_add(d, std::memory_order_relaxed) + d); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t high_water() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void raise_high_water(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Point-in-time copy of a histogram. percentile() reproduces the serving
+/// semantics the serve dashboard shipped with in PR 2: the upper bound of
+/// the bucket containing the requested rank, clamped to the true max — an
+/// upper estimate that never under-reports a tail.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  /// (inclusive upper bound, count), ascending, non-empty buckets only.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  /// p in (0, 1]; 0 when no samples were recorded.
+  uint64_t percentile(double p) const;
+  double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-memory histogram of non-negative integer samples. Bucket layout is
+/// chosen at construction and never changes, so record() is lock-free:
+///   kGeometricUs  bounds 1us, *5/4, ... past 2^31us + overflow — the
+///                 latency layout (<= ~25% relative error on percentiles).
+///   kLinear       exact buckets 0..1024 + overflow — for small integer
+///                 distributions (batch sizes, queue depths).
+class Histogram {
+ public:
+  enum class Layout { kGeometricUs, kLinear };
+  explicit Histogram(Layout layout = Layout::kGeometricUs);
+
+  void record(uint64_t v);
+  HistogramSnapshot snapshot() const;
+  Layout layout() const { return layout_; }
+
+  /// Largest exactly-represented value of the kLinear layout.
+  static constexpr uint64_t kLinearMax = 1024;
+
+ private:
+  Layout layout_;
+  std::vector<uint64_t> bounds_;               // ascending inclusive upper bounds
+  std::vector<std::atomic<uint64_t>> counts_;  // one per bound
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Bounded (step, value) time series for paper-style convergence dumps
+/// (per-step loss, learning rates, log2-threshold norms). Appends beyond the
+/// capacity are dropped and counted — fixed memory like every instrument.
+class Series {
+ public:
+  static constexpr size_t kMaxPoints = 1 << 16;
+
+  void append(double step, double value);
+  std::vector<std::pair<double, double>> points() const;
+  uint64_t dropped() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<double, double>> points_;
+  uint64_t dropped_ = 0;
+};
+
+// ---- Registry --------------------------------------------------------------
+
+/// Named instrument registry. Lookup creates on first use and returns a
+/// stable reference — instruments are never removed and outlive every
+/// recorded event (they die with the registry). The same name may exist
+/// independently as a counter and as a gauge (separate namespaces per kind).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (engine, thread pool, training loop).
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       Histogram::Layout layout = Histogram::Layout::kGeometricUs);
+  Series& series(const std::string& name);
+
+  /// One JSON object over every instrument:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///    "series": {...}}
+  /// Stable key order (std::map); see DESIGN.md §10 for the exact schema.
+  std::string json_snapshot() const;
+  /// Write the same object through an existing writer (for embedding).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+// ---- Tracer ----------------------------------------------------------------
+
+namespace detail {
+/// Process-wide tracing switch. Inline so the disabled check compiles to one
+/// relaxed load at every TQT_TRACE site.
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span. `name`/`cat` must be string literals (or otherwise
+/// outlive the tracer's buffers); `args` is a fixed preformatted tag buffer.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t ts_ns = 0;   // steady-clock start
+  uint64_t dur_ns = 0;
+  char args[64] = {};   // "key=value ..." tag string (may be empty)
+};
+
+/// Per-thread view of the recorded events, oldest first.
+struct ThreadTrace {
+  uint32_t tid = 0;
+  uint64_t dropped = 0;  ///< events overwritten by ring wrap-around
+  std::vector<TraceEvent> events;
+};
+
+/// Span recorder: per-thread fixed-capacity ring buffers (threads register
+/// lazily on their first enabled span), chrome://tracing JSON export.
+class Tracer {
+ public:
+  /// Events retained per thread; older events are overwritten (and counted
+  /// as dropped) once a thread's ring wraps.
+  static constexpr size_t kRingCapacity = 1 << 15;
+
+  static Tracer& global();
+
+  void set_enabled(bool on) { detail::g_trace_enabled.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return trace_enabled(); }
+
+  /// Append one completed event to the calling thread's ring.
+  void record(const TraceEvent& ev);
+
+  /// Copy out every thread's events (oldest first per thread). Safe to call
+  /// while spans are still being recorded (per-buffer locking); for exact
+  /// results quiesce writers first.
+  std::vector<ThreadTrace> threads() const;
+
+  /// Drop all recorded events (thread registrations survive).
+  void clear();
+
+  /// chrome://tracing "Trace Event Format": {"traceEvents": [...]} with one
+  /// complete ("ph":"X") event per span, ts/dur in microseconds.
+  std::string chrome_json() const;
+  /// Render chrome_json() to `path`; throws std::runtime_error on I/O error.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Monotonic nanosecond timestamp shared by every span.
+  static uint64_t now_ns();
+
+ private:
+  struct ThreadBuf;
+  std::shared_ptr<ThreadBuf> this_thread_buf();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  uint32_t next_tid_ = 1;
+};
+
+/// RAII span. Construction with tracing disabled is a single relaxed load
+/// and leaves the span inactive; with tracing enabled, destruction records
+/// one TraceEvent covering the span's lifetime into the thread's ring.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "tqt") {
+    if (trace_enabled()) {
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.ts_ns = Tracer::now_ns();
+      active_ = true;
+    }
+  }
+  ~TraceSpan() {
+    if (active_) finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when the span is recording — guard argf() cost behind it.
+  bool active() const { return active_; }
+
+  /// printf-format a tag string into the event's fixed buffer (truncated,
+  /// never allocates). No-op on an inactive span.
+  void argf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+ private:
+  void finish();
+
+  TraceEvent ev_{};
+  bool active_ = false;
+};
+
+#define TQT_TRACE_CAT2(a, b) a##b
+#define TQT_TRACE_CAT(a, b) TQT_TRACE_CAT2(a, b)
+/// Span over the enclosing scope: TQT_TRACE("name") or TQT_TRACE("name", "category").
+#define TQT_TRACE(...) \
+  ::tqt::observe::TraceSpan TQT_TRACE_CAT(tqt_trace_span_, __LINE__){__VA_ARGS__}
+
+}  // namespace tqt::observe

@@ -1,0 +1,162 @@
+#include "observe/observe.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace tqt::observe {
+
+// Each thread's events live in a fixed ring owned jointly by the thread (via
+// a thread_local shared_ptr) and the tracer (for snapshots after the thread
+// exits). record() takes the ring's own mutex — uncontended in steady state
+// since only the owning thread writes; snapshots lock each ring briefly.
+struct Tracer::ThreadBuf {
+  explicit ThreadBuf(uint32_t id) : tid(id) { events.resize(kRingCapacity); }
+
+  std::mutex mu;
+  uint32_t tid;
+  uint64_t next = 0;  // total events ever recorded; ring index = next % cap
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // leaked: usable at exit
+  return *tracer;
+}
+
+uint64_t Tracer::now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::shared_ptr<Tracer::ThreadBuf> Tracer::this_thread_buf() {
+  // One registration per (thread, tracer) pair; the global tracer is the only
+  // instance in practice so a single thread_local slot suffices.
+  thread_local std::shared_ptr<ThreadBuf> buf;
+  if (!buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buf = std::make_shared<ThreadBuf>(next_tid_++);
+    bufs_.push_back(buf);
+  }
+  return buf;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  const std::shared_ptr<ThreadBuf> buf = this_thread_buf();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events[buf->next % kRingCapacity] = ev;
+  ++buf->next;
+}
+
+std::vector<ThreadTrace> Tracer::threads() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<ThreadTrace> out;
+  out.reserve(bufs.size());
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    ThreadTrace t;
+    t.tid = buf->tid;
+    const uint64_t n = std::min<uint64_t>(buf->next, kRingCapacity);
+    t.dropped = buf->next - n;
+    t.events.reserve(n);
+    for (uint64_t i = buf->next - n; i < buf->next; ++i) {
+      t.events.push_back(buf->events[i % kRingCapacity]);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->next = 0;
+  }
+}
+
+namespace {
+// Fixed 3-decimal microsecond value (%g would truncate large timestamps).
+std::string us_fixed(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  const std::vector<ThreadTrace> traces = threads();
+  // Rebase timestamps to the earliest recorded span so the viewer timeline
+  // starts near zero and values stay small.
+  uint64_t t0 = UINT64_MAX;
+  for (const ThreadTrace& t : traces) {
+    for (const TraceEvent& ev : t.events) t0 = std::min(t0, ev.ts_ns);
+  }
+  if (t0 == UINT64_MAX) t0 = 0;
+
+  JsonWriter w;
+  w.obj();
+  w.key("traceEvents").arr();
+  for (const ThreadTrace& t : traces) {
+    for (const TraceEvent& ev : t.events) {
+      w.obj();
+      w.kv("name", ev.name ? ev.name : "?");
+      w.kv("cat", ev.cat ? ev.cat : "tqt");
+      w.kv("ph", "X");
+      // chrome://tracing wants microseconds; keep fractional precision so
+      // sub-microsecond engine spans stay visible.
+      w.key("ts").raw(us_fixed(ev.ts_ns - t0));
+      w.key("dur").raw(us_fixed(ev.dur_ns));
+      w.kv("pid", 1);
+      w.kv("tid", t.tid);
+      if (ev.args[0] != '\0') {
+        w.key("args").obj();
+        w.kv("tag", static_cast<const char*>(ev.args));
+        w.end();
+      }
+      w.end();
+    }
+  }
+  w.end();
+  w.end();
+  return w.take();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace export: cannot open " + path);
+  f << chrome_json() << '\n';
+  if (!f) throw std::runtime_error("trace export: write failed: " + path);
+}
+
+// ---- TraceSpan --------------------------------------------------------------
+
+void TraceSpan::argf(const char* fmt, ...) {
+  if (!active_) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(ev_.args, sizeof(ev_.args), fmt, ap);
+  va_end(ap);
+}
+
+void TraceSpan::finish() {
+  ev_.dur_ns = Tracer::now_ns() - ev_.ts_ns;
+  Tracer::global().record(ev_);
+}
+
+}  // namespace tqt::observe

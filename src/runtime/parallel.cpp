@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "observe/observe.h"
+
 namespace tqt {
 
 namespace {
@@ -66,7 +68,19 @@ class Pool {
 
   void run(int64_t begin, int64_t end, int64_t grain,
            const std::function<void(int64_t, int64_t)>& fn) {
+    // Only genuinely parallel regions reach the pool (run_serial short-
+    // circuits 1-thread/nested/single-chunk calls), so these hooks never
+    // touch the engine's single-threaded zero-allocation path.
+    static observe::Counter& regions_counter =
+        observe::MetricsRegistry::global().counter("pool.regions");
+    static observe::Counter& chunks_counter =
+        observe::MetricsRegistry::global().counter("pool.chunks");
     std::lock_guard<std::mutex> run_lk(run_mu_);  // one region at a time
+    regions_counter.inc();
+    chunks_counter.inc(static_cast<uint64_t>(num_chunks(end - begin, grain)));
+    observe::TraceSpan span("pool.region", "pool");
+    span.argf("range=%lld chunks=%lld", static_cast<long long>(end - begin),
+              static_cast<long long>(num_chunks(end - begin, grain)));
     job_begin_ = begin;
     job_end_ = end;
     job_chunk_ = grain;
@@ -128,7 +142,10 @@ class Pool {
       if (stop_) return;
       seen = generation_;
       lk.unlock();
-      work();
+      {
+        TQT_TRACE("pool.worker", "pool");
+        work();
+      }
       lk.lock();
       if (--pending_ == 0) cv_done_.notify_all();
     }

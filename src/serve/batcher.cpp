@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "observe/observe.h"
+
 namespace tqt::serve {
 
 namespace {
@@ -38,6 +40,7 @@ MicroBatcher::MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execut
 MicroBatcher::~MicroBatcher() { shutdown_and_drain(); }
 
 SubmitResult MicroBatcher::submit(Tensor sample) {
+  TQT_TRACE("serve.enqueue", "serve");
   // Accept [sample_shape...] or an explicit leading batch dim of 1.
   Shape batched = sample_shape_;
   batched.insert(batched.begin(), 1);
@@ -72,9 +75,11 @@ SubmitResult MicroBatcher::submit(Tensor sample) {
 }
 
 void MicroBatcher::worker_loop() {
-  // One arena per worker: batches reuse its buffers, so steady-state serving
-  // does no per-request heap allocation inside the engine.
+  // One arena + one output tensor per worker: batches reuse both, so
+  // steady-state serving does no per-request heap allocation inside the
+  // engine or on the result path (only the per-request response rows).
   ExecContext ctx;
+  Tensor output;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
@@ -97,14 +102,18 @@ void MicroBatcher::worker_loop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    stats_->on_dequeue(static_cast<int64_t>(queue_.size()));
     lk.unlock();
-    execute_batch(batch, ctx);
+    execute_batch(batch, ctx, output);
     lk.lock();
   }
 }
 
-void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx) {
+void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx,
+                                 Tensor& output) {
   const auto n = static_cast<int64_t>(batch.size());
+  observe::TraceSpan batch_span("serve.batch", "serve");
+  batch_span.argf("n=%lld", static_cast<long long>(n));
   stats_->on_batch(n);
 
   // Coalesce: stack the samples along a fresh batch dimension. Row-major
@@ -118,9 +127,9 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx) 
                 input.data() + i * sample_numel);
   }
 
-  Tensor output;
   try {
-    output = execute_(input, ctx);
+    TQT_TRACE("serve.execute", "serve");
+    execute_(input, ctx, output);
     if (output.rank() < 1 || output.dim(0) != n) {
       throw std::runtime_error("batcher: execute returned batch dim " +
                                (output.rank() ? std::to_string(output.dim(0)) : "<rank 0>") +
@@ -137,6 +146,7 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx) 
 
   // Split back into per-request responses of shape [1, ...] — exactly what a
   // single-sample engine run would have produced.
+  TQT_TRACE("serve.respond", "serve");
   Shape row_shape = output.shape();
   row_shape[0] = 1;
   const int64_t row_numel = output.numel() / n;

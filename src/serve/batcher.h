@@ -57,12 +57,13 @@ struct SubmitResult {
 class MicroBatcher {
  public:
   /// `execute` maps a batched input [N, sample_shape...] to a batched output
-  /// [N, ...]; it runs on the batcher's worker threads. `sample_shape` is the
-  /// per-sample shape WITHOUT the batch dimension. The ExecContext is owned
-  /// by the calling worker and reused across batches (and across hot-swapped
-  /// program versions) — the typed engine's steady-state zero-allocation
-  /// contract extends to serving.
-  using ExecuteFn = std::function<Tensor(const Tensor&, ExecContext&)>;
+  /// [N, ...] written into `out`; it runs on the batcher's worker threads.
+  /// `sample_shape` is the per-sample shape WITHOUT the batch dimension. The
+  /// ExecContext AND the output tensor are owned by the calling worker and
+  /// reused across batches (and across hot-swapped program versions) — the
+  /// typed engine's steady-state zero-allocation contract extends to serving
+  /// (run_into resizes `out` only when the output shape changes).
+  using ExecuteFn = std::function<void(const Tensor&, ExecContext&, Tensor& out)>;
   MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execute, ServeStats* stats);
 
   /// Drains and joins (equivalent to shutdown_and_drain()).
@@ -86,7 +87,7 @@ class MicroBatcher {
   };
 
   void worker_loop();
-  void execute_batch(std::vector<Request>& batch, ExecContext& ctx);
+  void execute_batch(std::vector<Request>& batch, ExecContext& ctx, Tensor& output);
 
   BatchConfig cfg_;
   Shape sample_shape_;

@@ -1,31 +1,66 @@
 #include "serve/server.h"
 
-#include <sstream>
 #include <stdexcept>
 
 namespace tqt::serve {
 
-InferenceServer::InferenceServer(ServerConfig cfg) : cfg_(cfg) {}
+namespace {
+
+/// The single validation path for every deployment: deploy() and
+/// deploy_file() both funnel through here, so for the same bad input the two
+/// entry points report character-identical errors (asserted in test_serve).
+void validate_deployment(const std::string& name, const FixedPointProgram& program,
+                         const Shape& sample_shape) {
+  if (name.empty()) {
+    throw std::invalid_argument("serve: model name must be non-empty");
+  }
+  if (program.instruction_count() == 0) {
+    throw std::invalid_argument("serve: program for '" + name + "' has no instructions");
+  }
+  if (sample_shape.empty()) {
+    throw std::invalid_argument("serve: sample shape for '" + name +
+                                "' must have at least one dimension");
+  }
+  for (const int64_t d : sample_shape) {
+    if (d <= 0) {
+      throw std::invalid_argument("serve: sample shape for '" + name +
+                                  "' has non-positive dimension " + std::to_string(d));
+    }
+  }
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServerConfig cfg) : cfg_(cfg) {
+  if (cfg_.metrics) {
+    metrics_ = cfg_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<observe::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+}
 
 InferenceServer::~InferenceServer() { shutdown_and_drain(); }
 
 uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram program,
                                  Shape sample_shape) {
+  validate_deployment(name, program, sample_shape);
   const uint64_t version = registry_.install(name, std::move(program));
   std::lock_guard<std::mutex> lk(mu_);
   if (lanes_.find(name) == lanes_.end()) {
     Lane lane;
-    lane.stats = std::make_unique<ServeStats>();
+    lane.stats = std::make_unique<ServeStats>(*metrics_, name);
     // The execute hook snapshots the registry per batch, so a hot swap takes
-    // effect at the next batch boundary without touching the lane.
+    // effect at the next batch boundary without touching the lane. run_into
+    // reuses the worker's output tensor — zero steady-state allocation.
     lane.batcher = std::make_unique<MicroBatcher>(
         cfg_.batch, std::move(sample_shape),
-        [this, name](const Tensor& batch, ExecContext& ctx) {
+        [this, name](const Tensor& batch, ExecContext& ctx, Tensor& out) {
           const auto program_snapshot = registry_.lookup(name);
           if (!program_snapshot) {
             throw std::runtime_error("serve: model '" + name + "' disappeared from registry");
           }
-          return program_snapshot->run(batch, ctx);
+          program_snapshot->run_into(batch, ctx, out);
         },
         lane.stats.get());
     lanes_.emplace(name, std::move(lane));
@@ -63,17 +98,16 @@ StatsSnapshot InferenceServer::stats(const std::string& name) const {
 }
 
 std::string InferenceServer::stats_json() const {
-  std::ostringstream os;
-  os << "{\"models\": [";
+  observe::JsonWriter w;
+  w.obj();
+  w.key("models").arr();
   std::lock_guard<std::mutex> lk(mu_);
-  bool first = true;
   for (const auto& [name, lane] : lanes_) {
-    if (!first) os << ", ";
-    first = false;
-    os << to_json(name, registry_.version(name), lane.stats->snapshot());
+    w.raw(to_json(name, registry_.version(name), lane.stats->snapshot()));
   }
-  os << "]}";
-  return os.str();
+  w.end();
+  w.end();
+  return w.take();
 }
 
 void InferenceServer::shutdown_and_drain() {

@@ -26,6 +26,11 @@ namespace tqt::serve {
 
 struct ServerConfig {
   BatchConfig batch;  ///< applied to every deployed model lane
+  /// Registry the per-lane "serve.<name>.*" instruments are created in.
+  /// Null (the default) gives the server a private registry — isolated
+  /// counts per server instance; pass &observe::MetricsRegistry::global()
+  /// to publish serving metrics alongside engine/runtime ones.
+  observe::MetricsRegistry* metrics = nullptr;
 };
 
 class InferenceServer {
@@ -39,11 +44,13 @@ class InferenceServer {
   /// shape (no batch dimension, e.g. {16, 16, 3}). Re-deploying an existing
   /// name hot-swaps the program atomically — in-flight batches finish on the
   /// old version, subsequent batches use the new one, the queue survives.
-  /// Returns the installed version.
+  /// Throws std::invalid_argument on an empty name/program or a non-positive
+  /// sample shape (deploy and deploy_file validate through the same path and
+  /// report identical errors). Returns the installed version.
   uint64_t deploy(const std::string& name, FixedPointProgram program, Shape sample_shape);
 
   /// Deploy from a serialized TQTP file; throws std::runtime_error on a
-  /// missing/corrupt file.
+  /// missing/corrupt file, and validates exactly like deploy().
   uint64_t deploy_file(const std::string& name, const std::string& path, Shape sample_shape);
 
   /// Submit one sample. Returns a future (status kOk) or an explicit
@@ -63,6 +70,10 @@ class InferenceServer {
 
   ModelRegistry& registry() { return registry_; }
 
+  /// The registry holding this server's "serve.<name>.*" instruments (the
+  /// config-supplied one, or the server-private default).
+  observe::MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   struct Lane {
     std::unique_ptr<ServeStats> stats;
@@ -72,6 +83,8 @@ class InferenceServer {
   Lane* find_lane(const std::string& name) const;
 
   ServerConfig cfg_;
+  std::unique_ptr<observe::MetricsRegistry> owned_metrics_;  // when cfg.metrics == nullptr
+  observe::MetricsRegistry* metrics_ = nullptr;
   ModelRegistry registry_;
   mutable std::mutex mu_;  // guards the lanes_ map structure (not the lanes)
   std::map<std::string, Lane> lanes_;

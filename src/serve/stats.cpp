@@ -1,44 +1,6 @@
 #include "serve/stats.h"
 
-#include <algorithm>
-#include <sstream>
-
 namespace tqt::serve {
-
-LatencyHistogram::LatencyHistogram() {
-  // Geometric bounds: 1us, then *5/4 (integer, strictly increasing) until we
-  // pass 2^31 us (~36 minutes); one overflow bucket catches the rest.
-  uint64_t b = 1;
-  while (b < (uint64_t{1} << 31)) {
-    bounds_.push_back(b);
-    const uint64_t next = b + b / 4;
-    b = next > b ? next : b + 1;
-  }
-  bounds_.push_back(UINT64_MAX);
-  counts_.assign(bounds_.size(), 0);
-}
-
-void LatencyHistogram::record(uint64_t us) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), us);
-  ++counts_[static_cast<size_t>(it - bounds_.begin())];
-  ++total_;
-  sum_ += static_cast<double>(us);
-  if (us > max_) max_ = us;
-}
-
-uint64_t LatencyHistogram::percentile(double p) const {
-  if (total_ == 0) return 0;
-  const auto rank = static_cast<uint64_t>(p * static_cast<double>(total_) + 0.5);
-  uint64_t seen = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= rank && counts_[i] > 0) {
-      // Clamp the overflow bucket to the true max so we never report 2^64.
-      return std::min(bounds_[i], max_);
-    }
-  }
-  return max_;
-}
 
 double StatsSnapshot::mean_batch() const {
   uint64_t n = 0, sum = 0;
@@ -49,65 +11,105 @@ double StatsSnapshot::mean_batch() const {
   return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
 }
 
-void ServeStats::on_accept(int64_t queue_depth_after) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.requests;
-  const auto depth = static_cast<uint64_t>(queue_depth_after);
-  if (depth > counters_.queue_high_water) counters_.queue_high_water = depth;
+ServeStats::ServeStats(observe::MetricsRegistry& reg, const std::string& lane) {
+  bind(reg, "serve." + lane + ".");
 }
 
-void ServeStats::on_shed() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.shed;
+ServeStats::ServeStats() : owned_(std::make_unique<observe::MetricsRegistry>()) {
+  bind(*owned_, "serve.lane.");
 }
+
+void ServeStats::bind(observe::MetricsRegistry& reg, const std::string& prefix) {
+  requests_ = &reg.counter(prefix + "requests");
+  responses_ = &reg.counter(prefix + "responses");
+  failed_ = &reg.counter(prefix + "failed");
+  shed_ = &reg.counter(prefix + "shed");
+  batches_ = &reg.counter(prefix + "batches");
+  queue_depth_ = &reg.gauge(prefix + "queue_depth");
+  batch_sizes_ = &reg.histogram(prefix + "batch_size", observe::Histogram::Layout::kLinear);
+  latency_ = &reg.histogram(prefix + "latency_us", observe::Histogram::Layout::kGeometricUs);
+}
+
+void ServeStats::on_accept(int64_t queue_depth_after) {
+  requests_->inc();
+  queue_depth_->set(queue_depth_after);
+}
+
+void ServeStats::on_dequeue(int64_t queue_depth_after) {
+  queue_depth_->set(queue_depth_after);
+}
+
+void ServeStats::on_shed() { shed_->inc(); }
 
 void ServeStats::on_batch(int64_t batch_size) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.batches;
-  ++counters_.batch_histogram[batch_size];
+  batches_->inc();
+  batch_sizes_->record(static_cast<uint64_t>(batch_size));
 }
 
 void ServeStats::on_response(uint64_t latency_us) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.responses;
-  latency_.record(latency_us);
+  responses_->inc();
+  latency_->record(latency_us);
 }
 
 void ServeStats::on_failure(uint64_t latency_us) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++counters_.failed;
-  latency_.record(latency_us);
+  failed_->inc();
+  latency_->record(latency_us);
 }
 
 StatsSnapshot ServeStats::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  StatsSnapshot s = counters_;
-  s.p50_us = latency_.percentile(0.50);
-  s.p95_us = latency_.percentile(0.95);
-  s.p99_us = latency_.percentile(0.99);
-  s.max_us = latency_.max_us();
-  s.mean_us = latency_.mean_us();
+  StatsSnapshot s;
+  s.requests = requests_->value();
+  s.responses = responses_->value();
+  s.failed = failed_->value();
+  s.shed = shed_->value();
+  s.batches = batches_->value();
+  s.queue_high_water = static_cast<uint64_t>(queue_depth_->high_water());
+
+  const observe::HistogramSnapshot sizes = batch_sizes_->snapshot();
+  for (const auto& [bound, count] : sizes.buckets) {
+    // The linear layout is exact for every batch size the batcher can
+    // produce (max_batch << kLinearMax); clamp a pathological overflow
+    // bucket to the observed max rather than reporting 2^64.
+    const uint64_t size = bound <= observe::Histogram::kLinearMax ? bound : sizes.max;
+    s.batch_histogram[static_cast<int64_t>(size)] += count;
+  }
+
+  const observe::HistogramSnapshot lat = latency_->snapshot();
+  s.p50_us = lat.percentile(0.50);
+  s.p95_us = lat.percentile(0.95);
+  s.p99_us = lat.percentile(0.99);
+  s.max_us = lat.max;
+  s.mean_us = lat.mean();
   return s;
 }
 
 std::string to_json(const std::string& model_name, uint64_t model_version,
                     const StatsSnapshot& s) {
-  std::ostringstream os;
-  os << "{\"name\": \"" << model_name << "\", \"version\": " << model_version
-     << ", \"requests\": " << s.requests << ", \"responses\": " << s.responses
-     << ", \"failed\": " << s.failed << ", \"shed\": " << s.shed
-     << ", \"batches\": " << s.batches << ", \"queue_high_water\": " << s.queue_high_water
-     << ", \"mean_batch\": " << s.mean_batch() << ", \"batch_histogram\": [";
-  bool first = true;
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("name", model_name);
+  w.kv("version", model_version);
+  w.kv("requests", s.requests);
+  w.kv("responses", s.responses);
+  w.kv("failed", s.failed);
+  w.kv("shed", s.shed);
+  w.kv("batches", s.batches);
+  w.kv("queue_high_water", s.queue_high_water);
+  w.kv("mean_batch", s.mean_batch());
+  w.key("batch_histogram").arr();
   for (const auto& [size, count] : s.batch_histogram) {
-    if (!first) os << ", ";
-    first = false;
-    os << "[" << size << ", " << count << "]";
+    w.arr().value(size).value(count).end();
   }
-  os << "], \"latency_us\": {\"p50\": " << s.p50_us << ", \"p95\": " << s.p95_us
-     << ", \"p99\": " << s.p99_us << ", \"max\": " << s.max_us << ", \"mean\": " << s.mean_us
-     << "}}";
-  return os.str();
+  w.end();
+  w.key("latency_us").obj();
+  w.kv("p50", s.p50_us);
+  w.kv("p95", s.p95_us);
+  w.kv("p99", s.p99_us);
+  w.kv("max", s.max_us);
+  w.kv("mean", s.mean_us);
+  w.end();
+  w.end();
+  return w.take();
 }
 
 }  // namespace tqt::serve

@@ -1,42 +1,22 @@
-// Per-model serving statistics for tqt-serve: request/response/shed counters,
-// a batch-size histogram, the queue-depth high-water mark, and a geometric
-// latency histogram good enough for p50/p95/p99 under heavy traffic (fixed
-// memory, no per-request allocation, O(buckets) snapshot cost).
+// Per-model serving statistics for tqt-serve, rebased on tqt-observe.
+//
+// ServeStats is now a thin facade over observe::MetricsRegistry instruments
+// ("serve.<lane>.requests", ".latency_us", ...): the bespoke
+// LatencyHistogram this file used to define lives on as
+// observe::Histogram's geometric layout (same bucket bounds, same
+// percentile semantics), so snapshots and the JSON schema are unchanged
+// from PR 2. StatsSnapshot/to_json stay as the compat shim for existing
+// consumers; new code should read the registry directly.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
+
+#include "observe/observe.h"
 
 namespace tqt::serve {
-
-/// Latency histogram with geometrically spaced buckets (ratio 5/4, from 1us
-/// up past 30 minutes, plus an overflow bucket). percentile() returns the
-/// upper bound of the bucket containing the requested rank — an upper
-/// estimate with at most ~25% relative error, which is plenty for a serving
-/// dashboard and never under-reports a tail.
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void record(uint64_t us);
-
-  /// p in (0, 1]; returns 0 when no samples were recorded.
-  uint64_t percentile(double p) const;
-
-  uint64_t max_us() const { return max_; }
-  double mean_us() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
-  uint64_t count() const { return total_; }
-
- private:
-  std::vector<uint64_t> bounds_;  // ascending inclusive upper bounds
-  std::vector<uint64_t> counts_;  // one per bound
-  uint64_t total_ = 0;
-  uint64_t max_ = 0;
-  double sum_ = 0.0;
-};
 
 /// Point-in-time copy of one model's serving counters.
 struct StatsSnapshot {
@@ -55,10 +35,19 @@ struct StatsSnapshot {
   double mean_batch() const;
 };
 
-/// Thread-safe stats block; one per deployed model lane.
+/// Thread-safe stats block; one per deployed model lane. All counts live in
+/// an observe::MetricsRegistry under "serve.<lane>.*" names — pass the
+/// server's registry to share one namespace across lanes, or default-
+/// construct for a self-contained block (standalone batcher use/tests).
 class ServeStats {
  public:
+  /// Instruments registered in `reg` under the "serve.<lane>." prefix.
+  ServeStats(observe::MetricsRegistry& reg, const std::string& lane);
+  /// Owns a private registry (prefix "serve.lane.").
+  ServeStats();
+
   void on_accept(int64_t queue_depth_after);
+  void on_dequeue(int64_t queue_depth_after);
   void on_shed();
   void on_batch(int64_t batch_size);
   void on_response(uint64_t latency_us);
@@ -67,13 +56,21 @@ class ServeStats {
   StatsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  StatsSnapshot counters_;  // percentile fields unused until snapshot()
-  LatencyHistogram latency_;
+  void bind(observe::MetricsRegistry& reg, const std::string& prefix);
+
+  std::unique_ptr<observe::MetricsRegistry> owned_;  // only when default-constructed
+  observe::Counter* requests_ = nullptr;
+  observe::Counter* responses_ = nullptr;
+  observe::Counter* failed_ = nullptr;
+  observe::Counter* shed_ = nullptr;
+  observe::Counter* batches_ = nullptr;
+  observe::Gauge* queue_depth_ = nullptr;
+  observe::Histogram* batch_sizes_ = nullptr;  // linear layout (exact counts)
+  observe::Histogram* latency_ = nullptr;      // geometric layout (us)
 };
 
-/// Render one model's snapshot as a JSON object (stable key order; no
-/// external JSON dependency).
+/// Render one model's snapshot as a JSON object — the PR 2 schema, byte-for-
+/// byte (stable key order, ": " / ", " spacing via observe::JsonWriter).
 std::string to_json(const std::string& model_name, uint64_t model_version,
                     const StatsSnapshot& s);
 

@@ -18,8 +18,10 @@
 #include "graph_opt/quantize_pass.h"
 #include "graph_opt/transforms.h"
 #include "models/zoo.h"
+#include "observe/observe.h"
 #include "runtime/parallel.h"
 #include "tensor/rng.h"
+#include "test_util.h"
 
 // ---- Global allocation counting hook --------------------------------------
 // Replaces the global operator new/delete for this test binary. Counting is
@@ -153,9 +155,12 @@ INSTANTIATE_TEST_SUITE_P(AllModels, TypedEngine, ::testing::ValuesIn(all_model_k
 
 // After one warm-up run at a given (program, shape), steady-state run_into
 // performs ZERO heap allocations: shapes, slots, scratch, and the output
-// tensor are all grow-only and already sized. Runs on a 1-thread pool — the
-// pool handoff path type-erases the loop body, which may allocate; the
-// engine's own code never does.
+// tensor are all grow-only and already sized. This now also covers the
+// tqt-observe instrumentation on the entry point — with tracing disabled the
+// engine counters and the inactive trace span must not allocate either (the
+// registry lookups resolve once, during the warm-up run). Runs on a 1-thread
+// pool — the pool handoff path type-erases the loop body, which may
+// allocate; the engine's own code never does.
 TEST(TypedEngineAlloc, SteadyStateRunsAllocationFree) {
   set_num_threads(1);
   Prepared p = prepare(ModelKind::kMiniVgg);
@@ -163,12 +168,16 @@ TEST(TypedEngineAlloc, SteadyStateRunsAllocationFree) {
   Rng rng(91);
   const Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
 
+  ASSERT_FALSE(observe::trace_enabled()) << "zero-alloc contract holds with tracing off";
+  observe::Counter& runs = observe::MetricsRegistry::global().counter("engine.runs");
+
   ExecContext ctx;
   Tensor out;
   prog.run_into(probe, ctx, out);  // warm-up sizes every buffer
   const Tensor warm = out;
   const int64_t warm_arena = ctx.arena_bytes();
   EXPECT_GT(warm_arena, 0);
+  const uint64_t runs_before = runs.value();
 
   g_allocs.store(0);
   g_count.store(true);
@@ -177,6 +186,7 @@ TEST(TypedEngineAlloc, SteadyStateRunsAllocationFree) {
   EXPECT_EQ(g_allocs.load(), 0) << "steady-state run_into allocated";
   EXPECT_EQ(ctx.arena_bytes(), warm_arena) << "arena grew after warm-up";
   EXPECT_TRUE(out.equals(warm));
+  EXPECT_EQ(runs.value(), runs_before + 3) << "engine.runs must count steady-state runs";
   set_num_threads(0);
 }
 
@@ -216,8 +226,9 @@ TEST(TypedEngineContext, ReusableAcrossProgramsAndBatchSizes) {
     const Tensor probe = rng.normal_tensor({batch, 16, 16, 3}, 0.2f, 1.2f);
     for (const FixedPointProgram* prog : {&vgg, &resnet}) {
       ExecContext fresh;
-      const Tensor a = prog->run(probe, shared);
-      const Tensor b = prog->run(probe, fresh);
+      Tensor a, b;
+      prog->run_into(probe, shared, a);
+      prog->run_into(probe, fresh, b);
       ASSERT_TRUE(a.equals(b)) << "batch " << batch;
     }
   }
@@ -230,7 +241,7 @@ TEST(TypedEngineContext, RunMatchesRunReference) {
   FixedPointProgram prog = compile(p);
   Rng rng(94);
   const Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
-  EXPECT_TRUE(prog.run(probe).equals(prog.run_reference(probe)));
+  EXPECT_TRUE(test::run_program(prog, probe).equals(prog.run_reference(probe)));
 }
 
 // Serialization round-trip preserves the typed path: a loaded program is

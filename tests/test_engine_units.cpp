@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "test_util.h"
 #include "fixedpoint/engine.h"
 #include "fixedpoint/rescale.h"
 #include "graph_opt/quantize_pass.h"
@@ -28,7 +29,7 @@ TEST(EngineUnit, InputQuantizeOnly) {
   Rng rng(1);
   Tensor x = rng.normal_tensor({64}, 0.0f, 1.0f);
   Tensor fake = g.run({{in, x}}, q);
-  Tensor fixed = prog.run(x);
+  Tensor fixed = test::run_program(prog, x);
   EXPECT_TRUE(fake.equals(fixed));
 }
 
@@ -42,7 +43,7 @@ TEST(EngineUnit, RequantRightShiftSaturates) {
   FixedPointProgram prog = compile_fixed_point(g, in, q8);
   Tensor x({5}, {-7.9f, -1.01f, 0.37f, 0.999f, 6.5f});
   Tensor fake = g.run({{in, x}}, q8);
-  Tensor fixed = prog.run(x);
+  Tensor fixed = test::run_program(prog, x);
   EXPECT_TRUE(fake.equals(fixed));
   EXPECT_FLOAT_EQ(fixed[0], -1.0f);  // saturated at n*s = -128 * 2^-7
 }
@@ -56,7 +57,7 @@ TEST(EngineUnit, RequantLeftShiftExact) {
   FixedPointProgram prog = compile_fixed_point(g, in, q16);
   Rng rng(3);
   Tensor x = rng.normal_tensor({128});
-  EXPECT_TRUE(g.run({{in, x}}, q16).equals(prog.run(x)));
+  EXPECT_TRUE(g.run({{in, x}}, q16).equals(test::run_program(prog, x)));
 }
 
 TEST(EngineUnit, EltwiseRequiresMergedScales) {
@@ -80,7 +81,7 @@ TEST(EngineUnit, EltwiseWithSharedScaleIsExact) {
   FixedPointProgram prog = compile_fixed_point(g, in, out);
   Rng rng(4);
   Tensor x = rng.normal_tensor({64});
-  EXPECT_TRUE(g.run({{in, x}}, out).equals(prog.run(x)));
+  EXPECT_TRUE(g.run({{in, x}}, out).equals(test::run_program(prog, x)));
 }
 
 TEST(EngineUnit, ConcatRequiresMergedScales) {
@@ -104,7 +105,7 @@ TEST(EngineUnit, Relu6OnIntegerGrid) {
   FixedPointProgram prog = compile_fixed_point(g, in, q8);
   Tensor x({6}, {-3.0f, -0.1f, 0.0f, 3.0f, 5.999f, 7.5f});
   Tensor fake = g.run({{in, x}}, q8);
-  Tensor fixed = prog.run(x);
+  Tensor fixed = test::run_program(prog, x);
   EXPECT_TRUE(fake.equals(fixed));
   EXPECT_FLOAT_EQ(fixed[0], 0.0f);
   EXPECT_FLOAT_EQ(fixed[5], fixed[4]);  // both clamped to 6 then quantized
@@ -120,7 +121,7 @@ TEST(EngineUnit, LeakyReluPowerOfTwoAlphaExact) {
   Rng rng(6);
   Tensor x = rng.normal_tensor({256}, 0.0f, 2.0f);
   Tensor fake = g.run({{in, x}}, q8);
-  Tensor fixed = prog.run(x);
+  Tensor fixed = test::run_program(prog, x);
   for (int64_t i = 0; i < fake.numel(); ++i) ASSERT_EQ(fake[i], fixed[i]) << i;
 }
 
@@ -133,7 +134,7 @@ TEST(EngineUnit, MaxPoolPreservesScale) {
   FixedPointProgram prog = compile_fixed_point(g, in, out);
   Rng rng(7);
   Tensor x = rng.normal_tensor({1, 4, 4, 2});
-  EXPECT_TRUE(g.run({{in, x}}, out).equals(prog.run(x)));
+  EXPECT_TRUE(g.run({{in, x}}, out).equals(test::run_program(prog, x)));
 }
 
 TEST(EngineUnit, PerChannelQuantizerRejected) {
@@ -155,7 +156,7 @@ TEST(EngineUnit, RescaleHelperBehaviour) {
   NodeId q_coarse = g.add("qc", quant(int8_signed(), 3.0f, "qc/t"), {q_fine});  // s = 2^-4
   FixedPointProgram prog = compile_fixed_point(g, in, q_coarse);
   Tensor x({3}, {100.0f / 4096.0f * 16.0f, 0.031f, -0.031f});
-  EXPECT_TRUE(g.run({{in, x}}, q_coarse).equals(prog.run(x)));
+  EXPECT_TRUE(g.run({{in, x}}, q_coarse).equals(test::run_program(prog, x)));
 }
 
 // ---- fp::rescale / fp::saturate unit tests --------------------------------

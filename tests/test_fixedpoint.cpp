@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "test_util.h"
 #include "fixedpoint/engine.h"
 #include "graph_opt/quantize_pass.h"
 #include "graph_opt/transforms.h"
@@ -47,7 +48,7 @@ TEST_P(BitExact, Int8MatchesFakeQuantGraphExactly) {
   for (int trial = 0; trial < 3; ++trial) {
     Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
     Tensor fake = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
-    Tensor fixed = prog.run(probe);
+    Tensor fixed = test::run_program(prog, probe);
     ASSERT_EQ(fake.shape(), fixed.shape());
     for (int64_t i = 0; i < fake.numel(); ++i) {
       ASSERT_EQ(fake[i], fixed[i]) << model_name(GetParam()) << " element " << i
@@ -68,7 +69,7 @@ TEST_P(BitExact, Int4MatchesFakeQuantGraphExactly) {
   Rng rng(78);
   Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
   Tensor fake = p.m.graph.run({{p.m.input, probe}}, p.qres.quantized_output);
-  Tensor fixed = prog.run(probe);
+  Tensor fixed = test::run_program(prog, probe);
   for (int64_t i = 0; i < fake.numel(); ++i) {
     ASSERT_EQ(fake[i], fixed[i]) << model_name(GetParam()) << " element " << i;
   }
@@ -118,7 +119,7 @@ TEST(FixedPoint, DeterministicAcrossRuns) {
   FixedPointProgram prog = compile_fixed_point(p.m.graph, p.m.input, p.qres.quantized_output);
   Rng rng(81);
   Tensor probe = rng.normal_tensor({1, 16, 16, 3});
-  EXPECT_TRUE(prog.run(probe).equals(prog.run(probe)));
+  EXPECT_TRUE(test::run_program(prog, probe).equals(test::run_program(prog, probe)));
 }
 
 TEST(FixedPoint, SaveLoadRoundTrip) {
@@ -131,7 +132,7 @@ TEST(FixedPoint, SaveLoadRoundTrip) {
   EXPECT_EQ(back.parameter_count(), prog.parameter_count());
   Rng rng(90);
   Tensor probe = rng.normal_tensor({2, 16, 16, 3});
-  EXPECT_TRUE(prog.run(probe).equals(back.run(probe)));
+  EXPECT_TRUE(test::run_program(prog, probe).equals(test::run_program(back, probe)));
   std::remove(path.c_str());
 }
 

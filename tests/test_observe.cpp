@@ -1,0 +1,452 @@
+// Tests for the tqt-observe telemetry layer: JsonWriter output, metrics
+// snapshot round-trips through a real JSON parse, trace-export structure
+// (spans nest, per-thread ordering), and concurrent instrument updates (the
+// TSan target for the -DTQT_SANITIZE=thread build).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "observe/observe.h"
+
+namespace tqt {
+namespace {
+
+// ---- Mini JSON parser (tests only) -----------------------------------------
+// Just enough recursive descent to load what JsonWriter emits; parse errors
+// throw, so a malformed snapshot fails the test at the parse site.
+
+struct JVal {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::map<std::string, JVal> obj;
+
+  const JVal& at(const std::string& k) const {
+    const auto it = obj.find(k);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + k);
+    return it->second;
+  }
+  bool has(const std::string& k) const { return obj.find(k) != obj.end(); }
+};
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : p_(text.c_str()), end_(p_ + text.size()) {}
+
+  JVal parse() {
+    JVal v = value();
+    skip_ws();
+    if (p_ != end_) throw std::runtime_error("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (p_ == end_) throw std::runtime_error("unexpected end of JSON");
+    return *p_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected '") + c + "'");
+    ++p_;
+  }
+
+  bool consume(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n || std::strncmp(p_, lit, n) != 0) return false;
+    p_ += n;
+    return true;
+  }
+
+  JVal value() {
+    const char c = peek();
+    JVal v;
+    if (c == '{') {
+      v.kind = JVal::kObj;
+      expect('{');
+      if (peek() != '}') {
+        for (;;) {
+          const std::string k = string_lit();
+          expect(':');
+          v.obj.emplace(k, value());
+          if (peek() != ',') break;
+          expect(',');
+        }
+      }
+      expect('}');
+    } else if (c == '[') {
+      v.kind = JVal::kArr;
+      expect('[');
+      if (peek() != ']') {
+        for (;;) {
+          v.arr.push_back(value());
+          if (peek() != ',') break;
+          expect(',');
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      v.kind = JVal::kStr;
+      v.str = string_lit();
+    } else if (consume("true")) {
+      v.kind = JVal::kBool;
+      v.b = true;
+    } else if (consume("false")) {
+      v.kind = JVal::kBool;
+      v.b = false;
+    } else if (consume("null")) {
+      v.kind = JVal::kNull;
+    } else {
+      v.kind = JVal::kNum;
+      char* after = nullptr;
+      v.num = std::strtod(p_, &after);
+      if (after == p_) throw std::runtime_error("bad JSON number");
+      p_ = after;
+    }
+    return v;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) throw std::runtime_error("bad escape");
+        const char e = *p_++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 4) throw std::runtime_error("bad \\u escape");
+            const std::string hex(p_, p_ + 4);
+            p_ += 4;
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            // JsonWriter only emits \u00XX for control bytes.
+            out += static_cast<char>(cp);
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+JVal parse_json(const std::string& text) { return MiniJsonParser(text).parse(); }
+
+// ---- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, NestedStructureRoundTrips) {
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("name", "quote\" backslash\\ newline\n tab\t");
+  w.kv("count", 42);
+  w.kv("big", static_cast<unsigned long long>(1) << 63);
+  w.kv("neg", -7);
+  w.kv("pi", 3.5);
+  w.kv("yes", true);
+  w.key("list").arr().value(1).value("two").value(false).end();
+  w.key("nested").obj().kv("k", "v").end();
+  w.end();
+
+  const JVal v = parse_json(w.str());
+  EXPECT_EQ(v.at("name").str, "quote\" backslash\\ newline\n tab\t");
+  EXPECT_EQ(v.at("count").num, 42.0);
+  EXPECT_EQ(v.at("big").num, std::ldexp(1.0, 63));
+  EXPECT_EQ(v.at("neg").num, -7.0);
+  EXPECT_EQ(v.at("pi").num, 3.5);
+  EXPECT_TRUE(v.at("yes").b);
+  ASSERT_EQ(v.at("list").arr.size(), 3u);
+  EXPECT_EQ(v.at("list").arr[1].str, "two");
+  EXPECT_EQ(v.at("nested").at("k").str, "v");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("nan", std::nan(""));
+  w.kv("inf", HUGE_VAL);
+  w.end();
+  const JVal v = parse_json(w.str());
+  EXPECT_EQ(v.at("nan").kind, JVal::kNull);
+  EXPECT_EQ(v.at("inf").kind, JVal::kNull);
+}
+
+TEST(JsonWriter, MatchesLegacyServeFormatting) {
+  // The serve snapshot consumers string-match on ": " / ", " spacing; the
+  // writer must keep emitting the PR 2 style.
+  observe::JsonWriter w;
+  w.obj().kv("version", 1).kv("name", "m").end();
+  EXPECT_EQ(w.str(), "{\"version\": 1, \"name\": \"m\"}");
+}
+
+// ---- Metrics registry ------------------------------------------------------
+
+TEST(Metrics, SnapshotJsonParsesBackWithExactValues) {
+  observe::MetricsRegistry reg;
+  reg.counter("requests").inc(3);
+  reg.gauge("depth").set(5);
+  reg.gauge("depth").set(2);
+  observe::Histogram& h = reg.histogram("lat", observe::Histogram::Layout::kGeometricUs);
+  for (const uint64_t s : {1u, 2u, 3u, 1000000u}) h.record(s);
+  observe::Series& ser = reg.series("loss");
+  ser.append(0, 2.5);
+  ser.append(1, 1.25);
+
+  const JVal v = parse_json(reg.json_snapshot());
+  EXPECT_EQ(v.at("counters").at("requests").num, 3.0);
+  EXPECT_EQ(v.at("gauges").at("depth").at("value").num, 2.0);
+  EXPECT_EQ(v.at("gauges").at("depth").at("high_water").num, 5.0);
+
+  const JVal& hist = v.at("histograms").at("lat");
+  EXPECT_EQ(hist.at("count").num, 4.0);
+  EXPECT_EQ(hist.at("sum").num, 1000006.0);
+  EXPECT_EQ(hist.at("max").num, 1000000.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").num, 1000006.0 / 4.0);
+  const double p50 = hist.at("p50").num;
+  const double p95 = hist.at("p95").num;
+  const double p99 = hist.at("p99").num;
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1000000.0);
+  // Buckets: ascending bounds, counts sum to the total count.
+  const JVal& buckets = hist.at("buckets");
+  ASSERT_EQ(buckets.kind, JVal::kArr);
+  double total = 0.0, prev_bound = -1.0;
+  for (const JVal& b : buckets.arr) {
+    ASSERT_EQ(b.arr.size(), 2u);
+    EXPECT_GT(b.arr[0].num, prev_bound);
+    prev_bound = b.arr[0].num;
+    total += b.arr[1].num;
+  }
+  EXPECT_EQ(total, 4.0);
+
+  const JVal& series = v.at("series").at("loss");
+  EXPECT_EQ(series.at("dropped").num, 0.0);
+  ASSERT_EQ(series.at("points").arr.size(), 2u);
+  EXPECT_EQ(series.at("points").arr[1].arr[0].num, 1.0);
+  EXPECT_EQ(series.at("points").arr[1].arr[1].num, 1.25);
+}
+
+TEST(Metrics, LinearHistogramPercentilesAreUpperBoundEstimates) {
+  observe::MetricsRegistry reg;
+  observe::Histogram& h = reg.histogram("sizes", observe::Histogram::Layout::kLinear);
+  for (uint64_t i = 1; i <= 100; ++i) h.record(i);
+  const observe::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max, 100u);
+  // Linear buckets are exact up to kLinearMax, so percentiles are the exact
+  // rank values here (rank = p * count + 0.5 rounded into a bucket).
+  EXPECT_GE(s.percentile(0.50), 50u);
+  EXPECT_LE(s.percentile(0.50), 51u);
+  EXPECT_EQ(s.percentile(1.0), 100u);
+  EXPECT_EQ(s.percentile(0.01), 1u);
+}
+
+TEST(Metrics, SeriesDropsBeyondCapacityAndCounts) {
+  observe::MetricsRegistry reg;
+  observe::Series& s = reg.series("big");
+  const size_t n = observe::Series::kMaxPoints + 10;
+  for (size_t i = 0; i < n; ++i) s.append(static_cast<double>(i), 1.0);
+  EXPECT_EQ(s.size(), observe::Series::kMaxPoints);
+  EXPECT_EQ(s.dropped(), 10u);
+}
+
+TEST(Metrics, SameNameDifferentKindsAreIndependent) {
+  observe::MetricsRegistry reg;
+  reg.counter("x").inc(7);
+  reg.gauge("x").set(-3);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+  EXPECT_EQ(reg.gauge("x").value(), -3);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreExact) {
+  // The TSan target: every instrument hammered from many threads at once.
+  observe::MetricsRegistry reg;
+  observe::Counter& c = reg.counter("c");
+  observe::Gauge& g = reg.gauge("g");
+  observe::Histogram& h = reg.histogram("h", observe::Histogram::Layout::kLinear);
+  observe::Series& s = reg.series("s");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1);
+        g.add(-1);
+        h.record(static_cast<uint64_t>(t));
+        if (i % 100 == 0) s.append(i, t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(s.size(), static_cast<size_t>(kThreads) * (kIters / 100));
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    observe::Tracer::global().set_enabled(false);
+    observe::Tracer::global().clear();
+  }
+  void TearDown() override {
+    observe::Tracer::global().set_enabled(false);
+    observe::Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  {
+    TQT_TRACE("quiet", "test");
+  }
+  for (const observe::ThreadTrace& t : observe::Tracer::global().threads()) {
+    EXPECT_TRUE(t.events.empty());
+  }
+}
+
+TEST_F(TracerTest, SpansNestAndEndTimesAreMonotonePerThread) {
+  observe::Tracer::global().set_enabled(true);
+  {
+    observe::TraceSpan outer("outer", "test");
+    outer.argf("k=%d", 7);
+    { observe::TraceSpan inner("inner", "test"); }
+  }
+  observe::Tracer::global().set_enabled(false);
+
+  const std::vector<observe::ThreadTrace> traces = observe::Tracer::global().threads();
+  const observe::TraceEvent* outer_ev = nullptr;
+  const observe::TraceEvent* inner_ev = nullptr;
+  for (const observe::ThreadTrace& t : traces) {
+    uint64_t prev_end = 0;
+    for (const observe::TraceEvent& e : t.events) {
+      // Events are recorded at span end, so per-thread end times ascend.
+      EXPECT_GE(e.ts_ns + e.dur_ns, prev_end);
+      prev_end = e.ts_ns + e.dur_ns;
+      if (std::string(e.name) == "outer") outer_ev = &e;
+      if (std::string(e.name) == "inner") inner_ev = &e;
+    }
+  }
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  // The inner span nests inside the outer one.
+  EXPECT_GE(inner_ev->ts_ns, outer_ev->ts_ns);
+  EXPECT_LE(inner_ev->ts_ns + inner_ev->dur_ns, outer_ev->ts_ns + outer_ev->dur_ns);
+  EXPECT_STREQ(outer_ev->args, "k=7");
+}
+
+TEST_F(TracerTest, ChromeJsonExportLoadsAndNests) {
+  observe::Tracer::global().set_enabled(true);
+  {
+    observe::TraceSpan outer("outer", "test");
+    { TQT_TRACE("inner", "test"); }
+  }
+  observe::Tracer::global().set_enabled(false);
+
+  const JVal doc = parse_json(observe::Tracer::global().chrome_json());
+  const JVal& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JVal::kArr);
+  const JVal* outer_ev = nullptr;
+  const JVal* inner_ev = nullptr;
+  for (const JVal& e : events.arr) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    if (e.at("name").str == "outer") outer_ev = &e;
+    if (e.at("name").str == "inner") inner_ev = &e;
+  }
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  EXPECT_EQ(outer_ev->at("cat").str, "test");
+  EXPECT_GE(inner_ev->at("ts").num, outer_ev->at("ts").num);
+  EXPECT_LE(inner_ev->at("ts").num + inner_ev->at("dur").num,
+            outer_ev->at("ts").num + outer_ev->at("dur").num);
+}
+
+TEST_F(TracerTest, RingDropsOldestWhenFull) {
+  observe::Tracer::global().set_enabled(true);
+  const size_t extra = 100;
+  for (size_t i = 0; i < observe::Tracer::kRingCapacity + extra; ++i) {
+    TQT_TRACE("spin", "test");
+  }
+  observe::Tracer::global().set_enabled(false);
+  bool found = false;
+  for (const observe::ThreadTrace& t : observe::Tracer::global().threads()) {
+    if (t.events.empty()) continue;
+    found = true;
+    EXPECT_EQ(t.events.size(), observe::Tracer::kRingCapacity);
+    EXPECT_EQ(t.dropped, extra);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TracerTest, ConcurrentSpansLandInPerThreadBuffers) {
+  observe::Tracer::global().set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TQT_TRACE("worker", "test");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  observe::Tracer::global().set_enabled(false);
+
+  size_t total = 0;
+  for (const observe::ThreadTrace& t : observe::Tracer::global().threads()) {
+    uint64_t prev_end = 0;
+    for (const observe::TraceEvent& e : t.events) {
+      EXPECT_GE(e.ts_ns + e.dur_ns, prev_end);
+      prev_end = e.ts_ns + e.dur_ns;
+    }
+    total += t.events.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kThreads) * kSpans);
+}
+
+TEST_F(TracerTest, WriteChromeJsonThrowsOnBadPath) {
+  EXPECT_THROW(observe::Tracer::global().write_chrome_json("/nonexistent_dir_tqt/x.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tqt

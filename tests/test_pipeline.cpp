@@ -6,6 +6,7 @@
 #include <cmath>
 #include <filesystem>
 
+#include "test_util.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
 
@@ -170,7 +171,7 @@ TEST(Pipeline, TrainedModelExportsBitExact) {
       compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
   Batch b = data.val_batch(0, 8);
   Tensor fake = out.model.graph.run({{out.model.input, b.images}}, out.qres.quantized_output);
-  Tensor fixed = prog.run(b.images);
+  Tensor fixed = test::run_program(prog, b.images);
   for (int64_t i = 0; i < fake.numel(); ++i) ASSERT_EQ(fake[i], fixed[i]) << i;
   // And the integer program classifies as well as the fake-quant graph.
   Accuracy fa, fb;

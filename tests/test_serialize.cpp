@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "test_util.h"
 #include "fixedpoint/engine.h"
 #include "graph_opt/quantize_pass.h"
 #include "graph_opt/transforms.h"
@@ -78,7 +79,7 @@ TEST(Serialize, RoundTripPreservesProgramAndOutputsExactly) {
   Rng rng(42);
   for (int trial = 0; trial < 2; ++trial) {
     const Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
-    EXPECT_TRUE(prog.run(probe).equals(back.run(probe))) << "trial " << trial;
+    EXPECT_TRUE(test::run_program(prog, probe).equals(test::run_program(back, probe))) << "trial " << trial;
   }
   std::remove(path.c_str());
 }

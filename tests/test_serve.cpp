@@ -4,11 +4,14 @@
 // every zoo model and every batch size.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <functional>
 #include <future>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "test_util.h"
 #include "fixedpoint/engine.h"
 #include "graph_opt/quantize_pass.h"
 #include "graph_opt/transforms.h"
@@ -49,7 +52,7 @@ TEST_P(ServeBitExact, BatchedResponseEqualsSingleSampleRun) {
   std::vector<Tensor> samples, reference;
   for (int i = 0; i < kRequests; ++i) {
     samples.push_back(rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f));
-    reference.push_back(prog.run(samples.back()));
+    reference.push_back(test::run_program(prog, samples.back()));
   }
 
   for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
@@ -95,13 +98,13 @@ TEST_P(ServeBitExact, EngineBatchRowsMatchSingleRuns) {
   const FixedPointProgram prog = make_program(GetParam());
   Rng rng(321);
   const Tensor batch = rng.normal_tensor({3, 16, 16, 3}, 0.2f, 1.2f);
-  const Tensor batched = prog.run(batch);
+  const Tensor batched = test::run_program(prog, batch);
   const int64_t sample_numel = numel_of(kSampleShape);
   const int64_t row = batched.numel() / 3;
   for (int64_t i = 0; i < 3; ++i) {
     Tensor single({1, 16, 16, 3});
     for (int64_t j = 0; j < sample_numel; ++j) single[j] = batch[i * sample_numel + j];
-    const Tensor ref = prog.run(single);
+    const Tensor ref = test::run_program(prog, single);
     for (int64_t j = 0; j < row; ++j) {
       ASSERT_EQ(ref[j], batched[i * row + j]) << model_name(GetParam()) << " sample " << i;
     }
@@ -175,13 +178,48 @@ TEST(Serve, BadSampleShapeThrows) {
   EXPECT_THROW(server.submit("mini_vgg", rng.normal_tensor({16, 16})), std::invalid_argument);
 }
 
+// deploy() and deploy_file() share one validation path; for the same bad
+// input the two entry points must report character-identical errors.
+TEST(Serve, DeployAndDeployFileReportIdenticalValidationErrors) {
+  const FixedPointProgram prog = make_program(ModelKind::kMiniVgg);
+  const std::string path = "serve_validation_tmp.tqtp";
+  prog.save(path);
+
+  const auto error_text = [](const std::function<void()>& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  serve::InferenceServer direct;
+  serve::InferenceServer from_file;
+  const std::string name1 = error_text([&] { direct.deploy("", prog, kSampleShape); });
+  const std::string name2 = error_text([&] { from_file.deploy_file("", path, kSampleShape); });
+  ASSERT_FALSE(name1.empty());
+  EXPECT_EQ(name1, name2);
+
+  const std::string shape1 = error_text([&] { direct.deploy("m", prog, {}); });
+  const std::string shape2 = error_text([&] { from_file.deploy_file("m", path, {}); });
+  ASSERT_FALSE(shape1.empty());
+  EXPECT_EQ(shape1, shape2);
+
+  const std::string dim1 = error_text([&] { direct.deploy("m", prog, {16, 0, 3}); });
+  const std::string dim2 = error_text([&] { from_file.deploy_file("m", path, {16, 0, 3}); });
+  ASSERT_FALSE(dim1.empty());
+  EXPECT_EQ(dim1, dim2);
+  std::remove(path.c_str());
+}
+
 TEST(Serve, HotSwapServesNewProgramAtomically) {
   const FixedPointProgram v1 = make_program(ModelKind::kMiniVgg, /*seed=*/11);
   const FixedPointProgram v2 = make_program(ModelKind::kMiniVgg, /*seed=*/99);
   Rng rng(9);
   const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
-  const Tensor want_v1 = v1.run(sample);
-  const Tensor want_v2 = v2.run(sample);
+  const Tensor want_v1 = test::run_program(v1, sample);
+  const Tensor want_v2 = test::run_program(v2, sample);
   ASSERT_FALSE(want_v1.equals(want_v2)) << "swap test needs distinguishable programs";
 
   serve::InferenceServer server;
@@ -198,7 +236,7 @@ TEST(Serve, ConcurrentClientsAllGetExactResponses) {
   const FixedPointProgram prog = make_program(ModelKind::kMiniVgg);
   Rng rng(10);
   const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
-  const Tensor want = prog.run(sample);
+  const Tensor want = test::run_program(prog, sample);
 
   serve::ServerConfig cfg;
   cfg.batch.max_batch = 4;

@@ -1,5 +1,6 @@
 // Shared helpers for the test suite: numerical gradient checking against the
-// graph's analytic backward pass.
+// graph's analytic backward pass, and a convenience wrapper over the
+// fixed-point engine's run_into entry point.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -8,10 +9,21 @@
 #include <cmath>
 #include <functional>
 
+#include "fixedpoint/engine.h"
 #include "nn/graph.h"
 #include "tensor/rng.h"
 
 namespace tqt::test {
+
+/// Run a compiled program through the engine's single entry point
+/// (run_into) and return the result — the test-side replacement for the
+/// deprecated FixedPointProgram::run convenience overloads.
+inline Tensor run_program(const FixedPointProgram& prog, const Tensor& input) {
+  thread_local ExecContext ctx;
+  Tensor out;
+  prog.run_into(input, ctx, out);
+  return out;
+}
 
 /// Central-difference numerical gradient of `f` with respect to `t`,
 /// evaluated elementwise. `f` must be a pure function of the tensor's

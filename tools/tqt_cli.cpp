@@ -17,10 +17,17 @@
 //       server, drive it with C in-process client threads over the
 //       validation split (N passes with --repeat), and print the per-model
 //       stats block as JSON plus wall time per inference.
+//
+// Every subcommand accepts --help. quantize/export/run/serve additionally
+// accept the shared telemetry flags:
+//   --metrics-json PATH   write a metrics snapshot (observe.h schema) on exit
+//   --trace PATH          record spans and write chrome://tracing JSON on exit
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +35,7 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
+#include "observe/observe.h"
 #include "runtime/parallel.h"
 #include "serve/server.h"
 
@@ -44,9 +52,188 @@ int usage() {
                "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
                "  run      <model> -i FILE [--threads N] [--repeat N]\n"
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
-               "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n");
+               "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n"
+               "run '--help' after any subcommand for its full flag list\n");
   return 2;
 }
+
+// ---- Argument parsing ------------------------------------------------------
+
+/// Declarative flag parser shared by every subcommand: registered flags with
+/// one-line docs, --help rendering, positional collection, and a one-line
+/// error (exit 1 via the main() catch block) for anything unregistered.
+class ArgParser {
+ public:
+  ArgParser(std::string cmd, std::string positional_sig, std::string summary)
+      : cmd_(std::move(cmd)),
+        positional_sig_(std::move(positional_sig)),
+        summary_(std::move(summary)) {}
+
+  /// Register a flag. `value_name` nullptr declares a boolean flag;
+  /// otherwise the flag consumes the next argument as its value.
+  ArgParser& add(const char* name, const char* value_name, const char* doc) {
+    flags_.push_back(Flag{name, value_name ? value_name : "", doc, "", false});
+    return *this;
+  }
+
+  /// Parse `argv` (subcommand arguments only). Returns false when --help was
+  /// handled (the caller should exit 0). Throws std::invalid_argument — a
+  /// one-line error — on unknown flags or a flag missing its value.
+  bool parse(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--help" || a == "-h") {
+        print_help(stdout);
+        return false;
+      }
+      if (a.size() > 1 && a[0] == '-') {
+        Flag* f = find(a);
+        if (!f) {
+          throw std::invalid_argument("tqt_cli " + cmd_ + ": unknown flag '" + a +
+                                      "' (try --help)");
+        }
+        f->seen = true;
+        if (!f->value_name.empty()) {
+          if (i + 1 >= argc) {
+            throw std::invalid_argument("tqt_cli " + cmd_ + ": flag '" + a + "' expects " +
+                                        f->value_name);
+          }
+          f->value = argv[++i];
+        }
+      } else {
+        positionals_.push_back(a);
+      }
+    }
+    return true;
+  }
+
+  /// Value of a registered flag, or `fallback` when absent on the line.
+  const char* value(const char* name, const char* fallback = nullptr) const {
+    const Flag* f = find(name);
+    if (!f) throw std::logic_error(std::string("flag not registered: ") + name);
+    return f->seen ? f->value.c_str() : fallback;
+  }
+
+  bool seen(const char* name) const {
+    const Flag* f = find(name);
+    return f && f->seen;
+  }
+
+  /// Strictly positive integer flag value.
+  int positive(const char* name, int fallback) const {
+    const char* v = value(name, nullptr);
+    if (!v) return fallback;
+    const int n = std::atoi(v);
+    if (n < 1) {
+      throw std::invalid_argument(std::string(name) + " must be a positive integer, got '" + v +
+                                  "'");
+    }
+    return n;
+  }
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// The single expected positional, with a one-line error otherwise.
+  const std::string& positional(const char* what) const {
+    if (positionals_.size() != 1) {
+      throw std::invalid_argument("tqt_cli " + cmd_ + ": expected exactly one " + what +
+                                  " argument (try --help)");
+    }
+    return positionals_[0];
+  }
+
+  /// Value of a required flag, with a one-line error when missing.
+  const char* required(const char* name) const {
+    const char* v = value(name, nullptr);
+    if (!v) {
+      throw std::invalid_argument("tqt_cli " + cmd_ + ": missing required flag " + name +
+                                  " (try --help)");
+    }
+    return v;
+  }
+
+  void print_help(std::FILE* out) const {
+    std::fprintf(out, "usage: tqt_cli %s%s%s%s\n\n  %s\n", cmd_.c_str(),
+                 positional_sig_.empty() ? "" : " ", positional_sig_.c_str(),
+                 flags_.empty() ? "" : " [flags]", summary_.c_str());
+    if (flags_.empty()) return;
+    std::fprintf(out, "\nflags:\n");
+    for (const Flag& f : flags_) {
+      char head[64];
+      std::snprintf(head, sizeof head, "%s%s%s", f.name.c_str(),
+                    f.value_name.empty() ? "" : " ", f.value_name.c_str());
+      std::fprintf(out, "  %-22s %s\n", head, f.doc.c_str());
+    }
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;  // empty = boolean flag
+    std::string doc;
+    std::string value;
+    bool seen;
+  };
+
+  Flag* find(const std::string& name) {
+    for (Flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  const Flag* find(const std::string& name) const {
+    return const_cast<ArgParser*>(this)->find(name);
+  }
+
+  std::string cmd_;
+  std::string positional_sig_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positionals_;
+};
+
+/// Register the flags shared by every telemetry-capable subcommand.
+void add_telemetry_flags(ArgParser& p) {
+  p.add("--metrics-json", "PATH", "write a metrics snapshot JSON to PATH on exit");
+  p.add("--trace", "PATH", "record spans; write chrome://tracing JSON to PATH on exit");
+}
+
+/// Telemetry session: enables tracing up front when requested and renders
+/// the metrics snapshot / trace file once the command's work is done.
+class Telemetry {
+ public:
+  explicit Telemetry(const ArgParser& p)
+      : metrics_path_(p.value("--metrics-json", "")), trace_path_(p.value("--trace", "")) {
+    if (!trace_path_.empty()) observe::Tracer::global().set_enabled(true);
+  }
+
+  /// True when per-step training series should be recorded.
+  bool wants_metrics() const { return !metrics_path_.empty(); }
+
+  void flush() const {
+    if (!trace_path_.empty()) {
+      observe::Tracer::global().set_enabled(false);
+      observe::Tracer::global().write_chrome_json(trace_path_);
+      std::fprintf(stderr, "wrote trace to %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      const std::string json = observe::MetricsRegistry::global().json_snapshot();
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "wb");
+      if (!f || std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+          std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+        if (f) std::fclose(f);
+        throw std::runtime_error("cannot write metrics snapshot to " + metrics_path_);
+      }
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+// ---- Subcommands -----------------------------------------------------------
 
 ModelKind parse_model(const std::string& name) {
   for (ModelKind k : all_model_kinds()) {
@@ -55,37 +242,24 @@ ModelKind parse_model(const std::string& name) {
   throw std::invalid_argument("unknown model '" + name + "' (try: tqt_cli list)");
 }
 
-const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-int positive_flag(int argc, char** argv, const char* flag, int fallback) {
-  const char* v = flag_value(argc, argv, flag, nullptr);
-  if (!v) return fallback;
-  const int n = std::atoi(v);
-  if (n < 1) throw std::invalid_argument(std::string(flag) + " must be a positive integer, got '" +
-                                         v + "'");
-  return n;
-}
-
 /// --threads N overrides TQT_NUM_THREADS for the engine's thread pool.
-void apply_threads_flag(int argc, char** argv) {
-  const char* v = flag_value(argc, argv, "--threads", nullptr);
-  if (v) set_num_threads(positive_flag(argc, argv, "--threads", 0));
+void apply_threads_flag(const ArgParser& p) {
+  if (p.seen("--threads")) set_num_threads(p.positive("--threads", 0));
 }
 
-int cmd_list() {
+int cmd_list(int argc, char** argv) {
+  ArgParser p("list", "", "List the model zoo.");
+  if (!p.parse(argc, argv)) return 0;
   for (ModelKind k : all_model_kinds()) std::printf("%s\n", model_name(k).c_str());
   return 0;
 }
 
 int cmd_pretrain(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const ModelKind kind = parse_model(argv[0]);
-  const std::string cache = flag_value(argc, argv, "--cache", "tqt_artifacts");
+  ArgParser p("pretrain", "<model>", "FP32-pretrain a model (cached) and report accuracy.");
+  p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
+  if (!p.parse(argc, argv)) return 0;
+  const ModelKind kind = parse_model(p.positional("model"));
+  const std::string cache = p.value("--cache", "tqt_artifacts");
   SyntheticImageDataset data(default_dataset_config());
   const auto state = load_or_pretrain(kind, data, cache);
   const Accuracy acc = eval_fp32(kind, state, data);
@@ -95,9 +269,8 @@ int cmd_pretrain(int argc, char** argv) {
   return 0;
 }
 
-QuantTrialConfig trial_config(int argc, char** argv) {
+QuantTrialConfig trial_config(const ArgParser& p, const std::string& mode) {
   QuantTrialConfig cfg;
-  const std::string mode = flag_value(argc, argv, "--mode", "wt_th");
   if (mode == "static") {
     cfg.mode = TrialMode::kStatic;
   } else if (mode == "wt") {
@@ -107,36 +280,54 @@ QuantTrialConfig trial_config(int argc, char** argv) {
   } else {
     throw std::invalid_argument("bad --mode " + mode);
   }
-  cfg.quant.weight_bits = std::atoi(flag_value(argc, argv, "--bits", "8"));
-  cfg.schedule = default_retrain_schedule(
-      static_cast<float>(std::atof(flag_value(argc, argv, "--epochs", "4"))));
+  cfg.quant.weight_bits = std::atoi(p.value("--bits", "8"));
+  cfg.schedule =
+      default_retrain_schedule(static_cast<float>(std::atof(p.value("--epochs", "4"))));
   return cfg;
 }
 
 int cmd_quantize(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const ModelKind kind = parse_model(argv[0]);
+  ArgParser p("quantize", "<model>",
+              "Quantize (and optionally retrain) from the cached FP32 weights.");
+  p.add("--mode", "M", "static | wt | wt_th (default wt_th)");
+  p.add("--bits", "B", "weight bit width, 8 or 4 (default 8)");
+  p.add("--epochs", "N", "retraining epochs (default 4)");
+  p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
+  add_telemetry_flags(p);
+  if (!p.parse(argc, argv)) return 0;
+  const Telemetry tel(p);
+  const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
-  const auto state = load_or_pretrain(kind, data, flag_value(argc, argv, "--cache", "tqt_artifacts"));
-  const QuantTrialConfig cfg = trial_config(argc, argv);
+  const auto state = load_or_pretrain(kind, data, p.value("--cache", "tqt_artifacts"));
+  const std::string mode = p.value("--mode", "wt_th");
+  QuantTrialConfig cfg = trial_config(p, mode);
+  if (tel.wants_metrics()) cfg.schedule.metrics = &observe::MetricsRegistry::global();
   const TrialOutput out = run_quant_trial(kind, state, data, cfg);
   std::printf("%s INT%d (%s): top-1 %.1f%%  top-5 %.1f%%", model_name(kind).c_str(),
-              cfg.quant.weight_bits, flag_value(argc, argv, "--mode", "wt_th"),
-              100.0 * out.accuracy.top1(), 100.0 * out.accuracy.top5());
+              cfg.quant.weight_bits, mode.c_str(), 100.0 * out.accuracy.top1(),
+              100.0 * out.accuracy.top5());
   if (cfg.mode != TrialMode::kStatic) std::printf("  (best epoch %.1f)", out.best_epoch);
   std::printf("\n");
+  tel.flush();
   return 0;
 }
 
 int cmd_export(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const char* out_path = flag_value(argc, argv, "-o", nullptr);
-  if (!out_path) return usage();
-  const ModelKind kind = parse_model(argv[0]);
+  ArgParser p("export", "<model>",
+              "TQT-retrain and compile to a fixed-point program file.");
+  p.add("-o", "FILE", "output program file (required)");
+  p.add("--bits", "B", "weight bit width, 8 or 4 (default 8)");
+  p.add("--epochs", "N", "retraining epochs (default 4)");
+  p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
+  add_telemetry_flags(p);
+  if (!p.parse(argc, argv)) return 0;
+  const Telemetry tel(p);
+  const char* out_path = p.required("-o");
+  const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
-  const auto state = load_or_pretrain(kind, data, flag_value(argc, argv, "--cache", "tqt_artifacts"));
-  QuantTrialConfig cfg = trial_config(argc, argv);
-  cfg.mode = TrialMode::kRetrainWtTh;
+  const auto state = load_or_pretrain(kind, data, p.value("--cache", "tqt_artifacts"));
+  QuantTrialConfig cfg = trial_config(p, "wt_th");
+  if (tel.wants_metrics()) cfg.schedule.metrics = &observe::MetricsRegistry::global();
   TrialOutput out = run_quant_trial(kind, state, data, cfg);
   out.model.graph.set_training(false);
   const FixedPointProgram prog =
@@ -146,19 +337,27 @@ int cmd_export(int argc, char** argv) {
               model_name(kind).c_str(), 100.0 * out.accuracy.top1(),
               static_cast<long long>(prog.instruction_count()),
               static_cast<long long>(prog.parameter_count()), out_path);
+  tel.flush();
   return 0;
 }
 
 int cmd_run(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const char* in_path = flag_value(argc, argv, "-i", nullptr);
-  if (!in_path) return usage();
-  parse_model(argv[0]);  // validated for the error message only
-  apply_threads_flag(argc, argv);
-  const int repeat = positive_flag(argc, argv, "--repeat", 1);
+  ArgParser p("run", "<model>",
+              "Load a fixed-point program and evaluate it on the validation split.");
+  p.add("-i", "FILE", "fixed-point program file (required)");
+  p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
+  p.add("--repeat", "N", "validation passes (default 1)");
+  add_telemetry_flags(p);
+  if (!p.parse(argc, argv)) return 0;
+  const Telemetry tel(p);
+  const char* in_path = p.required("-i");
+  parse_model(p.positional("model"));  // validated for the error message only
+  apply_threads_flag(p);
+  const int repeat = p.positive("--repeat", 1);
   SyntheticImageDataset data(default_dataset_config());
   const FixedPointProgram prog = FixedPointProgram::load(in_path);
   ExecContext ctx;  // arena reused across batches and passes
+  Tensor logits;
   Accuracy acc;
   int64_t inferences = 0;
   const auto t0 = std::chrono::steady_clock::now();
@@ -166,7 +365,8 @@ int cmd_run(int argc, char** argv) {
     Accuracy pass;
     for (int64_t first = 0; first < data.val_size(); first += 64) {
       const Batch b = data.val_batch(first, std::min<int64_t>(64, data.val_size() - first));
-      accumulate_topk(prog.run(b.images, ctx), b.labels, pass);
+      prog.run_into(b.images, ctx, logits);
+      accumulate_topk(logits, b.labels, pass);
       inferences += b.images.dim(0);
     }
     acc = pass;  // every pass is bit-identical; keep the last
@@ -179,24 +379,39 @@ int cmd_run(int argc, char** argv) {
               inferences > 0 ? 1e3 * secs / static_cast<double>(inferences) : 0.0,
               secs > 0 ? static_cast<double>(inferences) / secs : 0.0, repeat,
               repeat == 1 ? "" : "es");
+  tel.flush();
   return 0;
 }
 
 int cmd_serve(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const char* in_path = flag_value(argc, argv, "-i", nullptr);
-  if (!in_path) return usage();
-  const std::string model = model_name(parse_model(argv[0]));
-  apply_threads_flag(argc, argv);
-  const int clients = positive_flag(argc, argv, "--clients", 4);
-  const int repeat = positive_flag(argc, argv, "--repeat", 1);
-  const int64_t total_requests =
-      static_cast<int64_t>(positive_flag(argc, argv, "--requests", 256)) * repeat;
+  ArgParser p("serve", "<model>",
+              "Serve a fixed-point program through the micro-batching server and "
+              "drive it with in-process clients.");
+  p.add("-i", "FILE", "fixed-point program file (required)");
+  p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
+  p.add("--clients", "C", "in-process client threads (default 4)");
+  p.add("--requests", "R", "requests per pass (default 256)");
+  p.add("--max-batch", "B", "micro-batch size cap (default 8)");
+  p.add("--delay-us", "D", "micro-batch collection window in us (default 200)");
+  p.add("--queue", "Q", "queue depth before shedding (default 256)");
+  p.add("--repeat", "N", "passes over --requests (default 1)");
+  add_telemetry_flags(p);
+  if (!p.parse(argc, argv)) return 0;
+  const Telemetry tel(p);
+  const char* in_path = p.required("-i");
+  const std::string model = model_name(parse_model(p.positional("model")));
+  apply_threads_flag(p);
+  const int clients = p.positive("--clients", 4);
+  const int repeat = p.positive("--repeat", 1);
+  const int64_t total_requests = static_cast<int64_t>(p.positive("--requests", 256)) * repeat;
 
   serve::ServerConfig scfg;
-  scfg.batch.max_batch = positive_flag(argc, argv, "--max-batch", 8);
-  scfg.batch.max_delay_us = positive_flag(argc, argv, "--delay-us", 200);
-  scfg.batch.max_queue = positive_flag(argc, argv, "--queue", 256);
+  scfg.batch.max_batch = p.positive("--max-batch", 8);
+  scfg.batch.max_delay_us = p.positive("--delay-us", 200);
+  scfg.batch.max_queue = p.positive("--queue", 256);
+  // Record serve lane metrics into the process registry so --metrics-json
+  // snapshots them alongside the engine/pool counters.
+  scfg.metrics = &observe::MetricsRegistry::global();
 
   SyntheticImageDataset data(default_dataset_config());
   const DatasetConfig& dcfg = data.config();
@@ -244,6 +459,7 @@ int cmd_serve(int argc, char** argv) {
                acc.count > 0 ? 1e3 * secs / static_cast<double>(acc.count) : 0.0,
                secs > 0 ? static_cast<double>(acc.count) / secs : 0.0);
   std::printf("%s\n", server.stats_json().c_str());
+  tel.flush();
   return 0;
 }
 
@@ -253,7 +469,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "list") return cmd_list();
+    if (cmd == "list") return cmd_list(argc - 2, argv + 2);
     if (cmd == "pretrain") return cmd_pretrain(argc - 2, argv + 2);
     if (cmd == "quantize") return cmd_quantize(argc - 2, argv + 2);
     if (cmd == "export") return cmd_export(argc - 2, argv + 2);

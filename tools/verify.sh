@@ -44,6 +44,13 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# Fail fast on tqt-observe too: the registry/tracer/JSON tests plus the CLI
+# flag-parser contract. Under TQT_SANITIZE=thread this pass is the race
+# check on concurrent metric updates and per-thread trace rings.
+echo "==== observe/CLI tests ===="
+ctest --test-dir "$BUILD_DIR" -R 'Json|Metrics|Tracer|cli_' \
+  --output-on-failure -j "$(nproc)"
+
 for threads in 1 4; do
   echo "==== ctest with TQT_NUM_THREADS=$threads ===="
   TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
@@ -56,5 +63,25 @@ echo "==== bench_serve_throughput smoke -> $BUILD_DIR/BENCH_serve.json ===="
 # model's typed output diverges from the reference interpreter.
 echo "==== bench_engine_kernels smoke -> $BUILD_DIR/BENCH_engine.json ===="
 "$BUILD_DIR/bench/bench_engine_kernels" --smoke -o "$BUILD_DIR/BENCH_engine.json"
+
+# Observability overhead contract (DESIGN.md §10): with tracing disabled the
+# instrumentation must cost < 1% of a steady-state run_into — the bench
+# exits nonzero on a breach. Skipped under sanitizers (timings meaningless).
+if [[ -z "${TQT_SANITIZE:-}" ]]; then
+  echo "==== bench_observe_overhead smoke -> $BUILD_DIR/BENCH_observe.json ===="
+  "$BUILD_DIR/bench/bench_observe_overhead" --smoke -o "$BUILD_DIR/BENCH_observe.json"
+
+  # Trace + metrics round trip through the CLI: the exported chrome://tracing
+  # file must contain per-instruction engine spans for a zoo model.
+  echo "==== tqt_cli --trace/--metrics-json smoke ===="
+  "$BUILD_DIR/tools/tqt_cli" export mini_vgg -o "$BUILD_DIR/verify_vgg.tqtp" --epochs 1 \
+    >/dev/null
+  "$BUILD_DIR/tools/tqt_cli" run mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" \
+    --trace "$BUILD_DIR/verify_trace.json" --metrics-json "$BUILD_DIR/verify_metrics.json" \
+    >/dev/null
+  grep -q '"name": "conv2d"' "$BUILD_DIR/verify_trace.json"
+  grep -q '"traceEvents"' "$BUILD_DIR/verify_trace.json"
+  grep -q '"engine.runs"' "$BUILD_DIR/verify_metrics.json"
+fi
 
 echo "verify.sh: all test passes completed"
