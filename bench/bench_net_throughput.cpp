@@ -1,0 +1,181 @@
+// Closed-loop socket load generator for the tqt-gateway front-end: N client
+// threads each hold one TCP connection to a loopback gateway and issue
+// lock-step requests; the gateway feeds the micro-batcher, which executes on
+// the runtime/parallel thread pool. Run once with a 1-thread pool and once
+// with a 4-thread pool, and report a JSON comparison — the network
+// counterpart of bench_serve_throughput, with latencies measured client-side
+// so they include wire encoding, both socket hops and the event loop.
+//
+//   bench_net_throughput [--model NAME] [--clients N] [--requests N]
+//                        [--max-batch B] [--delay-us D] [--deadline-us D]
+//                        [--smoke] [-o FILE]
+//
+// --smoke (or env TQT_FAST) shrinks the request count for CI. The JSON
+// records hardware_concurrency so a 1-core CI box is not mistaken for a
+// regression, plus the shed and deadline-drop counts per phase (nonzero only
+// when --deadline-us makes the offered load miss deadlines).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "fixedpoint/engine.h"
+#include "models/zoo.h"
+#include "net/client.h"
+#include "net/gateway.h"
+#include "observe/observe.h"
+#include "runtime/parallel.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace tqt;
+
+const char* flag_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+struct PhaseResult {
+  int threads = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_dropped = 0;
+  observe::HistogramSnapshot latency;  // client-side, microseconds
+};
+
+PhaseResult run_phase(const FixedPointProgram& prog, int pool_threads, int clients,
+                      int64_t total_requests, uint32_t deadline_us,
+                      const serve::ServerConfig& scfg) {
+  set_num_threads(pool_threads);
+  serve::InferenceServer server(scfg);
+  server.deploy("bench", prog, {16, 16, 3});
+  net::Gateway gateway(server, {});
+
+  Rng rng(7);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  // Client-side latency: send -> response fully parsed, per request.
+  observe::Histogram latency;
+  std::atomic<uint64_t> ok{0}, shed{0}, dropped{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::GatewayClient client("localhost", gateway.port());
+      for (int64_t i = c; i < total_requests; i += clients) {
+        const auto s0 = std::chrono::steady_clock::now();
+        const net::InferResponse resp = client.infer("bench", sample, deadline_us);
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - s0)
+                            .count();
+        latency.record(static_cast<uint64_t>(us));
+        switch (resp.status) {
+          case net::WireStatus::kOk: ok.fetch_add(1); break;
+          case net::WireStatus::kShed: shed.fetch_add(1); break;
+          case net::WireStatus::kDeadlineExceeded: dropped.fetch_add(1); break;
+          default: break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  gateway.stop_and_drain();
+  server.shutdown_and_drain();
+
+  PhaseResult r;
+  r.threads = pool_threads;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.throughput_rps = static_cast<double>(total_requests) / r.seconds;
+  r.ok = ok.load();
+  r.shed = shed.load();
+  r.deadline_dropped = dropped.load();
+  r.latency = latency.snapshot();
+  return r;
+}
+
+void write_phase(observe::JsonWriter& w, const PhaseResult& r) {
+  w.obj();
+  w.kv("threads", r.threads);
+  w.kv("seconds", r.seconds);
+  w.kv("throughput_rps", r.throughput_rps);
+  w.kv("p50_us", static_cast<long long>(r.latency.percentile(0.50)));
+  w.kv("p95_us", static_cast<long long>(r.latency.percentile(0.95)));
+  w.kv("p99_us", static_cast<long long>(r.latency.percentile(0.99)));
+  w.kv("ok", static_cast<long long>(r.ok));
+  w.kv("shed", static_cast<long long>(r.shed));
+  w.kv("deadline_dropped", static_cast<long long>(r.deadline_dropped));
+  w.end();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = flag_value(argc, argv, "--model", "mini_vgg");
+  const bool smoke = has_flag(argc, argv, "--smoke") || std::getenv("TQT_FAST") != nullptr;
+  const int clients = std::atoi(flag_value(argc, argv, "--clients", "8"));
+  const int64_t total = std::atoll(flag_value(argc, argv, "--requests", smoke ? "128" : "2000"));
+  const uint32_t deadline_us =
+      static_cast<uint32_t>(std::atoll(flag_value(argc, argv, "--deadline-us", "0")));
+
+  ModelKind kind = ModelKind::kMiniVgg;
+  for (ModelKind k : all_model_kinds()) {
+    if (model_name(k) == model) kind = k;
+  }
+
+  std::fprintf(stderr, "building %s program...\n", model_name(kind).c_str());
+  const FixedPointProgram prog = bench::calibrated_program(kind);
+
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = std::atoll(flag_value(argc, argv, "--max-batch", "16"));
+  scfg.batch.max_delay_us = std::atoll(flag_value(argc, argv, "--delay-us", "200"));
+  scfg.batch.max_queue = 1024;
+
+  std::vector<PhaseResult> phases;
+  for (const int threads : {1, 4}) {
+    std::fprintf(stderr, "phase: pool=%d threads, %d connections, %lld requests\n", threads,
+                 clients, static_cast<long long>(total));
+    phases.push_back(run_phase(prog, threads, clients, total, deadline_us, scfg));
+  }
+  set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
+
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("bench", "net_throughput");
+  w.kv("model", model_name(kind));
+  w.kv("clients", clients);
+  w.kv("requests_per_phase", static_cast<long long>(total));
+  w.kv("max_batch", static_cast<long long>(scfg.batch.max_batch));
+  w.kv("max_delay_us", static_cast<long long>(scfg.batch.max_delay_us));
+  w.kv("deadline_us", static_cast<long long>(deadline_us));
+  w.kv("hardware_concurrency", std::thread::hardware_concurrency());
+  w.key("phases").arr();
+  write_phase(w, phases[0]);
+  write_phase(w, phases[1]);
+  w.end();
+  w.kv("speedup_4_over_1", phases[1].throughput_rps / phases[0].throughput_rps);
+  w.end();
+  bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tqt::net {
+
+GatewayClient::GatewayClient(const std::string& host, uint16_t port, int recv_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw ClientError("client: not an IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw ClientError("client: socket failed: " + std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("client: cannot connect to " + host + ":" + std::to_string(port) +
+                      ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+}
+
+GatewayClient::~GatewayClient() { close(); }
+
+void GatewayClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void GatewayClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void GatewayClient::send_all(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t k = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (k > 0) {
+      sent += static_cast<size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    throw ClientError("client: send failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+void GatewayClient::send_bytes(const void* data, size_t n) {
+  send_all(static_cast<const uint8_t*>(data), n);
+}
+
+bool GatewayClient::recv_exact(uint8_t* buf, size_t n, bool eof_ok) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd_, buf + got, n - got, 0);
+    if (k > 0) {
+      got += static_cast<size_t>(k);
+      continue;
+    }
+    if (k == 0) {
+      if (eof_ok && got == 0) return false;
+      throw ClientError("client: connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw ClientError("client: receive timed out");
+    }
+    throw ClientError("client: recv failed: " + std::string(std::strerror(errno)));
+  }
+  return true;
+}
+
+size_t GatewayClient::recv_raw(void* buf, size_t max) {
+  for (;;) {
+    const ssize_t k = ::recv(fd_, buf, max, 0);
+    if (k >= 0) return static_cast<size_t>(k);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw ClientError("client: receive timed out");
+    }
+    throw ClientError("client: recv failed: " + std::string(std::strerror(errno)));
+  }
+}
+
+uint32_t GatewayClient::send_infer(const std::string& model, const Tensor& sample,
+                                   uint32_t deadline_us) {
+  const uint32_t id = next_request_id_++;
+  InferRequest req;
+  req.model = model;
+  req.deadline_us = deadline_us;
+  req.input = sample;
+  std::vector<uint8_t> frame;
+  append_request_frame(frame, id, req);
+  send_all(frame.data(), frame.size());
+  return id;
+}
+
+GatewayClient::TaggedResponse GatewayClient::recv_response() {
+  uint8_t header[kHeaderBytes];
+  if (!recv_exact(header, kHeaderBytes, /*eof_ok=*/false)) {
+    throw ClientError("client: connection closed");  // unreachable (eof_ok=false throws)
+  }
+  FrameHeader h;
+  std::string err;
+  if (parse_header(header, kHeaderBytes, &h, &err) != HeaderParse::kOk) {
+    throw ClientError("client: bad frame from server: " + err);
+  }
+  if (h.type != FrameType::kResponse) {
+    throw ClientError("client: server sent a non-response frame");
+  }
+  std::vector<uint8_t> payload(h.payload_len);
+  if (h.payload_len > 0) recv_exact(payload.data(), payload.size(), /*eof_ok=*/false);
+  TaggedResponse tagged;
+  tagged.request_id = h.request_id;
+  if (!parse_response_payload(payload.data(), payload.size(), h.status, &tagged.response,
+                              &err)) {
+    throw ClientError("client: bad response payload: " + err);
+  }
+  return tagged;
+}
+
+InferResponse GatewayClient::infer(const std::string& model, const Tensor& sample,
+                                   uint32_t deadline_us) {
+  const uint32_t id = send_infer(model, sample, deadline_us);
+  TaggedResponse tagged = recv_response();
+  if (tagged.request_id != id) {
+    throw ClientError("client: response id mismatch (lock-step infer)");
+  }
+  return std::move(tagged.response);
+}
+
+}  // namespace tqt::net

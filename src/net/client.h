@@ -1,0 +1,86 @@
+// Blocking client for the tqt-gateway wire protocol (net/wire.h).
+//
+// Intended for tests, the tqt_cli `client` subcommand and the network
+// benchmark: connect, send request frames, read response frames. One
+// GatewayClient is one TCP connection; it is not thread-safe, but many
+// clients may target the same gateway concurrently.
+//
+// Two usage styles:
+//   * infer()                — one request, wait for its response (lock-step).
+//   * send_infer()/recv_response() — pipelined: queue several requests on the
+//     connection, then collect the tagged responses as they arrive.
+//
+// The raw send_bytes()/recv_raw() escape hatches exist for protocol tests
+// that must put malformed bytes on the wire.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace tqt::net {
+
+/// Thrown on connection failures, I/O errors, receive timeouts, and frames
+/// from the server that do not parse.
+struct ClientError : std::runtime_error {
+  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class GatewayClient {
+ public:
+  /// Connect to host:port ("localhost" or a dotted-quad IPv4 address).
+  /// `recv_timeout_ms` bounds every receive (0 = wait forever). Throws
+  /// ClientError if the connection cannot be established.
+  GatewayClient(const std::string& host, uint16_t port, int recv_timeout_ms = 60000);
+  ~GatewayClient();
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  /// Send one request and block for its response. `deadline_us` of 0 means
+  /// no deadline. Throws ClientError on transport failure; protocol-level
+  /// rejections come back as the response's typed status.
+  InferResponse infer(const std::string& model, const Tensor& sample,
+                      uint32_t deadline_us = 0);
+
+  /// Queue a request without waiting; returns the request id to match
+  /// against recv_response().tagged request_id (responses may arrive out of
+  /// submission order under batching).
+  uint32_t send_infer(const std::string& model, const Tensor& sample,
+                      uint32_t deadline_us = 0);
+
+  struct TaggedResponse {
+    uint32_t request_id = 0;
+    InferResponse response;
+  };
+
+  /// Block for the next response frame. Throws ClientError on EOF, timeout,
+  /// or a frame that fails to parse.
+  TaggedResponse recv_response();
+
+  /// Write raw bytes to the socket (protocol fuzzing hook).
+  void send_bytes(const void* data, size_t n);
+
+  /// Read up to `max` raw bytes; returns 0 on orderly EOF. Honors the
+  /// receive timeout (throws ClientError when it expires).
+  size_t recv_raw(void* buf, size_t max);
+
+  /// Half-close: no more writes, the server sees EOF after our last byte.
+  void shutdown_write();
+
+  void close();
+  bool closed() const { return fd_ < 0; }
+
+ private:
+  void send_all(const uint8_t* data, size_t n);
+  /// Read exactly n bytes or throw; returns false on clean EOF at offset 0
+  /// when `eof_ok` is set.
+  bool recv_exact(uint8_t* buf, size_t n, bool eof_ok);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+};
+
+}  // namespace tqt::net

@@ -1,0 +1,459 @@
+#include "net/gateway.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "observe/observe.h"
+
+namespace tqt::net {
+
+namespace {
+
+WireStatus wire_status_of(serve::SubmitStatus s) {
+  switch (s) {
+    case serve::SubmitStatus::kOk: return WireStatus::kOk;
+    case serve::SubmitStatus::kShed: return WireStatus::kShed;
+    case serve::SubmitStatus::kShuttingDown: return WireStatus::kShuttingDown;
+    case serve::SubmitStatus::kUnknownModel: return WireStatus::kBadModel;
+    case serve::SubmitStatus::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+  }
+  return WireStatus::kInternal;
+}
+
+}  // namespace
+
+// ---- Shared (callback-visible) state ---------------------------------------
+
+Gateway::Shared::~Shared() {
+  if (wake_w >= 0) ::close(wake_w);
+}
+
+void Gateway::Shared::wake() const {
+  const char b = 1;
+  // A full pipe is fine: the loop is already scheduled to wake.
+  [[maybe_unused]] const ssize_t r = ::write(wake_w, &b, 1);
+}
+
+void Gateway::Shared::push(CompletionMsg&& m) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    completions.push_back(std::move(m));
+  }
+  wake();
+  // The decrement is the last touch of shared state for this request; the
+  // loop (or stop_and_drain) may observe 0 and tear down right after.
+  inflight.fetch_sub(1, std::memory_order_release);
+}
+
+// ---- Construction ----------------------------------------------------------
+
+Gateway::Gateway(serve::InferenceServer& server, GatewayConfig cfg)
+    : server_(server), cfg_(cfg), shared_(std::make_shared<Shared>()) {
+  if (cfg_.max_connections < 1) throw std::invalid_argument("gateway: max_connections >= 1");
+  if (cfg_.max_inflight < 1) throw std::invalid_argument("gateway: max_inflight >= 1");
+
+  observe::MetricsRegistry& reg = server_.metrics();
+  accepted_ = &reg.counter("net.connections_accepted");
+  rejected_ = &reg.counter("net.connections_rejected");
+  requests_ = &reg.counter("net.requests");
+  responses_ = &reg.counter("net.responses");
+  sheds_ = &reg.counter("net.sheds");
+  deadline_drops_ = &reg.counter("net.deadline_drops");
+  malformed_ = &reg.counter("net.malformed");
+  bad_model_ = &reg.counter("net.bad_model");
+  bytes_in_ = &reg.counter("net.bytes_in");
+  bytes_out_ = &reg.counter("net.bytes_out");
+  connections_ = &reg.gauge("net.connections");
+  inflight_gauge_ = &reg.gauge("net.inflight");
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw std::runtime_error("gateway: pipe2 failed: " + std::string(std::strerror(errno)));
+  }
+  wake_r_ = pipe_fds[0];
+  shared_->wake_w = pipe_fds[1];
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("gateway: socket failed: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(cfg_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, cfg_.backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("gateway: cannot listen on port " + std::to_string(cfg_.port) +
+                             ": " + why);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+Gateway::~Gateway() {
+  stop_and_drain();
+  if (wake_r_ >= 0) ::close(wake_r_);
+}
+
+void Gateway::request_stop() {
+  stop_flag_.store(true, std::memory_order_release);
+  shared_->wake();
+}
+
+void Gateway::stop_and_drain() {
+  request_stop();
+  {
+    std::lock_guard<std::mutex> lk(join_mu_);
+    if (loop_thread_.joinable()) loop_thread_.join();
+  }
+  // On a drain timeout the loop may exit with requests still inside the
+  // batcher. Their callbacks hold shared_, so they stay safe; wait them out
+  // here (the serve drain contract guarantees they complete) so callers can
+  // tear the server down right after.
+  while (shared_->inflight.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---- Event loop ------------------------------------------------------------
+
+void Gateway::loop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pollfd (0 for wake/listen)
+  for (;;) {
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_r_, POLLIN, 0});
+    pfd_conn.push_back(0);
+    if (listen_fd_ >= 0 && static_cast<int>(conns_.size()) < cfg_.max_connections) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    } else if (listen_fd_ >= 0) {
+      // At the connection cap we still accept (and immediately close)
+      // extras rather than letting the backlog grow silently.
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      // After a half-close, POLLIN would fire forever on the EOF — poll only
+      // for errors (and writability) while the owed responses finish.
+      short events = conn.saw_eof ? 0 : POLLIN;
+      if (conn.out_off < conn.out.size()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), draining_ ? 10 : 200);
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_r_, buf, sizeof buf) > 0) {
+      }
+    }
+    process_completions();
+    if (stop_flag_.load(std::memory_order_acquire) && !draining_) begin_drain();
+
+    size_t idx = 1;
+    if (listen_fd_ >= 0) {
+      if (pfds[idx].revents & POLLIN) accept_ready();
+      ++idx;
+    }
+    std::vector<uint64_t> to_close;
+    for (; idx < pfds.size(); ++idx) {
+      const auto it = conns_.find(pfd_conn[idx]);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      if (pfds[idx].revents & (POLLERR | POLLNVAL)) {
+        to_close.push_back(conn.id);
+        continue;
+      }
+      if (pfds[idx].revents & POLLOUT) conn_writable(conn);
+      if (conn.fd >= 0 && (pfds[idx].revents & (POLLIN | POLLHUP))) conn_readable(conn);
+      if (conn.fd < 0 ||
+          (conn.close_after_flush && conn.out_off >= conn.out.size())) {
+        to_close.push_back(conn.id);
+      }
+    }
+    for (const uint64_t id : to_close) close_conn(id);
+
+    if (draining_) {
+      const bool flushed = [&] {
+        for (const auto& [id, conn] : conns_) {
+          if (conn.out_off < conn.out.size()) return false;
+        }
+        return true;
+      }();
+      // Order matters: workers push their completion BEFORE decrementing
+      // inflight, so once inflight reads 0 every completion is visible to
+      // the locked emptiness check below.
+      const bool no_inflight = shared_->inflight.load(std::memory_order_acquire) == 0;
+      bool no_completions = false;
+      {
+        std::lock_guard<std::mutex> lk(shared_->mu);
+        no_completions = shared_->completions.empty();
+      }
+      const bool done = no_inflight && no_completions && flushed;
+      if (done || std::chrono::steady_clock::now() >= drain_deadline_) break;
+    }
+  }
+
+  std::vector<uint64_t> all;
+  for (const auto& [id, conn] : conns_) all.push_back(id);
+  for (const uint64_t id : all) close_conn(id);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  loop_exited_.store(true, std::memory_order_release);
+}
+
+void Gateway::begin_drain() {
+  draining_ = true;
+  drain_deadline_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(cfg_.drain_timeout_ms);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);  // stop accepting; queued SYNs get RST
+    listen_fd_ = -1;
+  }
+}
+
+void Gateway::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN or transient error: try again next round
+    TQT_TRACE("net.accept", "net");
+    if (static_cast<int>(conns_.size()) >= cfg_.max_connections) {
+      rejected_->inc();
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conns_.emplace(conn.id, std::move(conn));
+    accepted_->inc();
+    connections_->set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void Gateway::conn_readable(Conn& conn) {
+  for (;;) {
+    uint8_t buf[64 * 1024];
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      bytes_in_->inc(static_cast<uint64_t>(n));
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      if (static_cast<ssize_t>(sizeof buf) > n) break;  // drained the socket
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the peer is done sending, but frames that arrived before
+      // the EOF still deserve answers. Parse them below; close once nothing
+      // is owed.
+      conn.saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    ::close(conn.fd);  // hard error
+    conn.fd = -1;
+    return;
+  }
+  parse_frames(conn);
+  if (conn.saw_eof && conn.pending_replies == 0) conn.close_after_flush = true;
+}
+
+void Gateway::parse_frames(Conn& conn) {
+  size_t consumed = 0;
+  while (conn.fd >= 0 && !conn.close_after_flush) {
+    const uint8_t* data = conn.in.data() + consumed;
+    const size_t avail = conn.in.size() - consumed;
+    FrameHeader h;
+    std::string err;
+    const HeaderParse hp = parse_header(data, avail, &h, &err);
+    if (hp == HeaderParse::kNeedMore) break;
+    if (hp == HeaderParse::kCorrupt) {
+      // Framing is untrustworthy: report once (request id unknown -> 0) and
+      // close after the error flushes.
+      malformed_->inc();
+      respond_error(conn, 0, WireStatus::kMalformed, err);
+      conn.close_after_flush = true;
+      break;
+    }
+    if (avail < kHeaderBytes + h.payload_len) break;  // wait for the payload
+    if (h.type != FrameType::kRequest) {
+      malformed_->inc();
+      respond_error(conn, h.request_id, WireStatus::kMalformed,
+                    "clients must send request frames");
+      conn.close_after_flush = true;
+      break;
+    }
+    handle_request(conn, h, data + kHeaderBytes);
+    consumed += kHeaderBytes + h.payload_len;
+  }
+  if (consumed > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + static_cast<long>(consumed));
+}
+
+void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* payload) {
+  TQT_TRACE("net.parse", "net");
+  requests_->inc();
+
+  InferRequest req;
+  std::string err;
+  if (!parse_request_payload(payload, h.payload_len, &req, &err)) {
+    malformed_->inc();
+    respond_error(conn, h.request_id, WireStatus::kMalformed, err);
+    return;
+  }
+  if (draining_) {
+    respond_error(conn, h.request_id, WireStatus::kShuttingDown, "server is draining");
+    return;
+  }
+  if (shared_->inflight.load(std::memory_order_acquire) >= cfg_.max_inflight) {
+    sheds_->inc();
+    respond_error(conn, h.request_id, WireStatus::kShed, "gateway at max in-flight requests");
+    return;
+  }
+
+  serve::SubmitOptions opts;
+  if (req.deadline_us > 0) {
+    opts.deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(req.deadline_us);
+  }
+  // Count the request in-flight BEFORE submitting: the worker may complete
+  // (and decrement) before submit_async even returns.
+  shared_->inflight.fetch_add(1, std::memory_order_acq_rel);
+  inflight_gauge_->set(shared_->inflight.load(std::memory_order_relaxed));
+  serve::SubmitStatus status;
+  try {
+    status = server_.submit_async(
+        req.model, std::move(req.input), opts,
+        [shared = shared_, cid = conn.id,
+         rid = h.request_id](serve::MicroBatcher::Completion&& c) {
+          CompletionMsg m;
+          m.conn_id = cid;
+          m.request_id = rid;
+          if (c.error) {
+            m.status = WireStatus::kInternal;
+            try {
+              std::rethrow_exception(c.error);
+            } catch (const std::exception& e) {
+              m.message = e.what();
+            } catch (...) {
+              m.message = "execution failed";
+            }
+          } else if (c.status == serve::SubmitStatus::kDeadlineExceeded) {
+            m.status = WireStatus::kDeadlineExceeded;
+            m.message = "deadline expired before execution";
+          } else {
+            m.status = WireStatus::kOk;
+            m.output = std::move(c.output);
+          }
+          shared->push(std::move(m));
+        });
+  } catch (const std::invalid_argument& e) {
+    // Shape mismatch against the deployed model — a client-side input error.
+    shared_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    malformed_->inc();
+    respond_error(conn, h.request_id, WireStatus::kMalformed, e.what());
+    return;
+  }
+  if (status == serve::SubmitStatus::kOk) {
+    ++conn.pending_replies;
+  } else {
+    shared_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    const WireStatus ws = wire_status_of(status);
+    if (ws == WireStatus::kShed) sheds_->inc();
+    if (ws == WireStatus::kBadModel) bad_model_->inc();
+    if (ws == WireStatus::kDeadlineExceeded) deadline_drops_->inc();
+    respond_error(conn, h.request_id, ws,
+                  ws == WireStatus::kBadModel ? "no model deployed as '" + req.model + "'"
+                                              : to_string(status));
+  }
+}
+
+void Gateway::respond_error(Conn& conn, uint32_t request_id, WireStatus status,
+                            const std::string& message) {
+  TQT_TRACE("net.respond", "net");
+  InferResponse resp;
+  resp.status = status;
+  resp.message = message;
+  append_response_frame(conn.out, request_id, resp);
+  responses_->inc();
+  conn_writable(conn);  // opportunistic flush
+}
+
+void Gateway::process_completions() {
+  std::deque<CompletionMsg> msgs;
+  {
+    std::lock_guard<std::mutex> lk(shared_->mu);
+    msgs.swap(shared_->completions);
+  }
+  for (CompletionMsg& m : msgs) {
+    inflight_gauge_->set(shared_->inflight.load(std::memory_order_relaxed));
+    if (m.status == WireStatus::kDeadlineExceeded) deadline_drops_->inc();
+    const auto it = conns_.find(m.conn_id);
+    if (it == conns_.end() || it->second.fd < 0) continue;  // client went away
+    TQT_TRACE("net.respond", "net");
+    Conn& conn = it->second;
+    --conn.pending_replies;
+    InferResponse resp;
+    resp.status = m.status;
+    resp.message = std::move(m.message);
+    resp.output = std::move(m.output);
+    append_response_frame(conn.out, m.request_id, resp);
+    responses_->inc();
+    if (conn.saw_eof && conn.pending_replies == 0) conn.close_after_flush = true;
+    conn_writable(conn);
+  }
+}
+
+void Gateway::conn_writable(Conn& conn) {
+  while (conn.fd >= 0 && conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off, conn.out.size() - conn.out_off,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_->inc(static_cast<uint64_t>(n));
+      conn.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return;
+    ::close(conn.fd);  // peer is gone
+    conn.fd = -1;
+    return;
+  }
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+}
+
+void Gateway::close_conn(uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+  connections_->set(static_cast<int64_t>(conns_.size()));
+}
+
+}  // namespace tqt::net

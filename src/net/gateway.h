@@ -1,0 +1,163 @@
+// tqt-gateway: POSIX-socket serving front-end for an InferenceServer.
+//
+//   TCP clients ──frames──►  event loop (poll, non-blocking I/O)
+//                               │ bounds-checked wire parsing (net/wire.h)
+//                               │ admission control: max_connections,
+//                               │ max_inflight, per-request deadlines
+//                               ▼
+//                            InferenceServer::submit_async
+//                               │ (micro-batcher + fixed-point engine;
+//                               │  deadline-expired work shed pre-execution)
+//                               ▼
+//                            completion queue ──wake pipe──► event loop
+//                               │ serialize response, flush to the socket
+//                               ▼
+//                            client gets outputs or a typed error
+//                            (SHED / DEADLINE_EXCEEDED / BAD_MODEL /
+//                             MALFORMED / SHUTTING_DOWN / INTERNAL)
+//
+// Single event-loop thread: every socket and connection state machine is
+// owned by that thread; batcher workers only touch the completion queue (one
+// mutex) and the wake pipe. Graceful drain (`request_stop`, signal-safe):
+// stop accepting, answer new frames with SHUTTING_DOWN, finish every
+// in-flight request, flush, then close — bounded by drain_timeout_ms.
+//
+// Telemetry goes to the server's MetricsRegistry under "net.*": connection
+// and byte counters, shed/deadline/malformed counts, inflight and
+// connection gauges, plus net.accept/net.parse/net.respond trace spans
+// (execution itself is covered by the serve.batch/serve.execute spans).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/server.h"
+
+namespace tqt::net {
+
+struct GatewayConfig {
+  uint16_t port = 0;         ///< TCP port; 0 binds an ephemeral port (see port())
+  bool loopback_only = true; ///< bind 127.0.0.1 (default) or INADDR_ANY
+  int backlog = 64;          ///< listen(2) backlog
+  int max_connections = 64;  ///< concurrent connections; extras are closed on accept
+  int max_inflight = 256;    ///< submitted-but-unanswered requests across all conns
+  int drain_timeout_ms = 5000;  ///< bound on the graceful-drain wait
+};
+
+/// Network front-end over one InferenceServer. Construction binds, listens
+/// and starts the event-loop thread; destruction drains and joins.
+class Gateway {
+ public:
+  /// Throws std::runtime_error if the socket cannot be bound. The server
+  /// must outlive the gateway.
+  Gateway(serve::InferenceServer& server, GatewayConfig cfg = {});
+  ~Gateway();
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// The bound TCP port (the chosen one when cfg.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Begin graceful drain without blocking. Async-signal-safe (an atomic
+  /// store and a pipe write), so it may be called from a SIGINT/SIGTERM
+  /// handler while stop_and_drain() runs elsewhere.
+  void request_stop();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, flush
+  /// responses, close every connection, join the loop thread. Bounded by
+  /// cfg.drain_timeout_ms; idempotent.
+  void stop_and_drain();
+
+  /// True once the event loop has exited.
+  bool stopped() const { return loop_exited_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::vector<uint8_t> in;   ///< received, not-yet-parsed bytes
+    std::vector<uint8_t> out;  ///< serialized, not-yet-sent bytes
+    size_t out_off = 0;        ///< consumed prefix of `out`
+    bool close_after_flush = false;
+    bool saw_eof = false;          ///< peer half-closed; answer what's owed, then close
+    int64_t pending_replies = 0;   ///< accepted submits not yet answered
+  };
+
+  /// One finished request travelling from a batcher worker (or the loop
+  /// itself) back to the event loop for serialization.
+  struct CompletionMsg {
+    uint64_t conn_id = 0;
+    uint32_t request_id = 0;
+    WireStatus status = WireStatus::kInternal;
+    Tensor output;
+    std::string message;
+  };
+
+  /// State shared with in-flight completion callbacks. Callbacks hold a
+  /// shared_ptr, so a callback that outlives the Gateway (drain timeout)
+  /// still has a valid queue and wake fd to write to.
+  struct Shared {
+    std::mutex mu;
+    std::deque<CompletionMsg> completions;
+    std::atomic<int64_t> inflight{0};
+    int wake_w = -1;  ///< write end of the wake pipe (owned)
+    ~Shared();
+    void wake() const;
+    void push(CompletionMsg&& m);
+  };
+
+  void loop();
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  void parse_frames(Conn& conn);
+  void handle_request(Conn& conn, const FrameHeader& h, const uint8_t* payload);
+  void respond_error(Conn& conn, uint32_t request_id, WireStatus status,
+                     const std::string& message);
+  void process_completions();
+  void close_conn(uint64_t id);
+  void begin_drain();
+
+  serve::InferenceServer& server_;
+  GatewayConfig cfg_;
+  std::shared_ptr<Shared> shared_;
+  int listen_fd_ = -1;
+  int wake_r_ = -1;  ///< read end of the wake pipe (owned)
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_flag_{false};   ///< set by request_stop()
+  std::atomic<bool> loop_exited_{false};
+  bool draining_ = false;                ///< loop thread only
+  std::chrono::steady_clock::time_point drain_deadline_{};  // loop thread only
+
+  uint64_t next_conn_id_ = 1;           // loop thread only
+  std::map<uint64_t, Conn> conns_;      // loop thread only
+
+  std::mutex join_mu_;
+  std::thread loop_thread_;
+
+  // "net.*" instruments, resolved once against the server's registry.
+  observe::Counter* accepted_ = nullptr;
+  observe::Counter* rejected_ = nullptr;
+  observe::Counter* requests_ = nullptr;
+  observe::Counter* responses_ = nullptr;
+  observe::Counter* sheds_ = nullptr;
+  observe::Counter* deadline_drops_ = nullptr;
+  observe::Counter* malformed_ = nullptr;
+  observe::Counter* bad_model_ = nullptr;
+  observe::Counter* bytes_in_ = nullptr;
+  observe::Counter* bytes_out_ = nullptr;
+  observe::Gauge* connections_ = nullptr;
+  observe::Gauge* inflight_gauge_ = nullptr;
+};
+
+}  // namespace tqt::net

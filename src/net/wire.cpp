@@ -1,0 +1,262 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace tqt::net {
+
+const char* to_string(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kShed: return "shed";
+    case WireStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case WireStatus::kBadModel: return "bad_model";
+    case WireStatus::kMalformed: return "malformed";
+    case WireStatus::kShuttingDown: return "shutting_down";
+    case WireStatus::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---- Little-endian primitives ---------------------------------------------
+// Explicit shift-based coding keeps the format well-defined on any host.
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t get_u32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Bounds-checked forward-only cursor over a received payload. Every read
+/// checks the remaining byte count; nothing is ever read past `n`.
+struct Reader {
+  const uint8_t* p;
+  size_t n;
+  size_t off = 0;
+
+  size_t remaining() const { return n - off; }
+
+  bool u8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = p[off++];
+    return true;
+  }
+  bool u16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = get_u16(p + off);
+    off += 2;
+    return true;
+  }
+  bool u32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = get_u32(p + off);
+    off += 4;
+    return true;
+  }
+  bool bytes(void* dst, size_t k) {
+    if (remaining() < k) return false;
+    std::memcpy(dst, p + off, k);
+    off += k;
+    return true;
+  }
+};
+
+bool fail(std::string* err, const char* why) {
+  if (err) *err = why;
+  return false;
+}
+
+/// Shared by request and response payloads: u8 rank, u32 dims[], f32 data[],
+/// consuming the remainder of the payload exactly.
+bool parse_tensor(Reader& r, Tensor* out, std::string* err) {
+  uint8_t rank = 0;
+  if (!r.u8(&rank)) return fail(err, "truncated tensor rank");
+  if (rank < 1 || rank > kMaxRank) return fail(err, "tensor rank outside 1..6");
+  Shape shape(rank);
+  uint64_t numel = 1;
+  for (int d = 0; d < rank; ++d) {
+    uint32_t extent = 0;
+    if (!r.u32(&extent)) return fail(err, "truncated tensor dims");
+    if (extent == 0) return fail(err, "zero tensor dimension");
+    numel *= extent;  // each factor <= 2^32; payload bound below catches abuse
+    if (numel > kMaxPayloadBytes / 4) return fail(err, "tensor element count over frame bound");
+    shape[static_cast<size_t>(d)] = extent;
+  }
+  if (r.remaining() != numel * 4) {
+    return fail(err, r.remaining() < numel * 4 ? "truncated tensor data"
+                                               : "trailing bytes after tensor data");
+  }
+  std::vector<float> data(static_cast<size_t>(numel));
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::bit_cast<float>(get_u32(r.p + r.off + 4 * i));
+  }
+  r.off = r.n;
+  *out = Tensor(std::move(shape), std::move(data));
+  return true;
+}
+
+void append_tensor(std::vector<uint8_t>& out, const Tensor& t) {
+  out.push_back(static_cast<uint8_t>(t.rank()));
+  for (int64_t d = 0; d < t.rank(); ++d) {
+    put_u32(out, static_cast<uint32_t>(t.dim(d)));
+  }
+  const float* data = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    put_u32(out, std::bit_cast<uint32_t>(data[i]));
+  }
+}
+
+void check_tensor_bounds(const Tensor& t, const char* what) {
+  if (t.rank() < 1 || t.rank() > kMaxRank) {
+    throw std::invalid_argument(std::string("wire: ") + what + " rank must be 1..6");
+  }
+  for (int64_t d = 0; d < t.rank(); ++d) {
+    if (t.dim(d) < 1 || t.dim(d) > 0xffffffffll) {
+      throw std::invalid_argument(std::string("wire: ") + what + " has out-of-range dimension");
+    }
+  }
+  if (t.numel() > static_cast<int64_t>(kMaxPayloadBytes / 4)) {
+    throw std::invalid_argument(std::string("wire: ") + what + " exceeds the frame size bound");
+  }
+}
+
+void append_header(std::vector<uint8_t>& out, FrameType type, WireStatus status,
+                   uint32_t request_id, uint32_t payload_len) {
+  put_u32(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<uint8_t>(type));
+  out.push_back(static_cast<uint8_t>(status));
+  out.push_back(0);  // reserved
+  put_u32(out, request_id);
+  put_u32(out, payload_len);
+}
+
+/// Patch the payload_len field once the payload has been appended in place.
+void patch_payload_len(std::vector<uint8_t>& out, size_t header_at) {
+  const size_t payload = out.size() - header_at - kHeaderBytes;
+  if (payload > kMaxPayloadBytes) {
+    throw std::invalid_argument("wire: payload exceeds kMaxPayloadBytes");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload);
+  out[header_at + 12] = static_cast<uint8_t>(len & 0xff);
+  out[header_at + 13] = static_cast<uint8_t>((len >> 8) & 0xff);
+  out[header_at + 14] = static_cast<uint8_t>((len >> 16) & 0xff);
+  out[header_at + 15] = static_cast<uint8_t>((len >> 24) & 0xff);
+}
+
+}  // namespace
+
+void append_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                          const InferRequest& req) {
+  if (req.model.empty() || req.model.size() > kMaxModelNameBytes) {
+    throw std::invalid_argument("wire: model name must be 1..256 bytes");
+  }
+  check_tensor_bounds(req.input, "request tensor");
+  const size_t header_at = out.size();
+  append_header(out, FrameType::kRequest, WireStatus::kOk, request_id, 0);
+  put_u16(out, static_cast<uint16_t>(req.model.size()));
+  out.insert(out.end(), req.model.begin(), req.model.end());
+  put_u32(out, req.deadline_us);
+  append_tensor(out, req.input);
+  patch_payload_len(out, header_at);
+}
+
+void append_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                           const InferResponse& resp) {
+  const size_t header_at = out.size();
+  append_header(out, FrameType::kResponse, resp.status, request_id, 0);
+  if (resp.status == WireStatus::kOk) {
+    check_tensor_bounds(resp.output, "response tensor");
+    append_tensor(out, resp.output);
+  } else {
+    const size_t len = std::min(resp.message.size(), size_t{0xffff});
+    put_u16(out, static_cast<uint16_t>(len));
+    out.insert(out.end(), resp.message.begin(), resp.message.begin() + static_cast<long>(len));
+  }
+  patch_payload_len(out, header_at);
+}
+
+HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::string* err) {
+  if (n >= 4 && get_u32(data) != kMagic) {
+    if (err) *err = "bad magic";
+    return HeaderParse::kCorrupt;
+  }
+  if (n < kHeaderBytes) return HeaderParse::kNeedMore;
+  const auto corrupt = [&](const char* why) {
+    if (err) *err = why;
+    return HeaderParse::kCorrupt;
+  };
+  const uint8_t version = data[4];
+  const uint8_t type = data[5];
+  const uint8_t status = data[6];
+  const uint8_t reserved = data[7];
+  if (version != kVersion) return corrupt("unsupported protocol version");
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return corrupt("unknown frame type");
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kInternal)) return corrupt("unknown status code");
+  if (reserved != 0) return corrupt("nonzero reserved byte");
+  const uint32_t payload_len = get_u32(data + 12);
+  if (payload_len > kMaxPayloadBytes) return corrupt("declared payload length over bound");
+  h->version = version;
+  h->type = static_cast<FrameType>(type);
+  h->status = static_cast<WireStatus>(status);
+  h->request_id = get_u32(data + 8);
+  h->payload_len = payload_len;
+  return HeaderParse::kOk;
+}
+
+bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
+                           std::string* err) {
+  Reader r{payload, n};
+  uint16_t name_len = 0;
+  if (!r.u16(&name_len)) return fail(err, "truncated model name length");
+  if (name_len < 1 || name_len > kMaxModelNameBytes) {
+    return fail(err, "model name length outside 1..256");
+  }
+  std::string name(name_len, '\0');
+  if (!r.bytes(name.data(), name_len)) return fail(err, "truncated model name");
+  if (!r.u32(&req->deadline_us)) return fail(err, "truncated deadline");
+  if (!parse_tensor(r, &req->input, err)) return false;
+  req->model = std::move(name);
+  return true;
+}
+
+bool parse_response_payload(const uint8_t* payload, size_t n, WireStatus status,
+                            InferResponse* resp, std::string* err) {
+  Reader r{payload, n};
+  resp->status = status;
+  resp->message.clear();
+  if (status == WireStatus::kOk) {
+    return parse_tensor(r, &resp->output, err);
+  }
+  uint16_t msg_len = 0;
+  if (!r.u16(&msg_len)) return fail(err, "truncated error message length");
+  std::string msg(msg_len, '\0');
+  if (!r.bytes(msg.data(), msg_len)) return fail(err, "truncated error message");
+  if (r.remaining() != 0) return fail(err, "trailing bytes after error message");
+  resp->message = std::move(msg);
+  resp->output = Tensor();
+  return true;
+}
+
+}  // namespace tqt::net

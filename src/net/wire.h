@@ -1,0 +1,120 @@
+// tqt-gateway wire protocol: versioned, length-prefixed binary frames.
+//
+// Every frame is a fixed 16-byte header followed by `payload_len` payload
+// bytes. All integers are little-endian, all floats are IEEE-754 binary32
+// transported as their bit pattern. Header layout:
+//
+//   offset  size  field
+//        0     4  magic        0x47545154 ("TQTG")
+//        4     1  version      kVersion (1)
+//        5     1  type         FrameType (1 = request, 2 = response)
+//        6     1  status       WireStatus (0 in requests)
+//        7     1  reserved     must be 0
+//        8     4  request_id   echoed verbatim in the response
+//       12     4  payload_len  <= kMaxPayloadBytes
+//
+// Request payload (type = kRequest):
+//   u16 name_len (1..kMaxModelNameBytes), name bytes,
+//   u32 deadline_us (0 = none; relative to server receipt),
+//   u8 rank (1..kMaxRank), u32 dims[rank] (each >= 1),
+//   f32 data[prod(dims)]  — must consume the payload exactly.
+//
+// Response payload (type = kResponse):
+//   status == kOk:  u8 rank, u32 dims[rank], f32 data[prod(dims)]
+//   otherwise:      u16 message_len, message bytes
+//
+// Parsing NEVER trusts a length from the wire: every read is bounds-checked
+// against the received byte count, dims are overflow-checked, and a payload
+// that fails to consume exactly is malformed. DESIGN.md §11 carries the
+// byte-level table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tqt::net {
+
+/// Typed error codes a response frame can carry.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kShed = 1,              ///< admission control rejected (queue / in-flight full)
+  kDeadlineExceeded = 2,  ///< the request's deadline passed before execution
+  kBadModel = 3,          ///< no model deployed under the requested name
+  kMalformed = 4,         ///< the request could not be parsed / bound
+  kShuttingDown = 5,      ///< server is draining; no new work accepted
+  kInternal = 6,          ///< execution failed server-side
+};
+
+const char* to_string(WireStatus s);
+
+inline constexpr uint32_t kMagic = 0x47545154u;  // "TQTG" when read little-endian
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;  // 16 MiB frame bound
+inline constexpr size_t kMaxModelNameBytes = 256;
+inline constexpr int kMaxRank = 6;
+
+enum class FrameType : uint8_t { kRequest = 1, kResponse = 2 };
+
+struct FrameHeader {
+  uint8_t version = kVersion;
+  FrameType type = FrameType::kRequest;
+  WireStatus status = WireStatus::kOk;
+  uint32_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+struct InferRequest {
+  std::string model;
+  uint32_t deadline_us = 0;  ///< 0 = no deadline; otherwise relative to receipt
+  Tensor input;
+};
+
+struct InferResponse {
+  WireStatus status = WireStatus::kInternal;
+  Tensor output;        ///< valid only when status == kOk
+  std::string message;  ///< human-readable detail when status != kOk
+};
+
+// ---- Encoding --------------------------------------------------------------
+
+/// Append a complete request frame (header + payload) to `out`.
+/// Throws std::invalid_argument if the request violates the protocol bounds
+/// (empty/oversized name, rank outside 1..kMaxRank, payload over the cap).
+void append_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                          const InferRequest& req);
+
+/// Append a complete response frame for `resp` (tensor payload when kOk,
+/// message payload otherwise).
+void append_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                           const InferResponse& resp);
+
+// ---- Decoding --------------------------------------------------------------
+
+enum class HeaderParse {
+  kNeedMore,  ///< fewer than kHeaderBytes available (and magic plausible)
+  kOk,        ///< header valid; expect `payload_len` payload bytes next
+  kCorrupt,   ///< framing cannot be trusted — close the connection
+};
+
+/// Validate the first kHeaderBytes of `data`. Rejects a bad magic as soon as
+/// 4 bytes are available, so a garbage-spewing peer is cut off without
+/// waiting for a full header. `err` (optional) receives a one-line reason on
+/// kCorrupt.
+HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::string* err);
+
+/// Parse a request payload of exactly `n` bytes. Returns false (with `err`
+/// set) on any bounds violation, overflow, or trailing garbage.
+bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
+                           std::string* err);
+
+/// Parse a response payload of exactly `n` bytes for a frame carrying
+/// `status`. Returns false (with `err` set) on malformed input.
+bool parse_response_payload(const uint8_t* payload, size_t n, WireStatus status,
+                            InferResponse* resp, std::string* err);
+
+}  // namespace tqt::net

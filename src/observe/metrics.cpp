@@ -1,6 +1,8 @@
 #include "observe/observe.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace tqt::observe {
 
@@ -184,6 +186,16 @@ std::string MetricsRegistry::json_snapshot() const {
   JsonWriter w;
   write_json(w);
   return w.take();
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  const std::string json = json_snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f || std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+      std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+    if (f) std::fclose(f);
+    throw std::runtime_error("cannot write metrics snapshot to " + path);
+  }
 }
 
 }  // namespace tqt::observe

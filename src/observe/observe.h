@@ -170,6 +170,10 @@ class MetricsRegistry {
   std::string json_snapshot() const;
   /// Write the same object through an existing writer (for embedding).
   void write_json(JsonWriter& w) const;
+  /// Render json_snapshot() (plus a trailing newline) to `path` — the one
+  /// metrics-to-disk path (CLI --metrics-json, signal-triggered flushes).
+  /// Throws std::runtime_error on I/O failure.
+  void write_json_file(const std::string& path) const;
 
  private:
   mutable std::mutex mu_;

@@ -22,6 +22,7 @@ const char* to_string(SubmitStatus s) {
     case SubmitStatus::kShed: return "shed";
     case SubmitStatus::kShuttingDown: return "shutting_down";
     case SubmitStatus::kUnknownModel: return "unknown_model";
+    case SubmitStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
 }
@@ -39,7 +40,25 @@ MicroBatcher::MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execut
 
 MicroBatcher::~MicroBatcher() { shutdown_and_drain(); }
 
-SubmitResult MicroBatcher::submit(Tensor sample) {
+SubmitResult MicroBatcher::submit(Tensor sample, SubmitOptions opts) {
+  // Adapt the callback path onto a future: a shared promise fulfilled by the
+  // one completion the worker delivers.
+  auto promise = std::make_shared<std::promise<Tensor>>();
+  SubmitResult res;
+  res.response = promise->get_future();
+  res.status = submit_async(std::move(sample), opts, [promise](Completion&& c) {
+    if (c.error) {
+      promise->set_exception(c.error);
+    } else if (c.status == SubmitStatus::kDeadlineExceeded) {
+      promise->set_exception(std::make_exception_ptr(DeadlineExceededError()));
+    } else {
+      promise->set_value(std::move(c.output));
+    }
+  });
+  return res;
+}
+
+SubmitStatus MicroBatcher::submit_async(Tensor sample, SubmitOptions opts, DoneFn done) {
   TQT_TRACE("serve.enqueue", "serve");
   // Accept [sample_shape...] or an explicit leading batch dim of 1.
   Shape batched = sample_shape_;
@@ -50,28 +69,29 @@ SubmitResult MicroBatcher::submit(Tensor sample) {
                                 shape_to_string(sample_shape_));
   }
 
-  SubmitResult res;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) {
-      res.status = SubmitStatus::kShuttingDown;
-      return res;
-    }
+    if (stopping_) return SubmitStatus::kShuttingDown;
     if (static_cast<int64_t>(queue_.size()) >= cfg_.max_queue) {
       stats_->on_shed();
-      res.status = SubmitStatus::kShed;
-      return res;
+      return SubmitStatus::kShed;
     }
     Request req;
     req.input = std::move(sample);
+    req.done = std::move(done);
     req.enqueued = std::chrono::steady_clock::now();
-    res.response = req.promise.get_future();
+    req.deadline = opts.deadline;
+    if (req.deadline && *req.deadline <= req.enqueued) {
+      // Already expired at admission — reject without queueing (and without
+      // invoking the callback, mirroring the other rejection paths).
+      stats_->on_deadline_drop();
+      return SubmitStatus::kDeadlineExceeded;
+    }
     queue_.push_back(std::move(req));
     stats_->on_accept(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
-  res.status = SubmitStatus::kOk;
-  return res;
+  return SubmitStatus::kOk;
 }
 
 void MicroBatcher::worker_loop() {
@@ -94,17 +114,30 @@ void MicroBatcher::worker_loop() {
     }
     if (queue_.empty()) continue;
 
-    const auto take =
-        std::min<int64_t>(cfg_.max_batch, static_cast<int64_t>(queue_.size()));
-    std::vector<Request> batch;
-    batch.reserve(static_cast<size_t>(take));
-    for (int64_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    // Deadline-aware dequeue: expired requests are completed (and counted)
+    // without ever reaching the engine, and do NOT consume batch slots —
+    // keep taking until the batch holds `max_batch` live requests or the
+    // queue is empty.
+    std::vector<Request> batch, expired;
+    const auto now = std::chrono::steady_clock::now();
+    while (!queue_.empty() && static_cast<int64_t>(batch.size()) < cfg_.max_batch) {
+      Request req = std::move(queue_.front());
       queue_.pop_front();
+      if (req.deadline && *req.deadline <= now) {
+        expired.push_back(std::move(req));
+      } else {
+        batch.push_back(std::move(req));
+      }
     }
     stats_->on_dequeue(static_cast<int64_t>(queue_.size()));
     lk.unlock();
-    execute_batch(batch, ctx, output);
+    for (Request& req : expired) {
+      stats_->on_deadline_drop();
+      Completion c;
+      c.status = SubmitStatus::kDeadlineExceeded;
+      req.done(std::move(c));
+    }
+    if (!batch.empty()) execute_batch(batch, ctx, output);
     lk.lock();
   }
 }
@@ -138,8 +171,10 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx,
   } catch (...) {
     const auto err = std::current_exception();
     for (Request& req : batch) {
-      req.promise.set_exception(err);
       stats_->on_failure(us_since(req.enqueued));
+      Completion c;
+      c.error = err;
+      req.done(std::move(c));
     }
     return;
   }
@@ -154,8 +189,10 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx,
     Tensor row(row_shape);
     std::copy_n(output.data() + i * row_numel, row_numel, row.data());
     Request& req = batch[static_cast<size_t>(i)];
-    req.promise.set_value(std::move(row));
     stats_->on_response(us_since(req.enqueued));
+    Completion c;
+    c.output = std::move(row);
+    req.done(std::move(c));
   }
 }
 

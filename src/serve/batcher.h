@@ -15,6 +15,12 @@
 // can retry against. shutdown_and_drain() stops admission, lets the workers
 // finish every already-accepted request, and joins them; accepted requests
 // are never dropped.
+//
+// Deadlines: a request may carry an absolute deadline (SubmitOptions). An
+// already-expired deadline is rejected at admission (kDeadlineExceeded); a
+// request whose deadline expires while queued is dropped when a worker
+// dequeues it — *before* any engine work is spent on it — and completed with
+// kDeadlineExceeded. Requests without a deadline are never deadline-dropped.
 #pragma once
 
 #include <chrono>
@@ -24,6 +30,8 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -41,13 +49,28 @@ struct BatchConfig {
 };
 
 enum class SubmitStatus {
-  kOk,            ///< accepted; `response` is a valid future
-  kShed,          ///< rejected: queue full (backpressure — retry later)
-  kShuttingDown,  ///< rejected: server is draining
-  kUnknownModel,  ///< rejected: no such deployed model
+  kOk,                ///< accepted; `response` is a valid future
+  kShed,              ///< rejected: queue full (backpressure — retry later)
+  kShuttingDown,      ///< rejected: server is draining
+  kUnknownModel,      ///< rejected: no such deployed model
+  kDeadlineExceeded,  ///< dropped: the request's deadline passed before execution
 };
 
 const char* to_string(SubmitStatus s);
+
+/// Per-request admission options. The deadline is an absolute steady-clock
+/// time point; requests still pending when it passes are dropped before any
+/// engine work (the batcher never spends compute on an answer nobody is
+/// waiting for). No deadline (the default) preserves PR 2 semantics exactly.
+struct SubmitOptions {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// The exception a deadline-dropped request's future is fulfilled with (the
+/// callback path reports kDeadlineExceeded directly, without an exception).
+struct DeadlineExceededError : std::runtime_error {
+  DeadlineExceededError() : std::runtime_error("serve: request deadline exceeded") {}
+};
 
 struct SubmitResult {
   SubmitStatus status = SubmitStatus::kShuttingDown;
@@ -66,12 +89,31 @@ class MicroBatcher {
   using ExecuteFn = std::function<void(const Tensor&, ExecContext&, Tensor& out)>;
   MicroBatcher(BatchConfig cfg, Shape sample_shape, ExecuteFn execute, ServeStats* stats);
 
+  /// How one accepted request ended. Exactly one of the three applies:
+  ///   status == kOk, error == nullptr   -> `output` holds the response row
+  ///   status == kOk, error != nullptr   -> the batch execution threw
+  ///   status == kDeadlineExceeded       -> dropped before execution
+  struct Completion {
+    SubmitStatus status = SubmitStatus::kOk;
+    Tensor output;
+    std::exception_ptr error;
+  };
+  /// Completion callback; runs on a batcher worker thread. Must not block
+  /// and must not re-enter the batcher.
+  using DoneFn = std::function<void(Completion&&)>;
+
   /// Drains and joins (equivalent to shutdown_and_drain()).
   ~MicroBatcher();
 
   /// Enqueue one sample of shape `sample_shape` (or [1, sample_shape...]).
   /// Throws std::invalid_argument on a shape mismatch; never blocks.
-  SubmitResult submit(Tensor sample);
+  SubmitResult submit(Tensor sample, SubmitOptions opts = {});
+
+  /// Callback flavour of submit() — the admission path the network gateway
+  /// drives its event loop with. `done` is invoked exactly once iff the
+  /// return value is kOk (rejections are reported by return value only, so
+  /// the caller can respond inline without waiting).
+  SubmitStatus submit_async(Tensor sample, SubmitOptions opts, DoneFn done);
 
   /// Stop admitting, execute every already-queued request, join workers.
   /// Idempotent; safe to call concurrently with submit().
@@ -82,8 +124,9 @@ class MicroBatcher {
  private:
   struct Request {
     Tensor input;
-    std::promise<Tensor> promise;
+    DoneFn done;
     std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
   void worker_loop();

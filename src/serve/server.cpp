@@ -81,14 +81,22 @@ InferenceServer::Lane* InferenceServer::find_lane(const std::string& name) const
   return it == lanes_.end() ? nullptr : const_cast<Lane*>(&it->second);
 }
 
-SubmitResult InferenceServer::submit(const std::string& name, Tensor sample) {
+SubmitResult InferenceServer::submit(const std::string& name, Tensor sample,
+                                     SubmitOptions opts) {
   Lane* lane = find_lane(name);
   if (!lane) {
     SubmitResult res;
     res.status = SubmitStatus::kUnknownModel;
     return res;
   }
-  return lane->batcher->submit(std::move(sample));
+  return lane->batcher->submit(std::move(sample), opts);
+}
+
+SubmitStatus InferenceServer::submit_async(const std::string& name, Tensor sample,
+                                           SubmitOptions opts, MicroBatcher::DoneFn done) {
+  Lane* lane = find_lane(name);
+  if (!lane) return SubmitStatus::kUnknownModel;
+  return lane->batcher->submit_async(std::move(sample), opts, std::move(done));
 }
 
 StatsSnapshot InferenceServer::stats(const std::string& name) const {

@@ -54,9 +54,17 @@ class InferenceServer {
   uint64_t deploy_file(const std::string& name, const std::string& path, Shape sample_shape);
 
   /// Submit one sample. Returns a future (status kOk) or an explicit
-  /// rejection: kShed (queue full — backpressure), kShuttingDown, or
-  /// kUnknownModel. Never blocks.
-  SubmitResult submit(const std::string& name, Tensor sample);
+  /// rejection: kShed (queue full — backpressure), kShuttingDown,
+  /// kUnknownModel, or kDeadlineExceeded (opts.deadline already passed).
+  /// Never blocks. A queued request whose deadline expires before execution
+  /// fulfils its future with DeadlineExceededError.
+  SubmitResult submit(const std::string& name, Tensor sample, SubmitOptions opts = {});
+
+  /// Callback flavour of submit() — the entry point the tqt-gateway event
+  /// loop uses. `done` runs exactly once, on a batcher worker thread, iff
+  /// the return value is kOk.
+  SubmitStatus submit_async(const std::string& name, Tensor sample, SubmitOptions opts,
+                            MicroBatcher::DoneFn done);
 
   /// Stats for one deployed model (throws std::invalid_argument if unknown).
   StatsSnapshot stats(const std::string& name) const;

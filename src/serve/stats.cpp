@@ -24,6 +24,7 @@ void ServeStats::bind(observe::MetricsRegistry& reg, const std::string& prefix) 
   responses_ = &reg.counter(prefix + "responses");
   failed_ = &reg.counter(prefix + "failed");
   shed_ = &reg.counter(prefix + "shed");
+  deadline_dropped_ = &reg.counter(prefix + "deadline_dropped");
   batches_ = &reg.counter(prefix + "batches");
   queue_depth_ = &reg.gauge(prefix + "queue_depth");
   batch_sizes_ = &reg.histogram(prefix + "batch_size", observe::Histogram::Layout::kLinear);
@@ -40,6 +41,8 @@ void ServeStats::on_dequeue(int64_t queue_depth_after) {
 }
 
 void ServeStats::on_shed() { shed_->inc(); }
+
+void ServeStats::on_deadline_drop() { deadline_dropped_->inc(); }
 
 void ServeStats::on_batch(int64_t batch_size) {
   batches_->inc();
@@ -62,6 +65,7 @@ StatsSnapshot ServeStats::snapshot() const {
   s.responses = responses_->value();
   s.failed = failed_->value();
   s.shed = shed_->value();
+  s.deadline_dropped = deadline_dropped_->value();
   s.batches = batches_->value();
   s.queue_high_water = static_cast<uint64_t>(queue_depth_->high_water());
 
@@ -93,6 +97,7 @@ std::string to_json(const std::string& model_name, uint64_t model_version,
   w.kv("responses", s.responses);
   w.kv("failed", s.failed);
   w.kv("shed", s.shed);
+  w.kv("deadline_dropped", s.deadline_dropped);
   w.kv("batches", s.batches);
   w.kv("queue_high_water", s.queue_high_water);
   w.kv("mean_batch", s.mean_batch());

@@ -24,6 +24,7 @@ struct StatsSnapshot {
   uint64_t responses = 0;   ///< futures fulfilled with a tensor
   uint64_t failed = 0;      ///< futures fulfilled with an exception
   uint64_t shed = 0;        ///< rejected: queue already at max_queue
+  uint64_t deadline_dropped = 0;  ///< dropped: deadline expired before execution
   uint64_t batches = 0;     ///< batches executed
   uint64_t queue_high_water = 0;
   std::map<int64_t, uint64_t> batch_histogram;  ///< batch size -> batch count
@@ -49,6 +50,7 @@ class ServeStats {
   void on_accept(int64_t queue_depth_after);
   void on_dequeue(int64_t queue_depth_after);
   void on_shed();
+  void on_deadline_drop();
   void on_batch(int64_t batch_size);
   void on_response(uint64_t latency_us);
   void on_failure(uint64_t latency_us);
@@ -63,6 +65,7 @@ class ServeStats {
   observe::Counter* responses_ = nullptr;
   observe::Counter* failed_ = nullptr;
   observe::Counter* shed_ = nullptr;
+  observe::Counter* deadline_dropped_ = nullptr;
   observe::Counter* batches_ = nullptr;
   observe::Gauge* queue_depth_ = nullptr;
   observe::Histogram* batch_sizes_ = nullptr;  // linear layout (exact counts)

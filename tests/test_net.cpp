@@ -1,0 +1,625 @@
+// Tests for the tqt-gateway socket front-end (src/net). Headline contracts:
+//
+//  * serving over loopback preserves the engine's bit-exactness — every
+//    response equals the direct run_into result, for every zoo model, at
+//    batch sizes 1 / 3 / max, under concurrent connections;
+//  * the wire parser never trusts a length from the wire — truncations at
+//    every prefix, oversized declared lengths and garbage bytes are answered
+//    with MALFORMED or a close, never a crash, hang or over-read;
+//  * every rejection path (SHED, DEADLINE_EXCEEDED, BAD_MODEL, MALFORMED,
+//    SHUTTING_DOWN) reaches the client as its typed status code.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "net/client.h"
+#include "net/gateway.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+FixedPointProgram make_program(ModelKind kind, uint64_t seed = 11) {
+  BuiltModel m = build_model(kind, 10, seed);
+  Rng rng(seed);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig cfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+const Shape kSampleShape = {16, 16, 3};
+
+/// Server + gateway pair with the right member order (the server must
+/// outlive the gateway).
+struct Rig {
+  serve::InferenceServer server;
+  std::unique_ptr<net::Gateway> gateway;
+
+  explicit Rig(serve::ServerConfig scfg = {}, net::GatewayConfig gcfg = {})
+      : server(scfg) {
+    gcfg.port = 0;  // always an ephemeral loopback port in tests
+    gateway = std::make_unique<net::Gateway>(server, gcfg);
+  }
+  uint16_t port() const { return gateway->port(); }
+};
+
+// ---- Wire protocol units ----------------------------------------------------
+
+TEST(NetWire, RequestFrameRoundTrips) {
+  Rng rng(3);
+  net::InferRequest req;
+  req.model = "mini_vgg";
+  req.deadline_us = 123456;
+  req.input = rng.normal_tensor({1, 16, 16, 3}, 0.1f, 1.3f);
+
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, /*request_id=*/42, req);
+  ASSERT_GE(frame.size(), net::kHeaderBytes);
+
+  net::FrameHeader h;
+  std::string err;
+  ASSERT_EQ(net::parse_header(frame.data(), frame.size(), &h, &err), net::HeaderParse::kOk)
+      << err;
+  EXPECT_EQ(h.type, net::FrameType::kRequest);
+  EXPECT_EQ(h.request_id, 42u);
+  ASSERT_EQ(frame.size(), net::kHeaderBytes + h.payload_len);
+
+  net::InferRequest back;
+  ASSERT_TRUE(net::parse_request_payload(frame.data() + net::kHeaderBytes, h.payload_len,
+                                         &back, &err))
+      << err;
+  EXPECT_EQ(back.model, req.model);
+  EXPECT_EQ(back.deadline_us, req.deadline_us);
+  ASSERT_EQ(back.input.shape(), req.input.shape());
+  EXPECT_TRUE(back.input.equals(req.input));  // float bits survive the wire
+}
+
+TEST(NetWire, ResponseFramesRoundTrip) {
+  Rng rng(4);
+  net::InferResponse ok;
+  ok.status = net::WireStatus::kOk;
+  ok.output = rng.normal_tensor({1, 10});
+  net::InferResponse shed;
+  shed.status = net::WireStatus::kShed;
+  shed.message = "queue full";
+
+  for (const net::InferResponse& resp : {ok, shed}) {
+    std::vector<uint8_t> frame;
+    net::append_response_frame(frame, 7, resp);
+    net::FrameHeader h;
+    std::string err;
+    ASSERT_EQ(net::parse_header(frame.data(), frame.size(), &h, &err), net::HeaderParse::kOk);
+    EXPECT_EQ(h.type, net::FrameType::kResponse);
+    EXPECT_EQ(h.status, resp.status);
+    net::InferResponse back;
+    ASSERT_TRUE(net::parse_response_payload(frame.data() + net::kHeaderBytes, h.payload_len,
+                                            h.status, &back, &err))
+        << err;
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.message, resp.message);
+    if (resp.status == net::WireStatus::kOk) {
+      EXPECT_TRUE(back.output.equals(resp.output));
+    }
+  }
+}
+
+TEST(NetWire, HeaderRejectsEveryCorruptField) {
+  Rng rng(5);
+  net::InferRequest req;
+  req.model = "m";
+  req.input = rng.normal_tensor({2, 2});
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 1, req);
+
+  const auto expect_corrupt = [&](size_t offset, uint8_t value, const char* what) {
+    std::vector<uint8_t> bad = frame;
+    bad[offset] = value;
+    net::FrameHeader h;
+    std::string err;
+    EXPECT_EQ(net::parse_header(bad.data(), bad.size(), &h, &err), net::HeaderParse::kCorrupt)
+        << what;
+    EXPECT_FALSE(err.empty()) << what;
+  };
+  expect_corrupt(0, 0x00, "bad magic");
+  expect_corrupt(4, 99, "bad version");
+  expect_corrupt(5, 0, "zero frame type");
+  expect_corrupt(5, 3, "unknown frame type");
+  expect_corrupt(6, 200, "unknown status");
+  expect_corrupt(7, 1, "nonzero reserved");
+
+  // Declared payload length over the frame bound.
+  std::vector<uint8_t> bad = frame;
+  const uint32_t huge = net::kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) bad[12 + static_cast<size_t>(i)] = (huge >> (8 * i)) & 0xff;
+  net::FrameHeader h;
+  std::string err;
+  EXPECT_EQ(net::parse_header(bad.data(), bad.size(), &h, &err), net::HeaderParse::kCorrupt);
+
+  // A bad magic is rejected as soon as four bytes exist; a plausible prefix
+  // asks for more.
+  EXPECT_EQ(net::parse_header(frame.data(), 3, &h, &err), net::HeaderParse::kNeedMore);
+  EXPECT_EQ(net::parse_header(frame.data(), 8, &h, &err), net::HeaderParse::kNeedMore);
+  const uint8_t junk[4] = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(net::parse_header(junk, 4, &h, &err), net::HeaderParse::kCorrupt);
+}
+
+TEST(NetWire, RequestPayloadRejectsBoundsViolations) {
+  Rng rng(6);
+  net::InferRequest req;
+  req.model = "abc";
+  req.deadline_us = 9;
+  req.input = rng.normal_tensor({2, 3});
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 1, req);
+  const uint8_t* payload = frame.data() + net::kHeaderBytes;
+  const size_t n = frame.size() - net::kHeaderBytes;
+
+  net::InferRequest back;
+  std::string err;
+  ASSERT_TRUE(net::parse_request_payload(payload, n, &back, &err)) << err;
+
+  // Every strict prefix of a valid payload must be rejected (never over-read).
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_FALSE(net::parse_request_payload(payload, k, &back, &err)) << "prefix " << k;
+  }
+  // Trailing garbage after the tensor data must be rejected too.
+  std::vector<uint8_t> padded(payload, payload + n);
+  padded.push_back(0);
+  EXPECT_FALSE(net::parse_request_payload(padded.data(), padded.size(), &back, &err));
+
+  // Zero-length model name.
+  std::vector<uint8_t> zero_name(payload, payload + n);
+  zero_name[0] = 0;
+  zero_name[1] = 0;
+  EXPECT_FALSE(net::parse_request_payload(zero_name.data(), zero_name.size(), &back, &err));
+}
+
+TEST(NetWire, TensorDimProductOverflowIsRejected) {
+  // name "m", deadline 0, rank 2, dims {2^32-1, 2^32-1}: the element count
+  // must be caught by the running overflow guard, not computed mod 2^64.
+  std::vector<uint8_t> payload = {1, 0, 'm', 0, 0, 0, 0, 2};
+  for (int i = 0; i < 8; ++i) payload.push_back(0xff);
+  net::InferRequest back;
+  std::string err;
+  EXPECT_FALSE(net::parse_request_payload(payload.data(), payload.size(), &back, &err));
+  EXPECT_NE(err.find("bound"), std::string::npos) << err;
+}
+
+TEST(NetWire, EncoderRejectsOutOfBoundsRequests) {
+  Rng rng(7);
+  std::vector<uint8_t> out;
+  net::InferRequest req;
+  req.input = rng.normal_tensor({2, 2});
+  req.model = "";
+  EXPECT_THROW(net::append_request_frame(out, 1, req), std::invalid_argument);
+  req.model = std::string(net::kMaxModelNameBytes + 1, 'x');
+  EXPECT_THROW(net::append_request_frame(out, 1, req), std::invalid_argument);
+  req.model = "ok";
+  req.input = Tensor();  // rank 0
+  EXPECT_THROW(net::append_request_frame(out, 1, req), std::invalid_argument);
+}
+
+// ---- Loopback bit-exactness -------------------------------------------------
+
+class NetGatewayBitExact : public ::testing::TestWithParam<ModelKind> {};
+
+// The headline contract: responses served over TCP through gateway +
+// micro-batcher are bit-identical to direct engine runs, at micro-batch
+// sizes 1, 3 and 8, under 4 concurrent client connections.
+TEST_P(NetGatewayBitExact, ConcurrentConnectionsMatchDirectRuns) {
+  const FixedPointProgram prog = make_program(GetParam());
+  Rng rng(123);
+  constexpr int kClients = 4, kPerClient = 3;
+  std::vector<Tensor> samples, reference;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    samples.push_back(rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f));
+    reference.push_back(test::run_program(prog, samples.back()));
+  }
+
+  for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+    serve::ServerConfig scfg;
+    scfg.batch.max_batch = max_batch;
+    scfg.batch.max_delay_us = 5000;  // encourage coalescing across connections
+    Rig rig(scfg);
+    rig.server.deploy("m", prog, kSampleShape);
+
+    std::vector<std::thread> threads;
+    std::vector<int> exact(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        net::GatewayClient client("localhost", rig.port());
+        for (int k = 0; k < kPerClient; ++k) {
+          const size_t i = static_cast<size_t>(c * kPerClient + k);
+          const net::InferResponse resp = client.infer("m", samples[i]);
+          ASSERT_EQ(resp.status, net::WireStatus::kOk) << resp.message;
+          ASSERT_EQ(resp.output.shape(), reference[i].shape());
+          if (resp.output.equals(reference[i])) ++exact[static_cast<size_t>(c)];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(exact[static_cast<size_t>(c)], kPerClient)
+          << model_name(GetParam()) << " client " << c << " max_batch " << max_batch;
+    }
+    rig.gateway->stop_and_drain();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Net, NetGatewayBitExact, ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+// ---- Typed rejection paths --------------------------------------------------
+
+struct MiniVggRig {
+  FixedPointProgram prog = make_program(ModelKind::kMiniVgg);
+};
+
+TEST(NetGateway, BadModelIsTypedAndConnectionStaysUsable) {
+  MiniVggRig m;
+  Rig rig;
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(9);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient client("localhost", rig.port());
+  const net::InferResponse bad = client.infer("nope", sample);
+  EXPECT_EQ(bad.status, net::WireStatus::kBadModel);
+  EXPECT_NE(bad.message.find("nope"), std::string::npos);
+
+  const net::InferResponse good = client.infer("m", sample);  // same connection
+  EXPECT_EQ(good.status, net::WireStatus::kOk);
+  EXPECT_TRUE(good.output.equals(test::run_program(m.prog, sample)));
+}
+
+TEST(NetGateway, MalformedPayloadIsTypedAndConnectionStaysUsable) {
+  MiniVggRig m;
+  Rig rig;
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(10);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  net::GatewayClient client("localhost", rig.port());
+
+  // A valid header whose payload fails to parse: per-request error, the
+  // framing is still trustworthy, the connection survives.
+  std::vector<uint8_t> frame;
+  net::InferRequest req;
+  req.model = "m";
+  req.input = sample;
+  net::append_request_frame(frame, 77, req);
+  frame.resize(net::kHeaderBytes + 7);  // truncate the payload...
+  frame[12] = 7;                        // ...and declare the truncated length
+  frame[13] = frame[14] = frame[15] = 0;
+  client.send_bytes(frame.data(), frame.size());
+  const auto tagged = client.recv_response();
+  EXPECT_EQ(tagged.request_id, 77u);
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kMalformed);
+
+  const net::InferResponse good = client.infer("m", sample);
+  EXPECT_EQ(good.status, net::WireStatus::kOk);
+
+  // A request whose tensor shape does not match the deployed model is the
+  // client's error — typed MALFORMED, connection still usable.
+  const net::InferResponse mis = client.infer("m", rng.normal_tensor({4, 4}));
+  EXPECT_EQ(mis.status, net::WireStatus::kMalformed);
+  EXPECT_EQ(client.infer("m", sample).status, net::WireStatus::kOk);
+}
+
+TEST(NetGateway, BatcherQueueFullShedsWithTypedStatus) {
+  MiniVggRig m;
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = 8;          // > max_queue: the worker keeps waiting...
+  scfg.batch.max_delay_us = 200000;  // ...through the whole pipelined burst
+  scfg.batch.max_queue = 2;
+  Rig rig(scfg);
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(11);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient client("localhost", rig.port());
+  constexpr int kBurst = 10;
+  for (int i = 0; i < kBurst; ++i) client.send_infer("m", sample);
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto tagged = client.recv_response();
+    if (tagged.response.status == net::WireStatus::kOk) ++ok;
+    if (tagged.response.status == net::WireStatus::kShed) ++shed;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 8);
+  const serve::StatsSnapshot s = rig.server.stats("m");
+  EXPECT_EQ(s.shed, 8u);
+}
+
+TEST(NetGateway, InflightCapShedsAtTheGateway) {
+  MiniVggRig m;
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = 8;
+  scfg.batch.max_delay_us = 200000;  // hold the burst in flight
+  net::GatewayConfig gcfg;
+  gcfg.max_inflight = 1;
+  Rig rig(scfg, gcfg);
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(12);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient client("localhost", rig.port());
+  constexpr int kBurst = 5;
+  for (int i = 0; i < kBurst; ++i) client.send_infer("m", sample);
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto tagged = client.recv_response();
+    if (tagged.response.status == net::WireStatus::kOk) ++ok;
+    if (tagged.response.status == net::WireStatus::kShed) {
+      ++shed;
+      EXPECT_NE(tagged.response.message.find("in-flight"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(shed, 4);
+  // The batcher never saw the shed requests — admission happened up front.
+  EXPECT_EQ(rig.server.stats("m").shed, 0u);
+}
+
+TEST(NetGateway, QueuedDeadlineExpiryIsTypedAndSkipsExecution) {
+  MiniVggRig m;
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = 8;          // the collection window outlives...
+  scfg.batch.max_delay_us = 150000;  // ...the 1ms deadline below
+  Rig rig(scfg);
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(13);
+
+  net::GatewayClient client("localhost", rig.port());
+  const net::InferResponse resp =
+      client.infer("m", rng.normal_tensor({1, 16, 16, 3}), /*deadline_us=*/1000);
+  EXPECT_EQ(resp.status, net::WireStatus::kDeadlineExceeded);
+  const serve::StatsSnapshot s = rig.server.stats("m");
+  EXPECT_EQ(s.deadline_dropped, 1u);  // dropped at dequeue, before the engine
+  EXPECT_EQ(s.responses, 0u);         // no engine execution happened
+  const std::string metrics = rig.server.metrics().json_snapshot();
+  EXPECT_NE(metrics.find("\"net.deadline_drops\": 1"), std::string::npos) << metrics;
+}
+
+TEST(NetGateway, GracefulDrainAnswersInflightAndRejectsNew) {
+  MiniVggRig m;
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = 8;
+  scfg.batch.max_delay_us = 300000;  // request 1 stays in flight during drain
+  Rig rig(scfg);
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(14);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor want = test::run_program(m.prog, sample);
+
+  net::GatewayClient client("localhost", rig.port());
+  const uint32_t id1 = client.send_infer("m", sample);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // id1 is in flight
+  rig.gateway->request_stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // drain has begun
+  const uint32_t id2 = client.send_infer("m", sample);
+
+  bool got1 = false, got2 = false;
+  for (int i = 0; i < 2; ++i) {
+    const auto tagged = client.recv_response();
+    if (tagged.request_id == id1) {
+      got1 = true;
+      EXPECT_EQ(tagged.response.status, net::WireStatus::kOk);
+      EXPECT_TRUE(tagged.response.output.equals(want));  // drain kept the bits
+    }
+    if (tagged.request_id == id2) {
+      got2 = true;
+      EXPECT_EQ(tagged.response.status, net::WireStatus::kShuttingDown);
+    }
+  }
+  EXPECT_TRUE(got1);
+  EXPECT_TRUE(got2);
+
+  rig.gateway->stop_and_drain();
+  EXPECT_TRUE(rig.gateway->stopped());
+  EXPECT_THROW(net::GatewayClient("localhost", rig.port(), 1000), net::ClientError);
+}
+
+TEST(NetGateway, ConnectionCapClosesExtras) {
+  MiniVggRig m;
+  net::GatewayConfig gcfg;
+  gcfg.max_connections = 2;
+  Rig rig({}, gcfg);
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(15);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient c1("localhost", rig.port());
+  net::GatewayClient c2("localhost", rig.port());
+  EXPECT_EQ(c1.infer("m", sample).status, net::WireStatus::kOk);
+  EXPECT_EQ(c2.infer("m", sample).status, net::WireStatus::kOk);
+
+  net::GatewayClient c3("localhost", rig.port(), /*recv_timeout_ms=*/5000);
+  EXPECT_THROW(c3.infer("m", sample), net::ClientError);  // closed on accept
+
+  // Slots free up when a connection leaves.
+  c1.close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  net::GatewayClient c4("localhost", rig.port());
+  EXPECT_EQ(c4.infer("m", sample).status, net::WireStatus::kOk);
+
+  const std::string metrics = rig.server.metrics().json_snapshot();
+  EXPECT_NE(metrics.find("\"net.connections_rejected\": 1"), std::string::npos) << metrics;
+}
+
+// ModelRegistry hot-swap race over loopback: while clients hammer the
+// gateway, the model is redeployed; every response must be bit-exact against
+// exactly one of the two versions, and post-swap traffic sees only v2.
+TEST(NetGateway, HotSwapRaceServesExactlyOneOfTwoVersions) {
+  const FixedPointProgram v1 = make_program(ModelKind::kMiniVgg, /*seed=*/11);
+  const FixedPointProgram v2 = make_program(ModelKind::kMiniVgg, /*seed=*/99);
+  Rng rng(16);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor want_v1 = test::run_program(v1, sample);
+  const Tensor want_v2 = test::run_program(v2, sample);
+  ASSERT_FALSE(want_v1.equals(want_v2)) << "swap test needs distinguishable programs";
+
+  serve::ServerConfig scfg;
+  scfg.batch.max_batch = 4;
+  scfg.batch.max_delay_us = 500;
+  Rig rig(scfg);
+  rig.server.deploy("m", v1, kSampleShape);
+
+  constexpr int kClients = 4, kPerClient = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> exact(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::GatewayClient client("localhost", rig.port());
+      for (int k = 0; k < kPerClient; ++k) {
+        const net::InferResponse resp = client.infer("m", sample);
+        ASSERT_EQ(resp.status, net::WireStatus::kOk) << resp.message;
+        const bool is_v1 = resp.output.equals(want_v1);
+        const bool is_v2 = resp.output.equals(want_v2);
+        if (is_v1 != is_v2) ++exact[static_cast<size_t>(c)];  // exactly one version
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rig.server.deploy("m", v2, kSampleShape);  // hot swap mid-traffic
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(exact[static_cast<size_t>(c)], kPerClient) << "client " << c;
+  }
+
+  net::GatewayClient after("localhost", rig.port());
+  EXPECT_TRUE(after.infer("m", sample).output.equals(want_v2));
+}
+
+TEST(NetGateway, MetricsAreVisibleInTheRegistrySnapshot) {
+  MiniVggRig m;
+  Rig rig;
+  rig.server.deploy("m", m.prog, kSampleShape);
+  Rng rng(17);
+  net::GatewayClient client("localhost", rig.port());
+  client.infer("m", rng.normal_tensor({1, 16, 16, 3}));
+  client.infer("nope", rng.normal_tensor({1, 16, 16, 3}));
+  const std::string json = rig.server.metrics().json_snapshot();
+  for (const char* key :
+       {"\"net.connections_accepted\": 1", "\"net.requests\": 2", "\"net.responses\": 2",
+        "\"net.bad_model\": 1", "\"net.bytes_in\"", "\"net.bytes_out\"",
+        "\"net.connections\"", "\"net.inflight\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+  }
+}
+
+// ---- Wire fuzzing over a live socket ---------------------------------------
+
+struct FuzzRig {
+  MiniVggRig m;
+  Rig rig;
+  Rng rng{18};
+  Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  FuzzRig() { rig.server.deploy("m", m.prog, kSampleShape); }
+
+  /// Read until EOF; throws (failing the test) on a hang past the timeout.
+  static void drain_to_eof(net::GatewayClient& client) {
+    uint8_t buf[4096];
+    while (client.recv_raw(buf, sizeof buf) > 0) {
+    }
+  }
+
+  void expect_alive() {
+    net::GatewayClient probe("localhost", rig.port());
+    EXPECT_EQ(probe.infer("m", sample).status, net::WireStatus::kOk);
+  }
+};
+
+TEST(NetFuzz, TruncationAtEveryPrefixLengthNeverHangsTheServer) {
+  FuzzRig f;
+  // A protocol-valid frame (small tensor; its shape is checked only after
+  // parsing, which a truncated frame never reaches).
+  net::InferRequest req;
+  req.model = "m";
+  req.input = f.rng.normal_tensor({2, 2});
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 5, req);
+
+  for (size_t len = 0; len < frame.size(); ++len) {
+    net::GatewayClient client("localhost", f.rig.port(), /*recv_timeout_ms=*/10000);
+    if (len > 0) client.send_bytes(frame.data(), len);
+    client.shutdown_write();
+    // The server answers MALFORMED or just closes — either way we must reach
+    // EOF, never a hang or a crash.
+    ASSERT_NO_THROW(FuzzRig::drain_to_eof(client)) << "prefix length " << len;
+  }
+  f.expect_alive();
+}
+
+TEST(NetFuzz, OversizedDeclaredLengthIsRejectedWithoutReadingIt) {
+  FuzzRig f;
+  uint8_t header[net::kHeaderBytes] = {};
+  const uint32_t magic = net::kMagic, huge = net::kMaxPayloadBytes + 1, id = 9;
+  for (int i = 0; i < 4; ++i) {
+    header[i] = (magic >> (8 * i)) & 0xff;
+    header[8 + i] = (id >> (8 * i)) & 0xff;
+    header[12 + i] = (huge >> (8 * i)) & 0xff;
+  }
+  header[4] = net::kVersion;
+  header[5] = static_cast<uint8_t>(net::FrameType::kRequest);
+
+  net::GatewayClient client("localhost", f.rig.port(), /*recv_timeout_ms=*/10000);
+  client.send_bytes(header, sizeof header);
+  const auto tagged = client.recv_response();  // immediate: no 16 MiB wait
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kMalformed);
+  FuzzRig::drain_to_eof(client);  // framing was corrupt -> server closes
+  f.expect_alive();
+}
+
+TEST(NetFuzz, GarbageBytesGetMalformedOrClosedNeverACrash) {
+  FuzzRig f;
+  std::mt19937 prng(0xC0FFEE);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> garbage(64);
+    for (uint8_t& b : garbage) b = static_cast<uint8_t>(prng());
+    net::GatewayClient client("localhost", f.rig.port(), /*recv_timeout_ms=*/10000);
+    client.send_bytes(garbage.data(), garbage.size());
+    client.shutdown_write();
+    ASSERT_NO_THROW(FuzzRig::drain_to_eof(client)) << "round " << round;
+  }
+  f.expect_alive();
+}
+
+TEST(NetFuzz, AbruptDisconnectMidFrameLeavesTheServerServing) {
+  FuzzRig f;
+  net::InferRequest req;
+  req.model = "m";
+  req.input = f.sample;
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 3, req);
+  for (int round = 0; round < 5; ++round) {
+    net::GatewayClient client("localhost", f.rig.port());
+    client.send_bytes(frame.data(), frame.size() / 2);
+    client.close();  // vanish mid-frame
+  }
+  f.expect_alive();
+}
+
+}  // namespace
+}  // namespace tqt

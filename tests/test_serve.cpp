@@ -4,6 +4,7 @@
 // every zoo model and every batch size.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <future>
@@ -153,6 +154,68 @@ TEST(Serve, AdmissionControlShedsWhenQueueIsFull) {
   EXPECT_EQ(s.shed, 8u);
   EXPECT_EQ(s.responses, 2u);
   EXPECT_EQ(s.queue_high_water, 2u);
+}
+
+TEST(Serve, AlreadyExpiredDeadlineIsRejectedAtAdmission) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(31);
+  serve::SubmitOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  const serve::SubmitResult res = server.submit("mini_vgg", rng.normal_tensor({1, 16, 16, 3}), opts);
+  EXPECT_EQ(res.status, serve::SubmitStatus::kDeadlineExceeded);
+  server.shutdown_and_drain();
+  const serve::StatsSnapshot s = server.stats("mini_vgg");
+  EXPECT_EQ(s.deadline_dropped, 1u);
+  EXPECT_EQ(s.responses, 0u);  // never queued, never executed
+}
+
+TEST(Serve, QueuedRequestPastDeadlineFulfilsFutureWithTypedError) {
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 8;          // the collection window outlives...
+  cfg.batch.max_delay_us = 150000;  // ...the 1ms deadline below
+  serve::InferenceServer& server = mini_vgg_server(cfg);
+  Rng rng(32);
+  serve::SubmitOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  serve::SubmitResult res = server.submit("mini_vgg", rng.normal_tensor({1, 16, 16, 3}), opts);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);  // accepted; expires in queue
+  EXPECT_THROW(res.response.get(), serve::DeadlineExceededError);
+  server.shutdown_and_drain();
+  const serve::StatsSnapshot s = server.stats("mini_vgg");
+  EXPECT_EQ(s.deadline_dropped, 1u);
+  EXPECT_EQ(s.responses, 0u);  // dropped at dequeue, before the engine ran
+}
+
+TEST(Serve, SubmitAsyncRunsTheCallbackExactlyOnceOnASuccess) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(33);
+  std::promise<serve::MicroBatcher::Completion> done;
+  auto fut = done.get_future();
+  const serve::SubmitStatus st = server.submit_async(
+      "mini_vgg", rng.normal_tensor({1, 16, 16, 3}), {},
+      [&done](serve::MicroBatcher::Completion&& c) { done.set_value(std::move(c)); });
+  ASSERT_EQ(st, serve::SubmitStatus::kOk);
+  serve::MicroBatcher::Completion c = fut.get();
+  EXPECT_EQ(c.status, serve::SubmitStatus::kOk);
+  EXPECT_GT(c.output.numel(), 0);
+  server.shutdown_and_drain();
+}
+
+TEST(Serve, SubmitAsyncRejectionsDoNotInvokeTheCallback) {
+  serve::InferenceServer& server = mini_vgg_server({});
+  Rng rng(34);
+  bool invoked = false;
+  const auto never = [&invoked](serve::MicroBatcher::Completion&&) { invoked = true; };
+  EXPECT_EQ(server.submit_async("nope", rng.normal_tensor({1, 16, 16, 3}), {}, never),
+            serve::SubmitStatus::kUnknownModel);
+  serve::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(server.submit_async("mini_vgg", rng.normal_tensor({1, 16, 16, 3}), expired, never),
+            serve::SubmitStatus::kDeadlineExceeded);
+  server.shutdown_and_drain();
+  EXPECT_EQ(server.submit_async("mini_vgg", rng.normal_tensor({1, 16, 16, 3}), {}, never),
+            serve::SubmitStatus::kShuttingDown);
+  EXPECT_FALSE(invoked);
 }
 
 TEST(Serve, SubmitAfterShutdownIsRejected) {

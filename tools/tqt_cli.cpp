@@ -17,12 +17,26 @@
 //       server, drive it with C in-process client threads over the
 //       validation split (N passes with --repeat), and print the per-model
 //       stats block as JSON plus wall time per inference.
+//   tqt_cli serve <model> -i FILE --port P [--max-connections C]
+//                 [--max-inflight F] [...batching flags as above]
+//       Network mode: expose the server over TCP through tqt-gateway
+//       (src/net) instead of driving it in-process. Runs until SIGINT or
+//       SIGTERM, then drains gracefully — in-flight requests finish, stats
+//       and any --metrics-json / --trace files are still written.
+//   tqt_cli client <model> --port P [--host H] [--requests R]
+//                  [--deadline-us D]
+//       Drive a running tqt-gateway over the wire protocol with validation
+//       samples and report accuracy plus per-status response counts.
 //
 // Every subcommand accepts --help. quantize/export/run/serve additionally
 // accept the shared telemetry flags:
 //   --metrics-json PATH   write a metrics snapshot (observe.h schema) on exit
 //   --trace PATH          record spans and write chrome://tracing JSON on exit
+#include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +49,8 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
+#include "net/client.h"
+#include "net/gateway.h"
 #include "observe/observe.h"
 #include "runtime/parallel.h"
 #include "serve/server.h"
@@ -45,7 +61,7 @@ using namespace tqt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tqt_cli <list|pretrain|quantize|export|run|serve> [args]\n"
+               "usage: tqt_cli <list|pretrain|quantize|export|run|serve|client> [args]\n"
                "  list\n"
                "  pretrain <model> [--cache DIR]\n"
                "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
@@ -53,6 +69,8 @@ int usage() {
                "  run      <model> -i FILE [--threads N] [--repeat N]\n"
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
                "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n"
+               "           [--port P [--max-connections C] [--max-inflight F]]\n"
+               "  client   <model> --port P [--host H] [--requests R] [--deadline-us D]\n"
                "run '--help' after any subcommand for its full flag list\n");
   return 2;
 }
@@ -119,16 +137,41 @@ class ArgParser {
     return f && f->seen;
   }
 
+  /// Strict base-10 integer: the whole token must parse — "3abc", "", "++2"
+  /// and out-of-range values are one-line errors, not silent truncations
+  /// (std::atoi would accept all of them).
+  static long strict_int(const char* name, const char* v) {
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument(std::string(name) + " expects an integer, got '" + v + "'");
+    }
+    return n;
+  }
+
   /// Strictly positive integer flag value.
   int positive(const char* name, int fallback) const {
     const char* v = value(name, nullptr);
     if (!v) return fallback;
-    const int n = std::atoi(v);
-    if (n < 1) {
+    const long n = strict_int(name, v);
+    if (n < 1 || n > INT_MAX) {
       throw std::invalid_argument(std::string(name) + " must be a positive integer, got '" + v +
                                   "'");
     }
-    return n;
+    return static_cast<int>(n);
+  }
+
+  /// Integer flag value constrained to [lo, hi] (e.g. a TCP port).
+  int bounded(const char* name, int fallback, int lo, int hi) const {
+    const char* v = value(name, nullptr);
+    if (!v) return fallback;
+    const long n = strict_int(name, v);
+    if (n < lo || n > hi) {
+      throw std::invalid_argument(std::string(name) + " must be in " + std::to_string(lo) +
+                                  ".." + std::to_string(hi) + ", got '" + v + "'");
+    }
+    return static_cast<int>(n);
   }
 
   const std::vector<std::string>& positionals() const { return positionals_; }
@@ -217,13 +260,7 @@ class Telemetry {
       std::fprintf(stderr, "wrote trace to %s\n", trace_path_.c_str());
     }
     if (!metrics_path_.empty()) {
-      const std::string json = observe::MetricsRegistry::global().json_snapshot();
-      std::FILE* f = std::fopen(metrics_path_.c_str(), "wb");
-      if (!f || std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
-          std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
-        if (f) std::fclose(f);
-        throw std::runtime_error("cannot write metrics snapshot to " + metrics_path_);
-      }
+      observe::MetricsRegistry::global().write_json_file(metrics_path_);
       std::fprintf(stderr, "wrote metrics snapshot to %s\n", metrics_path_.c_str());
     }
   }
@@ -383,10 +420,47 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+// The SIGINT/SIGTERM handler for `serve --port`: request_stop() is
+// async-signal-safe (an atomic store plus a pipe write), so a signal during
+// serving begins the graceful drain instead of killing the process — the
+// normal exit path then writes stats and the --metrics-json / --trace files.
+std::atomic<net::Gateway*> g_gateway{nullptr};
+
+extern "C" void on_stop_signal(int) {
+  if (net::Gateway* g = g_gateway.load(std::memory_order_acquire)) g->request_stop();
+}
+
+/// Network mode of `serve`: expose the server through tqt-gateway until a
+/// stop signal arrives, then drain and report.
+int serve_over_network(const ArgParser& p, serve::InferenceServer& server,
+                       const std::string& model, const Telemetry& tel) {
+  net::GatewayConfig gcfg;
+  gcfg.port = static_cast<uint16_t>(p.bounded("--port", 0, 0, 65535));
+  gcfg.max_connections = p.positive("--max-connections", 64);
+  gcfg.max_inflight = p.positive("--max-inflight", 256);
+  net::Gateway gateway(server, gcfg);
+  g_gateway.store(&gateway, std::memory_order_release);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::printf("tqt-gateway: serving '%s' on 127.0.0.1:%u (SIGINT/SIGTERM drains)\n",
+              model.c_str(), gateway.port());
+  std::fflush(stdout);
+  while (!gateway.stopped()) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gateway.stop_and_drain();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_gateway.store(nullptr, std::memory_order_release);
+  server.shutdown_and_drain();
+  std::fprintf(stderr, "tqt-gateway: drained\n");
+  std::printf("%s\n", server.stats_json().c_str());
+  tel.flush();
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   ArgParser p("serve", "<model>",
               "Serve a fixed-point program through the micro-batching server and "
-              "drive it with in-process clients.");
+              "drive it with in-process clients (or over TCP with --port).");
   p.add("-i", "FILE", "fixed-point program file (required)");
   p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
   p.add("--clients", "C", "in-process client threads (default 4)");
@@ -395,6 +469,9 @@ int cmd_serve(int argc, char** argv) {
   p.add("--delay-us", "D", "micro-batch collection window in us (default 200)");
   p.add("--queue", "Q", "queue depth before shedding (default 256)");
   p.add("--repeat", "N", "passes over --requests (default 1)");
+  p.add("--port", "P", "serve over TCP on this port (0 = ephemeral) instead of in-process");
+  p.add("--max-connections", "C", "network mode: concurrent connection cap (default 64)");
+  p.add("--max-inflight", "F", "network mode: in-flight request cap (default 256)");
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
@@ -418,6 +495,8 @@ int cmd_serve(int argc, char** argv) {
 
   serve::InferenceServer server(scfg);
   server.deploy_file(model, in_path, {dcfg.image_size, dcfg.image_size, dcfg.channels});
+
+  if (p.seen("--port")) return serve_over_network(p, server, model, tel);
 
   // In-process closed-loop clients: each owns the validation indices
   // congruent to its id, submits one sample at a time, and retries on shed
@@ -463,6 +542,53 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+int cmd_client(int argc, char** argv) {
+  ArgParser p("client", "<model>",
+              "Drive a running tqt-gateway over the wire protocol with validation "
+              "samples and report accuracy plus per-status response counts.");
+  p.add("--host", "H", "server host, IPv4 or 'localhost' (default localhost)");
+  p.add("--port", "P", "server TCP port (required)");
+  p.add("--requests", "R", "samples to send (default 64)");
+  p.add("--deadline-us", "D", "per-request deadline in microseconds (default none)");
+  if (!p.parse(argc, argv)) return 0;
+  // The model name is sent as-is: the server owns the deployment namespace
+  // and answers BAD_MODEL for anything it does not host.
+  const std::string model = p.positional("model");
+  const uint16_t port = static_cast<uint16_t>(p.bounded("--port", 0, 1, 65535));
+  if (!p.seen("--port")) {
+    throw std::invalid_argument("tqt_cli client: missing required flag --port (try --help)");
+  }
+  const std::string host = p.value("--host", "localhost");
+  const int requests = p.positive("--requests", 64);
+  const uint32_t deadline_us =
+      static_cast<uint32_t>(p.bounded("--deadline-us", 0, 1, INT_MAX));
+
+  SyntheticImageDataset data(default_dataset_config());
+  net::GatewayClient client(host, port);
+  Accuracy acc;
+  // One slot per WireStatus value (kOk..kInternal).
+  uint64_t by_status[7] = {};
+  for (int i = 0; i < requests; ++i) {
+    const Batch b = data.val_batch(i % data.val_size(), 1);
+    const net::InferResponse resp = client.infer(model, b.images, deadline_us);
+    ++by_status[static_cast<size_t>(resp.status)];
+    if (resp.status == net::WireStatus::kOk) {
+      accumulate_topk(resp.output, b.labels, acc);
+    }
+  }
+  std::printf("%s via %s:%u: %d requests, top-1 %.1f%%  top-5 %.1f%%\n", model.c_str(),
+              host.c_str(), port, requests, 100.0 * acc.top1(), 100.0 * acc.top5());
+  for (size_t s = 0; s < 7; ++s) {
+    if (by_status[s] > 0) {
+      std::printf("  %-18s %llu\n", net::to_string(static_cast<net::WireStatus>(s)),
+                  static_cast<unsigned long long>(by_status[s]));
+    }
+  }
+  // Non-OK responses are a useful probe result, not a transport failure —
+  // exit 0 unless nothing succeeded.
+  return by_status[0] > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -475,6 +601,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return cmd_export(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (cmd == "client") return cmd_client(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -44,6 +44,17 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# tqt-gateway loopback end-to-end at both pool sizes: bit-exactness over the
+# socket, every typed rejection path, and the wire fuzz pass. Under
+# TQT_SANITIZE=thread this is the race check on the event loop / batcher /
+# completion-queue handoffs ('^Net' — plain 'Net' would also match the
+# MiniMobileNet model tests).
+for threads in 1 4; do
+  echo "==== net gateway tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" -R '^Net' \
+    --output-on-failure -j "$(nproc)"
+done
+
 # Fail fast on tqt-observe too: the registry/tracer/JSON tests plus the CLI
 # flag-parser contract. Under TQT_SANITIZE=thread this pass is the race
 # check on concurrent metric updates and per-thread trace rings.
@@ -58,6 +69,9 @@ done
 
 echo "==== bench_serve_throughput smoke -> $BUILD_DIR/BENCH_serve.json ===="
 "$BUILD_DIR/bench/bench_serve_throughput" --smoke -o "$BUILD_DIR/BENCH_serve.json"
+
+echo "==== bench_net_throughput smoke -> $BUILD_DIR/BENCH_net.json ===="
+"$BUILD_DIR/bench/bench_net_throughput" --smoke -o "$BUILD_DIR/BENCH_net.json"
 
 # The engine bench doubles as a release gate: it exits nonzero if any zoo
 # model's typed output diverges from the reference interpreter.
@@ -82,6 +96,26 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
   grep -q '"name": "conv2d"' "$BUILD_DIR/verify_trace.json"
   grep -q '"traceEvents"' "$BUILD_DIR/verify_trace.json"
   grep -q '"engine.runs"' "$BUILD_DIR/verify_metrics.json"
+
+  # Network serving round trip through the CLI: start a gateway on an
+  # ephemeral port, drive it with the client subcommand, then SIGTERM the
+  # server — the graceful drain must still write the metrics snapshot, with
+  # the net.* instruments visible in it.
+  echo "==== tqt_cli serve --port / client / SIGTERM drain smoke ===="
+  rm -f "$BUILD_DIR/verify_net_metrics.json"
+  "$BUILD_DIR/tools/tqt_cli" serve mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" --port 0 \
+    --metrics-json "$BUILD_DIR/verify_net_metrics.json" > "$BUILD_DIR/verify_net_out.txt" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q 'tqt-gateway: serving' "$BUILD_DIR/verify_net_out.txt" 2>/dev/null && break
+    sleep 0.1
+  done
+  NET_PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$BUILD_DIR/verify_net_out.txt")
+  "$BUILD_DIR/tools/tqt_cli" client mini_vgg --port "$NET_PORT" --requests 8 | grep -q 'ok'
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  grep -q '"net.requests"' "$BUILD_DIR/verify_net_metrics.json"
+  grep -q '"net.responses"' "$BUILD_DIR/verify_net_metrics.json"
 fi
 
 echo "verify.sh: all test passes completed"
