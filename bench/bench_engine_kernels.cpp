@@ -3,8 +3,15 @@
 // traffic (GB moved per 1k inferences), plan summary (arena slots, register
 // widths), and a bit-exactness spot check per model. Emits one JSON report.
 //
-//   bench_engine_kernels [--batch N] [--iters N] [--smoke] [-o FILE]
-//                        [--export-dir DIR]
+//   bench_engine_kernels [--batch N] [--iters N] [--smoke] [--no-fuse]
+//                        [-o FILE] [--export-dir DIR]
+//
+// Each model is compiled twice: once with fusion forced off (the PR 3 typed
+// engine) and once through the full graph compiler. Both throughputs and
+// arena footprints land in the report (`unfused_imgs_per_s`, `fused_speedup`,
+// `arena_bytes` vs `fused_arena_bytes`), so the fusion win is an A/B inside
+// one process rather than a diff across checkouts. --no-fuse (or TQT_FUSE=0)
+// skips the fused side and benches the unfused engine alone.
 //
 // --export-dir saves each model's compiled program to DIR/<model>.tqtp —
 // cheap calibration-only artifacts for CLI / trace end-to-end checks.
@@ -14,6 +21,7 @@
 // TQT_FAST) shrinks iteration counts for CI.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +32,7 @@
 
 #include "bench_util.h"
 #include "fixedpoint/engine.h"
+#include "fixedpoint/fuse.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/plan.h"
 #include "models/zoo.h"
@@ -77,13 +86,17 @@ std::pair<double, double> time_best_of_blocks(int iters, FnA&& a, FnB&& b) {
 struct ModelResult {
   std::string name;
   double ref_imgs_per_s = 0.0;
-  double typed_imgs_per_s = 0.0;
-  double speedup = 0.0;
-  double ref_gb_per_1k = 0.0;    // estimated activation+const traffic
+  double typed_imgs_per_s = 0.0;     // fused engine (== unfused under --no-fuse)
+  double unfused_imgs_per_s = 0.0;   // PR 3 typed engine, fusion forced off
+  double speedup = 0.0;              // typed vs int64 reference
+  double fused_speedup = 0.0;        // fused vs unfused typed
+  double ref_gb_per_1k = 0.0;        // estimated activation+const traffic
   double typed_gb_per_1k = 0.0;
   int slots = 0;
   int registers = 0;
-  int64_t arena_bytes = 0;
+  int64_t arena_bytes = 0;        // unfused plan's warm arena
+  int64_t fused_arena_bytes = 0;  // fused plan's warm arena
+  int fused_matmuls = 0;
   bool bit_exact = false;
   std::string kernels;
 };
@@ -93,12 +106,16 @@ void write_model(observe::JsonWriter& w, const ModelResult& r) {
   w.kv("model", r.name);
   w.kv("reference_imgs_per_s", r.ref_imgs_per_s);
   w.kv("typed_imgs_per_s", r.typed_imgs_per_s);
+  w.kv("unfused_imgs_per_s", r.unfused_imgs_per_s);
   w.kv("speedup", r.speedup);
+  w.kv("fused_speedup", r.fused_speedup);
   w.kv("reference_gb_per_1k", r.ref_gb_per_1k);
   w.kv("typed_gb_per_1k", r.typed_gb_per_1k);
   w.kv("arena_slots", r.slots);
   w.kv("registers", r.registers);
   w.kv("arena_bytes", static_cast<long long>(r.arena_bytes));
+  w.kv("fused_arena_bytes", static_cast<long long>(r.fused_arena_bytes));
+  w.kv("fused_matmuls", r.fused_matmuls);
   w.kv("kernels", r.kernels);
   w.kv("bit_exact", r.bit_exact);
   w.end();
@@ -112,6 +129,9 @@ int main(int argc, char** argv) {
   const int iters = std::atoi(flag_value(argc, argv, "--iters", smoke ? "2" : "5"));
   const char* export_dir = flag_value(argc, argv, "--export-dir", nullptr);
   if (export_dir) std::filesystem::create_directories(export_dir);
+  const char* fuse_env = std::getenv("TQT_FUSE");
+  const bool no_fuse =
+      has_flag(argc, argv, "--no-fuse") || (fuse_env && std::string(fuse_env) == "0");
 
   set_num_threads(1);  // isolate per-core kernel + storage effects
 
@@ -123,52 +143,102 @@ int main(int argc, char** argv) {
     ModelResult r;
     r.name = model_name(kind);
     std::fprintf(stderr, "building %s program...\n", r.name.c_str());
-    const FixedPointProgram prog = bench::calibrated_program(kind);
-    if (export_dir) {
-      const std::string path = std::string(export_dir) + "/" + r.name + ".tqtp";
-      prog.save(path);
-      std::fprintf(stderr, "exported %s\n", path.c_str());
-    }
+    // Compile with fusion forced off: this is the PR 3 typed engine, the A
+    // side of the A/B. The oracle output comes from its int64 reference
+    // interpretation — the contract every later variant must hit bit-exactly.
+    set_fusion_enabled(0);
+    FixedPointProgram prog = bench::calibrated_program(kind);
+    set_fusion_enabled(-1);
 
-    const ExecPlan& plan = prog.plan();
     r.registers = prog.register_count();
-    r.slots = plan.n_slots;
     r.kernels = fpk::active_kernels().name;
-
-    // Bit-exactness spot check before timing anything.
-    const IntTensor a = prog.run_raw(input);
-    const IntTensor b = prog.run_raw_reference(input);
-    r.bit_exact = a.shape == b.shape && a.exponent == b.exponent && a.data == b.data;
+    const IntTensor oracle = prog.run_raw_reference(input);
+    {
+      const IntTensor a = prog.run_raw(input);
+      r.bit_exact = a.shape == oracle.shape && a.exponent == oracle.exponent &&
+                    a.data == oracle.data;
+    }
 
     ExecContext ctx;
     Tensor out;
     prog.run_into(input, ctx, out);  // warm the arena
     r.arena_bytes = ctx.arena_bytes();
 
-    const auto [typed_s, ref_s] = time_best_of_blocks(
+    const auto [unfused_s, ref_s] = time_best_of_blocks(
         iters, [&] { prog.run_into(input, ctx, out); },
         [&] { (void)prog.run_reference(input); });
-    r.typed_imgs_per_s = static_cast<double>(batch) / typed_s;
+    r.unfused_imgs_per_s = static_cast<double>(batch) / unfused_s;
     r.ref_imgs_per_s = static_cast<double>(batch) / ref_s;
-    r.speedup = ref_s / typed_s;
+
+    double typed_s = unfused_s;
+    if (no_fuse) {
+      r.fused_arena_bytes = r.arena_bytes;
+      r.fused_speedup = 1.0;
+    } else {
+      // B side: a second instance of the same program compiled through the
+      // graph compiler (the calibration cache makes the rebuild cheap, and
+      // quantization is deterministic, so both instances carry identical
+      // numerics). Keeping both programs alive lets the A/B ratio come from
+      // ONE interleaved timing loop — the arms share the same time windows,
+      // so machine-load drift between "the unfused phase" and "the fused
+      // phase" cannot masquerade as a speedup or a regression.
+      set_fusion_enabled(1);
+      FixedPointProgram fprog = bench::calibrated_program(kind);
+      set_fusion_enabled(-1);
+      r.fused_matmuls = static_cast<int>(fprog.fusion_stats().fused_matmuls);
+
+      const IntTensor a = fprog.run_raw(input);
+      r.bit_exact = r.bit_exact && a.shape == oracle.shape &&
+                    a.exponent == oracle.exponent && a.data == oracle.data;
+
+      ExecContext fctx;
+      fprog.run_into(input, fctx, out);
+      r.fused_arena_bytes = fctx.arena_bytes();
+
+      const auto [unfused2_s, fused_s] = time_best_of_blocks(
+          iters, [&] { prog.run_into(input, ctx, out); },
+          [&] { fprog.run_into(input, fctx, out); });
+      typed_s = fused_s;
+      // Best observed throughput for the point estimates; the ratio uses the
+      // interleaved pair only, where both arms saw the same windows.
+      r.unfused_imgs_per_s =
+          static_cast<double>(batch) / std::min(unfused_s, unfused2_s);
+      r.fused_speedup = unfused2_s / fused_s;
+    }
+    r.typed_imgs_per_s = static_cast<double>(batch) / typed_s;
+    r.speedup = (static_cast<double>(batch) / r.ref_imgs_per_s) / typed_s;
+
+    const ExecPlan& plan = prog.plan();
+    r.slots = plan.n_slots;
+    if (export_dir) {
+      const std::string path = std::string(export_dir) + "/" + r.name + ".tqtp";
+      prog.save(path);
+      std::fprintf(stderr, "exported %s\n", path.c_str());
+    }
 
     const TrafficEstimate traffic = estimate_traffic(prog, input.shape());
     const double per_img = 1.0 / static_cast<double>(batch);
     r.typed_gb_per_1k = static_cast<double>(traffic.typed_bytes) * per_img * 1000.0 / 1e9;
     r.ref_gb_per_1k = static_cast<double>(traffic.reference_bytes) * per_img * 1000.0 / 1e9;
 
-    std::fprintf(stderr, "%-18s typed %8.1f img/s  ref %8.1f img/s  speedup %.2fx  %s\n",
-                 r.name.c_str(), r.typed_imgs_per_s, r.ref_imgs_per_s, r.speedup,
-                 r.bit_exact ? "bit-exact" : "MISMATCH");
+    std::fprintf(stderr,
+                 "%-18s fused %8.1f img/s  unfused %8.1f img/s  (%.2fx)  ref %8.1f img/s  %s\n",
+                 r.name.c_str(), r.typed_imgs_per_s, r.unfused_imgs_per_s, r.fused_speedup,
+                 r.ref_imgs_per_s, r.bit_exact ? "bit-exact" : "MISMATCH");
     results.push_back(std::move(r));
   }
   set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
 
-  int exact = 0, faster2x = 0;
+  int exact = 0, faster2x = 0, arena_shrunk = 0;
+  double log_fused = 0.0;
   for (const ModelResult& r : results) {
     exact += r.bit_exact ? 1 : 0;
     faster2x += r.speedup >= 2.0 ? 1 : 0;
+    arena_shrunk += r.fused_arena_bytes < r.arena_bytes ? 1 : 0;
+    log_fused += std::log(r.fused_speedup);
   }
+  const double fused_geomean =
+      results.empty() ? 1.0 : std::exp(log_fused / static_cast<double>(results.size()));
 
   observe::JsonWriter w;
   w.obj();
@@ -176,11 +246,14 @@ int main(int argc, char** argv) {
   w.kv("batch", static_cast<long long>(batch));
   w.kv("iters", iters);
   w.kv("threads", 1);
+  w.kv("fusion", no_fuse ? "off" : "on");
   w.key("models").arr();
   for (const ModelResult& r : results) write_model(w, r);
   w.end();
   w.kv("bit_exact_models", exact);
   w.kv("models_ge_2x", faster2x);
+  w.kv("fused_speedup_geomean", fused_geomean);
+  w.kv("models_arena_shrunk", arena_shrunk);
   w.end();
   bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
   return (exact == static_cast<int>(results.size())) ? 0 : 1;

@@ -28,6 +28,9 @@ const char* kind_name(tqt::FpInstr::Kind k) {
     case K::kEltwiseAdd: return "eltwise_add.int";
     case K::kConcat: return "concat";
     case K::kFlatten: return "flatten";
+    case K::kConv2dFused: return "conv2d.int8+epi";
+    case K::kDepthwiseFused: return "depthwise.int8+epi";
+    case K::kDenseFused: return "dense.int8+epi";
   }
   return "?";
 }

@@ -77,7 +77,24 @@ struct FpInstr {
     kEltwiseAdd,
     kConcat,
     kFlatten,
+    // Fused matmul + epilogue forms produced by the graph compiler
+    // (fuse.cpp). Appended after the v1 kinds so serialized kind ids stay
+    // stable across format versions.
+    kConv2dFused,
+    kDepthwiseFused,
+    kDenseFused,
   };
+
+  /// Epilogue step opcodes for the fused matmul kinds (see `epi_data`).
+  enum class EpiOp : int64_t {
+    kRequant = 0,  ///< a = target exponent, b/c = clamp lo/hi
+    kBias = 1,     ///< v += bias_data[channel] (exponent unchanged)
+    kRelu = 2,     ///< v = max(v, 0)
+    kClamp = 3,    ///< v = saturate(v, b, c)  (relu6)
+    kLeaky = 4,    ///< a = alpha exponent, b = alpha_q; v = max(v << -a, v*b)
+  };
+  /// epi_data holds `kEpiStepInts` int64 lanes per step: {op, a, b, c}.
+  static constexpr int kEpiStepInts = 4;
 
   Kind kind{};
   std::vector<int> inputs;
@@ -94,8 +111,62 @@ struct FpInstr {
   int64_t alpha_q = 0;           // leaky relu: slope = alpha_q * 2^alpha_exponent
   int alpha_exponent = 0;
 
+  /// Fused kinds only: ordered epilogue applied to each int64 accumulator
+  /// lane before the single narrowing store — exactly the instruction
+  /// sequence the fusion pass absorbed, so bit-exactness vs. the unfused
+  /// program holds by construction. Empty for every other kind.
+  std::vector<int64_t> epi_data;
+  /// Fused kinds only: per-output-channel bias absorbed from a kBiasAdd
+  /// (applied at the scale in effect where the bias step sits).
+  std::vector<int64_t> bias_data;
+
   std::string debug_name;        // originating graph node
 };
+
+/// One decoded epilogue step of a fused instruction.
+struct FpEpiStep {
+  int64_t op = 0, a = 0, b = 0, c = 0;
+};
+
+inline int epi_step_count(const FpInstr& in) {
+  return static_cast<int>(in.epi_data.size()) / FpInstr::kEpiStepInts;
+}
+
+inline FpEpiStep epi_step(const FpInstr& in, int i) {
+  const size_t base = static_cast<size_t>(i) * FpInstr::kEpiStepInts;
+  return {in.epi_data[base], in.epi_data[base + 1], in.epi_data[base + 2],
+          in.epi_data[base + 3]};
+}
+
+inline bool is_fused_kind(FpInstr::Kind k) {
+  return k == FpInstr::Kind::kConv2dFused || k == FpInstr::Kind::kDepthwiseFused ||
+         k == FpInstr::Kind::kDenseFused;
+}
+
+/// True for any matmul-family instruction, fused or not.
+inline bool is_matmul_kind(FpInstr::Kind k) {
+  return k == FpInstr::Kind::kConv2d || k == FpInstr::Kind::kDepthwise ||
+         k == FpInstr::Kind::kDense || is_fused_kind(k);
+}
+
+/// The fused counterpart of a bare matmul kind (precondition: base matmul).
+inline FpInstr::Kind fused_kind_of(FpInstr::Kind k) {
+  switch (k) {
+    case FpInstr::Kind::kConv2d: return FpInstr::Kind::kConv2dFused;
+    case FpInstr::Kind::kDepthwise: return FpInstr::Kind::kDepthwiseFused;
+    default: return FpInstr::Kind::kDenseFused;
+  }
+}
+
+/// The bare matmul a fused kind was built from (identity on unfused kinds).
+inline FpInstr::Kind base_kind_of(FpInstr::Kind k) {
+  switch (k) {
+    case FpInstr::Kind::kConv2dFused: return FpInstr::Kind::kConv2d;
+    case FpInstr::Kind::kDepthwiseFused: return FpInstr::Kind::kDepthwise;
+    case FpInstr::Kind::kDenseFused: return FpInstr::Kind::kDense;
+    default: return k;
+  }
+}
 
 /// Instruction kind name ("conv2d", "requant", ...) — used by the trace
 /// spans the executor emits and by diagnostics.
@@ -130,7 +201,23 @@ class ExecContext {
   friend class FixedPointProgram;
   std::vector<std::vector<unsigned char>> slots_;  // indexed by plan slot id
   std::vector<unsigned char> scratch_;             // im2col pack buffer
+  std::vector<unsigned char> acc_scratch_;         // int64 accumulators for
+                                                   // fused instrs off the
+                                                   // fast kernel path
   std::vector<FpRegShape> regs_;                   // per-register run shapes
+};
+
+/// Fusion/scheduling statistics recorded by finalize() (all zero when fusion
+/// is disabled). Arena byte figures are the planner's nominal single-image
+/// estimate, also exported as engine.fusion.* gauges in tqt-observe.
+struct FuseStats {
+  int instrs_before = 0;
+  int instrs_after = 0;
+  int fused_matmuls = 0;       ///< matmul chains rewritten into fused kinds
+  int absorbed_instrs = 0;     ///< instructions folded into epilogues
+  int collapsed_requants = 0;  ///< standalone requant pairs merged exactly
+  int64_t arena_bytes_before = 0;
+  int64_t arena_bytes_after = 0;
 };
 
 /// Compiled integer program.
@@ -184,10 +271,19 @@ class FixedPointProgram {
   const ExecPlan& plan() const;
 
   int register_count() const { return n_registers; }
+  int input_reg() const { return input_register; }
   int output_reg() const { return output_register; }
 
   /// Total number of stored quantized parameters (weights + biases).
   int64_t parameter_count() const;
+
+  /// What the graph compiler did to this program at finalize time.
+  const FuseStats& fusion_stats() const { return fuse_stats_; }
+
+  /// Re-run the compile-time passes (fusion, scheduling, planning) under the
+  /// current fusion setting — lets the bench A/B one compiled program. Note
+  /// fusion is one-way: refinalizing a fused program cannot unfuse it.
+  void refinalize() { finalize(); }
 
   /// Serialize the program (instructions + quantized weights + scales) to a
   /// binary file — the artifact that would be shipped to the fixed-point
@@ -210,6 +306,7 @@ class FixedPointProgram {
   int input_register = -1;
   int output_register = -1;
   std::shared_ptr<const ExecPlan> plan_;
+  FuseStats fuse_stats_;
 };
 
 /// Compile a quantized inference graph (output of quantize_pass with

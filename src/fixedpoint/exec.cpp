@@ -46,6 +46,9 @@ const char* to_string(FpInstr::Kind k) {
     case FpInstr::Kind::kEltwiseAdd: return "eltwise_add";
     case FpInstr::Kind::kConcat: return "concat";
     case FpInstr::Kind::kFlatten: return "flatten";
+    case FpInstr::Kind::kConv2dFused: return "conv2d_fused";
+    case FpInstr::Kind::kDepthwiseFused: return "depthwise_fused";
+    case FpInstr::Kind::kDenseFused: return "dense_fused";
   }
   return "?";
 }
@@ -252,6 +255,45 @@ struct GemmShape {
   int64_t m = 0, n = 0, k = 0;
 };
 
+// ---- Fused instruction dispatch -------------------------------------------
+
+/// Which implementation a fused matmul retires through. Shared between the
+/// executor and run_into's accumulator-scratch sizing so the int64 buffer is
+/// allocated exactly when the generic fallback will need it.
+enum class FusedPath { kGemm8, kGemm16, kDepthwise8, kDepthwise16, kGeneric };
+
+FusedPath fused_path(const FpInstr& in, const ExecPlan& plan, size_t idx, IntWidth xw) {
+  const ExecPlan::Const& c = plan.consts[idx];
+  const fpk::KernelSet& ks = fpk::active_kernels();
+  // The narrow kernels accumulate in int32; without the plan's proof that
+  // the accumulator bound fits, the generic int64 path is the only safe one.
+  if (!c.acc_ok32 || c.width != IntWidth::kI8) return FusedPath::kGeneric;
+  if (base_kind_of(in.kind) == FpInstr::Kind::kDepthwise) {
+    if (xw == IntWidth::kI8 && ks.depthwise_s8_epi) return FusedPath::kDepthwise8;
+    if (xw == IntWidth::kI16 && ks.depthwise_s16_epi) return FusedPath::kDepthwise16;
+    return FusedPath::kGeneric;
+  }
+  if (xw == IntWidth::kI8 &&
+      ((ks.gemm_s8p16_epi && !c.b_pair16.empty()) || ks.gemm_s8_epi)) {
+    return FusedPath::kGemm8;
+  }
+  if (xw == IntWidth::kI16 && ks.gemm_s16p16_epi && !c.b_pair16.empty()) {
+    return FusedPath::kGemm16;
+  }
+  return FusedPath::kGeneric;
+}
+
+/// Generic epilogue retire: one parallel pass mapping the int64 accumulator
+/// buffer through the step list into the (narrow) output register. `channels`
+/// is the innermost output dimension (bias broadcast period).
+void apply_epi(const fpk::Epilogue& e, const int64_t* acc, int64_t yn, int64_t channels) {
+  parallel_for(0, yn, kElementGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      fpk::epi_store(e, i, fpk::epi_apply(e, acc[i], i % channels));
+    }
+  });
+}
+
 GemmShape conv_gemm_shape(const FpInstr& in, const FpRegShape& xs) {
   GemmShape s;
   s.m = xs.dims[0] * in.geom.out_h(xs.dims[1]) * in.geom.out_w(xs.dims[2]);
@@ -310,9 +352,9 @@ class Executor {
  public:
   Executor(const std::vector<FpInstr>& instrs, const ExecPlan& plan, const Tensor& input,
            std::vector<std::vector<unsigned char>>& slots, std::vector<unsigned char>& scratch,
-           const std::vector<FpRegShape>& shapes)
+           std::vector<unsigned char>& acc_scratch, const std::vector<FpRegShape>& shapes)
       : instrs_(instrs), plan_(plan), input_(input), slots_(slots), scratch_(scratch),
-        shapes_(shapes) {}
+        acc_scratch_(acc_scratch), shapes_(shapes) {}
 
   void run() {
     if (observe::trace_enabled()) {
@@ -350,10 +392,13 @@ class Executor {
       observe::TraceSpan span(to_string(in.kind), "engine");
       const char* xw = in.inputs.empty() ? "-" : to_string(reg_w(in.inputs[0]));
       const char* yw = to_string(reg_w(in.output));
-      const bool matmul = in.kind == FpInstr::Kind::kConv2d ||
-                          in.kind == FpInstr::Kind::kDepthwise ||
-                          in.kind == FpInstr::Kind::kDense;
-      if (matmul && (fast_matmul(in, idx) || fast_matmul16(in, idx))) {
+      const bool matmul = is_matmul_kind(in.kind);
+      const bool fast =
+          matmul &&
+          (is_fused_kind(in.kind)
+               ? fused_path(in, plan_, idx, reg_w(in.inputs[0])) != FusedPath::kGeneric
+               : fast_matmul(in, idx) || fast_matmul16(in, idx));
+      if (matmul && fast) {
         span.argf("%s %s->%s kernels=%s", in.debug_name.c_str(), xw, yw,
                   fpk::active_kernels().name);
       } else if (matmul) {
@@ -407,6 +452,32 @@ class Executor {
   void run_gemm16(size_t idx, const int16_t* a, int32_t* c, const GemmShape& gs) const {
     fpk::active_kernels().gemm_s16p16s32(a, plan_.consts[idx].b_pair16.data(), c, gs.m,
                                          gs.n, gs.k);
+  }
+
+  /// The epilogue bundle a fused instruction hands its kernel.
+  fpk::Epilogue make_epi(const FpInstr& in, size_t idx, void* y, IntWidth wy) const {
+    const ExecPlan::Const& pc = plan_.consts[idx];
+    fpk::Epilogue e;
+    e.steps = pc.epi.data();
+    e.n_steps = static_cast<int>(pc.epi.size());
+    e.bias = in.bias_data.empty() ? nullptr : in.bias_data.data();
+    e.y = y;
+    e.out_bytes = width_bytes(wy);
+    e.vec32 = pc.epi_vec32;
+    e.bias32 = pc.bias32.empty() ? nullptr : pc.bias32.data();
+    return e;
+  }
+
+  /// Fused GEMM through the active kernel set (packed-B entry preferred).
+  void run_gemm_epi(size_t idx, const int8_t* a, const GemmShape& gs,
+                    const fpk::Epilogue& e) const {
+    const fpk::KernelSet& ks = fpk::active_kernels();
+    const ExecPlan::Const& w = plan_.consts[idx];
+    if (ks.gemm_s8p16_epi && !w.b_pair16.empty()) {
+      ks.gemm_s8p16_epi(a, w.b_pair16.data(), gs.m, gs.n, gs.k, e);
+    } else {
+      ks.gemm_s8_epi(a, w.i8.data(), gs.m, gs.n, gs.k, e);
+    }
   }
 
   /// True for a 1x1 stride-1 unpadded conv: the NHWC activations are already
@@ -630,13 +701,111 @@ class Executor {
         break;
       }
       case FpInstr::Kind::kFlatten: {
-        // Bounds (hence width) pass through; a flatten is a pure copy into
-        // the output's slot under a new shape.
+        // Bounds (hence width) pass through; a flatten is a pure reshape.
+        // When the plan aliased the output onto the input's slot (the normal
+        // case), there is nothing to execute — the lanes are already there.
         const int x = in.inputs[0];
+        const int xs = plan_.regs[static_cast<size_t>(x)].slot;
+        const int ys = plan_.regs[static_cast<size_t>(in.output)].slot;
+        if (xs >= 0 && xs == ys && reg_w(x) == wy) break;
         if (reg_w(x) == wy) {
           std::memcpy(y, reg_ptr(x), static_cast<size_t>(yn) * width_bytes(wy));
         } else {
           map_lanes(reg_ptr(x), reg_w(x), y, wy, yn, [](int64_t v) { return v; });
+        }
+        break;
+      }
+      case FpInstr::Kind::kConv2dFused: {
+        const int x = in.inputs[0];
+        const fpk::Epilogue e = make_epi(in, idx, y, wy);
+        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
+        if (p == FusedPath::kGemm8) {
+          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
+          const int8_t* a;
+          if (is_pointwise(in)) {
+            a = static_cast<const int8_t*>(reg_ptr(x));
+          } else {
+            int8_t* packed = reinterpret_cast<int8_t*>(scratch_.data());
+            im2col_pack(in, static_cast<const int8_t*>(reg_ptr(x)), reg_shape(x), packed);
+            a = packed;
+          }
+          run_gemm_epi(idx, a, gs, e);
+        } else if (p == FusedPath::kGemm16) {
+          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
+          const int16_t* a;
+          if (is_pointwise(in)) {
+            a = static_cast<const int16_t*>(reg_ptr(x));
+          } else {
+            int16_t* packed = reinterpret_cast<int16_t*>(scratch_.data());
+            im2col_pack(in, static_cast<const int16_t*>(reg_ptr(x)), reg_shape(x), packed);
+            a = packed;
+          }
+          fpk::active_kernels().gemm_s16p16_epi(a, plan_.consts[idx].b_pair16.data(),
+                                                gs.m, gs.n, gs.k, e);
+        } else {
+          // Generic fallback: accumulate in int64 scratch (the reference
+          // semantics exactly), then retire through the same epilogue.
+          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
+          with_width(reg_w(x), [&](auto xt) {
+            conv_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), reg_shape(x),
+                         acc);
+          });
+          apply_epi(e, acc, yn, in.const_shape[3]);
+        }
+        break;
+      }
+      case FpInstr::Kind::kDepthwiseFused: {
+        const int x = in.inputs[0];
+        const FpRegShape& xs = reg_shape(x);
+        const fpk::Epilogue e = make_epi(in, idx, y, wy);
+        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
+        if (p == FusedPath::kDepthwise8 || p == FusedPath::kDepthwise16) {
+          fpk::DepthwiseArgs a;
+          a.batch = xs.dims[0];
+          a.h = xs.dims[1];
+          a.w = xs.dims[2];
+          a.c = xs.dims[3];
+          a.oh = in.geom.out_h(a.h);
+          a.ow = in.geom.out_w(a.w);
+          a.geom = in.geom;
+          if (p == FusedPath::kDepthwise8) {
+            fpk::active_kernels().depthwise_s8_epi(static_cast<const int8_t*>(reg_ptr(x)),
+                                                   plan_.consts[idx].i8.data(), a, e);
+          } else {
+            fpk::active_kernels().depthwise_s16_epi(
+                static_cast<const int16_t*>(reg_ptr(x)), plan_.consts[idx].i8.data(), a,
+                e);
+          }
+        } else {
+          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
+          with_width(reg_w(x), [&](auto xt) {
+            depthwise_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs, acc);
+          });
+          apply_epi(e, acc, yn, xs.dims[3]);
+        }
+        break;
+      }
+      case FpInstr::Kind::kDenseFused: {
+        const int x = in.inputs[0];
+        const FpRegShape& xs = reg_shape(x);
+        const fpk::Epilogue e = make_epi(in, idx, y, wy);
+        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
+        GemmShape gs;
+        gs.m = xs.dims[0];
+        gs.n = in.const_shape[1];
+        gs.k = xs.dims[1];
+        if (p == FusedPath::kGemm8) {
+          run_gemm_epi(idx, static_cast<const int8_t*>(reg_ptr(x)), gs, e);
+        } else if (p == FusedPath::kGemm16) {
+          fpk::active_kernels().gemm_s16p16_epi(static_cast<const int16_t*>(reg_ptr(x)),
+                                                plan_.consts[idx].b_pair16.data(), gs.m,
+                                                gs.n, gs.k, e);
+        } else {
+          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
+          with_width(reg_w(x), [&](auto xt) {
+            dense_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs, acc);
+          });
+          apply_epi(e, acc, yn, gs.n);
         }
         break;
       }
@@ -648,13 +817,15 @@ class Executor {
   const Tensor& input_;
   std::vector<std::vector<unsigned char>>& slots_;
   std::vector<unsigned char>& scratch_;
+  std::vector<unsigned char>& acc_scratch_;
   const std::vector<FpRegShape>& shapes_;
 };
 
 }  // namespace
 
 int64_t ExecContext::arena_bytes() const {
-  int64_t b = static_cast<int64_t>(scratch_.capacity());
+  int64_t b = static_cast<int64_t>(scratch_.capacity()) +
+              static_cast<int64_t>(acc_scratch_.capacity());
   for (const auto& s : slots_) b += static_cast<int64_t>(s.capacity());
   return b;
 }
@@ -698,7 +869,7 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
     size_t need = 0;
     for (size_t idx = 0; idx < instrs_.size(); ++idx) {
       const FpInstr& in = instrs_[idx];
-      if (in.kind != FpInstr::Kind::kConv2d) continue;
+      if (base_kind_of(in.kind) != FpInstr::Kind::kConv2d) continue;
       if (plan.consts[idx].width != IntWidth::kI8) continue;
       const GemmShape gs = conv_gemm_shape(in, ctx.regs_[static_cast<size_t>(in.inputs[0])]);
       const int xw = width_bytes(plan.regs[static_cast<size_t>(in.inputs[0])].width);
@@ -707,8 +878,27 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
     }
     if (ctx.scratch_.size() < need) ctx.scratch_.resize(need);
   }
+  // int64 accumulator buffer, sized only for fused instructions that will
+  // take the generic fallback this run (re-checked per run because the
+  // active kernel set can change between runs; grow-only like everything
+  // else).
+  {
+    size_t need = 0;
+    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
+      const FpInstr& in = instrs_[idx];
+      if (!is_fused_kind(in.kind)) continue;
+      if (fused_path(in, plan, idx, plan.regs[static_cast<size_t>(in.inputs[0])].width) !=
+          FusedPath::kGeneric) {
+        continue;
+      }
+      need = std::max(need,
+                      static_cast<size_t>(ctx.regs_[static_cast<size_t>(in.output)].numel) *
+                          sizeof(int64_t));
+    }
+    if (ctx.acc_scratch_.size() < need) ctx.acc_scratch_.resize(need);
+  }
 
-  Executor ex(instrs_, plan, input, ctx.slots_, ctx.scratch_, ctx.regs_);
+  Executor ex(instrs_, plan, input, ctx.slots_, ctx.scratch_, ctx.acc_scratch_, ctx.regs_);
   ex.run();
 
   // De-quantize the output register into `out`, resizing only on shape change.

@@ -1,0 +1,57 @@
+// Graph compiler for the typed fixed-point engine: instruction fusion and
+// memory-aware scheduling, run between program construction and planning
+// (FixedPointProgram::finalize).
+//
+//  * fuse_program (fuse.cpp) rewrites matmul -> requant / bias / activation
+//    chains into single fused instructions whose epilogue retires the int32
+//    accumulator tile in registers, collapses exactly-composable standalone
+//    requant pairs, merges flatten-of-flatten, and sweeps dead code.
+//  * schedule_program (schedule.cpp) reorders instructions to minimize
+//    liveness overlap so the planner's linear-scan pass needs fewer / smaller
+//    arena slots. Deterministic and idempotent: decisions depend only on the
+//    data-dependence DAG, never on the incoming instruction order, so
+//    re-finalizing a saved program reproduces the saved schedule exactly.
+//
+// Both passes preserve bit-exact results: fusion replays the absorbed
+// instructions per accumulator lane in their original order, and scheduling
+// only permutes instructions within data-dependence constraints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixedpoint/engine.h"
+
+namespace tqt {
+
+/// Whether finalize() runs the fusion + scheduling pipeline. Resolution
+/// order: set_fusion_enabled() override, then the TQT_FUSE environment
+/// variable ("0" disables), then on.
+bool fusion_enabled();
+
+/// Override the fusion gate: 1 = on, 0 = off, -1 = automatic (TQT_FUSE env,
+/// default on). Affects subsequent compile/load/refinalize calls only.
+void set_fusion_enabled(int mode);
+
+/// Rewrite `instrs` in place: fuse matmul epilogue chains, collapse
+/// zero-net-shift requant pairs, merge redundant flattens, drop dead
+/// instructions. Fills every FuseStats field except the arena byte figures
+/// (finalize records those around the scheduling step).
+FuseStats fuse_program(std::vector<FpInstr>& instrs, int n_registers,
+                       int input_register, int output_register);
+
+/// Return a data-dependence-respecting reorder of `instrs` chosen to shrink
+/// peak register liveness (greedy list scheduling, frees-minus-allocates
+/// score, ties broken on the smallest output register id).
+std::vector<FpInstr> schedule_program(const std::vector<FpInstr>& instrs,
+                                      int n_registers, int input_register,
+                                      int output_register);
+
+/// Planner's nominal single-image arena footprint of an instruction order:
+/// build the exec plan, size every slot at its widest resident register
+/// under a nominal input shape derived from the first matmul's weights, and
+/// sum. Used to accept/reject schedules and reported as engine.fusion.*.
+int64_t estimate_arena_bytes(const std::vector<FpInstr>& instrs, int n_registers,
+                             int input_register, int output_register);
+
+}  // namespace tqt

@@ -70,6 +70,85 @@ void depthwise_s8_scalar(const int8_t* x, const int8_t* w, int32_t* y,
   });
 }
 
+// Fused GEMM: accumulate a column block of one row into a stack tile, then
+// retire it through the epilogue — the int32 accumulators never reach memory.
+// Column blocks are independent, so chunking handles any N without heap
+// buffers; re-reading A per block costs less than the arena passes it saves.
+constexpr int64_t kNBlock = 256;
+
+void gemm_s8_epi_scalar(const int8_t* A, const int8_t* B, int64_t M, int64_t N,
+                        int64_t K, const Epilogue& e) {
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    int32_t buf[kNBlock];
+    for (int64_t i = m0; i < m1; ++i) {
+      const int8_t* a = A + i * K;
+      for (int64_t j0 = 0; j0 < N; j0 += kNBlock) {
+        const int64_t jn = std::min(kNBlock, N - j0);
+        std::memset(buf, 0, static_cast<size_t>(jn) * sizeof(int32_t));
+        for (int64_t k = 0; k < K; ++k) {
+          const int32_t av = a[k];
+          if (av == 0) continue;
+          const int8_t* b = B + k * N + j0;
+          for (int64_t j = 0; j < jn; ++j) buf[j] += av * b[j];
+        }
+        for (int64_t j = 0; j < jn; ++j) {
+          epi_store(e, i * N + j0 + j, epi_apply(e, buf[j], j0 + j));
+        }
+      }
+    }
+  });
+}
+
+template <typename XT>
+void depthwise_epi_scalar(const XT* x, const int8_t* w, const DepthwiseArgs& a,
+                          const Epilogue& e) {
+  const Conv2dGeom& g = a.geom;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * g.kh * g.kw * a.c * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    int32_t buf[kNBlock];
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      for (int64_t ox = 0; ox < a.ow; ++ox) {
+        const int64_t out_base = (r * a.ow + ox) * a.c;
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t c0 = 0; c0 < a.c; c0 += kNBlock) {
+          const int64_t cn = std::min(kNBlock, a.c - c0);
+          std::memset(buf, 0, static_cast<size_t>(cn) * sizeof(int32_t));
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= a.h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= a.w) continue;
+              const XT* xi = x + ((b * a.h + iy) * a.w + ix) * a.c + c0;
+              const int8_t* wk = w + (ky * g.kw + kx) * a.c + c0;
+              for (int64_t ch = 0; ch < cn; ++ch) {
+                buf[ch] += static_cast<int32_t>(xi[ch]) * wk[ch];
+              }
+            }
+          }
+          for (int64_t ch = 0; ch < cn; ++ch) {
+            epi_store(e, out_base + c0 + ch, epi_apply(e, buf[ch], c0 + ch));
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_s8_epi_scalar(const int8_t* x, const int8_t* w, const DepthwiseArgs& a,
+                             const Epilogue& e) {
+  depthwise_epi_scalar(x, w, a, e);
+}
+
+void depthwise_s16_epi_scalar(const int16_t* x, const int8_t* w, const DepthwiseArgs& a,
+                              const Epilogue& e) {
+  depthwise_epi_scalar(x, w, a, e);
+}
+
 const KernelSet* g_forced = nullptr;
 
 }  // namespace
@@ -108,7 +187,16 @@ const KernelSet* pick_from_env() {
 }  // namespace
 
 const KernelSet& scalar_kernels() {
-  static const KernelSet ks{"scalar", gemm_s8_scalar, depthwise_s8_scalar};
+  static const KernelSet ks{"scalar",
+                            gemm_s8_scalar,
+                            depthwise_s8_scalar,
+                            nullptr,
+                            nullptr,
+                            gemm_s8_epi_scalar,
+                            nullptr,
+                            nullptr,
+                            depthwise_s8_epi_scalar,
+                            depthwise_s16_epi_scalar};
   return ks;
 }
 

@@ -17,12 +17,80 @@
 // set_active_kernels() override for tests and benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "fixedpoint/rescale.h"
 #include "tensor/ops.h"
 
 namespace tqt::fpk {
+
+// ---- Fused epilogue -------------------------------------------------------
+// The graph compiler (fuse.cpp) folds requant / bias-add / activation chains
+// into the matmul instruction; the plan lowers them to this step list (shifts
+// resolved from the static exponent replay). Fused kernels run the steps on
+// each accumulator lane while it is still in registers, then store once at
+// the output's narrow width — bit-identical to executing the absorbed
+// instructions one arena pass at a time, because each step IS that
+// instruction's per-lane function (shared fp::rescale / fp::saturate).
+
+/// One lowered epilogue step. `op` matches FpInstr::EpiOp.
+struct EpiStep {
+  int op = 0;
+  int shift = 0;          ///< requant: target_exp - incoming_exp
+  int64_t lo = 0, hi = 0; ///< requant / clamp saturation bounds
+  int64_t alpha_q = 0;    ///< leaky multiplier
+  int lift = 0;           ///< leaky: -alpha_exponent
+};
+
+/// Everything a fused kernel needs to retire one accumulator tile: the step
+/// list, the absorbed per-channel bias (int64 lanes, null when none), and the
+/// destination buffer + element width. `channel` in epi_apply is the output
+/// column (conv/dense GEMM) or the channel index (depthwise).
+struct Epilogue {
+  const EpiStep* steps = nullptr;
+  int n_steps = 0;
+  const int64_t* bias = nullptr;
+  void* y = nullptr;
+  int out_bytes = 4;  ///< 1 | 2 | 4 | 8
+  /// True when the plan proved every intermediate step value fits int32
+  /// (and every shift stays under 31): SIMD kernels may then run the steps
+  /// in 32-bit lanes — bit-identical to epi_apply because the rounding
+  /// adjustment never widens past the value domain. When set and a bias
+  /// step exists, `bias32` points at an int32 copy of the bias with 8 lanes
+  /// of zero slack for unmasked vector loads.
+  bool vec32 = false;
+  const int32_t* bias32 = nullptr;
+};
+
+/// Run the epilogue on one int64 accumulator lane. All arithmetic is int64 —
+/// the same internal width the unfused elementwise instructions use — so the
+/// result is exact regardless of the accumulator's storage width.
+inline int64_t epi_apply(const Epilogue& e, int64_t v, int64_t channel) {
+  for (int s = 0; s < e.n_steps; ++s) {
+    const EpiStep& st = e.steps[s];
+    switch (st.op) {
+      case 0: v = fp::saturate(fp::rescale(v, 0, st.shift), st.lo, st.hi); break;
+      case 1: v += e.bias[channel]; break;
+      case 2: v = v > 0 ? v : 0; break;
+      case 3: v = fp::saturate(v, st.lo, st.hi); break;
+      case 4: v = std::max(v << st.lift, v * st.alpha_q); break;
+    }
+  }
+  return v;
+}
+
+/// Store one epilogue result at the output's planned width. The plan's value
+/// bounds make the narrowing cast lossless.
+inline void epi_store(const Epilogue& e, int64_t idx, int64_t v) {
+  switch (e.out_bytes) {
+    case 1: static_cast<int8_t*>(e.y)[idx] = static_cast<int8_t>(v); break;
+    case 2: static_cast<int16_t*>(e.y)[idx] = static_cast<int16_t>(v); break;
+    case 4: static_cast<int32_t*>(e.y)[idx] = static_cast<int32_t>(v); break;
+    default: static_cast<int64_t*>(e.y)[idx] = v; break;
+  }
+}
 
 /// C[M,N] (int32, caller-zeroed) += A[M,K] * B[K,N]; all row-major int8.
 using GemmS8Fn = void (*)(const int8_t* A, const int8_t* B, int32_t* C, int64_t M,
@@ -70,6 +138,37 @@ struct DepthwiseArgs {
 using DepthwiseS8Fn = void (*)(const int8_t* x, const int8_t* w, int32_t* y,
                                const DepthwiseArgs& a);
 
+// ---- Fused (epilogue-retiring) variants -----------------------------------
+// Accumulation is bit-identical to the raw counterparts (same loop bodies
+// behind a store policy); the int32 accumulator tile never reaches memory —
+// it passes through epi_apply and stores narrow into e.y ([M, N] row-major at
+// e.out_bytes). The plan guarantees the accumulator bound fits int32 before
+// dispatching here.
+
+/// Fused raw-B GEMM (scalar set): epilogue per column block, C never built.
+using GemmS8EpiFn = void (*)(const int8_t* A, const int8_t* B, int64_t M, int64_t N,
+                             int64_t K, const Epilogue& e);
+
+/// Fused packed-B GEMM (pack_b_pair16 layout, 32-byte A slack — same operand
+/// contract as GemmS8P16Fn).
+using GemmS8P16EpiFn = void (*)(const int8_t* A, const int16_t* Bp, int64_t M,
+                                int64_t N, int64_t K, const Epilogue& e);
+
+/// int16-activation variant of the fused packed-B GEMM.
+using GemmS16P16EpiFn = void (*)(const int16_t* A, const int16_t* Bp, int64_t M,
+                                 int64_t N, int64_t K, const Epilogue& e);
+
+/// Fused depthwise: per-pixel channel tile through the epilogue.
+using DepthwiseS8EpiFn = void (*)(const int8_t* x, const int8_t* w,
+                                  const DepthwiseArgs& a, const Epilogue& e);
+
+/// int16-activation variant of the fused depthwise. The plan keeps many
+/// activation registers at int16 — e.g. unsigned [0, 255] quantizer ranges
+/// that a signed int8 cannot hold — so without this entry point every fused
+/// depthwise fed by such a register would fall to the generic int64 walk.
+using DepthwiseS16EpiFn = void (*)(const int16_t* x, const int8_t* w,
+                                   const DepthwiseArgs& a, const Epilogue& e);
+
 struct KernelSet {
   const char* name = "?";
   GemmS8Fn gemm_s8s8s32 = nullptr;
@@ -79,6 +178,13 @@ struct KernelSet {
   GemmS8P16Fn gemm_s8p16s32 = nullptr;
   /// Optional int16-activation variant of the packed-B GEMM.
   GemmS16P16Fn gemm_s16p16s32 = nullptr;
+  /// Fused variants; any null entry sends that shape to the executor's
+  /// generic int64-accumulator fallback.
+  GemmS8EpiFn gemm_s8_epi = nullptr;
+  GemmS8P16EpiFn gemm_s8p16_epi = nullptr;
+  GemmS16P16EpiFn gemm_s16p16_epi = nullptr;
+  DepthwiseS8EpiFn depthwise_s8_epi = nullptr;
+  DepthwiseS16EpiFn depthwise_s16_epi = nullptr;
 };
 
 /// Portable cache-blocked scalar kernels (always available).

@@ -1,13 +1,15 @@
 #include "fixedpoint/plan.h"
 
 #include <algorithm>
-
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
+#include "fixedpoint/fuse.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/rescale.h"
+#include "observe/observe.h"
 
 namespace tqt {
 
@@ -87,6 +89,57 @@ struct Interval {
   int64_t abs_max() const { return std::max(lo < 0 ? sat_mul(lo, -1) : lo, hi); }
 };
 
+/// Weight columns of a matmul-family constant (the per-output-channel count
+/// max_abs_col_sum folds over): (k, m) dense, (kh, kw, cin, cout) conv,
+/// (kh, kw, c) depthwise.
+int64_t weight_cols(const FpInstr& in) {
+  return base_kind_of(in.kind) == FpInstr::Kind::kDense ? in.const_shape[1]
+                                                        : in.const_shape.back();
+}
+
+/// Replay a fused instruction's epilogue over the accumulator interval,
+/// exactly mirroring what each absorbed instruction's interval rule would
+/// have produced. Also yields the final exponent.
+Interval replay_epi_interval(const FpInstr& in, Interval acc, int acc_exp, int* out_exp) {
+  int64_t bmin = 0, bmax = 0;
+  if (!in.bias_data.empty()) {
+    const auto [mn, mx] = std::minmax_element(in.bias_data.begin(), in.bias_data.end());
+    bmin = *mn;
+    bmax = *mx;
+  }
+  Interval cur = acc;
+  int e = acc_exp;
+  for (int s = 0; s < epi_step_count(in); ++s) {
+    const FpEpiStep stp = epi_step(in, s);
+    switch (static_cast<FpInstr::EpiOp>(stp.op)) {
+      case FpInstr::EpiOp::kRequant:
+        cur = {stp.b, stp.c};
+        e = static_cast<int>(stp.a);
+        break;
+      case FpInstr::EpiOp::kBias:
+        cur = {sat_add(cur.lo, bmin), sat_add(cur.hi, bmax)};
+        break;
+      case FpInstr::EpiOp::kRelu:
+        cur = {std::max<int64_t>(cur.lo, 0), std::max<int64_t>(cur.hi, 0)};
+        break;
+      case FpInstr::EpiOp::kClamp:
+        cur = {fp::saturate(cur.lo, stp.b, stp.c), fp::saturate(cur.hi, stp.b, stp.c)};
+        break;
+      case FpInstr::EpiOp::kLeaky: {
+        const int lift = static_cast<int>(-stp.a);
+        auto f = [&](int64_t x) {
+          return std::max(sat_shl(x, lift), sat_mul(x, stp.b));
+        };
+        cur = {f(cur.lo), f(cur.hi)};
+        e += static_cast<int>(stp.a);
+        break;
+      }
+    }
+  }
+  if (out_exp) *out_exp = e;
+  return cur;
+}
+
 }  // namespace
 
 ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
@@ -111,6 +164,14 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
     const FpInstr& in = instrs[idx];
     Interval out;
     IntWidth min_width = IntWidth::kI8;
+    // Matmul-family accumulator bound max_o(sum_k |w[k][o]|) * max|x|; stays
+    // 0 for other kinds. For fused kinds this bounds the PRE-epilogue value
+    // and certifies int32 in-register accumulation (acc_ok32 below).
+    int64_t acc_bound = 0;
+    if (is_matmul_kind(in.kind)) {
+      acc_bound =
+          sat_mul(max_abs_col_sum(in.const_data, weight_cols(in)), in_iv(in, 0).abs_max());
+    }
     switch (in.kind) {
       case FpInstr::Kind::kQuantizeInput:
       case FpInstr::Kind::kRequant:
@@ -119,16 +180,20 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
       case FpInstr::Kind::kConv2d:
       case FpInstr::Kind::kDense:
       case FpInstr::Kind::kDepthwise: {
-        const int64_t cols = in.kind == FpInstr::Kind::kDense
-                                 ? in.const_shape[1]
-                                 : in.const_shape.back();
-        const int64_t wsum = max_abs_col_sum(in.const_data, cols);
-        const int64_t bound = sat_mul(wsum, in_iv(in, 0).abs_max());
-        out = {sat_mul(bound, -1), bound};
+        out = {sat_mul(acc_bound, -1), acc_bound};
         // Accumulate natively in the GEMM kernels' int32 (or int64).
         min_width = IntWidth::kI32;
         break;
       }
+      case FpInstr::Kind::kConv2dFused:
+      case FpInstr::Kind::kDepthwiseFused:
+      case FpInstr::Kind::kDenseFused:
+        // The register holds the POST-epilogue value (the accumulator never
+        // reaches memory), so no int32 floor applies — fused conv outputs
+        // typically plan at int8.
+        out = replay_epi_interval(in, {sat_mul(acc_bound, -1), acc_bound},
+                                  /*acc_exp=*/0, nullptr);
+        break;
       case FpInstr::Kind::kBiasAdd: {
         int64_t bmin = 0, bmax = 0;
         if (!in.const_data.empty()) {
@@ -188,6 +253,11 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
       case FpInstr::Kind::kDepthwise:
         out_exp = in_exp(in) + in.const_exponent;
         break;
+      case FpInstr::Kind::kConv2dFused:
+      case FpInstr::Kind::kDepthwiseFused:
+      case FpInstr::Kind::kDenseFused:
+        replay_epi_interval(in, {}, in_exp(in) + in.const_exponent, &out_exp);
+        break;
       case FpInstr::Kind::kLeakyRelu:
         out_exp = in_exp(in) + in.alpha_exponent;
         break;
@@ -203,11 +273,11 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
     reg.exponent = out_exp;
     reg.width = widen_to(width_for_bounds(out.lo, out.hi), min_width);
 
-    if (in.kind == FpInstr::Kind::kConv2d) plan.needs_scratch = true;
+    if (base_kind_of(in.kind) == FpInstr::Kind::kConv2d) plan.needs_scratch = true;
 
     // ---- Typed weight constants for the matmul family ------------------
-    if (in.kind == FpInstr::Kind::kConv2d || in.kind == FpInstr::Kind::kDense ||
-        in.kind == FpInstr::Kind::kDepthwise) {
+    if (is_matmul_kind(in.kind)) {
+      const FpInstr::Kind base = base_kind_of(in.kind);
       int64_t wmin = 0, wmax = 0;
       if (!in.const_data.empty()) {
         const auto [mn, mx] = std::minmax_element(in.const_data.begin(), in.const_data.end());
@@ -221,8 +291,8 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
           c.i8.assign(in.const_data.begin(), in.const_data.end());
           // Conv/dense weights are the GEMM B operand; pre-pack the
           // k-pair-interleaved int16 copy the vpmaddwd kernels consume.
-          if (in.kind != FpInstr::Kind::kDepthwise) {
-            const int64_t n = in.const_shape[in.kind == FpInstr::Kind::kDense ? 1 : 3];
+          if (base != FpInstr::Kind::kDepthwise) {
+            const int64_t n = in.const_shape[base == FpInstr::Kind::kDense ? 1 : 3];
             if (n > 0) {
               c.b_pair16 = fpk::pack_b_pair16(
                   c.i8.data(), static_cast<int64_t>(c.i8.size()) / n, n);
@@ -238,46 +308,300 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
         case IntWidth::kI64:
           break;  // read from instr.const_data directly
       }
+
+      // ---- Lower the fused epilogue to executable steps ----------------
+      // Requant shifts resolve against the static exponent replay, exactly
+      // as the standalone requant executor computes them at run time.
+      if (is_fused_kind(in.kind)) {
+        c.acc_ok32 = acc_bound <= std::numeric_limits<int32_t>::max();
+        int e = in_exp(in) + in.const_exponent;
+        for (int s = 0; s < epi_step_count(in); ++s) {
+          const FpEpiStep stp = epi_step(in, s);
+          fpk::EpiStep es;
+          es.op = static_cast<int>(stp.op);
+          switch (static_cast<FpInstr::EpiOp>(stp.op)) {
+            case FpInstr::EpiOp::kRequant:
+              es.shift = static_cast<int>(stp.a) - e;
+              es.lo = stp.b;
+              es.hi = stp.c;
+              e = static_cast<int>(stp.a);
+              break;
+            case FpInstr::EpiOp::kClamp:
+              es.lo = stp.b;
+              es.hi = stp.c;
+              break;
+            case FpInstr::EpiOp::kLeaky: {
+              // Reduce (alpha_q, lift) by their common power-of-two factor
+              // 2^t when a later requant absorbs it. Both branches of
+              // max(x << lift, x * alpha_q) are multiples of 2^t, so the
+              // reduced step yields exactly value / 2^t; a relu in between
+              // commutes with the scaling, and the requant's
+              // round-half-to-even shift (shrunk by t through the exponent
+              // replay) sees identical quotient, remainder comparison and
+              // parity — so the final stored values are bit-identical.
+              // Without the reduction, lifts like 17 on an int16-range input
+              // blow the int32 proof and push the whole chain to the scalar
+              // epilogue.
+              int lift = static_cast<int>(-stp.a);
+              const int64_t aq = stp.b;
+              int t = lift;
+              if (aq != 0) {
+                t = 0;
+                while (t < lift && ((aq >> t) & 1) == 0) ++t;
+              }
+              if (t > 0) {
+                bool absorbed = false;
+                for (int s2 = s + 1; s2 < epi_step_count(in); ++s2) {
+                  const auto op2 = static_cast<FpInstr::EpiOp>(epi_step(in, s2).op);
+                  if (op2 == FpInstr::EpiOp::kRelu) continue;
+                  absorbed = op2 == FpInstr::EpiOp::kRequant;
+                  break;
+                }
+                if (!absorbed) t = 0;
+              }
+              es.lift = lift - t;
+              es.alpha_q = aq >> t;
+              e += static_cast<int>(stp.a) + t;
+              break;
+            }
+            case FpInstr::EpiOp::kBias:
+            case FpInstr::EpiOp::kRelu:
+              break;
+          }
+          c.epi.push_back(es);
+        }
+
+        // ---- Compose clamp-family steps ---------------------------------
+        // A relu (= clamp to [0, +inf)) or clamp directly after a requant or
+        // another clamp folds into the earlier step's saturation bounds:
+        // clamp(clamp(x, l1, h1), l2, h2) == clamp(x, clamp(l1, l2, h2),
+        // clamp(h1, l2, h2)) for every x (both sides are nondecreasing,
+        // piecewise-identity, with the same range). The retire loop then runs
+        // one fewer per-lane step — the requant's existing min/max absorbs
+        // the activation for free.
+        {
+          size_t w = 0;
+          for (size_t r = 0; r < c.epi.size(); ++r) {
+            const auto op = static_cast<FpInstr::EpiOp>(c.epi[r].op);
+            if (w > 0 &&
+                (op == FpInstr::EpiOp::kRelu || op == FpInstr::EpiOp::kClamp)) {
+              fpk::EpiStep& prev = c.epi[w - 1];
+              const auto pop = static_cast<FpInstr::EpiOp>(prev.op);
+              if (pop == FpInstr::EpiOp::kRequant ||
+                  pop == FpInstr::EpiOp::kClamp) {
+                const int64_t l2 = op == FpInstr::EpiOp::kRelu ? 0 : c.epi[r].lo;
+                const int64_t h2 = op == FpInstr::EpiOp::kRelu
+                                       ? std::numeric_limits<int64_t>::max()
+                                       : c.epi[r].hi;
+                prev.lo = fp::saturate(prev.lo, l2, h2);
+                prev.hi = fp::saturate(prev.hi, l2, h2);
+                continue;
+              }
+            }
+            c.epi[w++] = c.epi[r];
+          }
+          c.epi.resize(w);
+        }
+
+        // ---- Prove the epilogue int32-safe for SIMD lanes --------------
+        // Replay the value interval through the LOWERED steps: if every
+        // intermediate (bias sums, pre-clamp left shifts, leaky branches)
+        // provably fits int32 and every shift stays under 31 bits, the
+        // vector kernels can run the whole step list in 32-bit lanes and
+        // stay bit-identical to the int64 epi_apply.
+        constexpr int64_t kI32Lo = std::numeric_limits<int32_t>::min();
+        constexpr int64_t kI32Hi = std::numeric_limits<int32_t>::max();
+        const auto fits32 = [&](int64_t lo, int64_t hi) {
+          return lo >= kI32Lo && hi <= kI32Hi;
+        };
+        bool vec32 = c.acc_ok32;
+        Interval cur{sat_mul(acc_bound, -1), acc_bound};
+        int64_t bmin = 0, bmax = 0;
+        if (!in.bias_data.empty()) {
+          const auto [mn, mx] =
+              std::minmax_element(in.bias_data.begin(), in.bias_data.end());
+          bmin = *mn;
+          bmax = *mx;
+        }
+        for (const fpk::EpiStep& es : c.epi) {
+          switch (static_cast<FpInstr::EpiOp>(es.op)) {
+            case FpInstr::EpiOp::kRequant:
+              vec32 = vec32 && es.shift > -31 && es.shift < 31;
+              if (es.shift < 0) {
+                vec32 = vec32 && fits32(sat_shl(cur.lo, -es.shift),
+                                        sat_shl(cur.hi, -es.shift));
+              } else if (es.shift > 0) {
+                // The vector kernels round via v + (half - 1 + floor-LSB),
+                // then one arithmetic shift — the sum needs v + half of
+                // int32 headroom.
+                vec32 = vec32 &&
+                        fits32(cur.lo, sat_add(cur.hi, int64_t{1}
+                                                           << (es.shift - 1)));
+              }
+              cur = {es.lo, es.hi};
+              break;
+            case FpInstr::EpiOp::kBias:
+              vec32 = vec32 && fits32(bmin, bmax);
+              cur = {sat_add(cur.lo, bmin), sat_add(cur.hi, bmax)};
+              break;
+            case FpInstr::EpiOp::kRelu:
+              cur = {std::max<int64_t>(cur.lo, 0), std::max<int64_t>(cur.hi, 0)};
+              break;
+            case FpInstr::EpiOp::kClamp:
+              cur = {fp::saturate(cur.lo, es.lo, es.hi),
+                     fp::saturate(cur.hi, es.lo, es.hi)};
+              break;
+            case FpInstr::EpiOp::kLeaky: {
+              vec32 = vec32 && es.lift < 31 && fits32(es.alpha_q, es.alpha_q) &&
+                      fits32(sat_shl(cur.lo, es.lift), sat_shl(cur.hi, es.lift)) &&
+                      fits32(std::min(sat_mul(cur.lo, es.alpha_q),
+                                      sat_mul(cur.hi, es.alpha_q)),
+                             std::max(sat_mul(cur.lo, es.alpha_q),
+                                      sat_mul(cur.hi, es.alpha_q)));
+              const auto f = [&](int64_t x) {
+                return std::max(sat_shl(x, es.lift), sat_mul(x, es.alpha_q));
+              };
+              cur = {f(cur.lo), f(cur.hi)};
+              break;
+            }
+          }
+          vec32 = vec32 && fits32(cur.lo, cur.hi);
+        }
+        c.epi_vec32 = vec32;
+        if (vec32 && !in.bias_data.empty()) {
+          c.bias32.assign(in.bias_data.begin(), in.bias_data.end());
+          c.bias32.resize(in.bias_data.size() + 8, 0);  // vector-load slack
+        }
+      }
     }
   }
 
   // ---- Pass 2: liveness -> arena slots ---------------------------------
+  // A flatten is a pure reshape — identical lanes, width, bounds and
+  // exponent — so its output ALIASES the producer's storage instead of
+  // getting a slot of its own, and the executor copies nothing. Liveness is
+  // tracked per alias family root: the shared slot frees only once the last
+  // reader of ANY alias has run.
+  //
+  // Slot selection is best-fit under nominal register sizes: arena cost is
+  // the sum of per-slot high-water marks, so a freed big slot should absorb
+  // later big registers (reuse under the mark is free) while small values
+  // pack into small slots instead of inflating a large one's neighbour.
+  std::vector<int> root(static_cast<size_t>(n_registers));
+  std::iota(root.begin(), root.end(), 0);
+  for (const FpInstr& in : instrs) {
+    if (in.kind == FpInstr::Kind::kFlatten && !in.inputs.empty() &&
+        in.inputs[0] != input_register) {
+      root[static_cast<size_t>(in.output)] = root[static_cast<size_t>(in.inputs[0])];
+    }
+  }
+
   std::vector<int> last_use(static_cast<size_t>(n_registers), -1);
   for (size_t idx = 0; idx < instrs.size(); ++idx) {
-    for (int r : instrs[idx].inputs) last_use[static_cast<size_t>(r)] = static_cast<int>(idx);
+    for (int r : instrs[idx].inputs) {
+      last_use[static_cast<size_t>(root[static_cast<size_t>(r)])] = static_cast<int>(idx);
+    }
   }
   if (output_register >= 0) {
-    last_use[static_cast<size_t>(output_register)] =
+    last_use[static_cast<size_t>(root[static_cast<size_t>(output_register)])] =
         static_cast<int>(instrs.size());  // live past the end
   }
 
+  std::vector<int64_t> nominal(static_cast<size_t>(n_registers), 0);
+  {
+    std::vector<FpRegShape> shapes;
+    infer_register_shapes(instrs, n_registers, input_register,
+                          fp_nominal_input_shape(instrs), shapes);
+    for (int r = 0; r < n_registers; ++r) {
+      nominal[static_cast<size_t>(r)] =
+          shapes[static_cast<size_t>(r)].numel *
+          width_bytes(plan.regs[static_cast<size_t>(r)].width);
+    }
+  }
+
   std::vector<int> free_slots;
+  std::vector<int64_t> slot_hw;  // high-water nominal bytes per slot
   for (size_t idx = 0; idx < instrs.size(); ++idx) {
     const FpInstr& in = instrs[idx];
-    // Assign the output a slot no live register holds (an instruction's
-    // output must never alias an input it is still reading).
     ExecPlan::Reg& reg = plan.regs[static_cast<size_t>(in.output)];
-    if (free_slots.empty()) {
+    const int out_root = root[static_cast<size_t>(in.output)];
+    const int64_t need = nominal[static_cast<size_t>(in.output)];
+    if (out_root != in.output) {
+      // Aliased flatten: share the family root's slot, allocate nothing.
+      reg.slot = plan.regs[static_cast<size_t>(out_root)].slot;
+    } else if (free_slots.empty()) {
+      // Assign the output a slot no live register holds (an instruction's
+      // output must never alias an input it is still reading).
       reg.slot = plan.n_slots++;
+      slot_hw.push_back(need);
     } else {
-      reg.slot = free_slots.back();
-      free_slots.pop_back();
+      // Best fit: the tightest free slot that already holds the value, else
+      // the biggest free slot (smallest growth). Keys only on sizes and slot
+      // ids, so packing is a pure function of the instruction stream.
+      size_t pick = 0;
+      bool pick_fits = false;
+      for (size_t f = 0; f < free_slots.size(); ++f) {
+        const int64_t hw = slot_hw[static_cast<size_t>(free_slots[f])];
+        const bool fits = hw >= need;
+        bool better;
+        if (f == 0) {
+          better = true;
+        } else if (fits != pick_fits) {
+          better = fits;
+        } else {
+          const int64_t ph = slot_hw[static_cast<size_t>(free_slots[pick])];
+          better = fits ? (hw < ph || (hw == ph && free_slots[f] < free_slots[pick]))
+                        : (hw > ph || (hw == ph && free_slots[f] < free_slots[pick]));
+        }
+        if (better) {
+          pick = f;
+          pick_fits = fits;
+        }
+      }
+      reg.slot = free_slots[static_cast<size_t>(pick)];
+      free_slots.erase(free_slots.begin() + static_cast<std::ptrdiff_t>(pick));
+      int64_t& hw = slot_hw[static_cast<size_t>(reg.slot)];
+      hw = std::max(hw, need);
     }
-    // Inputs that die here release their slots for the NEXT instruction.
-    for (int r : in.inputs) {
+    // Inputs whose alias family dies here release their slots for the NEXT
+    // instruction (each family freed once even if read through two aliases).
+    for (size_t a = 0; a < in.inputs.size(); ++a) {
+      const int r = in.inputs[a];
       if (r == input_register) continue;  // float input: no slot
-      if (last_use[static_cast<size_t>(r)] == static_cast<int>(idx)) {
-        const int s = plan.regs[static_cast<size_t>(r)].slot;
+      const int rt = root[static_cast<size_t>(r)];
+      bool seen = false;
+      for (size_t b = 0; b < a && !seen; ++b) {
+        seen = root[static_cast<size_t>(in.inputs[b])] == rt;
+      }
+      if (seen) continue;
+      if (last_use[static_cast<size_t>(rt)] == static_cast<int>(idx)) {
+        const int s = plan.regs[static_cast<size_t>(rt)].slot;
         if (s >= 0) free_slots.push_back(s);
       }
     }
     // An output nothing ever reads (cannot happen for compiled graphs, but
     // harmless): release immediately.
-    if (last_use[static_cast<size_t>(in.output)] < 0 && in.output != output_register) {
+    if (out_root == in.output && last_use[static_cast<size_t>(in.output)] < 0 &&
+        in.output != output_register) {
       free_slots.push_back(reg.slot);
     }
   }
   return plan;
+}
+
+Shape fp_nominal_input_shape(const std::vector<FpInstr>& instrs) {
+  for (const FpInstr& in : instrs) {
+    switch (base_kind_of(in.kind)) {
+      case FpInstr::Kind::kConv2d:
+      case FpInstr::Kind::kDepthwise:
+        return {1, 16, 16, in.const_shape[2]};
+      case FpInstr::Kind::kDense:
+        return {1, in.const_shape[0]};
+      default:
+        break;
+    }
+  }
+  return {1, 16, 16, 3};
 }
 
 void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
@@ -306,17 +630,21 @@ void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
         y = in_s;
         break;
       case FpInstr::Kind::kConv2d:
+      case FpInstr::Kind::kConv2dFused:
       case FpInstr::Kind::kDepthwise:
+      case FpInstr::Kind::kDepthwiseFused:
       case FpInstr::Kind::kMaxPool: {
         y.rank = 4;
         y.dims[0] = x.dims[0];
         y.dims[1] = in.geom.out_h(x.dims[1]);
         y.dims[2] = in.geom.out_w(x.dims[2]);
-        y.dims[3] = in.kind == FpInstr::Kind::kConv2d ? in.const_shape[3] : x.dims[3];
+        y.dims[3] = base_kind_of(in.kind) == FpInstr::Kind::kConv2d ? in.const_shape[3]
+                                                                    : x.dims[3];
         y.numel = y.dims[0] * y.dims[1] * y.dims[2] * y.dims[3];
         break;
       }
       case FpInstr::Kind::kDense:
+      case FpInstr::Kind::kDenseFused:
         y.rank = 2;
         y.dims[0] = x.dims[0];
         y.dims[1] = in.const_shape[1];
@@ -362,6 +690,15 @@ TrafficEstimate estimate_traffic(const FixedPointProgram& prog, const Shape& inp
   for (size_t idx = 0; idx < instrs.size(); ++idx) {
     const FpInstr& in = instrs[idx];
     const FpRegShape& y = shapes[static_cast<size_t>(in.output)];
+    // A plan-aliased flatten moves no typed bytes at all (the reference
+    // interpreter still copies its int64 lanes).
+    if (in.kind == FpInstr::Kind::kFlatten && !in.inputs.empty() &&
+        plan.regs[static_cast<size_t>(in.output)].slot >= 0 &&
+        plan.regs[static_cast<size_t>(in.output)].slot ==
+            plan.regs[static_cast<size_t>(in.inputs[0])].slot) {
+      t.reference_bytes += y.numel * 16;
+      continue;
+    }
     // Writes.
     t.typed_bytes += y.numel * width_bytes(plan.regs[static_cast<size_t>(in.output)].width);
     t.reference_bytes += y.numel * 8;
@@ -380,6 +717,14 @@ TrafficEstimate estimate_traffic(const FixedPointProgram& prog, const Shape& inp
     const int64_t cn = static_cast<int64_t>(in.const_data.size());
     t.typed_bytes += cn * width_bytes(plan.consts[idx].width);
     t.reference_bytes += cn * 8;
+    if (is_fused_kind(in.kind)) {
+      const int64_t bn = static_cast<int64_t>(in.bias_data.size());
+      t.typed_bytes += bn * 8;
+      t.reference_bytes += bn * 8;
+      // The reference interpreter replays each epilogue step as a full
+      // int64 read+write pass over the output.
+      t.reference_bytes += y.numel * 16 * epi_step_count(in);
+    }
   }
   return t;
 }
@@ -392,6 +737,35 @@ const ExecPlan& FixedPointProgram::plan() const {
 }
 
 void FixedPointProgram::finalize() {
+  FuseStats st;
+  st.instrs_before = st.instrs_after = static_cast<int>(instrs_.size());
+  if (fusion_enabled()) {
+    const int64_t pre_fuse_arena =
+        estimate_arena_bytes(instrs_, n_registers, input_register, output_register);
+    st = fuse_program(instrs_, n_registers, input_register, output_register);
+    st.arena_bytes_before = pre_fuse_arena;
+    // Keep the liveness-minimizing schedule only when it provably does not
+    // grow the nominal arena. `<=` (not `<`) makes load-time refinalization
+    // idempotent: rescheduling an already scheduled program reproduces it
+    // (equal estimate), so a saved program's slot count survives round-trips.
+    std::vector<FpInstr> cand =
+        schedule_program(instrs_, n_registers, input_register, output_register);
+    if (estimate_arena_bytes(cand, n_registers, input_register, output_register) <=
+        estimate_arena_bytes(instrs_, n_registers, input_register, output_register)) {
+      instrs_ = std::move(cand);
+    }
+    st.arena_bytes_after =
+        estimate_arena_bytes(instrs_, n_registers, input_register, output_register);
+
+    auto& m = observe::MetricsRegistry::global();
+    m.gauge("engine.fusion.instrs_before").set(st.instrs_before);
+    m.gauge("engine.fusion.instrs_after").set(st.instrs_after);
+    m.gauge("engine.fusion.fused_matmuls").set(st.fused_matmuls);
+    m.gauge("engine.fusion.collapsed_requants").set(st.collapsed_requants);
+    m.gauge("engine.fusion.arena_bytes_before").set(st.arena_bytes_before);
+    m.gauge("engine.fusion.arena_bytes_after").set(st.arena_bytes_after);
+  }
+  fuse_stats_ = st;
   plan_ = std::make_shared<const ExecPlan>(
       build_exec_plan(instrs_, n_registers, input_register, output_register));
 }

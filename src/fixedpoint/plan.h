@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fixedpoint/engine.h"
+#include "fixedpoint/kernels/kernels.h"
 
 namespace tqt {
 
@@ -47,6 +48,20 @@ struct ExecPlan {
     /// pack_b_pair16() copy of an int8 conv/dense weight (the GEMM B
     /// operand), consumed by kernel sets exposing gemm_s8p16s32.
     std::vector<int16_t> b_pair16;
+    /// Fused kinds: the epilogue lowered to executable steps (requant shifts
+    /// resolved against the static exponent replay).
+    std::vector<fpk::EpiStep> epi;
+    /// Fused kinds: true when the accumulator bound provably fits int32, so
+    /// the narrow GEMM kernels may retire the tile directly; false routes
+    /// the instruction to the executor's generic int64 fallback.
+    bool acc_ok32 = false;
+    /// True when every intermediate epilogue value also fits int32 — the
+    /// interval replay below proves it — so SIMD kernels may run the step
+    /// list in 32-bit lanes (fpk::Epilogue::vec32).
+    bool epi_vec32 = false;
+    /// int32 copy of the absorbed bias, padded with 8 zero lanes for
+    /// unmasked vector loads. Filled only when `epi_vec32`.
+    std::vector<int32_t> bias32;
   };
 
   std::vector<Reg> regs;      ///< indexed by register id
@@ -59,6 +74,13 @@ struct ExecPlan {
 /// float input and gets no slot; `output_register` stays live to the end.
 ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
                          int input_register, int output_register);
+
+/// Nominal input shape for compile-time size estimates, derived from the
+/// first matmul's weight constant (conv nets get the zoo's 16x16 NHWC world,
+/// dense-first programs a flat vector). Absolute accuracy is irrelevant —
+/// activation sizes scale linearly with batch, so relative register sizes
+/// (all that slot packing and scheduling compare) are batch-invariant.
+Shape fp_nominal_input_shape(const std::vector<FpInstr>& instrs);
 
 /// Per-run shape inference: fill `out[r]` for every register reachable from
 /// the input, given the (runtime) input shape. Grow-only on `out`; performs

@@ -150,6 +150,70 @@ void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
   });
 }
 
+// Fused-kind epilogue: replay the absorbed instruction sequence as
+// whole-tensor int64 passes over the accumulator, one pass per step. This is
+// semantically identical to running the original (unfused) instructions, so
+// the reference stays the bit-exactness oracle for fused programs too.
+void apply_epi_ref(const FpInstr& in, IntTensor& y) {
+  const int64_t channels = y.shape.back();
+  const int64_t n = static_cast<int64_t>(y.data.size());
+  for (int s = 0; s < epi_step_count(in); ++s) {
+    const FpEpiStep st = epi_step(in, s);
+    switch (static_cast<FpInstr::EpiOp>(st.op)) {
+      case FpInstr::EpiOp::kRequant: {
+        const int from = y.exponent;
+        const int to = static_cast<int>(st.a);
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = saturate(rescale(v, from, to), st.b, st.c);
+          }
+        });
+        y.exponent = to;
+        break;
+      }
+      case FpInstr::EpiOp::kBias: {
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            y.data[static_cast<size_t>(i)] +=
+                in.bias_data[static_cast<size_t>(i % channels)];
+          }
+        });
+        break;
+      }
+      case FpInstr::EpiOp::kRelu: {
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = std::max<int64_t>(v, 0);
+          }
+        });
+        break;
+      }
+      case FpInstr::EpiOp::kClamp: {
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = saturate(v, st.b, st.c);
+          }
+        });
+        break;
+      }
+      case FpInstr::EpiOp::kLeaky: {
+        const int lift = -static_cast<int>(st.a);  // alpha exponents are negative
+        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            int64_t& v = y.data[static_cast<size_t>(i)];
+            v = std::max(v << lift, v * st.b);
+          }
+        });
+        y.exponent += static_cast<int>(st.a);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 IntTensor FixedPointProgram::run_raw_reference(const Tensor& input) const {
@@ -301,6 +365,18 @@ IntTensor FixedPointProgram::run_raw_reference(const Tensor& input) const {
         y.shape = {x.shape[0], x.numel() / x.shape[0]};
         break;
       }
+      case FpInstr::Kind::kConv2dFused:
+        run_conv(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        apply_epi_ref(in, y);
+        break;
+      case FpInstr::Kind::kDepthwiseFused:
+        run_depthwise(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        apply_epi_ref(in, y);
+        break;
+      case FpInstr::Kind::kDenseFused:
+        run_dense(in, regs[static_cast<size_t>(in.inputs[0])], y);
+        apply_epi_ref(in, y);
+        break;
     }
   }
   return regs[static_cast<size_t>(output_register)];

@@ -1,0 +1,242 @@
+// Memory-pressure-aware instruction scheduling (see fuse.h).
+//
+// The planner's slot assignment is order-sensitive: two registers overlap
+// (and need distinct arena slots) exactly when their def..last-use windows
+// overlap in the scheduled order. Compile emits instructions in graph
+// construction order, which for branchy models (inception's parallel
+// towers) can keep every branch live at once. The list scheduler here picks,
+// among data-ready instructions, the one whose output costs the least arena
+// growth RIGHT NOW — it simulates the planner's own best-fit slot allocator
+// (plan.cpp pass 2) incrementally, so the quantity it greedily minimizes is
+// exactly the estimate finalize() accepts or rejects the order by.
+// Ties break toward the candidate that frees the most bytes (finishing a
+// branch before starting the next), then toward the smallest output register.
+//
+// Determinism/idempotence contract: every decision is a pure function of the
+// data-dependence DAG and the nominal register sizes (candidate order and
+// tie-breaks key on output register ids, never on incoming instruction
+// positions), so rescheduling any topological order of the same program
+// yields the same result. finalize() relies on this: a saved program re-runs
+// the same passes at load time and must land on the same plan.
+#include <algorithm>
+#include <numeric>
+
+#include "fixedpoint/fuse.h"
+#include "fixedpoint/plan.h"
+
+namespace tqt {
+
+namespace {
+
+/// Per-register buffer size under the nominal shape and the planned widths.
+/// Widths and bounds are pure dataflow facts, so any topological order of
+/// the same instructions yields identical figures.
+std::vector<int64_t> register_nominal_bytes(const std::vector<FpInstr>& instrs,
+                                            int n_registers, int input_register,
+                                            int output_register) {
+  const ExecPlan plan = build_exec_plan(instrs, n_registers, input_register, output_register);
+  std::vector<FpRegShape> shapes;
+  infer_register_shapes(instrs, n_registers, input_register, fp_nominal_input_shape(instrs),
+                        shapes);
+  std::vector<int64_t> bytes(static_cast<size_t>(n_registers), 0);
+  for (int r = 0; r < n_registers; ++r) {
+    bytes[static_cast<size_t>(r)] =
+        shapes[static_cast<size_t>(r)].numel * width_bytes(plan.regs[static_cast<size_t>(r)].width);
+  }
+  return bytes;
+}
+
+/// Incremental mirror of the planner's best-fit slot allocator: free pool,
+/// per-slot high-water marks, and the slot each live alias-family root holds.
+struct SlotSim {
+  std::vector<int64_t> slot_hw;
+  std::vector<int> free_slots;
+  std::vector<int> slot_of;  ///< per root; -1 = none
+
+  explicit SlotSim(int n_registers) : slot_of(static_cast<size_t>(n_registers), -1) {}
+
+  /// Arena growth if a value of `need` bytes were allocated now (best fit:
+  /// free ride under a big enough free slot, else grow the biggest free
+  /// slot, else open a new one).
+  int64_t alloc_cost(int64_t need) const {
+    if (free_slots.empty()) return need;
+    int64_t max_hw = 0;
+    for (int s : free_slots) max_hw = std::max(max_hw, slot_hw[static_cast<size_t>(s)]);
+    return std::max<int64_t>(0, need - max_hw);
+  }
+
+  void alloc(int root, int64_t need) {
+    if (free_slots.empty()) {
+      slot_of[static_cast<size_t>(root)] = static_cast<int>(slot_hw.size());
+      slot_hw.push_back(need);
+      return;
+    }
+    // Same policy as plan.cpp: tightest fitting free slot, else the biggest;
+    // ties resolve to the smallest slot id.
+    size_t pick = 0;
+    bool pick_fits = false;
+    for (size_t f = 0; f < free_slots.size(); ++f) {
+      const int64_t hw = slot_hw[static_cast<size_t>(free_slots[f])];
+      const bool fits = hw >= need;
+      bool better;
+      if (f == 0) {
+        better = true;
+      } else if (fits != pick_fits) {
+        better = fits;
+      } else {
+        const int64_t ph = slot_hw[static_cast<size_t>(free_slots[pick])];
+        better = fits ? (hw < ph || (hw == ph && free_slots[f] < free_slots[pick]))
+                      : (hw > ph || (hw == ph && free_slots[f] < free_slots[pick]));
+      }
+      if (better) {
+        pick = f;
+        pick_fits = fits;
+      }
+    }
+    const int s = free_slots[static_cast<size_t>(pick)];
+    free_slots.erase(free_slots.begin() + static_cast<std::ptrdiff_t>(pick));
+    slot_hw[static_cast<size_t>(s)] = std::max(slot_hw[static_cast<size_t>(s)], need);
+    slot_of[static_cast<size_t>(root)] = s;
+  }
+
+  void release(int root) {
+    const int s = slot_of[static_cast<size_t>(root)];
+    if (s >= 0) free_slots.push_back(s);
+    slot_of[static_cast<size_t>(root)] = -1;
+  }
+};
+
+}  // namespace
+
+int64_t estimate_arena_bytes(const std::vector<FpInstr>& instrs, int n_registers,
+                             int input_register, int output_register) {
+  const ExecPlan plan = build_exec_plan(instrs, n_registers, input_register, output_register);
+  std::vector<FpRegShape> shapes;
+  infer_register_shapes(instrs, n_registers, input_register, fp_nominal_input_shape(instrs),
+                        shapes);
+  std::vector<int64_t> slot_bytes(static_cast<size_t>(std::max(plan.n_slots, 0)), 0);
+  for (int r = 0; r < n_registers; ++r) {
+    const ExecPlan::Reg& reg = plan.regs[static_cast<size_t>(r)];
+    if (reg.slot < 0) continue;
+    int64_t& s = slot_bytes[static_cast<size_t>(reg.slot)];
+    s = std::max(s, shapes[static_cast<size_t>(r)].numel * width_bytes(reg.width));
+  }
+  return std::accumulate(slot_bytes.begin(), slot_bytes.end(), int64_t{0});
+}
+
+std::vector<FpInstr> schedule_program(const std::vector<FpInstr>& instrs,
+                                      int n_registers, int input_register,
+                                      int output_register) {
+  const size_t n = instrs.size();
+  if (n < 3) return instrs;
+
+  // Data-dependence DAG over the SSA register file (each register is written
+  // exactly once, so read-after-write edges are the only hazards; slots are
+  // assigned after scheduling).
+  std::vector<int> producer(static_cast<size_t>(n_registers), -1);
+  for (size_t i = 0; i < n; ++i) producer[static_cast<size_t>(instrs[i].output)] = static_cast<int>(i);
+  std::vector<int> unmet(n, 0);
+  std::vector<std::vector<int>> succs(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int r : instrs[i].inputs) {
+      const int p = producer[static_cast<size_t>(r)];
+      if (p >= 0) {
+        ++unmet[i];
+        succs[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Flatten alias families, exactly as plan.cpp pass 2 forms them. The map is
+  // a pure dataflow fact: any topological order assigns the same roots.
+  std::vector<int> root(static_cast<size_t>(n_registers));
+  std::iota(root.begin(), root.end(), 0);
+  for (const FpInstr& in : instrs) {
+    if (in.kind == FpInstr::Kind::kFlatten && !in.inputs.empty() &&
+        in.inputs[0] != input_register) {
+      root[static_cast<size_t>(in.output)] = root[static_cast<size_t>(in.inputs[0])];
+    }
+  }
+
+  const std::vector<int64_t> reg_bytes =
+      register_nominal_bytes(instrs, n_registers, input_register, output_register);
+  std::vector<int> remaining(static_cast<size_t>(n_registers), 0);
+  for (const FpInstr& in : instrs) {
+    for (int r : in.inputs) ++remaining[static_cast<size_t>(root[static_cast<size_t>(r)])];
+  }
+  if (output_register >= 0) {
+    ++remaining[static_cast<size_t>(root[static_cast<size_t>(output_register)])];  // never frees
+  }
+
+  std::vector<int> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (unmet[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+
+  SlotSim sim(n_registers);
+  std::vector<FpInstr> out;
+  out.reserve(n);
+  while (!ready.empty()) {
+    // Canonical candidate order: smallest output register first, so equal
+    // scores resolve identically regardless of incoming instruction order.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      return instrs[static_cast<size_t>(a)].output < instrs[static_cast<size_t>(b)].output;
+    });
+    int best = -1;
+    int64_t best_cost = 0, best_freed = 0;
+    for (int cand : ready) {
+      const FpInstr& in = instrs[static_cast<size_t>(cand)];
+      const int out_root = root[static_cast<size_t>(in.output)];
+      const int64_t cost =
+          out_root != in.output ? 0  // aliased flatten allocates nothing
+                                : sim.alloc_cost(reg_bytes[static_cast<size_t>(in.output)]);
+      int64_t freed = 0;
+      for (size_t a = 0; a < in.inputs.size(); ++a) {
+        const int r = in.inputs[a];
+        if (r == input_register) continue;
+        const int rt = root[static_cast<size_t>(r)];
+        bool first = true;  // count each alias family once
+        int reads = 0;
+        for (size_t b = 0; b < in.inputs.size(); ++b) {
+          if (root[static_cast<size_t>(in.inputs[b])] == rt) {
+            ++reads;
+            if (b < a) first = false;
+          }
+        }
+        if (first && remaining[static_cast<size_t>(rt)] == reads) {
+          freed += reg_bytes[static_cast<size_t>(rt)];
+        }
+      }
+      if (best < 0 || cost < best_cost || (cost == best_cost && freed > best_freed)) {
+        best = cand;
+        best_cost = cost;
+        best_freed = freed;
+      }
+    }
+
+    const FpInstr& picked = instrs[static_cast<size_t>(best)];
+    const int out_root = root[static_cast<size_t>(picked.output)];
+    if (out_root == picked.output) {
+      sim.alloc(out_root, reg_bytes[static_cast<size_t>(picked.output)]);
+    }
+    for (int r : picked.inputs) {
+      if (r == input_register) continue;
+      const int rt = root[static_cast<size_t>(r)];
+      if (--remaining[static_cast<size_t>(rt)] == 0) sim.release(rt);
+    }
+    if (out_root == picked.output && remaining[static_cast<size_t>(out_root)] == 0) {
+      sim.release(out_root);  // output nothing reads: release immediately
+    }
+    out.push_back(picked);
+    ready.erase(std::find(ready.begin(), ready.end(), best));
+    for (int s : succs[static_cast<size_t>(best)]) {
+      if (--unmet[static_cast<size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  // A malformed (cyclic) stream cannot be fully scheduled; keep it as-is and
+  // let the planner/executor surface the real error.
+  if (out.size() != n) return instrs;
+  return out;
+}
+
+}  // namespace tqt

@@ -6,6 +6,13 @@
 //   u64 instr_count | instructions...
 // Each instruction stores its kind, register ids, geometry, constants and
 // scale/clamp metadata; see FpInstr.
+//
+// Version history:
+//   1 — original format; kinds up to kFlatten.
+//   2 — adds the fused matmul kinds and two per-instruction vectors
+//       (epi_data, bias_data) between alpha_exponent and debug_name.
+// save() emits version 1 whenever no instruction needs the new fields, so
+// unfused programs stay readable by older builds; load() accepts both.
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -16,7 +23,8 @@ namespace tqt {
 
 namespace {
 constexpr char kMagic[4] = {'T', 'Q', 'T', 'P'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMinVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
 void w(std::ofstream& os, const T& v) {
@@ -67,8 +75,13 @@ std::vector<T> r_vec(std::ifstream& is) {
 void FixedPointProgram::save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("cannot open for write: " + path);
+  bool needs_v2 = false;
+  for (const FpInstr& in : instrs_) {
+    if (!in.epi_data.empty() || !in.bias_data.empty()) needs_v2 = true;
+  }
+  const uint32_t version = needs_v2 ? kVersion : kMinVersion;
   os.write(kMagic, 4);
-  w(os, kVersion);
+  w(os, version);
   w(os, n_registers);
   w(os, input_register);
   w(os, output_register);
@@ -93,6 +106,10 @@ void FixedPointProgram::save(const std::string& path) const {
     w(os, in.clamp_hi);
     w(os, in.alpha_q);
     w(os, in.alpha_exponent);
+    if (version >= 2) {
+      w_vec(os, in.epi_data);
+      w_vec(os, in.bias_data);
+    }
     w_string(os, in.debug_name);
   }
   if (!os) throw std::runtime_error("write failed: " + path);
@@ -107,10 +124,11 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
     throw std::runtime_error("not a fixed-point program file: " + path);
   }
   const uint32_t version = r<uint32_t>(is);
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     throw std::runtime_error("fixed-point program: unsupported version " +
-                             std::to_string(version) + " (this build reads version " +
-                             std::to_string(kVersion) + "): " + path);
+                             std::to_string(version) + " (this build reads versions " +
+                             std::to_string(kMinVersion) + ".." + std::to_string(kVersion) +
+                             "): " + path);
   }
   FixedPointProgram prog;
   prog.n_registers = r<int>(is);
@@ -122,7 +140,10 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
   for (uint64_t i = 0; i < count; ++i) {
     FpInstr in;
     const auto kind = r<uint32_t>(is);
-    if (kind > static_cast<uint32_t>(FpInstr::Kind::kFlatten)) {
+    const uint32_t max_kind = version >= 2
+                                  ? static_cast<uint32_t>(FpInstr::Kind::kDenseFused)
+                                  : static_cast<uint32_t>(FpInstr::Kind::kFlatten);
+    if (kind > max_kind) {
       throw std::runtime_error("fixed-point program: bad instruction kind");
     }
     in.kind = static_cast<FpInstr::Kind>(kind);
@@ -144,6 +165,10 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
     in.clamp_hi = r<int64_t>(is);
     in.alpha_q = r<int64_t>(is);
     in.alpha_exponent = r<int>(is);
+    if (version >= 2) {
+      in.epi_data = r_vec<int64_t>(is);
+      in.bias_data = r_vec<int64_t>(is);
+    }
     in.debug_name = r_string(is);
     prog.instrs_.push_back(std::move(in));
   }

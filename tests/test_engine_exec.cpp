@@ -259,6 +259,25 @@ TEST(TypedEngineContext, LoadedProgramExecutesTyped) {
   std::remove(path.c_str());
 }
 
+// Flatten is a pure reshape, so the planner aliases its output onto its
+// input's arena slot and the executor skips the copy entirely — zero bytes
+// moved for every flatten in the program.
+TEST(TypedEngineContext, FlattenAliasesItsInputSlot) {
+  Prepared p = prepare(ModelKind::kMiniVgg);
+  FixedPointProgram prog = compile(p);
+  const ExecPlan& plan = prog.plan();
+  int flattens = 0;
+  for (const FpInstr& in : prog.instructions()) {
+    if (in.kind != FpInstr::Kind::kFlatten) continue;
+    ++flattens;
+    const ExecPlan::Reg& out = plan.regs[static_cast<size_t>(in.output)];
+    const ExecPlan::Reg& src = plan.regs[static_cast<size_t>(in.inputs[0])];
+    EXPECT_EQ(out.slot, src.slot) << in.debug_name << ": flatten output must alias its input";
+    EXPECT_EQ(out.width, src.width) << in.debug_name;
+  }
+  EXPECT_GT(flattens, 0) << "mini_vgg should flatten before its dense head";
+}
+
 // Traffic estimate sanity: the typed plan must move strictly less data than
 // the int64 interpreter — that is the point of narrow storage.
 TEST(TypedEngineContext, TypedTrafficIsSmaller)

@@ -12,6 +12,7 @@
 
 #include "test_util.h"
 #include "fixedpoint/engine.h"
+#include "fixedpoint/fuse.h"
 #include "graph_opt/quantize_pass.h"
 #include "graph_opt/transforms.h"
 #include "models/zoo.h"
@@ -20,22 +21,24 @@
 namespace tqt {
 namespace {
 
+FixedPointProgram compile_vgg_program() {
+  BuiltModel m = build_model(ModelKind::kMiniVgg, 10, 11);
+  Rng rng(11);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig cfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
 const FixedPointProgram& shared_program() {
-  static const FixedPointProgram prog = [] {
-    BuiltModel m = build_model(ModelKind::kMiniVgg, 10, 11);
-    Rng rng(11);
-    m.graph.set_training(true);
-    for (int i = 0; i < 10; ++i) {
-      m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
-    }
-    m.graph.set_training(false);
-    Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
-    optimize_for_quantization(m.graph, m.input, calib);
-    QuantizeConfig cfg;
-    QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
-    calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
-    return compile_fixed_point(m.graph, m.input, qres.quantized_output);
-  }();
+  static const FixedPointProgram prog = compile_vgg_program();
   return prog;
 }
 
@@ -71,6 +74,9 @@ std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + na
 
 TEST(Serialize, RoundTripPreservesProgramAndOutputsExactly) {
   const FixedPointProgram& prog = shared_program();
+  // The default compile fuses, so this round-trip exercises the v2 format:
+  // fused instructions with their epilogue/bias payloads.
+  EXPECT_GT(prog.fusion_stats().fused_matmuls, 0);
   const std::string path = temp_path("roundtrip.tqtp");
   prog.save(path);
   const FixedPointProgram back = FixedPointProgram::load(path);
@@ -97,7 +103,8 @@ TEST(Serialize, VersionMismatchIsRejectedWithAClearError) {
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("version 99"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("version 1"), std::string::npos) << "expected version missing: " << msg;
+    EXPECT_NE(msg.find("versions 1..2"), std::string::npos)
+        << "supported version range missing: " << msg;
   }
   std::remove(path.c_str());
 }
@@ -180,10 +187,50 @@ TEST(Serialize, AbsurdStringLengthIsRejected) {
 
 TEST(Serialize, BadInstructionKindIsRejected) {
   std::string buf = valid_header(1);
-  append<uint32_t>(buf, 1000);  // past kFlatten
+  append<uint32_t>(buf, 1000);  // past every known kind
   const std::string path = temp_path("bad_kind.tqtp");
   write_file(path, buf);
   EXPECT_THROW(FixedPointProgram::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, V1FilesRejectFusedInstructionKinds) {
+  // The fused kinds exist only from format version 2 on; a version-1 file
+  // claiming one is corrupt, not forward-compatible.
+  std::string buf = valid_header(1);
+  append<uint32_t>(buf, static_cast<uint32_t>(FpInstr::Kind::kConv2dFused));
+  const std::string path = temp_path("v1_fused_kind.tqtp");
+  write_file(path, buf);
+  EXPECT_THROW(FixedPointProgram::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, UnfusedProgramsSaveAsVersion1AndFuseOnLoad) {
+  set_fusion_enabled(0);
+  const FixedPointProgram unfused = compile_vgg_program();
+  set_fusion_enabled(-1);
+  ASSERT_EQ(unfused.fusion_stats().fused_matmuls, 0);
+
+  const std::string path = temp_path("v1compat.tqtp");
+  unfused.save(path);
+  std::string bytes = read_file(path);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  // No instruction carries fused payloads, so the artifact stays at version 1
+  // and remains readable by pre-fusion builds.
+  EXPECT_EQ(version, 1u);
+
+  // Loading under the default mode fuses at load time: old artifacts pick up
+  // the fused fast path with bit-identical outputs.
+  const FixedPointProgram back = FixedPointProgram::load(path);
+  EXPECT_GT(back.fusion_stats().fused_matmuls, 0);
+  EXPECT_LT(back.instruction_count(), unfused.instruction_count());
+  Rng rng(7);
+  for (int trial = 0; trial < 2; ++trial) {
+    const Tensor probe = rng.normal_tensor({2, 16, 16, 3}, 0.2f, 1.2f);
+    EXPECT_TRUE(test::run_program(unfused, probe).equals(test::run_program(back, probe)))
+        << "trial " << trial;
+  }
   std::remove(path.c_str());
 }
 

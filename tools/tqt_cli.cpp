@@ -49,6 +49,7 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
+#include "fixedpoint/fuse.h"
 #include "net/client.h"
 #include "net/gateway.h"
 #include "observe/observe.h"
@@ -284,6 +285,13 @@ void apply_threads_flag(const ArgParser& p) {
   if (p.seen("--threads")) set_num_threads(p.positive("--threads", 0));
 }
 
+/// --no-fuse disables the graph compiler's fusion + scheduling passes for
+/// this process, so programs compile (and load) as the plain per-op
+/// instruction stream. Equivalent to TQT_FUSE=0 in the environment.
+void apply_fuse_flag(const ArgParser& p) {
+  if (p.seen("--no-fuse")) set_fusion_enabled(0);
+}
+
 int cmd_list(int argc, char** argv) {
   ArgParser p("list", "", "List the model zoo.");
   if (!p.parse(argc, argv)) return 0;
@@ -356,9 +364,11 @@ int cmd_export(int argc, char** argv) {
   p.add("--bits", "B", "weight bit width, 8 or 4 (default 8)");
   p.add("--epochs", "N", "retraining epochs (default 4)");
   p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
+  p.add("--no-fuse", "", "compile without conv+epilogue fusion (TQT_FUSE=0)");
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
+  apply_fuse_flag(p);
   const char* out_path = p.required("-o");
   const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
@@ -384,12 +394,14 @@ int cmd_run(int argc, char** argv) {
   p.add("-i", "FILE", "fixed-point program file (required)");
   p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
   p.add("--repeat", "N", "validation passes (default 1)");
+  p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
   const char* in_path = p.required("-i");
   parse_model(p.positional("model"));  // validated for the error message only
   apply_threads_flag(p);
+  apply_fuse_flag(p);
   const int repeat = p.positive("--repeat", 1);
   SyntheticImageDataset data(default_dataset_config());
   const FixedPointProgram prog = FixedPointProgram::load(in_path);
@@ -472,12 +484,14 @@ int cmd_serve(int argc, char** argv) {
   p.add("--port", "P", "serve over TCP on this port (0 = ephemeral) instead of in-process");
   p.add("--max-connections", "C", "network mode: concurrent connection cap (default 64)");
   p.add("--max-inflight", "F", "network mode: in-flight request cap (default 256)");
+  p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
   const char* in_path = p.required("-i");
   const std::string model = model_name(parse_model(p.positional("model")));
   apply_threads_flag(p);
+  apply_fuse_flag(p);
   const int clients = p.positive("--clients", 4);
   const int repeat = p.positive("--repeat", 1);
   const int64_t total_requests = static_cast<int64_t>(p.positive("--requests", 256)) * repeat;

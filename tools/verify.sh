@@ -31,10 +31,22 @@ cmake --build "$BUILD_DIR"
 # and assertions plus -O0 evaluation order give a second angle on them.
 DEBUG_DIR="${BUILD_DIR}-debug"
 cmake -B "$DEBUG_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Debug
-cmake --build "$DEBUG_DIR" --target test_engine_exec test_engine_units test_fixedpoint
-echo "==== engine tests (Debug) ===="
-ctest --test-dir "$DEBUG_DIR" -R 'TypedEngine|EngineUnit|Rescale|FixedPoint|BitExact' \
+cmake --build "$DEBUG_DIR" --target test_engine_exec test_engine_units test_fixedpoint \
+  test_fuse
+echo "==== engine + graph-compiler tests (Debug) ===="
+ctest --test-dir "$DEBUG_DIR" \
+  -R 'TypedEngine|EngineUnit|Rescale|FixedPoint|BitExact|Fuse|Scheduler' \
   --output-on-failure -j "$(nproc)"
+
+# Fail fast on the graph compiler: fusion bit-exactness over the whole zoo,
+# the pass-level rewrites, and the scheduler invariants, at both pool sizes.
+# Under TQT_SANITIZE=thread this is the race check on the fused kernels'
+# epilogue retire (disjoint narrow stores from parallel row chunks).
+for threads in 1 4; do
+  echo "==== fuse/scheduler tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" -R 'Fuse|Scheduler' \
+    --output-on-failure -j "$(nproc)"
+done
 
 # Fail fast on the serving subsystem: the serve + serialization tests run
 # first, at both pool sizes, before the full suite (which includes them too).
@@ -74,9 +86,31 @@ echo "==== bench_net_throughput smoke -> $BUILD_DIR/BENCH_net.json ===="
 "$BUILD_DIR/bench/bench_net_throughput" --smoke -o "$BUILD_DIR/BENCH_net.json"
 
 # The engine bench doubles as a release gate: it exits nonzero if any zoo
-# model's typed output diverges from the reference interpreter.
-echo "==== bench_engine_kernels smoke -> $BUILD_DIR/BENCH_engine.json ===="
+# model's typed output diverges from the reference interpreter. It runs with
+# the graph compiler both on and off, so the fusion passes and the plain
+# per-op stream each get a bit-exactness check against the int64 reference.
+echo "==== bench_engine_kernels smoke (fusion on) -> $BUILD_DIR/BENCH_engine.json ===="
 "$BUILD_DIR/bench/bench_engine_kernels" --smoke -o "$BUILD_DIR/BENCH_engine.json"
+echo "==== bench_engine_kernels smoke (fusion off) -> $BUILD_DIR/BENCH_engine_nofuse.json ===="
+"$BUILD_DIR/bench/bench_engine_kernels" --smoke --no-fuse \
+  -o "$BUILD_DIR/BENCH_engine_nofuse.json"
+
+# Fusion must not cost throughput: fail if any model's fused run lands below
+# its unfused run beyond smoke-run jitter (the A/B shares one process, but
+# two-block smoke timings still wobble a few percent), or if fusion loses on
+# the zoo overall.
+python3 - "$BUILD_DIR/BENCH_engine.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+slow = [(m["model"], m["fused_speedup"]) for m in report["models"]
+        if m["fused_speedup"] < 0.95]
+if slow:
+    sys.exit(f"fused engine slower than unfused: {slow}")
+if report["fused_speedup_geomean"] < 1.0:
+    sys.exit(f"fused geomean below 1.0: {report['fused_speedup_geomean']:.3f}")
+print(f"fusion gate ok: geomean {report['fused_speedup_geomean']:.3f}, "
+      f"arena shrunk on {report['models_arena_shrunk']}/{len(report['models'])} models")
+PY
 
 # Observability overhead contract (DESIGN.md §10): with tracing disabled the
 # instrumentation must cost < 1% of a steady-state run_into — the bench
@@ -93,7 +127,7 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
   "$BUILD_DIR/tools/tqt_cli" run mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" \
     --trace "$BUILD_DIR/verify_trace.json" --metrics-json "$BUILD_DIR/verify_metrics.json" \
     >/dev/null
-  grep -q '"name": "conv2d"' "$BUILD_DIR/verify_trace.json"
+  grep -q '"name": "conv2d_fused"' "$BUILD_DIR/verify_trace.json"
   grep -q '"traceEvents"' "$BUILD_DIR/verify_trace.json"
   grep -q '"engine.runs"' "$BUILD_DIR/verify_metrics.json"
 
