@@ -1,0 +1,566 @@
+#include "calib/autocal.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "observe/json.h"
+
+namespace tqt::calib {
+
+using net::AdminOp;
+using net::AdminRequest;
+using net::AdminResponse;
+using net::WireStatus;
+
+namespace {
+
+uint64_t now_us() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::string format_updates(const std::vector<ThresholdUpdate>& ups) {
+  std::string out;
+  char line[256];
+  for (const ThresholdUpdate& u : ups) {
+    std::snprintf(line, sizeof line, "%-40s  log2t %+8.4f -> %+8.4f  clipped %.4f%%\n",
+                  u.layer.c_str(), u.old_log2t, u.new_log2t, u.fraction_clipped * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(AutocalState s) {
+  switch (s) {
+    case AutocalState::kIdle: return "idle";
+    case AutocalState::kCollecting: return "collecting";
+    case AutocalState::kCalibrating: return "calibrating";
+    case AutocalState::kValidating: return "validating";
+    case AutocalState::kPromoting: return "promoting";
+    case AutocalState::kRolledBack: return "rolled-back";
+  }
+  return "?";
+}
+
+ShadowReport shadow_validate(const FixedPointProgram& candidate, const FixedPointProgram* live,
+                             const std::vector<Tensor>& replay, const std::vector<Batch>& holdout,
+                             double accuracy_drop_tolerance) {
+  ShadowReport rep;
+  ExecContext ctx;
+  Tensor typed;
+
+  rep.bit_exact = true;
+  for (const Tensor& in : replay) {
+    candidate.run_into(in, ctx, typed);
+    const Tensor ref = candidate.run_reference(in);
+    if (!typed.equals(ref)) {
+      rep.bit_exact = false;
+      rep.detail = "typed engine diverges from the int64 reference on a replay input";
+      break;
+    }
+  }
+
+  Accuracy cand_acc, live_acc;
+  Tensor out;
+  for (const Batch& b : holdout) {
+    candidate.run_into(b.images, ctx, out);
+    accumulate_topk(out, b.labels, cand_acc);
+    if (live) {
+      live->run_into(b.images, ctx, out);
+      accumulate_topk(out, b.labels, live_acc);
+    }
+  }
+  rep.candidate_top1 = cand_acc.top1();
+  rep.live_top1 = live ? live_acc.top1() : 0.0;
+  rep.accuracy_ok = !live || rep.candidate_top1 + accuracy_drop_tolerance >= rep.live_top1;
+  char buf[160];
+  if (!rep.accuracy_ok && rep.detail.empty()) {
+    std::snprintf(buf, sizeof buf, "candidate top1 %.4f below live %.4f - tolerance %.4f",
+                  rep.candidate_top1, rep.live_top1, accuracy_drop_tolerance);
+    rep.detail = buf;
+  } else if (rep.ok()) {
+    std::snprintf(buf, sizeof buf, "bit-exact; top1 candidate %.4f, live %.4f",
+                  rep.candidate_top1, rep.live_top1);
+    rep.detail = buf;
+  }
+  return rep;
+}
+
+CalibrationService::CalibrationService(serve::InferenceServer& server,
+                                       const SyntheticImageDataset& data,
+                                       const std::map<std::string, Tensor>& pretrained,
+                                       AutocalConfig cfg)
+    : server_(server), data_(data), cfg_(std::move(cfg)) {
+  const DatasetConfig& dc = data_.config();
+  sample_shape_ = {dc.image_size, dc.image_size, dc.channels};
+
+  observe::MetricsRegistry& reg = server_.metrics();
+  batches_ = &reg.counter("calib.batches");
+  mirrored_ = &reg.counter("calib.mirrored");
+  admin_ops_ = &reg.counter("calib.admin_ops");
+  calibrations_ = &reg.counter("calib.calibrations");
+  promotions_ = &reg.counter("calib.promotions");
+  rejections_ = &reg.counter("calib.rejections");
+  rollbacks_ = &reg.counter("calib.rollbacks");
+  drift_triggers_ = &reg.counter("calib.drift_triggers");
+  calibrate_us_ = &reg.histogram("calib.calibrate_us");
+  validate_us_ = &reg.histogram("calib.validate_us");
+  promote_us_ = &reg.histogram("calib.promote_us");
+  state_gauge_ = &reg.gauge("calib.state");
+  samples_gauge_ = &reg.gauge("calib.samples");
+  version_gauge_ = &reg.gauge("calib.live_version");
+  drift_clip_ppm_ = &reg.gauge("calib.drift_clip_ppm");
+  drift_range_millibits_ = &reg.gauge("calib.drift_range_millibits");
+
+  calibrator_ = std::make_unique<OnlineCalibrator>(cfg_.kind, pretrained, data_, cfg_.quant,
+                                                   cfg_.hist_bins, cfg_.calib_images,
+                                                   cfg_.calib_seed);
+
+  // Retained holdout: labeled batches for the accuracy gate, their images as
+  // the bit-exactness replay set.
+  const int64_t total = std::min<int64_t>(cfg_.holdout_images, data_.val_size());
+  for (int64_t first = 0; first < total; first += cfg_.holdout_batch) {
+    const int64_t n = std::min<int64_t>(cfg_.holdout_batch, total - first);
+    holdout_.push_back(data_.val_batch(first, n));
+  }
+  for (size_t i = 0; i < holdout_.size() && i < 2; ++i) replay_.push_back(holdout_[i].images);
+
+  // Deploy version 1 from the initial static calibration, then snapshot the
+  // calibration-time activation ranges as the drift baseline.
+  auto first_program = std::make_shared<FixedPointProgram>(calibrator_->compile());
+  const uint64_t v = server_.deploy(cfg_.model, *first_program, sample_shape_);
+  live_program_ = std::move(first_program);
+  live_version_.store(v, std::memory_order_release);
+  version_gauge_->set(static_cast<int64_t>(v));
+  calibrator_->absorb(data_.calibration_batch(cfg_.calib_images, cfg_.calib_seed));
+  calibrator_->snapshot_ranges();
+  calibrator_->clear_cumulative();
+  live_top1_.store(program_accuracy(*live_program_), std::memory_order_release);
+
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+CalibrationService::~CalibrationService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+double CalibrationService::program_accuracy(const FixedPointProgram& p) const {
+  ExecContext ctx;
+  Tensor out;
+  Accuracy acc;
+  for (const Batch& b : holdout_) {
+    p.run_into(b.images, ctx, out);
+    accumulate_topk(out, b.labels, acc);
+  }
+  return acc.top1();
+}
+
+void CalibrationService::mirror_sample(const std::string& name, const Tensor& sample) {
+  if (cfg_.mirror_every <= 0 || name != cfg_.model) return;
+  // Only single samples of the lane's shape enter the ring — drift batches
+  // are stacked from it assuming exactly one image per element.
+  if (sample.numel() != numel_of(sample_shape_)) return;
+  const int64_t n = mirror_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % cfg_.mirror_every != 0) return;
+  mirrored_->inc();
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  if (ring_.size() >= cfg_.mirror_capacity) ring_.pop_front();
+  ring_.push_back(sample);  // deep copy: the caller's tensor is moved on
+}
+
+void CalibrationService::set_candidate_mutator(std::function<void(OnlineCalibrator&)> m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mutator_ = std::move(m);
+}
+
+void CalibrationService::handle_admin(AdminRequest&& req, DoneFn done) {
+  admin_ops_->inc();
+  if (req.op == AdminOp::kStatus) {
+    done(WireStatus::kOk, status_json());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) {
+      done(WireStatus::kShuttingDown, "calibration service is stopping");
+      return;
+    }
+    if (jobs_.size() >= cfg_.max_pending_jobs) {
+      done(WireStatus::kShed, "calibration job queue is full");
+      return;
+    }
+    jobs_.push_back(Job{std::move(req), std::move(done)});
+  }
+  cv_.notify_one();
+}
+
+AdminResponse CalibrationService::admin_sync(const AdminRequest& req) {
+  auto result = std::make_shared<std::promise<AdminResponse>>();
+  std::future<AdminResponse> f = result->get_future();
+  AdminRequest copy = req;
+  handle_admin(std::move(copy), [result](WireStatus s, std::string msg) {
+    AdminResponse r;
+    r.status = s;
+    r.message = std::move(msg);
+    result->set_value(std::move(r));
+  });
+  return f.get();
+}
+
+AdminResponse CalibrationService::recalibrate_now() {
+  AdminRequest req;
+  req.op = AdminOp::kTrigger;
+  req.model = cfg_.model;
+  return admin_sync(req);
+}
+
+void CalibrationService::worker_loop() {
+  const auto tick = std::chrono::milliseconds(std::max(1, cfg_.drift_check_interval_ms));
+  for (;;) {
+    Job job;
+    bool has_job = false;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, tick, [&] { return stop_ || !jobs_.empty(); });
+      if (!jobs_.empty()) {
+        // Shutdown drains the queue with kShuttingDown instead of running
+        // potentially long cycles.
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        has_job = true;
+        if (stop_) {
+          lk.unlock();
+          job.done(WireStatus::kShuttingDown, "calibration service is stopping");
+          continue;
+        }
+      } else if (stop_) {
+        break;
+      }
+    }
+    if (has_job) {
+      handle_job(std::move(job));
+    } else {
+      drift_check();
+    }
+  }
+}
+
+void CalibrationService::handle_job(Job&& job) {
+  try {
+    switch (job.req.op) {
+      case AdminOp::kCalibBatch:
+        do_calib_batch(job.req, job.done);
+        return;
+      case AdminOp::kTrigger: {
+        const CycleResult r = run_cycle("admin trigger");
+        job.done(r.promoted ? WireStatus::kOk : WireStatus::kInternal, r.message);
+        return;
+      }
+      case AdminOp::kDryRun:
+        do_dry_run(job.done);
+        return;
+      case AdminOp::kRollback:
+        do_rollback(job.done);
+        return;
+      case AdminOp::kSwapFile:
+        do_swap_file(job.req, job.done);
+        return;
+      case AdminOp::kStatus:  // answered inline in handle_admin
+        job.done(WireStatus::kOk, status_json());
+        return;
+    }
+    job.done(WireStatus::kMalformed, "unknown admin op");
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_error_ = e.what();
+    }
+    job.done(WireStatus::kInternal, e.what());
+  }
+}
+
+void CalibrationService::do_calib_batch(const AdminRequest& req, const DoneFn& done) {
+  if (!req.has_batch || req.batch.rank() != 4 ||
+      Shape(req.batch.shape().begin() + 1, req.batch.shape().end()) != sample_shape_) {
+    done(WireStatus::kMalformed,
+         "calibration batch must be [N, " + shape_to_string(sample_shape_) + "]");
+    return;
+  }
+  calibrator_->absorb(req.batch);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (retained_batches_.size() >= cfg_.max_retained_batches) retained_batches_.pop_front();
+    retained_batches_.push_back(req.batch);
+  }
+  batches_->inc();
+  samples_.store(calibrator_->samples(), std::memory_order_release);
+  samples_gauge_->set(calibrator_->samples());
+  if (state() == AutocalState::kIdle) set_state(AutocalState::kCollecting);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"absorbed\": %lld, \"samples\": %lld}",
+                static_cast<long long>(req.batch.dim(0)),
+                static_cast<long long>(calibrator_->samples()));
+  done(WireStatus::kOk, buf);
+}
+
+void CalibrationService::do_dry_run(const DoneFn& done) {
+  if (calibrator_->samples() == 0) {
+    done(WireStatus::kInternal, "no calibration data absorbed yet");
+    return;
+  }
+  // derive() is read-only: thresholds are reported, never applied.
+  const std::vector<ThresholdUpdate> ups = calibrator_->derive();
+  done(WireStatus::kOk, "dry run (" + std::to_string(ups.size()) + " threshold groups):\n" +
+                            format_updates(ups));
+}
+
+void CalibrationService::do_rollback(const DoneFn& done) {
+  if (!prev_program_) {
+    done(WireStatus::kBadModel, "no previous version to roll back to");
+    return;
+  }
+  const uint64_t v = server_.deploy(cfg_.model, *prev_program_, sample_shape_);
+  live_program_ = std::move(prev_program_);
+  prev_program_.reset();
+  live_version_.store(v, std::memory_order_release);
+  version_gauge_->set(static_cast<int64_t>(v));
+  live_top1_.store(program_accuracy(*live_program_), std::memory_order_release);
+  rollbacks_->inc();
+  set_state(AutocalState::kRolledBack);
+  done(WireStatus::kOk, "rolled back; registry version " + std::to_string(v));
+}
+
+void CalibrationService::do_swap_file(const AdminRequest& req, const DoneFn& done) {
+  FixedPointProgram candidate;
+  try {
+    candidate = FixedPointProgram::load(req.arg);
+  } catch (const ProgramIoError& e) {
+    done(WireStatus::kBadModel, e.what());
+    return;
+  } catch (const ProgramFormatError& e) {
+    done(WireStatus::kCorruptModel, e.what());
+    return;
+  }
+  set_state(AutocalState::kValidating);
+  const uint64_t t0 = now_us();
+  const ShadowReport rep = shadow_validate(candidate, live_program_.get(), replay_, holdout_,
+                                           cfg_.accuracy_drop_tolerance);
+  validate_us_->record(now_us() - t0);
+  if (!rep.ok()) {
+    rejections_->inc();
+    set_state(AutocalState::kRolledBack);
+    done(WireStatus::kInternal, "shadow validation rejected candidate: " + rep.detail);
+    return;
+  }
+  set_state(AutocalState::kPromoting);
+  const uint64_t v = promote_program(std::move(candidate));
+  if (v == 0) {
+    done(WireStatus::kInternal, "post-swap check regressed; previous version reinstalled");
+    return;
+  }
+  live_top1_.store(rep.candidate_top1, std::memory_order_release);
+  set_state(AutocalState::kIdle);
+  done(WireStatus::kOk, "promoted file artifact as version " + std::to_string(v) + "; " +
+                            rep.detail);
+}
+
+CalibrationService::CycleResult CalibrationService::run_cycle(const char* reason,
+                                                              bool enforce_min) {
+  calibrations_->inc();
+  ++cycle_count_;
+  set_state(AutocalState::kCalibrating);
+
+  std::vector<Tensor> batches;
+  std::function<void(OnlineCalibrator&)> mutator;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batches.assign(retained_batches_.begin(), retained_batches_.end());
+    mutator = mutator_;
+  }
+  for (const Tensor& b : drift_batches_) batches.push_back(b);
+  if (batches.empty()) {
+    set_state(AutocalState::kIdle);
+    return {false, live_version(), "no calibration data (feed batches or enable the mirror)"};
+  }
+  // Drift cycles are already gated by min_window; min_samples guards the
+  // operator-triggered path against calibrating off a handful of images.
+  int64_t images = 0;
+  for (const Tensor& b : batches) images += b.dim(0);
+  if (enforce_min && images < cfg_.min_samples) {
+    set_state(AutocalState::kCollecting);
+    char need[96];
+    std::snprintf(need, sizeof need, "insufficient calibration data (%lld < min_samples %lld)",
+                  static_cast<long long>(images), static_cast<long long>(cfg_.min_samples));
+    return {false, live_version(), need};
+  }
+
+  const uint64_t t0 = now_us();
+  const std::map<std::string, float> saved = calibrator_->thresholds();
+  std::vector<ThresholdUpdate> ups = calibrator_->calibrate_from(batches, cfg_.calib_passes);
+  if (cfg_.tqt_retrain_steps > 0) {
+    calibrator_->tqt_retrain(data_, cfg_.tqt_retrain_steps, cfg_.calib_seed + cycle_count_);
+  }
+  if (mutator) mutator(*calibrator_);
+  calibrate_us_->record(now_us() - t0);
+
+  set_state(AutocalState::kValidating);
+  const uint64_t t1 = now_us();
+  FixedPointProgram candidate = calibrator_->compile();
+  const ShadowReport rep = shadow_validate(candidate, live_program_.get(), replay_, holdout_,
+                                           cfg_.accuracy_drop_tolerance);
+  validate_us_->record(now_us() - t1);
+  if (!rep.ok()) {
+    calibrator_->set_thresholds(saved);
+    rejections_->inc();
+    set_state(AutocalState::kRolledBack);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_error_ = rep.detail;
+    }
+    return {false, live_version(), std::string("rejected (") + reason + "): " + rep.detail};
+  }
+
+  set_state(AutocalState::kPromoting);
+  const uint64_t t2 = now_us();
+  const uint64_t v = promote_program(std::move(candidate));
+  promote_us_->record(now_us() - t2);
+  if (v == 0) {
+    calibrator_->set_thresholds(saved);
+    return {false, live_version(), "post-swap check regressed; previous version reinstalled"};
+  }
+  calibrator_->snapshot_ranges();
+  calibrator_->clear_window();
+  drift_batches_.clear();
+  samples_.store(calibrator_->samples(), std::memory_order_release);
+  samples_gauge_->set(calibrator_->samples());
+  live_top1_.store(rep.candidate_top1, std::memory_order_release);
+  set_state(AutocalState::kIdle);
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "promoted version %llu (%s, %zu batches, %zu groups); %s",
+                static_cast<unsigned long long>(v), reason, batches.size(), ups.size(),
+                rep.detail.c_str());
+  return {true, v, buf};
+}
+
+uint64_t CalibrationService::promote_program(FixedPointProgram candidate) {
+  auto cand = std::make_shared<const FixedPointProgram>(std::move(candidate));
+  const uint64_t v = server_.deploy(cfg_.model, *cand, sample_shape_);
+
+  // Post-swap check: the registry must now serve exactly the candidate. A
+  // mismatch means the deployment is not what validation approved — reinstall
+  // the previous live program and report the regression.
+  const auto installed = server_.registry().lookup(cfg_.model);
+  ExecContext ctx;
+  Tensor a, b;
+  installed->run_into(replay_.front(), ctx, a);
+  cand->run_into(replay_.front(), ctx, b);
+  if (!a.equals(b)) {
+    if (live_program_) server_.deploy(cfg_.model, *live_program_, sample_shape_);
+    rollbacks_->inc();
+    set_state(AutocalState::kRolledBack);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_error_ = "post-swap check: installed program diverges from validated candidate";
+    }
+    return 0;
+  }
+
+  prev_program_ = std::move(live_program_);
+  live_program_ = std::move(cand);
+  live_version_.store(v, std::memory_order_release);
+  version_gauge_->set(static_cast<int64_t>(v));
+  promotions_->inc();
+  return v;
+}
+
+void CalibrationService::drift_check() {
+  std::vector<Tensor> samples;
+  {
+    std::lock_guard<std::mutex> lk(ring_mu_);
+    if (static_cast<int64_t>(ring_.size()) < cfg_.min_window) return;
+    samples.assign(ring_.begin(), ring_.end());
+    ring_.clear();
+  }
+
+  // Stack the mirrored samples into batches and replay them through the
+  // window sink — gauges only; the cumulative histograms stay untouched so
+  // repeated checks never double-count.
+  const int64_t chunk = 32;
+  std::vector<Tensor> window_batches;
+  for (size_t first = 0; first < samples.size(); first += chunk) {
+    const int64_t n = std::min<int64_t>(chunk, static_cast<int64_t>(samples.size() - first));
+    Shape bs = sample_shape_;
+    bs.insert(bs.begin(), n);
+    Tensor batch(bs);
+    const int64_t per = samples.front().numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const Tensor& s = samples[first + static_cast<size_t>(i)];
+      std::copy(s.data(), s.data() + per, batch.data() + i * per);
+    }
+    window_batches.push_back(std::move(batch));
+  }
+  calibrator_->clear_window();
+  for (const Tensor& b : window_batches) calibrator_->absorb(b, OnlineCalibrator::Sink::kWindow);
+
+  double max_clip = 0.0;
+  float max_shift = 0.0f;
+  for (const DriftStat& d : calibrator_->drift_stats()) {
+    max_clip = std::max(max_clip, d.fraction_clipped);
+    max_shift = std::max(max_shift, d.range_shift_bits);
+  }
+  drift_clip_ppm_->set(static_cast<int64_t>(max_clip * 1e6));
+  drift_range_millibits_->set(static_cast<int64_t>(max_shift * 1000.0f));
+
+  if (max_clip > cfg_.drift_clip_threshold ||
+      max_shift > cfg_.drift_range_bits) {
+    drift_triggers_->inc();
+    if (cfg_.auto_recalibrate) {
+      drift_batches_ = std::move(window_batches);
+      run_cycle("drift", /*enforce_min=*/false);
+    }
+  }
+}
+
+void CalibrationService::set_state(AutocalState s) {
+  state_.store(static_cast<int>(s), std::memory_order_release);
+  state_gauge_->set(static_cast<int64_t>(s));
+}
+
+std::string CalibrationService::status_json() const {
+  std::string last_error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_error = last_error_;
+  }
+  observe::JsonWriter w;
+  w.obj();
+  w.kv("model", cfg_.model);
+  w.kv("state", to_string(state()));
+  w.kv("samples", static_cast<long long>(samples_.load(std::memory_order_acquire)));
+  w.kv("live_version", static_cast<unsigned long long>(live_version()));
+  w.kv("live_top1", live_top1_.load(std::memory_order_acquire));
+  w.kv("calibrations", static_cast<unsigned long long>(calibrations_->value()));
+  w.kv("promotions", static_cast<unsigned long long>(promotions_->value()));
+  w.kv("rejections", static_cast<unsigned long long>(rejections_->value()));
+  w.kv("rollbacks", static_cast<unsigned long long>(rollbacks_->value()));
+  w.kv("drift_triggers", static_cast<unsigned long long>(drift_triggers_->value()));
+  w.kv("mirrored", static_cast<unsigned long long>(mirrored_->value()));
+  w.kv("drift_clip_ppm", static_cast<long long>(drift_clip_ppm_->value()));
+  w.kv("drift_range_millibits", static_cast<long long>(drift_range_millibits_->value()));
+  w.kv("last_error", last_error);
+  w.end();
+  return w.take();
+}
+
+}  // namespace tqt::calib

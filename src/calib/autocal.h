@@ -1,0 +1,223 @@
+// tqt-autocal: online calibration, shadow validation and drift-triggered
+// hot-swap as a service (DESIGN.md §13).
+//
+//   admin frames ──► gateway ──► CalibrationService (net::AdminHandler)
+//                                   │ bounded job queue
+//                                   ▼
+//                               worker thread ── owns the OnlineCalibrator
+//                                   │ absorb → derive → apply → compile
+//                                   ▼
+//                               shadow validator (bit-exactness vs. the
+//                               int64 reference + holdout accuracy gate)
+//                                   │ pass                     │ fail
+//                                   ▼                          ▼
+//                               atomic hot-swap            restore old
+//                               (ModelRegistry install)    thresholds
+//
+//   live traffic ──► ServerConfig.mirror ──► sampled ring ──► drift detector
+//       (fraction-clipped + range-shift gauges; auto-triggers recalibration)
+//
+// State machine: idle → collecting → calibrating → validating → promoting
+// (→ idle), with rolled-back entered when validation rejects a candidate or
+// a post-swap check regresses. Serving never pauses: the worker thread does
+// all heavy lifting off the gateway event loop, and promotion rides the
+// registry's atomic program swap.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "calib/calibrator.h"
+#include "net/gateway.h"
+#include "serve/server.h"
+
+namespace tqt::calib {
+
+/// Verdict of replaying the retained holdout through a candidate program.
+struct ShadowReport {
+  bool bit_exact = false;     ///< typed engine == int64 reference, every input
+  bool accuracy_ok = false;   ///< candidate top1 >= live top1 - tolerance
+  double candidate_top1 = 0.0;
+  double live_top1 = 0.0;
+  std::string detail;
+  bool ok() const { return bit_exact && accuracy_ok; }
+};
+
+/// Gate a candidate program before promotion: (1) every replay input must
+/// execute bit-identically on the typed engine and the int64 reference
+/// interpreter; (2) labeled-holdout top-1 must stay within
+/// `accuracy_drop_tolerance` of the live program's (skipped when `live` is
+/// null). Pure function — used by the service and directly by tests.
+ShadowReport shadow_validate(const FixedPointProgram& candidate, const FixedPointProgram* live,
+                             const std::vector<Tensor>& replay, const std::vector<Batch>& holdout,
+                             double accuracy_drop_tolerance);
+
+enum class AutocalState {
+  kIdle = 0,
+  kCollecting,
+  kCalibrating,
+  kValidating,
+  kPromoting,
+  kRolledBack,
+};
+
+const char* to_string(AutocalState s);
+
+struct AutocalConfig {
+  std::string model = "model";   ///< serving lane name
+  ModelKind kind = ModelKind::kMiniVgg;
+  QuantizeConfig quant;          ///< static thresholds work too; trainable
+                                 ///< ones enable tqt_retrain_steps
+  int hist_bins = 512;
+  int64_t calib_images = 50;     ///< initial static calibration set size
+  uint64_t calib_seed = 50;
+
+  int64_t min_samples = 128;     ///< images required before a cycle runs
+  int calib_passes = 2;          ///< derive/apply rounds per cycle
+  int64_t tqt_retrain_steps = 0; ///< bounded threshold-only retraining (0 = off)
+  double accuracy_drop_tolerance = 0.05;
+  int64_t holdout_images = 96;   ///< labeled validation images retained
+  int64_t holdout_batch = 32;
+
+  int64_t mirror_every = 16;     ///< keep every Nth live sample (<= 0 disables)
+  size_t mirror_capacity = 256;  ///< retained mirrored samples
+  int64_t min_window = 48;       ///< mirrored samples per drift evaluation
+  double drift_clip_threshold = 0.02;  ///< window fraction clipped to trigger
+  float drift_range_bits = 0.75f;      ///< p99.9 log2-shift to trigger
+  bool auto_recalibrate = true;  ///< drift trigger runs a full cycle
+  int drift_check_interval_ms = 50;
+
+  size_t max_retained_batches = 32;  ///< admin calibration batches kept
+  size_t max_pending_jobs = 64;
+};
+
+/// The calibration service: one per serving lane. Construction builds the
+/// quantized graph, runs the initial static calibration, compiles and deploys
+/// the first program version, then starts the worker thread. The service
+/// must outlive any Gateway routing admin frames to it and be destroyed
+/// before the InferenceServer it deploys into.
+class CalibrationService final : public net::AdminHandler {
+ public:
+  CalibrationService(serve::InferenceServer& server, const SyntheticImageDataset& data,
+                     const std::map<std::string, Tensor>& pretrained, AutocalConfig cfg);
+  ~CalibrationService() override;
+
+  CalibrationService(const CalibrationService&) = delete;
+  CalibrationService& operator=(const CalibrationService&) = delete;
+
+  /// Traffic mirror: wire as ServerConfig::mirror. Cheap (one modulo, one
+  /// tensor copy every mirror_every-th call), any thread.
+  void mirror_sample(const std::string& name, const Tensor& sample);
+
+  /// net::AdminHandler — routes kAdminRequest frames. kStatus answers inline;
+  /// everything else is enqueued for the worker thread (kShed when the job
+  /// queue is full). `done` fires exactly once, possibly from the worker.
+  void handle_admin(net::AdminRequest&& req, DoneFn done) override;
+
+  /// Synchronous admin round-trip (tests, in-process callers): enqueue and
+  /// wait for the worker's answer.
+  net::AdminResponse admin_sync(const net::AdminRequest& req);
+
+  /// Force a calibrate→validate→promote cycle and wait for its outcome.
+  net::AdminResponse recalibrate_now();
+
+  /// Test hook: invoked on the worker thread after thresholds are applied and
+  /// before the candidate compiles — fault injection for the rejected-
+  /// candidate/rollback paths. Null clears.
+  void set_candidate_mutator(std::function<void(OnlineCalibrator&)> m);
+
+  std::string status_json() const;
+  AutocalState state() const {
+    return static_cast<AutocalState>(state_.load(std::memory_order_acquire));
+  }
+  uint64_t live_version() const { return live_version_.load(std::memory_order_acquire); }
+
+ private:
+  struct Job {
+    net::AdminRequest req;
+    DoneFn done;
+  };
+  struct CycleResult {
+    bool promoted = false;
+    uint64_t version = 0;
+    std::string message;
+  };
+
+  void worker_loop();
+  void handle_job(Job&& job);
+  void do_calib_batch(const net::AdminRequest& req, const DoneFn& done);
+  void do_dry_run(const DoneFn& done);
+  void do_rollback(const DoneFn& done);
+  void do_swap_file(const net::AdminRequest& req, const DoneFn& done);
+  CycleResult run_cycle(const char* reason, bool enforce_min = true);
+  /// Deploy + post-swap bit-exactness check against the registry; rolls back
+  /// to the previous live program (and returns 0) on regression.
+  uint64_t promote_program(FixedPointProgram candidate);
+  void drift_check();
+  void set_state(AutocalState s);
+  double program_accuracy(const FixedPointProgram& p) const;
+
+  serve::InferenceServer& server_;
+  const SyntheticImageDataset& data_;
+  AutocalConfig cfg_;
+  Shape sample_shape_;
+
+  // Worker-owned calibration state (no locking: confined to worker_ except
+  // during construction, before the thread starts).
+  std::unique_ptr<OnlineCalibrator> calibrator_;
+  std::vector<Batch> holdout_;           ///< labeled accuracy gate
+  std::vector<Tensor> replay_;           ///< unlabeled bit-exactness replay set
+  std::shared_ptr<const FixedPointProgram> live_program_;
+  std::shared_ptr<const FixedPointProgram> prev_program_;
+  std::vector<Tensor> drift_batches_;    ///< window batches behind a trigger
+  uint64_t cycle_count_ = 0;
+
+  // Cross-thread state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  std::deque<Tensor> retained_batches_;  ///< admin-fed calibration batches
+  std::function<void(OnlineCalibrator&)> mutator_;
+  std::string last_error_;
+  bool stop_ = false;
+
+  std::mutex ring_mu_;
+  std::deque<Tensor> ring_;              ///< mirrored live samples
+  std::atomic<int64_t> mirror_seen_{0};
+
+  std::atomic<int> state_{static_cast<int>(AutocalState::kIdle)};
+  std::atomic<int64_t> samples_{0};
+  std::atomic<uint64_t> live_version_{0};
+  std::atomic<double> live_top1_{0.0};
+
+  // calib.* instruments, resolved once against the server's registry.
+  observe::Counter* batches_ = nullptr;
+  observe::Counter* mirrored_ = nullptr;
+  observe::Counter* admin_ops_ = nullptr;
+  observe::Counter* calibrations_ = nullptr;
+  observe::Counter* promotions_ = nullptr;
+  observe::Counter* rejections_ = nullptr;
+  observe::Counter* rollbacks_ = nullptr;
+  observe::Counter* drift_triggers_ = nullptr;
+  observe::Histogram* calibrate_us_ = nullptr;
+  observe::Histogram* validate_us_ = nullptr;
+  observe::Histogram* promote_us_ = nullptr;
+  observe::Gauge* state_gauge_ = nullptr;
+  observe::Gauge* samples_gauge_ = nullptr;
+  observe::Gauge* version_gauge_ = nullptr;
+  observe::Gauge* drift_clip_ppm_ = nullptr;
+  observe::Gauge* drift_range_millibits_ = nullptr;
+
+  std::thread worker_;
+};
+
+}  // namespace tqt::calib

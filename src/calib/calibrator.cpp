@@ -1,0 +1,236 @@
+#include "calib/calibrator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/train.h"
+#include "graph_opt/quantize_pass.h"
+#include "quant/calibrate.h"
+
+namespace tqt::calib {
+
+namespace {
+constexpr float kMinRawThreshold = 1e-7f;  // matches the offline calibrator's floor
+}  // namespace
+
+OnlineCalibrator::OnlineCalibrator(ModelKind kind,
+                                   const std::map<std::string, Tensor>& pretrained,
+                                   const SyntheticImageDataset& data,
+                                   const QuantizeConfig& quant, int hist_bins,
+                                   int64_t calib_images, uint64_t calib_seed)
+    : model_(build_folded(kind, pretrained, data)) {
+  qres_ = quantize_pass(model_.graph, model_.input, model_.logits, quant);
+  calibrate_thresholds(model_.graph, qres_, model_.input,
+                       data.calibration_batch(calib_images, calib_seed), WeightInit::kMax);
+  model_.graph.set_training(false);
+
+  // Online adaptation moves thresholds only; everything else is frozen so a
+  // bounded tqt_retrain() can never drift the weights away from the deployed
+  // artifact's provenance.
+  for (const ParamPtr& p : model_.graph.params()) {
+    if (p->group != "threshold") p->trainable = false;
+  }
+
+  // One histogram pair per non-derived activation quantizer, grouped by the
+  // shared threshold parameter (merged scales calibrate jointly, §4.3).
+  std::map<Param*, size_t> group_of;
+  for (NodeId id : qres_.act_quants) {
+    FakeQuantOp& q = fake_quant_at(model_.graph, id);
+    if (q.is_derived()) continue;  // q16 accumulator/bias scales track s_w * s_x
+    Param* key = q.threshold().get();
+    auto [it, fresh] = group_of.try_emplace(key, groups_.size());
+    if (fresh) {
+      GroupStat g;
+      g.param = q.threshold();
+      g.name = q.threshold()->name;
+      groups_.push_back(std::move(g));
+    }
+    LayerStat ls;
+    ls.node = id;
+    ls.group = it->second;
+    ls.bits = q.bits();
+    ls.hist = StreamingHistogram(hist_bins);
+    ls.window = StreamingHistogram(hist_bins);
+    layers_.push_back(std::move(ls));
+    groups_[it->second].members.push_back(layers_.size() - 1);
+
+    const size_t li = layers_.size() - 1;
+    q.set_observer([this, li](const Tensor& x) {
+      if (!sink_active_) return;
+      if (sink_ == Sink::kCumulative) {
+        layers_[li].hist.observe(x);
+      } else {
+        layers_[li].window.observe(x);
+      }
+    });
+  }
+  if (groups_.empty()) {
+    throw std::runtime_error("calib: quantized graph has no calibratable activation quantizers");
+  }
+}
+
+void OnlineCalibrator::absorb(const Tensor& batch, Sink sink) {
+  if (batch.rank() != 4) {
+    throw std::invalid_argument("calib: absorb expects an [N,S,S,C] batch");
+  }
+  sink_ = sink;
+  sink_active_ = true;
+  model_.graph.run({{model_.input, batch}}, qres_.quantized_output);
+  sink_active_ = false;
+  if (sink == Sink::kCumulative) samples_ += batch.dim(0);
+}
+
+void OnlineCalibrator::clear_cumulative() {
+  for (LayerStat& l : layers_) l.hist.clear();
+  samples_ = 0;
+}
+
+void OnlineCalibrator::clear_window() {
+  for (LayerStat& l : layers_) l.window.clear();
+}
+
+std::vector<ThresholdUpdate> OnlineCalibrator::derive() {
+  std::vector<ThresholdUpdate> ups;
+  for (const GroupStat& g : groups_) {
+    // A shared scale must cover every member: KL-J each member's histogram
+    // on its own data and take the largest threshold (pooling would let a
+    // small-range member clip the others).
+    float t_new = 0.0f;
+    uint64_t total = 0;
+    bool any = false;
+    for (size_t li : g.members) {
+      const LayerStat& l = layers_[li];
+      if (l.hist.count() == 0) continue;
+      any = true;
+      total += l.hist.count();
+      float abs_max = 0.0f;
+      const std::vector<float> h = l.hist.float_hist(&abs_max);
+      t_new = std::max(t_new, kl_j_threshold_from_hist(h, abs_max, l.bits));
+    }
+    if (!any) continue;
+    t_new = std::max(t_new, kMinRawThreshold);
+    double above = 0.0;
+    for (size_t li : g.members) {
+      const LayerStat& l = layers_[li];
+      above += l.hist.fraction_above(t_new) * static_cast<double>(l.hist.count());
+    }
+    ThresholdUpdate u;
+    u.layer = g.name;
+    u.old_log2t = g.param->value[0];
+    u.new_log2t = std::log2(t_new);
+    u.fraction_clipped = total ? above / static_cast<double>(total) : 0.0;
+    u.samples = total;
+    ups.push_back(std::move(u));
+  }
+  return ups;
+}
+
+void OnlineCalibrator::apply(const std::vector<ThresholdUpdate>& updates) {
+  std::map<std::string, GroupStat*> by_name;
+  for (GroupStat& g : groups_) by_name[g.name] = &g;
+  for (const ThresholdUpdate& u : updates) {
+    const auto it = by_name.find(u.layer);
+    if (it == by_name.end()) {
+      throw std::invalid_argument("calib: unknown threshold group '" + u.layer + "'");
+    }
+    it->second->param->value[0] = u.new_log2t;
+  }
+}
+
+std::map<std::string, float> OnlineCalibrator::thresholds() const {
+  std::map<std::string, float> out;
+  for (const GroupStat& g : groups_) out[g.name] = g.param->value[0];
+  return out;
+}
+
+void OnlineCalibrator::set_thresholds(const std::map<std::string, float>& values) {
+  for (GroupStat& g : groups_) {
+    const auto it = values.find(g.name);
+    if (it != values.end()) g.param->value[0] = it->second;
+  }
+}
+
+std::vector<ThresholdUpdate> OnlineCalibrator::calibrate_from(
+    const std::vector<Tensor>& batches, int passes) {
+  if (batches.empty()) {
+    throw std::invalid_argument("calib: calibrate_from needs at least one batch");
+  }
+  if (passes < 1) passes = 1;
+  std::vector<ThresholdUpdate> ups;
+  for (int pass = 0; pass < passes; ++pass) {
+    clear_cumulative();
+    for (const Tensor& b : batches) absorb(b, Sink::kCumulative);
+    ups = derive();
+    apply(ups);
+  }
+  return ups;
+}
+
+void OnlineCalibrator::snapshot_ranges() {
+  for (GroupStat& g : groups_) {
+    float p = 0.0f;
+    bool any = false;
+    for (size_t li : g.members) {
+      const LayerStat& l = layers_[li];
+      if (l.hist.count() == 0) continue;
+      any = true;
+      p = std::max(p, l.hist.percentile(0.999));
+    }
+    if (!any) continue;
+    g.calib_log2_p999 = std::log2(std::max(p, kMinRawThreshold));
+    g.has_snapshot = true;
+  }
+}
+
+std::vector<DriftStat> OnlineCalibrator::drift_stats() const {
+  std::vector<DriftStat> out;
+  for (const GroupStat& g : groups_) {
+    uint64_t total = 0;
+    double above = 0.0;
+    float p = 0.0f;
+    for (size_t li : g.members) {
+      const LayerStat& l = layers_[li];
+      if (l.window.count() == 0) continue;
+      const float live_t = std::exp2(g.param->value[0]);
+      total += l.window.count();
+      above += l.window.fraction_above(live_t) * static_cast<double>(l.window.count());
+      p = std::max(p, l.window.percentile(0.999));
+    }
+    if (total == 0) continue;
+    DriftStat d;
+    d.layer = g.name;
+    d.fraction_clipped = above / static_cast<double>(total);
+    const float log2_p = std::log2(std::max(p, kMinRawThreshold));
+    d.range_shift_bits = g.has_snapshot ? std::fabs(log2_p - g.calib_log2_p999) : 0.0f;
+    d.samples = total;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+int64_t OnlineCalibrator::tqt_retrain(const SyntheticImageDataset& data, int64_t steps,
+                                      uint64_t seed) {
+  if (steps <= 0) return 0;
+  TrainSchedule sched = default_retrain_schedule();
+  sched.batch_size = 32;
+  sched.epochs = static_cast<float>(steps) * static_cast<float>(sched.batch_size) /
+                 static_cast<float>(data.train_size());
+  sched.validate_every = 0;
+  sched.restore_best = false;
+  sched.seed = seed;
+  const TrainResult r =
+      train_graph(model_.graph, model_.input, qres_.quantized_output, data, sched);
+  model_.graph.set_training(false);
+  return r.steps;
+}
+
+FixedPointProgram OnlineCalibrator::compile() {
+  model_.graph.set_training(false);
+  return compile_fixed_point(model_.graph, model_.input, qres_.quantized_output);
+}
+
+Accuracy OnlineCalibrator::evaluate(const SyntheticImageDataset& data) {
+  return evaluate_graph(model_.graph, model_.input, qres_.quantized_output, data);
+}
+
+}  // namespace tqt::calib

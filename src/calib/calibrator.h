@@ -1,0 +1,154 @@
+// OnlineCalibrator: owns a quantized fake-quant graph for the lifetime of a
+// serving lane and recomputes its activation thresholds from streamed data.
+//
+// Construction reproduces the offline static pipeline exactly — build_folded
+// -> quantize_pass -> calibrate_thresholds — so the initial thresholds (and
+// the program compiled from them) are bit-identical to an offline static
+// trial with the same configuration.
+//
+// After that, calibration is observer-driven instead of collect-driven: each
+// non-derived activation quantizer gets a FakeQuantOp observer feeding a
+// fixed-memory StreamingHistogram while quantization proceeds normally, so a
+// single forward pass yields per-layer statistics that account for quantized
+// upstream inputs (the topological property of paper §4.2). derive() then
+// runs KL-J on each histogram, taking the max across quantizers that share a
+// threshold parameter (merged scales must cover every member tensor — same
+// rule as the offline calibrator).
+//
+// Everything here is deterministic: histograms are order-independent, KL-J
+// is a pure function of the histogram, and apply() writes thresholds in
+// group order. Feeding the same batches to two calibrators constructed with
+// the same arguments yields bit-identical compiled programs — the property
+// the shadow-validation tests pin down.
+//
+// NOT thread-safe: the calibration service confines each instance to its
+// worker thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "calib/stats.h"
+#include "core/pipeline.h"
+#include "fixedpoint/engine.h"
+
+namespace tqt::calib {
+
+/// One derived (not yet applied) threshold change of a shared-scale group.
+struct ThresholdUpdate {
+  std::string layer;            ///< threshold parameter name
+  float old_log2t = 0.0f;
+  float new_log2t = 0.0f;
+  double fraction_clipped = 0;  ///< mass above the NEW threshold (pooled)
+  uint64_t samples = 0;         ///< pooled histogram count behind the update
+};
+
+/// Drift of one group's recent-window activations vs. its calibration-time
+/// snapshot.
+struct DriftStat {
+  std::string layer;
+  double fraction_clipped = 0;   ///< window mass above the LIVE threshold
+  float range_shift_bits = 0.0f; ///< |log2 p99.9(window) - log2 p99.9(calib)|
+  uint64_t samples = 0;
+};
+
+class OnlineCalibrator {
+ public:
+  /// Builds the folded graph from pretrained FP32 state, inserts quantizers,
+  /// runs the initial static calibration on `calib_images` images from the
+  /// validation split, and installs the histogram observers. All non-threshold
+  /// parameters are frozen — online adaptation never touches weights.
+  OnlineCalibrator(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
+                   const SyntheticImageDataset& data, const QuantizeConfig& quant,
+                   int hist_bins = 512, int64_t calib_images = 50, uint64_t calib_seed = 50);
+
+  OnlineCalibrator(const OnlineCalibrator&) = delete;
+  OnlineCalibrator& operator=(const OnlineCalibrator&) = delete;
+
+  /// Where observed activations are routed during absorb(): the cumulative
+  /// histograms calibration derives from, or the window histograms drift
+  /// detection compares against the calibration-time snapshot. Outside
+  /// absorb() the sink is always off, so evaluation/retraining forwards do
+  /// not pollute the statistics.
+  enum class Sink { kCumulative, kWindow };
+
+  /// Forward one unlabeled image batch [N,S,S,C] through the quantized graph,
+  /// feeding every layer histogram of the chosen sink.
+  void absorb(const Tensor& batch, Sink sink = Sink::kCumulative);
+
+  /// Images absorbed into the cumulative sink since the last clear.
+  int64_t samples() const { return samples_; }
+
+  void clear_cumulative();
+  void clear_window();
+
+  /// KL-J thresholds from the cumulative histograms; groups with no data are
+  /// omitted (their thresholds stay put). Does not modify the graph.
+  std::vector<ThresholdUpdate> derive();
+
+  /// Write derived thresholds into the shared parameters.
+  void apply(const std::vector<ThresholdUpdate>& updates);
+
+  /// Current log2 thresholds keyed by parameter name (save/restore for the
+  /// rejected-candidate rollback path).
+  std::map<std::string, float> thresholds() const;
+  void set_thresholds(const std::map<std::string, float>& values);
+
+  /// Full calibration: `passes` rounds of { clear cumulative, absorb every
+  /// batch, derive, apply }. Multiple passes re-observe under the thresholds
+  /// of the previous round, converging toward the offline topological
+  /// calibration. Returns the updates of the final pass.
+  std::vector<ThresholdUpdate> calibrate_from(const std::vector<Tensor>& batches, int passes);
+
+  /// Record each group's current log2 p99.9 (from the cumulative histograms)
+  /// as the drift baseline. Call after a successful calibration.
+  void snapshot_ranges();
+
+  /// Drift of the window histograms vs. the live thresholds and the
+  /// snapshot; groups with no window data are omitted.
+  std::vector<DriftStat> drift_stats() const;
+
+  /// Bounded TQT threshold-only retraining (weights are frozen at
+  /// construction): roughly `steps` optimizer steps on the dataset's train
+  /// split. Returns the number of steps actually run.
+  int64_t tqt_retrain(const SyntheticImageDataset& data, int64_t steps, uint64_t seed);
+
+  /// Compile the current thresholds into a fixed-point program.
+  FixedPointProgram compile();
+
+  /// Fake-quant graph accuracy over the full validation split.
+  Accuracy evaluate(const SyntheticImageDataset& data);
+
+  Graph& graph() { return model_.graph; }
+  NodeId input() const { return model_.input; }
+  NodeId quantized_output() const { return qres_.quantized_output; }
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  struct LayerStat {
+    NodeId node = kNoNode;
+    size_t group = 0;
+    QuantBits bits;
+    StreamingHistogram hist;    ///< cumulative (calibration) sink
+    StreamingHistogram window;  ///< recent-window (drift) sink
+  };
+  struct GroupStat {
+    ParamPtr param;
+    std::string name;
+    std::vector<size_t> members;      ///< indices into layers_
+    float calib_log2_p999 = 0.0f;
+    bool has_snapshot = false;
+  };
+
+  BuiltModel model_;
+  QuantizePassResult qres_;
+  std::vector<LayerStat> layers_;
+  std::vector<GroupStat> groups_;
+  int64_t samples_ = 0;
+  bool sink_active_ = false;
+  Sink sink_ = Sink::kCumulative;
+};
+
+}  // namespace tqt::calib

@@ -1,0 +1,96 @@
+#include "calib/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqt::calib {
+
+StreamingHistogram::StreamingHistogram(int bins, float initial_width) {
+  if (bins < 2 || (bins % 2) != 0) {
+    throw std::invalid_argument("StreamingHistogram: bins must be even and >= 2");
+  }
+  if (!(initial_width > 0.0f)) {
+    throw std::invalid_argument("StreamingHistogram: initial width must be positive");
+  }
+  counts_.assign(static_cast<size_t>(bins), 0);
+  width_ = initial_width_ = initial_width;
+}
+
+void StreamingHistogram::fold() {
+  const size_t half = counts_.size() / 2;
+  for (size_t i = 0; i < half; ++i) counts_[i] = counts_[2 * i] + counts_[2 * i + 1];
+  for (size_t i = half; i < counts_.size(); ++i) counts_[i] = 0;
+  width_ *= 2.0f;
+}
+
+void StreamingHistogram::observe(const float* x, int64_t n) {
+  const int64_t bins = static_cast<int64_t>(counts_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (!std::isfinite(a)) continue;
+    int64_t idx = static_cast<int64_t>(static_cast<double>(a) / width_);
+    while (idx >= bins) {
+      fold();
+      idx = static_cast<int64_t>(static_cast<double>(a) / width_);
+    }
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+  }
+}
+
+void StreamingHistogram::clear() {
+  counts_.assign(counts_.size(), 0);
+  width_ = initial_width_;
+  total_ = 0;
+}
+
+double StreamingHistogram::fraction_above(float t) const {
+  if (total_ == 0) return 0.0;
+  if (t <= 0.0f) return 1.0;
+  double above = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo = static_cast<double>(i) * width_;
+    const double hi = lo + width_;
+    if (lo >= t) {
+      above += static_cast<double>(counts_[i]);
+    } else if (hi > t) {
+      above += static_cast<double>(counts_[i]) * (hi - t) / width_;
+    }
+  }
+  return above / static_cast<double>(total_);
+}
+
+float StreamingHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0f;
+  if (p <= 0.0) p = 1e-12;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= rank) return static_cast<float>(i + 1) * width_;
+  }
+  return span();
+}
+
+std::vector<float> StreamingHistogram::float_hist(float* abs_max) const {
+  size_t last = 0;
+  bool any = false;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) {
+      last = i;
+      any = true;
+    }
+  }
+  if (!any) {
+    if (abs_max) *abs_max = 0.0f;
+    return {};
+  }
+  std::vector<float> hist(last + 1);
+  for (size_t i = 0; i <= last; ++i) hist[i] = static_cast<float>(counts_[i]);
+  if (abs_max) *abs_max = static_cast<float>(last + 1) * width_;
+  return hist;
+}
+
+}  // namespace tqt::calib

@@ -1,0 +1,63 @@
+// Fixed-memory streaming statistics for online calibration (tqt-autocal).
+//
+// StreamingHistogram accumulates |x| of activation values into a fixed number
+// of equal-width bins. When a sample lands past the last bin the histogram
+// *folds*: adjacent bin pairs are summed and the bin width doubles, so the
+// memory footprint never grows no matter how wide the observed range gets.
+//
+// Folding is exact and order-independent: for any value v and width w,
+// floor(floor(v/w) / 2) == floor(v / 2w), and because widths only ever scale
+// by powers of two the float divisions on both paths produce identical
+// significands. Two histograms fed the same multiset of values in different
+// orders therefore end bit-identical — the property the calibration service
+// leans on to make online recalibration reproduce an offline run exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tqt::calib {
+
+class StreamingHistogram {
+ public:
+  /// `bins` must be even (folding halves pairwise); width starts at
+  /// `initial_width` and only ever doubles.
+  explicit StreamingHistogram(int bins = 512, float initial_width = 1.0f / 1024.0f);
+
+  /// Absorb |x| of `n` values. Non-finite values are skipped.
+  void observe(const float* x, int64_t n);
+  void observe(const Tensor& t) { observe(t.data(), t.numel()); }
+
+  /// Drop all counts; the bin width resets to the construction value.
+  void clear();
+
+  uint64_t count() const { return total_; }
+  float bin_width() const { return width_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  /// Upper edge of the last bin (the histogram's current span).
+  float span() const { return width_ * static_cast<float>(counts_.size()); }
+
+  /// Fraction of observed samples with |x| > t (the bin straddling t is
+  /// apportioned linearly). 0 when empty.
+  double fraction_above(float t) const;
+
+  /// Upper bin edge of the p-th quantile of |x|, p in (0, 1]. 0 when empty.
+  float percentile(double p) const;
+
+  /// Counts as floats over equal bins spanning [0, *abs_max], trimmed to the
+  /// last non-empty bin — the exact input shape kl_j_threshold_from_hist
+  /// expects. Returns an empty vector when no samples were observed.
+  std::vector<float> float_hist(float* abs_max) const;
+
+ private:
+  void fold();
+
+  std::vector<uint64_t> counts_;
+  float width_ = 0.0f;
+  float initial_width_ = 0.0f;
+  uint64_t total_ = 0;
+};
+
+}  // namespace tqt::calib

@@ -50,14 +50,22 @@ std::map<std::string, Tensor> load_or_pretrain(ModelKind kind, const SyntheticIm
   if (!cache_dir.empty()) {
     std::filesystem::create_directories(cache_dir);
     path = std::filesystem::path(cache_dir) / (model_name(kind) + "_fp32.tqt");
-    if (std::filesystem::exists(path) && is_tensor_file(path.string())) {
-      try {
-        return load_tensors(path.string());
-      } catch (const std::exception& e) {
-        // A stale or damaged cache entry must not wedge the pipeline: warn,
-        // re-pretrain, and overwrite it below.
-        std::fprintf(stderr, "warning: ignoring unreadable weight cache %s (%s)\n",
-                     path.string().c_str(), e.what());
+    if (std::filesystem::exists(path)) {
+      if (is_tensor_file(path.string())) {
+        try {
+          return load_tensors(path.string());
+        } catch (const std::exception& e) {
+          // A stale or damaged cache entry must not wedge the pipeline: warn,
+          // re-pretrain, and overwrite it below.
+          std::fprintf(stderr, "warning: ignoring unreadable weight cache %s (%s)\n",
+                       path.string().c_str(), e.what());
+        }
+      } else {
+        // Wrong magic is a different failure than a truncated tensor stream:
+        // the file is not (or no longer) a tensor cache at all. Say so
+        // explicitly before overwriting it.
+        std::fprintf(stderr, "warning: weight cache %s is corrupt (not a tensor file); re-pretraining\n",
+                     path.string().c_str());
       }
     }
   }
@@ -79,8 +87,6 @@ std::map<std::string, Tensor> load_or_pretrain(ModelKind kind, const SyntheticIm
   return state;
 }
 
-namespace {
-/// Rebuild the model, load FP32 weights, fold BN / rewrite pools.
 BuiltModel build_folded(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
                         const SyntheticImageDataset& data) {
   BuiltModel m = build_model(kind, data.config().num_classes);
@@ -90,7 +96,6 @@ BuiltModel build_folded(ModelKind kind, const std::map<std::string, Tensor>& pre
   optimize_for_quantization(m.graph, m.input, sample);
   return m;
 }
-}  // namespace
 
 Accuracy eval_fp32(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
                    const SyntheticImageDataset& data) {

@@ -64,6 +64,12 @@ struct TrialOutput {
 TrialOutput run_quant_trial(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
                             const SyntheticImageDataset& data, const QuantTrialConfig& cfg);
 
+/// Rebuild the model, load FP32 weights, fold BN / rewrite pools — the graph
+/// every quantized trial starts from. Exposed for the online calibration
+/// service (src/calib), which owns such a graph for the lifetime of a lane.
+BuiltModel build_folded(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
+                        const SyntheticImageDataset& data);
+
 /// FP32 baseline accuracy of the pretrained state.
 Accuracy eval_fp32(ModelKind kind, const std::map<std::string, Tensor>& pretrained,
                    const SyntheticImageDataset& data);

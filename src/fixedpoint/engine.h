@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,20 @@
 #include "tensor/tensor.h"
 
 namespace tqt {
+
+/// FixedPointProgram::load could not open the artifact at all (missing file,
+/// permission problem). Distinct from ProgramFormatError so callers — the
+/// serving registry, the gateway admin plane — can answer "not found" and
+/// "corrupt" with different typed statuses.
+struct ProgramIoError : std::runtime_error {
+  explicit ProgramIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The artifact exists but its content is not a valid fixed-point program
+/// (bad magic, unsupported version, truncation, absurd lengths).
+struct ProgramFormatError : std::runtime_error {
+  explicit ProgramFormatError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// A tensor of integers at a power-of-2 scale: real value = data[i] * 2^e.
 /// This is the *reference* representation (int64 lanes, the logical 8/16-bit

@@ -36,7 +36,7 @@ template <typename T>
 T r(std::ifstream& is) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("fixed-point program: truncated file");
+  if (!is) throw ProgramFormatError("fixed-point program: truncated file");
   return v;
 }
 
@@ -47,10 +47,10 @@ void w_string(std::ofstream& os, const std::string& s) {
 
 std::string r_string(std::ifstream& is) {
   const auto n = r<uint64_t>(is);
-  if (n > (1u << 20)) throw std::runtime_error("fixed-point program: absurd string length");
+  if (n > (1u << 20)) throw ProgramFormatError("fixed-point program: absurd string length");
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
-  if (!is) throw std::runtime_error("fixed-point program: truncated string");
+  if (!is) throw ProgramFormatError("fixed-point program: truncated string");
   return s;
 }
 
@@ -64,10 +64,10 @@ void w_vec(std::ofstream& os, const std::vector<T>& v) {
 template <typename T>
 std::vector<T> r_vec(std::ifstream& is) {
   const auto n = r<uint64_t>(is);
-  if (n > (1ull << 28)) throw std::runtime_error("fixed-point program: absurd vector length");
+  if (n > (1ull << 28)) throw ProgramFormatError("fixed-point program: absurd vector length");
   std::vector<T> v(n);
   is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
-  if (!is) throw std::runtime_error("fixed-point program: truncated vector");
+  if (!is) throw ProgramFormatError("fixed-point program: truncated vector");
   return v;
 }
 }  // namespace
@@ -117,15 +117,15 @@ void FixedPointProgram::save(const std::string& path) const {
 
 FixedPointProgram FixedPointProgram::load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  if (!is) throw ProgramIoError("cannot open for read: " + path);
   char magic[4];
   is.read(magic, 4);
   if (!is || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("not a fixed-point program file: " + path);
+    throw ProgramFormatError("not a fixed-point program file: " + path);
   }
   const uint32_t version = r<uint32_t>(is);
   if (version < kMinVersion || version > kVersion) {
-    throw std::runtime_error("fixed-point program: unsupported version " +
+    throw ProgramFormatError("fixed-point program: unsupported version " +
                              std::to_string(version) + " (this build reads versions " +
                              std::to_string(kMinVersion) + ".." + std::to_string(kVersion) +
                              "): " + path);
@@ -135,7 +135,7 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
   prog.input_register = r<int>(is);
   prog.output_register = r<int>(is);
   const auto count = r<uint64_t>(is);
-  if (count > (1u << 20)) throw std::runtime_error("fixed-point program: absurd instr count");
+  if (count > (1u << 20)) throw ProgramFormatError("fixed-point program: absurd instr count");
   prog.instrs_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     FpInstr in;
@@ -144,7 +144,7 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
                                   ? static_cast<uint32_t>(FpInstr::Kind::kDenseFused)
                                   : static_cast<uint32_t>(FpInstr::Kind::kFlatten);
     if (kind > max_kind) {
-      throw std::runtime_error("fixed-point program: bad instruction kind");
+      throw ProgramFormatError("fixed-point program: bad instruction kind");
     }
     in.kind = static_cast<FpInstr::Kind>(kind);
     in.inputs = r_vec<int>(is);

@@ -138,6 +138,34 @@ GatewayClient::TaggedResponse GatewayClient::recv_response() {
   return tagged;
 }
 
+AdminResponse GatewayClient::admin(const AdminRequest& req) {
+  const uint32_t id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  append_admin_request_frame(frame, id, req);
+  send_all(frame.data(), frame.size());
+
+  uint8_t header[kHeaderBytes];
+  recv_exact(header, kHeaderBytes, /*eof_ok=*/false);
+  FrameHeader h;
+  std::string err;
+  if (parse_header(header, kHeaderBytes, &h, &err) != HeaderParse::kOk) {
+    throw ClientError("client: bad frame from server: " + err);
+  }
+  if (h.type != FrameType::kAdminResponse) {
+    throw ClientError("client: server sent a non-admin-response frame");
+  }
+  if (h.request_id != id) {
+    throw ClientError("client: admin response id mismatch");
+  }
+  std::vector<uint8_t> payload(h.payload_len);
+  if (h.payload_len > 0) recv_exact(payload.data(), payload.size(), /*eof_ok=*/false);
+  AdminResponse resp;
+  if (!parse_admin_response_payload(payload.data(), payload.size(), h.status, &resp, &err)) {
+    throw ClientError("client: bad admin response payload: " + err);
+  }
+  return resp;
+}
+
 InferResponse GatewayClient::infer(const std::string& model, const Tensor& sample,
                                    uint32_t deadline_us) {
   const uint32_t id = send_infer(model, sample, deadline_us);

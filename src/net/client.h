@@ -60,6 +60,12 @@ class GatewayClient {
   /// or a frame that fails to parse.
   TaggedResponse recv_response();
 
+  /// Send one admin-plane request (tqt-autocal control: calibration batches,
+  /// status, trigger, dry-run, rollback, swap-file) and block for its
+  /// kAdminResponse. Lock-step only; do not interleave with pipelined
+  /// send_infer on the same connection.
+  AdminResponse admin(const AdminRequest& req);
+
   /// Write raw bytes to the socket (protocol fuzzing hook).
   void send_bytes(const void* data, size_t n);
 

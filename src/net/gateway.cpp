@@ -65,6 +65,7 @@ Gateway::Gateway(serve::InferenceServer& server, GatewayConfig cfg)
   accepted_ = &reg.counter("net.connections_accepted");
   rejected_ = &reg.counter("net.connections_rejected");
   requests_ = &reg.counter("net.requests");
+  admin_requests_ = &reg.counter("net.admin_requests");
   responses_ = &reg.counter("net.responses");
   sheds_ = &reg.counter("net.sheds");
   deadline_drops_ = &reg.counter("net.deadline_drops");
@@ -300,14 +301,17 @@ void Gateway::parse_frames(Conn& conn) {
       break;
     }
     if (avail < kHeaderBytes + h.payload_len) break;  // wait for the payload
-    if (h.type != FrameType::kRequest) {
+    if (h.type == FrameType::kAdminRequest) {
+      handle_admin_request(conn, h, data + kHeaderBytes);
+    } else if (h.type == FrameType::kRequest) {
+      handle_request(conn, h, data + kHeaderBytes);
+    } else {
       malformed_->inc();
       respond_error(conn, h.request_id, WireStatus::kMalformed,
                     "clients must send request frames");
       conn.close_after_flush = true;
       break;
     }
-    handle_request(conn, h, data + kHeaderBytes);
     consumed += kHeaderBytes + h.payload_len;
   }
   if (consumed > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + static_cast<long>(consumed));
@@ -391,6 +395,63 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
   }
 }
 
+void Gateway::handle_admin_request(Conn& conn, const FrameHeader& h, const uint8_t* payload) {
+  TQT_TRACE("net.parse", "net");
+  admin_requests_->inc();
+
+  AdminRequest req;
+  std::string err;
+  if (!parse_admin_request_payload(payload, h.payload_len, &req, &err)) {
+    malformed_->inc();
+    respond_admin(conn, h.request_id, WireStatus::kMalformed, err);
+    return;
+  }
+  if (!cfg_.admin) {
+    respond_admin(conn, h.request_id, WireStatus::kInternal, "admin interface not enabled");
+    return;
+  }
+  if (draining_) {
+    respond_admin(conn, h.request_id, WireStatus::kShuttingDown, "server is draining");
+    return;
+  }
+  // Admin operations ride the same in-flight accounting and completion queue
+  // as inference: the handler answers from its own thread, the drain waits
+  // for it, and the event loop never blocks on calibration work.
+  shared_->inflight.fetch_add(1, std::memory_order_acq_rel);
+  inflight_gauge_->set(shared_->inflight.load(std::memory_order_relaxed));
+  ++conn.pending_replies;
+  auto done_once = std::make_shared<std::atomic<bool>>(false);
+  AdminHandler::DoneFn done = [shared = shared_, cid = conn.id, rid = h.request_id,
+                               done_once](WireStatus status, std::string message) {
+    if (done_once->exchange(true)) return;  // exactly-once guard
+    CompletionMsg m;
+    m.conn_id = cid;
+    m.request_id = rid;
+    m.status = status;
+    m.message = std::move(message);
+    m.admin = true;
+    shared->push(std::move(m));
+  };
+  try {
+    cfg_.admin->handle_admin(std::move(req), done);
+  } catch (const std::exception& e) {
+    done(WireStatus::kInternal, e.what());
+  } catch (...) {
+    done(WireStatus::kInternal, "admin handler failed");
+  }
+}
+
+void Gateway::respond_admin(Conn& conn, uint32_t request_id, WireStatus status,
+                            const std::string& message) {
+  TQT_TRACE("net.respond", "net");
+  AdminResponse resp;
+  resp.status = status;
+  resp.message = message;
+  append_admin_response_frame(conn.out, request_id, resp);
+  responses_->inc();
+  conn_writable(conn);  // opportunistic flush
+}
+
 void Gateway::respond_error(Conn& conn, uint32_t request_id, WireStatus status,
                             const std::string& message) {
   TQT_TRACE("net.respond", "net");
@@ -416,11 +477,18 @@ void Gateway::process_completions() {
     TQT_TRACE("net.respond", "net");
     Conn& conn = it->second;
     --conn.pending_replies;
-    InferResponse resp;
-    resp.status = m.status;
-    resp.message = std::move(m.message);
-    resp.output = std::move(m.output);
-    append_response_frame(conn.out, m.request_id, resp);
+    if (m.admin) {
+      AdminResponse aresp;
+      aresp.status = m.status;
+      aresp.message = std::move(m.message);
+      append_admin_response_frame(conn.out, m.request_id, aresp);
+    } else {
+      InferResponse resp;
+      resp.status = m.status;
+      resp.message = std::move(m.message);
+      resp.output = std::move(m.output);
+      append_response_frame(conn.out, m.request_id, resp);
+    }
     responses_->inc();
     if (conn.saw_eof && conn.pending_replies == 0) conn.close_after_flush = true;
     conn_writable(conn);

@@ -32,6 +32,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,19 @@
 
 namespace tqt::net {
 
+/// Admin-plane hook: the calibration service (src/calib) implements this so
+/// the gateway can route kAdminRequest frames to it without net depending on
+/// calib. handle_admin must NOT block the caller (the event-loop thread):
+/// heavy operations run on the handler's own thread and answer through
+/// `done`, which is thread-safe, may be called from any thread, and must be
+/// called exactly once. The handler must outlive the gateway.
+class AdminHandler {
+ public:
+  virtual ~AdminHandler() = default;
+  using DoneFn = std::function<void(WireStatus, std::string message)>;
+  virtual void handle_admin(AdminRequest&& req, DoneFn done) = 0;
+};
+
 struct GatewayConfig {
   uint16_t port = 0;         ///< TCP port; 0 binds an ephemeral port (see port())
   bool loopback_only = true; ///< bind 127.0.0.1 (default) or INADDR_ANY
@@ -51,6 +65,9 @@ struct GatewayConfig {
   int max_connections = 64;  ///< concurrent connections; extras are closed on accept
   int max_inflight = 256;    ///< submitted-but-unanswered requests across all conns
   int drain_timeout_ms = 5000;  ///< bound on the graceful-drain wait
+  /// Admin-plane handler for kAdminRequest frames; null answers every admin
+  /// frame with kInternal ("admin interface not enabled").
+  AdminHandler* admin = nullptr;
 };
 
 /// Network front-end over one InferenceServer. Construction binds, listens
@@ -100,6 +117,7 @@ class Gateway {
     WireStatus status = WireStatus::kInternal;
     Tensor output;
     std::string message;
+    bool admin = false;  ///< serialize as kAdminResponse (message-only payload)
   };
 
   /// State shared with in-flight completion callbacks. Callbacks hold a
@@ -121,7 +139,10 @@ class Gateway {
   void conn_writable(Conn& conn);
   void parse_frames(Conn& conn);
   void handle_request(Conn& conn, const FrameHeader& h, const uint8_t* payload);
+  void handle_admin_request(Conn& conn, const FrameHeader& h, const uint8_t* payload);
   void respond_error(Conn& conn, uint32_t request_id, WireStatus status,
+                     const std::string& message);
+  void respond_admin(Conn& conn, uint32_t request_id, WireStatus status,
                      const std::string& message);
   void process_completions();
   void close_conn(uint64_t id);
@@ -149,6 +170,7 @@ class Gateway {
   observe::Counter* accepted_ = nullptr;
   observe::Counter* rejected_ = nullptr;
   observe::Counter* requests_ = nullptr;
+  observe::Counter* admin_requests_ = nullptr;
   observe::Counter* responses_ = nullptr;
   observe::Counter* sheds_ = nullptr;
   observe::Counter* deadline_drops_ = nullptr;

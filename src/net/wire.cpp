@@ -15,6 +15,19 @@ const char* to_string(WireStatus s) {
     case WireStatus::kMalformed: return "malformed";
     case WireStatus::kShuttingDown: return "shutting_down";
     case WireStatus::kInternal: return "internal";
+    case WireStatus::kCorruptModel: return "corrupt_model";
+  }
+  return "?";
+}
+
+const char* to_string(AdminOp op) {
+  switch (op) {
+    case AdminOp::kCalibBatch: return "calib_batch";
+    case AdminOp::kStatus: return "status";
+    case AdminOp::kTrigger: return "trigger";
+    case AdminOp::kDryRun: return "dry_run";
+    case AdminOp::kRollback: return "rollback";
+    case AdminOp::kSwapFile: return "swap_file";
   }
   return "?";
 }
@@ -194,6 +207,37 @@ void append_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
   patch_payload_len(out, header_at);
 }
 
+void append_admin_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                                const AdminRequest& req) {
+  if (req.model.empty() || req.model.size() > kMaxModelNameBytes) {
+    throw std::invalid_argument("wire: model name must be 1..256 bytes");
+  }
+  if (req.arg.size() > 0xffff) {
+    throw std::invalid_argument("wire: admin arg must fit in 65535 bytes");
+  }
+  if (req.has_batch) check_tensor_bounds(req.batch, "admin batch tensor");
+  const size_t header_at = out.size();
+  append_header(out, FrameType::kAdminRequest, WireStatus::kOk, request_id, 0);
+  out.push_back(static_cast<uint8_t>(req.op));
+  put_u16(out, static_cast<uint16_t>(req.model.size()));
+  out.insert(out.end(), req.model.begin(), req.model.end());
+  put_u16(out, static_cast<uint16_t>(req.arg.size()));
+  out.insert(out.end(), req.arg.begin(), req.arg.end());
+  out.push_back(req.has_batch ? 1 : 0);
+  if (req.has_batch) append_tensor(out, req.batch);
+  patch_payload_len(out, header_at);
+}
+
+void append_admin_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                                 const AdminResponse& resp) {
+  const size_t header_at = out.size();
+  append_header(out, FrameType::kAdminResponse, resp.status, request_id, 0);
+  const size_t len = std::min(resp.message.size(), size_t{0xffff});
+  put_u16(out, static_cast<uint16_t>(len));
+  out.insert(out.end(), resp.message.begin(), resp.message.begin() + static_cast<long>(len));
+  patch_payload_len(out, header_at);
+}
+
 HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::string* err) {
   if (n >= 4 && get_u32(data) != kMagic) {
     if (err) *err = "bad magic";
@@ -209,11 +253,11 @@ HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::str
   const uint8_t status = data[6];
   const uint8_t reserved = data[7];
   if (version != kVersion) return corrupt("unsupported protocol version");
-  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse)) {
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kAdminResponse)) {
     return corrupt("unknown frame type");
   }
-  if (status > static_cast<uint8_t>(WireStatus::kInternal)) return corrupt("unknown status code");
+  if (status > static_cast<uint8_t>(kMaxWireStatus)) return corrupt("unknown status code");
   if (reserved != 0) return corrupt("nonzero reserved byte");
   const uint32_t payload_len = get_u32(data + 12);
   if (payload_len > kMaxPayloadBytes) return corrupt("declared payload length over bound");
@@ -256,6 +300,55 @@ bool parse_response_payload(const uint8_t* payload, size_t n, WireStatus status,
   if (r.remaining() != 0) return fail(err, "trailing bytes after error message");
   resp->message = std::move(msg);
   resp->output = Tensor();
+  return true;
+}
+
+bool parse_admin_request_payload(const uint8_t* payload, size_t n, AdminRequest* req,
+                                 std::string* err) {
+  Reader r{payload, n};
+  uint8_t op = 0;
+  if (!r.u8(&op)) return fail(err, "truncated admin op");
+  if (op < static_cast<uint8_t>(AdminOp::kCalibBatch) ||
+      op > static_cast<uint8_t>(AdminOp::kSwapFile)) {
+    return fail(err, "unknown admin op");
+  }
+  uint16_t name_len = 0;
+  if (!r.u16(&name_len)) return fail(err, "truncated model name length");
+  if (name_len < 1 || name_len > kMaxModelNameBytes) {
+    return fail(err, "model name length outside 1..256");
+  }
+  std::string name(name_len, '\0');
+  if (!r.bytes(name.data(), name_len)) return fail(err, "truncated model name");
+  uint16_t arg_len = 0;
+  if (!r.u16(&arg_len)) return fail(err, "truncated admin arg length");
+  std::string arg(arg_len, '\0');
+  if (!r.bytes(arg.data(), arg_len)) return fail(err, "truncated admin arg");
+  uint8_t has_batch = 0;
+  if (!r.u8(&has_batch)) return fail(err, "truncated admin batch flag");
+  if (has_batch > 1) return fail(err, "admin batch flag must be 0 or 1");
+  if (has_batch) {
+    if (!parse_tensor(r, &req->batch, err)) return false;
+  } else {
+    if (r.remaining() != 0) return fail(err, "trailing bytes after admin request");
+    req->batch = Tensor();
+  }
+  req->op = static_cast<AdminOp>(op);
+  req->model = std::move(name);
+  req->arg = std::move(arg);
+  req->has_batch = has_batch != 0;
+  return true;
+}
+
+bool parse_admin_response_payload(const uint8_t* payload, size_t n, WireStatus status,
+                                  AdminResponse* resp, std::string* err) {
+  Reader r{payload, n};
+  resp->status = status;
+  uint16_t msg_len = 0;
+  if (!r.u16(&msg_len)) return fail(err, "truncated admin message length");
+  std::string msg(msg_len, '\0');
+  if (!r.bytes(msg.data(), msg_len)) return fail(err, "truncated admin message");
+  if (r.remaining() != 0) return fail(err, "trailing bytes after admin message");
+  resp->message = std::move(msg);
   return true;
 }
 

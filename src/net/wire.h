@@ -7,7 +7,8 @@
 //   offset  size  field
 //        0     4  magic        0x47545154 ("TQTG")
 //        4     1  version      kVersion (1)
-//        5     1  type         FrameType (1 = request, 2 = response)
+//        5     1  type         FrameType (1 = request, 2 = response,
+//                              3 = admin request, 4 = admin response)
 //        6     1  status       WireStatus (0 in requests)
 //        7     1  reserved     must be 0
 //        8     4  request_id   echoed verbatim in the response
@@ -43,11 +44,16 @@ enum class WireStatus : uint8_t {
   kOk = 0,
   kShed = 1,              ///< admission control rejected (queue / in-flight full)
   kDeadlineExceeded = 2,  ///< the request's deadline passed before execution
-  kBadModel = 3,          ///< no model deployed under the requested name
+  kBadModel = 3,          ///< no model / version under the requested name
   kMalformed = 4,         ///< the request could not be parsed / bound
   kShuttingDown = 5,      ///< server is draining; no new work accepted
   kInternal = 6,          ///< execution failed server-side
+  kCorruptModel = 7,      ///< the model artifact exists but failed to parse —
+                          ///< distinct from kBadModel ("not found") so admin
+                          ///< clients can tell a typo from a damaged file
 };
+
+inline constexpr WireStatus kMaxWireStatus = WireStatus::kCorruptModel;
 
 const char* to_string(WireStatus s);
 
@@ -58,7 +64,30 @@ inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;  // 16 MiB frame bound
 inline constexpr size_t kMaxModelNameBytes = 256;
 inline constexpr int kMaxRank = 6;
 
-enum class FrameType : uint8_t { kRequest = 1, kResponse = 2 };
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kAdminRequest = 3,   ///< calibration / deployment control plane (tqt-autocal)
+  kAdminResponse = 4,
+};
+
+/// Admin-plane operations (frame type kAdminRequest). The payload layout is
+///   u8 op, u16 name_len, name bytes, u16 arg_len, arg bytes,
+///   u8 has_batch, [tensor (u8 rank, u32 dims[], f32 data[])]
+/// and the kAdminResponse payload is always
+///   u16 message_len, message bytes
+/// regardless of status — admin results are human/script-readable text
+/// (status JSON, dry-run tables, promotion reports).
+enum class AdminOp : uint8_t {
+  kCalibBatch = 1,  ///< absorb an unlabeled calibration batch (tensor required)
+  kStatus = 2,      ///< JSON snapshot of the calibration service state
+  kTrigger = 3,     ///< force a full calibrate→validate→promote cycle now
+  kDryRun = 4,      ///< derive would-be thresholds, report, do NOT deploy
+  kRollback = 5,    ///< reinstall the previous program version
+  kSwapFile = 6,    ///< validate + promote a server-side artifact (arg = path)
+};
+
+const char* to_string(AdminOp op);
 
 struct FrameHeader {
   uint8_t version = kVersion;
@@ -80,6 +109,19 @@ struct InferResponse {
   std::string message;  ///< human-readable detail when status != kOk
 };
 
+struct AdminRequest {
+  AdminOp op = AdminOp::kStatus;
+  std::string model;      ///< target lane name (1..kMaxModelNameBytes)
+  std::string arg;        ///< op-specific string argument (kSwapFile: path)
+  bool has_batch = false;
+  Tensor batch;           ///< calibration batch (kCalibBatch)
+};
+
+struct AdminResponse {
+  WireStatus status = WireStatus::kInternal;
+  std::string message;  ///< always set: report text or error detail
+};
+
 // ---- Encoding --------------------------------------------------------------
 
 /// Append a complete request frame (header + payload) to `out`.
@@ -92,6 +134,15 @@ void append_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
 /// message payload otherwise).
 void append_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
                            const InferResponse& resp);
+
+/// Append a complete admin request frame. Throws std::invalid_argument on
+/// protocol-bound violations (name length, tensor bounds, oversized arg).
+void append_admin_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                                const AdminRequest& req);
+
+/// Append a complete admin response frame (message payload, any status).
+void append_admin_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
+                                 const AdminResponse& resp);
 
 // ---- Decoding --------------------------------------------------------------
 
@@ -116,5 +167,13 @@ bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
 /// `status`. Returns false (with `err` set) on malformed input.
 bool parse_response_payload(const uint8_t* payload, size_t n, WireStatus status,
                             InferResponse* resp, std::string* err);
+
+/// Parse an admin request payload of exactly `n` bytes.
+bool parse_admin_request_payload(const uint8_t* payload, size_t n, AdminRequest* req,
+                                 std::string* err);
+
+/// Parse an admin response payload of exactly `n` bytes.
+bool parse_admin_response_payload(const uint8_t* payload, size_t n, WireStatus status,
+                                  AdminResponse* resp, std::string* err);
 
 }  // namespace tqt::net

@@ -108,6 +108,7 @@ float FakeQuantOp::scale() const {
 
 Tensor FakeQuantOp::forward(const std::vector<const Tensor*>& in) {
   const Tensor& x = *in[0];
+  if (observer_) observer_(x);
   x_ = x;
   if (!enabled_ || collect_) {
     if (collect_) {

@@ -92,6 +92,17 @@ class FakeQuantOp final : public Op {
   const std::vector<float>& collected() const { return collected_; }
   void clear_collected() { collected_.clear(); }
 
+  /// Non-invasive observation: unlike collect mode, the observer sees the
+  /// pre-quantization input x on every forward while quantization proceeds
+  /// normally — so downstream layers still receive quantized activations.
+  /// This is what the online calibration service (src/calib) hangs its
+  /// fixed-memory histograms on: one forward pass yields per-layer statistics
+  /// that account for quantized upstream inputs, exactly the topological
+  /// property static calibration (§4.2) needs. Null clears the hook.
+  using Observer = std::function<void(const Tensor& x)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  bool observed() const { return static_cast<bool>(observer_); }
+
  private:
   QuantBits bits_;
   QuantMode mode_ = QuantMode::kTqt;
@@ -104,6 +115,7 @@ class FakeQuantOp final : public Op {
   bool collect_ = false;
   RoundMode round_mode_ = RoundMode::kHalfToEven;
   std::vector<float> collected_;
+  Observer observer_;
 
   // Cached forward state for backward.
   Tensor x_;

@@ -89,6 +89,7 @@ SubmitResult InferenceServer::submit(const std::string& name, Tensor sample,
     res.status = SubmitStatus::kUnknownModel;
     return res;
   }
+  if (cfg_.mirror) cfg_.mirror(name, sample);
   return lane->batcher->submit(std::move(sample), opts);
 }
 
@@ -96,6 +97,7 @@ SubmitStatus InferenceServer::submit_async(const std::string& name, Tensor sampl
                                            SubmitOptions opts, MicroBatcher::DoneFn done) {
   Lane* lane = find_lane(name);
   if (!lane) return SubmitStatus::kUnknownModel;
+  if (cfg_.mirror) cfg_.mirror(name, sample);
   return lane->batcher->submit_async(std::move(sample), opts, std::move(done));
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,12 @@ struct ServerConfig {
   /// counts per server instance; pass &observe::MetricsRegistry::global()
   /// to publish serving metrics alongside engine/runtime ones.
   observe::MetricsRegistry* metrics = nullptr;
+  /// Optional traffic mirror: invoked with (model name, sample) on every
+  /// submit/submit_async that found its lane, before admission control. Must
+  /// be cheap and thread-safe — it runs on the submitting thread. The online
+  /// calibration service (src/calib) uses this to retain a sampled ring of
+  /// live inputs for drift detection; unset it costs one branch.
+  std::function<void(const std::string& name, const Tensor& sample)> mirror;
 };
 
 class InferenceServer {

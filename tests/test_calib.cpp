@@ -1,0 +1,615 @@
+// Tests for tqt-autocal (src/calib): streaming histograms, the online
+// calibrator, and the calibration service. Headline contracts:
+//
+//  * StreamingHistogram is exact and order-independent — the determinism
+//    anchor: feeding the same batches to two calibrators yields bit-identical
+//    thresholds and therefore bit-identical compiled programs;
+//  * a promoted program is bit-exact against an offline calibrator fed the
+//    same batches (the "offline recalibrated reference");
+//  * the shadow validator rejects a deliberately broken candidate, the old
+//    thresholds are restored, and the next clean cycle promotes;
+//  * rollback reinstalls the previous version (and a second rollback is a
+//    typed kBadModel); swap-file distinguishes kBadModel from kCorruptModel;
+//  * injected drift (a gain-shifted request stream) trips the detector and
+//    auto-recalibrates without a single failed inference response;
+//  * hot-swaps under 4 concurrent client connections keep every response
+//    bit-exact against exactly one promoted version.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+#include "calib/autocal.h"
+#include "calib/calibrator.h"
+#include "calib/stats.h"
+#include "core/pipeline.h"
+#include "net/client.h"
+#include "net/gateway.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+using calib::AutocalConfig;
+using calib::AutocalState;
+using calib::CalibrationService;
+using calib::OnlineCalibrator;
+using calib::StreamingHistogram;
+using net::AdminOp;
+using net::AdminRequest;
+using net::AdminResponse;
+using net::WireStatus;
+
+// ---- Shared fixture ---------------------------------------------------------
+
+DatasetConfig tiny_config() {
+  DatasetConfig cfg = default_dataset_config();
+  cfg.train_size = 320;
+  cfg.val_size = 160;
+  return cfg;
+}
+
+/// One pretrained model for the whole suite — pretraining dominates the cost
+/// of every service test, so it runs exactly once.
+struct World {
+  SyntheticImageDataset data;
+  std::map<std::string, Tensor> state;
+  World() : data(tiny_config()) {
+    PretrainConfig pc;
+    pc.epochs = 4.0f;
+    state = load_or_pretrain(ModelKind::kMiniVgg, data, /*cache_dir=*/"", pc);
+  }
+};
+
+World& world() {
+  static World* w = new World();
+  return *w;
+}
+
+AutocalConfig base_cfg() {
+  AutocalConfig cfg;
+  cfg.model = "m";
+  cfg.kind = ModelKind::kMiniVgg;
+  cfg.holdout_images = 64;
+  cfg.holdout_batch = 32;
+  cfg.min_samples = 64;
+  cfg.mirror_every = 0;  // drift tests opt in explicitly
+  cfg.accuracy_drop_tolerance = 0.15;
+  return cfg;
+}
+
+/// An offline calibrator constructed exactly like the service's — feeding it
+/// the same batches must reproduce the service's promoted program bit for bit.
+std::unique_ptr<OnlineCalibrator> offline_mirror(const AutocalConfig& cfg) {
+  return std::make_unique<OnlineCalibrator>(cfg.kind, world().state, world().data, cfg.quant,
+                                            cfg.hist_bins, cfg.calib_images, cfg.calib_seed);
+}
+
+AdminRequest batch_request(const std::string& model, Tensor images) {
+  AdminRequest req;
+  req.op = AdminOp::kCalibBatch;
+  req.model = model;
+  req.has_batch = true;
+  req.batch = std::move(images);
+  return req;
+}
+
+AdminRequest op_request(AdminOp op, const std::string& model, std::string arg = "") {
+  AdminRequest req;
+  req.op = op;
+  req.model = model;
+  req.arg = std::move(arg);
+  return req;
+}
+
+Tensor scaled(Tensor t, float gain) {
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] *= gain;
+  return t;
+}
+
+// ---- StreamingHistogram -----------------------------------------------------
+
+TEST(StreamingHistogram, FoldPreservesTotalCountAcrossWideRanges) {
+  StreamingHistogram h(64, 1.0f / 1024.0f);
+  std::vector<float> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(0.0001f * static_cast<float>(i % 37) + 0.01f);
+  }
+  values.push_back(500.0f);   // forces many width doublings
+  values.push_back(-500.0f);  // |x| histogram: sign is dropped
+  h.observe(values.data(), static_cast<int64_t>(values.size()));
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(values.size()));
+  EXPECT_GE(h.bin_width() * static_cast<float>(h.bins()), 500.0f);  // span covers the max
+  // A threshold inside the bin holding the max gets a sliver of linearly
+  // apportioned mass; past that bin's upper edge the tail is exactly zero.
+  EXPECT_LT(h.fraction_above(501.0f), 0.001);
+  EXPECT_DOUBLE_EQ(h.fraction_above(600.0f), 0.0);
+  EXPECT_GT(h.fraction_above(0.001f), 0.9);
+}
+
+TEST(StreamingHistogram, OrderIndependenceIsExact) {
+  Rng rng(9);
+  const Tensor t = rng.normal_tensor({4096}, 0.0f, 3.0f);
+  std::vector<float> forward(t.data(), t.data() + t.numel());
+  std::vector<float> reversed(forward.rbegin(), forward.rend());
+  // Interleave a large value early vs late: the early-fold and late-fold
+  // paths must land every sample in the same final bin.
+  forward.push_back(1000.0f);
+  reversed.insert(reversed.begin(), 1000.0f);
+
+  StreamingHistogram a(128), b(128);
+  a.observe(forward.data(), static_cast<int64_t>(forward.size()));
+  b.observe(reversed.data(), static_cast<int64_t>(reversed.size()));
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.bin_width(), b.bin_width());
+  float amax = 0, bmax = 0;
+  const std::vector<float> ha = a.float_hist(&amax);
+  const std::vector<float> hb = b.float_hist(&bmax);
+  EXPECT_EQ(amax, bmax);
+  ASSERT_EQ(ha.size(), hb.size());
+  for (size_t i = 0; i < ha.size(); ++i) EXPECT_EQ(ha[i], hb[i]) << "bin " << i;
+  EXPECT_EQ(a.percentile(0.999), b.percentile(0.999));
+}
+
+TEST(StreamingHistogram, ClearResetsWidthAndCount) {
+  StreamingHistogram h(32, 0.5f);
+  const float big = 1e6f;
+  h.observe(&big, 1);
+  EXPECT_GT(h.bin_width(), 0.5f);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bin_width(), 0.5f);
+  float mx = -1;
+  EXPECT_TRUE(h.float_hist(&mx).empty());
+}
+
+// ---- OnlineCalibrator -------------------------------------------------------
+
+TEST(OnlineCalibrator, SameBatchesYieldBitIdenticalThresholdsAndPrograms) {
+  const AutocalConfig cfg = base_cfg();
+  auto a = offline_mirror(cfg);
+  auto b = offline_mirror(cfg);
+  ASSERT_GT(a->group_count(), 0u);
+
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  a->calibrate_from(batches, 2);
+  b->calibrate_from(batches, 2);
+
+  const auto ta = a->thresholds();
+  const auto tb = b->thresholds();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (const auto& [name, v] : ta) EXPECT_EQ(v, tb.at(name)) << name;  // exact float equality
+
+  const FixedPointProgram pa = a->compile();
+  const FixedPointProgram pb = b->compile();
+  const Tensor probe = world().data.val_batch(64, 3).images;
+  EXPECT_TRUE(test::run_program(pa, probe).equals(test::run_program(pb, probe)));
+}
+
+TEST(OnlineCalibrator, DeriveWithoutDataLeavesThresholdsAlone) {
+  auto c = offline_mirror(base_cfg());
+  const auto before = c->thresholds();
+  EXPECT_TRUE(c->derive().empty());
+  EXPECT_EQ(c->thresholds(), before);
+}
+
+// ---- CalibrationService: lifecycle and admin plane --------------------------
+
+TEST(CalibService, DeploysInitialVersionThatServesBitExact) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+  EXPECT_EQ(svc.live_version(), 1u);
+  EXPECT_EQ(svc.state(), AutocalState::kIdle);
+
+  // Version 1 is the same program an offline static calibration produces.
+  const FixedPointProgram reference = offline_mirror(cfg)->compile();
+  const Tensor probe = world().data.val_batch(0, 1).images;
+  serve::SubmitResult res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(reference, probe)));
+}
+
+TEST(CalibService, TriggerPromotesBitExactAgainstOfflineRecalibration) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  for (const Tensor& b : batches) {
+    const AdminResponse r = svc.admin_sync(batch_request(cfg.model, b));
+    ASSERT_EQ(r.status, WireStatus::kOk) << r.message;
+  }
+  EXPECT_EQ(svc.state(), AutocalState::kCollecting);
+
+  const AdminResponse r = svc.recalibrate_now();
+  ASSERT_EQ(r.status, WireStatus::kOk) << r.message;
+  EXPECT_NE(r.message.find("promoted version 2"), std::string::npos) << r.message;
+  EXPECT_EQ(svc.live_version(), 2u);
+  EXPECT_EQ(svc.state(), AutocalState::kIdle);
+
+  // The promoted program must match an offline calibrator fed the same
+  // batches — threshold derivation is a pure function of the data.
+  auto offline = offline_mirror(cfg);
+  offline->calibrate_from(batches, cfg.calib_passes);
+  const FixedPointProgram reference = offline->compile();
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  serve::SubmitResult res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(reference, probe)));
+}
+
+TEST(CalibService, TriggerWithoutEnoughDataIsATypedFailure) {
+  serve::InferenceServer server;
+  AutocalConfig cfg = base_cfg();
+  cfg.min_samples = 64;
+  CalibrationService svc(server, world().data, world().state, cfg);
+
+  AdminResponse r = svc.recalibrate_now();
+  EXPECT_EQ(r.status, WireStatus::kInternal);
+  EXPECT_NE(r.message.find("no calibration data"), std::string::npos) << r.message;
+
+  // 8 images < min_samples 64: collected but not enough for a cycle.
+  r = svc.admin_sync(batch_request(cfg.model, world().data.val_batch(0, 8).images));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  r = svc.recalibrate_now();
+  EXPECT_EQ(r.status, WireStatus::kInternal);
+  EXPECT_NE(r.message.find("insufficient calibration data"), std::string::npos) << r.message;
+  EXPECT_EQ(svc.live_version(), 1u);
+}
+
+TEST(CalibService, MalformedBatchIsRejectedWithoutSideEffects) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+  Rng rng(3);
+
+  AdminRequest bad = batch_request(cfg.model, rng.normal_tensor({16, 16, 3}));  // rank 3
+  AdminResponse r = svc.admin_sync(bad);
+  EXPECT_EQ(r.status, WireStatus::kMalformed);
+
+  bad = batch_request(cfg.model, rng.normal_tensor({2, 8, 8, 3}));  // wrong sample shape
+  r = svc.admin_sync(bad);
+  EXPECT_EQ(r.status, WireStatus::kMalformed);
+
+  AdminRequest no_tensor = op_request(AdminOp::kCalibBatch, cfg.model);
+  r = svc.admin_sync(no_tensor);
+  EXPECT_EQ(r.status, WireStatus::kMalformed);
+  EXPECT_EQ(svc.state(), AutocalState::kIdle);
+}
+
+TEST(CalibService, DryRunReportsThresholdsWithoutDeploying) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+
+  // Dry run before any data is a typed failure, not a crash.
+  AdminResponse r = svc.admin_sync(op_request(AdminOp::kDryRun, cfg.model));
+  EXPECT_EQ(r.status, WireStatus::kInternal);
+
+  const AdminResponse fed =
+      svc.admin_sync(batch_request(cfg.model, world().data.val_batch(0, 32).images));
+  ASSERT_EQ(fed.status, WireStatus::kOk);
+  r = svc.admin_sync(op_request(AdminOp::kDryRun, cfg.model));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  EXPECT_NE(r.message.find("log2t"), std::string::npos) << r.message;
+  EXPECT_EQ(svc.live_version(), 1u) << "dry run must not deploy";
+}
+
+TEST(CalibService, StatusJsonCarriesTheObservableState) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+  const AdminResponse r = svc.admin_sync(op_request(AdminOp::kStatus, cfg.model));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  EXPECT_NE(r.message.find("\"state\": \"idle\""), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("\"live_version\": 1"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("\"model\": \"m\""), std::string::npos) << r.message;
+}
+
+// ---- Rejection, rollback and swap-file paths --------------------------------
+
+TEST(CalibService, BrokenCandidateIsRejectedThenRecoversCleanly) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  for (const Tensor& b : batches) {
+    ASSERT_EQ(svc.admin_sync(batch_request(cfg.model, b)).status, WireStatus::kOk);
+  }
+
+  // Fault injection: shift every threshold 6 bits up after calibration — the
+  // candidate quantizes everything to mush and must fail the accuracy gate.
+  svc.set_candidate_mutator([](OnlineCalibrator& c) {
+    std::map<std::string, float> th = c.thresholds();
+    for (auto& [name, v] : th) v += 6.0f;
+    c.set_thresholds(th);
+  });
+  const AdminResponse rejected = svc.recalibrate_now();
+  EXPECT_EQ(rejected.status, WireStatus::kInternal);
+  EXPECT_NE(rejected.message.find("rejected"), std::string::npos) << rejected.message;
+  EXPECT_EQ(svc.state(), AutocalState::kRolledBack);
+  EXPECT_EQ(svc.live_version(), 1u) << "a rejected candidate must never deploy";
+
+  // Serving was never disturbed: still the version-1 program.
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  const FixedPointProgram v1 = offline_mirror(cfg)->compile();
+  serve::SubmitResult res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(v1, probe)));
+
+  // Clearing the fault recovers: the next cycle promotes, and the promoted
+  // program matches the offline reference — proof the rejected cycle left no
+  // residue in the calibrator's threshold state.
+  svc.set_candidate_mutator(nullptr);
+  const AdminResponse ok = svc.recalibrate_now();
+  ASSERT_EQ(ok.status, WireStatus::kOk) << ok.message;
+  auto offline = offline_mirror(cfg);
+  offline->calibrate_from(batches, cfg.calib_passes);
+  const FixedPointProgram reference = offline->compile();
+  res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(reference, probe)));
+}
+
+TEST(CalibService, RollbackReinstallsPreviousVersionExactlyOnce) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  for (const Tensor& b : batches) {
+    ASSERT_EQ(svc.admin_sync(batch_request(cfg.model, b)).status, WireStatus::kOk);
+  }
+  ASSERT_EQ(svc.recalibrate_now().status, WireStatus::kOk);
+  ASSERT_EQ(svc.live_version(), 2u);
+
+  const AdminResponse back = svc.admin_sync(op_request(AdminOp::kRollback, cfg.model));
+  ASSERT_EQ(back.status, WireStatus::kOk) << back.message;
+  EXPECT_EQ(svc.state(), AutocalState::kRolledBack);
+
+  // The registry serves the version-1 program again (under a new registry
+  // version number — versions are monotonic, contents roll back).
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  const FixedPointProgram v1 = offline_mirror(cfg)->compile();
+  serve::SubmitResult res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(v1, probe)));
+
+  // The previous slot is consumed: a second rollback is a typed kBadModel.
+  const AdminResponse again = svc.admin_sync(op_request(AdminOp::kRollback, cfg.model));
+  EXPECT_EQ(again.status, WireStatus::kBadModel);
+  EXPECT_NE(again.message.find("no previous version"), std::string::npos) << again.message;
+}
+
+TEST(CalibService, SwapFileDistinguishesMissingCorruptAndValidArtifacts) {
+  serve::InferenceServer server;
+  const AutocalConfig cfg = base_cfg();
+  CalibrationService svc(server, world().data, world().state, cfg);
+
+  // Missing file: "not found", not "corrupt".
+  AdminResponse r = svc.admin_sync(
+      op_request(AdminOp::kSwapFile, cfg.model, "/nonexistent/candidate.tqtp"));
+  EXPECT_EQ(r.status, WireStatus::kBadModel);
+
+  // Corrupt file: typed kCorruptModel.
+  const std::string corrupt = ::testing::TempDir() + "/calib_corrupt.tqtp";
+  {
+    std::FILE* f = std::fopen(corrupt.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a program", f);
+    std::fclose(f);
+  }
+  r = svc.admin_sync(op_request(AdminOp::kSwapFile, cfg.model, corrupt));
+  EXPECT_EQ(r.status, WireStatus::kCorruptModel);
+  EXPECT_EQ(svc.live_version(), 1u);
+  std::remove(corrupt.c_str());
+
+  // A valid recalibrated artifact passes shadow validation and promotes.
+  auto offline = offline_mirror(cfg);
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  offline->calibrate_from(batches, cfg.calib_passes);
+  const FixedPointProgram candidate = offline->compile();
+  const std::string good = ::testing::TempDir() + "/calib_candidate.tqtp";
+  candidate.save(good);
+  r = svc.admin_sync(op_request(AdminOp::kSwapFile, cfg.model, good));
+  ASSERT_EQ(r.status, WireStatus::kOk) << r.message;
+  EXPECT_NE(r.message.find("promoted file artifact"), std::string::npos) << r.message;
+  EXPECT_EQ(svc.live_version(), 2u);
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  serve::SubmitResult res = server.submit(cfg.model, probe);
+  ASSERT_EQ(res.status, serve::SubmitStatus::kOk);
+  EXPECT_TRUE(res.response.get().equals(test::run_program(candidate, probe)));
+  std::remove(good.c_str());
+}
+
+// ---- Drift detection --------------------------------------------------------
+
+TEST(CalibService, InjectedDriftTriggersRecalibrationWithoutServingErrors) {
+  serve::ServerConfig scfg;
+  // Wire the mirror through an atomic slot, exactly like the CLI does: the
+  // config must exist before the service it forwards to.
+  auto slot = std::make_shared<std::atomic<CalibrationService*>>(nullptr);
+  scfg.mirror = [slot](const std::string& n, const Tensor& s) {
+    if (auto* svc = slot->load(std::memory_order_acquire)) svc->mirror_sample(n, s);
+  };
+  serve::InferenceServer server(scfg);
+
+  AutocalConfig cfg = base_cfg();
+  cfg.mirror_every = 1;
+  cfg.mirror_capacity = 64;
+  cfg.min_window = 16;
+  cfg.drift_check_interval_ms = 5;
+  cfg.drift_clip_threshold = 0.01;
+  cfg.accuracy_drop_tolerance = 0.5;  // mechanics under test, not accuracy
+  CalibrationService svc(server, world().data, world().state, cfg);
+  slot->store(&svc, std::memory_order_release);
+
+  // A 4x gain shifts every activation range: the calibrated thresholds clip
+  // hard, the drift detector fires, and a recalibration cycle hot-swaps a
+  // program adapted to the new range. Serving must never return an error.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  int64_t sent = 0;
+  while (svc.live_version() < 2 && std::chrono::steady_clock::now() < deadline) {
+    const Tensor probe = scaled(world().data.val_batch(sent % 64, 1).images, 4.0f);
+    serve::SubmitResult res = server.submit(cfg.model, probe);
+    ASSERT_EQ(res.status, serve::SubmitStatus::kOk) << "request " << sent;
+    res.response.get();  // must resolve even mid-swap
+    ++sent;
+  }
+  slot->store(nullptr, std::memory_order_release);
+  EXPECT_GE(svc.live_version(), 2u) << "drift never triggered after " << sent << " requests";
+  const std::string status = svc.status_json();
+  EXPECT_EQ(status.find("\"drift_triggers\": 0"), std::string::npos) << status;
+}
+
+// ---- Gateway admin plane and the hot-swap soak ------------------------------
+
+/// Server + service + gateway with the right construction/destruction order.
+struct CalibRig {
+  serve::InferenceServer server;
+  CalibrationService service;
+  std::unique_ptr<net::Gateway> gateway;
+
+  explicit CalibRig(const AutocalConfig& cfg)
+      : server(), service(server, world().data, world().state, cfg) {
+    net::GatewayConfig gcfg;
+    gcfg.port = 0;
+    gcfg.admin = &service;
+    gateway = std::make_unique<net::Gateway>(server, gcfg);
+  }
+  ~CalibRig() {
+    gateway.reset();  // gateway first: it routes frames into the service
+  }
+  uint16_t port() const { return gateway->port(); }
+};
+
+TEST(CalibGateway, AdminPlaneRoundTripsOverTheWire) {
+  const AutocalConfig cfg = base_cfg();
+  CalibRig rig(cfg);
+  net::GatewayClient client("localhost", rig.port());
+
+  AdminResponse r = client.admin(op_request(AdminOp::kStatus, cfg.model));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  EXPECT_NE(r.message.find("\"live_version\": 1"), std::string::npos) << r.message;
+
+  r = client.admin(batch_request(cfg.model, world().data.val_batch(0, 32).images));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  EXPECT_NE(r.message.find("\"samples\": 32"), std::string::npos) << r.message;
+  r = client.admin(batch_request(cfg.model, world().data.val_batch(32, 32).images));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+
+  r = client.admin(op_request(AdminOp::kDryRun, cfg.model));
+  ASSERT_EQ(r.status, WireStatus::kOk);
+  EXPECT_NE(r.message.find("log2t"), std::string::npos);
+
+  r = client.admin(op_request(AdminOp::kTrigger, cfg.model));
+  ASSERT_EQ(r.status, WireStatus::kOk) << r.message;
+  EXPECT_NE(r.message.find("promoted version 2"), std::string::npos) << r.message;
+
+  // Inference on the same gateway still answers, from the new version.
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  const net::InferResponse inf = client.infer(cfg.model, probe);
+  ASSERT_EQ(inf.status, WireStatus::kOk) << inf.message;
+  std::vector<Tensor> batches;
+  batches.push_back(world().data.val_batch(0, 32).images);
+  batches.push_back(world().data.val_batch(32, 32).images);
+  auto offline = offline_mirror(cfg);
+  offline->calibrate_from(batches, cfg.calib_passes);
+  EXPECT_TRUE(inf.output.equals(test::run_program(offline->compile(), probe)));
+}
+
+TEST(CalibGateway, ConcurrentHotSwapsStayBitExactUnderFourConnections) {
+  AutocalConfig cfg = base_cfg();
+  cfg.min_samples = 32;
+  CalibRig rig(cfg);
+
+  // Every response must equal one promoted version's output on the probe.
+  // The allowed set is built from offline calibrators BEFORE each trigger,
+  // so a response racing a promotion always has its version in the set.
+  const Tensor probe = world().data.val_batch(64, 1).images;
+  std::vector<Tensor> allowed;
+  std::mutex allowed_mu;
+  allowed.push_back(test::run_program(offline_mirror(cfg)->compile(), probe));
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> responses{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      net::GatewayClient client("localhost", rig.port());
+      while (!done.load(std::memory_order_acquire)) {
+        net::InferResponse r;
+        try {
+          r = client.infer(cfg.model, probe);
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+          return;
+        }
+        if (r.status != WireStatus::kOk) {
+          errors.fetch_add(1);
+          continue;
+        }
+        bool matched = false;
+        {
+          std::lock_guard<std::mutex> lk(allowed_mu);
+          for (const Tensor& t : allowed) matched = matched || r.output.equals(t);
+        }
+        if (!matched) errors.fetch_add(1);
+        responses.fetch_add(1);
+      }
+      (void)c;
+    });
+  }
+
+  // Admin thread: three calibration cycles over growing batch sets, each
+  // pre-computed offline so the promoted program is known before the swap.
+  auto offline = offline_mirror(cfg);
+  std::vector<Tensor> batches;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    batches.push_back(world().data.val_batch(32 * cycle, 32).images);
+    {
+      auto fresh = offline_mirror(cfg);  // service calibrates from scratch each cycle
+      fresh->calibrate_from(batches, cfg.calib_passes);
+      const Tensor expect = test::run_program(fresh->compile(), probe);
+      std::lock_guard<std::mutex> lk(allowed_mu);
+      allowed.push_back(expect);
+    }
+    const AdminResponse fed = rig.service.admin_sync(
+        batch_request(cfg.model, world().data.val_batch(32 * cycle, 32).images));
+    ASSERT_EQ(fed.status, WireStatus::kOk);
+    const AdminResponse r = rig.service.recalibrate_now();
+    ASSERT_EQ(r.status, WireStatus::kOk) << r.message;
+  }
+  // Let the clients hammer the final version for a moment before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  done.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(responses.load(), 0);
+  EXPECT_EQ(rig.service.live_version(), 4u);
+}
+
+}  // namespace
+}  // namespace tqt

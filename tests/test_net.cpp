@@ -143,7 +143,7 @@ TEST(NetWire, HeaderRejectsEveryCorruptField) {
   expect_corrupt(0, 0x00, "bad magic");
   expect_corrupt(4, 99, "bad version");
   expect_corrupt(5, 0, "zero frame type");
-  expect_corrupt(5, 3, "unknown frame type");
+  expect_corrupt(5, 5, "unknown frame type");  // 3/4 are the admin plane
   expect_corrupt(6, 200, "unknown status");
   expect_corrupt(7, 1, "nonzero reserved");
 

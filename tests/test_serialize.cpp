@@ -90,6 +90,18 @@ TEST(Serialize, RoundTripPreservesProgramAndOutputsExactly) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, MissingAndCorruptFilesThrowDistinctTypedErrors) {
+  // The serving registry and the gateway admin plane answer "not found" and
+  // "corrupt" with different wire statuses; the distinction starts here.
+  EXPECT_THROW(FixedPointProgram::load("/nonexistent/prog.tqtp"), ProgramIoError);
+  const std::string path = temp_path("typed_corrupt.tqtp");
+  write_file(path, "definitely not a program");
+  EXPECT_THROW(FixedPointProgram::load(path), ProgramFormatError);
+  // Both remain runtime_errors, so untyped callers keep working.
+  EXPECT_THROW(FixedPointProgram::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, VersionMismatchIsRejectedWithAClearError) {
   const std::string path = temp_path("badversion.tqtp");
   shared_program().save(path);

@@ -24,9 +24,22 @@
 //       SIGTERM, then drains gracefully — in-flight requests finish, stats
 //       and any --metrics-json / --trace files are still written.
 //   tqt_cli client <model> --port P [--host H] [--requests R]
-//                  [--deadline-us D]
+//                  [--deadline-us D] [--gain G]
 //       Drive a running tqt-gateway over the wire protocol with validation
-//       samples and report accuracy plus per-status response counts.
+//       samples and report accuracy plus per-status response counts. --gain
+//       scales every pixel by G — a distribution shift the autocal drift
+//       detector can be pointed at.
+//   tqt_cli serve <model> --calib --port P [--calib-* flags]
+//       Serve with the tqt-autocal calibration service attached: the service
+//       builds + deploys the initial program itself (no -i needed), mirrors
+//       live traffic into its drift detector, and answers admin frames
+//       (status / calib batches / trigger / dry-run / rollback / swap-file).
+//   tqt_cli calib <model> --port P [--host H] [--status] [--batches N]
+//                 [--batch-size M] [--gain G] [--trigger] [--dry-run]
+//                 [--rollback] [--swap-file PATH]
+//       Admin client for a --calib gateway: stream calibration batches from
+//       the validation split, then run the requested control operations in
+//       order. With no action flags, prints --status.
 //
 // Every subcommand accepts --help. quantize/export/run/serve additionally
 // accept the shared telemetry flags:
@@ -40,12 +53,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "calib/autocal.h"
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "fixedpoint/engine.h"
@@ -62,7 +78,7 @@ using namespace tqt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tqt_cli <list|pretrain|quantize|export|run|serve|client> [args]\n"
+               "usage: tqt_cli <list|pretrain|quantize|export|run|serve|client|calib> [args]\n"
                "  list\n"
                "  pretrain <model> [--cache DIR]\n"
                "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
@@ -71,7 +87,12 @@ int usage() {
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
                "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n"
                "           [--port P [--max-connections C] [--max-inflight F]]\n"
+               "           [--calib [--calib-mirror-every N] [--calib-min-samples N] ...]\n"
                "  client   <model> --port P [--host H] [--requests R] [--deadline-us D]\n"
+               "           [--gain G]\n"
+               "  calib    <model> --port P [--host H] [--status] [--batches N]\n"
+               "           [--batch-size M] [--gain G] [--trigger] [--dry-run]\n"
+               "           [--rollback] [--swap-file PATH]\n"
                "run '--help' after any subcommand for its full flag list\n");
   return 2;
 }
@@ -149,6 +170,28 @@ class ArgParser {
       throw std::invalid_argument(std::string(name) + " expects an integer, got '" + v + "'");
     }
     return n;
+  }
+
+  /// Strict float with the same whole-token rule as strict_int.
+  static float strict_float(const char* name, const char* v) {
+    errno = 0;
+    char* end = nullptr;
+    const float f = std::strtof(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument(std::string(name) + " expects a number, got '" + v + "'");
+    }
+    return f;
+  }
+
+  /// Strictly positive float flag value (e.g. a gain multiplier).
+  float positive_float(const char* name, float fallback) const {
+    const char* v = value(name, nullptr);
+    if (!v) return fallback;
+    const float f = strict_float(name, v);
+    if (!(f > 0.0f)) {
+      throw std::invalid_argument(std::string(name) + " must be > 0, got '" + v + "'");
+    }
+    return f;
   }
 
   /// Strictly positive integer flag value.
@@ -443,25 +486,32 @@ extern "C" void on_stop_signal(int) {
 }
 
 /// Network mode of `serve`: expose the server through tqt-gateway until a
-/// stop signal arrives, then drain and report.
+/// stop signal arrives, then drain and report. `before_server_drain` runs
+/// after the gateway has drained (no more frames in flight) and before the
+/// server shuts down — the slot where the calibration service is torn down,
+/// satisfying its "destroyed before the InferenceServer" contract.
 int serve_over_network(const ArgParser& p, serve::InferenceServer& server,
-                       const std::string& model, const Telemetry& tel) {
+                       const std::string& model, const Telemetry& tel,
+                       net::AdminHandler* admin = nullptr,
+                       const std::function<void()>& before_server_drain = {}) {
   net::GatewayConfig gcfg;
   gcfg.port = static_cast<uint16_t>(p.bounded("--port", 0, 0, 65535));
   gcfg.max_connections = p.positive("--max-connections", 64);
   gcfg.max_inflight = p.positive("--max-inflight", 256);
+  gcfg.admin = admin;
   net::Gateway gateway(server, gcfg);
   g_gateway.store(&gateway, std::memory_order_release);
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
-  std::printf("tqt-gateway: serving '%s' on 127.0.0.1:%u (SIGINT/SIGTERM drains)\n",
-              model.c_str(), gateway.port());
+  std::printf("tqt-gateway: serving '%s' on 127.0.0.1:%u (SIGINT/SIGTERM drains)%s\n",
+              model.c_str(), gateway.port(), admin ? " [autocal]" : "");
   std::fflush(stdout);
   while (!gateway.stopped()) std::this_thread::sleep_for(std::chrono::milliseconds(20));
   gateway.stop_and_drain();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_gateway.store(nullptr, std::memory_order_release);
+  if (before_server_drain) before_server_drain();
   server.shutdown_and_drain();
   std::fprintf(stderr, "tqt-gateway: drained\n");
   std::printf("%s\n", server.stats_json().c_str());
@@ -485,11 +535,24 @@ int cmd_serve(int argc, char** argv) {
   p.add("--max-connections", "C", "network mode: concurrent connection cap (default 64)");
   p.add("--max-inflight", "F", "network mode: in-flight request cap (default 256)");
   p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
+  p.add("--calib", "", "attach tqt-autocal: the service builds + deploys its own program "
+                       "(-i is ignored) and answers admin frames");
+  p.add("--cache", "DIR", "--calib: FP32 weight cache directory (default tqt_artifacts)");
+  p.add("--calib-mirror-every", "N", "--calib: mirror every Nth live sample (default 16)");
+  p.add("--calib-min-samples", "N", "--calib: images required before a cycle (default 128)");
+  p.add("--calib-min-window", "N", "--calib: mirrored samples per drift check (default 48)");
+  p.add("--calib-drift-clip", "F", "--calib: window clipped-fraction trigger (default 0.02)");
+  p.add("--calib-drift-bits", "F", "--calib: p99.9 log2-shift trigger (default 0.75)");
+  p.add("--calib-interval-ms", "N", "--calib: drift check period in ms (default 50)");
+  p.add("--calib-retrain-steps", "N", "--calib: TQT retrain steps per cycle (default 0)");
+  p.add("--calib-no-auto", "", "--calib: report drift but do not auto-recalibrate");
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
-  const char* in_path = p.required("-i");
-  const std::string model = model_name(parse_model(p.positional("model")));
+  const bool with_calib = p.seen("--calib");
+  const char* in_path = with_calib ? nullptr : p.required("-i");
+  const ModelKind kind = parse_model(p.positional("model"));
+  const std::string model = model_name(kind);
   apply_threads_flag(p);
   apply_fuse_flag(p);
   const int clients = p.positive("--clients", 4);
@@ -507,10 +570,45 @@ int cmd_serve(int argc, char** argv) {
   SyntheticImageDataset data(default_dataset_config());
   const DatasetConfig& dcfg = data.config();
 
-  serve::InferenceServer server(scfg);
-  server.deploy_file(model, in_path, {dcfg.image_size, dcfg.image_size, dcfg.channels});
+  // The mirror must be wired into ServerConfig before the server (and hence
+  // before the service, which needs the server) exists — an atomic slot
+  // breaks the cycle and makes detachment a single store at teardown.
+  auto calib_slot = std::make_shared<std::atomic<calib::CalibrationService*>>(nullptr);
+  if (with_calib) {
+    scfg.mirror = [calib_slot](const std::string& n, const Tensor& s) {
+      if (auto* svc = calib_slot->load(std::memory_order_acquire)) svc->mirror_sample(n, s);
+    };
+  }
 
-  if (p.seen("--port")) return serve_over_network(p, server, model, tel);
+  serve::InferenceServer server(scfg);
+  std::unique_ptr<calib::CalibrationService> service;
+  if (with_calib) {
+    calib::AutocalConfig acfg;
+    acfg.model = model;
+    acfg.kind = kind;
+    acfg.mirror_every = p.positive("--calib-mirror-every", 16);
+    acfg.min_samples = p.positive("--calib-min-samples", 128);
+    acfg.min_window = p.positive("--calib-min-window", 48);
+    acfg.drift_clip_threshold = p.positive_float("--calib-drift-clip", 0.02f);
+    acfg.drift_range_bits = p.positive_float("--calib-drift-bits", 0.75f);
+    acfg.drift_check_interval_ms = p.positive("--calib-interval-ms", 50);
+    acfg.tqt_retrain_steps = p.bounded("--calib-retrain-steps", 0, 0, INT_MAX);
+    acfg.auto_recalibrate = !p.seen("--calib-no-auto");
+    const auto state = load_or_pretrain(kind, data, p.value("--cache", "tqt_artifacts"));
+    service = std::make_unique<calib::CalibrationService>(server, data, state, acfg);
+    calib_slot->store(service.get(), std::memory_order_release);
+    std::fprintf(stderr, "tqt-autocal: deployed '%s' version %llu\n", model.c_str(),
+                 static_cast<unsigned long long>(service->live_version()));
+  } else {
+    server.deploy_file(model, in_path, {dcfg.image_size, dcfg.image_size, dcfg.channels});
+  }
+
+  if (p.seen("--port")) {
+    return serve_over_network(p, server, model, tel, service.get(), [&] {
+      calib_slot->store(nullptr, std::memory_order_release);
+      service.reset();
+    });
+  }
 
   // In-process closed-loop clients: each owns the validation indices
   // congruent to its id, submits one sample at a time, and retries on shed
@@ -541,6 +639,8 @@ int cmd_serve(int argc, char** argv) {
     });
   }
   for (auto& t : threads) t.join();
+  calib_slot->store(nullptr, std::memory_order_release);
+  service.reset();  // worker must stop before the server it deploys into
   server.shutdown_and_drain();
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -556,6 +656,16 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// Pixel-wise gain (1.0 = identity): the drift-injection knob for the
+/// autocal demo — a gain-shifted stream moves every activation range.
+Tensor with_gain(const Tensor& t, float gain) {
+  if (gain == 1.0f) return t;
+  Tensor out = t;
+  float* d = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) d[i] *= gain;
+  return out;
+}
+
 int cmd_client(int argc, char** argv) {
   ArgParser p("client", "<model>",
               "Drive a running tqt-gateway over the wire protocol with validation "
@@ -564,6 +674,7 @@ int cmd_client(int argc, char** argv) {
   p.add("--port", "P", "server TCP port (required)");
   p.add("--requests", "R", "samples to send (default 64)");
   p.add("--deadline-us", "D", "per-request deadline in microseconds (default none)");
+  p.add("--gain", "G", "multiply every pixel by G — inject distribution drift (default 1)");
   if (!p.parse(argc, argv)) return 0;
   // The model name is sent as-is: the server owns the deployment namespace
   // and answers BAD_MODEL for anything it does not host.
@@ -576,15 +687,16 @@ int cmd_client(int argc, char** argv) {
   const int requests = p.positive("--requests", 64);
   const uint32_t deadline_us =
       static_cast<uint32_t>(p.bounded("--deadline-us", 0, 1, INT_MAX));
+  const float gain = p.positive_float("--gain", 1.0f);
 
   SyntheticImageDataset data(default_dataset_config());
   net::GatewayClient client(host, port);
   Accuracy acc;
-  // One slot per WireStatus value (kOk..kInternal).
-  uint64_t by_status[7] = {};
+  // One slot per WireStatus value (kOk..kCorruptModel).
+  uint64_t by_status[static_cast<size_t>(net::kMaxWireStatus) + 1] = {};
   for (int i = 0; i < requests; ++i) {
     const Batch b = data.val_batch(i % data.val_size(), 1);
-    const net::InferResponse resp = client.infer(model, b.images, deadline_us);
+    const net::InferResponse resp = client.infer(model, with_gain(b.images, gain), deadline_us);
     ++by_status[static_cast<size_t>(resp.status)];
     if (resp.status == net::WireStatus::kOk) {
       accumulate_topk(resp.output, b.labels, acc);
@@ -592,7 +704,7 @@ int cmd_client(int argc, char** argv) {
   }
   std::printf("%s via %s:%u: %d requests, top-1 %.1f%%  top-5 %.1f%%\n", model.c_str(),
               host.c_str(), port, requests, 100.0 * acc.top1(), 100.0 * acc.top5());
-  for (size_t s = 0; s < 7; ++s) {
+  for (size_t s = 0; s <= static_cast<size_t>(net::kMaxWireStatus); ++s) {
     if (by_status[s] > 0) {
       std::printf("  %-18s %llu\n", net::to_string(static_cast<net::WireStatus>(s)),
                   static_cast<unsigned long long>(by_status[s]));
@@ -601,6 +713,80 @@ int cmd_client(int argc, char** argv) {
   // Non-OK responses are a useful probe result, not a transport failure —
   // exit 0 unless nothing succeeded.
   return by_status[0] > 0 ? 0 : 1;
+}
+
+int cmd_calib(int argc, char** argv) {
+  ArgParser p("calib", "<model>",
+              "Admin client for a --calib gateway: stream calibration batches from "
+              "the validation split, then run the requested control operations in "
+              "order (dry-run, trigger, rollback, swap-file, status).");
+  p.add("--host", "H", "server host, IPv4 or 'localhost' (default localhost)");
+  p.add("--port", "P", "server TCP port (required)");
+  p.add("--batches", "N", "calibration batches to stream first (default 0)");
+  p.add("--batch-size", "M", "images per calibration batch (default 32)");
+  p.add("--gain", "G", "multiply batch pixels by G — stream drifted statistics (default 1)");
+  p.add("--dry-run", "", "derive + print would-be thresholds without deploying");
+  p.add("--trigger", "", "force a calibrate/validate/promote cycle");
+  p.add("--rollback", "", "reinstall the previous program version");
+  p.add("--swap-file", "PATH", "validate + promote a server-side program file");
+  p.add("--status", "", "print the service status JSON (the default action)");
+  if (!p.parse(argc, argv)) return 0;
+  const std::string model = p.positional("model");
+  if (!p.seen("--port")) {
+    throw std::invalid_argument("tqt_cli calib: missing required flag --port (try --help)");
+  }
+  const uint16_t port = static_cast<uint16_t>(p.bounded("--port", 0, 1, 65535));
+  const std::string host = p.value("--host", "localhost");
+  const int batches = p.bounded("--batches", 0, 0, INT_MAX);
+  const int batch_size = p.positive("--batch-size", 32);
+  const float gain = p.positive_float("--gain", 1.0f);
+
+  net::GatewayClient client(host, port);
+  bool all_ok = true;
+  const auto run_op = [&](net::AdminOp op, const std::string& arg = "") {
+    net::AdminRequest req;
+    req.op = op;
+    req.model = model;
+    req.arg = arg;
+    const net::AdminResponse resp = client.admin(req);
+    if (resp.status != net::WireStatus::kOk) all_ok = false;
+    std::printf("[%s] %s\n", net::to_string(op), net::to_string(resp.status));
+    if (!resp.message.empty()) std::printf("%s\n", resp.message.c_str());
+  };
+
+  if (batches > 0) {
+    SyntheticImageDataset data(default_dataset_config());
+    net::AdminResponse last;
+    int64_t sent = 0;
+    for (int i = 0; i < batches; ++i) {
+      const int64_t first = (static_cast<int64_t>(i) * batch_size) % data.val_size();
+      const int64_t n = std::min<int64_t>(batch_size, data.val_size() - first);
+      net::AdminRequest req;
+      req.op = net::AdminOp::kCalibBatch;
+      req.model = model;
+      req.has_batch = true;
+      req.batch = with_gain(data.val_batch(first, n).images, gain);
+      last = client.admin(req);
+      if (last.status != net::WireStatus::kOk) {
+        all_ok = false;
+        break;
+      }
+      sent += n;
+    }
+    std::printf("[calib_batch] %s after %lld images", net::to_string(last.status),
+                static_cast<long long>(sent));
+    if (!last.message.empty()) std::printf(": %s", last.message.c_str());
+    std::printf("\n");
+  }
+
+  if (p.seen("--dry-run")) run_op(net::AdminOp::kDryRun);
+  if (p.seen("--trigger")) run_op(net::AdminOp::kTrigger);
+  if (p.seen("--rollback")) run_op(net::AdminOp::kRollback);
+  if (p.seen("--swap-file")) run_op(net::AdminOp::kSwapFile, p.value("--swap-file"));
+  const bool any_action = batches > 0 || p.seen("--dry-run") || p.seen("--trigger") ||
+                          p.seen("--rollback") || p.seen("--swap-file");
+  if (p.seen("--status") || !any_action) run_op(net::AdminOp::kStatus);
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -616,6 +802,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "client") return cmd_client(argc - 2, argv + 2);
+    if (cmd == "calib") return cmd_calib(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

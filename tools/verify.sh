@@ -67,6 +67,18 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# Fail fast on tqt-autocal: histogram determinism, the online calibrator's
+# bit-exactness against offline recalibration, the service's admin plane,
+# drift-triggered hot-swap, and the 4-connection soak, at both pool sizes.
+# Under TQT_SANITIZE=thread this is the race check on the worker thread /
+# mirror ring / promotion hand-offs while serving continues.
+for threads in 1 4; do
+  echo "==== autocal tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" \
+    -R 'Calib|StreamingHistogram|OnlineCalibrator' \
+    --output-on-failure -j "$(nproc)"
+done
+
 # Fail fast on tqt-observe too: the registry/tracer/JSON tests plus the CLI
 # flag-parser contract. Under TQT_SANITIZE=thread this pass is the race
 # check on concurrent metric updates and per-thread trace rings.
@@ -150,6 +162,35 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
   wait "$SERVE_PID"
   grep -q '"net.requests"' "$BUILD_DIR/verify_net_metrics.json"
   grep -q '"net.responses"' "$BUILD_DIR/verify_net_metrics.json"
+
+  # Online-calibration round trip through the CLI: serve with the autocal
+  # service attached (reusing the FP32 cache the export smoke warmed), stream
+  # calibration batches over the admin plane, dry-run, then trigger a full
+  # calibrate -> shadow-validate -> hot-swap cycle and check the promotion
+  # and the calib.* counters land in both the status JSON and the metrics
+  # snapshot. Inference keeps flowing before and after the swap.
+  echo "==== tqt_cli serve --calib / calib admin round trip ===="
+  rm -f "$BUILD_DIR/verify_calib_out.txt" "$BUILD_DIR/verify_calib_metrics.json"
+  "$BUILD_DIR/tools/tqt_cli" serve mini_vgg --calib --port 0 --calib-min-samples 64 \
+    --metrics-json "$BUILD_DIR/verify_calib_metrics.json" \
+    > "$BUILD_DIR/verify_calib_out.txt" 2>&1 &
+  CALIB_PID=$!
+  for _ in $(seq 1 600); do
+    grep -q 'tqt-gateway: serving' "$BUILD_DIR/verify_calib_out.txt" 2>/dev/null && break
+    sleep 0.1
+  done
+  CALIB_PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$BUILD_DIR/verify_calib_out.txt")
+  "$BUILD_DIR/tools/tqt_cli" client mini_vgg --port "$CALIB_PORT" --requests 8 | grep -q 'ok'
+  "$BUILD_DIR/tools/tqt_cli" calib mini_vgg --port "$CALIB_PORT" --batches 2 --dry-run \
+    | grep -q 'log2t'
+  "$BUILD_DIR/tools/tqt_cli" calib mini_vgg --port "$CALIB_PORT" --trigger --status \
+    > "$BUILD_DIR/verify_calib_admin.txt"
+  grep -q 'promoted version 2' "$BUILD_DIR/verify_calib_admin.txt"
+  grep -q '"promotions": 1' "$BUILD_DIR/verify_calib_admin.txt"
+  "$BUILD_DIR/tools/tqt_cli" client mini_vgg --port "$CALIB_PORT" --requests 8 | grep -q 'ok'
+  kill -TERM "$CALIB_PID"
+  wait "$CALIB_PID"
+  grep -q '"calib.promotions"' "$BUILD_DIR/verify_calib_metrics.json"
 fi
 
 echo "verify.sh: all test passes completed"
