@@ -6,12 +6,15 @@
 //   bench_engine_kernels [--batch N] [--iters N] [--smoke] [--no-fuse]
 //                        [-o FILE] [--export-dir DIR]
 //
-// Each model is compiled twice: once with fusion forced off (the PR 3 typed
-// engine) and once through the full graph compiler. Both throughputs and
-// arena footprints land in the report (`unfused_imgs_per_s`, `fused_speedup`,
-// `arena_bytes` vs `fused_arena_bytes`), so the fusion win is an A/B inside
-// one process rather than a diff across checkouts. --no-fuse (or TQT_FUSE=0)
-// skips the fused side and benches the unfused engine alone.
+// Each model is compiled three times: with fusion forced off (the PR 3 typed
+// engine), through the full graph compiler, and through the graph compiler
+// with the kernel autotuner on (measured per-shape algo selection, possibly
+// routing chains through the NC8HW8 blocked layout). All throughputs land in
+// the report (`unfused_imgs_per_s`, `fused_speedup`, `tuned_speedup`), so the
+// fusion and tuning wins are A/Bs inside one process rather than diffs across
+// checkouts. --no-fuse (or TQT_FUSE=0) benches the unfused engine alone. The
+// process exits 1 when any model is not bit-exact OR when the tuned arm loses
+// to static auto-pick beyond timing noise — the `--smoke` CI gate.
 //
 // --export-dir saves each model's compiled program to DIR/<model>.tqtp —
 // cheap calibration-only artifacts for CLI / trace end-to-end checks.
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "fixedpoint/autotune.h"
 #include "fixedpoint/engine.h"
 #include "fixedpoint/fuse.h"
 #include "fixedpoint/kernels/kernels.h"
@@ -97,6 +101,10 @@ struct ModelResult {
   int64_t arena_bytes = 0;        // unfused plan's warm arena
   int64_t fused_arena_bytes = 0;  // fused plan's warm arena
   int fused_matmuls = 0;
+  double tuned_imgs_per_s = 0.0;  // autotuned engine (== typed under --no-fuse)
+  double tuned_speedup = 0.0;     // tuned vs static auto-pick (both fused)
+  int tuned_instrs = 0;           // instructions with a measured selection
+  int blocked_instrs = 0;         // of those, NC8HW8 blocked-layout picks
   bool bit_exact = false;
   std::string kernels;
 };
@@ -116,6 +124,10 @@ void write_model(observe::JsonWriter& w, const ModelResult& r) {
   w.kv("arena_bytes", static_cast<long long>(r.arena_bytes));
   w.kv("fused_arena_bytes", static_cast<long long>(r.fused_arena_bytes));
   w.kv("fused_matmuls", r.fused_matmuls);
+  w.kv("tuned_imgs_per_s", r.tuned_imgs_per_s);
+  w.kv("tuned_speedup", r.tuned_speedup);
+  w.kv("tuned_instrs", r.tuned_instrs);
+  w.kv("blocked_instrs", r.blocked_instrs);
   w.kv("kernels", r.kernels);
   w.kv("bit_exact", r.bit_exact);
   w.end();
@@ -174,6 +186,8 @@ int main(int argc, char** argv) {
     if (no_fuse) {
       r.fused_arena_bytes = r.arena_bytes;
       r.fused_speedup = 1.0;
+      r.tuned_speedup = 1.0;
+      r.tuned_imgs_per_s = r.unfused_imgs_per_s;
     } else {
       // B side: a second instance of the same program compiled through the
       // graph compiler (the calibration cache makes the rebuild cheap, and
@@ -204,6 +218,34 @@ int main(int argc, char** argv) {
       r.unfused_imgs_per_s =
           static_cast<double>(batch) / std::min(unfused_s, unfused2_s);
       r.fused_speedup = unfused2_s / fused_s;
+
+      // C side: the same fused program compiled with the autotuner on. The
+      // tuner only swaps which exact kernel retires each fused matmul (and
+      // may route chains through the NC8HW8 blocked layout), so this arm
+      // must stay bit-exact while beating — or at worst matching, within
+      // timing noise — the static auto-pick above.
+      autotune::set_mode(1);
+      FixedPointProgram tprog = bench::calibrated_program(kind);
+      autotune::set_mode(-1);
+      if (tprog.tuning()) {
+        r.tuned_instrs = tprog.tuning()->tuned_instrs;
+        r.blocked_instrs = tprog.tuning()->blocked_instrs;
+      }
+
+      const IntTensor tu = tprog.run_raw(input);
+      r.bit_exact = r.bit_exact && tu.shape == oracle.shape &&
+                    tu.exponent == oracle.exponent && tu.data == oracle.data;
+
+      ExecContext tctx;
+      tprog.run_into(input, tctx, out);
+      // This pair feeds the tuned-may-not-lose CI gate, so it gets extra
+      // alternating blocks even under --smoke: one noisy window landing on
+      // the tuned arm must not read as a selection regression.
+      const auto [fused2_s, tuned_s] = time_best_of_blocks(
+          std::max(iters, 16), [&] { fprog.run_into(input, fctx, out); },
+          [&] { tprog.run_into(input, tctx, out); });
+      r.tuned_speedup = fused2_s / tuned_s;
+      r.tuned_imgs_per_s = static_cast<double>(batch) / tuned_s;
     }
     r.typed_imgs_per_s = static_cast<double>(batch) / typed_s;
     r.speedup = (static_cast<double>(batch) / r.ref_imgs_per_s) / typed_s;
@@ -222,23 +264,34 @@ int main(int argc, char** argv) {
     r.ref_gb_per_1k = static_cast<double>(traffic.reference_bytes) * per_img * 1000.0 / 1e9;
 
     std::fprintf(stderr,
-                 "%-18s fused %8.1f img/s  unfused %8.1f img/s  (%.2fx)  ref %8.1f img/s  %s\n",
+                 "%-18s fused %8.1f img/s  unfused %8.1f img/s  (%.2fx)  tuned %8.1f img/s "
+                 "(%.2fx, %d tuned/%d blocked)  ref %8.1f img/s  %s\n",
                  r.name.c_str(), r.typed_imgs_per_s, r.unfused_imgs_per_s, r.fused_speedup,
+                 r.tuned_imgs_per_s, r.tuned_speedup, r.tuned_instrs, r.blocked_instrs,
                  r.ref_imgs_per_s, r.bit_exact ? "bit-exact" : "MISMATCH");
     results.push_back(std::move(r));
   }
   set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
 
-  int exact = 0, faster2x = 0, arena_shrunk = 0;
-  double log_fused = 0.0;
+  // Tuned may not lose to static auto-pick: the measure-once tuner only ever
+  // swaps in a kernel it timed as faster, so a real loss is a tuner bug. A 2%
+  // floor absorbs wall-clock noise between the two interleaved arms.
+  constexpr double kTunedNoiseFloor = 0.98;
+  int exact = 0, faster2x = 0, arena_shrunk = 0, tuned_ok = 0, blocked_models = 0;
+  double log_fused = 0.0, log_tuned = 0.0;
   for (const ModelResult& r : results) {
     exact += r.bit_exact ? 1 : 0;
     faster2x += r.speedup >= 2.0 ? 1 : 0;
     arena_shrunk += r.fused_arena_bytes < r.arena_bytes ? 1 : 0;
+    tuned_ok += r.tuned_speedup >= kTunedNoiseFloor ? 1 : 0;
+    blocked_models += r.blocked_instrs > 0 ? 1 : 0;
     log_fused += std::log(r.fused_speedup);
+    log_tuned += std::log(r.tuned_speedup);
   }
   const double fused_geomean =
       results.empty() ? 1.0 : std::exp(log_fused / static_cast<double>(results.size()));
+  const double tuned_geomean =
+      results.empty() ? 1.0 : std::exp(log_tuned / static_cast<double>(results.size()));
 
   observe::JsonWriter w;
   w.obj();
@@ -253,8 +306,16 @@ int main(int argc, char** argv) {
   w.kv("bit_exact_models", exact);
   w.kv("models_ge_2x", faster2x);
   w.kv("fused_speedup_geomean", fused_geomean);
+  w.kv("tuned_speedup_geomean", tuned_geomean);
+  w.kv("models_tuned_ge_static", tuned_ok);
+  w.kv("models_blocked_selected", blocked_models);
   w.kv("models_arena_shrunk", arena_shrunk);
   w.end();
   bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
+  if (tuned_ok != static_cast<int>(results.size())) {
+    std::fprintf(stderr, "FAIL: tuned engine lost to static auto-pick on %d model(s)\n",
+                 static_cast<int>(results.size()) - tuned_ok);
+    return 1;
+  }
   return (exact == static_cast<int>(results.size())) ? 0 : 1;
 }

@@ -31,6 +31,8 @@ const char* kind_name(tqt::FpInstr::Kind k) {
     case K::kConv2dFused: return "conv2d.int8+epi";
     case K::kDepthwiseFused: return "depthwise.int8+epi";
     case K::kDenseFused: return "dense.int8+epi";
+    case K::kLayoutPack: return "layout_pack.nc8hw8";
+    case K::kLayoutUnpack: return "layout_unpack.nc8hw8";
   }
   return "?";
 }

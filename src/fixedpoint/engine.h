@@ -98,6 +98,13 @@ struct FpInstr {
     kConv2dFused,
     kDepthwiseFused,
     kDenseFused,
+    // Layout-transform pseudo-ops. These exist only in the execution stream
+    // (ExecPlan::instrs) that finalize() derives when the autotuner selects a
+    // channel-blocked kernel; the canonical program (instrs_) never contains
+    // them, so the serialized format and the reference interpreter are
+    // unaffected.
+    kLayoutPack,    ///< NHWC -> NC8HW8, zero-filling padded channel lanes
+    kLayoutUnpack,  ///< NC8HW8 -> NHWC, dropping padded channel lanes
   };
 
   /// Epilogue step opcodes for the fused matmul kinds (see `epi_data`).
@@ -189,11 +196,20 @@ const char* to_string(FpInstr::Kind k);
 
 struct ExecPlan;  // plan.h
 
+namespace autotune {
+struct ProgramTuning;  // autotune.h
+}
+
 /// Runtime shape of one register (rank <= 4, the engine's NHWC world).
+/// `dims` always stores the logical NHWC shape; `blocked` marks registers
+/// holding the NC8HW8 channel-blocked layout, whose storage numel rounds the
+/// channel dim up to a whole block (numel reflects that padded figure —
+/// it is what slot sizing and kernels index by).
 struct FpRegShape {
   int64_t dims[4] = {0, 0, 0, 0};
   int rank = 0;
   int64_t numel = 0;
+  bool blocked = false;
 };
 
 /// Reusable execution state for the typed engine: the slot arena the memory
@@ -295,6 +311,10 @@ class FixedPointProgram {
   /// What the graph compiler did to this program at finalize time.
   const FuseStats& fusion_stats() const { return fuse_stats_; }
 
+  /// Autotuner decisions for this program (null when tuning is off or no
+  /// fused matmuls exist). Shared with the global shape cache.
+  const std::shared_ptr<const autotune::ProgramTuning>& tuning() const { return tuning_; }
+
   /// Re-run the compile-time passes (fusion, scheduling, planning) under the
   /// current fusion setting — lets the bench A/B one compiled program. Note
   /// fusion is one-way: refinalizing a fused program cannot unfuse it.
@@ -322,6 +342,10 @@ class FixedPointProgram {
   int output_register = -1;
   std::shared_ptr<const ExecPlan> plan_;
   FuseStats fuse_stats_;
+  std::shared_ptr<const autotune::ProgramTuning> tuning_;
+  /// Set by load(): path of a .tqt.tune sidecar to consult before measuring
+  /// (stale or corrupt sidecars silently fall back to a fresh tune).
+  std::string tune_source_path_;
 };
 
 /// Compile a quantized inference graph (output of quantize_pass with

@@ -13,6 +13,10 @@
 // ExecContext, whose buffers are grow-only. After one warm-up run at a given
 // (program, input shape), run_into() performs zero heap allocations; the
 // zero-alloc test holds a global operator-new hook against it.
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
 #include <algorithm>
 #ifdef TQT_EXEC_PROFILE
 #include <chrono>
@@ -22,6 +26,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fixedpoint/autotune.h"
 #include "fixedpoint/engine.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/plan.h"
@@ -49,6 +54,8 @@ const char* to_string(FpInstr::Kind k) {
     case FpInstr::Kind::kConv2dFused: return "conv2d_fused";
     case FpInstr::Kind::kDepthwiseFused: return "depthwise_fused";
     case FpInstr::Kind::kDenseFused: return "dense_fused";
+    case FpInstr::Kind::kLayoutPack: return "layout_pack";
+    case FpInstr::Kind::kLayoutUnpack: return "layout_unpack";
   }
   return "?";
 }
@@ -255,34 +262,6 @@ struct GemmShape {
   int64_t m = 0, n = 0, k = 0;
 };
 
-// ---- Fused instruction dispatch -------------------------------------------
-
-/// Which implementation a fused matmul retires through. Shared between the
-/// executor and run_into's accumulator-scratch sizing so the int64 buffer is
-/// allocated exactly when the generic fallback will need it.
-enum class FusedPath { kGemm8, kGemm16, kDepthwise8, kDepthwise16, kGeneric };
-
-FusedPath fused_path(const FpInstr& in, const ExecPlan& plan, size_t idx, IntWidth xw) {
-  const ExecPlan::Const& c = plan.consts[idx];
-  const fpk::KernelSet& ks = fpk::active_kernels();
-  // The narrow kernels accumulate in int32; without the plan's proof that
-  // the accumulator bound fits, the generic int64 path is the only safe one.
-  if (!c.acc_ok32 || c.width != IntWidth::kI8) return FusedPath::kGeneric;
-  if (base_kind_of(in.kind) == FpInstr::Kind::kDepthwise) {
-    if (xw == IntWidth::kI8 && ks.depthwise_s8_epi) return FusedPath::kDepthwise8;
-    if (xw == IntWidth::kI16 && ks.depthwise_s16_epi) return FusedPath::kDepthwise16;
-    return FusedPath::kGeneric;
-  }
-  if (xw == IntWidth::kI8 &&
-      ((ks.gemm_s8p16_epi && !c.b_pair16.empty()) || ks.gemm_s8_epi)) {
-    return FusedPath::kGemm8;
-  }
-  if (xw == IntWidth::kI16 && ks.gemm_s16p16_epi && !c.b_pair16.empty()) {
-    return FusedPath::kGemm16;
-  }
-  return FusedPath::kGeneric;
-}
-
 /// Generic epilogue retire: one parallel pass mapping the int64 accumulator
 /// buffer through the step list into the (narrow) output register. `channels`
 /// is the innermost output dimension (bias broadcast period).
@@ -346,6 +325,270 @@ void im2col_pack(const FpInstr& in, const XT* x, const FpRegShape& xs, XT* a) {
   });
 }
 
+/// True for a 1x1 stride-1 unpadded conv: the NHWC activations are already
+/// the [M, cin] GEMM A operand, so the im2col copy can be skipped.
+bool is_pointwise(const FpInstr& in) {
+  const Conv2dGeom& g = in.geom;
+  return in.const_shape[0] == 1 && in.const_shape[1] == 1 && g.stride_h == 1 &&
+         g.stride_w == 1 && g.pad_top == 0 && g.pad_bottom == 0 && g.pad_left == 0 &&
+         g.pad_right == 0;
+}
+
+/// The epilogue bundle a fused instruction hands its kernel.
+fpk::Epilogue make_epi(const FpInstr& in, const ExecPlan::Const& pc, void* y, IntWidth wy) {
+  fpk::Epilogue e;
+  e.steps = pc.epi.data();
+  e.n_steps = static_cast<int>(pc.epi.size());
+  e.bias = in.bias_data.empty() ? nullptr : in.bias_data.data();
+  e.y = y;
+  e.out_bytes = width_bytes(wy);
+  e.vec32 = pc.epi_vec32;
+  e.bias32 = pc.bias32.empty() ? nullptr : pc.bias32.data();
+  return e;
+}
+
+}  // namespace
+
+// ---- Fused instruction dispatch (shared with the autotuner) ----------------
+// The tuner's timing probes call the very same run_fused the executor does,
+// so a measured candidate is exactly the code that will run in production.
+
+namespace detail {
+
+fpk::Algo resolve_fused_algo(const FpInstr& in, const ExecPlan::Const& c,
+                             IntWidth xw, fpk::Algo pref) {
+  const fpk::KernelSet& ks = fpk::active_kernels();
+  // The narrow kernels accumulate in int32; without the plan's proof that
+  // the accumulator bound fits, the generic int64 path is the only safe one.
+  if (!c.acc_ok32 || c.width != IntWidth::kI8) return fpk::Algo::kGeneric;
+  // A blocked selection is a layout commitment, not a preference: the input
+  // register holds NC8HW8 lanes that no other algo can read. Every kernel
+  // set registers the blocked entries, so this never dangles.
+  if (pref == fpk::Algo::kBlocked && xw == IntWidth::kI8) return fpk::Algo::kBlocked;
+  if (base_kind_of(in.kind) == FpInstr::Kind::kDepthwise) {
+    if (xw == IntWidth::kI8 && ks.depthwise_s8_epi) return fpk::Algo::kDwDirect;
+    if (xw == IntWidth::kI16 && ks.depthwise_s16_epi) return fpk::Algo::kDwDirect;
+    return fpk::Algo::kGeneric;
+  }
+  if (xw == IntWidth::kI8) {
+    if (pref == fpk::Algo::kGemmRaw && ks.gemm_s8_epi) return fpk::Algo::kGemmRaw;
+    if (ks.gemm_s8p16_epi && !c.b_pair16.empty()) return fpk::Algo::kGemmPacked;
+    if (ks.gemm_s8_epi) return fpk::Algo::kGemmRaw;
+    return fpk::Algo::kGeneric;
+  }
+  if (xw == IntWidth::kI16 && ks.gemm_s16p16_epi && !c.b_pair16.empty()) {
+    return fpk::Algo::kGemmPacked;
+  }
+  return fpk::Algo::kGeneric;
+}
+
+void run_fused(const FpInstr& in, const ExecPlan::Const& pc, fpk::Algo algo,
+               const void* x, const FpRegShape& xs, IntWidth xw, void* y,
+               IntWidth wy, int64_t yn, std::vector<unsigned char>& scratch,
+               std::vector<unsigned char>& acc_buf) {
+  const fpk::KernelSet& ks = fpk::active_kernels();
+  const fpk::Epilogue e = make_epi(in, pc, y, wy);
+  const FpInstr::Kind base = base_kind_of(in.kind);
+
+  if (algo == fpk::Algo::kBlocked) {
+    if (base == FpInstr::Kind::kDepthwise) {
+      fpk::DepthwiseArgs a;
+      a.batch = xs.dims[0];
+      a.h = xs.dims[1];
+      a.w = xs.dims[2];
+      a.c = xs.dims[3];
+      a.oh = in.geom.out_h(a.h);
+      a.ow = in.geom.out_w(a.w);
+      a.geom = in.geom;
+      ks.depthwise_s8blk_epi(static_cast<const int8_t*>(x), pc.w_blk8.data(), a, e);
+    } else {
+      fpk::ConvBlkArgs a;
+      a.batch = xs.dims[0];
+      a.h = xs.dims[1];
+      a.w = xs.dims[2];
+      a.cin = xs.dims[3];
+      a.cout = in.const_shape[3];
+      a.oh = in.geom.out_h(a.h);
+      a.ow = in.geom.out_w(a.w);
+      a.geom = in.geom;
+      ks.conv_s8blk_epi(static_cast<const int8_t*>(x), pc.b_blk16.data(), a, e);
+    }
+    return;
+  }
+
+  if (algo == fpk::Algo::kDwDirect) {
+    fpk::DepthwiseArgs a;
+    a.batch = xs.dims[0];
+    a.h = xs.dims[1];
+    a.w = xs.dims[2];
+    a.c = xs.dims[3];
+    a.oh = in.geom.out_h(a.h);
+    a.ow = in.geom.out_w(a.w);
+    a.geom = in.geom;
+    if (xw == IntWidth::kI8) {
+      ks.depthwise_s8_epi(static_cast<const int8_t*>(x), pc.i8.data(), a, e);
+    } else {
+      ks.depthwise_s16_epi(static_cast<const int16_t*>(x), pc.i8.data(), a, e);
+    }
+    return;
+  }
+
+  if (algo == fpk::Algo::kGemmPacked || algo == fpk::Algo::kGemmRaw) {
+    GemmShape gs;
+    const void* a = x;
+    if (base == FpInstr::Kind::kDense) {
+      gs.m = xs.dims[0];
+      gs.n = in.const_shape[1];
+      gs.k = xs.dims[1];
+    } else {
+      gs = conv_gemm_shape(in, xs);
+      if (!is_pointwise(in)) {
+        const size_t need = static_cast<size_t>(gs.m * gs.k) *
+                                static_cast<size_t>(width_bytes(xw)) +
+                            32;
+        if (scratch.size() < need) scratch.resize(need);
+        if (xw == IntWidth::kI8) {
+          im2col_pack(in, static_cast<const int8_t*>(x), xs,
+                      reinterpret_cast<int8_t*>(scratch.data()));
+        } else {
+          im2col_pack(in, static_cast<const int16_t*>(x), xs,
+                      reinterpret_cast<int16_t*>(scratch.data()));
+        }
+        a = scratch.data();
+      }
+    }
+    if (xw == IntWidth::kI8) {
+      if (algo == fpk::Algo::kGemmPacked) {
+        ks.gemm_s8p16_epi(static_cast<const int8_t*>(a), pc.b_pair16.data(), gs.m, gs.n,
+                          gs.k, e);
+      } else {
+        ks.gemm_s8_epi(static_cast<const int8_t*>(a), pc.i8.data(), gs.m, gs.n, gs.k, e);
+      }
+    } else {
+      ks.gemm_s16p16_epi(static_cast<const int16_t*>(a), pc.b_pair16.data(), gs.m, gs.n,
+                         gs.k, e);
+    }
+    return;
+  }
+
+  // Generic fallback: accumulate in int64 (the reference semantics exactly),
+  // then retire through the same epilogue.
+  const size_t need = static_cast<size_t>(yn) * sizeof(int64_t);
+  if (acc_buf.size() < need) acc_buf.resize(need);
+  int64_t* acc = reinterpret_cast<int64_t*>(acc_buf.data());
+  with_width(xw, [&](auto xt) {
+    using XT = decltype(xt);
+    const XT* xp = static_cast<const XT*>(x);
+    if (base == FpInstr::Kind::kConv2d) {
+      conv_generic(in, xp, xs, acc);
+    } else if (base == FpInstr::Kind::kDepthwise) {
+      depthwise_generic(in, xp, xs, acc);
+    } else {
+      dense_generic(in, xp, xs, acc);
+    }
+  });
+  const int64_t channels = base == FpInstr::Kind::kConv2d      ? in.const_shape[3]
+                           : base == FpInstr::Kind::kDepthwise ? xs.dims[3]
+                                                               : in.const_shape[1];
+  apply_epi(e, acc, yn, channels);
+}
+
+void layout_pack(const int8_t* x, const FpRegShape& xs, int8_t* y) {
+  const int64_t h = xs.dims[1], w = xs.dims[2], c = xs.dims[3];
+  const int64_t cb_n = fpk::blocked_c(c) / fpk::kChanBlock;
+  const int64_t hw = h * w;
+  const int64_t pixels = xs.dims[0] * hw;
+#ifdef __AVX2__
+  if (cb_n == 1 && c <= 4) {
+    // Stem fast path (c=3 is every zoo model's input conv): 4 pixels per
+    // vpshufb. One 16-byte load covers 4 pixels (4*c <= 16 bytes), broadcast
+    // to both lanes; the shuffle scatters each pixel's c channels to its
+    // 8-byte block and writes 0x80-indexed zeros into the padded lanes.
+    alignas(32) int8_t mi[32];
+    for (int j = 0; j < 32; ++j) {
+      const int q = (j >> 4) * 2 + ((j & 15) >> 3);  // source pixel 0..3
+      const int ch = j & 7;
+      mi[j] = ch < c ? static_cast<int8_t>(q * c + ch) : static_cast<int8_t>(-128);
+    }
+    const __m256i mask = _mm256_load_si256(reinterpret_cast<const __m256i*>(mi));
+    parallel_for(0, pixels, grain_for(pixels, fpk::kChanBlock),
+                 [&](int64_t p0, int64_t p1) {
+      int64_t p = p0;
+      // The 16-byte load reaches past the 4th pixel when c < 4; stay inside
+      // the source buffer and finish the trailing pixels scalar.
+      for (; p + 4 <= p1 && p * c + 16 <= pixels * c; p += 4) {
+        const __m256i v = _mm256_broadcastsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + p * c)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + p * fpk::kChanBlock),
+                            _mm256_shuffle_epi8(v, mask));
+      }
+      for (; p < p1; ++p) {
+        const int8_t* src = x + p * c;
+        int8_t* dst = y + p * fpk::kChanBlock;
+        for (int64_t l = 0; l < c; ++l) dst[l] = src[l];
+        for (int64_t l = c; l < fpk::kChanBlock; ++l) dst[l] = 0;
+      }
+    });
+    return;
+  }
+#endif
+  parallel_for(0, pixels, grain_for(pixels, fpk::blocked_c(c)), [&](int64_t p0, int64_t p1) {
+    int64_t b = p0 / hw, rem = p0 % hw;
+    for (int64_t p = p0; p < p1; ++p) {
+      const int8_t* src = x + p * c;
+      int8_t* plane = y + (b * cb_n * hw + rem) * fpk::kChanBlock;
+      for (int64_t cb = 0; cb < cb_n; ++cb) {
+        int8_t* dst = plane + cb * hw * fpk::kChanBlock;
+        const int64_t c0 = cb * fpk::kChanBlock;
+        if (c - c0 >= fpk::kChanBlock) {
+          // Full block: one 8-byte move (the overwhelmingly common case).
+          std::memcpy(dst, src + c0, fpk::kChanBlock);
+        } else {
+          // Partial tail block: byte loops, not a variable-length memcpy —
+          // the call overhead dwarfs the 1..7 bytes actually moved.
+          const int64_t nv = c - c0;
+          for (int64_t l = 0; l < nv; ++l) dst[l] = src[c0 + l];
+          for (int64_t l = nv; l < fpk::kChanBlock; ++l) dst[l] = 0;
+        }
+      }
+      if (++rem == hw) { rem = 0; ++b; }
+    }
+  });
+}
+
+void layout_unpack(const void* x, IntWidth w, const FpRegShape& ys, void* y) {
+  const int64_t h = ys.dims[1], wd = ys.dims[2], c = ys.dims[3];
+  const int64_t cb_n = fpk::blocked_c(c) / fpk::kChanBlock;
+  const int64_t pixels = ys.dims[0] * h * wd;
+  const int64_t hw = h * wd;
+  with_width(w, [&](auto t) {
+    using T = decltype(t);
+    const T* src = static_cast<const T*>(x);
+    T* dst = static_cast<T*>(y);
+    parallel_for(0, pixels, grain_for(pixels, c), [&](int64_t p0, int64_t p1) {
+      int64_t b = p0 / hw, rem = p0 % hw;
+      for (int64_t p = p0; p < p1; ++p) {
+        T* drow = dst + p * c;
+        const T* plane = src + (b * cb_n * hw + rem) * fpk::kChanBlock;
+        for (int64_t cb = 0; cb < cb_n; ++cb) {
+          const T* s = plane + cb * hw * fpk::kChanBlock;
+          const int64_t c0 = cb * fpk::kChanBlock;
+          if (c - c0 >= fpk::kChanBlock) {
+            std::memcpy(drow + c0, s, fpk::kChanBlock * sizeof(T));
+          } else {
+            for (int64_t l = 0; l < c - c0; ++l) drow[c0 + l] = s[l];
+          }
+        }
+        if (++rem == hw) { rem = 0; ++b; }
+      }
+    });
+  });
+}
+
+}  // namespace detail
+
+namespace {
+
 /// One typed execution over an ExecContext. Only borrows program state; all
 /// mutation happens in ctx.
 class Executor {
@@ -362,7 +605,7 @@ class Executor {
       return;
     }
 #ifdef TQT_EXEC_PROFILE
-    static double kind_s[16] = {};
+    static double kind_s[18] = {};
     static long long runs = 0;
     for (size_t idx = 0; idx < instrs_.size(); ++idx) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -372,9 +615,9 @@ class Executor {
     }
     if (++runs % 64 == 0) {
       std::fprintf(stderr, "exec profile after %lld runs:\n", runs);
-      for (int k = 0; k < 16; ++k)
+      for (int k = 0; k < 18; ++k)
         if (kind_s[k] > 0) std::fprintf(stderr, "  kind %2d: %8.3f ms\n", k, kind_s[k] * 1e3);
-      for (int k = 0; k < 16; ++k) kind_s[k] = 0;
+      for (int k = 0; k < 18; ++k) kind_s[k] = 0;
     }
 #else
     for (size_t idx = 0; idx < instrs_.size(); ++idx) exec_one(idx);
@@ -392,22 +635,28 @@ class Executor {
       observe::TraceSpan span(to_string(in.kind), "engine");
       const char* xw = in.inputs.empty() ? "-" : to_string(reg_w(in.inputs[0]));
       const char* yw = to_string(reg_w(in.output));
-      const bool matmul = is_matmul_kind(in.kind);
-      const bool fast =
-          matmul &&
-          (is_fused_kind(in.kind)
-               ? fused_path(in, plan_, idx, reg_w(in.inputs[0])) != FusedPath::kGeneric
-               : fast_matmul(in, idx) || fast_matmul16(in, idx));
-      if (matmul && fast) {
+      if (is_fused_kind(in.kind)) {
+        // Same table --explain-kernels prints: the resolved algo plus
+        // whether it came from a tuned selection or the static default.
+        const fpk::Algo a = detail::resolve_fused_algo(in, plan_.consts[idx],
+                                                       reg_w(in.inputs[0]),
+                                                       planned_algo(idx));
+        span.argf("%s %s->%s kernels=%s algo=%s%s", in.debug_name.c_str(), xw, yw,
+                  fpk::active_kernels().name, fpk::algo_name(a),
+                  planned_algo(idx) == fpk::Algo::kAuto ? "" : " tuned");
+      } else if (is_matmul_kind(in.kind)) {
+        const bool fast = fast_matmul(in, idx) || fast_matmul16(in, idx);
         span.argf("%s %s->%s kernels=%s", in.debug_name.c_str(), xw, yw,
-                  fpk::active_kernels().name);
-      } else if (matmul) {
-        span.argf("%s %s->%s kernels=generic", in.debug_name.c_str(), xw, yw);
+                  fast ? fpk::active_kernels().name : "generic");
       } else {
         span.argf("%s %s->%s", in.debug_name.c_str(), xw, yw);
       }
       exec_one(idx);
     }
+  }
+
+  fpk::Algo planned_algo(size_t idx) const {
+    return idx < plan_.algos.size() ? plan_.algos[idx] : fpk::Algo::kAuto;
   }
 
   void* reg_ptr(int r) const {
@@ -452,41 +701,6 @@ class Executor {
   void run_gemm16(size_t idx, const int16_t* a, int32_t* c, const GemmShape& gs) const {
     fpk::active_kernels().gemm_s16p16s32(a, plan_.consts[idx].b_pair16.data(), c, gs.m,
                                          gs.n, gs.k);
-  }
-
-  /// The epilogue bundle a fused instruction hands its kernel.
-  fpk::Epilogue make_epi(const FpInstr& in, size_t idx, void* y, IntWidth wy) const {
-    const ExecPlan::Const& pc = plan_.consts[idx];
-    fpk::Epilogue e;
-    e.steps = pc.epi.data();
-    e.n_steps = static_cast<int>(pc.epi.size());
-    e.bias = in.bias_data.empty() ? nullptr : in.bias_data.data();
-    e.y = y;
-    e.out_bytes = width_bytes(wy);
-    e.vec32 = pc.epi_vec32;
-    e.bias32 = pc.bias32.empty() ? nullptr : pc.bias32.data();
-    return e;
-  }
-
-  /// Fused GEMM through the active kernel set (packed-B entry preferred).
-  void run_gemm_epi(size_t idx, const int8_t* a, const GemmShape& gs,
-                    const fpk::Epilogue& e) const {
-    const fpk::KernelSet& ks = fpk::active_kernels();
-    const ExecPlan::Const& w = plan_.consts[idx];
-    if (ks.gemm_s8p16_epi && !w.b_pair16.empty()) {
-      ks.gemm_s8p16_epi(a, w.b_pair16.data(), gs.m, gs.n, gs.k, e);
-    } else {
-      ks.gemm_s8_epi(a, w.i8.data(), gs.m, gs.n, gs.k, e);
-    }
-  }
-
-  /// True for a 1x1 stride-1 unpadded conv: the NHWC activations are already
-  /// the [M, cin] GEMM A operand, so the im2col copy can be skipped.
-  static bool is_pointwise(const FpInstr& in) {
-    const Conv2dGeom& g = in.geom;
-    return in.const_shape[0] == 1 && in.const_shape[1] == 1 && g.stride_h == 1 &&
-           g.stride_w == 1 && g.pad_top == 0 && g.pad_bottom == 0 && g.pad_left == 0 &&
-           g.pad_right == 0;
   }
 
   void exec_one(size_t idx) {
@@ -715,100 +929,23 @@ class Executor {
         }
         break;
       }
-      case FpInstr::Kind::kConv2dFused: {
-        const int x = in.inputs[0];
-        const fpk::Epilogue e = make_epi(in, idx, y, wy);
-        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
-        if (p == FusedPath::kGemm8) {
-          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
-          const int8_t* a;
-          if (is_pointwise(in)) {
-            a = static_cast<const int8_t*>(reg_ptr(x));
-          } else {
-            int8_t* packed = reinterpret_cast<int8_t*>(scratch_.data());
-            im2col_pack(in, static_cast<const int8_t*>(reg_ptr(x)), reg_shape(x), packed);
-            a = packed;
-          }
-          run_gemm_epi(idx, a, gs, e);
-        } else if (p == FusedPath::kGemm16) {
-          const GemmShape gs = conv_gemm_shape(in, reg_shape(x));
-          const int16_t* a;
-          if (is_pointwise(in)) {
-            a = static_cast<const int16_t*>(reg_ptr(x));
-          } else {
-            int16_t* packed = reinterpret_cast<int16_t*>(scratch_.data());
-            im2col_pack(in, static_cast<const int16_t*>(reg_ptr(x)), reg_shape(x), packed);
-            a = packed;
-          }
-          fpk::active_kernels().gemm_s16p16_epi(a, plan_.consts[idx].b_pair16.data(),
-                                                gs.m, gs.n, gs.k, e);
-        } else {
-          // Generic fallback: accumulate in int64 scratch (the reference
-          // semantics exactly), then retire through the same epilogue.
-          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
-          with_width(reg_w(x), [&](auto xt) {
-            conv_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), reg_shape(x),
-                         acc);
-          });
-          apply_epi(e, acc, yn, in.const_shape[3]);
-        }
-        break;
-      }
-      case FpInstr::Kind::kDepthwiseFused: {
-        const int x = in.inputs[0];
-        const FpRegShape& xs = reg_shape(x);
-        const fpk::Epilogue e = make_epi(in, idx, y, wy);
-        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
-        if (p == FusedPath::kDepthwise8 || p == FusedPath::kDepthwise16) {
-          fpk::DepthwiseArgs a;
-          a.batch = xs.dims[0];
-          a.h = xs.dims[1];
-          a.w = xs.dims[2];
-          a.c = xs.dims[3];
-          a.oh = in.geom.out_h(a.h);
-          a.ow = in.geom.out_w(a.w);
-          a.geom = in.geom;
-          if (p == FusedPath::kDepthwise8) {
-            fpk::active_kernels().depthwise_s8_epi(static_cast<const int8_t*>(reg_ptr(x)),
-                                                   plan_.consts[idx].i8.data(), a, e);
-          } else {
-            fpk::active_kernels().depthwise_s16_epi(
-                static_cast<const int16_t*>(reg_ptr(x)), plan_.consts[idx].i8.data(), a,
-                e);
-          }
-        } else {
-          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
-          with_width(reg_w(x), [&](auto xt) {
-            depthwise_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs, acc);
-          });
-          apply_epi(e, acc, yn, xs.dims[3]);
-        }
-        break;
-      }
+      case FpInstr::Kind::kConv2dFused:
+      case FpInstr::Kind::kDepthwiseFused:
       case FpInstr::Kind::kDenseFused: {
         const int x = in.inputs[0];
-        const FpRegShape& xs = reg_shape(x);
-        const fpk::Epilogue e = make_epi(in, idx, y, wy);
-        const FusedPath p = fused_path(in, plan_, idx, reg_w(x));
-        GemmShape gs;
-        gs.m = xs.dims[0];
-        gs.n = in.const_shape[1];
-        gs.k = xs.dims[1];
-        if (p == FusedPath::kGemm8) {
-          run_gemm_epi(idx, static_cast<const int8_t*>(reg_ptr(x)), gs, e);
-        } else if (p == FusedPath::kGemm16) {
-          fpk::active_kernels().gemm_s16p16_epi(static_cast<const int16_t*>(reg_ptr(x)),
-                                                plan_.consts[idx].b_pair16.data(), gs.m,
-                                                gs.n, gs.k, e);
-        } else {
-          int64_t* acc = reinterpret_cast<int64_t*>(acc_scratch_.data());
-          with_width(reg_w(x), [&](auto xt) {
-            dense_generic(in, static_cast<const decltype(xt)*>(reg_ptr(x)), xs, acc);
-          });
-          apply_epi(e, acc, yn, gs.n);
-        }
+        const fpk::Algo algo =
+            detail::resolve_fused_algo(in, plan_.consts[idx], reg_w(x), planned_algo(idx));
+        detail::run_fused(in, plan_.consts[idx], algo, reg_ptr(x), reg_shape(x),
+                          reg_w(x), y, wy, yn, scratch_, acc_scratch_);
         break;
       }
+      case FpInstr::Kind::kLayoutPack:
+        detail::layout_pack(static_cast<const int8_t*>(reg_ptr(in.inputs[0])),
+                            reg_shape(in.inputs[0]), static_cast<int8_t*>(y));
+        break;
+      case FpInstr::Kind::kLayoutUnpack:
+        detail::layout_unpack(reg_ptr(in.inputs[0]), wy, reg_shape(in.output), y);
+        break;
     }
   }
 
@@ -839,15 +976,20 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
   static observe::Counter& instr_counter =
       observe::MetricsRegistry::global().counter("engine.instructions");
   runs_counter.inc();
-  instr_counter.inc(instrs_.size());
   observe::TraceSpan span("engine.run_into", "engine");
-  span.argf("instrs=%zu", instrs_.size());
 
   const ExecPlan& plan = this->plan();
+  // The execution stream: the canonical instructions, unless the autotuner
+  // derived a stream with layout pseudo-ops (plan.consts / plan.algos /
+  // plan.regs are aligned with THAT stream, including its extra registers).
+  const std::vector<FpInstr>& xinstrs = plan.instrs.empty() ? instrs_ : plan.instrs;
+  const int n_regs = static_cast<int>(plan.regs.size());
+  instr_counter.inc(xinstrs.size());
+  span.argf("instrs=%zu", xinstrs.size());
 
   // Per-run shape inference + arena sizing; every container is grow-only, so
   // after a warm-up run at this (program, shape) nothing below allocates.
-  infer_register_shapes(instrs_, n_registers, input_register, input.shape(), ctx.regs_);
+  infer_register_shapes(xinstrs, n_regs, input_register, input.shape(), ctx.regs_);
   if (static_cast<int>(ctx.slots_.size()) < plan.n_slots) {
     ctx.slots_.resize(static_cast<size_t>(plan.n_slots));
   }
@@ -856,7 +998,7 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
   // lanes multiply the zero-padded tail of the packed B operand, so their
   // contents never reach a result.
   constexpr size_t kBufSlack = 32;
-  for (int r = 0; r < n_registers; ++r) {
+  for (int r = 0; r < n_regs; ++r) {
     const ExecPlan::Reg& pr = plan.regs[static_cast<size_t>(r)];
     if (pr.slot < 0) continue;
     const size_t need = static_cast<size_t>(ctx.regs_[static_cast<size_t>(r)].numel) *
@@ -867,10 +1009,12 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
   }
   if (plan.needs_scratch) {
     size_t need = 0;
-    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
-      const FpInstr& in = instrs_[idx];
+    for (size_t idx = 0; idx < xinstrs.size(); ++idx) {
+      const FpInstr& in = xinstrs[idx];
       if (base_kind_of(in.kind) != FpInstr::Kind::kConv2d) continue;
       if (plan.consts[idx].width != IntWidth::kI8) continue;
+      // Blocked convs read the NC8HW8 register directly — no im2col.
+      if (idx < plan.algos.size() && plan.algos[idx] == fpk::Algo::kBlocked) continue;
       const GemmShape gs = conv_gemm_shape(in, ctx.regs_[static_cast<size_t>(in.inputs[0])]);
       const int xw = width_bytes(plan.regs[static_cast<size_t>(in.inputs[0])].width);
       need = std::max(need,
@@ -884,11 +1028,13 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
   // else).
   {
     size_t need = 0;
-    for (size_t idx = 0; idx < instrs_.size(); ++idx) {
-      const FpInstr& in = instrs_[idx];
+    for (size_t idx = 0; idx < xinstrs.size(); ++idx) {
+      const FpInstr& in = xinstrs[idx];
       if (!is_fused_kind(in.kind)) continue;
-      if (fused_path(in, plan, idx, plan.regs[static_cast<size_t>(in.inputs[0])].width) !=
-          FusedPath::kGeneric) {
+      if (detail::resolve_fused_algo(
+              in, plan.consts[idx], plan.regs[static_cast<size_t>(in.inputs[0])].width,
+              idx < plan.algos.size() ? plan.algos[idx] : fpk::Algo::kAuto) !=
+          fpk::Algo::kGeneric) {
         continue;
       }
       need = std::max(need,
@@ -898,7 +1044,7 @@ void FixedPointProgram::run_into(const Tensor& input, ExecContext& ctx, Tensor& 
     if (ctx.acc_scratch_.size() < need) ctx.acc_scratch_.resize(need);
   }
 
-  Executor ex(instrs_, plan, input, ctx.slots_, ctx.scratch_, ctx.acc_scratch_, ctx.regs_);
+  Executor ex(xinstrs, plan, input, ctx.slots_, ctx.scratch_, ctx.acc_scratch_, ctx.regs_);
   ex.run();
 
   // De-quantize the output register into `out`, resizing only on shape change.

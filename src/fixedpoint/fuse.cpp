@@ -209,4 +209,89 @@ FuseStats fuse_program(std::vector<FpInstr>& instrs, int n_registers,
   return st;
 }
 
+void insert_layout_ops(std::vector<FpInstr>& stream, std::vector<fpk::Algo>& algos,
+                       int* n_registers, int output_register) {
+  // Pre-scan: which registers are produced by a blocked instruction, and
+  // which of those are read by anything that cannot consume NC8HW8 lanes
+  // (a non-blocked instruction, a second operand slot — blocked kernels are
+  // single-input — or the program output).
+  const auto is_blocked = [&](size_t i) {
+    return i < algos.size() && algos[i] == fpk::Algo::kBlocked;
+  };
+  std::vector<char> blocked_out(static_cast<size_t>(*n_registers), 0);
+  std::vector<char> needs_unpack(static_cast<size_t>(*n_registers), 0);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (is_blocked(i)) blocked_out[static_cast<size_t>(stream[i].output)] = 1;
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    for (size_t a = 0; a < stream[i].inputs.size(); ++a) {
+      const int r = stream[i].inputs[a];
+      if (!blocked_out[static_cast<size_t>(r)]) continue;
+      if (!(is_blocked(i) && a == 0)) needs_unpack[static_cast<size_t>(r)] = 1;
+    }
+  }
+  if (output_register >= 0 && blocked_out[static_cast<size_t>(output_register)]) {
+    needs_unpack[static_cast<size_t>(output_register)] = 1;
+  }
+
+  std::vector<FpInstr> out;
+  std::vector<fpk::Algo> out_algos;
+  out.reserve(stream.size() + 4);
+  out_algos.reserve(stream.size() + 4);
+  // Standard-layout register -> its packed twin; blocked producer's original
+  // output id -> the register actually holding the blocked lanes.
+  std::vector<int> packed_of(static_cast<size_t>(*n_registers), -1);
+  std::vector<int> blocked_reg(static_cast<size_t>(*n_registers), -1);
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    FpInstr in = std::move(stream[i]);
+    const fpk::Algo algo = i < algos.size() ? algos[i] : fpk::Algo::kAuto;
+    if (algo == fpk::Algo::kBlocked) {
+      const int src = in.inputs[0];
+      if (blocked_reg[static_cast<size_t>(src)] >= 0) {
+        // Chain link: the producer's blocked lanes pass straight through.
+        in.inputs[0] = blocked_reg[static_cast<size_t>(src)];
+      } else {
+        if (packed_of[static_cast<size_t>(src)] < 0) {
+          FpInstr pk;
+          pk.kind = FpInstr::Kind::kLayoutPack;
+          pk.inputs = {src};
+          pk.output = (*n_registers)++;
+          pk.debug_name = "layout_pack";
+          packed_of[static_cast<size_t>(src)] = pk.output;
+          out.push_back(std::move(pk));
+          out_algos.push_back(fpk::Algo::kAuto);
+        }
+        in.inputs[0] = packed_of[static_cast<size_t>(src)];
+      }
+      const int o = in.output;
+      if (needs_unpack[static_cast<size_t>(o)]) {
+        // Keep the ORIGINAL register id for the unpacked lanes so every
+        // standard-layout consumer (and the program output) is untouched;
+        // the blocked lanes live in a fresh register.
+        in.output = (*n_registers)++;
+        blocked_reg[static_cast<size_t>(o)] = in.output;
+        out.push_back(std::move(in));
+        out_algos.push_back(fpk::Algo::kBlocked);
+        FpInstr up;
+        up.kind = FpInstr::Kind::kLayoutUnpack;
+        up.inputs = {blocked_reg[static_cast<size_t>(o)]};
+        up.output = o;
+        up.debug_name = "layout_unpack";
+        out.push_back(std::move(up));
+        out_algos.push_back(fpk::Algo::kAuto);
+      } else {
+        blocked_reg[static_cast<size_t>(o)] = o;
+        out.push_back(std::move(in));
+        out_algos.push_back(fpk::Algo::kBlocked);
+      }
+    } else {
+      out.push_back(std::move(in));
+      out_algos.push_back(algo);
+    }
+  }
+  stream = std::move(out);
+  algos = std::move(out_algos);
+}
+
 }  // namespace tqt

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fixedpoint/engine.h"
+#include "fixedpoint/kernels/kernels.h"
 
 namespace tqt {
 
@@ -46,6 +47,18 @@ FuseStats fuse_program(std::vector<FpInstr>& instrs, int n_registers,
 std::vector<FpInstr> schedule_program(const std::vector<FpInstr>& instrs,
                                       int n_registers, int input_register,
                                       int output_register);
+
+/// Rewrite `stream` for tuner-selected blocked kernels: insert kLayoutPack
+/// before the first blocked consumer of each standard-layout register and
+/// kLayoutUnpack after any blocked output that a non-blocked instruction (or
+/// the program output) reads. `algos` is aligned with `stream` and is kept
+/// aligned (pseudo-ops get kAuto); `*n_registers` grows by one per inserted
+/// pseudo-op. Chain-internal links stay blocked end to end — consecutive
+/// blocked instructions hand the NC8HW8 register straight through. Called by
+/// finalize() on a COPY of the canonical stream; the canonical program is
+/// never rewritten.
+void insert_layout_ops(std::vector<FpInstr>& stream, std::vector<fpk::Algo>& algos,
+                       int* n_registers, int output_register);
 
 /// Planner's nominal single-image arena footprint of an instruction order:
 /// build the exec plan, size every slot at its widest resident register

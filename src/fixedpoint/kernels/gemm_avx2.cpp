@@ -818,6 +818,158 @@ void depthwise_s16_epi_avx2(const int16_t* x, const int8_t* w, const DepthwiseAr
   depthwise_epi_avx2(x, w, a, e);
 }
 
+// ---- Channel-blocked (NC8HW8) direct kernels -------------------------------
+// The blocked conv reads one pixel's 8-channel group as a single 8-byte load
+// and retires 8 output channels per 256-bit accumulator, no im2col. Tiling is
+// 4 output pixels wide: each 32-byte weight vector (one input-channel pair x
+// 8 output channels, pack_conv_wblk16 layout) is loaded once and vpmaddwd'd
+// against all 4 pixels' broadcast activation pairs — 4 multiply-adds per
+// weight load, vs. 2 for the packed GEMM. Padding pixels contribute zero
+// activation vectors (never a wrong product); output lanes past a.cout store
+// epilogue(0), which the following layout_unpack (or the next blocked
+// kernel's zero weight lanes) discards. Bit-exact vs. the scalar blocked
+// kernel: identical pair products, int32 adds reassociated under the plan's
+// no-overflow bound.
+
+/// One pixel's 8 channels widened to 8 int16 lanes (4 pairs), broadcast to
+/// both 128-bit halves so _mm256_shuffle_epi32 can splat any pair to all 8
+/// int32 lanes.
+inline __m256i blk_pixel16(const int8_t* p) {
+  return _mm256_broadcastsi128_si256(
+      _mm256_castsi256_si128(_mm256_cvtepi8_epi16(_mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(p)))));
+}
+
+void conv_s8blk_epi_avx2(const int8_t* x, const int16_t* wblk, const ConvBlkArgs& a,
+                         const Epilogue& e) {
+  if (!e.vec32) {
+    scalar_kernels().conv_s8blk_epi(x, wblk, a, e);
+    return;
+  }
+  const EpiVec ev(e);
+  const Conv2dGeom& g = a.geom;
+  const int64_t CBi = blocked_c(a.cin) / kChanBlock;
+  const int64_t PP = blocked_c(a.cin) / 2;
+  const int64_t OB = blocked_c(a.cout) / kChanBlock;
+  const int64_t T = g.kh * g.kw;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * T * a.cin * a.cout * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      // 8-output-pixel tiles with the tap's 4 weight-pair vectors held in
+      // registers: each weight load feeds up to 8 vpmaddwd, and a zero input
+      // pixel (padding or sparse post-ReLU data) skips its 4 madds outright.
+      for (int64_t ox0 = 0; ox0 < a.ow; ox0 += 8) {
+        const int64_t nq = std::min<int64_t>(8, a.ow - ox0);
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        for (int64_t ob = 0; ob < OB; ++ob) {
+          __m256i acc[8];
+          for (int64_t q = 0; q < 8; ++q) acc[q] = _mm256_setzero_si256();
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= a.h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t t = ky * g.kw + kx;
+              const int16_t* wt = wblk + ((ob * T + t) * PP) * 2 * kChanBlock;
+              for (int64_t cb = 0; cb < CBi; ++cb) {
+                // Channel pairs beyond cin in the last input block carry
+                // all-zero weights (the packer zero-fills padded lanes), so
+                // their madds contribute exactly 0 — skip them. Stems with
+                // cin=3 drop from 4 pair-vectors to 2.
+                const int64_t np =
+                    (cb == CBi - 1) ? (a.cin - cb * kChanBlock + 1) / 2 : 4;
+                const int16_t* wp = wt + (cb * 4) * 2 * kChanBlock;
+                const __m256i wv0 = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(wp + 0 * 2 * kChanBlock));
+                const __m256i wv1 =
+                    np > 1 ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 wp + 1 * 2 * kChanBlock))
+                           : _mm256_setzero_si256();
+                const __m256i wv2 =
+                    np > 2 ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 wp + 2 * 2 * kChanBlock))
+                           : _mm256_setzero_si256();
+                const __m256i wv3 =
+                    np > 3 ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 wp + 3 * 2 * kChanBlock))
+                           : _mm256_setzero_si256();
+                const int8_t* xrow =
+                    x + (((b * CBi + cb) * a.h + iy) * a.w) * kChanBlock;
+                for (int64_t q = 0; q < nq; ++q) {
+                  const int64_t ix = (ox0 + q) * g.stride_w - g.pad_left + kx;
+                  if (ix < 0 || ix >= a.w) continue;
+                  const __m256i xa = blk_pixel16(xrow + ix * kChanBlock);
+                  if (_mm256_testz_si256(xa, xa)) continue;
+                  __m256i s = _mm256_madd_epi16(_mm256_shuffle_epi32(xa, 0x00), wv0);
+                  if (np > 1)
+                    s = _mm256_add_epi32(
+                        s, _mm256_madd_epi16(_mm256_shuffle_epi32(xa, 0x55), wv1));
+                  if (np > 2)
+                    s = _mm256_add_epi32(
+                        s, _mm256_madd_epi16(_mm256_shuffle_epi32(xa, 0xAA), wv2));
+                  if (np > 3)
+                    s = _mm256_add_epi32(
+                        s, _mm256_madd_epi16(_mm256_shuffle_epi32(xa, 0xFF), wv3));
+                  acc[q] = _mm256_add_epi32(acc[q], s);
+                }
+              }
+            }
+          }
+          for (int64_t q = 0; q < nq; ++q) {
+            const int64_t out_base =
+                (((b * OB + ob) * a.oh + oy) * a.ow + (ox0 + q)) * kChanBlock;
+            epi_store_vec(e, out_base, ev.apply(acc[q], ob * kChanBlock));
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_s8blk_epi_avx2(const int8_t* x, const int8_t* wblk,
+                              const DepthwiseArgs& a, const Epilogue& e) {
+  if (!e.vec32) {
+    scalar_kernels().depthwise_s8blk_epi(x, wblk, a, e);
+    return;
+  }
+  const EpiVec ev(e);
+  const Conv2dGeom& g = a.geom;
+  const int64_t CB = blocked_c(a.c) / kChanBlock;
+  const int64_t T = g.kh * g.kw;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * T * a.c * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      for (int64_t ox = 0; ox < a.ow; ++ox) {
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t cb = 0; cb < CB; ++cb) {
+          __m256i acc = _mm256_setzero_si256();
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= a.h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= a.w) continue;
+              const __m256i xv = dw_load8(
+                  x + (((b * CB + cb) * a.h + iy) * a.w + ix) * kChanBlock);
+              const __m256i wv =
+                  dw_load8(wblk + (cb * T + ky * g.kw + kx) * kChanBlock);
+              acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(xv, wv));
+            }
+          }
+          const int64_t out_base = (((b * CB + cb) * a.oh + oy) * a.ow + ox) * kChanBlock;
+          epi_store_vec(e, out_base, ev.apply(acc, cb * kChanBlock));
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
 const KernelSet* avx2_kernels() {
@@ -836,7 +988,9 @@ const KernelSet* avx2_kernels() {
                             gemm_s8p16_epi_avx2,
                             gemm_s16p16_epi_avx2,
                             depthwise_s8_epi_avx2,
-                            depthwise_s16_epi_avx2};
+                            depthwise_s16_epi_avx2,
+                            conv_s8blk_epi_avx2,
+                            depthwise_s8blk_epi_avx2};
   return &ks;
 }
 

@@ -5,6 +5,7 @@
 // regroups the k loop; integer accumulation is exact, so the result is
 // bit-identical for every block size, thread count, and skip pattern.
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -12,6 +13,18 @@
 #include "runtime/parallel.h"
 
 namespace tqt::fpk {
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kAuto: return "auto";
+    case Algo::kGemmPacked: return "gemm-packed";
+    case Algo::kGemmRaw: return "gemm-raw";
+    case Algo::kDwDirect: return "dw-direct";
+    case Algo::kBlocked: return "blocked";
+    case Algo::kGeneric: return "generic";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -149,6 +162,115 @@ void depthwise_s16_epi_scalar(const int16_t* x, const int8_t* w, const Depthwise
   depthwise_epi_scalar(x, w, a, e);
 }
 
+// ---- Channel-blocked (NC8HW8) direct kernels ------------------------------
+// Portable reference implementations of Algo::kBlocked. Output lanes past the
+// logical channel count store 0 without touching the epilogue (the bias table
+// has no entry for them); the AVX2 variants store epilogue(0) instead — both
+// are legal because a layout_unpack (or zero weight lanes in a consuming
+// blocked kernel) discards those lanes.
+
+void conv_s8blk_epi_scalar(const int8_t* x, const int16_t* wblk, const ConvBlkArgs& a,
+                           const Epilogue& e) {
+  const Conv2dGeom& g = a.geom;
+  const int64_t CBi = blocked_c(a.cin) / kChanBlock;
+  const int64_t PP = blocked_c(a.cin) / 2;
+  const int64_t OB = blocked_c(a.cout) / kChanBlock;
+  const int64_t T = g.kh * g.kw;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * T * a.cin * a.cout * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      for (int64_t ox = 0; ox < a.ow; ++ox) {
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t ob = 0; ob < OB; ++ob) {
+          int32_t acc[kChanBlock] = {0};
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= a.h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= a.w) continue;
+              const int16_t* wt = wblk + ((ob * T + ky * g.kw + kx) * PP) * 2 * kChanBlock;
+              for (int64_t p = 0; p < PP; ++p) {
+                // Input channels 2p and 2p+1 share a block (kChanBlock is
+                // even), so both lanes come from one contiguous pixel group.
+                const int8_t* xi =
+                    x + (((b * CBi + (2 * p) / kChanBlock) * a.h + iy) * a.w + ix) *
+                            kChanBlock +
+                    (2 * p) % kChanBlock;
+                const int32_t x0 = xi[0];
+                const int32_t x1 = xi[1];
+                if ((x0 | x1) == 0) continue;
+                const int16_t* wp = wt + p * 2 * kChanBlock;
+                for (int64_t j = 0; j < kChanBlock; ++j) {
+                  acc[j] += x0 * wp[2 * j] + x1 * wp[2 * j + 1];
+                }
+              }
+            }
+          }
+          const int64_t out_base = (((b * OB + ob) * a.oh + oy) * a.ow + ox) * kChanBlock;
+          for (int64_t j = 0; j < kChanBlock; ++j) {
+            const int64_t ch = ob * kChanBlock + j;
+            if (ch < a.cout) {
+              epi_store(e, out_base + j, epi_apply(e, acc[j], ch));
+            } else {
+              epi_store(e, out_base + j, 0);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+void depthwise_s8blk_epi_scalar(const int8_t* x, const int8_t* wblk,
+                                const DepthwiseArgs& a, const Epilogue& e) {
+  const Conv2dGeom& g = a.geom;
+  const int64_t CB = blocked_c(a.c) / kChanBlock;
+  const int64_t T = g.kh * g.kw;
+  const int64_t rows = a.batch * a.oh;
+  parallel_for(0, rows, grain_for(rows, a.ow * T * a.c * 2, kGemmTargetOps),
+               [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t b = r / a.oh;
+      const int64_t oy = r % a.oh;
+      for (int64_t ox = 0; ox < a.ow; ++ox) {
+        const int64_t iy0 = oy * g.stride_h - g.pad_top;
+        const int64_t ix0 = ox * g.stride_w - g.pad_left;
+        for (int64_t cb = 0; cb < CB; ++cb) {
+          int32_t acc[kChanBlock] = {0};
+          for (int64_t ky = 0; ky < g.kh; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= a.h) continue;
+            for (int64_t kx = 0; kx < g.kw; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= a.w) continue;
+              const int8_t* xi =
+                  x + (((b * CB + cb) * a.h + iy) * a.w + ix) * kChanBlock;
+              const int8_t* wk = wblk + (cb * T + ky * g.kw + kx) * kChanBlock;
+              for (int64_t l = 0; l < kChanBlock; ++l) {
+                acc[l] += static_cast<int32_t>(xi[l]) * wk[l];
+              }
+            }
+          }
+          const int64_t out_base = (((b * CB + cb) * a.oh + oy) * a.ow + ox) * kChanBlock;
+          for (int64_t l = 0; l < kChanBlock; ++l) {
+            const int64_t ch = cb * kChanBlock + l;
+            if (ch < a.c) {
+              epi_store(e, out_base + l, epi_apply(e, acc[l], ch));
+            } else {
+              epi_store(e, out_base + l, 0);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
 const KernelSet* g_forced = nullptr;
 
 }  // namespace
@@ -169,6 +291,56 @@ std::vector<int16_t> pack_b_pair16(const int8_t* B, int64_t K, int64_t N) {
   return packed;
 }
 
+std::vector<int16_t> pack_conv_wblk16(const int8_t* w, int64_t kh, int64_t kw,
+                                      int64_t cin, int64_t cout) {
+  const int64_t T = kh * kw;
+  const int64_t PP = blocked_c(cin) / 2;
+  const int64_t OB = blocked_c(cout) / kChanBlock;
+  std::vector<int16_t> packed(static_cast<size_t>(OB * T * PP * kChanBlock * 2),
+                              int16_t{0});
+  for (int64_t ob = 0; ob < OB; ++ob) {
+    for (int64_t t = 0; t < T; ++t) {
+      for (int64_t p = 0; p < PP; ++p) {
+        int16_t* dst = packed.data() + (((ob * T + t) * PP + p) * kChanBlock) * 2;
+        for (int64_t j = 0; j < kChanBlock; ++j) {
+          const int64_t o = ob * kChanBlock + j;
+          if (o >= cout) continue;
+          for (int64_t d = 0; d < 2; ++d) {
+            const int64_t c = 2 * p + d;
+            if (c < cin) dst[j * 2 + d] = w[(t * cin + c) * cout + o];
+          }
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+std::vector<int8_t> pack_dw_wblk8(const int8_t* w, int64_t kh, int64_t kw, int64_t c) {
+  const int64_t T = kh * kw;
+  const int64_t CB = blocked_c(c) / kChanBlock;
+  std::vector<int8_t> packed(static_cast<size_t>(CB * T * kChanBlock), int8_t{0});
+  for (int64_t cb = 0; cb < CB; ++cb) {
+    for (int64_t t = 0; t < T; ++t) {
+      for (int64_t l = 0; l < kChanBlock; ++l) {
+        const int64_t ch = cb * kChanBlock + l;
+        if (ch < c) {
+          packed[static_cast<size_t>((cb * T + t) * kChanBlock + l)] = w[t * c + ch];
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+const char* kernels_env_error(const char* value) {
+  if (std::strcmp(value, "scalar") == 0 || std::strcmp(value, "avx2") == 0 ||
+      std::strcmp(value, "auto") == 0) {
+    return nullptr;
+  }
+  return "unrecognized TQT_KERNELS value (expected scalar|avx2|auto)";
+}
+
 namespace {
 
 const KernelSet* pick_auto() {
@@ -178,6 +350,10 @@ const KernelSet* pick_auto() {
 
 const KernelSet* pick_from_env() {
   if (const char* env = std::getenv("TQT_KERNELS")) {
+    if (const char* err = kernels_env_error(env)) {
+      std::fprintf(stderr, "error: %s, got '%s'\n", err, env);
+      std::exit(1);
+    }
     if (std::strcmp(env, "scalar") == 0) return &scalar_kernels();
     if (std::strcmp(env, "avx2") == 0 && avx2_kernels()) return avx2_kernels();
   }
@@ -196,7 +372,9 @@ const KernelSet& scalar_kernels() {
                             nullptr,
                             nullptr,
                             depthwise_s8_epi_scalar,
-                            depthwise_s16_epi_scalar};
+                            depthwise_s16_epi_scalar,
+                            conv_s8blk_epi_scalar,
+                            depthwise_s8blk_epi_scalar};
   return ks;
 }
 

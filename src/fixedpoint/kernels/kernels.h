@@ -26,6 +26,63 @@
 
 namespace tqt::fpk {
 
+// ---- Algo selection (registry v2) ----------------------------------------
+// A KernelSet no longer implies one fixed code path per op: each fused matmul
+// instruction executes under an Algo chosen per (op, widths, shape, batch) —
+// statically by the resolver's heuristics, or measured by the autotuner
+// (autotune.h). Every algo computes bit-identical results (integer
+// accumulation is exact and the plan proves int32 safety), so selection is
+// purely a performance decision.
+
+/// Candidate execution strategies for a fused matmul instruction. Order
+/// matters: the autotuner breaks timing ties toward the lower enum value.
+enum class Algo : uint8_t {
+  kAuto = 0,     ///< not yet resolved — use the static heuristic
+  kGemmPacked,   ///< im2col + pair-packed-B GEMM (gemm_s8p16_epi / s16)
+  kGemmRaw,      ///< im2col + raw-B fused GEMM (gemm_s8_epi)
+  kDwDirect,     ///< direct fused depthwise (depthwise_s8_epi / s16)
+  kBlocked,      ///< NC8HW8 channel-blocked direct conv / depthwise
+  kGeneric,      ///< executor's int64-accumulator fallback
+};
+
+const char* algo_name(Algo a);
+
+// ---- Channel-blocked int8 layout (NC8HW8) ---------------------------------
+// Activations regroup NHWC into blocks of kChanBlock channels:
+//   xb[(((n * CB + cb) * H + y) * W + x) * 8 + l]  with  c = cb*8 + l,
+// CB = blocked_c(C)/8. Lanes past C in the last block are zero on entry to a
+// blocked chain (layout_pack writes them) and are neutralized inside it by
+// zero weight lanes, so arbitrary chain compositions stay exact. The payoff:
+// a blocked direct conv reads 8 consecutive input channels as one 8-byte
+// load and retires 8 output channels per 256-bit accumulator — no im2col.
+
+/// Channel block width (int32 lanes of one AVX2 vector).
+constexpr int64_t kChanBlock = 8;
+
+/// Channels rounded up to a whole block.
+inline int64_t blocked_c(int64_t c) { return (c + kChanBlock - 1) & ~(kChanBlock - 1); }
+
+/// Geometry bundle for the blocked direct conv kernel (NC8HW8 x and y).
+struct ConvBlkArgs {
+  int64_t batch = 0, h = 0, w = 0, cin = 0, cout = 0;
+  int64_t oh = 0, ow = 0;
+  Conv2dGeom geom;
+};
+
+/// Pack conv weights w[(t*cin + c) * cout + o] (t = tap index over kh*kw)
+/// into the blocked-pair layout consumed by ConvS8BlkEpiFn:
+///   wblk[(((ob*T + t) * PP + p) * 8 + j) * 2 + d] = w[(t*cin + 2p+d) * cout + ob*8+j]
+/// with T = kh*kw, PP = blocked_c(cin)/2; out-of-range input or output
+/// channels are zero. For a fixed (ob, t, p) the 16 int16 lanes form one
+/// 32-byte vector: lane j holds the (even, odd) input-channel pair for
+/// output channel ob*8 + j — a vpmaddwd against a broadcast activation pair.
+std::vector<int16_t> pack_conv_wblk16(const int8_t* w, int64_t kh, int64_t kw,
+                                      int64_t cin, int64_t cout);
+
+/// Pack depthwise weights w[t*c + ch] into per-block tap vectors:
+///   wd[(cb*T + t) * 8 + l] = w[t*c + cb*8+l]   (zero when cb*8+l >= c).
+std::vector<int8_t> pack_dw_wblk8(const int8_t* w, int64_t kh, int64_t kw, int64_t c);
+
 // ---- Fused epilogue -------------------------------------------------------
 // The graph compiler (fuse.cpp) folds requant / bias-add / activation chains
 // into the matmul instruction; the plan lowers them to this step list (shifts
@@ -169,6 +226,19 @@ using DepthwiseS8EpiFn = void (*)(const int8_t* x, const int8_t* w,
 using DepthwiseS16EpiFn = void (*)(const int16_t* x, const int8_t* w,
                                    const DepthwiseArgs& a, const Epilogue& e);
 
+/// Blocked direct conv: x is NC8HW8 int8, wblk is pack_conv_wblk16 output,
+/// y (inside e) is NC8HW8 at the planned narrow width. Output lanes past
+/// a.cout store epilogue(0) under vec32 (the plan's bounds admit it — zero is
+/// always inside the accumulator interval) or 0 on the scalar path; a
+/// following layout_unpack drops them either way.
+using ConvS8BlkEpiFn = void (*)(const int8_t* x, const int16_t* wblk,
+                                const ConvBlkArgs& a, const Epilogue& e);
+
+/// Blocked fused depthwise: x NC8HW8 int8, wblk from pack_dw_wblk8, a.c is
+/// the *logical* channel count (storage is blocked_c(a.c)).
+using DepthwiseS8BlkEpiFn = void (*)(const int8_t* x, const int8_t* wblk,
+                                     const DepthwiseArgs& a, const Epilogue& e);
+
 struct KernelSet {
   const char* name = "?";
   GemmS8Fn gemm_s8s8s32 = nullptr;
@@ -185,6 +255,13 @@ struct KernelSet {
   GemmS16P16EpiFn gemm_s16p16_epi = nullptr;
   DepthwiseS8EpiFn depthwise_s8_epi = nullptr;
   DepthwiseS16EpiFn depthwise_s16_epi = nullptr;
+  /// Channel-blocked candidates (Algo::kBlocked). Appended after the v1
+  /// entries so aggregate initializers of the older fields stay valid. Both
+  /// compiled-in sets register these (the scalar versions back the AVX2 set's
+  /// contract on any future set without them), so a persisted kBlocked
+  /// selection never degrades silently.
+  ConvS8BlkEpiFn conv_s8blk_epi = nullptr;
+  DepthwiseS8BlkEpiFn depthwise_s8blk_epi = nullptr;
 };
 
 /// Portable cache-blocked scalar kernels (always available).
@@ -199,5 +276,11 @@ const KernelSet& active_kernels();
 
 /// Force a specific set (tests/bench); nullptr restores automatic selection.
 void set_active_kernels(const KernelSet* ks);
+
+/// Validate a TQT_KERNELS value: returns nullptr when `value` is recognized
+/// (scalar | avx2 | auto), else a static message naming the accepted values.
+/// Exposed so the unrecognized-value exit path is unit-testable without a
+/// death test; pick_from_env prints this message and exits 1.
+const char* kernels_env_error(const char* value);
 
 }  // namespace tqt::fpk

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fixedpoint/autotune.h"
 #include "fixedpoint/fuse.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "fixedpoint/rescale.h"
@@ -143,10 +144,15 @@ Interval replay_epi_interval(const FpInstr& in, Interval acc, int acc_exp, int* 
 }  // namespace
 
 ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
-                         int input_register, int output_register) {
+                         int input_register, int output_register,
+                         const std::vector<fpk::Algo>* algos) {
   ExecPlan plan;
   plan.regs.assign(static_cast<size_t>(n_registers), ExecPlan::Reg{});
   plan.consts.assign(instrs.size(), ExecPlan::Const{});
+  if (algos) plan.algos = *algos;
+  const auto algo_of = [&](size_t idx) {
+    return algos && idx < algos->size() ? (*algos)[idx] : fpk::Algo::kAuto;
+  };
 
   // ---- Pass 1: value bounds -> storage widths --------------------------
   // Exponents are static: replay the same propagation the compiler and the
@@ -241,6 +247,23 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
       case FpInstr::Kind::kFlatten:
         out = in_iv(in, 0);
         break;
+      case FpInstr::Kind::kLayoutPack:
+        // The padded channel lanes are written as 0, so 0 joins the interval
+        // (same rule as an all-padding maxpool window).
+        out = {std::min<int64_t>(in_iv(in, 0).lo, 0), std::max<int64_t>(in_iv(in, 0).hi, 0)};
+        break;
+      case FpInstr::Kind::kLayoutUnpack:
+        // Padded lanes are dropped; the logical lanes pass through.
+        out = in_iv(in, 0);
+        break;
+    }
+    // A blocked fused matmul's padded output lanes hold epilogue(0) (vector
+    // retire) or 0 (scalar retire); both lie inside the planned interval
+    // joined with 0, and downstream blocked kernels multiply them by zero
+    // weight lanes, so joining 0 keeps the width proof airtight.
+    if (is_fused_kind(in.kind) && algo_of(idx) == fpk::Algo::kBlocked) {
+      out.lo = std::min<int64_t>(out.lo, 0);
+      out.hi = std::max<int64_t>(out.hi, 0);
     }
     int out_exp = in_exp(in);
     switch (in.kind) {
@@ -296,6 +319,18 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
             if (n > 0) {
               c.b_pair16 = fpk::pack_b_pair16(
                   c.i8.data(), static_cast<int64_t>(c.i8.size()) / n, n);
+            }
+          }
+          // Tuner-selected blocked instructions additionally carry the
+          // channel-blocked weight copy their kernels consume.
+          if (algo_of(idx) == fpk::Algo::kBlocked) {
+            if (base == FpInstr::Kind::kDepthwise) {
+              c.w_blk8 = fpk::pack_dw_wblk8(c.i8.data(), in.const_shape[0],
+                                            in.const_shape[1], in.const_shape[2]);
+            } else {
+              c.b_blk16 = fpk::pack_conv_wblk16(c.i8.data(), in.const_shape[0],
+                                                in.const_shape[1], in.const_shape[2],
+                                                in.const_shape[3]);
             }
           }
           break;
@@ -640,9 +675,22 @@ void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
         y.dims[2] = in.geom.out_w(x.dims[2]);
         y.dims[3] = base_kind_of(in.kind) == FpInstr::Kind::kConv2d ? in.const_shape[3]
                                                                     : x.dims[3];
-        y.numel = y.dims[0] * y.dims[1] * y.dims[2] * y.dims[3];
+        // A blocked-layout input (NC8HW8) means the tuner selected the
+        // blocked kernel here; its output stays blocked. Dims are always
+        // logical, numel is the (padded) storage lane count.
+        y.blocked = x.blocked;
+        y.numel = y.dims[0] * y.dims[1] * y.dims[2] *
+                  (y.blocked ? fpk::blocked_c(y.dims[3]) : y.dims[3]);
         break;
       }
+      case FpInstr::Kind::kLayoutPack:
+        y.blocked = true;
+        y.numel = y.dims[0] * y.dims[1] * y.dims[2] * fpk::blocked_c(y.dims[3]);
+        break;
+      case FpInstr::Kind::kLayoutUnpack:
+        y.blocked = false;
+        y.numel = y.dims[0] * y.dims[1] * y.dims[2] * y.dims[3];
+        break;
       case FpInstr::Kind::kDense:
       case FpInstr::Kind::kDenseFused:
         y.rank = 2;
@@ -677,19 +725,30 @@ void infer_register_shapes(const std::vector<FpInstr>& instrs, int n_registers,
 
 TrafficEstimate estimate_traffic(const FixedPointProgram& prog, const Shape& input_shape) {
   const ExecPlan& plan = prog.plan();
+  // Walk the EXECUTION stream (layout pseudo-ops included): plan.consts,
+  // plan.algos and plan.regs are aligned with it, not with the canonical
+  // instructions, whenever the autotuner derived one.
+  const auto& instrs = plan.instrs.empty() ? prog.instructions() : plan.instrs;
   std::vector<FpRegShape> shapes;
   int input_reg = -1;
-  for (const FpInstr& in : prog.instructions()) {
+  for (const FpInstr& in : instrs) {
     if (in.kind == FpInstr::Kind::kQuantizeInput) input_reg = in.inputs[0];
   }
-  infer_register_shapes(prog.instructions(), prog.register_count(), input_reg, input_shape,
+  infer_register_shapes(instrs, static_cast<int>(plan.regs.size()), input_reg, input_shape,
                         shapes);
 
   TrafficEstimate t;
-  const auto& instrs = prog.instructions();
   for (size_t idx = 0; idx < instrs.size(); ++idx) {
     const FpInstr& in = instrs[idx];
     const FpRegShape& y = shapes[static_cast<size_t>(in.output)];
+    // Layout pseudo-ops exist only in the typed execution stream — the
+    // reference interpreter never runs them.
+    if (in.kind == FpInstr::Kind::kLayoutPack || in.kind == FpInstr::Kind::kLayoutUnpack) {
+      t.typed_bytes += y.numel * width_bytes(plan.regs[static_cast<size_t>(in.output)].width);
+      const FpRegShape& s = shapes[static_cast<size_t>(in.inputs[0])];
+      t.typed_bytes += s.numel * width_bytes(plan.regs[static_cast<size_t>(in.inputs[0])].width);
+      continue;
+    }
     // A plan-aliased flatten moves no typed bytes at all (the reference
     // interpreter still copies its int64 lanes).
     if (in.kind == FpInstr::Kind::kFlatten && !in.inputs.empty() &&
@@ -766,8 +825,33 @@ void FixedPointProgram::finalize() {
     m.gauge("engine.fusion.arena_bytes_after").set(st.arena_bytes_after);
   }
   fuse_stats_ = st;
-  plan_ = std::make_shared<const ExecPlan>(
-      build_exec_plan(instrs_, n_registers, input_register, output_register));
+
+  // Preliminary plan (static auto-pick everywhere) — also what the tuner's
+  // probes read widths, typed consts and lowered epilogues from.
+  ExecPlan plan = build_exec_plan(instrs_, n_registers, input_register, output_register);
+  tuning_.reset();
+  if (autotune::mode() != autotune::Mode::kOff) {
+    auto tuning = autotune::tune_program(instrs_, n_registers, input_register,
+                                         output_register, plan, tune_source_path_);
+    if (tuning) {
+      if (tuning->blocked_instrs > 0) {
+        // Derive the execution stream: canonical instructions + layout
+        // pseudo-ops around the blocked chains, then re-plan against it.
+        // The canonical program stays untouched (reference interpretation
+        // and serialization never see the pseudo-ops).
+        std::vector<FpInstr> stream = instrs_;
+        std::vector<fpk::Algo> algos = tuning->algos;
+        int n_regs = n_registers;
+        insert_layout_ops(stream, algos, &n_regs, output_register);
+        plan = build_exec_plan(stream, n_regs, input_register, output_register, &algos);
+        plan.instrs = std::move(stream);
+      } else {
+        plan.algos = tuning->algos;
+      }
+      tuning_ = std::move(tuning);
+    }
+  }
+  plan_ = std::make_shared<const ExecPlan>(std::move(plan));
 }
 
 }  // namespace tqt

@@ -62,18 +62,36 @@ struct ExecPlan {
     /// int32 copy of the absorbed bias, padded with 8 zero lanes for
     /// unmasked vector loads. Filled only when `epi_vec32`.
     std::vector<int32_t> bias32;
+    /// pack_conv_wblk16 copy of an int8 conv weight, filled when this
+    /// instruction's algo is kBlocked.
+    std::vector<int16_t> b_blk16;
+    /// pack_dw_wblk8 copy of an int8 depthwise weight (algo kBlocked).
+    std::vector<int8_t> w_blk8;
   };
 
   std::vector<Reg> regs;      ///< indexed by register id
   std::vector<Const> consts;  ///< indexed by instruction index
   int n_slots = 0;            ///< arena value slots (<= live registers)
   bool needs_scratch = false; ///< any Conv2d instruction (im2col packing)
+  /// Execution stream. Empty means "execute the canonical instructions";
+  /// non-empty when the autotuner inserted layout pseudo-ops (the stream the
+  /// executor, consts, algos and register ids then refer to). The canonical
+  /// program is never rewritten — reference interpretation and serialization
+  /// read it unchanged.
+  std::vector<FpInstr> instrs;
+  /// Per-exec-instruction algo selection (empty ⇒ all kAuto). Aligned with
+  /// the execution stream (`instrs` when non-empty, else the canonical one).
+  std::vector<fpk::Algo> algos;
 };
 
 /// Build the plan for an instruction stream. `input_register` holds the raw
 /// float input and gets no slot; `output_register` stays live to the end.
+/// `algos`, when given, is aligned with `instrs` and drives blocked weight
+/// packing + blocked shape propagation (layout pseudo-ops must already be in
+/// the stream); the plan copies it into ExecPlan::algos.
 ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
-                         int input_register, int output_register);
+                         int input_register, int output_register,
+                         const std::vector<fpk::Algo>* algos = nullptr);
 
 /// Nominal input shape for compile-time size estimates, derived from the
 /// first matmul's weight constant (conv nets get the zoo's 16x16 NHWC world,

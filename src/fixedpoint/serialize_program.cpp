@@ -17,6 +17,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "fixedpoint/autotune.h"
 #include "fixedpoint/engine.h"
 
 namespace tqt {
@@ -113,6 +114,10 @@ void FixedPointProgram::save(const std::string& path) const {
     w_string(os, in.debug_name);
   }
   if (!os) throw std::runtime_error("write failed: " + path);
+  // Persist the autotuner's measurements as a best-effort sidecar next to
+  // the artifact; a load() of this path re-tunes for free. Never fatal — the
+  // sidecar is a cache, the artifact above is the source of truth.
+  if (tuning_) autotune::save_sidecar(path + ".tqt.tune", *tuning_);
 }
 
 FixedPointProgram FixedPointProgram::load(const std::string& path) {
@@ -174,6 +179,9 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
   }
   // The plan (widths, typed consts, slots) is derived state, not serialized:
   // rebuild it so loaded programs execute typed exactly like compiled ones.
+  // When autotuning is on, finalize consults the artifact's .tqt.tune sidecar
+  // (validated by program + CPU hash; stale or corrupt => silent re-tune).
+  prog.tune_source_path_ = path + ".tqt.tune";
   prog.finalize();
   return prog;
 }

@@ -8,9 +8,16 @@
 //       Quantize (and optionally retrain) from the cached FP32 weights.
 //   tqt_cli export <model> -o FILE [--bits 8|4] [--epochs N]
 //       TQT-retrain and compile to a fixed-point program file.
-//   tqt_cli run <model> -i FILE [--threads N] [--repeat N]
+//   tqt_cli run <model> -i FILE [--threads N] [--repeat N] [--explain-kernels]
 //       Load a fixed-point program and evaluate it on the validation split.
 //       --repeat runs the split N times and reports wall time per inference.
+//       --explain-kernels prints the per-instruction kernel/algo table the
+//       executor resolved (autotuned selections marked with *).
+//   tqt_cli tune <model> -i FILE [--threads N]
+//       Force-autotune a fixed-point program file (re-measuring every shape
+//       key, ignoring any existing sidecar) and write the selections as a
+//       versioned .tqt.tune sidecar next to the artifact. A later
+//       `tqt_cli run --autotune on` loads the sidecar instead of measuring.
 //   tqt_cli serve <model> -i FILE [--threads N] [--clients C] [--requests R]
 //                 [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]
 //       Serve a fixed-point program through the tqt-serve micro-batching
@@ -45,6 +52,8 @@
 // accept the shared telemetry flags:
 //   --metrics-json PATH   write a metrics snapshot (observe.h schema) on exit
 //   --trace PATH          record spans and write chrome://tracing JSON on exit
+// export/run/serve also accept --autotune on|off|force, overriding the
+// TQT_AUTOTUNE environment variable for the process.
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -64,8 +73,10 @@
 #include "calib/autocal.h"
 #include "core/metrics.h"
 #include "core/pipeline.h"
+#include "fixedpoint/autotune.h"
 #include "fixedpoint/engine.h"
 #include "fixedpoint/fuse.h"
+#include "fixedpoint/kernels/kernels.h"
 #include "net/client.h"
 #include "net/gateway.h"
 #include "observe/observe.h"
@@ -78,12 +89,13 @@ using namespace tqt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tqt_cli <list|pretrain|quantize|export|run|serve|client|calib> [args]\n"
+               "usage: tqt_cli <list|pretrain|quantize|export|run|tune|serve|client|calib> [args]\n"
                "  list\n"
                "  pretrain <model> [--cache DIR]\n"
                "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
                "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
-               "  run      <model> -i FILE [--threads N] [--repeat N]\n"
+               "  run      <model> -i FILE [--threads N] [--repeat N] [--explain-kernels]\n"
+               "  tune     <model> -i FILE [--threads N]\n"
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
                "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n"
                "           [--port P [--max-connections C] [--max-inflight F]]\n"
@@ -335,6 +347,41 @@ void apply_fuse_flag(const ArgParser& p) {
   if (p.seen("--no-fuse")) set_fusion_enabled(0);
 }
 
+/// --autotune on|off|force overrides TQT_AUTOTUNE for this process. Must run
+/// before the program is compiled or loaded — tuning happens at finalize().
+void apply_autotune_flag(const ArgParser& p) {
+  const char* v = p.value("--autotune", nullptr);
+  if (!v) return;
+  const std::string m = v;
+  if (m == "off") {
+    autotune::set_mode(0);
+  } else if (m == "on") {
+    autotune::set_mode(1);
+  } else if (m == "force") {
+    autotune::set_mode(2);
+  } else {
+    throw std::invalid_argument("--autotune expects on|off|force, got '" + m + "'");
+  }
+}
+
+void add_autotune_flag(ArgParser& p) {
+  p.add("--autotune", "M", "kernel autotuner: on | off | force (default TQT_AUTOTUNE)");
+}
+
+/// The `run --explain-kernels` table: one row per exec-stream instruction
+/// with the algo the executor resolved; measured selections are starred.
+void print_explain_table(const FixedPointProgram& prog) {
+  const auto rows = autotune::explain_kernels(prog);
+  std::printf("%-4s %-30s %-20s %-12s %s\n", "#", "instruction", "kind", "algo",
+              "shape-class");
+  int i = 0;
+  for (const auto& r : rows) {
+    std::printf("%-4d %-30s %-20s %-11s%s %s\n", i++, r.name.c_str(), r.kind.c_str(),
+                r.algo.c_str(), r.tuned ? "*" : " ", r.shape.c_str());
+  }
+  std::printf("(* = measured autotuner selection)\n");
+}
+
 int cmd_list(int argc, char** argv) {
   ArgParser p("list", "", "List the model zoo.");
   if (!p.parse(argc, argv)) return 0;
@@ -408,10 +455,12 @@ int cmd_export(int argc, char** argv) {
   p.add("--epochs", "N", "retraining epochs (default 4)");
   p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
   p.add("--no-fuse", "", "compile without conv+epilogue fusion (TQT_FUSE=0)");
+  add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
   apply_fuse_flag(p);
+  apply_autotune_flag(p);
   const char* out_path = p.required("-o");
   const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
@@ -438,6 +487,8 @@ int cmd_run(int argc, char** argv) {
   p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
   p.add("--repeat", "N", "validation passes (default 1)");
   p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
+  p.add("--explain-kernels", "", "print the per-instruction kernel/algo table after load");
+  add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
@@ -445,9 +496,11 @@ int cmd_run(int argc, char** argv) {
   parse_model(p.positional("model"));  // validated for the error message only
   apply_threads_flag(p);
   apply_fuse_flag(p);
+  apply_autotune_flag(p);
   const int repeat = p.positive("--repeat", 1);
   SyntheticImageDataset data(default_dataset_config());
   const FixedPointProgram prog = FixedPointProgram::load(in_path);
+  if (p.seen("--explain-kernels")) print_explain_table(prog);
   ExecContext ctx;  // arena reused across batches and passes
   Tensor logits;
   Accuracy acc;
@@ -472,6 +525,36 @@ int cmd_run(int argc, char** argv) {
               secs > 0 ? static_cast<double>(inferences) / secs : 0.0, repeat,
               repeat == 1 ? "" : "es");
   tel.flush();
+  return 0;
+}
+
+int cmd_tune(int argc, char** argv) {
+  ArgParser p("tune", "<model>",
+              "Force-autotune a fixed-point program file and write its .tqt.tune "
+              "sidecar (re-measures every shape key; ignores existing sidecars).");
+  p.add("-i", "FILE", "fixed-point program file (required)");
+  p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
+  if (!p.parse(argc, argv)) return 0;
+  const char* in_path = p.required("-i");
+  parse_model(p.positional("model"));  // validated for the error message only
+  apply_threads_flag(p);
+  autotune::set_mode(2);  // force: measure everything fresh
+  const FixedPointProgram prog = FixedPointProgram::load(in_path);
+  const auto& tuning = prog.tuning();
+  if (!tuning) {
+    std::printf("%s: no tunable fused instructions; no sidecar written\n", in_path);
+    return 0;
+  }
+  const std::string sidecar = std::string(in_path) + ".tqt.tune";
+  if (!autotune::save_sidecar(sidecar, *tuning)) {
+    throw std::runtime_error("cannot write sidecar " + sidecar);
+  }
+  std::printf("%s: tuned %d fused instruction%s (%d blocked-layout), %zu shape key%s\n",
+              in_path, tuning->tuned_instrs, tuning->tuned_instrs == 1 ? "" : "s",
+              tuning->blocked_instrs, tuning->entries.size(),
+              tuning->entries.size() == 1 ? "" : "s");
+  print_explain_table(prog);
+  std::printf("wrote %s\n", sidecar.c_str());
   return 0;
 }
 
@@ -546,6 +629,7 @@ int cmd_serve(int argc, char** argv) {
   p.add("--calib-interval-ms", "N", "--calib: drift check period in ms (default 50)");
   p.add("--calib-retrain-steps", "N", "--calib: TQT retrain steps per cycle (default 0)");
   p.add("--calib-no-auto", "", "--calib: report drift but do not auto-recalibrate");
+  add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
@@ -555,6 +639,7 @@ int cmd_serve(int argc, char** argv) {
   const std::string model = model_name(kind);
   apply_threads_flag(p);
   apply_fuse_flag(p);
+  apply_autotune_flag(p);
   const int clients = p.positive("--clients", 4);
   const int repeat = p.positive("--repeat", 1);
   const int64_t total_requests = static_cast<int64_t>(p.positive("--requests", 256)) * repeat;
@@ -792,6 +877,10 @@ int cmd_calib(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fail fast on an unrecognized TQT_KERNELS value: resolving the kernel set
+  // here (instead of at first dispatch) turns a mid-run abort into a one-line
+  // startup error for every subcommand.
+  tqt::fpk::active_kernels();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -800,6 +889,7 @@ int main(int argc, char** argv) {
     if (cmd == "quantize") return cmd_quantize(argc - 2, argv + 2);
     if (cmd == "export") return cmd_export(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "tune") return cmd_tune(argc - 2, argv + 2);
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
     if (cmd == "client") return cmd_client(argc - 2, argv + 2);
     if (cmd == "calib") return cmd_calib(argc - 2, argv + 2);

@@ -3,8 +3,8 @@
 # once serial (TQT_NUM_THREADS=1) and once parallel (TQT_NUM_THREADS=4) — so
 # any thread-count-dependent result or data race surfaces as a test failure.
 # The engine tests (typed executor, kernels, plan, rescale, bit-exactness)
-# additionally run from a Debug build, and the engine bench smoke-runs as a
-# bit-exactness gate at the end.
+# additionally run from a Debug build, and the engine bench smoke-runs at the
+# end as a bit-exactness gate and as the tuned-may-not-lose-to-static gate.
 #
 # Usage:
 #   tools/verify.sh [build-dir]               # default build dir: build
@@ -79,6 +79,17 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# Fail fast on the autotuner: sidecar round trip plus every corruption
+# fallback, mode resolution, the explain report, hot-swap across differently
+# tuned program versions, and whole-zoo bit-exactness with autotune forced
+# on, at both pool sizes. Under TQT_SANITIZE=thread this is the race check on
+# the measure-once cache and the tuner-owned probe buffers.
+for threads in 1 4; do
+  echo "==== autotune tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" -R 'Tune|KernelsEnv' \
+    --output-on-failure -j "$(nproc)"
+done
+
 # Fail fast on tqt-observe too: the registry/tracer/JSON tests plus the CLI
 # flag-parser contract. Under TQT_SANITIZE=thread this pass is the race
 # check on concurrent metric updates and per-thread trace rings.
@@ -122,6 +133,17 @@ if report["fused_speedup_geomean"] < 1.0:
     sys.exit(f"fused geomean below 1.0: {report['fused_speedup_geomean']:.3f}")
 print(f"fusion gate ok: geomean {report['fused_speedup_geomean']:.3f}, "
       f"arena shrunk on {report['models_arena_shrunk']}/{len(report['models'])} models")
+
+# The measured autotuner may never lose to the static auto-pick: the bench
+# binary already exits nonzero on a loss beyond its noise floor, so this is a
+# belt-and-braces re-check of the report plus the selection summary.
+lost = [(m["model"], m["tuned_speedup"]) for m in report["models"]
+        if m["tuned_speedup"] < 0.98]
+if lost:
+    sys.exit(f"tuned engine lost to static auto-pick: {lost}")
+print(f"autotune gate ok: tuned geomean {report['tuned_speedup_geomean']:.3f}, "
+      f"blocked layout selected on "
+      f"{report['models_blocked_selected']}/{len(report['models'])} models")
 PY
 
 # Observability overhead contract (DESIGN.md §10): with tracing disabled the
@@ -142,6 +164,21 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
   grep -q '"name": "conv2d_fused"' "$BUILD_DIR/verify_trace.json"
   grep -q '"traceEvents"' "$BUILD_DIR/verify_trace.json"
   grep -q '"engine.runs"' "$BUILD_DIR/verify_metrics.json"
+
+  # Autotune round trip through the CLI: `tune` measures every fused
+  # instruction and writes the .tqt.tune sidecar next to the artifact; a
+  # subsequent `run --autotune on` must pick the sidecar up (the explain
+  # table marks measured selections) and stay bit-exact end to end.
+  echo "==== tqt_cli tune -> run --autotune on round trip ===="
+  rm -f "$BUILD_DIR/verify_vgg.tqtp.tqt.tune"
+  "$BUILD_DIR/tools/tqt_cli" tune mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" \
+    > "$BUILD_DIR/verify_tune_out.txt"
+  grep -q 'wrote .*verify_vgg\.tqtp\.tqt\.tune' "$BUILD_DIR/verify_tune_out.txt"
+  test -s "$BUILD_DIR/verify_vgg.tqtp.tqt.tune"
+  "$BUILD_DIR/tools/tqt_cli" run mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" \
+    --autotune on --explain-kernels > "$BUILD_DIR/verify_tune_run.txt"
+  grep -q 'measured autotuner selection' "$BUILD_DIR/verify_tune_run.txt"
+  grep -q 'top-1' "$BUILD_DIR/verify_tune_run.txt"
 
   # Network serving round trip through the CLI: start a gateway on an
   # ephemeral port, drive it with the client subcommand, then SIGTERM the
