@@ -66,7 +66,7 @@ int main() {
       QuantTrialConfig cfg;
       cfg.mode = TrialMode::kRetrainWtTh;
       cfg.quant.mode = mode;
-      cfg.quant.weight_bits = 4;
+      cfg.quant.precision.wbits = 4;
       cfg.schedule = default_retrain_schedule(epochs);
       run(mode == QuantMode::kTqt ? "TQT INT4 (4/8 W/A)" : "Clipped INT4 (4/8 W/A)", cfg, kind);
     }

@@ -50,7 +50,7 @@ int main() {
   {
     auto make = [](RoundMode mode) {
       auto th = make_threshold("t", 0.0f);
-      auto q = std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, th);
+      auto q = std::make_unique<FakeQuantOp>(QuantSpec{8}, QuantMode::kTqt, th);
       q->set_round_mode(mode);
       return q;
     };

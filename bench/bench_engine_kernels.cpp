@@ -12,9 +12,13 @@
 // routing chains through the NC8HW8 blocked layout). All throughputs land in
 // the report (`unfused_imgs_per_s`, `fused_speedup`, `tuned_speedup`), so the
 // fusion and tuning wins are A/Bs inside one process rather than diffs across
-// checkouts. --no-fuse (or TQT_FUSE=0) benches the unfused engine alone. The
-// process exits 1 when any model is not bit-exact OR when the tuned arm loses
-// to static auto-pick beyond timing noise — the `--smoke` CI gate.
+// checkouts. --no-fuse (or TQT_FUSE=0) benches the unfused engine alone. A
+// fourth arm re-compiles each model at 4/8 and times the nibble-packed
+// Algo::kGemmS4 kernels against the s8 auto-pick on the same program — an
+// interleaved best-of-blocks pair (`s4_vs_s8`), with its own int64-reference
+// bit-exactness check. The process exits 1 when any model (8/8 or 4/8 pair)
+// is not bit-exact OR when the tuned arm loses to static auto-pick beyond
+// timing noise — the `--smoke` CI gate.
 //
 // --export-dir saves each model's compiled program to DIR/<model>.tqtp —
 // cheap calibration-only artifacts for CLI / trace end-to-end checks.
@@ -105,6 +109,10 @@ struct ModelResult {
   double tuned_speedup = 0.0;     // tuned vs static auto-pick (both fused)
   int tuned_instrs = 0;           // instructions with a measured selection
   int blocked_instrs = 0;         // of those, NC8HW8 blocked-layout picks
+  double s4_imgs_per_s = 0.0;     // 4/8 program, forced Algo::kGemmS4
+  double s4_vs_s8 = 0.0;          // s4 vs the same 4/8 program on the s8 kernels
+  int s4_instrs = 0;              // instructions retiring through the s4 GEMM
+  bool s4_bit_exact = false;      // 4/8 pair vs its own int64 reference
   bool bit_exact = false;
   std::string kernels;
 };
@@ -128,6 +136,10 @@ void write_model(observe::JsonWriter& w, const ModelResult& r) {
   w.kv("tuned_speedup", r.tuned_speedup);
   w.kv("tuned_instrs", r.tuned_instrs);
   w.kv("blocked_instrs", r.blocked_instrs);
+  w.kv("s4_imgs_per_s", r.s4_imgs_per_s);
+  w.kv("s4_vs_s8", r.s4_vs_s8);
+  w.kv("s4_instrs", r.s4_instrs);
+  w.kv("s4_bit_exact", r.s4_bit_exact);
   w.kv("kernels", r.kernels);
   w.kv("bit_exact", r.bit_exact);
   w.end();
@@ -188,6 +200,8 @@ int main(int argc, char** argv) {
       r.fused_speedup = 1.0;
       r.tuned_speedup = 1.0;
       r.tuned_imgs_per_s = r.unfused_imgs_per_s;
+      r.s4_vs_s8 = 1.0;       // kGemmS4 is a fused-matmul algo; no arm to run
+      r.s4_bit_exact = true;  // vacuously: nothing ran
     } else {
       // B side: a second instance of the same program compiled through the
       // graph compiler (the calibration cache makes the rebuild cheap, and
@@ -246,6 +260,41 @@ int main(int argc, char** argv) {
           [&] { tprog.run_into(input, tctx, out); });
       r.tuned_speedup = fused2_s / tuned_s;
       r.tuned_imgs_per_s = static_cast<double>(batch) / tuned_s;
+
+      // D side: the INT4 weight path. Two instances of the same 4/8
+      // (per-tensor) program — one on the static s8 auto-pick, one with every
+      // nibble-packable matmul forced through Algo::kGemmS4 — timed as one
+      // interleaved pair. The 4/8 numerics differ from the 8/8 oracle above,
+      // so the pair carries its own int64-reference bit-exactness check.
+      QuantizeConfig w4cfg;
+      w4cfg.precision.wbits = 4;
+      FixedPointProgram s8prog = bench::calibrated_program(kind, w4cfg);
+      autotune::set_mode(1);
+      autotune::set_forced_algo_for_test(static_cast<int>(fpk::Algo::kGemmS4));
+      FixedPointProgram s4prog = bench::calibrated_program(kind, w4cfg);
+      autotune::set_forced_algo_for_test(-1);
+      autotune::set_mode(-1);
+      autotune::reset_for_test();
+      for (const auto& row : autotune::explain_kernels(s4prog)) {
+        r.s4_instrs += row.algo == fpk::algo_name(fpk::Algo::kGemmS4) ? 1 : 0;
+      }
+
+      const IntTensor s4oracle = s8prog.run_raw_reference(input);
+      const IntTensor s8out = s8prog.run_raw(input);
+      const IntTensor s4out = s4prog.run_raw(input);
+      r.s4_bit_exact = s8out.shape == s4oracle.shape && s8out.data == s4oracle.data &&
+                       s4out.shape == s4oracle.shape && s4out.data == s4oracle.data &&
+                       s8out.exponent == s4oracle.exponent &&
+                       s4out.exponent == s4oracle.exponent;
+
+      ExecContext s8ctx, s4ctx;
+      s8prog.run_into(input, s8ctx, out);
+      s4prog.run_into(input, s4ctx, out);
+      const auto [s8_s, s4_s] = time_best_of_blocks(
+          std::max(iters, 16), [&] { s8prog.run_into(input, s8ctx, out); },
+          [&] { s4prog.run_into(input, s4ctx, out); });
+      r.s4_vs_s8 = s8_s / s4_s;
+      r.s4_imgs_per_s = static_cast<double>(batch) / s4_s;
     }
     r.typed_imgs_per_s = static_cast<double>(batch) / typed_s;
     r.speedup = (static_cast<double>(batch) / r.ref_imgs_per_s) / typed_s;
@@ -278,20 +327,25 @@ int main(int argc, char** argv) {
   // floor absorbs wall-clock noise between the two interleaved arms.
   constexpr double kTunedNoiseFloor = 0.98;
   int exact = 0, faster2x = 0, arena_shrunk = 0, tuned_ok = 0, blocked_models = 0;
-  double log_fused = 0.0, log_tuned = 0.0;
+  int s4_exact = 0;
+  double log_fused = 0.0, log_tuned = 0.0, log_s4 = 0.0;
   for (const ModelResult& r : results) {
     exact += r.bit_exact ? 1 : 0;
     faster2x += r.speedup >= 2.0 ? 1 : 0;
     arena_shrunk += r.fused_arena_bytes < r.arena_bytes ? 1 : 0;
     tuned_ok += r.tuned_speedup >= kTunedNoiseFloor ? 1 : 0;
     blocked_models += r.blocked_instrs > 0 ? 1 : 0;
+    s4_exact += r.s4_bit_exact ? 1 : 0;
     log_fused += std::log(r.fused_speedup);
     log_tuned += std::log(r.tuned_speedup);
+    log_s4 += std::log(r.s4_vs_s8);
   }
   const double fused_geomean =
       results.empty() ? 1.0 : std::exp(log_fused / static_cast<double>(results.size()));
   const double tuned_geomean =
       results.empty() ? 1.0 : std::exp(log_tuned / static_cast<double>(results.size()));
+  const double s4_geomean =
+      results.empty() ? 1.0 : std::exp(log_s4 / static_cast<double>(results.size()));
 
   observe::JsonWriter w;
   w.obj();
@@ -310,11 +364,18 @@ int main(int argc, char** argv) {
   w.kv("models_tuned_ge_static", tuned_ok);
   w.kv("models_blocked_selected", blocked_models);
   w.kv("models_arena_shrunk", arena_shrunk);
+  w.kv("s4_vs_s8_geomean", s4_geomean);
+  w.kv("models_s4_bit_exact", s4_exact);
   w.end();
   bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
   if (tuned_ok != static_cast<int>(results.size())) {
     std::fprintf(stderr, "FAIL: tuned engine lost to static auto-pick on %d model(s)\n",
                  static_cast<int>(results.size()) - tuned_ok);
+    return 1;
+  }
+  if (s4_exact != static_cast<int>(results.size())) {
+    std::fprintf(stderr, "FAIL: int4 pair not bit-exact on %d model(s)\n",
+                 static_cast<int>(results.size()) - s4_exact);
     return 1;
   }
   return (exact == static_cast<int>(results.size())) ? 0 : 1;

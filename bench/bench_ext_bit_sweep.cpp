@@ -19,7 +19,7 @@ int main() {
     for (int bits = 8; bits >= 2; --bits) {
       QuantTrialConfig cfg;
       cfg.mode = TrialMode::kRetrainWtTh;
-      cfg.quant.weight_bits = bits;
+      cfg.quant.precision.wbits = bits;
       cfg.schedule = default_retrain_schedule(epochs);
       const TrialOutput out = run_quant_trial(kind, state, data, cfg);
       std::printf("  %-6d %8.1f\n", bits, bench::pct(out.accuracy.top1()));

@@ -20,9 +20,9 @@ double run_trial(ModelKind kind, int bits, bool per_channel) {
   const auto state = bench::pretrained(kind);
   QuantTrialConfig cfg;
   cfg.mode = TrialMode::kRetrainWtTh;
-  cfg.quant.weight_bits = bits;
+  cfg.quant.precision.wbits = bits;
   if (per_channel) {
-    cfg.quant.per_channel_weights = true;
+    cfg.quant.precision.per_channel_weights = true;
     cfg.quant.emulate_intermediates = false;
     cfg.quant.power_of_2 = false;
   }

@@ -25,8 +25,8 @@ int main() {
     Tensor g = rng.normal_tensor({n});
     auto th_f = make_threshold("f", 0.4f);
     auto th_u = make_threshold("u", 0.4f);
-    FakeQuantOp fused(int8_signed(), QuantMode::kTqt, th_f);
-    UnfusedFakeQuantOp unfused(int8_signed(), th_u);
+    FakeQuantOp fused(QuantSpec{8}, QuantMode::kTqt, th_f);
+    UnfusedFakeQuantOp unfused(QuantSpec{8}, th_u);
     std::vector<const Tensor*> ins{&x};
 
     // Numerical equality first (the contract that makes fusion free).

@@ -25,7 +25,7 @@ struct DevStats {
 QuantTrialConfig base_config(int weight_bits, float epochs) {
   QuantTrialConfig cfg;
   cfg.mode = TrialMode::kRetrainWtTh;
-  cfg.quant.weight_bits = weight_bits;
+  cfg.quant.precision.wbits = weight_bits;
   cfg.schedule = default_retrain_schedule(epochs);
   // Paper-faithful slow threshold decay so multi-bin deviations can develop
   // (lr 1e-2, halved every 1000*(24/N) steps).

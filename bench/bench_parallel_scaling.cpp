@@ -136,12 +136,12 @@ int main() {
                        }});
   workloads.push_back({"fakequant_fwd", qx.numel(), [&] {
                          auto th = make_threshold("t", 0.5f, true);
-                         FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+                         FakeQuantOp op(QuantSpec{8}, QuantMode::kTqt, th);
                          return op.forward({&qx});
                        }});
   workloads.push_back({"fakequant_bwd", qx.numel(), [&] {
                          auto th = make_threshold("t", 0.5f, true);
-                         FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+                         FakeQuantOp op(QuantSpec{8}, QuantMode::kTqt, th);
                          op.forward({&qx});
                          Tensor dx = op.backward(qg)[0];
                          // Fold grad_log2t into the comparison tensor so the

@@ -29,7 +29,7 @@ void run_model(ModelKind kind) {
     // QAT analog, per-channel symmetric, real scaling, wt-only retrain.
     QuantTrialConfig cfg;
     cfg.mode = TrialMode::kRetrainWt;
-    cfg.quant.per_channel_weights = true;
+    cfg.quant.precision.per_channel_weights = true;
     cfg.quant.emulate_intermediates = false;
     cfg.quant.power_of_2 = false;
     cfg.quant.mode = QuantMode::kClipped;

@@ -61,7 +61,7 @@ void run_model(ModelKind kind) {
   {
     QuantTrialConfig cfg;
     cfg.mode = TrialMode::kRetrainWtTh;
-    cfg.quant.weight_bits = 4;
+    cfg.quant.precision.wbits = 4;
     cfg.schedule = default_retrain_schedule(epochs);
     const TrialOutput out = run_quant_trial(kind, state, data, cfg);
     std::printf("  %-10s %-9s %-6s %7.1f %7.1f %8.1f\n", "Retrain wt,th", "INT4", "4/8",

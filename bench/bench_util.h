@@ -71,7 +71,9 @@ inline double pct(double x) { return 100.0 * x; }
 /// BN statistics on random batches, fold + quantize the graph, calibrate
 /// thresholds on one calibration batch, and compile. Shared by the engine /
 /// serve / observe benches, which measure execution rather than accuracy.
-inline FixedPointProgram calibrated_program(ModelKind kind) {
+/// `qcfg` selects the precision policy (defaults to 8/8 per-tensor).
+inline FixedPointProgram calibrated_program(ModelKind kind,
+                                            const QuantizeConfig& qcfg = {}) {
   BuiltModel m = build_model(kind, 10, 11);
   Rng rng(11);
   m.graph.set_training(true);
@@ -81,7 +83,6 @@ inline FixedPointProgram calibrated_program(ModelKind kind) {
   m.graph.set_training(false);
   Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
   optimize_for_quantization(m.graph, m.input, calib);
-  QuantizeConfig qcfg;
   QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, qcfg);
   calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
   return compile_fixed_point(m.graph, m.input, qres.quantized_output);

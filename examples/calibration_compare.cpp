@@ -21,7 +21,7 @@ int main() {
   std::printf("  %-22s t = %8.3f\n", "MAX", max_threshold(std::span(x.vec())));
   std::printf("  %-22s t = %8.3f\n", "3SD", sd_threshold(std::span(x.vec()), 3.0f));
   std::printf("  %-22s t = %8.3f\n", "percentile 99.9", percentile_threshold(std::span(x.vec()), 99.9f));
-  std::printf("  %-22s t = %8.3f\n", "KL-J (INT8)", kl_j_threshold(std::span(x.vec()), int8_signed()));
+  std::printf("  %-22s t = %8.3f\n", "KL-J (INT8)", kl_j_threshold(std::span(x.vec()), QuantSpec{8}));
   std::printf("MAX wastes the int8 grid on outliers; KL-J/3SD/percentile clip the tail.\n");
 
   // Part 2: the same story on a network — static INT8 accuracy under

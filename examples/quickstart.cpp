@@ -26,7 +26,7 @@ int main() {
   // 2-5. Quantize (INT8 TQT) and retrain weights + thresholds.
   QuantTrialConfig cfg;
   cfg.mode = TrialMode::kRetrainWtTh;       // the TQT flavour
-  cfg.quant.weight_bits = 8;                // INT8 weights, INT8 activations
+  cfg.quant.precision.wbits = 8;                // INT8 weights, INT8 activations
   cfg.schedule = default_retrain_schedule(/*epochs=*/3.0f);
   std::printf("Quantizing + TQT retraining (wt, th)...\n");
   TrialOutput out = run_quant_trial(ModelKind::kMiniResNet, fp32_state, data, cfg);

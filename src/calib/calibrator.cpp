@@ -48,7 +48,7 @@ OnlineCalibrator::OnlineCalibrator(ModelKind kind,
     LayerStat ls;
     ls.node = id;
     ls.group = it->second;
-    ls.bits = q.bits();
+    ls.spec = q.spec();
     ls.hist = StreamingHistogram(hist_bins);
     ls.window = StreamingHistogram(hist_bins);
     layers_.push_back(std::move(ls));
@@ -105,7 +105,7 @@ std::vector<ThresholdUpdate> OnlineCalibrator::derive() {
       total += l.hist.count();
       float abs_max = 0.0f;
       const std::vector<float> h = l.hist.float_hist(&abs_max);
-      t_new = std::max(t_new, kl_j_threshold_from_hist(h, abs_max, l.bits));
+      t_new = std::max(t_new, kl_j_threshold_from_hist(h, abs_max, l.spec));
     }
     if (!any) continue;
     t_new = std::max(t_new, kMinRawThreshold);

@@ -130,7 +130,7 @@ class OnlineCalibrator {
   struct LayerStat {
     NodeId node = kNoNode;
     size_t group = 0;
-    QuantBits bits;
+    QuantSpec spec;
     StreamingHistogram hist;    ///< cumulative (calibration) sink
     StreamingHistogram window;  ///< recent-window (drift) sink
   };

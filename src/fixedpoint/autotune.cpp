@@ -141,8 +141,10 @@ void standard_candidates(const FpInstr& in, const ExecPlan::Const& c, IntWidth x
   if (xw == IntWidth::kI8) {
     if (ks.gemm_s8p16_epi && !c.b_pair16.empty()) out.push_back(fpk::Algo::kGemmPacked);
     if (ks.gemm_s8_epi) out.push_back(fpk::Algo::kGemmRaw);
+    if (ks.gemm_s8n4_epi && !c.b_nib4.empty()) out.push_back(fpk::Algo::kGemmS4);
   } else if (xw == IntWidth::kI16) {
     if (ks.gemm_s16p16_epi && !c.b_pair16.empty()) out.push_back(fpk::Algo::kGemmPacked);
+    if (ks.gemm_s16n4_epi && !c.b_nib4.empty()) out.push_back(fpk::Algo::kGemmS4);
   }
 }
 
@@ -150,6 +152,9 @@ void standard_candidates(const FpInstr& in, const ExecPlan::Const& c, IntWidth x
 bool blocked_capable(const FpInstr& in, const ExecPlan::Const& c, IntWidth xw) {
   if (!c.acc_ok32 || c.width != IntWidth::kI8) return false;
   if (xw != IntWidth::kI8) return false;
+  // Per-channel epilogues index chan_shift by the logical channel; the
+  // blocked kernels retire padded NC8HW8 lanes, so keep them off the table.
+  if (!c.chan_shifts.empty()) return false;
   const fpk::KernelSet& ks = fpk::active_kernels();
   if (in.kind == FpInstr::Kind::kConv2dFused) return ks.conv_s8blk_epi != nullptr;
   if (in.kind == FpInstr::Kind::kDepthwiseFused) return ks.depthwise_s8blk_epi != nullptr;
@@ -169,9 +174,12 @@ int64_t probe_ops(const FpInstr& in, int64_t yn) {
 }
 
 /// Shape-class key: (op, widths, input shape incl. batch, weight shape,
-/// geometry, kernel set). Two instructions with equal keys time identically,
-/// so they share one cache entry.
-std::string shape_key(const FpInstr& in, const FpRegShape& xs, IntWidth xw, IntWidth wy) {
+/// geometry, kernel set, weight traits). Two instructions with equal keys
+/// time identically, so they share one cache entry. The weight traits tag
+/// (int4-packable, per-channel) keeps instructions with different candidate
+/// sets or retire paths from sharing an entry.
+std::string shape_key(const FpInstr& in, const ExecPlan::Const& c, const FpRegShape& xs,
+                      IntWidth xw, IntWidth wy) {
   const char* op = in.kind == FpInstr::Kind::kDepthwiseFused ? "dw"
                    : in.kind == FpInstr::Kind::kDenseFused   ? "dense"
                                                              : "conv";
@@ -188,14 +196,15 @@ std::string shape_key(const FpInstr& in, const FpRegShape& xs, IntWidth xw, IntW
     off += std::snprintf(wdims + off, sizeof(wdims) - static_cast<size_t>(off),
                          d ? "x%lld" : "%lld", static_cast<long long>(in.const_shape[d]));
   }
-  std::snprintf(buf, sizeof buf, "%s|%s>%s|x%s|w%s|s%lldx%lld|p%lld.%lld.%lld.%lld|%s",
+  std::snprintf(buf, sizeof buf, "%s|%s>%s|x%s|w%s|s%lldx%lld|p%lld.%lld.%lld.%lld|%s%s%s",
                 op, to_string(xw), to_string(wy), xdims, wdims,
                 static_cast<long long>(in.geom.stride_h),
                 static_cast<long long>(in.geom.stride_w),
                 static_cast<long long>(in.geom.pad_top),
                 static_cast<long long>(in.geom.pad_bottom),
                 static_cast<long long>(in.geom.pad_left),
-                static_cast<long long>(in.geom.pad_right), fpk::active_kernels().name);
+                static_cast<long long>(in.geom.pad_right), fpk::active_kernels().name,
+                c.b_nib4.empty() ? "" : "|w4", c.chan_shifts.empty() ? "" : "|pc");
   return buf;
 }
 
@@ -332,6 +341,9 @@ uint64_t hash_program(const std::vector<FpInstr>& instrs, int n_registers,
     f.i32(static_cast<int32_t>(in.bias_data.size()));
     if (!in.bias_data.empty())
       f.bytes(in.bias_data.data(), in.bias_data.size() * sizeof(int64_t));
+    f.i32(static_cast<int32_t>(in.chan_data.size()));
+    if (!in.chan_data.empty())
+      f.bytes(in.chan_data.data(), in.chan_data.size() * sizeof(int64_t));
     // debug_name deliberately excluded: renames must not invalidate a tune.
   }
   return f.h;
@@ -410,7 +422,7 @@ bool load_sidecar(const std::string& path, uint64_t program_hash, uint64_t cpu_h
     get(&e.t_blk, 8);
     get(&e.t_pack, 8);
     get(&e.t_unpack, 8);
-    if (ok && (e.winner < 0 || e.winner > static_cast<int32_t>(fpk::Algo::kGeneric)))
+    if (ok && (e.winner < 0 || e.winner > static_cast<int32_t>(fpk::kAlgoMax)))
       ok = false;
     if (ok) got.emplace_back(std::move(key), e);
   }
@@ -456,7 +468,8 @@ std::shared_ptr<const ProgramTuning> tune_program(const std::vector<FpInstr>& in
       continue;
     }
     const IntWidth wy = plan.regs[static_cast<size_t>(in.output)].width;
-    keys[static_cast<size_t>(i)] = shape_key(in, shapes[static_cast<size_t>(in.inputs[0])], xw, wy);
+    keys[static_cast<size_t>(i)] = shape_key(in, plan.consts[static_cast<size_t>(i)],
+                                             shapes[static_cast<size_t>(in.inputs[0])], xw, wy);
     any = true;
   }
   if (!any) return nullptr;
@@ -625,7 +638,8 @@ std::vector<ExplainRow> explain_kernels(const FixedPointProgram& prog) {
       const IntWidth xw = plan.regs[static_cast<size_t>(in.inputs[0])].width;
       const IntWidth wy = plan.regs[static_cast<size_t>(in.output)].width;
       const fpk::Algo planned = i < plan.algos.size() ? plan.algos[i] : fpk::Algo::kAuto;
-      row.shape = shape_key(in, shapes[static_cast<size_t>(in.inputs[0])], xw, wy);
+      row.shape = shape_key(in, plan.consts[i], shapes[static_cast<size_t>(in.inputs[0])],
+                            xw, wy);
       row.algo = fpk::algo_name(
           detail::resolve_fused_algo(in, plan.consts[i], xw, planned));
       row.tuned = planned != fpk::Algo::kAuto;

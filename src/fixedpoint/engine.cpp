@@ -4,6 +4,7 @@
 // in exec.cpp (typed kernels) and reference.cpp (int64 interpreter).
 #include "fixedpoint/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <stdexcept>
@@ -21,7 +22,8 @@ namespace {
 struct ConstEntry {
   std::vector<int64_t> data;
   Shape shape;
-  int exponent = 0;
+  int exponent = 0;                // per-channel: min_c e_w[c]
+  std::vector<int64_t> chan;       // per-channel exponent deltas (else empty)
 };
 
 }  // namespace
@@ -31,6 +33,7 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
   std::map<NodeId, int> reg_of;          // value-producing node -> register
   std::map<NodeId, int> reg_exponent;    // compile-time exponent per register holder
   std::map<NodeId, ConstEntry> consts;   // Variable / weight-quant nodes
+  std::map<NodeId, std::vector<int64_t>> perchan;  // matmul node -> channel deltas
 
   auto new_reg = [&]() { return prog.n_registers++; };
 
@@ -66,13 +69,16 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
     if (type == "FakeQuant") {
       auto& q = fake_quant_at(g, id);
       if (!q.enabled()) throw std::runtime_error("fp compile: disabled quantizer " + n.name);
-      if (q.per_channel() || !q.power_of_2()) {
-        throw std::runtime_error("fp compile: only per-tensor power-of-2 quantizers export");
+      if (!q.power_of_2()) {
+        throw std::runtime_error("fp compile: only power-of-2 quantizers export");
       }
       const NodeId src = n.inputs[0];
-      const int e = q.exponent();
       const int64_t lo = q.bits().qmin();
       const int64_t hi = q.bits().qmax();
+
+      if (q.per_channel() && g.node(src).op->type() != "Variable") {
+        throw std::runtime_error("fp compile: per-channel quantizers are weight-only");
+      }
 
       if (g.node(src).op->type() == "Variable") {
         // Quantize the constant now.
@@ -80,16 +86,49 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
         const Tensor& w = var->param()->value;
         ConstEntry e2;
         e2.shape = w.shape();
-        e2.exponent = e;
         e2.data.resize(static_cast<size_t>(w.numel()));
-        const float s = std::exp2(static_cast<float>(e));
-        for (int64_t i = 0; i < w.numel(); ++i) {
-          e2.data[static_cast<size_t>(i)] =
-              fp::saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
+        if (q.per_channel()) {
+          // Per-channel power-of-2 scales: channel c stores integers at
+          // 2^e_w[c]. The entry keeps exponent = min_c e_w[c] and the deltas,
+          // which ride the matmul and are applied by its consuming requant.
+          const Shape& ws = w.shape();
+          if (q.channel_axis() != static_cast<int64_t>(ws.size()) - 1) {
+            throw std::runtime_error(
+                "fp compile: per-channel axis must be the output-channel (last) "
+                "weight axis at " + n.name);
+          }
+          const int64_t C = ws.back();
+          std::vector<int> e_w(static_cast<size_t>(C));
+          int e_min = q.channel_exponent(0);
+          for (int64_t c = 0; c < C; ++c) {
+            e_w[static_cast<size_t>(c)] = q.channel_exponent(c);
+            e_min = std::min(e_min, e_w[static_cast<size_t>(c)]);
+          }
+          e2.exponent = e_min;
+          e2.chan.resize(static_cast<size_t>(C));
+          for (int64_t c = 0; c < C; ++c) {
+            e2.chan[static_cast<size_t>(c)] = e_w[static_cast<size_t>(c)] - e_min;
+          }
+          // Channels are innermost (last axis): lane i quantizes at channel
+          // i % C.
+          for (int64_t i = 0; i < w.numel(); ++i) {
+            const float s = std::exp2(static_cast<float>(e_w[static_cast<size_t>(i % C)]));
+            e2.data[static_cast<size_t>(i)] =
+                fp::saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
+          }
+        } else {
+          const int e = q.exponent();
+          e2.exponent = e;
+          const float s = std::exp2(static_cast<float>(e));
+          for (int64_t i = 0; i < w.numel(); ++i) {
+            e2.data[static_cast<size_t>(i)] =
+                fp::saturate(static_cast<int64_t>(round_half_to_even(w[i] / s)), lo, hi);
+          }
         }
         consts[id] = std::move(e2);
         continue;
       }
+      const int e = q.exponent();
 
       FpInstr instr;
       instr.debug_name = n.name;
@@ -103,6 +142,10 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
       } else {
         instr.kind = FpInstr::Kind::kRequant;
         instr.inputs = {reg_of.at(src)};
+        // A per-channel matmul's lanes sit at per-channel exponents; the
+        // first requant carries the delta table and normalizes them.
+        auto pit = perchan.find(src);
+        if (pit != perchan.end()) instr.chan_data = pit->second;
       }
       reg_of[id] = instr.output;
       reg_exponent[id] = e;
@@ -124,6 +167,8 @@ FixedPointProgram compile_fixed_point(Graph& g, NodeId input_node, NodeId quanti
       instr.const_data = wit->second.data;
       instr.const_shape = wit->second.shape;
       instr.const_exponent = wit->second.exponent;
+      instr.chan_data = wit->second.chan;
+      if (!instr.chan_data.empty()) perchan[id] = instr.chan_data;
       if (type == "Conv2D") {
         instr.kind = FpInstr::Kind::kConv2d;
         instr.geom = dynamic_cast<Conv2dOp*>(n.op.get())->geom();

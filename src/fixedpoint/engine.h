@@ -141,6 +141,13 @@ struct FpInstr {
   /// Fused kinds only: per-output-channel bias absorbed from a kBiasAdd
   /// (applied at the scale in effect where the bias step sits).
   std::vector<int64_t> bias_data;
+  /// Per-channel weight scales (matmul kinds and the requant consuming their
+  /// output): chan_data[c] = e_w[c] - min_c e_w[c] >= 0, the channel's
+  /// exponent delta above `const_exponent`. Output lane c of the matmul is
+  /// really at exponent (x_exp + const_exponent + chan_data[c]); the first
+  /// downstream requant applies the per-lane correction. Empty for the
+  /// per-tensor case.
+  std::vector<int64_t> chan_data;
 
   std::string debug_name;        // originating graph node
 };

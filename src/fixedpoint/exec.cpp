@@ -344,6 +344,7 @@ fpk::Epilogue make_epi(const FpInstr& in, const ExecPlan::Const& pc, void* y, In
   e.out_bytes = width_bytes(wy);
   e.vec32 = pc.epi_vec32;
   e.bias32 = pc.bias32.empty() ? nullptr : pc.bias32.data();
+  e.chan_shift = pc.chan_shifts.empty() ? nullptr : pc.chan_shifts.data();
   return e;
 }
 
@@ -365,6 +366,14 @@ fpk::Algo resolve_fused_algo(const FpInstr& in, const ExecPlan::Const& c,
   // register holds NC8HW8 lanes that no other algo can read. Every kernel
   // set registers the blocked entries, so this never dangles.
   if (pref == fpk::Algo::kBlocked && xw == IntWidth::kI8) return fpk::Algo::kBlocked;
+  // Tuner-selected sub-byte GEMM: honored only while the plan carries the
+  // nibble-packed weights and the active set ships the s4 kernels; otherwise
+  // fall through to the normal int8 resolution.
+  if (pref == fpk::Algo::kGemmS4 && !c.b_nib4.empty() &&
+      base_kind_of(in.kind) != FpInstr::Kind::kDepthwise) {
+    if (xw == IntWidth::kI8 && ks.gemm_s8n4_epi) return fpk::Algo::kGemmS4;
+    if (xw == IntWidth::kI16 && ks.gemm_s16n4_epi) return fpk::Algo::kGemmS4;
+  }
   if (base_kind_of(in.kind) == FpInstr::Kind::kDepthwise) {
     if (xw == IntWidth::kI8 && ks.depthwise_s8_epi) return fpk::Algo::kDwDirect;
     if (xw == IntWidth::kI16 && ks.depthwise_s16_epi) return fpk::Algo::kDwDirect;
@@ -433,7 +442,8 @@ void run_fused(const FpInstr& in, const ExecPlan::Const& pc, fpk::Algo algo,
     return;
   }
 
-  if (algo == fpk::Algo::kGemmPacked || algo == fpk::Algo::kGemmRaw) {
+  if (algo == fpk::Algo::kGemmPacked || algo == fpk::Algo::kGemmRaw ||
+      algo == fpk::Algo::kGemmS4) {
     GemmShape gs;
     const void* a = x;
     if (base == FpInstr::Kind::kDense) {
@@ -458,12 +468,18 @@ void run_fused(const FpInstr& in, const ExecPlan::Const& pc, fpk::Algo algo,
       }
     }
     if (xw == IntWidth::kI8) {
-      if (algo == fpk::Algo::kGemmPacked) {
+      if (algo == fpk::Algo::kGemmS4) {
+        ks.gemm_s8n4_epi(static_cast<const int8_t*>(a), pc.b_nib4.data(), gs.m, gs.n,
+                         gs.k, e);
+      } else if (algo == fpk::Algo::kGemmPacked) {
         ks.gemm_s8p16_epi(static_cast<const int8_t*>(a), pc.b_pair16.data(), gs.m, gs.n,
                           gs.k, e);
       } else {
         ks.gemm_s8_epi(static_cast<const int8_t*>(a), pc.i8.data(), gs.m, gs.n, gs.k, e);
       }
+    } else if (algo == fpk::Algo::kGemmS4) {
+      ks.gemm_s16n4_epi(static_cast<const int16_t*>(a), pc.b_nib4.data(), gs.m, gs.n,
+                        gs.k, e);
     } else {
       ks.gemm_s16p16_epi(static_cast<const int16_t*>(a), pc.b_pair16.data(), gs.m, gs.n,
                          gs.k, e);
@@ -730,6 +746,28 @@ class Executor {
         const int64_t lo = in.clamp_lo, hi = in.clamp_hi;
         const void* xv = reg_ptr(in.inputs[0]);
         const IntWidth wx = reg_w(in.inputs[0]);
+        const ExecPlan::Const& pc = plan_.consts[idx];
+        if (!pc.chan_shifts.empty()) {
+          // Per-channel producer: lane i's rescale distance comes from the
+          // plan's resolved table (channels innermost, so channel = i % C).
+          const int32_t* cs = pc.chan_shifts.data();
+          const int64_t C = static_cast<int64_t>(pc.chan_shifts.size());
+          with_width(wx, [&](auto xt) {
+            using XT = decltype(xt);
+            const XT* x = static_cast<const XT*>(xv);
+            with_width(wy, [&](auto yt) {
+              using YT = decltype(yt);
+              YT* out = static_cast<YT*>(y);
+              parallel_for(0, yn, kElementGrain, [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  out[i] = static_cast<YT>(saturate(
+                      rescale(static_cast<int64_t>(x[i]), 0, cs[i % C]), lo, hi));
+                }
+              });
+            });
+          });
+          break;
+        }
         if (shift > 0) {
           // Branch-free round-half-to-even right shift, equivalent to
           // fp::rescale (pinned by the Rescale unit tests): with q = v >> s,

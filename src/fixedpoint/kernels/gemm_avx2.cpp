@@ -677,6 +677,167 @@ void gemm_pair16_epi2_body(const AT* A, const int16_t* Bp, int64_t M, int64_t N,
   });
 }
 
+// ---- Nibble-packed (int4) B GEMM -------------------------------------------
+// The pair16 walk with the 32-byte packed-B vector load replaced by an 8-byte
+// nibble load and an in-register sign-extend: widen the packed bytes to
+// int16, take the high nibbles with one arithmetic >> 4 (the low nibble is a
+// non-negative sub-value, so the shift is an exact floor division) and the
+// low nibbles with << 12 then >> 12, then interleave low/high back into the
+// (even, odd) int16 pair order vpmaddwd expects — the exact vector a pair16
+// load of the same weights would produce, so accumulation (and therefore the
+// result) is bit-identical to every other algo. Six unpack ops buy a 4x
+// smaller B working set than the int16 pair copy.
+inline __m256i nib_load8(const uint8_t* b) {
+  const __m128i s =
+      _mm_cvtepi8_epi16(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(b)));
+  const __m128i hi = _mm_srai_epi16(s, 4);
+  const __m128i lo = _mm_srai_epi16(_mm_slli_epi16(s, 12), 12);
+  return _mm256_set_m128i(_mm_unpackhi_epi16(lo, hi), _mm_unpacklo_epi16(lo, hi));
+}
+
+/// 2 rows x 16 columns, nibble B (M must be even; entry points peel the tail
+/// row through the single-row body below).
+template <typename AT, class Store>
+void gemm_nib4_epi2_body(const AT* A, const uint8_t* Bn, int64_t M, int64_t N,
+                         int64_t K, const Store& st) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  const int64_t n16 = N - (N % 16);
+  const int64_t nt = M / 2;
+  parallel_for(0, nt, grain_for(nt, 4 * K * N, kGemmTargetOps), [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t i = 2 * t;
+      const AT* a0r = A + i * K;
+      const AT* a1r = a0r + K;
+      for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+        __m256i acc00 = _mm256_setzero_si256();
+        __m256i acc01 = _mm256_setzero_si256();
+        __m256i acc10 = _mm256_setzero_si256();
+        __m256i acc11 = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m256i blk0 = pair_block16(a0r + 2 * pb);
+          const __m256i blk1 = pair_block16(a1r + 2 * pb);
+          uint32_t pm = pair_mask8(blk0) | pair_mask8(blk1);
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << rem) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const PairShuffle8 bc0(blk0);
+            const PairShuffle8 bc1(blk1);
+            const uint8_t* b = Bn + pb * np + j0;
+            for (int j = 0; j < 8; ++j, b += np) {
+              const __m256i b0 = nib_load8(b);
+              const __m256i b1 = nib_load8(b + 8);
+              acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(bc0.va[j], b0));
+              acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(bc0.va[j], b1));
+              acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(bc1.va[j], b0));
+              acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(bc1.va[j], b1));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + __builtin_ctz(pm);
+            pm &= pm - 1;
+            const uint8_t* bp = Bn + p * np + j0;
+            const __m256i b0 = nib_load8(bp);
+            const __m256i b1 = nib_load8(bp + 8);
+            const int32_t r0a0 = a0r[2 * p];
+            const int32_t r0a1 = a0r[2 * p + 1];  // odd-K slack multiplies zero nibble
+            const int32_t r1a0 = a1r[2 * p];
+            const int32_t r1a1 = a1r[2 * p + 1];
+            const __m256i v0 = _mm256_set1_epi32((r0a1 << 16) | (r0a0 & 0xFFFF));
+            const __m256i v1 = _mm256_set1_epi32((r1a1 << 16) | (r1a0 & 0xFFFF));
+            acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(v0, b0));
+            acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(v0, b1));
+            acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(v1, b0));
+            acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(v1, b1));
+          }
+        }
+        st.store16(i, j0, acc00, acc01);
+        st.store16(i + 1, j0, acc10, acc11);
+      }
+      for (int64_t j0 = n16; j0 < np; j0 += 8) {
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m256i blk0 = pair_block16(a0r + 2 * pb);
+          const __m256i blk1 = pair_block16(a1r + 2 * pb);
+          uint32_t pm = pair_mask8(blk0) | pair_mask8(blk1);
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << rem) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const PairShuffle8 bc0(blk0);
+            const PairShuffle8 bc1(blk1);
+            const uint8_t* b = Bn + pb * np + j0;
+            for (int j = 0; j < 8; ++j, b += np) {
+              const __m256i b0 = nib_load8(b);
+              acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(bc0.va[j], b0));
+              acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(bc1.va[j], b0));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + __builtin_ctz(pm);
+            pm &= pm - 1;
+            const __m256i b0 = nib_load8(Bn + p * np + j0);
+            const int32_t r0a0 = a0r[2 * p];
+            const int32_t r0a1 = a0r[2 * p + 1];
+            const int32_t r1a0 = a1r[2 * p];
+            const int32_t r1a1 = a1r[2 * p + 1];
+            acc0 = _mm256_add_epi32(
+                acc0, _mm256_madd_epi16(
+                          _mm256_set1_epi32((r0a1 << 16) | (r0a0 & 0xFFFF)), b0));
+            acc1 = _mm256_add_epi32(
+                acc1, _mm256_madd_epi16(
+                          _mm256_set1_epi32((r1a1 << 16) | (r1a0 & 0xFFFF)), b0));
+          }
+        }
+        st.store8(i, j0, acc0);
+        st.store8(i + 1, j0, acc1);
+      }
+    }
+  });
+}
+
+/// Single-row nibble-B body (the odd tail row of the 2-row walk).
+template <typename AT, class Store>
+void gemm_nib4_epi1_body(const AT* A, const uint8_t* Bn, int64_t M, int64_t N,
+                         int64_t K, const Store& st) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    for (int64_t i = m0; i < m1; ++i) {
+      const AT* a = A + i * K;
+      for (int64_t j0 = 0; j0 < np; j0 += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (int64_t pb = 0; pb < pairs; pb += 8) {
+          const __m256i blk = pair_block16(a + 2 * pb);
+          uint32_t pm = pair_mask8(blk);
+          const int64_t rem = pairs - pb;
+          if (rem < 8) pm &= (uint32_t{1} << rem) - 1;
+          if (rem >= 8 && __builtin_popcount(pm) >= kDensePairThreshold) {
+            const PairShuffle8 bc(blk);
+            const uint8_t* b = Bn + pb * np + j0;
+            for (int j = 0; j < 8; ++j, b += np) {
+              acc = _mm256_add_epi32(acc, _mm256_madd_epi16(bc.va[j], nib_load8(b)));
+            }
+            continue;
+          }
+          while (pm) {
+            const int64_t p = pb + __builtin_ctz(pm);
+            pm &= pm - 1;
+            const int32_t a0 = a[2 * p];
+            const int32_t a1 = a[2 * p + 1];  // odd-K slack multiplies zero nibble
+            acc = _mm256_add_epi32(
+                acc, _mm256_madd_epi16(_mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF)),
+                                       nib_load8(Bn + p * np + j0)));
+          }
+        }
+        st.store8(i, j0, acc);
+      }
+    }
+  });
+}
+
 // Non-template entry points matching the KernelSet signatures.
 void gemm_s8p16_avx2(const int8_t* A, const int16_t* Bp, int32_t* C, int64_t M,
                      int64_t N, int64_t K) {
@@ -712,6 +873,40 @@ void gemm_s16p16_epi_avx2(const int16_t* A, const int16_t* Bp, int64_t M, int64_
     if (m2 > 0) gemm_pair16_epi2_body(A, Bp, m2, N, K, st);
     if (m2 < M) {
       gemm_s16p16_body(A + m2 * K, Bp, M - m2, N, K, RowShift<EpiStore>{st, m2});
+    }
+  };
+  if (e.vec32) {
+    const EpiVec ev(e);
+    run(EpiStore{&e, &ev, N});
+  } else {
+    run(EpiStore{&e, nullptr, N});
+  }
+}
+
+void gemm_s8n4_epi_avx2(const int8_t* A, const uint8_t* Bn, int64_t M, int64_t N,
+                        int64_t K, const Epilogue& e) {
+  const auto run = [&](const EpiStore& st) {
+    const int64_t m2 = M - (M % 2);
+    if (m2 > 0) gemm_nib4_epi2_body(A, Bn, m2, N, K, st);
+    if (m2 < M) {
+      gemm_nib4_epi1_body(A + m2 * K, Bn, M - m2, N, K, RowShift<EpiStore>{st, m2});
+    }
+  };
+  if (e.vec32) {
+    const EpiVec ev(e);
+    run(EpiStore{&e, &ev, N});
+  } else {
+    run(EpiStore{&e, nullptr, N});
+  }
+}
+
+void gemm_s16n4_epi_avx2(const int16_t* A, const uint8_t* Bn, int64_t M, int64_t N,
+                         int64_t K, const Epilogue& e) {
+  const auto run = [&](const EpiStore& st) {
+    const int64_t m2 = M - (M % 2);
+    if (m2 > 0) gemm_nib4_epi2_body(A, Bn, m2, N, K, st);
+    if (m2 < M) {
+      gemm_nib4_epi1_body(A + m2 * K, Bn, M - m2, N, K, RowShift<EpiStore>{st, m2});
     }
   };
   if (e.vec32) {
@@ -990,7 +1185,9 @@ const KernelSet* avx2_kernels() {
                             depthwise_s8_epi_avx2,
                             depthwise_s16_epi_avx2,
                             conv_s8blk_epi_avx2,
-                            depthwise_s8blk_epi_avx2};
+                            depthwise_s8blk_epi_avx2,
+                            gemm_s8n4_epi_avx2,
+                            gemm_s16n4_epi_avx2};
   return &ks;
 }
 

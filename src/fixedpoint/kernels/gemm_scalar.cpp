@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "fixedpoint/kernels/kernels.h"
 #include "runtime/parallel.h"
@@ -22,6 +23,7 @@ const char* algo_name(Algo a) {
     case Algo::kDwDirect: return "dw-direct";
     case Algo::kBlocked: return "blocked";
     case Algo::kGeneric: return "generic";
+    case Algo::kGemmS4: return "gemm-s4";
   }
   return "?";
 }
@@ -110,6 +112,50 @@ void gemm_s8_epi_scalar(const int8_t* A, const int8_t* B, int64_t M, int64_t N,
       }
     }
   });
+}
+
+// Fused nibble-packed-B GEMM: the pair walk of the packed int16 path with the
+// B load replaced by an in-register nibble unpack. Column blocks keep the
+// int32 accumulators on the stack exactly like gemm_s8_epi_scalar; the
+// (even, odd) K-row pairing matches pack_b_nib4, so an odd K's final pair
+// multiplies the zero high nibble.
+template <typename AT>
+void gemm_nib4_epi_scalar(const AT* A, const uint8_t* Bn, int64_t M, int64_t N,
+                          int64_t K, const Epilogue& e) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  parallel_for(0, M, grain_for(M, 2 * K * N, kGemmTargetOps), [&](int64_t m0, int64_t m1) {
+    int32_t buf[kNBlock];
+    for (int64_t i = m0; i < m1; ++i) {
+      const AT* a = A + i * K;
+      for (int64_t j0 = 0; j0 < N; j0 += kNBlock) {
+        const int64_t jn = std::min(kNBlock, N - j0);
+        std::memset(buf, 0, static_cast<size_t>(jn) * sizeof(int32_t));
+        for (int64_t p = 0; p < pairs; ++p) {
+          const int32_t a0 = a[2 * p];
+          const int32_t a1 = (2 * p + 1 < K) ? static_cast<int32_t>(a[2 * p + 1]) : 0;
+          if ((a0 | a1) == 0) continue;
+          const uint8_t* b = Bn + p * np + j0;
+          for (int64_t j = 0; j < jn; ++j) {
+            buf[j] += a0 * nib4_lo(b[j]) + a1 * nib4_hi(b[j]);
+          }
+        }
+        for (int64_t j = 0; j < jn; ++j) {
+          epi_store(e, i * N + j0 + j, epi_apply(e, buf[j], j0 + j));
+        }
+      }
+    }
+  });
+}
+
+void gemm_s8n4_epi_scalar(const int8_t* A, const uint8_t* Bn, int64_t M, int64_t N,
+                          int64_t K, const Epilogue& e) {
+  gemm_nib4_epi_scalar(A, Bn, M, N, K, e);
+}
+
+void gemm_s16n4_epi_scalar(const int16_t* A, const uint8_t* Bn, int64_t M, int64_t N,
+                           int64_t K, const Epilogue& e) {
+  gemm_nib4_epi_scalar(A, Bn, M, N, K, e);
 }
 
 template <typename XT>
@@ -291,6 +337,26 @@ std::vector<int16_t> pack_b_pair16(const int8_t* B, int64_t K, int64_t N) {
   return packed;
 }
 
+std::vector<uint8_t> pack_b_nib4(const int8_t* B, int64_t K, int64_t N) {
+  const int64_t pairs = (K + 1) / 2;
+  const int64_t np = packed_n(N);
+  std::vector<uint8_t> packed(static_cast<size_t>(pairs * np), uint8_t{0});
+  for (int64_t p = 0; p < pairs; ++p) {
+    const int8_t* row0 = B + (2 * p) * N;
+    const int8_t* row1 = (2 * p + 1 < K) ? B + (2 * p + 1) * N : nullptr;
+    uint8_t* dst = packed.data() + p * np;
+    for (int64_t n = 0; n < N; ++n) {
+      const int v0 = row0[n];
+      const int v1 = row1 ? row1[n] : 0;
+      if (v0 < -8 || v0 > 7 || v1 < -8 || v1 > 7) {
+        throw std::invalid_argument("pack_b_nib4: value outside int4 range [-8, 7]");
+      }
+      dst[n] = static_cast<uint8_t>((v0 & 0xF) | (v1 << 4));
+    }
+  }
+  return packed;
+}
+
 std::vector<int16_t> pack_conv_wblk16(const int8_t* w, int64_t kh, int64_t kw,
                                       int64_t cin, int64_t cout) {
   const int64_t T = kh * kw;
@@ -374,7 +440,9 @@ const KernelSet& scalar_kernels() {
                             depthwise_s8_epi_scalar,
                             depthwise_s16_epi_scalar,
                             conv_s8blk_epi_scalar,
-                            depthwise_s8blk_epi_scalar};
+                            depthwise_s8blk_epi_scalar,
+                            gemm_s8n4_epi_scalar,
+                            gemm_s16n4_epi_scalar};
   return ks;
 }
 

@@ -43,7 +43,12 @@ enum class Algo : uint8_t {
   kDwDirect,     ///< direct fused depthwise (depthwise_s8_epi / s16)
   kBlocked,      ///< NC8HW8 channel-blocked direct conv / depthwise
   kGeneric,      ///< executor's int64-accumulator fallback
+  // Appended after kGeneric so persisted sidecar winners keep their values.
+  kGemmS4,       ///< im2col + nibble-packed int4-B GEMM (gemm_s8n4_epi / s16)
 };
+
+/// Highest valid Algo value (sidecar winner range checks).
+constexpr Algo kAlgoMax = Algo::kGemmS4;
 
 const char* algo_name(Algo a);
 
@@ -99,6 +104,9 @@ struct EpiStep {
   int64_t lo = 0, hi = 0; ///< requant / clamp saturation bounds
   int64_t alpha_q = 0;    ///< leaky multiplier
   int lift = 0;           ///< leaky: -alpha_exponent
+  /// Requant of a per-channel-scaled matmul: the shift varies per output
+  /// channel — read Epilogue::chan_shift[channel] instead of `shift`.
+  bool per_channel = false;
 };
 
 /// Everything a fused kernel needs to retire one accumulator tile: the step
@@ -119,6 +127,9 @@ struct Epilogue {
   /// of zero slack for unmasked vector loads.
   bool vec32 = false;
   const int32_t* bias32 = nullptr;
+  /// Per-output-channel requant shifts (plan-resolved, already net of the
+  /// channel's exponent delta); non-null iff some step has `per_channel`.
+  const int32_t* chan_shift = nullptr;
 };
 
 /// Run the epilogue on one int64 accumulator lane. All arithmetic is int64 —
@@ -128,7 +139,11 @@ inline int64_t epi_apply(const Epilogue& e, int64_t v, int64_t channel) {
   for (int s = 0; s < e.n_steps; ++s) {
     const EpiStep& st = e.steps[s];
     switch (st.op) {
-      case 0: v = fp::saturate(fp::rescale(v, 0, st.shift), st.lo, st.hi); break;
+      case 0: {
+        const int shift = st.per_channel ? e.chan_shift[channel] : st.shift;
+        v = fp::saturate(fp::rescale(v, 0, shift), st.lo, st.hi);
+        break;
+      }
       case 1: v += e.bias[channel]; break;
       case 2: v = v > 0 ? v : 0; break;
       case 3: v = fp::saturate(v, st.lo, st.hi); break;
@@ -182,6 +197,23 @@ inline int64_t packed_n(int64_t N) { return (N + 7) & ~int64_t{7}; }
 /// Pack a row-major int8 [K, N] B operand into the k-pair-interleaved int16
 /// layout consumed by GemmS8P16Fn.
 std::vector<int16_t> pack_b_pair16(const int8_t* B, int64_t K, int64_t N);
+
+/// Pack a row-major [K, N] B operand whose values all fit int4 ([-8, 7])
+/// into the nibble layout consumed by GemmS8N4EpiFn — two K rows per byte,
+/// mirroring pack_b_pair16's (even, odd) row pairing:
+///   Bn[kp * packed_n(N) + n] = (B[2kp][n] & 0xF) | (B[2kp+1][n] << 4)
+/// (low nibble = even row, high nibble = odd row; the odd row of an odd K and
+/// columns >= N pack as zero). Half the bytes of the int8 copy and a quarter
+/// of the pair16 copy — the sub-byte storage the INT4 path exists for.
+/// Precondition (checked): every value in [-8, 7].
+std::vector<uint8_t> pack_b_nib4(const int8_t* B, int64_t K, int64_t N);
+
+/// Unpack one packed byte: low nibble (even K row), sign-extended.
+inline int32_t nib4_lo(uint8_t b) {
+  return static_cast<int8_t>(static_cast<uint8_t>(b << 4)) >> 4;
+}
+/// Unpack one packed byte: high nibble (odd K row), sign-extended.
+inline int32_t nib4_hi(uint8_t b) { return static_cast<int8_t>(b) >> 4; }
 
 /// Geometry bundle for the depthwise kernel (NHWC, one filter per channel,
 /// weights in (kh, kw, c) row-major order).
@@ -239,6 +271,19 @@ using ConvS8BlkEpiFn = void (*)(const int8_t* x, const int16_t* wblk,
 using DepthwiseS8BlkEpiFn = void (*)(const int8_t* x, const int8_t* wblk,
                                      const DepthwiseArgs& a, const Epilogue& e);
 
+/// Fused nibble-packed-B GEMM (Algo::kGemmS4): Bn is pack_b_nib4 output; the
+/// kernel sign-extends each nibble pair on the fly and feeds the same
+/// (even, odd) multiply-accumulate as the pair16 path, so results are
+/// bit-identical to every other algo. Same 32-byte A slack contract as
+/// GemmS8P16Fn. The int32-safety bound is the pair16 one verbatim: an
+/// unpacked nibble is just an int8 whose magnitude happens to be <= 8.
+using GemmS8N4EpiFn = void (*)(const int8_t* A, const uint8_t* Bn, int64_t M,
+                               int64_t N, int64_t K, const Epilogue& e);
+
+/// int16-activation variant of the fused nibble-packed GEMM.
+using GemmS16N4EpiFn = void (*)(const int16_t* A, const uint8_t* Bn, int64_t M,
+                                int64_t N, int64_t K, const Epilogue& e);
+
 struct KernelSet {
   const char* name = "?";
   GemmS8Fn gemm_s8s8s32 = nullptr;
@@ -262,6 +307,11 @@ struct KernelSet {
   /// selection never degrades silently.
   ConvS8BlkEpiFn conv_s8blk_epi = nullptr;
   DepthwiseS8BlkEpiFn depthwise_s8blk_epi = nullptr;
+  /// Sub-byte candidates (Algo::kGemmS4), appended after the blocked entries
+  /// for the same aggregate-initializer stability reason. Null entries simply
+  /// drop kGemmS4 from that set's candidate list.
+  GemmS8N4EpiFn gemm_s8n4_epi = nullptr;
+  GemmS16N4EpiFn gemm_s16n4_epi = nullptr;
 };
 
 /// Portable cache-blocked scalar kernels (always available).

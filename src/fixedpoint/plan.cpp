@@ -154,6 +154,38 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
     return algos && idx < algos->size() ? (*algos)[idx] : fpk::Algo::kAuto;
   };
 
+  // ---- Per-channel structural validation -------------------------------
+  // chan_data marks a matmul whose output lanes sit at per-channel
+  // exponents (base + delta[c]). The correction must retire through a
+  // requant before anything else interprets the value: fused kinds need a
+  // leading kRequant epilogue step, standalone matmuls may only feed
+  // kRequant instructions carrying the same channel table. Runs here (not
+  // at compile) so deserialized programs get the same guarantee.
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const FpInstr& in = instrs[idx];
+    if (in.chan_data.empty() || !is_matmul_kind(in.kind)) continue;
+    if (is_fused_kind(in.kind)) {
+      if (epi_step_count(in) == 0 ||
+          static_cast<FpInstr::EpiOp>(epi_step(in, 0).op) != FpInstr::EpiOp::kRequant) {
+        throw std::runtime_error(
+            "fp plan: per-channel fused matmul must open its epilogue with a requant");
+      }
+      continue;
+    }
+    for (size_t j = idx + 1; j < instrs.size(); ++j) {
+      const FpInstr& rd = instrs[j];
+      for (int r : rd.inputs) {
+        if (r != in.output) continue;
+        if (rd.kind != FpInstr::Kind::kRequant ||
+            rd.chan_data.size() != in.chan_data.size()) {
+          throw std::runtime_error(
+              "fp plan: per-channel matmul output may only feed a per-channel requant");
+        }
+      }
+      if (rd.output == in.output) break;  // register redefined
+    }
+  }
+
   // ---- Pass 1: value bounds -> storage widths --------------------------
   // Exponents are static: replay the same propagation the compiler and the
   // reference interpreter perform, so the typed executor never has to track
@@ -287,6 +319,17 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
       default:
         break;  // exponent passes through
     }
+    // A per-channel standalone requant reads lane c at exponent
+    // in_exp + chan_data[c]; resolve the per-lane fp::rescale distances
+    // to - from_c now so the executor just indexes a table.
+    if (in.kind == FpInstr::Kind::kRequant && !in.chan_data.empty()) {
+      ExecPlan::Const& c = plan.consts[idx];
+      c.chan_shifts.resize(in.chan_data.size());
+      for (size_t ci = 0; ci < in.chan_data.size(); ++ci) {
+        c.chan_shifts[ci] =
+            in.out_exponent - (in_exp(in) + static_cast<int>(in.chan_data[ci]));
+      }
+    }
     rex[static_cast<size_t>(in.output)] = out_exp;
 
     iv[static_cast<size_t>(in.output)] = out;
@@ -319,6 +362,12 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
             if (n > 0) {
               c.b_pair16 = fpk::pack_b_pair16(
                   c.i8.data(), static_cast<int64_t>(c.i8.size()) / n, n);
+              // Weights already inside int4 range: carry the nibble-packed
+              // copy too, so the tuner can measure the sub-byte candidates.
+              if (wmin >= -8 && wmax <= 7) {
+                c.b_nib4 = fpk::pack_b_nib4(
+                    c.i8.data(), static_cast<int64_t>(c.i8.size()) / n, n);
+              }
             }
           }
           // Tuner-selected blocked instructions additionally carry the
@@ -350,6 +399,7 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
       if (is_fused_kind(in.kind)) {
         c.acc_ok32 = acc_bound <= std::numeric_limits<int32_t>::max();
         int e = in_exp(in) + in.const_exponent;
+        bool chan_pending = !in.chan_data.empty();
         for (int s = 0; s < epi_step_count(in); ++s) {
           const FpEpiStep stp = epi_step(in, s);
           fpk::EpiStep es;
@@ -357,6 +407,17 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
           switch (static_cast<FpInstr::EpiOp>(stp.op)) {
             case FpInstr::EpiOp::kRequant:
               es.shift = static_cast<int>(stp.a) - e;
+              if (chan_pending) {
+                // First requant after a per-channel accumulator: lane c sits
+                // delta[c] above the base exponent e, so its rescale
+                // distance shrinks by delta[c].
+                es.per_channel = true;
+                c.chan_shifts.resize(in.chan_data.size());
+                for (size_t ci = 0; ci < in.chan_data.size(); ++ci) {
+                  c.chan_shifts[ci] = es.shift - static_cast<int>(in.chan_data[ci]);
+                }
+                chan_pending = false;
+              }
               es.lo = stp.b;
               es.hi = stp.c;
               e = static_cast<int>(stp.a);
@@ -449,7 +510,10 @@ ExecPlan build_exec_plan(const std::vector<FpInstr>& instrs, int n_registers,
         const auto fits32 = [&](int64_t lo, int64_t hi) {
           return lo >= kI32Lo && hi <= kI32Hi;
         };
-        bool vec32 = c.acc_ok32;
+        // Per-channel epilogues always retire through the scalar epi_apply
+        // (which indexes chan_shift); the 32-bit vector path only knows one
+        // shift per step.
+        bool vec32 = c.acc_ok32 && in.chan_data.empty();
         Interval cur{sat_mul(acc_bound, -1), acc_bound};
         int64_t bmin = 0, bmax = 0;
         if (!in.bias_data.empty()) {

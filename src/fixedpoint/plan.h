@@ -67,6 +67,17 @@ struct ExecPlan {
     std::vector<int16_t> b_blk16;
     /// pack_dw_wblk8 copy of an int8 depthwise weight (algo kBlocked).
     std::vector<int8_t> w_blk8;
+    /// pack_b_nib4 copy of a conv/dense weight whose values all fit int4
+    /// ([-8, 7]) — the sub-byte B operand of Algo::kGemmS4. Filled for any
+    /// nibble-packable int8 GEMM weight so the autotuner can measure the
+    /// candidate; depthwise and non-int4 weights leave it empty.
+    std::vector<uint8_t> b_nib4;
+    /// Per-output-channel requant shifts, resolved against the static
+    /// exponent replay. On a fused matmul: the first epilogue requant's
+    /// per-lane `to - from_c` (fpk::Epilogue::chan_shift). On a standalone
+    /// kRequant fed by a per-channel matmul: the same table for the
+    /// executor's per-channel requant path. Empty in the per-tensor case.
+    std::vector<int32_t> chan_shifts;
   };
 
   std::vector<Reg> regs;      ///< indexed by register id

@@ -157,18 +157,37 @@ void run_maxpool(const FpInstr& in, const IntTensor& x, IntTensor& y) {
 void apply_epi_ref(const FpInstr& in, IntTensor& y) {
   const int64_t channels = y.shape.back();
   const int64_t n = static_cast<int64_t>(y.data.size());
+  // Per-channel weights: output lane c sits at exponent y.exponent +
+  // chan_data[c]; the first requant step folds the delta into its shift.
+  bool chan_pending = !in.chan_data.empty();
+  if (chan_pending && (epi_step_count(in) == 0 ||
+                       epi_step(in, 0).op != static_cast<int64_t>(FpInstr::EpiOp::kRequant))) {
+    throw std::runtime_error("fp reference: per-channel matmul must retire through a requant");
+  }
   for (int s = 0; s < epi_step_count(in); ++s) {
     const FpEpiStep st = epi_step(in, s);
     switch (static_cast<FpInstr::EpiOp>(st.op)) {
       case FpInstr::EpiOp::kRequant: {
         const int from = y.exponent;
         const int to = static_cast<int>(st.a);
-        parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) {
-            int64_t& v = y.data[static_cast<size_t>(i)];
-            v = saturate(rescale(v, from, to), st.b, st.c);
-          }
-        });
+        if (chan_pending) {
+          const int64_t* delta = in.chan_data.data();
+          parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              int64_t& v = y.data[static_cast<size_t>(i)];
+              v = saturate(rescale(v, from + static_cast<int>(delta[i % channels]), to),
+                           st.b, st.c);
+            }
+          });
+          chan_pending = false;
+        } else {
+          parallel_for(0, n, kElementGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              int64_t& v = y.data[static_cast<size_t>(i)];
+              v = saturate(rescale(v, from, to), st.b, st.c);
+            }
+          });
+        }
         y.exponent = to;
         break;
       }
@@ -241,6 +260,23 @@ IntTensor FixedPointProgram::run_raw_reference(const Tensor& input) const {
         y.shape = x.shape;
         y.exponent = in.out_exponent;
         y.data.resize(x.data.size());
+        if (!in.chan_data.empty()) {
+          // Requant of a per-channel matmul output (channels innermost):
+          // lane i is at exponent x.exponent + chan_data[i % C].
+          const int64_t C = static_cast<int64_t>(in.chan_data.size());
+          const int64_t* delta = in.chan_data.data();
+          parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
+                       [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              y.data[static_cast<size_t>(i)] =
+                  saturate(rescale(x.data[static_cast<size_t>(i)],
+                                   x.exponent + static_cast<int>(delta[i % C]),
+                                   in.out_exponent),
+                           in.clamp_lo, in.clamp_hi);
+            }
+          });
+          break;
+        }
         parallel_for(0, static_cast<int64_t>(x.data.size()), kElementGrain,
                      [&](int64_t i0, int64_t i1) {
           for (int64_t i = i0; i < i1; ++i) {

@@ -11,8 +11,12 @@
 //   1 — original format; kinds up to kFlatten.
 //   2 — adds the fused matmul kinds and two per-instruction vectors
 //       (epi_data, bias_data) between alpha_exponent and debug_name.
-// save() emits version 1 whenever no instruction needs the new fields, so
-// unfused programs stay readable by older builds; load() accepts both.
+//   3 — adds the per-channel weight-scale vector (chan_data) after
+//       bias_data.
+// save() emits the lowest version whose fields cover the program (1 for
+// unfused, 2 for fused per-tensor, 3 only when any instruction carries
+// per-channel scales), so older builds keep reading everything they can
+// represent; load() accepts all three.
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -25,7 +29,7 @@ namespace tqt {
 namespace {
 constexpr char kMagic[4] = {'T', 'Q', 'T', 'P'};
 constexpr uint32_t kMinVersion = 1;
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 
 template <typename T>
 void w(std::ofstream& os, const T& v) {
@@ -76,11 +80,12 @@ std::vector<T> r_vec(std::ifstream& is) {
 void FixedPointProgram::save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("cannot open for write: " + path);
-  bool needs_v2 = false;
+  bool needs_v2 = false, needs_v3 = false;
   for (const FpInstr& in : instrs_) {
     if (!in.epi_data.empty() || !in.bias_data.empty()) needs_v2 = true;
+    if (!in.chan_data.empty()) needs_v3 = true;
   }
-  const uint32_t version = needs_v2 ? kVersion : kMinVersion;
+  const uint32_t version = needs_v3 ? 3 : needs_v2 ? 2 : kMinVersion;
   os.write(kMagic, 4);
   w(os, version);
   w(os, n_registers);
@@ -111,6 +116,7 @@ void FixedPointProgram::save(const std::string& path) const {
       w_vec(os, in.epi_data);
       w_vec(os, in.bias_data);
     }
+    if (version >= 3) w_vec(os, in.chan_data);
     w_string(os, in.debug_name);
   }
   if (!os) throw std::runtime_error("write failed: " + path);
@@ -174,6 +180,7 @@ FixedPointProgram FixedPointProgram::load(const std::string& path) {
       in.epi_data = r_vec<int64_t>(is);
       in.bias_data = r_vec<int64_t>(is);
     }
+    if (version >= 3) in.chan_data = r_vec<int64_t>(is);
     in.debug_name = r_string(is);
     prog.instrs_.push_back(std::move(in));
   }

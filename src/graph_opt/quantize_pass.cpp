@@ -55,25 +55,32 @@ struct PassState {
   const QuantizeConfig& cfg;
   QuantizePassResult& res;
 
+  /// Per-tensor activation spec at the policy's act bit-width, with the
+  /// config's scale constraint folded in.
+  QuantSpec act_spec(int bits, bool sgn = true) const {
+    return QuantSpec{bits, sgn, -1, cfg.power_of_2};
+  }
+
   /// Symmetric activation quantizer (the TQT scheme, or a clipped baseline).
-  std::unique_ptr<FakeQuantOp> sym_act_quant(QuantBits qb, const std::string& name,
+  std::unique_ptr<FakeQuantOp> sym_act_quant(const QuantSpec& spec, const std::string& name,
                                              ParamPtr shared = nullptr) const {
     ParamPtr th = shared ? std::move(shared)
                          : make_threshold(name + "/log2_t", 0.0f, cfg.trainable_thresholds);
-    return std::make_unique<FakeQuantOp>(qb, cfg.mode, std::move(th), cfg.power_of_2);
+    return std::make_unique<FakeQuantOp>(spec, cfg.mode, std::move(th));
   }
 
   /// Activation quantizer per the configured scheme (asymmetric baseline or
   /// symmetric). `shared` must match the scheme when supplied.
-  std::unique_ptr<Op> act_quant(QuantBits qb, const std::string& name,
+  std::unique_ptr<Op> act_quant(const QuantSpec& spec, const std::string& name,
                                 ParamPtr shared = nullptr) const {
     if (cfg.asymmetric) {
       ParamPtr range = shared ? std::move(shared)
                               : std::make_shared<Param>(name + "/range", Tensor({2}, {-1.0f, 1.0f}),
                                                         "threshold", cfg.trainable_thresholds);
-      return std::make_unique<AsymmetricFakeQuantOp>(qb.bits, std::move(range));
+      return std::make_unique<AsymmetricFakeQuantOp>(QuantSpec{spec.bits, false, -1, false},
+                                                     std::move(range));
     }
-    return sym_act_quant(qb, name, std::move(shared));
+    return sym_act_quant(spec, name, std::move(shared));
   }
 
   ParamPtr make_shared_act_param(const std::string& name) const {
@@ -94,7 +101,7 @@ void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
   const NodeId wvar_id = g.node(c).inputs[1];
   auto* wvar = dynamic_cast<VariableOp*>(g.node(wvar_id).op.get());
   if (!wvar) throw std::runtime_error("quantize: compute layer " + name + " has no Variable weight");
-  int wb = st.cfg.weight_bits;
+  int wb = st.cfg.precision.wbits;
   // First/last layers and constant (reciprocal) weights stay at INT8 minimum.
   if (wb < 8 && (min_int8_weights || !wvar->param()->trainable)) wb = 8;
 
@@ -102,22 +109,24 @@ void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
   if (st.cfg.asymmetric) {
     auto range = std::make_shared<Param>(name + "/quant_w/range", Tensor({2}, {-1.0f, 1.0f}),
                                          "threshold", st.cfg.trainable_thresholds);
-    qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
-                             std::make_unique<AsymmetricFakeQuantOp>(wb, std::move(range)));
-  } else if (st.cfg.per_channel_weights) {
+    qw_id = g.insert_on_edge(
+        wvar_id, c, name + "/quant_w",
+        std::make_unique<AsymmetricFakeQuantOp>(QuantSpec{wb, false, -1, false}, std::move(range)));
+  } else if (st.cfg.precision.per_channel_weights) {
     const std::string& type = g.node(c).op->type();
     const int64_t axis = type == "Conv2D" ? 3 : (type == "DepthwiseConv2D" ? 2 : 1);
     const int64_t channels = wvar->param()->value.dim(axis);
     auto ths = std::make_shared<Param>(name + "/quant_w/log2_t", Tensor({channels}), "threshold",
                                        st.cfg.trainable_thresholds);
-    qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
-                             std::make_unique<FakeQuantOp>(QuantBits{wb, true}, std::move(ths),
-                                                           axis, st.cfg.power_of_2));
+    qw_id = g.insert_on_edge(
+        wvar_id, c, name + "/quant_w",
+        std::make_unique<FakeQuantOp>(QuantSpec{wb, true, axis, st.cfg.power_of_2},
+                                      QuantMode::kTqt, std::move(ths)));
   } else {
     auto th = make_threshold(name + "/quant_w/log2_t", 0.0f, st.cfg.trainable_thresholds);
     qw_id = g.insert_on_edge(wvar_id, c, name + "/quant_w",
-                             std::make_unique<FakeQuantOp>(QuantBits{wb, true}, st.cfg.mode,
-                                                           std::move(th), st.cfg.power_of_2));
+                             std::make_unique<FakeQuantOp>(QuantSpec{wb, true, -1, st.cfg.power_of_2},
+                                                           st.cfg.mode, std::move(th)));
   }
   st.res.weight_quants.push_back(qw_id);
 
@@ -128,7 +137,7 @@ void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
   NodeId cur = c;
   ParamPtr acc_threshold;
   if (st.cfg.emulate_intermediates) {
-    auto acc = st.sym_act_quant(int16_signed(), name + "/quant_acc");
+    auto acc = st.sym_act_quant(st.act_spec(16), name + "/quant_acc");
     acc_threshold = acc->threshold();
     cur = g.insert_after(c, name + "/quant_acc", std::move(acc));
     st.res.act_quants.push_back(cur);
@@ -142,15 +151,15 @@ void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
       // the fixed-point add happens at one scale.
       const NodeId qb = g.insert_on_edge(
           bvar, bias_add, name + "/quant_b",
-          st.sym_act_quant(int16_signed(), name + "/quant_b", acc_threshold));
+          st.sym_act_quant(st.act_spec(16), name + "/quant_b", acc_threshold));
       st.res.act_quants.push_back(qb);
     }
     cur = bias_add;
   }
 
   // --- Output quantizer, delayed past ReLU/ReLU6, unsigned when delayed -----
-  const QuantBits out8{st.cfg.act_bits, true};
-  const QuantBits out8u{st.cfg.act_bits, false};
+  const QuantSpec out8 = st.act_spec(st.cfg.precision.abits, true);
+  const QuantSpec out8u = st.act_spec(st.cfg.precision.abits, false);
   if (NodeId relu = sole_consumer_of_type(g, cur, {"Relu", "Relu6"}); relu != kNoNode) {
     const NodeId qa = g.insert_after(relu, g.node(relu).name + "/quant",
                                      st.act_quant(out8u, g.node(relu).name + "/quant"));
@@ -160,7 +169,7 @@ void quantize_compute(PassState& st, NodeId c, bool min_int8_weights) {
     // quantize alpha to 16 bits, then emit q8 after the activation.
     const NodeId q16 =
         g.insert_on_edge(cur, leaky, name + "/quant_pre_leaky",
-                         st.act_quant(int16_signed(), name + "/quant_pre_leaky"));
+                         st.act_quant(st.act_spec(16), name + "/quant_pre_leaky"));
     st.res.act_quants.push_back(q16);
     auto* lop = dynamic_cast<LeakyReluOp*>(g.node(leaky).op.get());
     const float alpha = lop->alpha();
@@ -185,7 +194,7 @@ void quantize_eltwise(PassState& st, NodeId add) {
   Graph& g = st.g;
   const std::string& name = g.node(add).name;
   ParamPtr shared = st.make_shared_act_param(name + "/quant_in");
-  const QuantBits q8{st.cfg.act_bits, true};
+  const QuantSpec q8 = st.act_spec(st.cfg.precision.abits, true);
   // Snapshot inputs: inserting on edge 0 must not disturb slot 1.
   const std::vector<NodeId> ins = g.node(add).inputs;
   for (size_t slot = 0; slot < ins.size(); ++slot) {
@@ -199,7 +208,8 @@ void quantize_eltwise(PassState& st, NodeId add) {
   if (NodeId relu = sole_consumer_of_type(g, add, {"Relu", "Relu6"}); relu != kNoNode) {
     const NodeId qa =
         g.insert_after(relu, g.node(relu).name + "/quant",
-                       st.act_quant(QuantBits{st.cfg.act_bits, false}, g.node(relu).name + "/quant"));
+                       st.act_quant(st.act_spec(st.cfg.precision.abits, false),
+                                    g.node(relu).name + "/quant"));
     st.res.act_quants.push_back(qa);
   } else {
     const NodeId qa = g.insert_after(add, name + "/quant_out", st.act_quant(q8, name + "/quant_out"));
@@ -245,11 +255,18 @@ QuantizePassResult quantize_pass(Graph& g, NodeId input_node, NodeId logits,
   if (cfg.mode == QuantMode::kPact) {
     throw std::invalid_argument("quantize_pass: PACT is an activation-only baseline quantizer");
   }
-  if (cfg.per_channel_weights && cfg.emulate_intermediates) {
+  cfg.precision.validate(QuantUse::kTraining);
+  // Per-channel power-of-2 weights export to the fixed-point engine (the
+  // per-channel exponents become requant shift tables), so they compose with
+  // the q16 intermediates emulation. Per-channel *real-scale* weights remain
+  // a float-only baseline: a real per-channel scale cannot ride the engine's
+  // shift-only requant.
+  if (cfg.precision.per_channel_weights && cfg.emulate_intermediates && !cfg.power_of_2) {
     throw std::invalid_argument(
-        "quantize_pass: per-channel weights cannot emulate power-of-2 intermediates");
+        "quantize_pass: per-channel real-scale weights cannot emulate power-of-2 intermediates");
   }
-  if (cfg.asymmetric && (cfg.emulate_intermediates || cfg.power_of_2 || cfg.per_channel_weights)) {
+  if (cfg.asymmetric &&
+      (cfg.emulate_intermediates || cfg.power_of_2 || cfg.precision.per_channel_weights)) {
     throw std::invalid_argument(
         "quantize_pass: asymmetric is a baseline scheme (no intermediates emulation, "
         "no power-of-2 scaling, no per-channel)");
@@ -259,7 +276,8 @@ QuantizePassResult quantize_pass(Graph& g, NodeId input_node, NodeId logits,
 
   // Primary input is explicitly quantized (§4.3).
   res.input_quant = g.insert_after(
-      input_node, "input/quant", st.act_quant(QuantBits{cfg.act_bits, true}, "input/quant"));
+      input_node, "input/quant",
+      st.act_quant(st.act_spec(cfg.precision.abits, true), "input/quant"));
   res.act_quants.push_back(res.input_quant);
 
   // First/last compute layers keep INT8 weights in INT4 mode (§6.1). Only
@@ -297,7 +315,7 @@ QuantizePassResult quantize_pass(Graph& g, NodeId input_node, NodeId logits,
   // read res.quantized_output.
   res.quantized_output = g.insert_after(
       logits, g.node(logits).name + "/quant",
-      st.act_quant(QuantBits{cfg.act_bits, true}, g.node(logits).name + "/quant"));
+      st.act_quant(st.act_spec(cfg.precision.abits, true), g.node(logits).name + "/quant"));
   st.res.act_quants.push_back(res.quantized_output);
   return res;
 }
@@ -393,7 +411,7 @@ void calibrate_thresholds(Graph& g, const QuantizePassResult& result, NodeId inp
     float t_shared = 0.0f;
     for (NodeId id : group) {
       FakeQuantOp& q = fake_quant_at(g, id);
-      t_shared = std::max(t_shared, kl_j_threshold(q.collected(), q.bits()));
+      t_shared = std::max(t_shared, kl_j_threshold(q.collected(), q.spec()));
       q.clear_collected();
       q.set_collect(false);
     }

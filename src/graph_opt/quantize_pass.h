@@ -25,17 +25,18 @@
 namespace tqt {
 
 struct QuantizeConfig {
-  int weight_bits = 8;           ///< 8 (INT8) or 4 (INT4 = 4/8 W/A)
-  int act_bits = 8;
+  /// Model-level precision: weight/activation bit-widths (8/8, 4/8, ...) and
+  /// the per-channel-weights switch. Per-channel power-of-2 weights compose
+  /// with emulate_intermediates and export to the fixed-point engine (the
+  /// per-channel exponents ride the exec plan as requant shift tables);
+  /// per-channel *real-scale* weights remain a float-only Table 1 baseline.
+  PrecisionPolicy precision;
   QuantMode mode = QuantMode::kTqt;
   bool trainable_thresholds = true;  ///< false for static (calibrate-only) mode
   bool power_of_2 = true;
   /// Insert the q16 accumulator/bias emulation. Required for fixed-point
   /// export; disabled for the plain QAT-style baselines of Table 1.
   bool emulate_intermediates = true;
-  /// Per-channel static weight quantization (Table 1 QAT baseline only;
-  /// incompatible with emulate_intermediates).
-  bool per_channel_weights = false;
   /// Asymmetric (zero-point) quantization of weights and activations — the
   /// TF-QAT scheme of Table 1's "per-tensor, asymmetric, real scaling" row.
   /// Baseline only: incompatible with emulate_intermediates and power_of_2.

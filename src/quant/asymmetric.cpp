@@ -14,9 +14,13 @@ ParamPtr make_range(const std::string& name, float min, float max, bool trainabl
   return std::make_shared<Param>(name, Tensor({2}, {min, max}), "threshold", trainable);
 }
 
-AsymmetricFakeQuantOp::AsymmetricFakeQuantOp(int bits, ParamPtr range)
-    : bits_(bits), range_(std::move(range)) {
-  if (bits_ < 2 || bits_ > 16) throw std::invalid_argument("AsymFakeQuant: bits in [2,16]");
+AsymmetricFakeQuantOp::AsymmetricFakeQuantOp(const QuantSpec& spec, ParamPtr range)
+    : bits_(spec.bits), range_(std::move(range)) {
+  spec.validate();
+  if (spec.per_channel()) throw std::invalid_argument("AsymFakeQuant: per-tensor only");
+  if (spec.power_of_2) {
+    throw std::invalid_argument("AsymFakeQuant: affine scale cannot be power-of-2 constrained");
+  }
   if (!range_ || range_->value.numel() != 2) {
     throw std::invalid_argument("AsymFakeQuant: range must be a {min,max} pair");
   }

@@ -13,6 +13,8 @@
 // formulation §3.5 shows can only expand the range.
 #pragma once
 
+#include <utility>
+
 #include "nn/op.h"
 #include "quant/quant_spec.h"
 
@@ -21,7 +23,15 @@ namespace tqt {
 class AsymmetricFakeQuantOp final : public Op {
  public:
   /// `range` holds {min, max} as a 2-element tensor (group "threshold").
-  AsymmetricFakeQuantOp(int bits, ParamPtr range);
+  /// The spec must be per-tensor with power_of_2 = false — an affine
+  /// quantizer's scale is (max-min)/(2^b-1) by construction; signedness is
+  /// ignored (the zero-point places the levels).
+  AsymmetricFakeQuantOp(const QuantSpec& spec, ParamPtr range);
+
+  /// Deprecated pre-QuantSpec signature, kept as a thin wrapper.
+  [[deprecated("pass a QuantSpec instead of a raw bit count")]]
+  AsymmetricFakeQuantOp(int bits, ParamPtr range)
+      : AsymmetricFakeQuantOp(QuantSpec{bits, false, -1, false}, std::move(range)) {}
 
   std::string type() const override { return "AsymFakeQuant"; }
   int arity() const override { return 1; }

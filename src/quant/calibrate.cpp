@@ -64,12 +64,13 @@ double kl_j_distance(const std::vector<double>& p, const std::vector<double>& q)
   return j;
 }
 
-float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max, QuantBits bits) {
-  bits.validate();
+float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max,
+                               const QuantSpec& spec) {
+  spec.validate();
   const int n_bins = static_cast<int>(hist.size());
   if (n_bins == 0 || abs_max <= 0.0f) return kMinThreshold;
   // Number of magnitude levels the quantizer can represent: 0..qmax.
-  const int levels = static_cast<int>(bits.qmax()) + 1;
+  const int levels = static_cast<int>(spec.qmax()) + 1;
   if (n_bins <= levels) {
     return std::max(abs_max, kMinThreshold);  // nothing to clip at this resolution
   }
@@ -117,7 +118,7 @@ float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max, Qu
   return std::max(static_cast<float>(best_i) * bin_width, kMinThreshold);
 }
 
-float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins) {
+float kl_j_threshold(std::span<const float> values, const QuantSpec& spec, int bins) {
   if (values.empty()) return kMinThreshold;
   float abs_max = 0.0f;
   for (float v : values) abs_max = std::max(abs_max, std::fabs(v));
@@ -135,7 +136,7 @@ float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins) {
   const int64_t count = static_cast<int64_t>(nonzero.size());
   const Tensor t({count}, std::move(nonzero));
   const std::vector<float> hist = abs_histogram(t, bins, abs_max);
-  return kl_j_threshold_from_hist(hist, abs_max, bits);
+  return kl_j_threshold_from_hist(hist, abs_max, spec);
 }
 
 std::vector<float> per_channel_max_thresholds(const Tensor& w, int64_t axis) {

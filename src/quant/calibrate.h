@@ -30,17 +30,29 @@ float percentile_threshold(std::span<const float> values, float pct = 99.9f);
 
 /// KL-J calibration on a histogram of |x|:
 ///   hist  counts over `hist.size()` equal bins spanning [0, abs_max]
-///   bits  target precision; the quantized distribution has qmax(bits)+1
+///   spec  target precision; the quantized distribution has qmax+1
 ///         magnitude levels
 /// Scans candidate thresholds (bin edges) and returns the t minimizing
 ///   J(P, Q) = KL(P||Q) + KL(Q||P)
 /// where P is the clipped reference distribution and Q the
 /// collapse-and-expand quantized approximation.
-float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max, QuantBits bits);
+float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max,
+                               const QuantSpec& spec);
 
 /// Convenience: histogram `values` (default 2048 bins, the TensorRT choice —
 /// fewer bins under-resolve the bulk against far outliers) then run KL-J.
-float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins = 2048);
+float kl_j_threshold(std::span<const float> values, const QuantSpec& spec, int bins = 2048);
+
+/// Deprecated pre-QuantSpec signatures, kept as thin wrappers.
+[[deprecated("pass a QuantSpec instead of QuantBits")]]
+inline float kl_j_threshold_from_hist(const std::vector<float>& hist, float abs_max,
+                                      QuantBits bits) {
+  return kl_j_threshold_from_hist(hist, abs_max, QuantSpec{bits});
+}
+[[deprecated("pass a QuantSpec instead of QuantBits")]]
+inline float kl_j_threshold(std::span<const float> values, QuantBits bits, int bins = 2048) {
+  return kl_j_threshold(values, QuantSpec{bits}, bins);
+}
 
 /// The J distance itself, exposed for tests: both inputs are unnormalized
 /// non-negative mass vectors of equal length.

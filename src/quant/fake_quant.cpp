@@ -34,29 +34,31 @@ ParamPtr make_threshold(const std::string& name, float log2_t0, bool trainable) 
   return p;
 }
 
-FakeQuantOp::FakeQuantOp(QuantBits bits, QuantMode mode, ParamPtr threshold, bool power_of_2)
-    : bits_(bits), mode_(mode), power_of_2_(power_of_2), threshold_(std::move(threshold)) {
-  bits_.validate();
+FakeQuantOp::FakeQuantOp(const QuantSpec& spec, QuantMode mode, ParamPtr threshold)
+    : spec_(spec), mode_(mode), threshold_(std::move(threshold)) {
+  spec_.validate();
   if (!threshold_) throw std::invalid_argument("FakeQuant: null threshold param");
-  if (mode_ == QuantMode::kPact && bits_.is_signed) {
+  if (spec_.per_channel()) {
+    if (mode_ != QuantMode::kTqt) {
+      throw std::invalid_argument("FakeQuant: per-channel supports TQT mode only");
+    }
+    return;
+  }
+  if (mode_ == QuantMode::kPact && spec_.is_signed) {
     throw std::invalid_argument("FakeQuant: PACT applies to unsigned (post-ReLU) tensors only");
   }
-  if (mode_ == QuantMode::kLsq && power_of_2_) {
+  if (mode_ == QuantMode::kLsq && spec_.power_of_2) {
     throw std::invalid_argument("FakeQuant: LSQ learns a real-valued scale (power_of_2 must be false)");
   }
 }
 
-FakeQuantOp::FakeQuantOp(QuantBits bits, DerivedExponent derived)
-    : bits_(bits), derived_(std::move(derived)) {
-  bits_.validate();
+FakeQuantOp::FakeQuantOp(const QuantSpec& spec, DerivedExponent derived)
+    : spec_(spec), derived_(std::move(derived)) {
+  spec_.validate();
+  if (spec_.per_channel()) {
+    throw std::invalid_argument("FakeQuant: derived-scale quantizers are per-tensor");
+  }
   if (!derived_) throw std::invalid_argument("FakeQuant: null derived-exponent callback");
-}
-
-FakeQuantOp::FakeQuantOp(QuantBits bits, ParamPtr log2_thresholds, int64_t axis, bool power_of_2)
-    : bits_(bits), power_of_2_(power_of_2), threshold_(std::move(log2_thresholds)), channel_axis_(axis) {
-  bits_.validate();
-  if (!threshold_) throw std::invalid_argument("FakeQuant: null per-channel thresholds");
-  if (axis < 0) throw std::invalid_argument("FakeQuant: per-channel axis must be >= 0");
 }
 
 void FakeQuantOp::set_threshold(ParamPtr p) {
@@ -85,23 +87,34 @@ float FakeQuantOp::raw_threshold() const {
 
 int FakeQuantOp::exponent() const {
   if (derived_) return derived_();
-  if (!power_of_2_) throw std::logic_error("exponent: quantizer does not use a power-of-2 scale");
+  if (!spec_.power_of_2) throw std::logic_error("exponent: quantizer does not use a power-of-2 scale");
   if (per_channel()) throw std::logic_error("exponent: per-channel quantizer has no single exponent");
   const float log2_t = threshold_->value[0];
-  return static_cast<int>(std::ceil(log2_t)) - bits_.scale_shift();
+  return static_cast<int>(std::ceil(log2_t)) - spec_.scale_shift();
+}
+
+int FakeQuantOp::channel_exponent(int64_t c) const {
+  if (!per_channel() || !spec_.power_of_2) {
+    throw std::logic_error("channel_exponent: not a power-of-2 per-channel quantizer");
+  }
+  if (c < 0 || c >= threshold_->value.numel()) {
+    throw std::out_of_range("channel_exponent: channel index out of range");
+  }
+  const float log2_t = threshold_->value[c];
+  return static_cast<int>(std::ceil(log2_t)) - spec_.scale_shift();
 }
 
 float FakeQuantOp::scale() const {
-  if (derived_ || power_of_2_) return std::exp2(static_cast<float>(exponent()));
+  if (derived_ || spec_.power_of_2) return std::exp2(static_cast<float>(exponent()));
   switch (mode_) {
     case QuantMode::kLsq:
       return std::max(threshold_->value[0], 1e-12f);
     case QuantMode::kPact:
-      return std::max(threshold_->value[0], 1e-12f) / static_cast<float>(bits_.qmax());
+      return std::max(threshold_->value[0], 1e-12f) / static_cast<float>(spec_.qmax());
     case QuantMode::kTqt:
     case QuantMode::kClipped:
       // Real-scale static variant: map raw threshold t to the largest level.
-      return std::exp2(threshold_->value[0]) / static_cast<float>(bits_.qmax());
+      return std::exp2(threshold_->value[0]) / static_cast<float>(spec_.qmax());
   }
   return 1.0f;
 }
@@ -126,8 +139,8 @@ Tensor FakeQuantOp::forward(const std::vector<const Tensor*>& in) {
 Tensor FakeQuantOp::forward_per_tensor(const Tensor& x) {
   const float s = scale();
   s_used_ = s;
-  const float n = static_cast<float>(bits_.qmin());
-  const float p = static_cast<float>(bits_.qmax());
+  const float n = static_cast<float>(spec_.qmin());
+  const float p = static_cast<float>(spec_.qmax());
   Tensor y(x.shape());
   const float* px = x.data();
   float* py = y.data();
@@ -144,9 +157,9 @@ Tensor FakeQuantOp::forward_per_tensor(const Tensor& x) {
 
 Tensor FakeQuantOp::forward_pact(const Tensor& x) {
   const float alpha = std::max(threshold_->value[0], 1e-12f);
-  const float s = alpha / static_cast<float>(bits_.qmax());
+  const float s = alpha / static_cast<float>(spec_.qmax());
   s_used_ = s;
-  const float p = static_cast<float>(bits_.qmax());
+  const float p = static_cast<float>(spec_.qmax());
   Tensor y(x.shape());
   parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
@@ -159,7 +172,7 @@ Tensor FakeQuantOp::forward_pact(const Tensor& x) {
 }
 
 Tensor FakeQuantOp::forward_per_channel(const Tensor& x) {
-  const int64_t axis = channel_axis_;
+  const int64_t axis = spec_.channel_axis;
   if (axis >= x.rank()) throw std::invalid_argument("FakeQuant per-channel: axis out of range");
   const int64_t channels = x.dim(axis);
   if (threshold_->value.numel() != channels) {
@@ -169,18 +182,18 @@ Tensor FakeQuantOp::forward_per_channel(const Tensor& x) {
   std::vector<float> scales(static_cast<size_t>(channels));
   for (int64_t c = 0; c < channels; ++c) {
     const float log2_t = threshold_->value[c];
-    if (power_of_2_) {
+    if (spec_.power_of_2) {
       scales[static_cast<size_t>(c)] =
-          std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - bits_.scale_shift()));
+          std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) - spec_.scale_shift()));
     } else {
-      scales[static_cast<size_t>(c)] = std::exp2(log2_t) / static_cast<float>(bits_.qmax());
+      scales[static_cast<size_t>(c)] = std::exp2(log2_t) / static_cast<float>(spec_.qmax());
     }
   }
   // Iterate with the channel index recovered from the flat index.
   int64_t inner = 1;
   for (int64_t d = axis + 1; d < x.rank(); ++d) inner *= x.dim(d);
-  const float n = static_cast<float>(bits_.qmin());
-  const float p = static_cast<float>(bits_.qmax());
+  const float n = static_cast<float>(spec_.qmin());
+  const float p = static_cast<float>(spec_.qmax());
   Tensor y(x.shape());
   parallel_for(0, x.numel(), kElementGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
@@ -201,19 +214,19 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
     // Straight-through input gradients inside each channel's clip range; when
     // the per-channel thresholds are trainable, each channel also receives
     // its own Eq. 7 gradient (the per-channel TQT extension of §7).
-    const int64_t axis = channel_axis_;
+    const int64_t axis = spec_.channel_axis;
     const int64_t channels = x_.dim(axis);
     int64_t inner = 1;
     for (int64_t d = axis + 1; d < x_.rank(); ++d) inner *= x_.dim(d);
-    const float n = static_cast<float>(bits_.qmin());
-    const float p = static_cast<float>(bits_.qmax());
+    const float n = static_cast<float>(spec_.qmin());
+    const float p = static_cast<float>(spec_.qmax());
     const bool train_th = threshold_->trainable && mode_ == QuantMode::kTqt;
     std::vector<float> scales(static_cast<size_t>(channels));
     for (int64_t c = 0; c < channels; ++c) {
       const float log2_t = threshold_->value[c];
       scales[static_cast<size_t>(c)] =
-          power_of_2_ ? std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) -
-                                                     bits_.scale_shift()))
+          spec_.power_of_2 ? std::exp2(static_cast<float>(static_cast<int>(std::ceil(log2_t)) -
+                                                     spec_.scale_shift()))
                       : std::exp2(log2_t) / p;
     }
     Tensor dx(g.shape());
@@ -275,8 +288,8 @@ std::vector<Tensor> FakeQuantOp::backward(const Tensor& g) {
   }
 
   const float s = s_used_;
-  const float n = static_cast<float>(bits_.qmin());
-  const float p = static_cast<float>(bits_.qmax());
+  const float n = static_cast<float>(spec_.qmin());
+  const float p = static_cast<float>(spec_.qmax());
   Tensor dx(g.shape());
   // The Eq. 6/7 threshold gradient is a full-tensor reduction; fixed-size
   // chunks + tree-combined double partials keep grad_log2t bit-identical at

@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "nn/op.h"
@@ -34,20 +35,32 @@ using DerivedExponent = std::function<int()>;
 
 class FakeQuantOp final : public Op {
  public:
-  /// Trainable/static per-tensor quantizer. `threshold` holds log2(t) as a
-  /// scalar tensor (TQT/Clipped), raw alpha (PACT) or raw scale s (LSQ).
-  FakeQuantOp(QuantBits bits, QuantMode mode, ParamPtr threshold, bool power_of_2 = true);
+  /// Trainable/static quantizer described by one `QuantSpec`. Per-tensor
+  /// (spec.channel_axis < 0): `threshold` holds log2(t) as a scalar tensor
+  /// (TQT/Clipped), raw alpha (PACT) or raw scale s (LSQ). Per-channel
+  /// (spec.channel_axis >= 0, TQT mode only): `threshold` holds one log2(t)
+  /// per channel — with a non-trainable parameter this is the per-channel QAT
+  /// baseline of Table 1; with a trainable one it is the per-channel TQT
+  /// extension the paper sketches as future work (§7), each channel's
+  /// threshold receiving its own Eq. 7 gradient.
+  FakeQuantOp(const QuantSpec& spec, QuantMode mode, ParamPtr threshold);
 
   /// Derived-scale quantizer (q16 accumulator/bias nodes): the exponent is
   /// computed by the callback each forward; no trainable threshold.
-  FakeQuantOp(QuantBits bits, DerivedExponent derived);
+  FakeQuantOp(const QuantSpec& spec, DerivedExponent derived);
 
-  /// Per-channel quantizer along `axis`. `log2_thresholds` holds one log2(t)
-  /// per channel. With a non-trainable parameter this is the per-channel QAT
-  /// baseline of Table 1; with a trainable one it is the per-channel TQT
-  /// extension the paper sketches as future work (§7) — each channel's
-  /// threshold receives its own Eq. 7 gradient.
-  FakeQuantOp(QuantBits bits, ParamPtr log2_thresholds, int64_t axis, bool power_of_2);
+  /// Deprecated pre-QuantSpec signatures, kept as thin wrappers.
+  [[deprecated("pass a QuantSpec instead of QuantBits + power_of_2")]]
+  FakeQuantOp(QuantBits bits, QuantMode mode, ParamPtr threshold, bool power_of_2 = true)
+      : FakeQuantOp(QuantSpec{bits.bits, bits.is_signed, -1, power_of_2}, mode,
+                    std::move(threshold)) {}
+  [[deprecated("pass a QuantSpec instead of QuantBits")]]
+  FakeQuantOp(QuantBits bits, DerivedExponent derived)
+      : FakeQuantOp(QuantSpec{bits.bits, bits.is_signed}, std::move(derived)) {}
+  [[deprecated("pass a QuantSpec with channel_axis set")]]
+  FakeQuantOp(QuantBits bits, ParamPtr log2_thresholds, int64_t axis, bool power_of_2)
+      : FakeQuantOp(QuantSpec{bits.bits, bits.is_signed, axis, power_of_2}, QuantMode::kTqt,
+                    std::move(log2_thresholds)) {}
 
   std::string type() const override { return "FakeQuant"; }
   int arity() const override { return 1; }
@@ -55,12 +68,13 @@ class FakeQuantOp final : public Op {
   std::vector<Tensor> backward(const Tensor& g) override;
   std::vector<ParamPtr> params() override;
 
-  QuantBits bits() const { return bits_; }
+  const QuantSpec& spec() const { return spec_; }
+  QuantBits bits() const { return spec_.storage(); }
   QuantMode mode() const { return mode_; }
-  bool power_of_2() const { return power_of_2_; }
+  bool power_of_2() const { return spec_.power_of_2; }
   bool is_derived() const { return static_cast<bool>(derived_); }
-  bool per_channel() const { return channel_axis_ >= 0; }
-  int64_t channel_axis() const { return channel_axis_; }
+  bool per_channel() const { return spec_.per_channel(); }
+  int64_t channel_axis() const { return spec_.channel_axis; }
   const ParamPtr& threshold() const { return threshold_; }
 
   /// Replace the threshold parameter — used by the scale-merging pass (§4.3)
@@ -71,6 +85,11 @@ class FakeQuantOp final : public Op {
   float scale() const;
   /// Current integer exponent e with s = 2^e (power-of-2 forms only).
   int exponent() const;
+  /// Per-channel power-of-2 exponent of channel `c`:
+  /// ceil(log2 t_c) - scale_shift. Power-of-2 per-channel forms only — this
+  /// is what the fixed-point compiler reads to build the per-channel scale
+  /// table.
+  int channel_exponent(int64_t c) const;
   /// Current raw threshold t (per-tensor trainable forms).
   float raw_threshold() const;
 
@@ -104,12 +123,10 @@ class FakeQuantOp final : public Op {
   bool observed() const { return static_cast<bool>(observer_); }
 
  private:
-  QuantBits bits_;
+  QuantSpec spec_;
   QuantMode mode_ = QuantMode::kTqt;
-  bool power_of_2_ = true;
   ParamPtr threshold_;          // semantics depend on mode; null if derived
   DerivedExponent derived_;     // set for accumulator/bias quantizers
-  int64_t channel_axis_ = -1;   // >= 0 for per-channel static mode
 
   bool enabled_ = true;
   bool collect_ = false;

@@ -1,5 +1,14 @@
 // Quantizer configuration types shared by the fake-quantization op, the
-// graph quantize pass, and the fixed-point engine.
+// graph quantize pass, the calibrators, and the fixed-point engine.
+//
+// `QuantSpec` is the one precision spine: everything a quantizer needs to
+// know statically — bit-width, signedness, per-channel axis, power-of-2
+// constraint — travels as a single value instead of the scattered
+// {int bits, bool is_signed, int64_t axis, bool power_of_2} parameter lists
+// this file's types replaced. `PrecisionPolicy` is the model-level view
+// (weight bits / activation bits / per-channel switch) that the CLI's
+// --wbits/--abits/--per-channel flags and QuantizeConfig map onto;
+// per-quantizer QuantSpecs are derived from it.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +38,19 @@ enum class RoundMode {
   kHalfAwayFromZero, ///< schoolbook rounding; biased away from zero
 };
 
-/// Static description of one quantized tensor.
+/// Which contract a bit-width is validated against. The two ranges differ
+/// because training sweeps explore widths the ablations need — the bit-sweep
+/// study goes down to 2-bit weights in the float fake-quant graph — while the
+/// fixed-point engine's storage tiers (nibble / int8 / int16) support
+/// inference only at 4 bits and up.
+enum class QuantUse {
+  kTraining,   ///< fake-quant graphs: bits must be in [2,16]
+  kInference,  ///< fixed-point export/serving: bits must be in [4,16]
+};
+
+/// Storage-level description of one quantized tensor: bit-width + signedness
+/// and the derived level range. Kept as the compact type for inner loops and
+/// wire formats; `QuantSpec` below is the full quantizer description.
 struct QuantBits {
   int bits = 8;
   bool is_signed = true;
@@ -44,8 +65,15 @@ struct QuantBits {
   /// 2^(b-1) signed, 2^b unsigned (§3.2 "Scale").
   int scale_shift() const { return is_signed ? bits - 1 : bits; }
 
-  void validate() const {
-    if (bits < 2 || bits > 16) throw std::invalid_argument("QuantBits: bits must be in [2,16]");
+  void validate(QuantUse use = QuantUse::kTraining) const {
+    const int lo = use == QuantUse::kInference ? 4 : 2;
+    if (bits < lo || bits > 16) {
+      throw std::invalid_argument(
+          std::string("QuantBits: ") +
+          (use == QuantUse::kInference ? "inference bits must be in [4,16], got "
+                                       : "training bits must be in [2,16], got ") +
+          std::to_string(bits));
+    }
   }
 };
 
@@ -53,5 +81,68 @@ inline QuantBits int8_signed() { return {8, true}; }
 inline QuantBits int8_unsigned() { return {8, false}; }
 inline QuantBits int16_signed() { return {16, true}; }
 inline QuantBits int4_signed() { return {4, true}; }
+
+/// Full static description of one quantizer: storage width plus layout
+/// (per-tensor vs per-channel) and the scale constraint. Per-tensor by
+/// default; `channel_axis >= 0` selects per-channel — one threshold/scale per
+/// slice along that axis of the quantized tensor.
+struct QuantSpec {
+  int bits = 8;
+  bool is_signed = true;
+  int64_t channel_axis = -1;  ///< -1: per-tensor; >= 0: per-channel along axis
+  bool power_of_2 = true;     ///< scale constrained to 2^e (paper §3.2)
+
+  QuantSpec() = default;
+  QuantSpec(int b, bool sgn = true, int64_t axis = -1, bool p2 = true)
+      : bits(b), is_signed(sgn), channel_axis(axis), power_of_2(p2) {}
+  explicit QuantSpec(QuantBits qb) : bits(qb.bits), is_signed(qb.is_signed) {}
+
+  bool per_channel() const { return channel_axis >= 0; }
+  /// The storage-level view (level range, scale shift).
+  QuantBits storage() const { return {bits, is_signed}; }
+  int64_t qmin() const { return storage().qmin(); }
+  int64_t qmax() const { return storage().qmax(); }
+  int scale_shift() const { return storage().scale_shift(); }
+
+  void validate(QuantUse use = QuantUse::kTraining) const {
+    storage().validate(use);
+    if (channel_axis < -1) {
+      throw std::invalid_argument("QuantSpec: channel_axis must be -1 (per-tensor) or >= 0");
+    }
+  }
+};
+
+/// Model-level precision policy: the two bit-widths of a W/A configuration
+/// (8/8, 4/8, ...) plus the per-channel-weights switch. Per-quantizer specs
+/// are derived from it so "4/8 per-channel" is stated exactly once.
+struct PrecisionPolicy {
+  int wbits = 8;
+  int abits = 8;
+  bool per_channel_weights = false;
+
+  /// Spec for a weight quantizer; `axis` is the output-channel axis of the
+  /// consuming op (used only when per_channel_weights is set).
+  QuantSpec weights(int64_t axis = -1) const {
+    return QuantSpec{wbits, true, per_channel_weights ? axis : -1, true};
+  }
+  QuantSpec activations(bool sgn = true) const { return QuantSpec{abits, sgn}; }
+
+  void validate(QuantUse use = QuantUse::kTraining) const {
+    try {
+      QuantBits{wbits, true}.validate(use);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("PrecisionPolicy: wbits " + std::to_string(wbits) +
+                                  (use == QuantUse::kInference ? " outside inference range [4,16]"
+                                                               : " outside training range [2,16]"));
+    }
+    try {
+      QuantBits{abits, true}.validate(use);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("PrecisionPolicy: abits " + std::to_string(abits) +
+                                  (use == QuantUse::kInference ? " outside inference range [4,16]"
+                                                               : " outside training range [2,16]"));
+    }
+  }
+};
 
 }  // namespace tqt

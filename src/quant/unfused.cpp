@@ -12,9 +12,12 @@ namespace {
 constexpr float kLn2 = 0.69314718055994530942f;
 }
 
-UnfusedFakeQuantOp::UnfusedFakeQuantOp(QuantBits bits, ParamPtr log2_threshold)
-    : bits_(bits), threshold_(std::move(log2_threshold)) {
-  bits_.validate();
+UnfusedFakeQuantOp::UnfusedFakeQuantOp(const QuantSpec& spec, ParamPtr log2_threshold)
+    : bits_(spec.storage()), threshold_(std::move(log2_threshold)) {
+  spec.validate();
+  if (spec.per_channel() || !spec.power_of_2) {
+    throw std::invalid_argument("UnfusedFakeQuant: per-tensor power-of-2 only");
+  }
   if (!threshold_) throw std::invalid_argument("UnfusedFakeQuant: null threshold");
 }
 

@@ -11,6 +11,8 @@
 // identical in both directions.
 #pragma once
 
+#include <utility>
+
 #include "nn/op.h"
 #include "quant/quant_spec.h"
 
@@ -18,7 +20,14 @@ namespace tqt {
 
 class UnfusedFakeQuantOp final : public Op {
  public:
-  UnfusedFakeQuantOp(QuantBits bits, ParamPtr log2_threshold);
+  /// Per-tensor power-of-2 spec only — the unfused composition exists to
+  /// mirror the paper's Figure 4 TQT kernel.
+  UnfusedFakeQuantOp(const QuantSpec& spec, ParamPtr log2_threshold);
+
+  /// Deprecated pre-QuantSpec signature, kept as a thin wrapper.
+  [[deprecated("pass a QuantSpec instead of QuantBits")]]
+  UnfusedFakeQuantOp(QuantBits bits, ParamPtr log2_threshold)
+      : UnfusedFakeQuantOp(QuantSpec{bits.bits, bits.is_signed}, std::move(log2_threshold)) {}
 
   std::string type() const override { return "UnfusedFakeQuant"; }
   int arity() const override { return 1; }

@@ -95,9 +95,9 @@ TEST(AsymQuant, DisabledAndCollect) {
 TEST(AsymQuant, RejectsBadArgs) {
   EXPECT_THROW(make_range("r", 1.0f, 1.0f), std::invalid_argument);
   auto r = make_range("r", -1.0f, 1.0f);
-  EXPECT_THROW(AsymmetricFakeQuantOp(1, r), std::invalid_argument);
+  EXPECT_THROW(AsymmetricFakeQuantOp(QuantSpec{1, false, -1, false}, r), std::invalid_argument);
   auto bad = std::make_shared<Param>("b", Tensor({3}), "threshold");
-  EXPECT_THROW(AsymmetricFakeQuantOp(8, bad), std::invalid_argument);
+  EXPECT_THROW(AsymmetricFakeQuantOp(QuantSpec{8, false, -1, false}, bad), std::invalid_argument);
 }
 
 // ---- Pass integration ----------------------------------------------------------

@@ -63,7 +63,7 @@ Prepared prepare(ModelKind kind, int weight_bits = 8, uint64_t seed = 11) {
   Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
   optimize_for_quantization(p.m.graph, p.m.input, calib);
   QuantizeConfig cfg;
-  cfg.weight_bits = weight_bits;
+  cfg.precision.wbits = weight_bits;
   p.qres = quantize_pass(p.m.graph, p.m.input, p.m.logits, cfg);
   calibrate_thresholds(p.m.graph, p.qres, p.m.input, calib, WeightInit::kMax);
   return p;

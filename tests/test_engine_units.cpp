@@ -18,7 +18,7 @@ namespace tqt {
 namespace {
 
 std::unique_ptr<FakeQuantOp> quant(QuantBits qb, float log2_t, const std::string& name) {
-  return std::make_unique<FakeQuantOp>(qb, QuantMode::kTqt, make_threshold(name, log2_t));
+  return std::make_unique<FakeQuantOp>(QuantSpec{qb}, QuantMode::kTqt, make_threshold(name, log2_t));
 }
 
 TEST(EngineUnit, InputQuantizeOnly) {
@@ -74,8 +74,8 @@ TEST(EngineUnit, EltwiseWithSharedScaleIsExact) {
   Graph g;
   NodeId in = g.add("input", std::make_unique<InputOp>());
   auto shared = make_threshold("shared/t", 1.0f);
-  NodeId a = g.add("a", std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, shared), {in});
-  NodeId b = g.add("b", std::make_unique<FakeQuantOp>(int8_signed(), QuantMode::kTqt, shared), {in});
+  NodeId a = g.add("a", std::make_unique<FakeQuantOp>(QuantSpec{8}, QuantMode::kTqt, shared), {in});
+  NodeId b = g.add("b", std::make_unique<FakeQuantOp>(QuantSpec{8}, QuantMode::kTqt, shared), {in});
   NodeId add = g.add("add", std::make_unique<EltwiseAddOp>(), {a, b});
   NodeId out = g.add("out", quant(int8_signed(), 2.0f, "out/t"), {add});
   FixedPointProgram prog = compile_fixed_point(g, in, out);
@@ -99,7 +99,7 @@ TEST(EngineUnit, Relu6OnIntegerGrid) {
   NodeId in = g.add("input", std::make_unique<InputOp>());
   NodeId q16 = g.add("q16", quant(int16_signed(), 3.0f, "q16/t"), {in});
   NodeId r6 = g.add("relu6", std::make_unique<Relu6Op>(), {q16});
-  NodeId q8 = g.add("q8", std::make_unique<FakeQuantOp>(int8_unsigned(), QuantMode::kTqt,
+  NodeId q8 = g.add("q8", std::make_unique<FakeQuantOp>(QuantSpec{8, false}, QuantMode::kTqt,
                                                         make_threshold("q8/t", std::log2(6.0f))),
                     {r6});
   FixedPointProgram prog = compile_fixed_point(g, in, q8);
@@ -141,7 +141,7 @@ TEST(EngineUnit, PerChannelQuantizerRejected) {
   Graph g;
   NodeId in = g.add("input", std::make_unique<InputOp>());
   auto ths = std::make_shared<Param>("t", Tensor({2}), "threshold", false);
-  NodeId q = g.add("q", std::make_unique<FakeQuantOp>(int8_signed(), ths, 1, true), {in});
+  NodeId q = g.add("q", std::make_unique<FakeQuantOp>(QuantSpec{8, true, 1, true}, QuantMode::kTqt, ths), {in});
   EXPECT_THROW(compile_fixed_point(g, in, q), std::runtime_error);
 }
 

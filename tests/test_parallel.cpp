@@ -157,7 +157,7 @@ TEST(ParallelKernels, FakeQuantBackwardBitIdenticalAcrossThreadCounts) {
   auto run = [&](int threads) {
     set_num_threads(threads);
     auto th = make_threshold("t", 0.5f, true);
-    FakeQuantOp op(int8_signed(), QuantMode::kTqt, th, true);
+    FakeQuantOp op(QuantSpec{8}, QuantMode::kTqt, th);
     Tensor y = op.forward({&x});
     std::vector<Tensor> dx = op.backward(g);
     return std::make_tuple(std::move(y), std::move(dx[0]), th->grad[0]);
@@ -182,7 +182,7 @@ TEST(ParallelKernels, PerChannelGradLog2tBitIdenticalAcrossThreadCounts) {
   auto run = [&](int threads) {
     set_num_threads(threads);
     auto th = std::make_shared<Param>("t", Tensor({8}, 0.25f), "threshold", true);
-    FakeQuantOp op(int8_signed(), th, /*axis=*/3, /*power_of_2=*/true);
+    FakeQuantOp op(QuantSpec{8, true, 3, true}, QuantMode::kTqt, th);
     op.forward({&x});
     Tensor dx = op.backward(g)[0];
     return std::make_pair(std::move(dx), th->grad);

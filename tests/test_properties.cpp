@@ -32,7 +32,7 @@ std::string case_name(const ::testing::TestParamInfo<QuantCase>& info) {
 
 class QuantizerProperty : public ::testing::TestWithParam<QuantCase> {
  protected:
-  QuantBits bits() const { return {GetParam().bits, GetParam().is_signed}; }
+  QuantSpec bits() const { return QuantSpec{GetParam().bits, GetParam().is_signed}; }
   float log2_t() const { return GetParam().log2_t; }
 
   Tensor quantize(const Tensor& x) {
@@ -124,8 +124,8 @@ TEST_P(QuantizerProperty, ThresholdGradientSignFlipsAroundEquilibrium) {
   // Far too wide -> positive cumulative gradient; far too narrow -> negative.
   Rng rng(GetParam().bits * 17 + 7);
   const Tensor x = rng.normal_tensor({4000});
-  const ToyEval wide = toy_l2_eval(x, bits(), QuantMode::kTqt, 8.0f);
-  const ToyEval narrow = toy_l2_eval(x, bits(), QuantMode::kTqt, -8.0f);
+  const ToyEval wide = toy_l2_eval(x, bits().storage(), QuantMode::kTqt, 8.0f);
+  const ToyEval narrow = toy_l2_eval(x, bits().storage(), QuantMode::kTqt, -8.0f);
   EXPECT_GT(wide.grad_log2_t, 0.0);
   EXPECT_LT(narrow.grad_log2_t, 0.0);
 }
@@ -170,7 +170,7 @@ class KlJProperty : public ::testing::TestWithParam<int> {};
 TEST_P(KlJProperty, ThresholdWithinDataRange) {
   Rng rng(GetParam() * 3 + 11);
   Tensor x = rng.normal_tensor({20000}, 0.0f, std::exp2(static_cast<float>(GetParam() - 3)));
-  const float t = kl_j_threshold(std::span(x.vec()), int8_signed());
+  const float t = kl_j_threshold(std::span(x.vec()), QuantSpec{8});
   EXPECT_GT(t, 0.0f);
   EXPECT_LE(t, x.abs_max() * 1.0001f);
 }
@@ -179,9 +179,9 @@ TEST_P(KlJProperty, ScaleEquivariance) {
   // Scaling the data by 2^k scales the KL-J threshold by ~2^k.
   Rng rng(GetParam() * 5 + 13);
   Tensor x = rng.normal_tensor({20000});
-  const float t1 = kl_j_threshold(std::span(x.vec()), int8_signed());
+  const float t1 = kl_j_threshold(std::span(x.vec()), QuantSpec{8});
   Tensor x8 = x * 8.0f;
-  const float t8 = kl_j_threshold(std::span(x8.vec()), int8_signed());
+  const float t8 = kl_j_threshold(std::span(x8.vec()), QuantSpec{8});
   EXPECT_NEAR(t8 / t1, 8.0f, 0.4f);
 }
 

@@ -26,7 +26,7 @@ Tensor fq_forward(FakeQuantOp& op, const Tensor& x) {
 TEST(FakeQuant, SignedScaleFromThreshold) {
   // b=3, t=1.0: s = 2^ceil(log2 1) / 2^2 = 0.25 (paper Fig. 1 example).
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   EXPECT_EQ(q.exponent(), -2);
   EXPECT_FLOAT_EQ(q.scale(), 0.25f);
   EXPECT_FLOAT_EQ(q.raw_threshold(), 1.0f);
@@ -35,13 +35,13 @@ TEST(FakeQuant, SignedScaleFromThreshold) {
 TEST(FakeQuant, CeilBiasesScaleOutward) {
   // t = 1.1 -> ceil(log2 t) = 1 -> saturation threshold 2, not 1.1.
   auto th = make_threshold("t", std::log2(1.1f));
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   EXPECT_FLOAT_EQ(q.scale(), 0.5f);
 }
 
 TEST(FakeQuant, SignedClipLimits) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s = 0.25, n = -4, p = 3
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);  // s = 0.25, n = -4, p = 3
   Tensor x({4}, {-10.0f, 10.0f, -1.0f, 0.74f});
   Tensor y = fq_forward(q, x);
   EXPECT_FLOAT_EQ(y[0], -1.0f);   // clipped to n*s
@@ -52,7 +52,7 @@ TEST(FakeQuant, SignedClipLimits) {
 
 TEST(FakeQuant, UnsignedClipLimits) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, false}, QuantMode::kTqt, th);  // s = 1/8, n = 0, p = 7
+  FakeQuantOp q(QuantSpec{3, false}, QuantMode::kTqt, th);  // s = 1/8, n = 0, p = 7
   EXPECT_FLOAT_EQ(q.scale(), 0.125f);
   Tensor x({3}, {-0.5f, 0.4f, 5.0f});
   Tensor y = fq_forward(q, x);
@@ -63,7 +63,7 @@ TEST(FakeQuant, UnsignedClipLimits) {
 
 TEST(FakeQuant, BankersRoundingAtTies) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s = 0.25
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);  // s = 0.25
   // x/s = 0.5 -> 0 (even), x/s = 1.5 -> 2 (even), x/s = 2.5 -> 2 (even).
   Tensor x({3}, {0.125f, 0.375f, 0.625f});
   Tensor y = fq_forward(q, x);
@@ -75,7 +75,7 @@ TEST(FakeQuant, BankersRoundingAtTies) {
 TEST(FakeQuant, Idempotent) {
   Rng rng(3);
   auto th = make_threshold("t", 1.3f);
-  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{8, true}, QuantMode::kTqt, th);
   Tensor x = rng.normal_tensor({1000}, 0.0f, 2.0f);
   Tensor once = fq_forward(q, x);
   Tensor twice = fq_forward(q, once);
@@ -85,7 +85,7 @@ TEST(FakeQuant, Idempotent) {
 TEST(FakeQuant, OutputsAreOnGrid) {
   Rng rng(4);
   auto th = make_threshold("t", 0.7f);
-  FakeQuantOp q({4, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{4, true}, QuantMode::kTqt, th);
   const float s = q.scale();
   Tensor x = rng.normal_tensor({500});
   Tensor y = fq_forward(q, x);
@@ -100,7 +100,7 @@ TEST(FakeQuant, OutputsAreOnGrid) {
 TEST(FakeQuant, DisabledIsIdentityBothWays) {
   Rng rng(5);
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{8, true}, QuantMode::kTqt, th);
   q.set_enabled(false);
   Tensor x = rng.normal_tensor({64});
   Tensor y = fq_forward(q, x);
@@ -113,7 +113,7 @@ TEST(FakeQuant, DisabledIsIdentityBothWays) {
 
 TEST(FakeQuant, CollectModeGathersValues) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({8, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{8, true}, QuantMode::kTqt, th);
   q.set_collect(true);
   Tensor x1({2}, {1.0f, -2.0f});
   Tensor x2({2}, {3.0f, 4.0f});
@@ -130,14 +130,14 @@ TEST(FakeQuant, PerChannelUsesOwnScales) {
   // §6.2): per-channel quantization keeps the small channel's resolution.
   auto ths = std::make_shared<Param>("t", Tensor({2}, {std::log2(0.01f), std::log2(10.0f)}),
                                      "threshold", false);
-  FakeQuantOp q({8, true}, ths, /*axis=*/1, /*power_of_2=*/true);
+  FakeQuantOp q(QuantSpec{8, true, 1, true}, QuantMode::kTqt, ths);
   Tensor x({1, 2}, {0.005f, 5.0f});
   Tensor y = fq_forward(q, x);
   EXPECT_NEAR(y[0], 0.005f, 1e-4f);  // resolvable with per-channel scale
   EXPECT_NEAR(y[1], 5.0f, 0.05f);
   // A per-tensor quantizer at the large threshold flattens the small value.
   auto th = make_threshold("t2", std::log2(10.0f));
-  FakeQuantOp qt({8, true}, QuantMode::kTqt, th);
+  FakeQuantOp qt(QuantSpec{8, true}, QuantMode::kTqt, th);
   Tensor yt = fq_forward(qt, x);
   EXPECT_FLOAT_EQ(yt[0], 0.0f);
 }
@@ -145,9 +145,9 @@ TEST(FakeQuant, PerChannelUsesOwnScales) {
 TEST(FakeQuant, DerivedExponentSumsParents) {
   auto thw = make_threshold("tw", 0.0f);   // e_w = ceil(0) - 7 = -7
   auto thx = make_threshold("tx", 2.0f);   // e_x = 2 - 7 = -5
-  FakeQuantOp qw(int8_signed(), QuantMode::kTqt, thw);
-  FakeQuantOp qx(int8_signed(), QuantMode::kTqt, thx);
-  FakeQuantOp acc(int16_signed(), [&]() { return qw.exponent() + qx.exponent(); });
+  FakeQuantOp qw(QuantSpec{8}, QuantMode::kTqt, thw);
+  FakeQuantOp qx(QuantSpec{8}, QuantMode::kTqt, thx);
+  FakeQuantOp acc(QuantSpec{16}, [&]() { return qw.exponent() + qx.exponent(); });
   EXPECT_TRUE(acc.is_derived());
   EXPECT_EQ(acc.exponent(), -12);
   EXPECT_FLOAT_EQ(acc.scale(), std::exp2(-12.0f));
@@ -160,7 +160,7 @@ TEST(FakeQuant, DerivedExponentSumsParents) {
 
 TEST(FakeQuantGrad, InputGradientMask) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);  // s=0.25, clip x in [-1.125, 0.875]
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);  // s=0.25, clip x in [-1.125, 0.875]
   Tensor x({4}, {-2.0f, 0.5f, 0.86f, 0.9f});
   fq_forward(q, x);
   Tensor g({4}, {1.0f, 1.0f, 1.0f, 1.0f});
@@ -174,7 +174,7 @@ TEST(FakeQuantGrad, InputGradientMask) {
 TEST(FakeQuantGrad, ThresholdGradientClosedForm) {
   // Check Eq. (7) element contributions: s ln2 * (r - x/s | n | p).
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   const float s = 0.25f;
   Tensor x({3}, {0.3f, -5.0f, 5.0f});
   fq_forward(q, x);
@@ -187,7 +187,7 @@ TEST(FakeQuantGrad, ThresholdGradientClosedForm) {
 
 TEST(FakeQuantGrad, UpstreamGradientWeighting) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   Tensor x({1}, {5.0f});  // above range: contribution p = 3
   fq_forward(q, x);
   Tensor g({1}, {-2.0f});
@@ -197,8 +197,8 @@ TEST(FakeQuantGrad, UpstreamGradientWeighting) {
 
 TEST(FakeQuantGrad, SharedThresholdAccumulates) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q1({3, true}, QuantMode::kTqt, th);
-  FakeQuantOp q2({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q1(QuantSpec{3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q2(QuantSpec{3, true}, QuantMode::kTqt, th);
   Tensor x({1}, {5.0f});
   fq_forward(q1, x);
   fq_forward(q2, x);
@@ -211,7 +211,7 @@ TEST(FakeQuantGrad, SharedThresholdAccumulates) {
 
 TEST(FakeQuantGrad, FrozenThresholdGetsNoGradient) {
   auto th = make_threshold("t", 0.0f, /*trainable=*/false);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   Tensor x({1}, {5.0f});
   fq_forward(q, x);
   q.backward(Tensor({1}, {1.0f}));
@@ -222,7 +222,7 @@ TEST(FakeQuantGrad, PerChannelTrainedThresholds) {
   // Per-channel TQT extension (§7): each channel receives its own Eq. 7
   // gradient, matching the per-tensor formula applied channel-wise.
   auto ths = std::make_shared<Param>("t", Tensor({2}, {0.0f, 2.0f}), "threshold", true);
-  FakeQuantOp q({3, true}, ths, /*axis=*/1, /*power_of_2=*/true);
+  FakeQuantOp q(QuantSpec{3, true, 1, true}, QuantMode::kTqt, ths);
   // Channel 0: s = 0.25; channel 1: s = 1.0.
   Tensor x({2, 2}, {5.0f, 5.0f,     // row 0: ch0 above range (p), ch1 above range (p)
                     0.3f, -9.0f});  // row 1: ch0 inside, ch1 below range (n)
@@ -237,7 +237,7 @@ TEST(FakeQuantGrad, PerChannelTrainedThresholds) {
 
 TEST(FakeQuantGrad, PerChannelFrozenGetsNoGradient) {
   auto ths = std::make_shared<Param>("t", Tensor({2}), "threshold", false);
-  FakeQuantOp q({8, true}, ths, 1, true);
+  FakeQuantOp q(QuantSpec{8, true, 1, true}, QuantMode::kTqt, ths);
   Tensor x({1, 2}, {5.0f, -5.0f});
   std::vector<const Tensor*> ins{&x};
   q.forward(ins);
@@ -250,7 +250,7 @@ TEST(FakeQuantGrad, PerChannelFrozenGetsNoGradient) {
 
 TEST(FakeQuantGrad, ClippedModeZeroInsideRange) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kClipped, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kClipped, th);
   Tensor x({2}, {0.3f, -0.6f});  // all inside
   fq_forward(q, x);
   q.backward(Tensor({2}, {1.0f, 1.0f}));
@@ -262,8 +262,8 @@ TEST(FakeQuantGrad, ClippedModeMatchesTqtOutsideRange) {
   Tensor g({2}, {1.0f, 2.0f});
   auto th_a = make_threshold("a", 0.0f);
   auto th_b = make_threshold("b", 0.0f);
-  FakeQuantOp qa({3, true}, QuantMode::kTqt, th_a);
-  FakeQuantOp qb({3, true}, QuantMode::kClipped, th_b);
+  FakeQuantOp qa(QuantSpec{3, true}, QuantMode::kTqt, th_a);
+  FakeQuantOp qb(QuantSpec{3, true}, QuantMode::kClipped, th_b);
   fq_forward(qa, x);
   fq_forward(qb, x);
   qa.backward(g);
@@ -295,7 +295,7 @@ TEST(FakeQuantGrad, TqtBalancesRangeAndPrecision) {
 
 TEST(FakeQuantGrad, PactGradient) {
   auto alpha = std::make_shared<Param>("alpha", Tensor::scalar(1.0f), "threshold");
-  FakeQuantOp q({8, false}, QuantMode::kPact, alpha, /*power_of_2=*/false);
+  FakeQuantOp q(QuantSpec{8, false, -1, false}, QuantMode::kPact, alpha);
   Tensor x({4}, {-0.5f, 0.4f, 1.5f, 2.0f});
   Tensor y = fq_forward(q, x);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
@@ -311,12 +311,12 @@ TEST(FakeQuantGrad, PactGradient) {
 
 TEST(FakeQuantGrad, PactRequiresUnsigned) {
   auto alpha = std::make_shared<Param>("alpha", Tensor::scalar(1.0f), "threshold");
-  EXPECT_THROW(FakeQuantOp({8, true}, QuantMode::kPact, alpha, false), std::invalid_argument);
+  EXPECT_THROW(FakeQuantOp(QuantSpec{8, true, -1, false}, QuantMode::kPact, alpha), std::invalid_argument);
 }
 
 TEST(FakeQuantGrad, LsqLearnsRawScale) {
   auto s = std::make_shared<Param>("s", Tensor::scalar(0.25f), "threshold");
-  FakeQuantOp q({3, true}, QuantMode::kLsq, s, /*power_of_2=*/false);
+  FakeQuantOp q(QuantSpec{3, true, -1, false}, QuantMode::kLsq, s);
   EXPECT_FLOAT_EQ(q.scale(), 0.25f);
   Tensor x({3}, {0.3f, -5.0f, 5.0f});
   fq_forward(q, x);
@@ -324,7 +324,7 @@ TEST(FakeQuantGrad, LsqLearnsRawScale) {
   // Same bracket as TQT but without the s*ln2 chain factor.
   const float r = std::nearbyintf(0.3f / 0.25f);
   EXPECT_NEAR(s->grad[0], (r - 0.3f / 0.25f) - 4.0f + 3.0f, 1e-5f);
-  EXPECT_THROW(FakeQuantOp({3, true}, QuantMode::kLsq, s, true), std::invalid_argument);
+  EXPECT_THROW(FakeQuantOp(QuantSpec{3, true, -1, true}, QuantMode::kLsq, s), std::invalid_argument);
 }
 
 // ---- Fused vs unfused (paper Figure 4 / §4.4) -----------------------------------
@@ -333,8 +333,8 @@ TEST(UnfusedQuant, ForwardMatchesFusedExactly) {
   Rng rng(21);
   auto th1 = make_threshold("a", 0.7f);
   auto th2 = make_threshold("b", 0.7f);
-  FakeQuantOp fused({8, true}, QuantMode::kTqt, th1);
-  UnfusedFakeQuantOp unfused({8, true}, th2);
+  FakeQuantOp fused(QuantSpec{8, true}, QuantMode::kTqt, th1);
+  UnfusedFakeQuantOp unfused(QuantSpec{8, true}, th2);
   Tensor x = rng.normal_tensor({2000}, 0.1f, 1.5f);
   std::vector<const Tensor*> ins{&x};
   EXPECT_TRUE(fused.forward(ins).equals(unfused.forward(ins)));
@@ -344,8 +344,8 @@ TEST(UnfusedQuant, GradientsMatchFused) {
   Rng rng(22);
   auto th1 = make_threshold("a", -0.3f);
   auto th2 = make_threshold("b", -0.3f);
-  FakeQuantOp fused({4, true}, QuantMode::kTqt, th1);
-  UnfusedFakeQuantOp unfused({4, true}, th2);
+  FakeQuantOp fused(QuantSpec{4, true}, QuantMode::kTqt, th1);
+  UnfusedFakeQuantOp unfused(QuantSpec{4, true}, th2);
   Tensor x = rng.normal_tensor({2000});
   Tensor g = rng.normal_tensor({2000});
   std::vector<const Tensor*> ins{&x};
@@ -361,7 +361,7 @@ TEST(UnfusedQuant, CachesMoreThanFused) {
   // The point of the fused kernel (§4.4): the composed form keeps four
   // intermediate tensors alive for backward.
   auto th = make_threshold("a", 0.0f);
-  UnfusedFakeQuantOp unfused({8, true}, th);
+  UnfusedFakeQuantOp unfused(QuantSpec{8, true}, th);
   Tensor x({1024});
   std::vector<const Tensor*> ins{&x};
   unfused.forward(ins);
@@ -406,7 +406,7 @@ TEST(Calibrate, KlJClipsLongTails) {
   std::vector<float> v = x.vec();
   v.push_back(100.0f);
   v.push_back(-100.0f);
-  const float t = kl_j_threshold(v, int8_signed());
+  const float t = kl_j_threshold(v, QuantSpec{8});
   EXPECT_LT(t, 50.0f);
   EXPECT_GT(t, 1.0f);
 }
@@ -415,7 +415,7 @@ TEST(Calibrate, KlJKeepsCompactDistributions) {
   // Uniform data has no tail to trade away: threshold stays near max.
   Rng rng(14);
   Tensor x = rng.uniform_tensor({20000}, -1.0f, 1.0f);
-  const float t = kl_j_threshold(std::span(x.vec()), int8_signed());
+  const float t = kl_j_threshold(std::span(x.vec()), QuantSpec{8});
   EXPECT_GT(t, 0.8f);
 }
 
@@ -475,7 +475,7 @@ TEST(Freezer, RejectsBadArgs) {
 
 TEST(ToyModel, TransferCurvesMatchQuantizerOp) {
   auto th = make_threshold("t", 0.0f);
-  FakeQuantOp q({3, true}, QuantMode::kTqt, th);
+  FakeQuantOp q(QuantSpec{3, true}, QuantMode::kTqt, th);
   auto c = transfer_curves({3, true}, QuantMode::kTqt, 0.0f, -2.0f, 2.0f, 101);
   Tensor x({101}, c.x);
   Tensor y = fq_forward(q, x);

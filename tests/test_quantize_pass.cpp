@@ -140,7 +140,7 @@ TEST(QuantizePass, LeakyReluGetsQ16Path) {
 
 TEST(QuantizePass, Int4KeepsFirstAndLastAtInt8) {
   QuantizeConfig cfg;
-  cfg.weight_bits = 4;
+  cfg.precision.wbits = 4;
   Prepared p = prepare(ModelKind::kMiniVgg, cfg);
   std::vector<int> bits;
   for (NodeId id : p.qres.weight_quants) {
@@ -216,13 +216,42 @@ TEST(QuantizePass, RequiresFoldedGraph) {
 
 TEST(QuantizePass, RejectsIncompatibleConfigs) {
   BuiltModel m = build_model(ModelKind::kMiniVgg);
+  // Per-channel *real-scale* weights cannot emulate power-of-2 intermediates.
   QuantizeConfig cfg;
-  cfg.per_channel_weights = true;
+  cfg.precision.per_channel_weights = true;
   cfg.emulate_intermediates = true;
+  cfg.power_of_2 = false;
   EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
-  cfg.per_channel_weights = false;
+  cfg.power_of_2 = true;
+  cfg.precision.per_channel_weights = false;
   cfg.mode = QuantMode::kPact;
   EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
+  // Precision policy outside the training range.
+  cfg.mode = QuantMode::kTqt;
+  cfg.precision.wbits = 1;
+  EXPECT_THROW(quantize_pass(m.graph, m.input, m.logits, cfg), std::invalid_argument);
+}
+
+TEST(QuantizePass, PerChannelPowerOf2ComposesWithEmulation) {
+  // The PR 9 contract: per-channel power-of-2 weights ride the fixed-point
+  // exec plan as requant shift tables, so they must compose with
+  // emulate_intermediates at quantize time.
+  QuantizeConfig cfg;
+  cfg.precision.per_channel_weights = true;
+  cfg.emulate_intermediates = true;
+  cfg.power_of_2 = true;
+  Prepared p = prepare(ModelKind::kMiniVgg, cfg);
+  EXPECT_FALSE(p.qres.weight_quants.empty());
+  // The weight quantizers really are per-channel power-of-2.
+  bool per_channel = false;
+  for (NodeId id : p.qres.weight_quants) {
+    const FakeQuantOp& q = fake_quant_at(p.m.graph, id);
+    if (q.per_channel()) {
+      per_channel = true;
+      EXPECT_TRUE(q.power_of_2());
+    }
+  }
+  EXPECT_TRUE(per_channel);
 }
 
 TEST(QuantizePass, PercentileInitTighterThanMax) {
@@ -254,7 +283,7 @@ TEST(QuantizePass, PercentileInitTighterThanMax) {
 
 TEST(QuantizePass, PerChannelBaselineRuns) {
   QuantizeConfig cfg;
-  cfg.per_channel_weights = true;
+  cfg.precision.per_channel_weights = true;
   cfg.emulate_intermediates = false;
   cfg.power_of_2 = false;
   cfg.trainable_thresholds = false;

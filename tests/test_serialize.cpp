@@ -115,7 +115,7 @@ TEST(Serialize, VersionMismatchIsRejectedWithAClearError) {
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("version 99"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("versions 1..2"), std::string::npos)
+    EXPECT_NE(msg.find("versions 1..3"), std::string::npos)
         << "supported version range missing: " << msg;
   }
   std::remove(path.c_str());

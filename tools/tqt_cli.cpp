@@ -4,9 +4,14 @@
 //       List the model zoo.
 //   tqt_cli pretrain <model> [--cache DIR]
 //       FP32-pretrain a model (cached) and report accuracy.
-//   tqt_cli quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]
-//       Quantize (and optionally retrain) from the cached FP32 weights.
-//   tqt_cli export <model> -o FILE [--bits 8|4] [--epochs N]
+//   tqt_cli quantize <model> [--mode static|wt|wt_th] [--wbits B] [--abits B]
+//                    [--per-channel] [--epochs N] [-o FILE]
+//       Quantize (and optionally retrain) from the cached FP32 weights under
+//       a W/A precision policy; -o additionally compiles and saves the
+//       fixed-point program (precision then validated against the [4,16]
+//       inference range). --bits is a deprecated alias for --wbits.
+//   tqt_cli export <model> -o FILE [--wbits B] [--abits B] [--per-channel]
+//                  [--epochs N]
 //       TQT-retrain and compile to a fixed-point program file.
 //   tqt_cli run <model> -i FILE [--threads N] [--repeat N] [--explain-kernels]
 //       Load a fixed-point program and evaluate it on the validation split.
@@ -78,6 +83,7 @@
 #include "fixedpoint/fuse.h"
 #include "fixedpoint/kernels/kernels.h"
 #include "net/client.h"
+#include "quant/quant_spec.h"
 #include "net/gateway.h"
 #include "observe/observe.h"
 #include "runtime/parallel.h"
@@ -92,8 +98,9 @@ int usage() {
                "usage: tqt_cli <list|pretrain|quantize|export|run|tune|serve|client|calib> [args]\n"
                "  list\n"
                "  pretrain <model> [--cache DIR]\n"
-               "  quantize <model> [--mode static|wt|wt_th] [--bits 8|4] [--epochs N]\n"
-               "  export   <model> -o FILE [--bits 8|4] [--epochs N]\n"
+               "  quantize <model> [--mode static|wt|wt_th] [--wbits B] [--abits B]\n"
+               "           [--per-channel] [--epochs N] [-o FILE]\n"
+               "  export   <model> -o FILE [--wbits B] [--abits B] [--per-channel] [--epochs N]\n"
                "  run      <model> -i FILE [--threads N] [--repeat N] [--explain-kernels]\n"
                "  tune     <model> -i FILE [--threads N]\n"
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
@@ -368,6 +375,36 @@ void add_autotune_flag(ArgParser& p) {
   p.add("--autotune", "M", "kernel autotuner: on | off | force (default TQT_AUTOTUNE)");
 }
 
+/// Register the W/A precision-policy flags (the CLI face of PrecisionPolicy).
+/// `legacy_bits` additionally keeps the pre-policy --bits spelling alive as a
+/// deprecated alias for --wbits on the subcommands that historically had it.
+void add_precision_flags(ArgParser& p, bool legacy_bits = false) {
+  p.add("--wbits", "B", "weight bit width (training [2,16], inference [4,16]; default 8)");
+  p.add("--abits", "B", "activation bit width (same ranges; default 8)");
+  p.add("--per-channel", "", "per-output-channel power-of-2 weight scales");
+  if (legacy_bits) p.add("--bits", "B", "deprecated alias for --wbits");
+}
+
+/// Parse + strictly validate the precision flags into a PrecisionPolicy:
+/// non-integer or out-of-range values are one-line errors (exit 1), with the
+/// range picked by `use` — [2,16] where the result feeds a fake-quant
+/// training graph, [4,16] where it must compile to fixed point.
+PrecisionPolicy parse_precision(const ArgParser& p, QuantUse use) {
+  PrecisionPolicy pol;
+  if (p.seen("--bits")) {
+    pol.wbits = static_cast<int>(ArgParser::strict_int("--bits", p.value("--bits")));
+  }
+  if (p.seen("--wbits")) {
+    pol.wbits = static_cast<int>(ArgParser::strict_int("--wbits", p.value("--wbits")));
+  }
+  if (p.seen("--abits")) {
+    pol.abits = static_cast<int>(ArgParser::strict_int("--abits", p.value("--abits")));
+  }
+  pol.per_channel_weights = p.seen("--per-channel");
+  pol.validate(use);
+  return pol;
+}
+
 /// The `run --explain-kernels` table: one row per exec-stream instruction
 /// with the algo the executor resolved; measured selections are starred.
 void print_explain_table(const FixedPointProgram& prog) {
@@ -415,7 +452,9 @@ QuantTrialConfig trial_config(const ArgParser& p, const std::string& mode) {
   } else {
     throw std::invalid_argument("bad --mode " + mode);
   }
-  cfg.quant.weight_bits = std::atoi(p.value("--bits", "8"));
+  // Training context: the fake-quant graph accepts [2,16]. Subcommands that
+  // go on to compile fixed point re-validate at kInference before compiling.
+  cfg.quant.precision = parse_precision(p, QuantUse::kTraining);
   cfg.schedule =
       default_retrain_schedule(static_cast<float>(std::atof(p.value("--epochs", "4"))));
   return cfg;
@@ -425,24 +464,47 @@ int cmd_quantize(int argc, char** argv) {
   ArgParser p("quantize", "<model>",
               "Quantize (and optionally retrain) from the cached FP32 weights.");
   p.add("--mode", "M", "static | wt | wt_th (default wt_th)");
-  p.add("--bits", "B", "weight bit width, 8 or 4 (default 8)");
+  add_precision_flags(p, /*legacy_bits=*/true);
   p.add("--epochs", "N", "retraining epochs (default 4)");
   p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
+  p.add("-o", "FILE", "also compile and save the fixed-point program to FILE");
+  p.add("--no-fuse", "", "with -o: compile without conv+epilogue fusion (TQT_FUSE=0)");
+  add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
+  // Fail fast on a bad precision policy before touching the weight cache;
+  // trial_config re-parses the same flags when building the trial config.
+  parse_precision(p, QuantUse::kTraining);
+  const char* out_path = p.value("-o", nullptr);
+  if (out_path) {
+    apply_fuse_flag(p);
+    apply_autotune_flag(p);
+    // The tighter compile-time range applies when the trial must export.
+    parse_precision(p, QuantUse::kInference);
+  }
   const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
   const auto state = load_or_pretrain(kind, data, p.value("--cache", "tqt_artifacts"));
   const std::string mode = p.value("--mode", "wt_th");
   QuantTrialConfig cfg = trial_config(p, mode);
   if (tel.wants_metrics()) cfg.schedule.metrics = &observe::MetricsRegistry::global();
-  const TrialOutput out = run_quant_trial(kind, state, data, cfg);
-  std::printf("%s INT%d (%s): top-1 %.1f%%  top-5 %.1f%%", model_name(kind).c_str(),
-              cfg.quant.weight_bits, mode.c_str(), 100.0 * out.accuracy.top1(),
-              100.0 * out.accuracy.top5());
+  TrialOutput out = run_quant_trial(kind, state, data, cfg);
+  std::printf("%s W%dA%d%s (%s): top-1 %.1f%%  top-5 %.1f%%", model_name(kind).c_str(),
+              cfg.quant.precision.wbits, cfg.quant.precision.abits,
+              cfg.quant.precision.per_channel_weights ? " per-channel" : "", mode.c_str(),
+              100.0 * out.accuracy.top1(), 100.0 * out.accuracy.top5());
   if (cfg.mode != TrialMode::kStatic) std::printf("  (best epoch %.1f)", out.best_epoch);
   std::printf("\n");
+  if (out_path) {
+    out.model.graph.set_training(false);
+    const FixedPointProgram prog =
+        compile_fixed_point(out.model.graph, out.model.input, out.qres.quantized_output);
+    prog.save(out_path);
+    std::printf("wrote %lld instructions / %lld int params to %s\n",
+                static_cast<long long>(prog.instruction_count()),
+                static_cast<long long>(prog.parameter_count()), out_path);
+  }
   tel.flush();
   return 0;
 }
@@ -451,7 +513,7 @@ int cmd_export(int argc, char** argv) {
   ArgParser p("export", "<model>",
               "TQT-retrain and compile to a fixed-point program file.");
   p.add("-o", "FILE", "output program file (required)");
-  p.add("--bits", "B", "weight bit width, 8 or 4 (default 8)");
+  add_precision_flags(p, /*legacy_bits=*/true);
   p.add("--epochs", "N", "retraining epochs (default 4)");
   p.add("--cache", "DIR", "weight cache directory (default tqt_artifacts)");
   p.add("--no-fuse", "", "compile without conv+epilogue fusion (TQT_FUSE=0)");
@@ -462,6 +524,8 @@ int cmd_export(int argc, char** argv) {
   apply_fuse_flag(p);
   apply_autotune_flag(p);
   const char* out_path = p.required("-o");
+  // The artifact must compile to fixed point, so the inference range applies.
+  parse_precision(p, QuantUse::kInference);
   const ModelKind kind = parse_model(p.positional("model"));
   SyntheticImageDataset data(default_dataset_config());
   const auto state = load_or_pretrain(kind, data, p.value("--cache", "tqt_artifacts"));
@@ -488,11 +552,15 @@ int cmd_run(int argc, char** argv) {
   p.add("--repeat", "N", "validation passes (default 1)");
   p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
   p.add("--explain-kernels", "", "print the per-instruction kernel/algo table after load");
+  add_precision_flags(p);
   add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
   const char* in_path = p.required("-i");
+  // The program file already fixes its precision; the flags here only assert
+  // what the caller expects — same strict validation, same one-line errors.
+  parse_precision(p, QuantUse::kInference);
   parse_model(p.positional("model"));  // validated for the error message only
   apply_threads_flag(p);
   apply_fuse_flag(p);
@@ -534,8 +602,10 @@ int cmd_tune(int argc, char** argv) {
               "sidecar (re-measures every shape key; ignores existing sidecars).");
   p.add("-i", "FILE", "fixed-point program file (required)");
   p.add("--threads", "N", "engine thread-pool size (default TQT_NUM_THREADS)");
+  add_precision_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const char* in_path = p.required("-i");
+  parse_precision(p, QuantUse::kInference);  // assert-only, as in `run`
   parse_model(p.positional("model"));  // validated for the error message only
   apply_threads_flag(p);
   autotune::set_mode(2);  // force: measure everything fresh
@@ -629,10 +699,14 @@ int cmd_serve(int argc, char** argv) {
   p.add("--calib-interval-ms", "N", "--calib: drift check period in ms (default 50)");
   p.add("--calib-retrain-steps", "N", "--calib: TQT retrain steps per cycle (default 0)");
   p.add("--calib-no-auto", "", "--calib: report drift but do not auto-recalibrate");
+  add_precision_flags(p);
   add_autotune_flag(p);
   add_telemetry_flags(p);
   if (!p.parse(argc, argv)) return 0;
   const Telemetry tel(p);
+  // With --calib the policy drives the service's own quantize/compile cycles;
+  // without it the flags are assert-only (the -i artifact fixes precision).
+  const PrecisionPolicy precision = parse_precision(p, QuantUse::kInference);
   const bool with_calib = p.seen("--calib");
   const char* in_path = with_calib ? nullptr : p.required("-i");
   const ModelKind kind = parse_model(p.positional("model"));
@@ -671,6 +745,7 @@ int cmd_serve(int argc, char** argv) {
     calib::AutocalConfig acfg;
     acfg.model = model;
     acfg.kind = kind;
+    acfg.quant.precision = precision;
     acfg.mirror_every = p.positive("--calib-mirror-every", 16);
     acfg.min_samples = p.positive("--calib-min-samples", 128);
     acfg.min_window = p.positive("--calib-min-window", 48);

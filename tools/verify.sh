@@ -90,6 +90,17 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# Fail fast on the INT4 sub-byte path: nibble pack/unpack parities, the
+# forced Algo::kGemmS4 candidates' bit-exactness over the zoo (per-tensor and
+# per-channel), serializer v3, the QuantUse bit-width boundaries, and the
+# deprecated pre-QuantSpec wrappers, at both pool sizes.
+for threads in 1 4; do
+  echo "==== int4 tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" \
+    -R 'Nib4|S4Engine|SerializeV3|QuantUseBoundaries|DeprecatedWrappers' \
+    --output-on-failure -j "$(nproc)"
+done
+
 # Fail fast on tqt-observe too: the registry/tracer/JSON tests plus the CLI
 # flag-parser contract. Under TQT_SANITIZE=thread this pass is the race
 # check on concurrent metric updates and per-thread trace rings.
@@ -144,6 +155,19 @@ if lost:
 print(f"autotune gate ok: tuned geomean {report['tuned_speedup_geomean']:.3f}, "
       f"blocked layout selected on "
       f"{report['models_blocked_selected']}/{len(report['models'])} models")
+
+# The INT4 arm must be bit-exact everywhere and must actually have routed
+# matmuls through the s4 GEMM; the s4-vs-s8 throughput ratio is reported but
+# not gated (sub-byte storage trades a little unpack compute for 2x smaller
+# weights — the ratio is informational, the exactness is the contract).
+if report["models_s4_bit_exact"] != len(report["models"]):
+    sys.exit(f"int4 pair not bit-exact: {report['models_s4_bit_exact']}"
+             f"/{len(report['models'])}")
+no_s4 = [m["model"] for m in report["models"] if m["s4_instrs"] == 0]
+if no_s4:
+    sys.exit(f"no instruction routed through the s4 GEMM on: {no_s4}")
+print(f"int4 gate ok: s4-vs-s8 geomean {report['s4_vs_s8_geomean']:.3f}, "
+      f"bit-exact on {report['models_s4_bit_exact']}/{len(report['models'])} models")
 PY
 
 # Observability overhead contract (DESIGN.md §10): with tracing disabled the
@@ -179,6 +203,27 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
     --autotune on --explain-kernels > "$BUILD_DIR/verify_tune_run.txt"
   grep -q 'measured autotuner selection' "$BUILD_DIR/verify_tune_run.txt"
   grep -q 'top-1' "$BUILD_DIR/verify_tune_run.txt"
+
+  # INT4 round trip through the CLI: quantize at 4/8 per-channel with -o
+  # (compile + save in one step), run the artifact, then force-tune it — the
+  # tuner must measure the s4 candidates without complaint and the sidecar
+  # must appear. Also: the precision flags must reject out-of-range widths.
+  echo "==== tqt_cli quantize --wbits 4 -> run -> tune round trip ===="
+  "$BUILD_DIR/tools/tqt_cli" quantize mini_vgg --mode static --wbits 4 --per-channel \
+    -o "$BUILD_DIR/verify_w4.tqtp" > "$BUILD_DIR/verify_w4_out.txt"
+  grep -q 'W4A8 per-channel' "$BUILD_DIR/verify_w4_out.txt"
+  grep -q 'wrote .* instructions' "$BUILD_DIR/verify_w4_out.txt"
+  "$BUILD_DIR/tools/tqt_cli" run mini_vgg -i "$BUILD_DIR/verify_w4.tqtp" --wbits 4 \
+    | grep -q 'top-1'
+  rm -f "$BUILD_DIR/verify_w4.tqtp.tqt.tune"
+  "$BUILD_DIR/tools/tqt_cli" tune mini_vgg -i "$BUILD_DIR/verify_w4.tqtp" \
+    > "$BUILD_DIR/verify_w4_tune.txt"
+  grep -q 'wrote .*verify_w4\.tqtp\.tqt\.tune' "$BUILD_DIR/verify_w4_tune.txt"
+  test -s "$BUILD_DIR/verify_w4.tqtp.tqt.tune"
+  if "$BUILD_DIR/tools/tqt_cli" run mini_vgg -i "$BUILD_DIR/verify_w4.tqtp" --wbits 3 \
+    2>/dev/null; then
+    echo "FAIL: run accepted --wbits 3 (inference range is [4,16])"; exit 1
+  fi
 
   # Network serving round trip through the CLI: start a gateway on an
   # ephemeral port, drive it with the client subcommand, then SIGTERM the
