@@ -1,25 +1,42 @@
-// Closed-loop socket load generator for the tqt-gateway front-end: N client
-// threads each hold one TCP connection to a loopback gateway and issue
-// lock-step requests; the gateway feeds the micro-batcher, which executes on
-// the runtime/parallel thread pool. Run once with a 1-thread pool and once
-// with a 4-thread pool, and report a JSON comparison — the network
+// Socket load generator for the tqt-gateway front-end, in two parts.
+//
+// Part 1 (closed loop): N client threads each hold one TCP connection to a
+// loopback gateway and issue lock-step requests; run once with a 1-thread
+// pool and once with a 4-thread pool and report the comparison — the network
 // counterpart of bench_serve_throughput, with latencies measured client-side
 // so they include wire encoding, both socket hops and the event loop.
 //
+// Part 2 (open loop, tqt-qos): a 2-shard ShardedGateway serves a
+// heavy-tailed tenant mix under *Poisson arrivals* — each tenant offers
+// requests on its own exponential-gap schedule regardless of completions, so
+// queueing delay shows up as latency instead of silently throttling the
+// generator. Two phases run: "isolated" (well-behaved tenants only) and
+// "attack" (same mix plus one abusive quota-busting tenant offering ~10x its
+// rate limit, and one slow-loris connection dribbling a partial frame).
+// The report carries per-tenant p50/p99 for both phases, a Jain fairness
+// index over the well-behaved tenants' success ratios, and the isolation
+// bound; the binary EXITS 1 if the abusive tenant was not rate-limited or if
+// any well-behaved tenant's attack-phase p99 exceeds
+//   isolation_bound_factor * isolated_p99 + isolation_slack_us.
+// (Single-core timing caveat: the bound is deliberately slack — absolute
+// latency windows on a loaded 1-core box are noisy; only the isolated-vs-
+// attack pairing makes the gate meaningful.)
+//
 //   bench_net_throughput [--model NAME] [--clients N] [--requests N]
 //                        [--max-batch B] [--delay-us D] [--deadline-us D]
-//                        [--smoke] [-o FILE]
+//                        [--qos-seconds S] [--smoke] [-o FILE]
 //
-// --smoke (or env TQT_FAST) shrinks the request count for CI. The JSON
-// records hardware_concurrency so a 1-core CI box is not mistaken for a
-// regression, plus the shed and deadline-drop counts per phase (nonzero only
-// when --deadline-us makes the offered load miss deadlines).
+// --smoke (or env TQT_FAST) shrinks both parts for CI. The JSON records
+// hardware_concurrency so a 1-core CI box is not mistaken for a regression.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +47,8 @@
 #include "net/client.h"
 #include "net/gateway.h"
 #include "observe/observe.h"
+#include "qos/shard.h"
+#include "qos/tenant.h"
 #include "runtime/parallel.h"
 #include "serve/server.h"
 #include "tensor/rng.h"
@@ -51,6 +70,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+// ---- Part 1: closed-loop 1-vs-4-thread comparison ---------------------------
 
 struct PhaseResult {
   int threads = 0;
@@ -129,6 +150,223 @@ void write_phase(observe::JsonWriter& w, const PhaseResult& r) {
   w.end();
 }
 
+// ---- Part 2: open-loop multi-tenant QoS study -------------------------------
+
+struct TenantSpec {
+  std::string name;
+  std::string token;
+  int klass = qos::kClassNormal;
+  int weight = 1;
+  double rate_rps = 0.0;  // 0 = unlimited (well-behaved tenants are unmetered)
+  double burst = 0.0;
+  int64_t max_inflight = 0;
+  double offered_rps = 0.0;  // Poisson arrival rate this tenant OFFERS
+  bool well_behaved = true;
+};
+
+struct TenantStats {
+  uint64_t sent = 0, ok = 0, rate_limited = 0, quota_exceeded = 0, shed = 0, other = 0;
+  observe::HistogramSnapshot latency;  // client-side us, over ALL responses
+};
+
+struct QosPhase {
+  std::map<std::string, TenantStats> tenants;
+  uint64_t slow_loris_closed = 0;
+  double seconds = 0.0;
+};
+
+/// Exponential-gap arrival offsets (seconds) covering `seconds` of load.
+std::vector<double> poisson_schedule(double rate_rps, double seconds, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(rate_rps);
+  std::vector<double> at;
+  double t = gap(rng);
+  while (t < seconds) {
+    at.push_back(t);
+    t += gap(rng);
+  }
+  return at;
+}
+
+/// One phase: a fresh 2-shard gateway, every spec'd tenant offering its
+/// Poisson schedule through `workers` connections (open loop with bounded
+/// concurrency: a request fires at its scheduled time as long as a worker is
+/// free; the abuser's rejections are answered inline so even 10x overload
+/// never runs out of workers). `with_attack` adds the abusive tenant(s) and
+/// a slow-loris connection that dribbles a 6-byte frame prefix forever.
+QosPhase run_qos_phase(const FixedPointProgram& prog, const std::vector<TenantSpec>& specs,
+                       bool with_attack, double seconds, int workers, uint64_t seed) {
+  observe::MetricsRegistry metrics;
+  qos::TenantTable tenants(&metrics);
+  std::vector<qos::TenantConfig> configs;
+  for (const TenantSpec& s : specs) {
+    qos::TenantConfig c;
+    c.token = s.token;
+    c.name = s.name;
+    c.klass = s.klass;
+    c.weight = s.weight;
+    c.rate_rps = s.rate_rps;
+    c.burst = s.burst > 0 ? s.burst : std::max(s.rate_rps, 1.0);
+    c.max_inflight = s.max_inflight;
+    configs.push_back(c);
+  }
+  tenants.load(configs);
+
+  qos::ShardedGatewayConfig cfg;
+  cfg.num_shards = 2;
+  cfg.batch.max_batch = 16;
+  cfg.batch.max_delay_us = 500;
+  cfg.batch.max_queue = 256;
+  cfg.tenants = &tenants;
+  cfg.metrics = &metrics;
+  cfg.read_stall_timeout_ms = 400;  // evict the slow-loris quickly
+  qos::ShardedGateway gw(cfg);
+  gw.deploy("bench", prog, {16, 16, 3});
+  const uint16_t port = gw.port();
+
+  Rng rng(7);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  struct TenantRun {
+    const TenantSpec* spec = nullptr;
+    std::vector<double> arrivals;
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> ok{0}, rate_limited{0}, quota{0}, shed{0}, other{0};
+    observe::Histogram latency;  // thread-safe (atomic buckets)
+  };
+  std::vector<std::unique_ptr<TenantRun>> runs;
+  for (const TenantSpec& s : specs) {
+    if (!with_attack && !s.well_behaved) continue;
+    auto run = std::make_unique<TenantRun>();
+    run->spec = &s;
+    run->arrivals = poisson_schedule(s.offered_rps, seconds, seed ^ std::hash<std::string>{}(s.name));
+    runs.push_back(std::move(run));
+  }
+
+  std::atomic<bool> stop{false};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  for (auto& runp : runs) {
+    TenantRun* run = runp.get();
+    for (int wkr = 0; wkr < workers; ++wkr) {
+      threads.emplace_back([&, run] {
+        net::GatewayClient client("localhost", port);
+        client.set_token(run->spec->token);
+        for (size_t i = run->next.fetch_add(1); i < run->arrivals.size();
+             i = run->next.fetch_add(1)) {
+          // Open loop: fire at the scheduled offset (late if every worker is
+          // busy — that queueing is part of the measured latency story).
+          const auto due =
+              t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(run->arrivals[i]));
+          std::this_thread::sleep_until(due);
+          const auto s0 = std::chrono::steady_clock::now();
+          net::InferResponse resp;
+          try {
+            resp = client.infer("bench", sample);
+          } catch (const net::ClientError&) {
+            run->other.fetch_add(1);
+            return;  // connection gone — stop this worker, others continue
+          }
+          const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - s0)
+                              .count();
+          run->latency.record(static_cast<uint64_t>(us));
+          switch (resp.status) {
+            case net::WireStatus::kOk: run->ok.fetch_add(1); break;
+            case net::WireStatus::kRateLimited: run->rate_limited.fetch_add(1); break;
+            case net::WireStatus::kQuotaExceeded: run->quota.fetch_add(1); break;
+            case net::WireStatus::kShed: run->shed.fetch_add(1); break;
+            default: run->other.fetch_add(1); break;
+          }
+        }
+      });
+    }
+  }
+
+  // The slow-loris: a connection that sends a plausible 6-byte frame prefix
+  // and then goes silent. The gateway answers kSlowClient and closes after
+  // read_stall_timeout_ms; the loris immediately reconnects.
+  std::thread loris;
+  if (with_attack) {
+    loris = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          net::GatewayClient c("localhost", port, /*recv_timeout_ms=*/100);
+          const uint8_t prefix[6] = {0x54, 0x51, 0x54, 0x47, net::kVersion,
+                                     static_cast<uint8_t>(net::FrameType::kRequest)};
+          c.send_bytes(prefix, sizeof prefix);
+          for (;;) {
+            uint8_t buf[64];
+            size_t n = 0;
+            try {
+              n = c.recv_raw(buf, sizeof buf);
+            } catch (const net::ClientError&) {  // receive timeout: keep lurking
+              if (stop.load(std::memory_order_relaxed)) return;
+              continue;
+            }
+            if (n == 0) break;  // evicted — by design
+          }
+        } catch (const net::ClientError&) {
+          if (stop.load(std::memory_order_relaxed)) return;
+        }
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  if (loris.joinable()) loris.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  QosPhase phase;
+  phase.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (auto& runp : runs) {
+    TenantStats s;
+    s.sent = runp->arrivals.size();
+    s.ok = runp->ok.load();
+    s.rate_limited = runp->rate_limited.load();
+    s.quota_exceeded = runp->quota.load();
+    s.shed = runp->shed.load();
+    s.other = runp->other.load();
+    s.latency = runp->latency.snapshot();
+    phase.tenants.emplace(runp->spec->name, std::move(s));
+  }
+  for (int i = 0; i < gw.num_shards(); ++i) {
+    phase.slow_loris_closed +=
+        metrics.counter("net.shard" + std::to_string(i) + ".slow_reads_closed").value();
+  }
+  gw.stop_and_drain();
+  return phase;
+}
+
+/// Jain fairness index over per-tenant success ratios ok/sent: 1.0 = every
+/// well-behaved tenant got the same fraction of its offered load through.
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sq);
+}
+
+void write_tenant_stats(observe::JsonWriter& w, const char* key, const TenantStats& s) {
+  w.key(key).obj();
+  w.kv("sent", static_cast<long long>(s.sent));
+  w.kv("ok", static_cast<long long>(s.ok));
+  w.kv("rate_limited", static_cast<long long>(s.rate_limited));
+  w.kv("quota_exceeded", static_cast<long long>(s.quota_exceeded));
+  w.kv("shed", static_cast<long long>(s.shed));
+  w.kv("other", static_cast<long long>(s.other));
+  w.kv("p50_us", static_cast<long long>(s.latency.percentile(0.50)));
+  w.kv("p99_us", static_cast<long long>(s.latency.percentile(0.99)));
+  w.end();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +376,8 @@ int main(int argc, char** argv) {
   const int64_t total = std::atoll(flag_value(argc, argv, "--requests", smoke ? "128" : "2000"));
   const uint32_t deadline_us =
       static_cast<uint32_t>(std::atoll(flag_value(argc, argv, "--deadline-us", "0")));
+  const double qos_seconds =
+      std::atof(flag_value(argc, argv, "--qos-seconds", smoke ? "1.5" : "6"));
 
   ModelKind kind = ModelKind::kMiniVgg;
   for (ModelKind k : all_model_kinds()) {
@@ -160,6 +400,48 @@ int main(int argc, char** argv) {
   }
   set_num_threads(0);  // restore the TQT_NUM_THREADS / hardware default
 
+  // Open-loop QoS study: heavy-tailed well-behaved mix (the low-priority
+  // tenant offers 4x the high-priority one) plus one abusive tenant offering
+  // ~12x its rate limit in the attack phase.
+  const double scale = smoke ? 0.5 : 1.0;
+  std::vector<TenantSpec> specs;
+  specs.push_back({"gold", "gold-tok", qos::kClassHigh, 4, 0.0, 0.0, 0, 40.0 * scale, true});
+  specs.push_back({"silver", "silver-tok", qos::kClassNormal, 2, 0.0, 0.0, 0, 80.0 * scale, true});
+  specs.push_back({"bronze", "bronze-tok", qos::kClassLow, 1, 0.0, 0.0, 0, 160.0 * scale, true});
+  specs.push_back({"abuser", "abuser-tok", qos::kClassLow, 1, /*rate=*/50.0 * scale,
+                   /*burst=*/25.0 * scale, /*max_inflight=*/8, 600.0 * scale, false});
+
+  const int qos_workers = 4;
+  std::fprintf(stderr, "qos phase: isolated (%0.1fs, well-behaved tenants only)\n", qos_seconds);
+  const QosPhase isolated = run_qos_phase(prog, specs, /*with_attack=*/false, qos_seconds,
+                                          qos_workers, /*seed=*/11);
+  std::fprintf(stderr, "qos phase: attack (%0.1fs, + abuser + slow-loris)\n", qos_seconds);
+  const QosPhase attack = run_qos_phase(prog, specs, /*with_attack=*/true, qos_seconds,
+                                        qos_workers, /*seed=*/12);
+
+  // Isolation gate. The bound is deliberately slack (see the file comment):
+  // what it catches is an abusive tenant blowing up a well-behaved tenant's
+  // tail by an order of magnitude, not millisecond jitter.
+  const double bound_factor = 5.0;
+  const long long slack_us = 200'000;
+  bool isolation_ok = true;
+  std::vector<double> jain_isolated, jain_attack;
+  std::map<std::string, long long> bounds;
+  for (const TenantSpec& s : specs) {
+    if (!s.well_behaved) continue;
+    const TenantStats& iso = isolated.tenants.at(s.name);
+    const TenantStats& att = attack.tenants.at(s.name);
+    const long long bound =
+        static_cast<long long>(bound_factor * static_cast<double>(iso.latency.percentile(0.99))) +
+        slack_us;
+    bounds[s.name] = bound;
+    if (static_cast<long long>(att.latency.percentile(0.99)) > bound) isolation_ok = false;
+    if (iso.sent > 0) jain_isolated.push_back(static_cast<double>(iso.ok) / iso.sent);
+    if (att.sent > 0) jain_attack.push_back(static_cast<double>(att.ok) / att.sent);
+  }
+  const TenantStats& abuser = attack.tenants.at("abuser");
+  const bool abuser_limited = abuser.rate_limited + abuser.quota_exceeded > 0;
+
   observe::JsonWriter w;
   w.obj();
   w.kv("bench", "net_throughput");
@@ -175,7 +457,51 @@ int main(int argc, char** argv) {
   write_phase(w, phases[1]);
   w.end();
   w.kv("speedup_4_over_1", phases[1].throughput_rps / phases[0].throughput_rps);
-  w.end();
+
+  w.key("qos").obj();
+  w.kv("num_shards", 2);
+  w.kv("phase_seconds", qos_seconds);
+  w.kv("workers_per_tenant", qos_workers);
+  w.kv("isolation_bound_factor", bound_factor);
+  w.kv("isolation_slack_us", slack_us);
+  w.kv("slow_loris_closed", static_cast<long long>(attack.slow_loris_closed));
+  w.kv("abuser_limited", abuser_limited);
+  w.kv("jain_fairness_isolated", jain_index(jain_isolated));
+  w.kv("jain_fairness_attack", jain_index(jain_attack));
+  w.kv("isolation_ok", isolation_ok);
+  w.key("tenants").arr();
+  for (const TenantSpec& s : specs) {
+    w.obj();
+    w.kv("name", s.name);
+    w.kv("class", qos::class_name(s.klass));
+    w.kv("weight", s.weight);
+    w.kv("offered_rps", s.offered_rps);
+    w.kv("well_behaved", s.well_behaved);
+    if (s.well_behaved) {
+      write_tenant_stats(w, "isolated", isolated.tenants.at(s.name));
+      w.kv("isolation_bound_us", bounds.at(s.name));
+    }
+    write_tenant_stats(w, "attack", attack.tenants.at(s.name));
+    if (s.well_behaved) {
+      w.kv("within_bound",
+           static_cast<long long>(attack.tenants.at(s.name).latency.percentile(0.99)) <=
+               bounds.at(s.name));
+    }
+    w.end();
+  }
+  w.end();  // tenants
+  w.end();  // qos
+  w.end();  // root
   bench::emit_report(w.str(), flag_value(argc, argv, "-o", nullptr));
+
+  if (!abuser_limited) {
+    std::fprintf(stderr, "FAIL: abusive tenant was never rate-limited/quota-limited\n");
+    return 1;
+  }
+  if (!isolation_ok) {
+    std::fprintf(stderr, "FAIL: a well-behaved tenant's attack-phase p99 breached the "
+                         "isolation bound\n");
+    return 1;
+  }
   return 0;
 }

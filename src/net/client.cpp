@@ -3,15 +3,19 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace tqt::net {
 
-GatewayClient::GatewayClient(const std::string& host, uint16_t port, int recv_timeout_ms) {
+int GatewayClient::connect_fd(const std::string& host, uint16_t port, int recv_timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -19,23 +23,28 @@ GatewayClient::GatewayClient(const std::string& host, uint16_t port, int recv_ti
   if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
     throw ClientError("client: not an IPv4 address: " + host);
   }
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) throw ClientError("client: socket failed: " + std::string(std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw ClientError("client: socket failed: " + std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     const std::string why = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw ClientError("client: cannot connect to " + host + ":" + std::to_string(port) +
                       ": " + why);
   }
   const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   if (recv_timeout_ms > 0) {
     timeval tv{};
     tv.tv_sec = recv_timeout_ms / 1000;
     tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   }
+  return fd;
+}
+
+GatewayClient::GatewayClient(const std::string& host, uint16_t port, int recv_timeout_ms)
+    : host_(host), port_(port), recv_timeout_ms_(recv_timeout_ms) {
+  fd_ = connect_fd(host, port, recv_timeout_ms);
 }
 
 GatewayClient::~GatewayClient() { close(); }
@@ -45,16 +54,20 @@ void GatewayClient::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  if (hedge_fd_ >= 0) {
+    ::close(hedge_fd_);
+    hedge_fd_ = -1;
+  }
 }
 
 void GatewayClient::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
-void GatewayClient::send_all(const uint8_t* data, size_t n) {
+void GatewayClient::send_all_on(int fd, const uint8_t* data, size_t n) {
   size_t sent = 0;
   while (sent < n) {
-    const ssize_t k = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    const ssize_t k = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (k > 0) {
       sent += static_cast<size_t>(k);
       continue;
@@ -69,7 +82,13 @@ void GatewayClient::send_bytes(const void* data, size_t n) {
 }
 
 bool GatewayClient::recv_exact(uint8_t* buf, size_t n, bool eof_ok) {
+  // Serve bytes already buffered by a hedged/stale-skipping read first.
   size_t got = 0;
+  if (!in_.empty()) {
+    got = std::min(n, in_.size());
+    std::memcpy(buf, in_.data(), got);
+    in_.erase(in_.begin(), in_.begin() + static_cast<long>(got));
+  }
   while (got < n) {
     const ssize_t k = ::recv(fd_, buf + got, n - got, 0);
     if (k > 0) {
@@ -90,6 +109,12 @@ bool GatewayClient::recv_exact(uint8_t* buf, size_t n, bool eof_ok) {
 }
 
 size_t GatewayClient::recv_raw(void* buf, size_t max) {
+  if (!in_.empty()) {
+    const size_t got = std::min(max, in_.size());
+    std::memcpy(buf, in_.data(), got);
+    in_.erase(in_.begin(), in_.begin() + static_cast<long>(got));
+    return got;
+  }
   for (;;) {
     const ssize_t k = ::recv(fd_, buf, max, 0);
     if (k >= 0) return static_cast<size_t>(k);
@@ -108,34 +133,65 @@ uint32_t GatewayClient::send_infer(const std::string& model, const Tensor& sampl
   req.model = model;
   req.deadline_us = deadline_us;
   req.input = sample;
+  req.token = token_;
   std::vector<uint8_t> frame;
   append_request_frame(frame, id, req);
   send_all(frame.data(), frame.size());
   return id;
 }
 
-GatewayClient::TaggedResponse GatewayClient::recv_response() {
-  uint8_t header[kHeaderBytes];
-  if (!recv_exact(header, kHeaderBytes, /*eof_ok=*/false)) {
-    throw ClientError("client: connection closed");  // unreachable (eof_ok=false throws)
-  }
+void GatewayClient::send_cancel_on(int fd, uint32_t request_id) {
+  std::vector<uint8_t> frame;
+  append_cancel_frame(frame, request_id);
+  send_all_on(fd, frame.data(), frame.size());
+}
+
+void GatewayClient::cancel(uint32_t request_id) {
+  send_cancel_on(fd_, request_id);
+  stale_.insert(request_id);
+}
+
+bool GatewayClient::pop_response(std::vector<uint8_t>& buf, TaggedResponse* out) {
   FrameHeader h;
   std::string err;
-  if (parse_header(header, kHeaderBytes, &h, &err) != HeaderParse::kOk) {
+  const HeaderParse hp = parse_header(buf.data(), buf.size(), &h, &err);
+  if (hp == HeaderParse::kNeedMore) return false;
+  if (hp == HeaderParse::kCorrupt) {
     throw ClientError("client: bad frame from server: " + err);
   }
+  if (buf.size() < kHeaderBytes + h.payload_len) return false;
   if (h.type != FrameType::kResponse) {
     throw ClientError("client: server sent a non-response frame");
   }
-  std::vector<uint8_t> payload(h.payload_len);
-  if (h.payload_len > 0) recv_exact(payload.data(), payload.size(), /*eof_ok=*/false);
-  TaggedResponse tagged;
-  tagged.request_id = h.request_id;
-  if (!parse_response_payload(payload.data(), payload.size(), h.status, &tagged.response,
-                              &err)) {
+  out->request_id = h.request_id;
+  if (!parse_response_payload(buf.data() + kHeaderBytes, h.payload_len, h.status,
+                              &out->response, &err)) {
     throw ClientError("client: bad response payload: " + err);
   }
-  return tagged;
+  buf.erase(buf.begin(), buf.begin() + static_cast<long>(kHeaderBytes + h.payload_len));
+  return true;
+}
+
+GatewayClient::TaggedResponse GatewayClient::recv_response() {
+  for (;;) {
+    TaggedResponse t;
+    while (pop_response(in_, &t)) {
+      if (stale_.erase(t.request_id) > 0) continue;  // cancelled / hedge loser
+      return t;
+    }
+    uint8_t buf[64 * 1024];
+    const ssize_t k = ::recv(fd_, buf, sizeof buf, 0);
+    if (k > 0) {
+      in_.insert(in_.end(), buf, buf + k);
+      continue;
+    }
+    if (k == 0) throw ClientError("client: connection closed mid-frame");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw ClientError("client: receive timed out");
+    }
+    throw ClientError("client: recv failed: " + std::string(std::strerror(errno)));
+  }
 }
 
 AdminResponse GatewayClient::admin(const AdminRequest& req) {
@@ -166,14 +222,152 @@ AdminResponse GatewayClient::admin(const AdminRequest& req) {
   return resp;
 }
 
+bool GatewayClient::take_response(std::vector<uint8_t>& buf, std::set<uint32_t>& stale,
+                                  uint32_t id, InferResponse* out) {
+  TaggedResponse t;
+  while (pop_response(buf, &t)) {
+    if (stale.erase(t.request_id) > 0) continue;
+    if (t.request_id != id) {
+      throw ClientError("client: response id mismatch (lock-step infer)");
+    }
+    *out = std::move(t.response);
+    return true;
+  }
+  return false;
+}
+
 InferResponse GatewayClient::infer(const std::string& model, const Tensor& sample,
                                    uint32_t deadline_us) {
-  const uint32_t id = send_infer(model, sample, deadline_us);
-  TaggedResponse tagged = recv_response();
-  if (tagged.request_id != id) {
-    throw ClientError("client: response id mismatch (lock-step infer)");
+  uint32_t backoff = hedge_.shed_backoff_us > 0 ? hedge_.shed_backoff_us : 1000;
+  for (int attempt = 0;; ++attempt) {
+    InferResponse resp = infer_attempt(model, sample, deadline_us);
+    if (resp.status == WireStatus::kShed && attempt < hedge_.shed_retries) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff = std::min<uint32_t>(backoff * 2, 100000);
+      continue;
+    }
+    return resp;
   }
-  return std::move(tagged.response);
+}
+
+InferResponse GatewayClient::infer_attempt(const std::string& model, const Tensor& sample,
+                                           uint32_t deadline_us) {
+  const uint32_t id = send_infer(model, sample, deadline_us);
+  if (hedge_.hedge_after_us == 0) {
+    TaggedResponse tagged = recv_response();
+    if (tagged.request_id != id) {
+      throw ClientError("client: response id mismatch (lock-step infer)");
+    }
+    return std::move(tagged.response);
+  }
+  return hedged_wait(id, model, sample, deadline_us);
+}
+
+InferResponse GatewayClient::hedged_wait(uint32_t id, const std::string& model,
+                                         const Tensor& sample, uint32_t deadline_us) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  auto hedge_at = start + std::chrono::microseconds(hedge_.hedge_after_us);
+  const auto give_up = recv_timeout_ms_ > 0
+                           ? start + std::chrono::milliseconds(recv_timeout_ms_)
+                           : clock::time_point::max();
+  bool hedge_sent = false;
+  bool primary_alive = true;
+
+  for (;;) {
+    InferResponse out;
+    if (primary_alive && take_response(in_, stale_, id, &out)) {
+      if (hedge_sent && hedge_fd_ >= 0) {
+        // Primary won the race: cancel the duplicate, void its response.
+        send_cancel_on(hedge_fd_, id);
+        stale_hedge_.insert(id);
+      }
+      return out;
+    }
+    if (hedge_sent && hedge_fd_ >= 0 && take_response(hedge_in_, stale_hedge_, id, &out)) {
+      ++hedge_wins_;
+      if (primary_alive && fd_ >= 0) {
+        send_cancel_on(fd_, id);
+        stale_.insert(id);
+      }
+      return out;
+    }
+
+    const auto now = clock::now();
+    if (now >= give_up) throw ClientError("client: receive timed out");
+    if (!hedge_sent && now >= hedge_at) {
+      // Slow primary: fire the duplicate (same request id) on the second
+      // connection. A hedge that cannot connect/send is non-fatal — the
+      // primary race continues alone.
+      try {
+        if (hedge_fd_ < 0) hedge_fd_ = connect_fd(host_, port_, recv_timeout_ms_);
+        InferRequest req;
+        req.model = model;
+        req.deadline_us = deadline_us;
+        req.input = sample;
+        req.token = token_;
+        std::vector<uint8_t> frame;
+        append_request_frame(frame, id, req);
+        send_all_on(hedge_fd_, frame.data(), frame.size());
+        hedge_sent = true;
+        ++hedges_sent_;
+      } catch (const ClientError&) {
+        hedge_at = clock::time_point::max();
+        if (hedge_fd_ >= 0) {
+          ::close(hedge_fd_);
+          hedge_fd_ = -1;
+        }
+      }
+    }
+
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    int primary_slot = -1, hedge_slot = -1;
+    if (primary_alive && fd_ >= 0) {
+      primary_slot = static_cast<int>(nfds);
+      pfds[nfds++] = {fd_, POLLIN, 0};
+    }
+    if (hedge_sent && hedge_fd_ >= 0) {
+      hedge_slot = static_cast<int>(nfds);
+      pfds[nfds++] = {hedge_fd_, POLLIN, 0};
+    }
+    if (nfds == 0) throw ClientError("client: connection closed mid-frame");
+    auto until = give_up;
+    if (!hedge_sent && hedge_at < until) until = hedge_at;
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(until - clock::now());
+    const int timeout_ms = std::max(1, static_cast<int>(std::min<int64_t>(wait.count() + 1, 1000)));
+    ::poll(pfds, nfds, timeout_ms);
+
+    const auto drain = [](int fd, std::vector<uint8_t>& buf) -> bool {
+      uint8_t tmp[64 * 1024];
+      const ssize_t k = ::recv(fd, tmp, sizeof tmp, MSG_DONTWAIT);
+      if (k > 0) {
+        buf.insert(buf.end(), tmp, tmp + k);
+        return true;
+      }
+      if (k < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // EOF or hard error
+    };
+    if (primary_slot >= 0 && (pfds[primary_slot].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (!drain(fd_, in_)) {
+        // Primary died mid-race: survivable iff the hedge is in flight.
+        if (!hedge_sent || hedge_fd_ < 0) {
+          throw ClientError("client: connection closed mid-frame");
+        }
+        ::close(fd_);
+        fd_ = -1;
+        primary_alive = false;
+      }
+    }
+    if (hedge_slot >= 0 && (pfds[hedge_slot].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (!drain(hedge_fd_, hedge_in_)) {
+        ::close(hedge_fd_);
+        hedge_fd_ = -1;
+        hedge_in_.clear();
+        if (!primary_alive) throw ClientError("client: connection closed mid-frame");
+      }
+    }
+  }
 }
 
 }  // namespace tqt::net

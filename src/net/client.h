@@ -10,11 +10,25 @@
 //   * send_infer()/recv_response() — pipelined: queue several requests on the
 //     connection, then collect the tagged responses as they arrive.
 //
+// tqt-qos additions:
+//   * set_token() attaches a tenant auth token to every request (frames go
+//     out at wire v2; an empty token keeps emitting v1 bytes, so a tokenless
+//     client still talks to pre-tenancy servers).
+//   * Hedged lock-step infer (set_hedge): if no response lands within
+//     hedge_after_us, the same request (same id) is duplicated on a second
+//     lazily opened connection; the first complete response wins and the
+//     loser gets a kCancel frame, its eventual answer discarded. Point
+//     hedge_after_us at the workload's observed p99.
+//   * SHED backoff: infer() retries a kShed rejection up to shed_retries
+//     times with doubling sleeps starting at shed_backoff_us.
+//   * cancel() sends a best-effort kCancel for a pipelined request id.
+//
 // The raw send_bytes()/recv_raw() escape hatches exist for protocol tests
 // that must put malformed bytes on the wire.
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,6 +43,19 @@ struct ClientError : std::runtime_error {
   explicit ClientError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Hedging / retry policy for GatewayClient::infer (lock-step calls only;
+/// pipelined send_infer/recv_response is never hedged).
+struct HedgeConfig {
+  /// Duplicate the request on a second connection if no response arrived
+  /// within this many microseconds. 0 disables hedging.
+  uint32_t hedge_after_us = 0;
+  /// Retry a kShed rejection up to this many times before returning it.
+  int shed_retries = 0;
+  /// First backoff sleep before a shed retry; doubles per retry (capped at
+  /// 100ms).
+  uint32_t shed_backoff_us = 1000;
+};
+
 class GatewayClient {
  public:
   /// Connect to host:port ("localhost" or a dotted-quad IPv4 address).
@@ -39,9 +66,24 @@ class GatewayClient {
   GatewayClient(const GatewayClient&) = delete;
   GatewayClient& operator=(const GatewayClient&) = delete;
 
+  /// Tenant auth token attached to every subsequent request frame. Empty
+  /// (the default) keeps the client on wire v1 bytes. Max 128 bytes
+  /// (kMaxTokenBytes) — longer tokens make the next send throw.
+  void set_token(std::string token) { token_ = std::move(token); }
+  const std::string& token() const { return token_; }
+
+  /// Hedging / shed-retry policy for infer(). Off by default.
+  void set_hedge(HedgeConfig hedge) { hedge_ = hedge; }
+
+  /// How many hedge duplicates this client has sent, and how many races the
+  /// hedge connection won (introspection for tests and the benchmark).
+  uint64_t hedges_sent() const { return hedges_sent_; }
+  uint64_t hedge_wins() const { return hedge_wins_; }
+
   /// Send one request and block for its response. `deadline_us` of 0 means
   /// no deadline. Throws ClientError on transport failure; protocol-level
-  /// rejections come back as the response's typed status.
+  /// rejections come back as the response's typed status. Honors the
+  /// configured hedge/backoff policy.
   InferResponse infer(const std::string& model, const Tensor& sample,
                       uint32_t deadline_us = 0);
 
@@ -57,8 +99,14 @@ class GatewayClient {
   };
 
   /// Block for the next response frame. Throws ClientError on EOF, timeout,
-  /// or a frame that fails to parse.
+  /// or a frame that fails to parse. Responses to cancelled/hedge-lost ids
+  /// are skipped transparently.
   TaggedResponse recv_response();
+
+  /// Best-effort cancel for a pipelined request id: sends a kCancel frame
+  /// and marks the id so its response (cancelled or completed — the race is
+  /// inherent) is discarded by later recv_response() calls.
+  void cancel(uint32_t request_id);
 
   /// Send one admin-plane request (tqt-autocal control: calibration batches,
   /// status, trigger, dry-run, rollback, swap-file) and block for its
@@ -80,13 +128,40 @@ class GatewayClient {
   bool closed() const { return fd_ < 0; }
 
  private:
-  void send_all(const uint8_t* data, size_t n);
+  void send_all(const uint8_t* data, size_t n) { send_all_on(fd_, data, n); }
+  static void send_all_on(int fd, const uint8_t* data, size_t n);
   /// Read exactly n bytes or throw; returns false on clean EOF at offset 0
   /// when `eof_ok` is set.
   bool recv_exact(uint8_t* buf, size_t n, bool eof_ok);
 
+  static int connect_fd(const std::string& host, uint16_t port, int recv_timeout_ms);
+  /// Extract one complete response frame from `buf` (throws on a corrupt or
+  /// non-response frame); false = need more bytes.
+  static bool pop_response(std::vector<uint8_t>& buf, TaggedResponse* out);
+  /// Drain complete frames from `buf`; true when `id`'s response came out
+  /// (stale ids are skipped, any other id throws — lock-step discipline).
+  static bool take_response(std::vector<uint8_t>& buf, std::set<uint32_t>& stale, uint32_t id,
+                            InferResponse* out);
+  static void send_cancel_on(int fd, uint32_t request_id);
+  InferResponse infer_attempt(const std::string& model, const Tensor& sample,
+                              uint32_t deadline_us);
+  InferResponse hedged_wait(uint32_t id, const std::string& model, const Tensor& sample,
+                            uint32_t deadline_us);
+
   int fd_ = -1;
   uint32_t next_request_id_ = 1;
+  std::string host_;
+  uint16_t port_ = 0;
+  int recv_timeout_ms_ = 0;
+  std::string token_;
+  HedgeConfig hedge_;
+  std::vector<uint8_t> in_;        ///< buffered unparsed bytes, primary conn
+  std::set<uint32_t> stale_;       ///< ids whose primary-conn response is void
+  int hedge_fd_ = -1;              ///< second connection (lazy, persistent)
+  std::vector<uint8_t> hedge_in_;
+  std::set<uint32_t> stale_hedge_;
+  uint64_t hedges_sent_ = 0;
+  uint64_t hedge_wins_ = 0;
 };
 
 }  // namespace tqt::net

@@ -25,6 +25,9 @@ WireStatus wire_status_of(serve::SubmitStatus s) {
     case serve::SubmitStatus::kShuttingDown: return WireStatus::kShuttingDown;
     case serve::SubmitStatus::kUnknownModel: return WireStatus::kBadModel;
     case serve::SubmitStatus::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+    case serve::SubmitStatus::kRateLimited: return WireStatus::kRateLimited;
+    case serve::SubmitStatus::kQuotaExceeded: return WireStatus::kQuotaExceeded;
+    case serve::SubmitStatus::kCancelled: return WireStatus::kCancelled;
   }
   return WireStatus::kInternal;
 }
@@ -62,19 +65,26 @@ Gateway::Gateway(serve::InferenceServer& server, GatewayConfig cfg)
   if (cfg_.max_inflight < 1) throw std::invalid_argument("gateway: max_inflight >= 1");
 
   observe::MetricsRegistry& reg = server_.metrics();
-  accepted_ = &reg.counter("net.connections_accepted");
-  rejected_ = &reg.counter("net.connections_rejected");
-  requests_ = &reg.counter("net.requests");
-  admin_requests_ = &reg.counter("net.admin_requests");
-  responses_ = &reg.counter("net.responses");
-  sheds_ = &reg.counter("net.sheds");
-  deadline_drops_ = &reg.counter("net.deadline_drops");
-  malformed_ = &reg.counter("net.malformed");
-  bad_model_ = &reg.counter("net.bad_model");
-  bytes_in_ = &reg.counter("net.bytes_in");
-  bytes_out_ = &reg.counter("net.bytes_out");
-  connections_ = &reg.gauge("net.connections");
-  inflight_gauge_ = &reg.gauge("net.inflight");
+  const std::string& p = cfg_.metric_prefix;
+  accepted_ = &reg.counter(p + "connections_accepted");
+  rejected_ = &reg.counter(p + "connections_rejected");
+  requests_ = &reg.counter(p + "requests");
+  admin_requests_ = &reg.counter(p + "admin_requests");
+  responses_ = &reg.counter(p + "responses");
+  sheds_ = &reg.counter(p + "sheds");
+  deadline_drops_ = &reg.counter(p + "deadline_drops");
+  malformed_ = &reg.counter(p + "malformed");
+  bad_model_ = &reg.counter(p + "bad_model");
+  bytes_in_ = &reg.counter(p + "bytes_in");
+  bytes_out_ = &reg.counter(p + "bytes_out");
+  rate_limited_ = &reg.counter(p + "rate_limited");
+  quota_exceeded_ = &reg.counter(p + "quota_exceeded");
+  cancels_ = &reg.counter(p + "cancel_frames");
+  cancelled_ = &reg.counter(p + "cancelled");
+  slow_reads_closed_ = &reg.counter(p + "slow_reads_closed");
+  slow_writes_closed_ = &reg.counter(p + "slow_writes_closed");
+  connections_ = &reg.gauge(p + "connections");
+  inflight_gauge_ = &reg.gauge(p + "inflight");
 
   int pipe_fds[2];
   if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
@@ -83,28 +93,33 @@ Gateway::Gateway(serve::InferenceServer& server, GatewayConfig cfg)
   wake_r_ = pipe_fds[0];
   shared_->wake_w = pipe_fds[1];
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error("gateway: socket failed: " + std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (cfg_.listen) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("gateway: socket failed: " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (cfg_.reuse_port) {
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+    }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(cfg_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
-  addr.sin_port = htons(cfg_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, cfg_.backlog) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("gateway: cannot listen on port " + std::to_string(cfg_.port) +
-                             ": " + why);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(cfg_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+    addr.sin_port = htons(cfg_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, cfg_.backlog) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("gateway: cannot listen on port " + std::to_string(cfg_.port) +
+                               ": " + why);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
   }
-  socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
 
   loop_thread_ = std::thread([this] { loop(); });
 }
@@ -171,6 +186,7 @@ void Gateway::loop() {
     }
     process_completions();
     if (stop_flag_.load(std::memory_order_acquire) && !draining_) begin_drain();
+    adopt_pending();
 
     size_t idx = 1;
     if (listen_fd_ >= 0) {
@@ -178,6 +194,7 @@ void Gateway::loop() {
       ++idx;
     }
     std::vector<uint64_t> to_close;
+    sweep_slow_conns(to_close);
     for (; idx < pfds.size(); ++idx) {
       const auto it = conns_.find(pfd_conn[idx]);
       if (it == conns_.end()) continue;
@@ -234,6 +251,80 @@ void Gateway::begin_drain() {
     ::close(listen_fd_);  // stop accepting; queued SYNs get RST
     listen_fd_ = -1;
   }
+  // Refuse further adoptions; sockets already queued are ours to close.
+  std::vector<int> orphans;
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    adopt_closed_ = true;
+    orphans.swap(adopt_fds_);
+  }
+  for (const int fd : orphans) ::close(fd);
+}
+
+bool Gateway::adopt_connection(int fd) {
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    if (adopt_closed_) return false;
+    adopt_fds_.push_back(fd);
+  }
+  shared_->wake();
+  return true;
+}
+
+void Gateway::adopt_pending() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lk(adopt_mu_);
+    fds.swap(adopt_fds_);
+  }
+  for (const int fd : fds) {
+    if (static_cast<int>(conns_.size()) >= cfg_.max_connections) {
+      rejected_->inc();
+      ::close(fd);
+      continue;
+    }
+    // Handed-off sockets arrive with whatever flags the accepting shard set;
+    // normalize to the loop's non-blocking + no-delay expectations.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    add_conn(fd);
+  }
+}
+
+void Gateway::add_conn(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  Conn conn;
+  conn.fd = fd;
+  conn.id = next_conn_id_++;
+  conns_.emplace(conn.id, std::move(conn));
+  accepted_->inc();
+  connections_->set(static_cast<int64_t>(conns_.size()));
+}
+
+void Gateway::sweep_slow_conns(std::vector<uint64_t>& to_close) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto unarmed = std::chrono::steady_clock::time_point{};
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd < 0) continue;
+    if (conn.read_stall_at != unarmed &&
+        now - conn.read_stall_at > std::chrono::milliseconds(cfg_.read_stall_timeout_ms)) {
+      // A partial request frame has been pending too long: a slow-loris read.
+      slow_reads_closed_->inc();
+      conn.read_stall_at = unarmed;
+      respond_error(conn, 0, WireStatus::kSlowClient, "request frame stalled");
+      conn.close_after_flush = true;
+    }
+    if (conn.fd >= 0 && conn.out_off < conn.out.size() && conn.write_stall_at != unarmed &&
+        now - conn.write_stall_at > std::chrono::milliseconds(cfg_.write_stall_timeout_ms)) {
+      // The peer will not drain its responses: close outright, nothing more
+      // can usefully be sent.
+      slow_writes_closed_->inc();
+      ::close(conn.fd);
+      conn.fd = -1;
+      to_close.push_back(id);
+    }
+  }
 }
 
 void Gateway::accept_ready() {
@@ -241,19 +332,15 @@ void Gateway::accept_ready() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) break;  // EAGAIN or transient error: try again next round
     TQT_TRACE("net.accept", "net");
+    // Handoff mode: offer the socket to the sink (shard router) first; true
+    // means some shard adopted it and ownership moved with it.
+    if (cfg_.accept_sink && cfg_.accept_sink(fd)) continue;
     if (static_cast<int>(conns_.size()) >= cfg_.max_connections) {
       rejected_->inc();
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    Conn conn;
-    conn.fd = fd;
-    conn.id = next_conn_id_++;
-    conns_.emplace(conn.id, std::move(conn));
-    accepted_->inc();
-    connections_->set(static_cast<int64_t>(conns_.size()));
+    add_conn(fd);
   }
 }
 
@@ -305,6 +392,15 @@ void Gateway::parse_frames(Conn& conn) {
       handle_admin_request(conn, h, data + kHeaderBytes);
     } else if (h.type == FrameType::kRequest) {
       handle_request(conn, h, data + kHeaderBytes);
+    } else if (h.type == FrameType::kCancel) {
+      if (h.payload_len != 0) {
+        malformed_->inc();
+        respond_error(conn, h.request_id, WireStatus::kMalformed,
+                      "cancel frames carry no payload");
+        conn.close_after_flush = true;
+        break;
+      }
+      handle_cancel(conn, h);
     } else {
       malformed_->inc();
       respond_error(conn, h.request_id, WireStatus::kMalformed,
@@ -315,6 +411,22 @@ void Gateway::parse_frames(Conn& conn) {
     consumed += kHeaderBytes + h.payload_len;
   }
   if (consumed > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + static_cast<long>(consumed));
+  // Slow-loris read clock: armed while a partial frame sits in the buffer,
+  // re-based only when a frame completes — trickling one byte at a time
+  // cannot reset it.
+  if (conn.in.empty()) {
+    conn.read_stall_at = {};
+  } else if (consumed > 0 || conn.read_stall_at == std::chrono::steady_clock::time_point{}) {
+    conn.read_stall_at = std::chrono::steady_clock::now();
+  }
+}
+
+void Gateway::handle_cancel(Conn& conn, const FrameHeader& h) {
+  cancels_->inc();
+  // Unknown ids are fine (the reply may already be in flight); the cancel is
+  // best-effort and gets no response of its own.
+  const auto it = conn.cancels.find(h.request_id);
+  if (it != conn.cancels.end()) it->second->store(true, std::memory_order_release);
 }
 
 void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* payload) {
@@ -323,7 +435,7 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
 
   InferRequest req;
   std::string err;
-  if (!parse_request_payload(payload, h.payload_len, &req, &err)) {
+  if (!parse_request_payload(payload, h.payload_len, h.version, &req, &err)) {
     malformed_->inc();
     respond_error(conn, h.request_id, WireStatus::kMalformed, err);
     return;
@@ -342,6 +454,18 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
   if (req.deadline_us > 0) {
     opts.deadline =
         std::chrono::steady_clock::now() + std::chrono::microseconds(req.deadline_us);
+  }
+  // Tenancy: the token (empty for v1 frames) resolves to a TenantState whose
+  // rate/quota/priority the batcher enforces at admission. resolve() never
+  // returns null — unknown tokens ride the default tenant.
+  if (cfg_.tenants) opts.tenant = cfg_.tenants->resolve(req.token);
+  // v2 requests are cancellable: register the flag before submitting so a
+  // kCancel frame racing the submit still lands.
+  std::shared_ptr<std::atomic<bool>> cancel;
+  if (h.version >= 2) {
+    cancel = std::make_shared<std::atomic<bool>>(false);
+    opts.cancel = cancel;
+    conn.cancels[h.request_id] = cancel;
   }
   // Count the request in-flight BEFORE submitting: the worker may complete
   // (and decrement) before submit_async even returns.
@@ -368,6 +492,9 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
           } else if (c.status == serve::SubmitStatus::kDeadlineExceeded) {
             m.status = WireStatus::kDeadlineExceeded;
             m.message = "deadline expired before execution";
+          } else if (c.status == serve::SubmitStatus::kCancelled) {
+            m.status = WireStatus::kCancelled;
+            m.message = "cancelled before execution";
           } else {
             m.status = WireStatus::kOk;
             m.output = std::move(c.output);
@@ -377,6 +504,7 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
   } catch (const std::invalid_argument& e) {
     // Shape mismatch against the deployed model — a client-side input error.
     shared_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    conn.cancels.erase(h.request_id);
     malformed_->inc();
     respond_error(conn, h.request_id, WireStatus::kMalformed, e.what());
     return;
@@ -385,10 +513,13 @@ void Gateway::handle_request(Conn& conn, const FrameHeader& h, const uint8_t* pa
     ++conn.pending_replies;
   } else {
     shared_->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    conn.cancels.erase(h.request_id);
     const WireStatus ws = wire_status_of(status);
     if (ws == WireStatus::kShed) sheds_->inc();
     if (ws == WireStatus::kBadModel) bad_model_->inc();
     if (ws == WireStatus::kDeadlineExceeded) deadline_drops_->inc();
+    if (ws == WireStatus::kRateLimited) rate_limited_->inc();
+    if (ws == WireStatus::kQuotaExceeded) quota_exceeded_->inc();
     respond_error(conn, h.request_id, ws,
                   ws == WireStatus::kBadModel ? "no model deployed as '" + req.model + "'"
                                               : to_string(status));
@@ -404,6 +535,27 @@ void Gateway::handle_admin_request(Conn& conn, const FrameHeader& h, const uint8
   if (!parse_admin_request_payload(payload, h.payload_len, &req, &err)) {
     malformed_->inc();
     respond_admin(conn, h.request_id, WireStatus::kMalformed, err);
+    return;
+  }
+  if (req.op == AdminOp::kReloadTenants) {
+    // The gateway owns the tenant table, so this op never reaches the admin
+    // handler. Parsing is strong-guarantee: a bad file leaves the live table
+    // untouched and reports one line back.
+    if (!cfg_.tenants) {
+      respond_admin(conn, h.request_id, WireStatus::kInternal, "tenancy not enabled");
+      return;
+    }
+    try {
+      if (req.arg.empty()) {
+        cfg_.tenants->reload();
+      } else {
+        cfg_.tenants->load_file(req.arg);
+      }
+      respond_admin(conn, h.request_id, WireStatus::kOk,
+                    "tenants reloaded: " + std::to_string(cfg_.tenants->size()) + " tenants");
+    } catch (const std::exception& e) {
+      respond_admin(conn, h.request_id, WireStatus::kInternal, e.what());
+    }
     return;
   }
   if (!cfg_.admin) {
@@ -472,10 +624,12 @@ void Gateway::process_completions() {
   for (CompletionMsg& m : msgs) {
     inflight_gauge_->set(shared_->inflight.load(std::memory_order_relaxed));
     if (m.status == WireStatus::kDeadlineExceeded) deadline_drops_->inc();
+    if (m.status == WireStatus::kCancelled) cancelled_->inc();
     const auto it = conns_.find(m.conn_id);
     if (it == conns_.end() || it->second.fd < 0) continue;  // client went away
     TQT_TRACE("net.respond", "net");
     Conn& conn = it->second;
+    conn.cancels.erase(m.request_id);
     --conn.pending_replies;
     if (m.admin) {
       AdminResponse aresp;
@@ -505,7 +659,7 @@ void Gateway::conn_writable(Conn& conn) {
       conn.out_off += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) break;
     ::close(conn.fd);  // peer is gone
     conn.fd = -1;
     return;
@@ -513,6 +667,19 @@ void Gateway::conn_writable(Conn& conn) {
   if (conn.out_off >= conn.out.size()) {
     conn.out.clear();
     conn.out_off = 0;
+    conn.write_stall_at = {};  // drained: disarm the time-to-drain clock
+    return;
+  }
+  // Undrained bytes remain. Arm the time-to-drain clock if it isn't already,
+  // and enforce the hard buffer bound — a peer that won't read while we keep
+  // producing responses must not hold unbounded memory.
+  if (conn.write_stall_at == std::chrono::steady_clock::time_point{}) {
+    conn.write_stall_at = std::chrono::steady_clock::now();
+  }
+  if (conn.fd >= 0 && conn.out.size() - conn.out_off > cfg_.max_conn_out_bytes) {
+    slow_writes_closed_->inc();
+    ::close(conn.fd);
+    conn.fd = -1;
   }
 }
 

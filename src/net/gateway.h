@@ -22,10 +22,28 @@
 // stop accepting, answer new frames with SHUTTING_DOWN, finish every
 // in-flight request, flush, then close — bounded by drain_timeout_ms.
 //
-// Telemetry goes to the server's MetricsRegistry under "net.*": connection
-// and byte counters, shed/deadline/malformed counts, inflight and
-// connection gauges, plus net.accept/net.parse/net.respond trace spans
-// (execution itself is covered by the serve.batch/serve.execute spans).
+// tqt-qos additions (DESIGN.md §16):
+//   * Tenancy — with a TenantTable configured, each request's auth token
+//     (wire v2) resolves to a tenant whose rate limit / quota / priority the
+//     batcher enforces; v1 frames ride the default tenant.
+//   * Cancels — a v2 kCancel frame flips the matching queued request's
+//     cancel flag; the batcher drops it at dequeue (typed kCancelled).
+//   * Sharding hooks — reuse_port binds N listeners on one port
+//     (ShardedGateway, src/qos/shard.h); listen=false + adopt_connection()
+//     is the accept-handoff fallback; metric_prefix gives each shard its own
+//     "net.shard<i>.*" namespace.
+//   * Slow-loris defence, both directions — a partial request frame that
+//     stalls longer than read_stall_timeout_ms is answered with kSlowClient
+//     and closed; a connection whose response buffer exceeds
+//     max_conn_out_bytes or fails to drain within write_stall_timeout_ms is
+//     closed outright. Both are counted ("slow_reads_closed" /
+//     "slow_writes_closed").
+//
+// Telemetry goes to the server's MetricsRegistry under `metric_prefix`
+// (default "net."): connection and byte counters, shed/deadline/malformed
+// counts, inflight and connection gauges, plus net.accept/net.parse/
+// net.respond trace spans (execution itself is covered by the serve.batch/
+// serve.execute spans).
 #pragma once
 
 #include <atomic>
@@ -41,6 +59,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "qos/tenant.h"
 #include "serve/server.h"
 
 namespace tqt::net {
@@ -66,8 +85,36 @@ struct GatewayConfig {
   int max_inflight = 256;    ///< submitted-but-unanswered requests across all conns
   int drain_timeout_ms = 5000;  ///< bound on the graceful-drain wait
   /// Admin-plane handler for kAdminRequest frames; null answers every admin
-  /// frame with kInternal ("admin interface not enabled").
+  /// frame with kInternal ("admin interface not enabled"). kReloadTenants is
+  /// handled by the gateway itself and never reaches the handler.
   AdminHandler* admin = nullptr;
+
+  // -- tqt-qos -------------------------------------------------------------
+  /// Tenant table shared across shards; null = untenanted (every request
+  /// runs unmetered on the batcher's default lane). Must outlive the gateway.
+  qos::TenantTable* tenants = nullptr;
+  /// Instrument-name prefix — "net.shard<i>." per shard under sharding.
+  std::string metric_prefix = "net.";
+  /// Bind with SO_REUSEPORT so N shards can listen on one port.
+  bool reuse_port = false;
+  /// false: no listener at all — the shard only serves connections handed to
+  /// it via adopt_connection() (accept-handoff fallback).
+  bool listen = true;
+  /// Accept hook for handoff mode: shard 0 offers every accepted fd here;
+  /// returning true means the sink took ownership (typically routing it to
+  /// some shard's adopt_connection, possibly its own). False/null: handle
+  /// the connection locally.
+  std::function<bool(int fd)> accept_sink;
+
+  // -- slow-loris hardening --------------------------------------------------
+  /// Hard close when a connection's unsent response bytes exceed this.
+  size_t max_conn_out_bytes = 32u << 20;
+  /// Hard close when a non-empty response buffer takes longer than this to
+  /// drain (time-to-drain, not time-since-progress).
+  int write_stall_timeout_ms = 10000;
+  /// Answer kSlowClient + close when a partial request frame stalls longer
+  /// than this without completing.
+  int read_stall_timeout_ms = 10000;
 };
 
 /// Network front-end over one InferenceServer. Construction binds, listens
@@ -97,6 +144,12 @@ class Gateway {
   /// True once the event loop has exited.
   bool stopped() const { return loop_exited_.load(std::memory_order_acquire); }
 
+  /// Hand an already-accepted socket to this gateway's event loop (the
+  /// sharding accept-handoff path). Thread-safe. Returns false if the
+  /// gateway is stopping — ownership stays with the caller, who must close
+  /// the fd.
+  bool adopt_connection(int fd);
+
  private:
   struct Conn {
     int fd = -1;
@@ -107,6 +160,13 @@ class Gateway {
     bool close_after_flush = false;
     bool saw_eof = false;          ///< peer half-closed; answer what's owed, then close
     int64_t pending_replies = 0;   ///< accepted submits not yet answered
+    /// Slow-loris clocks (steady, epoch = unarmed): when the pending partial
+    /// request frame started, and when the out buffer last became non-empty.
+    std::chrono::steady_clock::time_point read_stall_at{};
+    std::chrono::steady_clock::time_point write_stall_at{};
+    /// Cancel flags for this connection's in-flight v2 requests, by request
+    /// id; a kCancel frame flips the flag, the batcher drops at dequeue.
+    std::map<uint32_t, std::shared_ptr<std::atomic<bool>>> cancels;
   };
 
   /// One finished request travelling from a batcher worker (or the loop
@@ -135,10 +195,14 @@ class Gateway {
 
   void loop();
   void accept_ready();
+  void adopt_pending();   ///< drain the adopt queue into conns_ (loop thread)
+  void add_conn(int fd);  ///< register an accepted/adopted fd (loop thread)
+  void sweep_slow_conns(std::vector<uint64_t>& to_close);
   void conn_readable(Conn& conn);
   void conn_writable(Conn& conn);
   void parse_frames(Conn& conn);
   void handle_request(Conn& conn, const FrameHeader& h, const uint8_t* payload);
+  void handle_cancel(Conn& conn, const FrameHeader& h);
   void handle_admin_request(Conn& conn, const FrameHeader& h, const uint8_t* payload);
   void respond_error(Conn& conn, uint32_t request_id, WireStatus status,
                      const std::string& message);
@@ -163,10 +227,14 @@ class Gateway {
   uint64_t next_conn_id_ = 1;           // loop thread only
   std::map<uint64_t, Conn> conns_;      // loop thread only
 
+  std::mutex adopt_mu_;                 // guards adopt_fds_ / adopt_closed_
+  std::vector<int> adopt_fds_;
+  bool adopt_closed_ = false;           // set once draining; adopters must keep their fd
+
   std::mutex join_mu_;
   std::thread loop_thread_;
 
-  // "net.*" instruments, resolved once against the server's registry.
+  // "<metric_prefix>*" instruments, resolved once against the server's registry.
   observe::Counter* accepted_ = nullptr;
   observe::Counter* rejected_ = nullptr;
   observe::Counter* requests_ = nullptr;
@@ -178,6 +246,12 @@ class Gateway {
   observe::Counter* bad_model_ = nullptr;
   observe::Counter* bytes_in_ = nullptr;
   observe::Counter* bytes_out_ = nullptr;
+  observe::Counter* rate_limited_ = nullptr;
+  observe::Counter* quota_exceeded_ = nullptr;
+  observe::Counter* cancels_ = nullptr;
+  observe::Counter* cancelled_ = nullptr;
+  observe::Counter* slow_reads_closed_ = nullptr;
+  observe::Counter* slow_writes_closed_ = nullptr;
   observe::Gauge* connections_ = nullptr;
   observe::Gauge* inflight_gauge_ = nullptr;
 };

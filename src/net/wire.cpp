@@ -16,6 +16,10 @@ const char* to_string(WireStatus s) {
     case WireStatus::kShuttingDown: return "shutting_down";
     case WireStatus::kInternal: return "internal";
     case WireStatus::kCorruptModel: return "corrupt_model";
+    case WireStatus::kRateLimited: return "rate_limited";
+    case WireStatus::kQuotaExceeded: return "quota_exceeded";
+    case WireStatus::kCancelled: return "cancelled";
+    case WireStatus::kSlowClient: return "slow_client";
   }
   return "?";
 }
@@ -28,6 +32,7 @@ const char* to_string(AdminOp op) {
     case AdminOp::kDryRun: return "dry_run";
     case AdminOp::kRollback: return "rollback";
     case AdminOp::kSwapFile: return "swap_file";
+    case AdminOp::kReloadTenants: return "reload_tenants";
   }
   return "?";
 }
@@ -151,10 +156,10 @@ void check_tensor_bounds(const Tensor& t, const char* what) {
   }
 }
 
-void append_header(std::vector<uint8_t>& out, FrameType type, WireStatus status,
-                   uint32_t request_id, uint32_t payload_len) {
+void append_header(std::vector<uint8_t>& out, uint8_t version, FrameType type,
+                   WireStatus status, uint32_t request_id, uint32_t payload_len) {
   put_u32(out, kMagic);
-  out.push_back(kVersion);
+  out.push_back(version);
   out.push_back(static_cast<uint8_t>(type));
   out.push_back(static_cast<uint8_t>(status));
   out.push_back(0);  // reserved
@@ -182,20 +187,36 @@ void append_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
   if (req.model.empty() || req.model.size() > kMaxModelNameBytes) {
     throw std::invalid_argument("wire: model name must be 1..256 bytes");
   }
+  if (req.token.size() > kMaxTokenBytes) {
+    throw std::invalid_argument("wire: auth token must fit in 128 bytes");
+  }
   check_tensor_bounds(req.input, "request tensor");
+  // No token -> a byte-identical version-1 frame, so a current client with
+  // no tenant configured interoperates with pre-QoS servers.
+  const uint8_t version = req.token.empty() ? kMinVersion : kVersion;
   const size_t header_at = out.size();
-  append_header(out, FrameType::kRequest, WireStatus::kOk, request_id, 0);
+  append_header(out, version, FrameType::kRequest, WireStatus::kOk, request_id, 0);
   put_u16(out, static_cast<uint16_t>(req.model.size()));
   out.insert(out.end(), req.model.begin(), req.model.end());
+  if (version >= 2) {
+    put_u16(out, static_cast<uint16_t>(req.token.size()));
+    out.insert(out.end(), req.token.begin(), req.token.end());
+  }
   put_u32(out, req.deadline_us);
   append_tensor(out, req.input);
   patch_payload_len(out, header_at);
 }
 
+void append_cancel_frame(std::vector<uint8_t>& out, uint32_t request_id) {
+  append_header(out, kVersion, FrameType::kCancel, WireStatus::kOk, request_id, 0);
+}
+
 void append_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
                            const InferResponse& resp) {
   const size_t header_at = out.size();
-  append_header(out, FrameType::kResponse, resp.status, request_id, 0);
+  // Responses are emitted at version 1: the layout is unchanged by the v2
+  // bump, and old clients keep parsing every status they can trigger.
+  append_header(out, kMinVersion, FrameType::kResponse, resp.status, request_id, 0);
   if (resp.status == WireStatus::kOk) {
     check_tensor_bounds(resp.output, "response tensor");
     append_tensor(out, resp.output);
@@ -217,7 +238,9 @@ void append_admin_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
   }
   if (req.has_batch) check_tensor_bounds(req.batch, "admin batch tensor");
   const size_t header_at = out.size();
-  append_header(out, FrameType::kAdminRequest, WireStatus::kOk, request_id, 0);
+  // kReloadTenants is a v2 op; everything older stays parseable as v1.
+  const uint8_t version = req.op >= AdminOp::kReloadTenants ? kVersion : kMinVersion;
+  append_header(out, version, FrameType::kAdminRequest, WireStatus::kOk, request_id, 0);
   out.push_back(static_cast<uint8_t>(req.op));
   put_u16(out, static_cast<uint16_t>(req.model.size()));
   out.insert(out.end(), req.model.begin(), req.model.end());
@@ -231,7 +254,7 @@ void append_admin_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
 void append_admin_response_frame(std::vector<uint8_t>& out, uint32_t request_id,
                                  const AdminResponse& resp) {
   const size_t header_at = out.size();
-  append_header(out, FrameType::kAdminResponse, resp.status, request_id, 0);
+  append_header(out, kMinVersion, FrameType::kAdminResponse, resp.status, request_id, 0);
   const size_t len = std::min(resp.message.size(), size_t{0xffff});
   put_u16(out, static_cast<uint16_t>(len));
   out.insert(out.end(), resp.message.begin(), resp.message.begin() + static_cast<long>(len));
@@ -252,9 +275,14 @@ HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::str
   const uint8_t type = data[5];
   const uint8_t status = data[6];
   const uint8_t reserved = data[7];
-  if (version != kVersion) return corrupt("unsupported protocol version");
-  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kAdminResponse)) {
+  if (version < kMinVersion || version > kVersion) {
+    return corrupt("unsupported protocol version");
+  }
+  // kCancel is a v2 frame type: in a v1 frame it is exactly as unknown as it
+  // was to a v1-era parser.
+  const uint8_t max_type = version >= 2 ? static_cast<uint8_t>(FrameType::kCancel)
+                                        : static_cast<uint8_t>(FrameType::kAdminResponse);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) || type > max_type) {
     return corrupt("unknown frame type");
   }
   if (status > static_cast<uint8_t>(kMaxWireStatus)) return corrupt("unknown status code");
@@ -269,8 +297,8 @@ HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::str
   return HeaderParse::kOk;
 }
 
-bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
-                           std::string* err) {
+bool parse_request_payload(const uint8_t* payload, size_t n, uint8_t version,
+                           InferRequest* req, std::string* err) {
   Reader r{payload, n};
   uint16_t name_len = 0;
   if (!r.u16(&name_len)) return fail(err, "truncated model name length");
@@ -279,9 +307,18 @@ bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
   }
   std::string name(name_len, '\0');
   if (!r.bytes(name.data(), name_len)) return fail(err, "truncated model name");
+  std::string token;
+  if (version >= 2) {
+    uint16_t token_len = 0;
+    if (!r.u16(&token_len)) return fail(err, "truncated token length");
+    if (token_len > kMaxTokenBytes) return fail(err, "token length over 128");
+    token.assign(token_len, '\0');
+    if (!r.bytes(token.data(), token_len)) return fail(err, "truncated token");
+  }
   if (!r.u32(&req->deadline_us)) return fail(err, "truncated deadline");
   if (!parse_tensor(r, &req->input, err)) return false;
   req->model = std::move(name);
+  req->token = std::move(token);
   return true;
 }
 
@@ -309,7 +346,7 @@ bool parse_admin_request_payload(const uint8_t* payload, size_t n, AdminRequest*
   uint8_t op = 0;
   if (!r.u8(&op)) return fail(err, "truncated admin op");
   if (op < static_cast<uint8_t>(AdminOp::kCalibBatch) ||
-      op > static_cast<uint8_t>(AdminOp::kSwapFile)) {
+      op > static_cast<uint8_t>(AdminOp::kReloadTenants)) {
     return fail(err, "unknown admin op");
   }
   uint16_t name_len = 0;

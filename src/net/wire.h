@@ -6,19 +6,31 @@
 //
 //   offset  size  field
 //        0     4  magic        0x47545154 ("TQTG")
-//        4     1  version      kVersion (1)
+//        4     1  version      kMinVersion..kVersion (1 or 2)
 //        5     1  type         FrameType (1 = request, 2 = response,
-//                              3 = admin request, 4 = admin response)
+//                              3 = admin request, 4 = admin response,
+//                              5 = cancel — version 2 only)
 //        6     1  status       WireStatus (0 in requests)
 //        7     1  reserved     must be 0
 //        8     4  request_id   echoed verbatim in the response
 //       12     4  payload_len  <= kMaxPayloadBytes
 //
-// Request payload (type = kRequest):
+// Request payload (type = kRequest), version 1:
 //   u16 name_len (1..kMaxModelNameBytes), name bytes,
 //   u32 deadline_us (0 = none; relative to server receipt),
 //   u8 rank (1..kMaxRank), u32 dims[rank] (each >= 1),
 //   f32 data[prod(dims)]  — must consume the payload exactly.
+//
+// Request payload, version 2 (the tqt-qos minor bump) inserts one field
+// after the model name:
+//   u16 token_len (0..kMaxTokenBytes), token bytes  — the tenant auth token.
+// Version-1 frames carry no token and resolve to the default tenant, so old
+// clients keep working unchanged; a current client with no token configured
+// emits byte-identical version-1 frames, so it keeps working against old
+// servers. Cancel frames (type = kCancel, version 2, empty payload) ask the
+// server to drop the still-queued request whose id matches — best-effort: an
+// executing/completed request answers normally, a dropped one answers
+// kCancelled.
 //
 // Response payload (type = kResponse):
 //   status == kOk:  u8 rank, u32 dims[rank], f32 data[prod(dims)]
@@ -51,17 +63,26 @@ enum class WireStatus : uint8_t {
   kCorruptModel = 7,      ///< the model artifact exists but failed to parse —
                           ///< distinct from kBadModel ("not found") so admin
                           ///< clients can tell a typo from a damaged file
+  // Version-2 additions (tqt-qos). Emitted only by v2-aware servers; a
+  // version-1-era client rejects them as unknown status codes, which is the
+  // documented evolution path for new typed statuses.
+  kRateLimited = 8,       ///< tenant token-bucket empty — slow down, retry later
+  kQuotaExceeded = 9,     ///< tenant max-inflight quota reached
+  kCancelled = 10,        ///< dropped before execution on a client kCancel frame
+  kSlowClient = 11,       ///< connection closed: slow-loris read/write behaviour
 };
 
-inline constexpr WireStatus kMaxWireStatus = WireStatus::kCorruptModel;
+inline constexpr WireStatus kMaxWireStatus = WireStatus::kSlowClient;
 
 const char* to_string(WireStatus s);
 
 inline constexpr uint32_t kMagic = 0x47545154u;  // "TQTG" when read little-endian
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;     ///< current protocol version
+inline constexpr uint8_t kMinVersion = 1;  ///< oldest version still accepted
 inline constexpr size_t kHeaderBytes = 16;
 inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;  // 16 MiB frame bound
 inline constexpr size_t kMaxModelNameBytes = 256;
+inline constexpr size_t kMaxTokenBytes = 128;
 inline constexpr int kMaxRank = 6;
 
 enum class FrameType : uint8_t {
@@ -69,6 +90,7 @@ enum class FrameType : uint8_t {
   kResponse = 2,
   kAdminRequest = 3,   ///< calibration / deployment control plane (tqt-autocal)
   kAdminResponse = 4,
+  kCancel = 5,         ///< v2 only: drop the queued request with this id (no payload)
 };
 
 /// Admin-plane operations (frame type kAdminRequest). The payload layout is
@@ -85,6 +107,9 @@ enum class AdminOp : uint8_t {
   kDryRun = 4,      ///< derive would-be thresholds, report, do NOT deploy
   kRollback = 5,    ///< reinstall the previous program version
   kSwapFile = 6,    ///< validate + promote a server-side artifact (arg = path)
+  kReloadTenants = 7,  ///< hot-reload the gateway's TenantTable (arg = path,
+                       ///< empty = re-read the last loaded file); handled by
+                       ///< the gateway itself, not the calib service
 };
 
 const char* to_string(AdminOp op);
@@ -99,6 +124,7 @@ struct FrameHeader {
 
 struct InferRequest {
   std::string model;
+  std::string token;         ///< tenant auth token; empty = default tenant (v1 frames)
   uint32_t deadline_us = 0;  ///< 0 = no deadline; otherwise relative to receipt
   Tensor input;
 };
@@ -124,11 +150,17 @@ struct AdminResponse {
 
 // ---- Encoding --------------------------------------------------------------
 
-/// Append a complete request frame (header + payload) to `out`.
+/// Append a complete request frame (header + payload) to `out`. An empty
+/// token emits a byte-identical version-1 frame (works against old servers);
+/// a non-empty token emits version 2 with the auth field.
 /// Throws std::invalid_argument if the request violates the protocol bounds
-/// (empty/oversized name, rank outside 1..kMaxRank, payload over the cap).
+/// (empty/oversized name, oversized token, rank outside 1..kMaxRank, payload
+/// over the cap).
 void append_request_frame(std::vector<uint8_t>& out, uint32_t request_id,
                           const InferRequest& req);
+
+/// Append a header-only version-2 cancel frame for `request_id`.
+void append_cancel_frame(std::vector<uint8_t>& out, uint32_t request_id);
 
 /// Append a complete response frame for `resp` (tensor payload when kOk,
 /// message payload otherwise).
@@ -158,10 +190,11 @@ enum class HeaderParse {
 /// kCorrupt.
 HeaderParse parse_header(const uint8_t* data, size_t n, FrameHeader* h, std::string* err);
 
-/// Parse a request payload of exactly `n` bytes. Returns false (with `err`
-/// set) on any bounds violation, overflow, or trailing garbage.
-bool parse_request_payload(const uint8_t* payload, size_t n, InferRequest* req,
-                           std::string* err);
+/// Parse a request payload of exactly `n` bytes laid out per `version`
+/// (1 = no token field, 2 = with token). Returns false (with `err` set) on
+/// any bounds violation, overflow, or trailing garbage.
+bool parse_request_payload(const uint8_t* payload, size_t n, uint8_t version,
+                           InferRequest* req, std::string* err);
 
 /// Parse a response payload of exactly `n` bytes for a frame carrying
 /// `status`. Returns false (with `err` set) on malformed input.

@@ -1,0 +1,140 @@
+// Deficit-weighted round-robin queue for the MicroBatcher's weighted-fair
+// dequeue (tqt-qos).
+//
+// Work is held in *lanes* keyed by (priority class, tenant lane_key). Across
+// classes the discipline is strict priority: pop() never serves a normal
+// item while any high lane is backlogged. Within a class, backlogged lanes
+// share service in proportion to their weights via classic deficit round
+// robin with unit cost per item: each lane visit replenishes the lane's
+// deficit by quantum * weight, and the lane may dequeue while its deficit
+// lasts.
+//
+// Invariants (asserted in test_qos):
+//   * FIFO within a lane — QoS reorders BETWEEN tenants, never within one.
+//   * Strict priority between classes.
+//   * Weighted fairness: over any interval in which a set of same-class
+//     lanes stays continuously backlogged, their dequeue counts are
+//     proportional to their weights, within one quantum*weight per lane.
+//   * Work conservation: pop() returns an item whenever size() > 0.
+//   * With a single lane (one tenant, one class) the whole structure
+//     degenerates to the plain FIFO the batcher used before QoS.
+//
+// Not thread-safe: the owner (MicroBatcher) already serializes access under
+// its queue mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace tqt::qos {
+
+template <typename T>
+class DwrrQueue {
+ public:
+  explicit DwrrQueue(int64_t quantum = 1) : quantum_(quantum < 1 ? 1 : quantum) {}
+
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pending items in one lane (the per-tenant admission bound).
+  int64_t lane_depth(int klass, uint32_t tenant) const {
+    const auto it = lanes_.find(Key{clamp_class(klass), tenant});
+    return it == lanes_.end() ? 0 : static_cast<int64_t>(it->second.q.size());
+  }
+
+  /// Enqueue into the (klass, tenant) lane. `weight` updates the lane's
+  /// weight (last write wins — weights change only on tenant hot reload).
+  void push(T item, int klass, uint32_t tenant, int weight) {
+    const Key key{clamp_class(klass), tenant};
+    Lane& lane = lanes_[key];
+    lane.weight = weight < 1 ? 1 : weight;
+    lane.q.push_back(std::move(item));
+    ++size_;
+    if (!lane.active) {
+      lane.active = true;
+      // A fresh round's worth of deficit on activation keeps a newly-busy
+      // lane from waiting a full rotation before its first service.
+      lane.deficit = quantum_ * lane.weight;
+      ring_[static_cast<size_t>(key.klass)].push_back(key);
+    }
+  }
+
+  /// Dequeue the next item under strict class priority + DWRR. Empty
+  /// optional iff the queue is empty.
+  std::optional<T> pop() {
+    if (size_ == 0) return std::nullopt;
+    for (int klass = kMaxClass; klass >= 0; --klass) {
+      auto& ring = ring_[static_cast<size_t>(klass)];
+      while (!ring.empty()) {
+        const Key key = ring.front();
+        Lane& lane = lanes_[key];
+        if (lane.q.empty()) {  // drained earlier in this round
+          lane.active = false;
+          lane.deficit = 0;
+          ring.pop_front();
+          continue;
+        }
+        if (lane.deficit < 1) {
+          // Spent this round: replenish and rotate to the back. Every
+          // rotation adds >= quantum, so a serve happens within one sweep.
+          lane.deficit += quantum_ * lane.weight;
+          ring.pop_front();
+          ring.push_back(key);
+          continue;
+        }
+        lane.deficit -= 1;
+        T item = std::move(lane.q.front());
+        lane.q.pop_front();
+        --size_;
+        if (lane.q.empty()) {
+          lane.active = false;
+          lane.deficit = 0;
+          ring.pop_front();
+        }
+        return item;
+      }
+    }
+    return std::nullopt;  // unreachable while size_ is kept consistent
+  }
+
+  /// Visit the front (oldest) item of every backlogged lane — how the
+  /// batcher finds the globally oldest request for its fill-delay clock.
+  template <typename Fn>
+  void for_each_front(Fn&& fn) const {
+    for (const auto& [key, lane] : lanes_) {
+      if (!lane.q.empty()) fn(lane.q.front());
+    }
+  }
+
+ private:
+  static constexpr int kMaxClass = 2;  // mirrors qos::kClassHigh
+
+  static int clamp_class(int klass) {
+    return klass < 0 ? 0 : (klass > kMaxClass ? kMaxClass : klass);
+  }
+
+  struct Key {
+    int klass = 0;
+    uint32_t tenant = 0;
+    bool operator<(const Key& o) const {
+      return klass != o.klass ? klass < o.klass : tenant < o.tenant;
+    }
+  };
+
+  struct Lane {
+    std::deque<T> q;
+    int weight = 1;
+    int64_t deficit = 0;
+    bool active = false;  // enrolled in its class ring
+  };
+
+  int64_t quantum_;
+  int64_t size_ = 0;
+  std::map<Key, Lane> lanes_;                 // lanes persist; rings track backlog
+  std::deque<Key> ring_[kMaxClass + 1];       // active lanes per class
+};
+
+}  // namespace tqt::qos

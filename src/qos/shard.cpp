@@ -1,0 +1,156 @@
+#include "qos/shard.h"
+
+#include <stdexcept>
+
+namespace tqt::qos {
+
+std::string to_string(ShardMode m) {
+  switch (m) {
+    case ShardMode::kAuto: return "auto";
+    case ShardMode::kReusePort: return "reuseport";
+    case ShardMode::kHandoff: return "handoff";
+  }
+  return "unknown";
+}
+
+ShardedGateway::ShardedGateway(ShardedGatewayConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_shards < 1) {
+    throw std::invalid_argument("qos: num_shards must be >= 1");
+  }
+  if (cfg_.metrics) {
+    metrics_ = cfg_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<observe::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  registry_ = std::make_shared<serve::ModelRegistry>();
+
+  // One InferenceServer per shard: private batcher lanes (so reactors never
+  // contend on a queue mutex), shared registry and metrics.
+  servers_.reserve(static_cast<size_t>(cfg_.num_shards));
+  for (int i = 0; i < cfg_.num_shards; ++i) {
+    serve::ServerConfig scfg;
+    scfg.batch = cfg_.batch;
+    scfg.metrics = metrics_;
+    scfg.registry = registry_;
+    servers_.push_back(std::make_unique<serve::InferenceServer>(scfg));
+  }
+
+  const auto shard_cfg = [this](int i) {
+    net::GatewayConfig g;
+    g.port = port_ != 0 ? port_ : cfg_.port;
+    g.loopback_only = cfg_.loopback_only;
+    g.backlog = cfg_.backlog;
+    g.max_connections = cfg_.max_connections;
+    g.max_inflight = cfg_.max_inflight;
+    g.drain_timeout_ms = cfg_.drain_timeout_ms;
+    g.admin = cfg_.admin;
+    g.tenants = cfg_.tenants;
+    g.metric_prefix = "net.shard" + std::to_string(i) + ".";
+    g.max_conn_out_bytes = cfg_.max_conn_out_bytes;
+    g.write_stall_timeout_ms = cfg_.write_stall_timeout_ms;
+    g.read_stall_timeout_ms = cfg_.read_stall_timeout_ms;
+    return g;
+  };
+
+  const auto build_reuseport = [&] {
+    gateways_.resize(static_cast<size_t>(cfg_.num_shards));
+    for (int i = 0; i < cfg_.num_shards; ++i) {
+      net::GatewayConfig g = shard_cfg(i);
+      g.reuse_port = true;
+      gateways_[static_cast<size_t>(i)] =
+          std::make_unique<net::Gateway>(*servers_[static_cast<size_t>(i)], g);
+      // Shard 0 picks the (possibly ephemeral) port; the rest join it.
+      if (i == 0) port_ = gateways_[0]->port();
+    }
+    mode_ = ShardMode::kReusePort;
+  };
+
+  const auto build_handoff = [&] {
+    gateways_.resize(static_cast<size_t>(cfg_.num_shards));
+    // Non-listening shards first: shard 0's accept sink may fire as soon as
+    // its loop starts, and it must only route to fully constructed gateways.
+    for (int i = 1; i < cfg_.num_shards; ++i) {
+      net::GatewayConfig g = shard_cfg(i);
+      g.listen = false;
+      gateways_[static_cast<size_t>(i)] =
+          std::make_unique<net::Gateway>(*servers_[static_cast<size_t>(i)], g);
+    }
+    net::GatewayConfig g0 = shard_cfg(0);
+    const int n = cfg_.num_shards;
+    if (n > 1) {
+      g0.accept_sink = [this, n](int fd) {
+        const size_t k = static_cast<size_t>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                             static_cast<uint64_t>(n));
+        if (k == 0) return false;  // shard 0 keeps this one
+        net::Gateway* g = gateways_[k].get();
+        // A draining shard refuses adoption; shard 0 serves the tail itself.
+        return g != nullptr && g->adopt_connection(fd);
+      };
+    }
+    gateways_[0] = std::make_unique<net::Gateway>(*servers_[0], g0);
+    port_ = gateways_[0]->port();
+    mode_ = ShardMode::kHandoff;
+  };
+
+  if (cfg_.num_shards == 1 || cfg_.mode == ShardMode::kReusePort) {
+    build_reuseport();
+  } else if (cfg_.mode == ShardMode::kHandoff) {
+    build_handoff();
+  } else {  // kAuto: prefer the kernel's SO_REUSEPORT spreading
+    try {
+      build_reuseport();
+    } catch (const std::runtime_error&) {
+      gateways_.clear();
+      port_ = 0;
+      build_handoff();
+    }
+  }
+}
+
+ShardedGateway::~ShardedGateway() { stop_and_drain(); }
+
+uint64_t ShardedGateway::deploy(const std::string& name, FixedPointProgram program,
+                                Shape sample_shape) {
+  // One install into the shared registry (server 0 validates), then a lane on
+  // every other shard against the same program snapshot.
+  const uint64_t version = servers_[0]->deploy(name, std::move(program), sample_shape);
+  for (size_t i = 1; i < servers_.size(); ++i) {
+    servers_[i]->ensure_lane(name, sample_shape);
+  }
+  return version;
+}
+
+uint64_t ShardedGateway::deploy_file(const std::string& name, const std::string& path,
+                                     Shape sample_shape) {
+  return deploy(name, FixedPointProgram::load(path), std::move(sample_shape));
+}
+
+void ShardedGateway::request_stop() {
+  for (auto& g : gateways_) {
+    if (g) g->request_stop();
+  }
+}
+
+void ShardedGateway::stop_and_drain() {
+  // Barrier phase 1: every shard flips into graceful drain together, so no
+  // shard keeps accepting work another shard would refuse.
+  request_stop();
+  // Phase 2: each loop answers its in-flight requests, flushes and joins.
+  for (auto& g : gateways_) {
+    if (g) g->stop_and_drain();
+  }
+  // Phase 3: batcher lanes drain (no-op if the gateways answered everything).
+  for (auto& s : servers_) {
+    if (s) s->shutdown_and_drain();
+  }
+}
+
+bool ShardedGateway::stopped() const {
+  for (const auto& g : gateways_) {
+    if (g && !g->stopped()) return false;
+  }
+  return true;
+}
+
+}  // namespace tqt::qos

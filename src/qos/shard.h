@@ -1,0 +1,126 @@
+// tqt-qos sharding: N reactor event loops over one port, one model registry.
+//
+//   clients ──TCP──►  shard 0  (poll loop, "net.shard0.*" metrics)
+//                     shard 1  (poll loop, "net.shard1.*" metrics)
+//                     ...          │ each shard: its own InferenceServer
+//                                  │ (batcher lanes) over the SHARED
+//                                  │ ModelRegistry + MetricsRegistry
+//                                  ▼
+//                     hot-swap through any shard lands on all shards
+//                     at their next batch boundary
+//
+// Two distribution modes:
+//   * kReusePort — every shard binds the same port with SO_REUSEPORT and the
+//     kernel spreads incoming connections across the listeners. Preferred.
+//   * kHandoff — shard 0 owns the only listener and round-robins accepted
+//     fds to the other shards via Gateway::adopt_connection(). Fallback for
+//     kernels/filters where a second SO_REUSEPORT bind fails.
+//   kAuto (default) tries kReusePort and falls back to kHandoff.
+//
+// All shards share one TenantTable, so per-tenant rate limits and inflight
+// quotas are enforced globally (TokenBucket / TenantState are thread-safe),
+// and one MetricsRegistry, so "serve.<model>.*" and "qos.tenant.<name>.*"
+// instruments aggregate across shards while "net.shard<i>.*" stays per-shard.
+//
+// Drain barrier: stop_and_drain() first flips every shard into graceful
+// drain (so no shard keeps accepting while another answers SHUTTING_DOWN),
+// then joins them all, then drains the batcher lanes — every in-flight
+// request is answered before the destructor returns. request_stop() is
+// async-signal-safe, suitable for SIGINT/SIGTERM handlers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/gateway.h"
+#include "qos/tenant.h"
+#include "serve/server.h"
+
+namespace tqt::qos {
+
+enum class ShardMode : uint8_t {
+  kAuto = 0,       ///< try SO_REUSEPORT, fall back to accept handoff
+  kReusePort = 1,  ///< SO_REUSEPORT only; throws if the binds fail
+  kHandoff = 2,    ///< shard 0 accepts and hands fds to the others
+};
+
+std::string to_string(ShardMode m);
+
+struct ShardedGatewayConfig {
+  int num_shards = 2;            ///< reactor count; 1 degenerates to a plain gateway
+  ShardMode mode = ShardMode::kAuto;
+  uint16_t port = 0;             ///< TCP port; 0 binds an ephemeral port
+  bool loopback_only = true;
+  int backlog = 64;
+  int max_connections = 64;      ///< per shard
+  int max_inflight = 256;        ///< per shard
+  int drain_timeout_ms = 5000;
+  serve::BatchConfig batch;      ///< applied to every shard's lanes
+  net::AdminHandler* admin = nullptr;  ///< shared admin plane (all shards route to it)
+  /// Shared tenant table; null = untenanted. Must outlive the gateway.
+  TenantTable* tenants = nullptr;
+  /// Metrics registry all shards publish into; null = one private registry
+  /// owned by the ShardedGateway.
+  observe::MetricsRegistry* metrics = nullptr;
+  // Slow-loris bounds, forwarded to every shard (see net/gateway.h).
+  size_t max_conn_out_bytes = 32u << 20;
+  int write_stall_timeout_ms = 10000;
+  int read_stall_timeout_ms = 10000;
+};
+
+/// N-reactor serving front-end. Construction spawns every shard (binding
+/// sockets and starting loops); destruction drains them all.
+class ShardedGateway {
+ public:
+  explicit ShardedGateway(ShardedGatewayConfig cfg = {});
+  ~ShardedGateway();
+  ShardedGateway(const ShardedGateway&) = delete;
+  ShardedGateway& operator=(const ShardedGateway&) = delete;
+
+  /// The bound TCP port (shared by every shard).
+  uint16_t port() const { return port_; }
+
+  /// The distribution mode actually in effect (resolves kAuto).
+  ShardMode mode() const { return mode_; }
+
+  int num_shards() const { return static_cast<int>(gateways_.size()); }
+
+  /// Deploy a model on every shard: one install into the shared registry,
+  /// one batcher lane per shard. Validates like InferenceServer::deploy.
+  uint64_t deploy(const std::string& name, FixedPointProgram program, Shape sample_shape);
+  uint64_t deploy_file(const std::string& name, const std::string& path, Shape sample_shape);
+
+  /// The registry all shards serve from (hot-swap target).
+  serve::ModelRegistry& registry() { return *registry_; }
+
+  /// The metrics registry carrying net.shard<i>.*, serve.*, qos.tenant.*.
+  observe::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Shard 0's server (every shard serves the same lane set — handy for
+  /// stats_json in tools).
+  serve::InferenceServer& server() { return *servers_.front(); }
+
+  /// Async-signal-safe: begin graceful drain on every shard.
+  void request_stop();
+
+  /// Drain barrier: all shards stop accepting, every in-flight request on
+  /// every shard is answered and flushed, loops join, lanes drain. Idempotent.
+  void stop_and_drain();
+
+  /// True once every shard's event loop has exited.
+  bool stopped() const;
+
+ private:
+  ShardedGatewayConfig cfg_;
+  ShardMode mode_ = ShardMode::kAuto;
+  uint16_t port_ = 0;
+  std::unique_ptr<observe::MetricsRegistry> owned_metrics_;
+  observe::MetricsRegistry* metrics_ = nullptr;
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  std::vector<std::unique_ptr<serve::InferenceServer>> servers_;
+  std::vector<std::unique_ptr<net::Gateway>> gateways_;
+  std::atomic<uint64_t> rr_{0};  ///< handoff round-robin cursor
+};
+
+}  // namespace tqt::qos

@@ -1,0 +1,296 @@
+#include "qos/tenant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace tqt::qos {
+
+const char* class_name(int klass) {
+  switch (klass) {
+    case kClassLow: return "low";
+    case kClassNormal: return "normal";
+    case kClassHigh: return "high";
+  }
+  return "?";
+}
+
+int class_from_name(std::string_view s) {
+  if (s == "low") return kClassLow;
+  if (s == "normal") return kClassNormal;
+  if (s == "high") return kClassHigh;
+  return -1;
+}
+
+int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* to_string(Admit a) {
+  switch (a) {
+    case Admit::kOk: return "ok";
+    case Admit::kRateLimited: return "rate_limited";
+    case Admit::kQuotaExceeded: return "quota_exceeded";
+  }
+  return "?";
+}
+
+// ---- TokenBucket -----------------------------------------------------------
+
+TokenBucket::TokenBucket(double rate_per_s, double burst) { configure(rate_per_s, burst); }
+
+void TokenBucket::configure(double rate_per_s, double burst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rate_ = std::max(0.0, rate_per_s);
+  burst_ = std::max(1.0, burst);
+  if (last_us_ < 0) {
+    tokens_ = burst_;  // start full
+  } else {
+    tokens_ = std::min(tokens_, burst_);
+  }
+}
+
+void TokenBucket::refill(int64_t t_us) {
+  if (last_us_ < 0) {
+    tokens_ = burst_;
+  } else if (t_us > last_us_) {
+    tokens_ = std::min(burst_, tokens_ + rate_ * static_cast<double>(t_us - last_us_) * 1e-6);
+  }
+  last_us_ = std::max(last_us_, t_us);
+}
+
+bool TokenBucket::try_take(int64_t t_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (rate_ <= 0.0) return true;  // unlimited
+  refill(t_us);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::level(int64_t t_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  refill(t_us);
+  return rate_ <= 0.0 ? burst_ : tokens_;
+}
+
+// ---- TenantState -----------------------------------------------------------
+
+TenantState::TenantState(std::string name, uint32_t lane_key)
+    : name_(std::move(name)), lane_key_(lane_key) {}
+
+void TenantState::configure(int klass, int weight, double rate_rps, double burst,
+                            int64_t max_inflight, observe::MetricsRegistry* reg) {
+  klass_.store(std::clamp(klass, kClassLow, kClassHigh), std::memory_order_relaxed);
+  weight_.store(std::max(1, weight), std::memory_order_relaxed);
+  max_inflight_.store(std::max<int64_t>(0, max_inflight), std::memory_order_relaxed);
+  bucket_.configure(rate_rps, burst > 0.0 ? burst : std::max(rate_rps, 1.0));
+  if (reg && !requests_.load(std::memory_order_acquire)) {
+    const std::string p = "qos.tenant." + name_ + ".";
+    admitted_.store(&reg->counter(p + "admitted"), std::memory_order_relaxed);
+    rate_limited_.store(&reg->counter(p + "rate_limited"), std::memory_order_relaxed);
+    quota_exceeded_.store(&reg->counter(p + "quota_exceeded"), std::memory_order_relaxed);
+    requests_.store(&reg->counter(p + "requests"), std::memory_order_release);
+  }
+}
+
+Admit TenantState::admit(int64_t t_us) {
+  if (auto* c = requests_.load(std::memory_order_acquire)) c->inc();
+  if (!bucket_.try_take(t_us)) {
+    if (auto* c = rate_limited_.load(std::memory_order_relaxed)) c->inc();
+    return Admit::kRateLimited;
+  }
+  // Reserve the in-flight slot optimistically; back out on quota breach so
+  // concurrent admits from different shards never overshoot the quota.
+  const int64_t quota = max_inflight_.load(std::memory_order_relaxed);
+  const int64_t now_inflight = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (quota > 0 && now_inflight > quota) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (auto* c = quota_exceeded_.load(std::memory_order_relaxed)) c->inc();
+    return Admit::kQuotaExceeded;
+  }
+  if (auto* c = admitted_.load(std::memory_order_relaxed)) c->inc();
+  return Admit::kOk;
+}
+
+void TenantState::release() { inflight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+// ---- TenantTable -----------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& path, int line, const std::string& why) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + why);
+}
+
+}  // namespace
+
+std::vector<TenantConfig> TenantTable::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("tenants: cannot open '" + path + "'");
+  std::vector<TenantConfig> configs;
+  std::set<std::string> tokens, names;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kv;
+    TenantConfig cfg;
+    bool saw_token = false, saw_name = false;
+    bool any = false;
+    while (ls >> kv) {
+      any = true;
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        parse_fail(path, lineno, "expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      if (val.empty()) parse_fail(path, lineno, "empty value for '" + key + "'");
+      try {
+        if (key == "token") {
+          cfg.token = val;
+          saw_token = true;
+        } else if (key == "tenant") {
+          cfg.name = val;
+          saw_name = true;
+        } else if (key == "class") {
+          cfg.klass = class_from_name(val);
+          if (cfg.klass < 0) parse_fail(path, lineno, "class must be low|normal|high");
+        } else if (key == "weight") {
+          size_t used = 0;
+          cfg.weight = std::stoi(val, &used);
+          if (used != val.size() || cfg.weight < 1) {
+            parse_fail(path, lineno, "weight must be an integer >= 1");
+          }
+        } else if (key == "rate") {
+          size_t used = 0;
+          cfg.rate_rps = std::stod(val, &used);
+          if (used != val.size() || cfg.rate_rps < 0.0) {
+            parse_fail(path, lineno, "rate must be a number >= 0");
+          }
+        } else if (key == "burst") {
+          size_t used = 0;
+          cfg.burst = std::stod(val, &used);
+          if (used != val.size() || cfg.burst <= 0.0) {
+            parse_fail(path, lineno, "burst must be a number > 0");
+          }
+        } else if (key == "max_inflight") {
+          size_t used = 0;
+          cfg.max_inflight = std::stoll(val, &used);
+          if (used != val.size() || cfg.max_inflight < 0) {
+            parse_fail(path, lineno, "max_inflight must be an integer >= 0");
+          }
+        } else {
+          parse_fail(path, lineno, "unknown key '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        parse_fail(path, lineno, "bad number for '" + key + "'");
+      } catch (const std::out_of_range&) {
+        parse_fail(path, lineno, "number out of range for '" + key + "'");
+      }
+    }
+    if (!any) continue;  // blank / comment-only line
+    if (!saw_token) parse_fail(path, lineno, "missing token=");
+    if (!saw_name) parse_fail(path, lineno, "missing tenant=");
+    if (cfg.token == "*" && cfg.name != "default") {
+      parse_fail(path, lineno, "token=* must be tenant=default");
+    }
+    if (!tokens.insert(cfg.token).second) {
+      parse_fail(path, lineno, "duplicate token '" + cfg.token + "'");
+    }
+    if (!names.insert(cfg.name).second) {
+      parse_fail(path, lineno, "duplicate tenant '" + cfg.name + "'");
+    }
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+TenantTable::TenantTable(observe::MetricsRegistry* metrics) : metrics_(metrics) {
+  default_ = std::make_shared<TenantState>("default", /*lane_key=*/0);
+  default_->configure(kClassNormal, 1, 0.0, 0.0, 0, metrics_);
+  by_name_.emplace("default", default_);
+}
+
+void TenantTable::install(const std::vector<TenantConfig>& configs) {
+  std::map<std::string, std::shared_ptr<TenantState>, std::less<>> by_token;
+  for (const TenantConfig& cfg : configs) {
+    std::shared_ptr<TenantState> state;
+    const auto existing = by_name_.find(cfg.name);
+    if (existing != by_name_.end()) {
+      state = existing->second;  // reload: keep bucket level + inflight count
+    } else {
+      state = std::make_shared<TenantState>(cfg.name, next_lane_key_++);
+      by_name_.emplace(cfg.name, state);
+    }
+    state->configure(cfg.klass, cfg.weight, cfg.rate_rps, cfg.burst, cfg.max_inflight,
+                     metrics_);
+    if (cfg.token != "*") by_token.emplace(cfg.token, state);
+  }
+  by_token_ = std::move(by_token);
+}
+
+void TenantTable::load_file(const std::string& path) {
+  const std::vector<TenantConfig> configs = parse_file(path);  // throws; table untouched
+  std::lock_guard<std::mutex> lk(mu_);
+  install(configs);
+  file_ = path;
+}
+
+void TenantTable::load(const std::vector<TenantConfig>& configs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  install(configs);
+}
+
+void TenantTable::reload() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    path = file_;
+  }
+  if (path.empty()) throw std::runtime_error("tenants: no config file to reload");
+  load_file(path);
+}
+
+std::shared_ptr<TenantState> TenantTable::resolve(std::string_view token) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!token.empty()) {
+    const auto it = by_token_.find(token);
+    if (it != by_token_.end()) return it->second;
+  }
+  return default_;
+}
+
+std::shared_ptr<TenantState> TenantTable::default_tenant() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return default_;
+}
+
+size_t TenantTable::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return by_name_.size();
+}
+
+std::vector<std::string> TenantTable::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, state] : by_name_) out.push_back(name);
+  return out;
+}
+
+std::string TenantTable::file() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_;
+}
+
+}  // namespace tqt::qos

@@ -1,0 +1,203 @@
+// tqt-qos tenancy: who is allowed to run how much, and at what priority.
+//
+// A *tenant* is an authenticated traffic source. The wire protocol (v2)
+// carries an auth token per request; the gateway resolves it through a
+// TenantTable into a TenantState, which travels with the request into the
+// MicroBatcher:
+//
+//   token ──TenantTable::resolve──► TenantState
+//            │ token-bucket rate limit  → RATE_LIMITED at admission
+//            │ max-inflight quota       → QUOTA_EXCEEDED at admission
+//            │ priority class + weight  → DWRR lane (qos/dwrr.h)
+//            ▼
+//          per-tenant "qos.tenant.<name>.*" counters
+//
+// One TenantState is shared by every gateway shard (quotas are global, not
+// per-shard), so every method on it is thread-safe. The table is loaded from
+// a simple line-oriented config file and is hot-reloadable: a reload swaps
+// limits/weights in place but PRESERVES runtime state (bucket level,
+// in-flight count) for tenants that survive the reload — a config push never
+// resets quotas mid-flight. Tokens that stop resolving fall back to the
+// default tenant on their next request.
+//
+// Config file format (one tenant per line, '#' comments, blank lines ok):
+//
+//   token=alice-secret tenant=alice class=high weight=4 rate=200 burst=40 max_inflight=8
+//   token=*            tenant=default class=normal weight=1
+//
+// Keys: token (required; "*" configures the default tenant), tenant
+// (required; unique display name), class (low|normal|high, default normal),
+// weight (int >= 1, default 1), rate (requests/s, 0 = unlimited, default 0),
+// burst (bucket capacity, default max(rate, 1)), max_inflight (0 =
+// unlimited, default 0). Parse errors throw with a one-line
+// "path:line: reason" message and leave the previous table installed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "observe/observe.h"
+
+namespace tqt::qos {
+
+/// Strict-priority classes for the weighted-fair dequeue: every backlogged
+/// high request is served before any normal one, and so on. Within a class,
+/// tenants share by DWRR weight.
+inline constexpr int kClassLow = 0;
+inline constexpr int kClassNormal = 1;
+inline constexpr int kClassHigh = 2;
+inline constexpr int kNumClasses = 3;
+
+/// "low"/"normal"/"high" (for config parsing and reports).
+const char* class_name(int klass);
+/// Returns kClass* or -1 if `s` is not a class name.
+int class_from_name(std::string_view s);
+
+/// Steady-clock microseconds — the time base every bucket runs on. Tests
+/// pass explicit values instead for determinism.
+int64_t now_us();
+
+/// Classic token bucket: `rate` tokens/second refill up to `burst` capacity;
+/// each admitted request takes one token. rate == 0 means unlimited (always
+/// admits). Thread-safe; time is supplied by the caller so behaviour is
+/// exactly reproducible in tests.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Take one token at time `t_us`; false = rate-limited.
+  bool try_take(int64_t t_us);
+
+  /// Swap limits in place (hot reload). The current fill level is clamped to
+  /// the new burst but otherwise preserved.
+  void configure(double rate_per_s, double burst);
+
+  double level(int64_t t_us);  ///< tokens available at `t_us` (for tests)
+
+ private:
+  void refill(int64_t t_us);  // caller holds mu_
+
+  std::mutex mu_;
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  int64_t last_us_ = -1;  // -1: bucket starts full at first use
+};
+
+/// Admission verdict for one request against one tenant.
+enum class Admit : uint8_t {
+  kOk = 0,
+  kRateLimited,    ///< token bucket empty — typed RATE_LIMITED to the client
+  kQuotaExceeded,  ///< max_inflight reached — typed QUOTA_EXCEEDED
+};
+
+const char* to_string(Admit a);
+
+/// Immutable identity + mutable limits for one tenant. Shared (shared_ptr)
+/// between the table, every gateway shard and every queued request; all
+/// methods are thread-safe. `lane_key` is a small stable integer naming this
+/// tenant's DWRR lane — stable across hot reloads so a reload never
+/// reshuffles queues.
+class TenantState {
+ public:
+  TenantState(std::string name, uint32_t lane_key);
+
+  /// Charge one request: rate bucket first, then the in-flight quota. On
+  /// kOk the caller MUST balance with release() when the request completes
+  /// (any outcome). Also bumps the per-tenant counters.
+  Admit admit(int64_t t_us);
+  void release();
+
+  /// Swap limits/class/weight in place (hot reload); binds the per-tenant
+  /// "qos.tenant.<name>.*" counters in `reg` on first call (null = no
+  /// metrics).
+  void configure(int klass, int weight, double rate_rps, double burst, int64_t max_inflight,
+                 observe::MetricsRegistry* reg);
+
+  const std::string& name() const { return name_; }
+  uint32_t lane_key() const { return lane_key_; }
+  int klass() const { return klass_.load(std::memory_order_relaxed); }
+  int weight() const { return weight_.load(std::memory_order_relaxed); }
+  int64_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  int64_t max_inflight() const { return max_inflight_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  const uint32_t lane_key_;
+  std::atomic<int> klass_{kClassNormal};
+  std::atomic<int> weight_{1};
+  std::atomic<int64_t> max_inflight_{0};  // 0 = unlimited
+  std::atomic<int64_t> inflight_{0};
+  TokenBucket bucket_{0.0, 1.0};
+
+  // "qos.tenant.<name>.*" instruments; null until configure() ran with a
+  // registry. Instruments live in the registry, so raw pointers stay valid.
+  std::atomic<observe::Counter*> requests_{nullptr};
+  std::atomic<observe::Counter*> admitted_{nullptr};
+  std::atomic<observe::Counter*> rate_limited_{nullptr};
+  std::atomic<observe::Counter*> quota_exceeded_{nullptr};
+};
+
+/// One parsed config line.
+struct TenantConfig {
+  std::string token;        ///< "*" = the default tenant
+  std::string name;         ///< unique display name ("default" for token=*)
+  int klass = kClassNormal;
+  int weight = 1;
+  double rate_rps = 0.0;    ///< 0 = unlimited
+  double burst = 0.0;       ///< 0 = max(rate_rps, 1)
+  int64_t max_inflight = 0; ///< 0 = unlimited
+};
+
+/// token -> TenantState map with hot reload. A table always contains a
+/// default tenant (unlimited, class normal, weight 1 unless token=* says
+/// otherwise): v1 frames, empty tokens and unknown tokens all resolve to it,
+/// so an untenanted deployment behaves exactly like the pre-QoS gateway.
+class TenantTable {
+ public:
+  /// Starts with just the built-in default tenant. Per-tenant counters are
+  /// created in `metrics` (null = no metrics).
+  explicit TenantTable(observe::MetricsRegistry* metrics = nullptr);
+
+  /// Parse `path` into configs (no side effects on failure). Throws
+  /// std::runtime_error with a one-line "path:line: reason" message.
+  static std::vector<TenantConfig> parse_file(const std::string& path);
+
+  /// Parse + install `path`; remembers it for reload(). Strong guarantee:
+  /// on a parse error the previous table stays installed.
+  void load_file(const std::string& path);
+
+  /// Install configs directly (tests / bench). Same reload semantics.
+  void load(const std::vector<TenantConfig>& configs);
+
+  /// Re-load the last load_file() path (the admin-plane hot-reload hook).
+  /// Throws if no file was ever loaded.
+  void reload();
+
+  /// Empty or unknown tokens resolve to the default tenant (never null).
+  std::shared_ptr<TenantState> resolve(std::string_view token) const;
+  std::shared_ptr<TenantState> default_tenant() const;
+
+  size_t size() const;                    ///< tenants incl. the default
+  std::vector<std::string> names() const; ///< sorted tenant names
+  std::string file() const;               ///< last load_file path ("" if none)
+
+ private:
+  void install(const std::vector<TenantConfig>& configs);  // caller holds mu_
+
+  observe::MetricsRegistry* metrics_ = nullptr;
+  mutable std::mutex mu_;
+  std::string file_;
+  uint32_t next_lane_key_ = 1;  // 0 is reserved for the default tenant
+  std::map<std::string, std::shared_ptr<TenantState>, std::less<>> by_token_;
+  std::map<std::string, std::shared_ptr<TenantState>> by_name_;  // reload state carry-over
+  std::shared_ptr<TenantState> default_;
+};
+
+}  // namespace tqt::qos

@@ -23,6 +23,9 @@ const char* to_string(SubmitStatus s) {
     case SubmitStatus::kShuttingDown: return "shutting_down";
     case SubmitStatus::kUnknownModel: return "unknown_model";
     case SubmitStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case SubmitStatus::kRateLimited: return "rate_limited";
+    case SubmitStatus::kQuotaExceeded: return "quota_exceeded";
+    case SubmitStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -51,6 +54,9 @@ SubmitResult MicroBatcher::submit(Tensor sample, SubmitOptions opts) {
       promise->set_exception(c.error);
     } else if (c.status == SubmitStatus::kDeadlineExceeded) {
       promise->set_exception(std::make_exception_ptr(DeadlineExceededError()));
+    } else if (c.status == SubmitStatus::kCancelled) {
+      promise->set_exception(
+          std::make_exception_ptr(std::runtime_error("serve: request cancelled")));
     } else {
       promise->set_value(std::move(c.output));
     }
@@ -69,10 +75,16 @@ SubmitStatus MicroBatcher::submit_async(Tensor sample, SubmitOptions opts, DoneF
                                 shape_to_string(sample_shape_));
   }
 
+  // The request's DWRR lane: (class, tenant, weight) from the tenant, or the
+  // lane-0/normal/weight-1 default that reproduces the pre-QoS FIFO.
+  const int klass = opts.tenant ? opts.tenant->klass() : qos::kClassNormal;
+  const uint32_t lane = opts.tenant ? opts.tenant->lane_key() : 0;
+  const int weight = opts.tenant ? opts.tenant->weight() : 1;
+
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) return SubmitStatus::kShuttingDown;
-    if (static_cast<int64_t>(queue_.size()) >= cfg_.max_queue) {
+    if (queue_.lane_depth(klass, lane) >= cfg_.max_queue) {
       stats_->on_shed();
       return SubmitStatus::kShed;
     }
@@ -87,11 +99,34 @@ SubmitStatus MicroBatcher::submit_async(Tensor sample, SubmitOptions opts, DoneF
       stats_->on_deadline_drop();
       return SubmitStatus::kDeadlineExceeded;
     }
-    queue_.push_back(std::move(req));
-    stats_->on_accept(static_cast<int64_t>(queue_.size()));
+    if (opts.tenant) {
+      // Charge the tenant last so a shed/expired request never burns a rate
+      // token. From here the request owns one admit() and finish() pays it
+      // back on every outcome.
+      switch (opts.tenant->admit(qos::now_us())) {
+        case qos::Admit::kRateLimited: return SubmitStatus::kRateLimited;
+        case qos::Admit::kQuotaExceeded: return SubmitStatus::kQuotaExceeded;
+        case qos::Admit::kOk: break;
+      }
+      req.tenant = opts.tenant;
+    }
+    req.cancel = opts.cancel;
+    queue_.push(std::move(req), klass, lane, weight);
+    stats_->on_accept(queue_.size());
   }
   cv_.notify_one();
   return SubmitStatus::kOk;
+}
+
+void MicroBatcher::finish(Request& req, Completion&& c) {
+  req.done(std::move(c));
+  if (req.tenant) req.tenant->release();
+}
+
+std::chrono::steady_clock::time_point MicroBatcher::oldest_enqueued() const {
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  queue_.for_each_front([&](const Request& r) { oldest = std::min(oldest, r.enqueued); });
+  return oldest;
 }
 
 void MicroBatcher::worker_loop() {
@@ -105,37 +140,47 @@ void MicroBatcher::worker_loop() {
     cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stopping and fully drained
 
-    // Wait (bounded by max_delay_us from the OLDEST pending request) for the
-    // batch to fill. While draining, execute immediately.
-    const auto deadline = queue_.front().enqueued + std::chrono::microseconds(cfg_.max_delay_us);
-    while (!stopping_ && static_cast<int64_t>(queue_.size()) < cfg_.max_batch) {
+    // Wait (bounded by max_delay_us from the OLDEST pending request across
+    // all DWRR lanes) for the batch to fill. While draining, execute
+    // immediately.
+    const auto deadline = oldest_enqueued() + std::chrono::microseconds(cfg_.max_delay_us);
+    while (!stopping_ && queue_.size() < cfg_.max_batch) {
       if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
       if (queue_.empty()) break;  // another worker took everything
     }
     if (queue_.empty()) continue;
 
-    // Deadline-aware dequeue: expired requests are completed (and counted)
+    // Weighted-fair, deadline-and-cancel-aware dequeue: pop() walks the DWRR
+    // schedule; expired or cancelled requests are completed (and counted)
     // without ever reaching the engine, and do NOT consume batch slots —
     // keep taking until the batch holds `max_batch` live requests or the
     // queue is empty.
-    std::vector<Request> batch, expired;
+    std::vector<Request> batch, dropped;
     const auto now = std::chrono::steady_clock::now();
-    while (!queue_.empty() && static_cast<int64_t>(batch.size()) < cfg_.max_batch) {
-      Request req = std::move(queue_.front());
-      queue_.pop_front();
-      if (req.deadline && *req.deadline <= now) {
-        expired.push_back(std::move(req));
+    while (static_cast<int64_t>(batch.size()) < cfg_.max_batch) {
+      std::optional<Request> req = queue_.pop();
+      if (!req) break;
+      if ((req->deadline && *req->deadline <= now) ||
+          (req->cancel && req->cancel->load(std::memory_order_acquire))) {
+        dropped.push_back(std::move(*req));
       } else {
-        batch.push_back(std::move(req));
+        batch.push_back(std::move(*req));
       }
     }
-    stats_->on_dequeue(static_cast<int64_t>(queue_.size()));
+    stats_->on_dequeue(queue_.size());
     lk.unlock();
-    for (Request& req : expired) {
-      stats_->on_deadline_drop();
+    for (Request& req : dropped) {
       Completion c;
-      c.status = SubmitStatus::kDeadlineExceeded;
-      req.done(std::move(c));
+      const bool cancelled = req.cancel && req.cancel->load(std::memory_order_acquire) &&
+                             !(req.deadline && *req.deadline <= now);
+      if (cancelled) {
+        stats_->on_cancelled();
+        c.status = SubmitStatus::kCancelled;
+      } else {
+        stats_->on_deadline_drop();
+        c.status = SubmitStatus::kDeadlineExceeded;
+      }
+      finish(req, std::move(c));
     }
     if (!batch.empty()) execute_batch(batch, ctx, output);
     lk.lock();
@@ -174,7 +219,7 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx,
       stats_->on_failure(us_since(req.enqueued));
       Completion c;
       c.error = err;
-      req.done(std::move(c));
+      finish(req, std::move(c));
     }
     return;
   }
@@ -192,7 +237,7 @@ void MicroBatcher::execute_batch(std::vector<Request>& batch, ExecContext& ctx,
     stats_->on_response(us_since(req.enqueued));
     Completion c;
     c.output = std::move(row);
-    req.done(std::move(c));
+    finish(req, std::move(c));
   }
 }
 
@@ -209,7 +254,7 @@ void MicroBatcher::shutdown_and_drain() {
 
 int64_t MicroBatcher::queue_depth() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return static_cast<int64_t>(queue_.size());
+  return queue_.size();
 }
 
 }  // namespace tqt::serve

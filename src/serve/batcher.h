@@ -9,26 +9,40 @@
 // trades a bounded latency delay for engine-side parallel efficiency without
 // touching the paper's bit-exactness contract (§4.2).
 //
-// Admission control: the pending queue is bounded by `max_queue`. A submit
-// against a full queue is *shed* immediately (SubmitStatus::kShed) instead of
-// growing the queue without bound — the caller gets explicit backpressure it
-// can retry against. shutdown_and_drain() stops admission, lets the workers
-// finish every already-accepted request, and joins them; accepted requests
-// are never dropped.
+// Admission control: pending work is held in per-tenant/per-class DWRR lanes
+// (qos/dwrr.h), each bounded by `max_queue`. A submit against a full lane is
+// *shed* immediately (SubmitStatus::kShed) instead of growing the queue
+// without bound — the caller gets explicit backpressure it can retry
+// against, and one tenant's backlog can never evict another's. A request
+// carrying a qos::TenantState is additionally charged against that tenant's
+// token-bucket rate limit (kRateLimited) and max-inflight quota
+// (kQuotaExceeded) at admission. shutdown_and_drain() stops admission, lets
+// the workers finish every already-accepted request, and joins them;
+// accepted requests are never dropped.
+//
+// Dequeue order is strict priority across classes and deficit-weighted round
+// robin across tenants within a class (FIFO within a tenant) — QoS reorders
+// which request runs next, never how any request computes, so the batched ==
+// single bit-exactness contract is untouched. With no tenants configured
+// everything rides one lane and the batcher degenerates to the original
+// FIFO.
 //
 // Deadlines: a request may carry an absolute deadline (SubmitOptions). An
 // already-expired deadline is rejected at admission (kDeadlineExceeded); a
 // request whose deadline expires while queued is dropped when a worker
 // dequeues it — *before* any engine work is spent on it — and completed with
 // kDeadlineExceeded. Requests without a deadline are never deadline-dropped.
+// A request whose SubmitOptions::cancel flag was set while queued is dropped
+// the same way (kCancelled).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -36,6 +50,8 @@
 #include <vector>
 
 #include "fixedpoint/engine.h"
+#include "qos/dwrr.h"
+#include "qos/tenant.h"
 #include "serve/stats.h"
 #include "tensor/tensor.h"
 
@@ -44,7 +60,7 @@ namespace tqt::serve {
 struct BatchConfig {
   int64_t max_batch = 8;       ///< coalesce at most this many samples
   int64_t max_delay_us = 200;  ///< max wait (from oldest request) to fill a batch
-  int64_t max_queue = 256;     ///< admission control: pending-request bound
+  int64_t max_queue = 256;     ///< admission control: pending bound PER DWRR LANE
   int num_workers = 1;         ///< executor threads per model lane
 };
 
@@ -54,6 +70,9 @@ enum class SubmitStatus {
   kShuttingDown,      ///< rejected: server is draining
   kUnknownModel,      ///< rejected: no such deployed model
   kDeadlineExceeded,  ///< dropped: the request's deadline passed before execution
+  kRateLimited,       ///< rejected: tenant token-bucket empty (qos)
+  kQuotaExceeded,     ///< rejected: tenant max-inflight quota reached (qos)
+  kCancelled,         ///< dropped: the client cancelled before execution
 };
 
 const char* to_string(SubmitStatus s);
@@ -64,6 +83,14 @@ const char* to_string(SubmitStatus s);
 /// waiting for). No deadline (the default) preserves PR 2 semantics exactly.
 struct SubmitOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// QoS identity (tqt-qos): admission charges this tenant's token bucket
+  /// and in-flight quota, and the dequeue schedules its DWRR lane by the
+  /// tenant's (class, weight). Null = the unmetered default lane — exactly
+  /// the pre-QoS semantics.
+  std::shared_ptr<qos::TenantState> tenant;
+  /// Cooperative cancel: set to true (any thread) to drop the request at
+  /// dequeue with kCancelled instead of executing it. Null = not cancellable.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// The exception a deadline-dropped request's future is fulfilled with (the
@@ -127,10 +154,15 @@ class MicroBatcher {
     DoneFn done;
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::shared_ptr<qos::TenantState> tenant;       // admitted: release() on finish
+    std::shared_ptr<std::atomic<bool>> cancel;
   };
 
   void worker_loop();
   void execute_batch(std::vector<Request>& batch, ExecContext& ctx, Tensor& output);
+  /// Deliver the completion, then balance the tenant's admit().
+  static void finish(Request& req, Completion&& c);
+  std::chrono::steady_clock::time_point oldest_enqueued() const;  // caller holds mu_
 
   BatchConfig cfg_;
   Shape sample_shape_;
@@ -139,7 +171,7 @@ class MicroBatcher {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  qos::DwrrQueue<Request> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

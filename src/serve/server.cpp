@@ -38,6 +38,7 @@ InferenceServer::InferenceServer(ServerConfig cfg) : cfg_(cfg) {
     owned_metrics_ = std::make_unique<observe::MetricsRegistry>();
     metrics_ = owned_metrics_.get();
   }
+  registry_ = cfg_.registry ? cfg_.registry : std::make_shared<ModelRegistry>();
 }
 
 InferenceServer::~InferenceServer() { shutdown_and_drain(); }
@@ -45,7 +46,25 @@ InferenceServer::~InferenceServer() { shutdown_and_drain(); }
 uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram program,
                                  Shape sample_shape) {
   validate_deployment(name, program, sample_shape);
-  const uint64_t version = registry_.install(name, std::move(program));
+  const uint64_t version = registry_->install(name, std::move(program));
+  ensure_lane(name, std::move(sample_shape));
+  return version;
+}
+
+void InferenceServer::ensure_lane(const std::string& name, Shape sample_shape) {
+  if (name.empty()) {
+    throw std::invalid_argument("serve: model name must be non-empty");
+  }
+  if (sample_shape.empty()) {
+    throw std::invalid_argument("serve: sample shape for '" + name +
+                                "' must have at least one dimension");
+  }
+  for (const int64_t d : sample_shape) {
+    if (d <= 0) {
+      throw std::invalid_argument("serve: sample shape for '" + name +
+                                  "' has non-positive dimension " + std::to_string(d));
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   if (lanes_.find(name) == lanes_.end()) {
     Lane lane;
@@ -56,7 +75,7 @@ uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram prog
     lane.batcher = std::make_unique<MicroBatcher>(
         cfg_.batch, std::move(sample_shape),
         [this, name](const Tensor& batch, ExecContext& ctx, Tensor& out) {
-          const auto program_snapshot = registry_.lookup(name);
+          const auto program_snapshot = registry_->lookup(name);
           if (!program_snapshot) {
             throw std::runtime_error("serve: model '" + name + "' disappeared from registry");
           }
@@ -65,7 +84,6 @@ uint64_t InferenceServer::deploy(const std::string& name, FixedPointProgram prog
         lane.stats.get());
     lanes_.emplace(name, std::move(lane));
   }
-  return version;
 }
 
 uint64_t InferenceServer::deploy_file(const std::string& name, const std::string& path,
@@ -113,7 +131,7 @@ std::string InferenceServer::stats_json() const {
   w.key("models").arr();
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [name, lane] : lanes_) {
-    w.raw(to_json(name, registry_.version(name), lane.stats->snapshot()));
+    w.raw(to_json(name, registry_->version(name), lane.stats->snapshot()));
   }
   w.end();
   w.end();

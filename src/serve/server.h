@@ -38,6 +38,11 @@ struct ServerConfig {
   /// calibration service (src/calib) uses this to retain a sampled ring of
   /// live inputs for drift detection; unset it costs one branch.
   std::function<void(const std::string& name, const Tensor& sample)> mirror;
+  /// Model registry this server serves from. Null (the default) gives the
+  /// server its own private registry. A sharded gateway passes one shared
+  /// registry to every shard's server, so a hot-swap through any shard (or
+  /// the calibration service) is visible to all shards at their next batch.
+  std::shared_ptr<ModelRegistry> registry;
 };
 
 class InferenceServer {
@@ -55,6 +60,12 @@ class InferenceServer {
   /// sample shape (deploy and deploy_file validate through the same path and
   /// report identical errors). Returns the installed version.
   uint64_t deploy(const std::string& name, FixedPointProgram program, Shape sample_shape);
+
+  /// Create the serving lane for `name` without installing a program —
+  /// sharding support: when N servers share one registry, exactly one of
+  /// them deploy()s the program and the others ensure_lane() against it.
+  /// Validates the shape like deploy(); idempotent for an existing lane.
+  void ensure_lane(const std::string& name, Shape sample_shape);
 
   /// Deploy from a serialized TQTP file; throws std::runtime_error on a
   /// missing/corrupt file, and validates exactly like deploy().
@@ -83,7 +94,10 @@ class InferenceServer {
   /// Stop admission on every lane, drain accepted requests, join workers.
   void shutdown_and_drain();
 
-  ModelRegistry& registry() { return registry_; }
+  ModelRegistry& registry() { return *registry_; }
+
+  /// The shared_ptr form (for wiring further servers to the same registry).
+  std::shared_ptr<ModelRegistry> registry_ptr() { return registry_; }
 
   /// The registry holding this server's "serve.<name>.*" instruments (the
   /// config-supplied one, or the server-private default).
@@ -100,7 +114,7 @@ class InferenceServer {
   ServerConfig cfg_;
   std::unique_ptr<observe::MetricsRegistry> owned_metrics_;  // when cfg.metrics == nullptr
   observe::MetricsRegistry* metrics_ = nullptr;
-  ModelRegistry registry_;
+  std::shared_ptr<ModelRegistry> registry_;  // cfg.registry or a private one
   mutable std::mutex mu_;  // guards the lanes_ map structure (not the lanes)
   std::map<std::string, Lane> lanes_;
 };

@@ -25,6 +25,7 @@ void ServeStats::bind(observe::MetricsRegistry& reg, const std::string& prefix) 
   failed_ = &reg.counter(prefix + "failed");
   shed_ = &reg.counter(prefix + "shed");
   deadline_dropped_ = &reg.counter(prefix + "deadline_dropped");
+  cancelled_ = &reg.counter(prefix + "cancelled");
   batches_ = &reg.counter(prefix + "batches");
   queue_depth_ = &reg.gauge(prefix + "queue_depth");
   batch_sizes_ = &reg.histogram(prefix + "batch_size", observe::Histogram::Layout::kLinear);
@@ -43,6 +44,8 @@ void ServeStats::on_dequeue(int64_t queue_depth_after) {
 void ServeStats::on_shed() { shed_->inc(); }
 
 void ServeStats::on_deadline_drop() { deadline_dropped_->inc(); }
+
+void ServeStats::on_cancelled() { cancelled_->inc(); }
 
 void ServeStats::on_batch(int64_t batch_size) {
   batches_->inc();

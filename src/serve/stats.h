@@ -51,6 +51,7 @@ class ServeStats {
   void on_dequeue(int64_t queue_depth_after);
   void on_shed();
   void on_deadline_drop();
+  void on_cancelled();
   void on_batch(int64_t batch_size);
   void on_response(uint64_t latency_us);
   void on_failure(uint64_t latency_us);
@@ -66,6 +67,7 @@ class ServeStats {
   observe::Counter* failed_ = nullptr;
   observe::Counter* shed_ = nullptr;
   observe::Counter* deadline_dropped_ = nullptr;
+  observe::Counter* cancelled_ = nullptr;  ///< dropped at dequeue on client cancel (qos)
   observe::Counter* batches_ = nullptr;
   observe::Gauge* queue_depth_ = nullptr;
   observe::Histogram* batch_sizes_ = nullptr;  // linear layout (exact counts)

@@ -86,7 +86,7 @@ TEST(NetWire, RequestFrameRoundTrips) {
 
   net::InferRequest back;
   ASSERT_TRUE(net::parse_request_payload(frame.data() + net::kHeaderBytes, h.payload_len,
-                                         &back, &err))
+                                         h.version, &back, &err))
       << err;
   EXPECT_EQ(back.model, req.model);
   EXPECT_EQ(back.deadline_us, req.deadline_us);
@@ -176,22 +176,25 @@ TEST(NetWire, RequestPayloadRejectsBoundsViolations) {
 
   net::InferRequest back;
   std::string err;
-  ASSERT_TRUE(net::parse_request_payload(payload, n, &back, &err)) << err;
+  ASSERT_TRUE(net::parse_request_payload(payload, n, net::kMinVersion, &back, &err)) << err;
 
   // Every strict prefix of a valid payload must be rejected (never over-read).
   for (size_t k = 0; k < n; ++k) {
-    EXPECT_FALSE(net::parse_request_payload(payload, k, &back, &err)) << "prefix " << k;
+    EXPECT_FALSE(net::parse_request_payload(payload, k, net::kMinVersion, &back, &err))
+        << "prefix " << k;
   }
   // Trailing garbage after the tensor data must be rejected too.
   std::vector<uint8_t> padded(payload, payload + n);
   padded.push_back(0);
-  EXPECT_FALSE(net::parse_request_payload(padded.data(), padded.size(), &back, &err));
+  EXPECT_FALSE(
+      net::parse_request_payload(padded.data(), padded.size(), net::kMinVersion, &back, &err));
 
   // Zero-length model name.
   std::vector<uint8_t> zero_name(payload, payload + n);
   zero_name[0] = 0;
   zero_name[1] = 0;
-  EXPECT_FALSE(net::parse_request_payload(zero_name.data(), zero_name.size(), &back, &err));
+  EXPECT_FALSE(net::parse_request_payload(zero_name.data(), zero_name.size(),
+                                          net::kMinVersion, &back, &err));
 }
 
 TEST(NetWire, TensorDimProductOverflowIsRejected) {
@@ -201,7 +204,8 @@ TEST(NetWire, TensorDimProductOverflowIsRejected) {
   for (int i = 0; i < 8; ++i) payload.push_back(0xff);
   net::InferRequest back;
   std::string err;
-  EXPECT_FALSE(net::parse_request_payload(payload.data(), payload.size(), &back, &err));
+  EXPECT_FALSE(net::parse_request_payload(payload.data(), payload.size(), net::kMinVersion,
+                                          &back, &err));
   EXPECT_NE(err.find("bound"), std::string::npos) << err;
 }
 

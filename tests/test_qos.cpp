@@ -1,0 +1,908 @@
+// Tests for tqt-qos (src/qos + the gateway/batcher/client hooks). Headline
+// contracts:
+//
+//  * TokenBucket / TenantState / TenantTable behave deterministically under
+//    caller-supplied time, parse errors carry "path:line: reason", and hot
+//    reload preserves runtime state (bucket level, inflight) by tenant name;
+//  * DwrrQueue keeps FIFO within a lane, strict priority across classes, and
+//    weight-proportional service within a class;
+//  * wire v2 is a compatible minor bump — an empty token emits version-1
+//    bytes, v1 frames resolve to the default tenant, and the token field
+//    survives truncation/garbage fuzz without crashes or over-reads;
+//  * the gateway answers RATE_LIMITED / QUOTA_EXCEEDED / CANCELLED /
+//    SLOW_CLIENT as typed statuses, hot-reloads tenants over the admin
+//    plane, and the sharded gateway stays bit-exact for every zoo model
+//    under 2 and 4 shards with concurrent mixed-tenant connections;
+//  * the hedged client duplicates slow requests, keeps the first response,
+//    and backs off on SHED.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+#include "fixedpoint/engine.h"
+#include "graph_opt/quantize_pass.h"
+#include "graph_opt/transforms.h"
+#include "models/zoo.h"
+#include "net/client.h"
+#include "net/gateway.h"
+#include "qos/dwrr.h"
+#include "qos/shard.h"
+#include "qos/tenant.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace tqt {
+namespace {
+
+FixedPointProgram make_program(ModelKind kind, uint64_t seed = 11) {
+  BuiltModel m = build_model(kind, 10, seed);
+  Rng rng(seed);
+  m.graph.set_training(true);
+  for (int i = 0; i < 10; ++i) {
+    m.graph.run({{m.input, rng.normal_tensor({8, 16, 16, 3}, 0.2f, 1.0f)}}, m.logits);
+  }
+  m.graph.set_training(false);
+  Tensor calib = rng.normal_tensor({16, 16, 16, 3}, 0.2f, 1.0f);
+  optimize_for_quantization(m.graph, m.input, calib);
+  QuantizeConfig cfg;
+  QuantizePassResult qres = quantize_pass(m.graph, m.input, m.logits, cfg);
+  calibrate_thresholds(m.graph, qres, m.input, calib, WeightInit::kMax);
+  return compile_fixed_point(m.graph, m.input, qres.quantized_output);
+}
+
+/// One mini-VGG program compiled once and shared by every gateway-level test
+/// in this binary (deploy() copies it, so servers never alias state).
+const FixedPointProgram& mini_vgg_program() {
+  static const FixedPointProgram* prog =
+      new FixedPointProgram(make_program(ModelKind::kMiniVgg));
+  return *prog;
+}
+
+const Shape kSampleShape = {16, 16, 3};
+
+/// Metrics + tenant table + server + gateway with the right member order
+/// (everything the gateway points at must outlive it). All instruments land
+/// in one registry so tests can assert net.* and qos.tenant.* side by side.
+struct QosRig {
+  observe::MetricsRegistry metrics;
+  qos::TenantTable tenants{&metrics};
+  serve::InferenceServer server;
+  std::unique_ptr<net::Gateway> gateway;
+
+  explicit QosRig(serve::BatchConfig bcfg = {}, net::GatewayConfig gcfg = {})
+      : server(server_config(bcfg, &metrics)) {
+    gcfg.port = 0;
+    gcfg.tenants = &tenants;
+    gateway = std::make_unique<net::Gateway>(server, gcfg);
+  }
+  static serve::ServerConfig server_config(serve::BatchConfig b, observe::MetricsRegistry* m) {
+    serve::ServerConfig s;
+    s.batch = b;
+    s.metrics = m;
+    return s;
+  }
+  uint16_t port() const { return gateway->port(); }
+};
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << content;
+}
+
+// ---- Token bucket -----------------------------------------------------------
+
+TEST(QosTokenBucket, DeterministicRefillAndBurstCap) {
+  qos::TokenBucket b(/*rate_per_s=*/10.0, /*burst=*/2.0);
+  EXPECT_TRUE(b.try_take(0));  // starts full
+  EXPECT_TRUE(b.try_take(0));
+  EXPECT_FALSE(b.try_take(0));          // burst spent
+  EXPECT_FALSE(b.try_take(50'000));     // 0.5 tokens refilled — not a whole one
+  EXPECT_TRUE(b.try_take(100'000));     // 1.0 token at t=100ms
+  EXPECT_FALSE(b.try_take(100'000));
+  // A long idle period refills to the cap, never beyond it.
+  EXPECT_TRUE(b.try_take(10'000'000));
+  EXPECT_TRUE(b.try_take(10'000'000));
+  EXPECT_FALSE(b.try_take(10'000'000));
+}
+
+TEST(QosTokenBucket, ZeroRateIsUnlimited) {
+  qos::TokenBucket b(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_take(0));
+}
+
+TEST(QosTokenBucket, ConfigureClampsLevelToNewBurst) {
+  qos::TokenBucket b(5.0, 10.0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take(0));  // level 6
+  b.configure(5.0, 3.0);  // hot reload shrinks the burst; level clamps to 3
+  EXPECT_DOUBLE_EQ(b.level(0), 3.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(b.try_take(0));
+  EXPECT_FALSE(b.try_take(0));
+}
+
+// ---- Tenant state -----------------------------------------------------------
+
+TEST(QosTenantState, AdmitChargesRateThenQuotaAndCounts) {
+  observe::MetricsRegistry reg;
+  qos::TenantState t("acme", /*lane_key=*/7);
+  t.configure(qos::kClassHigh, 4, /*rate_rps=*/1.0, /*burst=*/1.0, /*max_inflight=*/2, &reg);
+  EXPECT_EQ(t.klass(), qos::kClassHigh);
+  EXPECT_EQ(t.weight(), 4);
+
+  EXPECT_EQ(t.admit(0), qos::Admit::kOk);            // takes the single token
+  EXPECT_EQ(t.admit(0), qos::Admit::kRateLimited);   // bucket checked first
+  EXPECT_EQ(t.admit(2'000'000), qos::Admit::kOk);    // refilled; inflight=2
+  EXPECT_EQ(t.admit(4'000'000), qos::Admit::kQuotaExceeded);
+  EXPECT_EQ(t.inflight(), 2);
+  t.release();
+  EXPECT_EQ(t.admit(8'000'000), qos::Admit::kOk);    // quota slot + token free again
+  EXPECT_EQ(t.inflight(), 2);
+
+  EXPECT_EQ(reg.counter("qos.tenant.acme.requests").value(), 5u);
+  EXPECT_EQ(reg.counter("qos.tenant.acme.admitted").value(), 3u);
+  EXPECT_EQ(reg.counter("qos.tenant.acme.rate_limited").value(), 1u);
+  EXPECT_EQ(reg.counter("qos.tenant.acme.quota_exceeded").value(), 1u);
+}
+
+// ---- Tenant table -----------------------------------------------------------
+
+TEST(QosTenantTable, ParsesConfigAndResolvesTokens) {
+  const std::string path = temp_path("qos_tenants_parse.conf");
+  write_file(path,
+             "# fleet tenants\n"
+             "token=alice-secret tenant=alice class=high weight=4 rate=200 burst=40 "
+             "max_inflight=8\n"
+             "\n"
+             "token=bob-secret tenant=bob class=low   # trailing comment\n"
+             "token=* tenant=default weight=2\n");
+
+  qos::TenantTable table;
+  table.load_file(path);
+  EXPECT_EQ(table.size(), 3u);  // alice, bob, default
+  EXPECT_EQ(table.file(), path);
+
+  auto alice = table.resolve("alice-secret");
+  EXPECT_EQ(alice->name(), "alice");
+  EXPECT_EQ(alice->klass(), qos::kClassHigh);
+  EXPECT_EQ(alice->weight(), 4);
+  EXPECT_EQ(alice->max_inflight(), 8);
+
+  EXPECT_EQ(table.resolve("bob-secret")->klass(), qos::kClassLow);
+
+  // Empty and unknown tokens land on the default tenant, which token=* just
+  // re-configured (weight 2) without replacing.
+  EXPECT_EQ(table.resolve("")->name(), "default");
+  EXPECT_EQ(table.resolve("no-such-token"), table.default_tenant());
+  EXPECT_EQ(table.default_tenant()->weight(), 2);
+
+  // Lane keys are distinct, with 0 reserved for the default tenant.
+  EXPECT_EQ(table.default_tenant()->lane_key(), 0u);
+  EXPECT_NE(alice->lane_key(), table.resolve("bob-secret")->lane_key());
+}
+
+TEST(QosTenantTable, ParseErrorsCarryPathAndLineAndLeaveTableIntact) {
+  const std::string good = temp_path("qos_tenants_good.conf");
+  write_file(good, "token=alpha-tok tenant=alpha\n");
+  qos::TenantTable table;
+  table.load_file(good);
+  ASSERT_EQ(table.resolve("alpha-tok")->name(), "alpha");
+
+  const struct {
+    const char* content;
+    const char* reason;
+    int line;
+  } cases[] = {
+      {"token=a tenant=x class=warp\n", "class must be low|normal|high", 1},
+      {"tenant=x\n", "missing token=", 1},
+      {"token=a\n", "missing tenant=", 1},
+      {"token=a tenant=x\ntoken=a tenant=y\n", "duplicate token", 2},
+      {"token=a tenant=x\ntoken=b tenant=x\n", "duplicate tenant", 2},
+      {"token=a tenant=x weight=0\n", "weight must be an integer >= 1", 1},
+      {"token=a tenant=x color=red\n", "unknown key", 1},
+      {"token=* tenant=vip\n", "token=* must be tenant=default", 1},
+      {"token=a tenant=x rate=fast\n", "bad number for 'rate'", 1},
+  };
+  const std::string bad = temp_path("qos_tenants_bad.conf");
+  for (const auto& c : cases) {
+    write_file(bad, c.content);
+    try {
+      table.load_file(bad);
+      ADD_FAILURE() << "accepted: " << c.content;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(bad + ":" + std::to_string(c.line) + ":"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(c.reason), std::string::npos) << what;
+    }
+    // Strong guarantee: the failed load left the previous table installed.
+    EXPECT_EQ(table.resolve("alpha-tok")->name(), "alpha") << c.content;
+    EXPECT_EQ(table.file(), good) << c.content;
+  }
+}
+
+TEST(QosTenantTable, ReloadPreservesRuntimeStateByName) {
+  qos::TenantTable table;
+  qos::TenantConfig acme;
+  acme.token = "acme-tok";
+  acme.name = "acme";
+  acme.rate_rps = 1.0;
+  acme.burst = 1.0;
+  acme.max_inflight = 4;
+  table.load({acme});
+
+  auto before = table.resolve("acme-tok");
+  ASSERT_EQ(before->admit(qos::now_us()), qos::Admit::kOk);  // inflight = 1
+
+  // Reload with a new weight and a rotated token: the SAME TenantState keeps
+  // serving (pointer identity by tenant name), so the inflight charge and
+  // the spent bucket survive the config push.
+  acme.token = "acme-tok-v2";
+  acme.weight = 9;
+  table.load({acme});
+  auto after = table.resolve("acme-tok-v2");
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_EQ(after->weight(), 9);
+  EXPECT_EQ(after->inflight(), 1);
+  // The old token no longer resolves; requests fall back to default.
+  EXPECT_EQ(table.resolve("acme-tok"), table.default_tenant());
+
+  EXPECT_THROW(qos::TenantTable().reload(), std::runtime_error);  // no file yet
+}
+
+// ---- DWRR queue -------------------------------------------------------------
+
+TEST(QosDwrr, SingleLaneDegeneratesToFifo) {
+  qos::DwrrQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i, qos::kClassNormal, /*tenant=*/1, /*weight=*/5);
+  EXPECT_EQ(q.size(), 10);
+  EXPECT_EQ(q.lane_depth(qos::kClassNormal, 1), 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().value(), i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(QosDwrr, StrictPriorityAcrossClasses) {
+  qos::DwrrQueue<int> q;
+  // Interleave pushes; encode the class in the value.
+  for (int i = 0; i < 4; ++i) {
+    q.push(100 + i, qos::kClassLow, 1, 1);
+    q.push(200 + i, qos::kClassNormal, 1, 1);
+    q.push(300 + i, qos::kClassHigh, 1, 1);
+  }
+  std::vector<int> order;
+  while (auto item = q.pop()) order.push_back(*item);
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 300 + i);      // all high first, FIFO
+    EXPECT_EQ(order[static_cast<size_t>(4 + i)], 200 + i);  // then normal
+    EXPECT_EQ(order[static_cast<size_t>(8 + i)], 100 + i);  // then low
+  }
+}
+
+TEST(QosDwrr, ServiceProportionalToWeightWhileBacklogged) {
+  qos::DwrrQueue<int> q;
+  for (int i = 0; i < 40; ++i) {
+    q.push(1, qos::kClassNormal, /*tenant=*/1, /*weight=*/3);
+    q.push(2, qos::kClassNormal, /*tenant=*/2, /*weight=*/1);
+  }
+  int a = 0, b = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int got = q.pop().value();
+    (got == 1 ? a : b) += 1;
+  }
+  // Both lanes stayed backlogged for all 20 pops: shares must be 3:1 within
+  // one quantum*weight of slack per lane.
+  EXPECT_EQ(a + b, 20);
+  EXPECT_NEAR(a, 15, 3);
+  EXPECT_GE(b, 2);  // the weight-1 lane is never starved
+}
+
+TEST(QosDwrr, WorkConservingAcrossManyLanes) {
+  qos::DwrrQueue<int> q;
+  std::mt19937 rng(42);
+  int pushed = 0;
+  for (int i = 0; i < 200; ++i) {
+    q.push(i, static_cast<int>(rng() % 3), rng() % 5, static_cast<int>(rng() % 4));
+    ++pushed;
+  }
+  int popped = 0;
+  while (q.size() > 0) {
+    ASSERT_TRUE(q.pop().has_value());  // an item whenever size() > 0
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed);
+}
+
+// ---- Wire v2 compatibility --------------------------------------------------
+
+net::InferRequest sample_request(const std::string& token) {
+  Rng rng(21);
+  net::InferRequest req;
+  req.model = "mini_vgg";
+  req.token = token;
+  req.deadline_us = 5000;
+  req.input = rng.normal_tensor({1, 4, 4, 2}, 0.1f, 1.0f);
+  return req;
+}
+
+TEST(QosWire, EmptyTokenEmitsVersion1Frame) {
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 1, sample_request(""));
+  net::FrameHeader h;
+  std::string err;
+  ASSERT_EQ(net::parse_header(frame.data(), frame.size(), &h, &err), net::HeaderParse::kOk);
+  // The downgrade contract: a tokenless current client puts version-1 bytes
+  // on the wire, so it keeps working against pre-tenancy servers.
+  EXPECT_EQ(h.version, net::kMinVersion);
+  net::InferRequest back;
+  ASSERT_TRUE(net::parse_request_payload(frame.data() + net::kHeaderBytes, h.payload_len,
+                                         net::kMinVersion, &back, &err))
+      << err;
+  EXPECT_TRUE(back.token.empty());
+}
+
+TEST(QosWire, TokenRoundTripsAtVersion2) {
+  // Tokens are opaque bytes — embedded NUL, high bytes, and the maximum
+  // length all survive the wire.
+  const std::string tokens[] = {"alice-secret", std::string("\x00\xff\x7f ding", 9),
+                                std::string(net::kMaxTokenBytes, 'q')};
+  for (const std::string& token : tokens) {
+    std::vector<uint8_t> frame;
+    net::append_request_frame(frame, 3, sample_request(token));
+    net::FrameHeader h;
+    std::string err;
+    ASSERT_EQ(net::parse_header(frame.data(), frame.size(), &h, &err), net::HeaderParse::kOk);
+    EXPECT_EQ(h.version, net::kVersion);
+    net::InferRequest back;
+    ASSERT_TRUE(net::parse_request_payload(frame.data() + net::kHeaderBytes, h.payload_len,
+                                           h.version, &back, &err))
+        << err;
+    EXPECT_EQ(back.token, token);
+    EXPECT_EQ(back.model, "mini_vgg");
+  }
+  // One byte over the bound never reaches the wire.
+  EXPECT_THROW(
+      {
+        std::vector<uint8_t> f;
+        net::append_request_frame(f, 4, sample_request(std::string(net::kMaxTokenBytes + 1, 'q')));
+      },
+      std::invalid_argument);
+}
+
+TEST(QosWire, TruncationAtEveryPrefixRejected) {
+  std::vector<uint8_t> frame;
+  net::append_request_frame(frame, 5, sample_request("trunc-fuzz-token"));
+  const uint8_t* payload = frame.data() + net::kHeaderBytes;
+  const size_t n = frame.size() - net::kHeaderBytes;
+  net::InferRequest back;
+  std::string err;
+  ASSERT_TRUE(net::parse_request_payload(payload, n, net::kVersion, &back, &err)) << err;
+  for (size_t cut = 0; cut < n; ++cut) {
+    EXPECT_FALSE(net::parse_request_payload(payload, cut, net::kVersion, &back, &err))
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(QosWire, OversizedDeclaredTokenLenRejected) {
+  std::vector<uint8_t> frame;
+  const net::InferRequest req = sample_request("tk");
+  net::append_request_frame(frame, 6, req);
+  // token_len sits right after the u16 name length + name bytes.
+  const size_t off = net::kHeaderBytes + 2 + req.model.size();
+  const uint16_t huge = static_cast<uint16_t>(net::kMaxTokenBytes + 1);
+  frame[off] = static_cast<uint8_t>(huge & 0xff);
+  frame[off + 1] = static_cast<uint8_t>(huge >> 8);
+  net::InferRequest back;
+  std::string err;
+  EXPECT_FALSE(net::parse_request_payload(frame.data() + net::kHeaderBytes,
+                                          frame.size() - net::kHeaderBytes, net::kVersion,
+                                          &back, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(QosWire, RandomPayloadFuzzNeverCrashes) {
+  std::mt19937 rng(7);
+  std::vector<uint8_t> payload;
+  net::InferRequest back;
+  std::string err;
+  for (int iter = 0; iter < 2000; ++iter) {
+    payload.resize(rng() % 300);
+    for (uint8_t& b : payload) b = static_cast<uint8_t>(rng());
+    // Either version must parse or reject — never read out of bounds (ASan/
+    // TSan builds of this test are the actual assertion).
+    net::parse_request_payload(payload.data(), payload.size(), net::kMinVersion, &back, &err);
+    net::parse_request_payload(payload.data(), payload.size(), net::kVersion, &back, &err);
+  }
+}
+
+TEST(QosWire, CancelFrameIsVersion2HeaderOnly) {
+  std::vector<uint8_t> frame;
+  net::append_cancel_frame(frame, 99);
+  ASSERT_EQ(frame.size(), net::kHeaderBytes);
+  net::FrameHeader h;
+  std::string err;
+  ASSERT_EQ(net::parse_header(frame.data(), frame.size(), &h, &err), net::HeaderParse::kOk);
+  EXPECT_EQ(h.type, net::FrameType::kCancel);
+  EXPECT_EQ(h.version, net::kVersion);
+  EXPECT_EQ(h.request_id, 99u);
+  EXPECT_EQ(h.payload_len, 0u);
+
+  // kCancel does not exist in version 1: a v1 header with type 5 is corrupt.
+  std::vector<uint8_t> v1 = frame;
+  v1[4] = net::kMinVersion;
+  EXPECT_EQ(net::parse_header(v1.data(), v1.size(), &h, &err), net::HeaderParse::kCorrupt);
+}
+
+// ---- Gateway QoS integration ------------------------------------------------
+
+qos::TenantConfig tenant_cfg(const std::string& token, const std::string& name, int klass,
+                             int weight, double rate = 0.0, double burst = 0.0,
+                             int64_t max_inflight = 0) {
+  qos::TenantConfig c;
+  c.token = token;
+  c.name = name;
+  c.klass = klass;
+  c.weight = weight;
+  c.rate_rps = rate;
+  c.burst = burst;
+  c.max_inflight = max_inflight;
+  return c;
+}
+
+TEST(QosGateway, TokensResolveTenantsAndV1RidesDefault) {
+  QosRig rig;
+  rig.tenants.load({tenant_cfg("alice-secret", "alice", qos::kClassHigh, 4)});
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(31);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient tenanted("localhost", rig.port());
+  tenanted.set_token("alice-secret");
+  EXPECT_EQ(tenanted.infer("m", sample).status, net::WireStatus::kOk);
+  EXPECT_EQ(rig.metrics.counter("qos.tenant.alice.admitted").value(), 1u);
+
+  // A tokenless client emits v1 frames; the gateway serves them on the
+  // default tenant — the pre-QoS behaviour, bit for bit.
+  net::GatewayClient v1("localhost", rig.port());
+  const net::InferResponse resp = v1.infer("m", sample);
+  EXPECT_EQ(resp.status, net::WireStatus::kOk);
+  EXPECT_TRUE(resp.output.equals(test::run_program(mini_vgg_program(), sample)));
+  EXPECT_EQ(rig.metrics.counter("qos.tenant.default.admitted").value(), 1u);
+  EXPECT_EQ(rig.metrics.counter("qos.tenant.alice.admitted").value(), 1u);
+}
+
+TEST(QosGateway, RateLimitIsTyped) {
+  QosRig rig;
+  rig.tenants.load({tenant_cfg("slow-tok", "slow", qos::kClassNormal, 1,
+                               /*rate=*/0.001, /*burst=*/1.0)});
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(32);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient client("localhost", rig.port());
+  client.set_token("slow-tok");
+  EXPECT_EQ(client.infer("m", sample).status, net::WireStatus::kOk);  // the burst token
+  const net::InferResponse limited = client.infer("m", sample);
+  EXPECT_EQ(limited.status, net::WireStatus::kRateLimited) << limited.message;
+  EXPECT_GE(rig.metrics.counter("net.rate_limited").value(), 1u);
+  EXPECT_GE(rig.metrics.counter("qos.tenant.slow.rate_limited").value(), 1u);
+
+  // The connection survives a rate-limit rejection; an unmetered tenant's
+  // requests still flow.
+  net::GatewayClient other("localhost", rig.port());
+  EXPECT_EQ(other.infer("m", sample).status, net::WireStatus::kOk);
+}
+
+TEST(QosGateway, InflightQuotaIsTyped) {
+  serve::BatchConfig bcfg;
+  bcfg.max_batch = 8;
+  bcfg.max_delay_us = 200'000;  // park the first request in the batch window
+  QosRig rig(bcfg);
+  rig.tenants.load({tenant_cfg("q-tok", "quotad", qos::kClassNormal, 1, 0.0, 0.0,
+                               /*max_inflight=*/1)});
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(33);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  net::GatewayClient client("localhost", rig.port());
+  client.set_token("q-tok");
+  const uint32_t first = client.send_infer("m", sample);
+  const uint32_t second = client.send_infer("m", sample);  // quota slot is taken
+  std::map<uint32_t, net::WireStatus> status;
+  for (int i = 0; i < 2; ++i) {
+    const auto tagged = client.recv_response();
+    status[tagged.request_id] = tagged.response.status;
+  }
+  EXPECT_EQ(status[first], net::WireStatus::kOk);
+  EXPECT_EQ(status[second], net::WireStatus::kQuotaExceeded);
+  EXPECT_GE(rig.metrics.counter("net.quota_exceeded").value(), 1u);
+
+  // release() runs on the batcher worker just AFTER the response is pushed,
+  // so wait for the quota slot to free before asserting re-admission.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (rig.tenants.resolve("q-tok")->inflight() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(rig.tenants.resolve("q-tok")->inflight(), 0);
+  EXPECT_EQ(client.infer("m", sample).status, net::WireStatus::kOk);
+}
+
+TEST(QosGateway, CancelDropsQueuedRequestTyped) {
+  serve::BatchConfig bcfg;
+  bcfg.max_batch = 8;
+  bcfg.max_delay_us = 200'000;  // the request must still be queued when cancel lands
+  QosRig rig(bcfg);
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(34);
+
+  net::GatewayClient client("localhost", rig.port());
+  // Cancel tracking is a v2 feature, so the request must carry a token (any
+  // token — unknown ones ride the default tenant).
+  net::InferRequest req;
+  req.model = "m";
+  req.token = "t";
+  req.input = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  std::vector<uint8_t> bytes;
+  net::append_request_frame(bytes, 7, req);
+  net::append_cancel_frame(bytes, 7);  // same flush: cancel wins the batch window
+  client.send_bytes(bytes.data(), bytes.size());
+
+  const auto tagged = client.recv_response();
+  EXPECT_EQ(tagged.request_id, 7u);
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kCancelled) << tagged.response.message;
+  EXPECT_EQ(rig.metrics.counter("net.cancel_frames").value(), 1u);
+  EXPECT_EQ(rig.metrics.counter("net.cancelled").value(), 1u);
+
+  // A cancel for an unknown/finished id is a silent no-op.
+  std::vector<uint8_t> stray;
+  net::append_cancel_frame(stray, 4242);
+  client.send_bytes(stray.data(), stray.size());
+  EXPECT_EQ(client.infer("m", req.input).status, net::WireStatus::kOk);
+}
+
+TEST(QosGateway, ReloadTenantsOverAdminPlane) {
+  const std::string path = temp_path("qos_reload_live.conf");
+  write_file(path, "token=alpha-tok tenant=alpha class=high\n");
+  QosRig rig;
+  rig.tenants.load_file(path);
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+
+  net::GatewayClient client("localhost", rig.port());
+  net::AdminRequest reload;
+  reload.op = net::AdminOp::kReloadTenants;
+  reload.model = "m";
+
+  // Push a new tenant into the file, reload through the wire.
+  write_file(path,
+             "token=alpha-tok tenant=alpha class=high\n"
+             "token=beta-tok tenant=beta class=low\n");
+  const net::AdminResponse ok = client.admin(reload);
+  EXPECT_EQ(ok.status, net::WireStatus::kOk) << ok.message;
+  EXPECT_NE(ok.message.find("tenants reloaded: 3 tenants"), std::string::npos) << ok.message;
+  EXPECT_EQ(rig.tenants.resolve("beta-tok")->name(), "beta");
+
+  // A bad config is reported with its path:line and leaves the table as-is.
+  write_file(path, "token=alpha-tok tenant=alpha class=warp\n");
+  const net::AdminResponse bad = client.admin(reload);
+  EXPECT_EQ(bad.status, net::WireStatus::kInternal);
+  EXPECT_NE(bad.message.find(path + ":1:"), std::string::npos) << bad.message;
+  EXPECT_EQ(rig.tenants.resolve("beta-tok")->name(), "beta");
+
+  // arg overrides the reload path.
+  const std::string other = temp_path("qos_reload_other.conf");
+  write_file(other, "token=gamma-tok tenant=gamma\n");
+  reload.arg = other;
+  EXPECT_EQ(client.admin(reload).status, net::WireStatus::kOk);
+  EXPECT_EQ(rig.tenants.resolve("gamma-tok")->name(), "gamma");
+}
+
+TEST(QosGateway, ReloadTenantsWithoutTenancyIsInternal) {
+  serve::InferenceServer server;
+  net::GatewayConfig gcfg;
+  gcfg.port = 0;
+  net::Gateway gateway(server, gcfg);
+
+  net::GatewayClient client("localhost", gateway.port());
+  net::AdminRequest reload;
+  reload.op = net::AdminOp::kReloadTenants;
+  reload.model = "m";
+  const net::AdminResponse resp = client.admin(reload);
+  EXPECT_EQ(resp.status, net::WireStatus::kInternal);
+  EXPECT_NE(resp.message.find("tenancy not enabled"), std::string::npos) << resp.message;
+}
+
+TEST(QosGateway, StalledPartialFrameAnsweredSlowClientAndClosed) {
+  net::GatewayConfig gcfg;
+  gcfg.read_stall_timeout_ms = 50;
+  QosRig rig({}, gcfg);
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+
+  net::GatewayClient client("localhost", rig.port());
+  // A plausible header prefix that never completes — the slow-loris shape.
+  std::vector<uint8_t> partial;
+  net::append_cancel_frame(partial, 1);
+  client.send_bytes(partial.data(), net::kHeaderBytes / 2);
+
+  const auto tagged = client.recv_response();  // arrives after the stall sweep
+  EXPECT_EQ(tagged.request_id, 0u);
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kSlowClient);
+  uint8_t byte = 0;
+  EXPECT_EQ(client.recv_raw(&byte, 1), 0u);  // orderly close after the verdict
+  EXPECT_EQ(rig.metrics.counter("net.slow_reads_closed").value(), 1u);
+
+  // Honest clients are untouched by the sweep.
+  net::GatewayClient honest("localhost", rig.port());
+  Rng rng(35);
+  EXPECT_EQ(honest.infer("m", rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f)).status,
+            net::WireStatus::kOk);
+}
+
+TEST(QosGateway, GarbageV2PayloadAnsweredMalformed) {
+  QosRig rig;
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  net::GatewayClient client("localhost", rig.port());
+
+  // Valid v2 header, nonsense payload (name_len = 0).
+  std::vector<uint8_t> frame;
+  const auto u32 = [&frame](uint32_t v) {
+    for (int i = 0; i < 4; ++i) frame.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  };
+  u32(net::kMagic);
+  frame.push_back(net::kVersion);
+  frame.push_back(static_cast<uint8_t>(net::FrameType::kRequest));
+  frame.push_back(0);
+  frame.push_back(0);
+  u32(9);  // request id
+  u32(2);  // payload_len
+  frame.push_back(0);
+  frame.push_back(0);
+  client.send_bytes(frame.data(), frame.size());
+
+  const auto tagged = client.recv_response();
+  EXPECT_EQ(tagged.request_id, 9u);
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kMalformed);
+  // Per-request error: the framing stayed trustworthy, the connection lives.
+  Rng rng(36);
+  EXPECT_EQ(client.infer("m", rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f)).status,
+            net::WireStatus::kOk);
+}
+
+// ---- Sharded gateway --------------------------------------------------------
+
+class QosShardBitExact : public ::testing::TestWithParam<ModelKind> {};
+
+// The acceptance contract: every zoo model served through 2 and 4 reactor
+// shards, ≥4 concurrent mixed-tenant connections, responses bit-identical to
+// direct engine runs.
+TEST_P(QosShardBitExact, MixedTenantsMatchDirectRuns) {
+  const FixedPointProgram prog = make_program(GetParam());
+  Rng rng(123);
+  constexpr int kClients = 4, kPerClient = 3;
+  std::vector<Tensor> samples, reference;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    samples.push_back(rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f));
+    reference.push_back(test::run_program(prog, samples.back()));
+  }
+  // One token per client; the empty one rides v1 frames on the default lane.
+  const std::string tokens[kClients] = {"hi-tok", "norm-tok", "lo-tok", ""};
+
+  for (const int num_shards : {2, 4}) {
+    observe::MetricsRegistry metrics;
+    qos::TenantTable tenants(&metrics);
+    tenants.load({tenant_cfg("hi-tok", "hi", qos::kClassHigh, 4),
+                  tenant_cfg("norm-tok", "norm", qos::kClassNormal, 2),
+                  tenant_cfg("lo-tok", "lo", qos::kClassLow, 1)});
+
+    qos::ShardedGatewayConfig cfg;
+    cfg.num_shards = num_shards;
+    cfg.batch.max_batch = 3;
+    cfg.batch.max_delay_us = 5000;  // encourage cross-connection coalescing
+    cfg.tenants = &tenants;
+    cfg.metrics = &metrics;
+    qos::ShardedGateway gw(cfg);
+    ASSERT_EQ(gw.num_shards(), num_shards);
+    gw.deploy("m", prog, kSampleShape);
+
+    std::vector<std::thread> threads;
+    std::vector<int> exact(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        net::GatewayClient client("localhost", gw.port());
+        client.set_token(tokens[c]);
+        for (int k = 0; k < kPerClient; ++k) {
+          const size_t i = static_cast<size_t>(c * kPerClient + k);
+          const net::InferResponse resp = client.infer("m", samples[i]);
+          ASSERT_EQ(resp.status, net::WireStatus::kOk) << resp.message;
+          ASSERT_EQ(resp.output.shape(), reference[i].shape());
+          if (resp.output.equals(reference[i])) ++exact[static_cast<size_t>(c)];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(exact[static_cast<size_t>(c)], kPerClient)
+          << model_name(GetParam()) << " client " << c << " shards " << num_shards;
+    }
+
+    // Every connection was accepted by exactly one shard's reactor.
+    uint64_t accepted = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      accepted += metrics.counter("net.shard" + std::to_string(s) + ".connections_accepted")
+                      .value();
+    }
+    EXPECT_EQ(accepted, static_cast<uint64_t>(kClients));
+    gw.stop_and_drain();
+    EXPECT_TRUE(gw.stopped());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qos, QosShardBitExact, ::testing::ValuesIn(all_model_kinds()),
+                         [](const auto& info) { return model_name(info.param); });
+
+TEST(QosShard, HandoffModeRoundRobinsAcceptedConnections) {
+  observe::MetricsRegistry metrics;
+  qos::ShardedGatewayConfig cfg;
+  cfg.num_shards = 2;
+  cfg.mode = qos::ShardMode::kHandoff;
+  cfg.metrics = &metrics;
+  qos::ShardedGateway gw(cfg);
+  EXPECT_EQ(gw.mode(), qos::ShardMode::kHandoff);
+  EXPECT_EQ(to_string(gw.mode()), "handoff");
+  gw.deploy("m", mini_vgg_program(), kSampleShape);
+
+  Rng rng(41);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  constexpr int kConns = 4;
+  for (int i = 0; i < kConns; ++i) {
+    net::GatewayClient client("localhost", gw.port());
+    EXPECT_EQ(client.infer("m", sample).status, net::WireStatus::kOk);
+  }
+  // Round-robin handoff is deterministic: with 4 connections and 2 shards,
+  // each reactor served exactly 2.
+  EXPECT_EQ(metrics.counter("net.shard0.connections_accepted").value(), 2u);
+  EXPECT_EQ(metrics.counter("net.shard1.connections_accepted").value(), 2u);
+}
+
+TEST(QosShard, DrainBarrierAnswersInflightWork) {
+  qos::ShardedGatewayConfig cfg;
+  cfg.num_shards = 2;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_delay_us = 150'000;  // requests are still queued when drain begins
+  qos::ShardedGateway gw(cfg);
+  gw.deploy("m", mini_vgg_program(), kSampleShape);
+
+  Rng rng(42);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  net::GatewayClient client("localhost", gw.port());
+  const uint32_t id = client.send_infer("m", sample);
+  // Let the owning shard parse + admit the request (frames that arrive after
+  // drain begins are answered SHUTTING_DOWN, which is not what this test is
+  // about); it then sits in the 150ms batch window when the drain starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  gw.request_stop();  // signal-safe entry point
+  gw.stop_and_drain();
+  EXPECT_TRUE(gw.stopped());
+
+  // The drain barrier answered the queued request before closing.
+  const auto tagged = client.recv_response();
+  EXPECT_EQ(tagged.request_id, id);
+  EXPECT_EQ(tagged.response.status, net::WireStatus::kOk) << tagged.response.message;
+  EXPECT_TRUE(tagged.response.output.equals(test::run_program(mini_vgg_program(), sample)));
+}
+
+TEST(QosShard, SingleShardAndBadConfigValidation) {
+  EXPECT_THROW(
+      {
+        qos::ShardedGatewayConfig cfg;
+        cfg.num_shards = 0;
+        qos::ShardedGateway gw(cfg);
+      },
+      std::invalid_argument);
+
+  qos::ShardedGatewayConfig cfg;
+  cfg.num_shards = 1;  // degenerates to a plain gateway
+  qos::ShardedGateway gw(cfg);
+  EXPECT_EQ(gw.num_shards(), 1);
+  gw.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(43);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  net::GatewayClient client("localhost", gw.port());
+  EXPECT_EQ(client.infer("m", sample).status, net::WireStatus::kOk);
+}
+
+// ---- Hedged / retrying client -----------------------------------------------
+
+TEST(QosClient, HedgeDuplicatesSlowRequestFirstResponseWins) {
+  serve::BatchConfig bcfg;
+  bcfg.max_batch = 8;
+  bcfg.max_delay_us = 250'000;  // every lone request waits out the batch window
+  QosRig rig(bcfg);
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(51);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+  const Tensor expected = test::run_program(mini_vgg_program(), sample);
+
+  net::GatewayClient client("localhost", rig.port());
+  net::HedgeConfig hedge;
+  hedge.hedge_after_us = 20'000;  // far below the 250ms batch window
+  client.set_hedge(hedge);
+
+  const net::InferResponse first = client.infer("m", sample);
+  EXPECT_EQ(first.status, net::WireStatus::kOk) << first.message;
+  EXPECT_TRUE(first.output.equals(expected));
+  EXPECT_EQ(client.hedges_sent(), 1u);
+
+  // The loser's late response is discarded transparently — the connection
+  // pair stays clean for the next call.
+  const net::InferResponse second = client.infer("m", sample);
+  EXPECT_EQ(second.status, net::WireStatus::kOk) << second.message;
+  EXPECT_TRUE(second.output.equals(expected));
+  EXPECT_EQ(client.hedges_sent(), 2u);
+  EXPECT_LE(client.hedge_wins(), client.hedges_sent());
+
+  // Fast responses never hedge.
+  net::GatewayClient plain("localhost", rig.port());
+  net::HedgeConfig lazy;
+  lazy.hedge_after_us = 30'000'000;
+  plain.set_hedge(lazy);
+  EXPECT_EQ(plain.infer("m", sample).status, net::WireStatus::kOk);
+  EXPECT_EQ(plain.hedges_sent(), 0u);
+}
+
+TEST(QosClient, ShedRetryBacksOffUntilAdmitted) {
+  serve::BatchConfig bcfg;
+  bcfg.max_batch = 8;
+  bcfg.max_delay_us = 150'000;
+  bcfg.max_queue = 1;  // one queued request fills the default tenant's lane
+  QosRig rig(bcfg);
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(52);
+  const Tensor sample = rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f);
+
+  std::thread occupier([&] {
+    net::GatewayClient first("localhost", rig.port());
+    EXPECT_EQ(first.infer("m", sample).status, net::WireStatus::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Without retries the full lane is a typed SHED...
+  net::GatewayClient blunt("localhost", rig.port());
+  EXPECT_EQ(blunt.infer("m", sample).status, net::WireStatus::kShed);
+
+  // ...with retries the client backs off until the batch window drains the
+  // lane and the request lands.
+  net::GatewayClient patient("localhost", rig.port());
+  net::HedgeConfig retry;
+  retry.shed_retries = 10;
+  retry.shed_backoff_us = 20'000;
+  patient.set_hedge(retry);
+  const net::InferResponse resp = patient.infer("m", sample);
+  EXPECT_EQ(resp.status, net::WireStatus::kOk) << resp.message;
+  occupier.join();
+}
+
+TEST(QosClient, OversizedTokenFailsOnSend) {
+  QosRig rig;
+  rig.server.deploy("m", mini_vgg_program(), kSampleShape);
+  Rng rng(53);
+  net::GatewayClient client("localhost", rig.port());
+  client.set_token(std::string(net::kMaxTokenBytes + 1, 'x'));
+  EXPECT_THROW(client.infer("m", rng.normal_tensor({1, 16, 16, 3}, 0.2f, 1.2f)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqt

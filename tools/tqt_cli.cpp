@@ -35,12 +35,21 @@
 //       (src/net) instead of driving it in-process. Runs until SIGINT or
 //       SIGTERM, then drains gracefully — in-flight requests finish, stats
 //       and any --metrics-json / --trace files are still written.
+//   tqt_cli serve <model> -i FILE --port P --shards N [--tenants FILE]
+//       Sharded network mode (tqt-qos): N reactor event loops over one port
+//       (SO_REUSEPORT, falling back to accept handoff), each with its own
+//       batcher lanes against a shared model registry. --tenants loads a
+//       token -> {class, weight, rate, quota} table enforced at admission
+//       and hot-reloadable via `tqt_cli calib --reload-tenants`.
 //   tqt_cli client <model> --port P [--host H] [--requests R]
-//                  [--deadline-us D] [--gain G]
+//                  [--deadline-us D] [--gain G] [--tenant TOKEN]
+//                  [--hedge-ms N] [--shed-retries R]
 //       Drive a running tqt-gateway over the wire protocol with validation
 //       samples and report accuracy plus per-status response counts. --gain
 //       scales every pixel by G — a distribution shift the autocal drift
-//       detector can be pointed at.
+//       detector can be pointed at. --tenant authenticates as a configured
+//       tenant (wire v2); --hedge-ms duplicates slow requests on a second
+//       connection (first response wins, loser is cancelled).
 //   tqt_cli serve <model> --calib --port P [--calib-* flags]
 //       Serve with the tqt-autocal calibration service attached: the service
 //       builds + deploys the initial program itself (no -i needed), mirrors
@@ -86,6 +95,8 @@
 #include "quant/quant_spec.h"
 #include "net/gateway.h"
 #include "observe/observe.h"
+#include "qos/shard.h"
+#include "qos/tenant.h"
 #include "runtime/parallel.h"
 #include "serve/server.h"
 
@@ -106,12 +117,13 @@ int usage() {
                "  serve    <model> -i FILE [--threads N] [--clients C] [--requests R]\n"
                "           [--max-batch B] [--delay-us D] [--queue Q] [--repeat N]\n"
                "           [--port P [--max-connections C] [--max-inflight F]]\n"
+               "           [--shards N] [--tenants FILE]\n"
                "           [--calib [--calib-mirror-every N] [--calib-min-samples N] ...]\n"
                "  client   <model> --port P [--host H] [--requests R] [--deadline-us D]\n"
-               "           [--gain G]\n"
+               "           [--gain G] [--tenant TOKEN] [--hedge-ms N] [--shed-retries R]\n"
                "  calib    <model> --port P [--host H] [--status] [--batches N]\n"
                "           [--batch-size M] [--gain G] [--trigger] [--dry-run]\n"
-               "           [--rollback] [--swap-file PATH]\n"
+               "           [--rollback] [--swap-file PATH] [--reload-tenants]\n"
                "run '--help' after any subcommand for its full flag list\n");
   return 2;
 }
@@ -633,9 +645,11 @@ int cmd_tune(int argc, char** argv) {
 // serving begins the graceful drain instead of killing the process — the
 // normal exit path then writes stats and the --metrics-json / --trace files.
 std::atomic<net::Gateway*> g_gateway{nullptr};
+std::atomic<qos::ShardedGateway*> g_sharded{nullptr};
 
 extern "C" void on_stop_signal(int) {
   if (net::Gateway* g = g_gateway.load(std::memory_order_acquire)) g->request_stop();
+  if (qos::ShardedGateway* s = g_sharded.load(std::memory_order_acquire)) s->request_stop();
 }
 
 /// Network mode of `serve`: expose the server through tqt-gateway until a
@@ -646,12 +660,14 @@ extern "C" void on_stop_signal(int) {
 int serve_over_network(const ArgParser& p, serve::InferenceServer& server,
                        const std::string& model, const Telemetry& tel,
                        net::AdminHandler* admin = nullptr,
-                       const std::function<void()>& before_server_drain = {}) {
+                       const std::function<void()>& before_server_drain = {},
+                       qos::TenantTable* tenants = nullptr) {
   net::GatewayConfig gcfg;
   gcfg.port = static_cast<uint16_t>(p.bounded("--port", 0, 0, 65535));
   gcfg.max_connections = p.positive("--max-connections", 64);
   gcfg.max_inflight = p.positive("--max-inflight", 256);
   gcfg.admin = admin;
+  gcfg.tenants = tenants;
   net::Gateway gateway(server, gcfg);
   g_gateway.store(&gateway, std::memory_order_release);
   std::signal(SIGINT, on_stop_signal);
@@ -672,6 +688,42 @@ int serve_over_network(const ArgParser& p, serve::InferenceServer& server,
   return 0;
 }
 
+/// Sharded network mode of `serve`: N reactor shards over one port against a
+/// shared model registry (src/qos/shard.h). Serves until a stop signal, then
+/// runs the drain barrier and reports shard-0 stats plus shared metrics.
+int serve_sharded(const ArgParser& p, const std::string& model, const char* in_path,
+                  const Shape& sample_shape, const serve::BatchConfig& batch,
+                  const Telemetry& tel, qos::TenantTable* tenants, int shards) {
+  qos::ShardedGatewayConfig cfg;
+  cfg.num_shards = shards;
+  cfg.port = static_cast<uint16_t>(p.bounded("--port", 0, 0, 65535));
+  cfg.max_connections = p.positive("--max-connections", 64);
+  cfg.max_inflight = p.positive("--max-inflight", 256);
+  cfg.batch = batch;
+  cfg.tenants = tenants;
+  cfg.metrics = &observe::MetricsRegistry::global();
+  qos::ShardedGateway gateway(cfg);
+  gateway.deploy_file(model, in_path, sample_shape);
+  g_sharded.store(&gateway, std::memory_order_release);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::printf(
+      "tqt-gateway: serving '%s' on 127.0.0.1:%u, %d shards (%s)%s (SIGINT/SIGTERM drains)\n",
+      model.c_str(), gateway.port(), gateway.num_shards(),
+      qos::to_string(gateway.mode()).c_str(),
+      tenants ? (" [" + std::to_string(tenants->size()) + " tenants]").c_str() : "");
+  std::fflush(stdout);
+  while (!gateway.stopped()) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gateway.stop_and_drain();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_sharded.store(nullptr, std::memory_order_release);
+  std::fprintf(stderr, "tqt-gateway: drained (%d shards)\n", gateway.num_shards());
+  std::printf("%s\n", gateway.server().stats_json().c_str());
+  tel.flush();
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   ArgParser p("serve", "<model>",
               "Serve a fixed-point program through the micro-batching server and "
@@ -687,6 +739,8 @@ int cmd_serve(int argc, char** argv) {
   p.add("--port", "P", "serve over TCP on this port (0 = ephemeral) instead of in-process");
   p.add("--max-connections", "C", "network mode: concurrent connection cap (default 64)");
   p.add("--max-inflight", "F", "network mode: in-flight request cap (default 256)");
+  p.add("--shards", "N", "network mode: reactor shards over one port (default 1, max 64)");
+  p.add("--tenants", "FILE", "network mode: tenant table (token/class/rate/quota lines)");
   p.add("--no-fuse", "", "load without conv+epilogue fusion (TQT_FUSE=0)");
   p.add("--calib", "", "attach tqt-autocal: the service builds + deploys its own program "
                        "(-i is ignored) and answers admin frames");
@@ -714,6 +768,25 @@ int cmd_serve(int argc, char** argv) {
   apply_threads_flag(p);
   apply_fuse_flag(p);
   apply_autotune_flag(p);
+
+  // tqt-qos flags are network-mode only, and sharding excludes --calib (the
+  // calibration service is bound to exactly one InferenceServer).
+  const int shards = p.bounded("--shards", 1, 1, 64);
+  if (p.seen("--shards") && !p.seen("--port")) {
+    throw std::invalid_argument("tqt_cli serve: --shards requires --port (try --help)");
+  }
+  if (p.seen("--shards") && with_calib) {
+    throw std::invalid_argument("tqt_cli serve: --shards is incompatible with --calib");
+  }
+  if (p.seen("--tenants") && !p.seen("--port")) {
+    throw std::invalid_argument("tqt_cli serve: --tenants requires --port (try --help)");
+  }
+  qos::TenantTable tenant_table(&observe::MetricsRegistry::global());
+  qos::TenantTable* tenants = nullptr;
+  if (p.seen("--tenants")) {
+    tenant_table.load_file(p.value("--tenants"));  // one-line path:line errors
+    tenants = &tenant_table;
+  }
   const int clients = p.positive("--clients", 4);
   const int repeat = p.positive("--repeat", 1);
   const int64_t total_requests = static_cast<int64_t>(p.positive("--requests", 256)) * repeat;
@@ -728,6 +801,12 @@ int cmd_serve(int argc, char** argv) {
 
   SyntheticImageDataset data(default_dataset_config());
   const DatasetConfig& dcfg = data.config();
+
+  if (shards > 1) {
+    return serve_sharded(p, model, in_path,
+                         {dcfg.image_size, dcfg.image_size, dcfg.channels}, scfg.batch, tel,
+                         tenants, shards);
+  }
 
   // The mirror must be wired into ServerConfig before the server (and hence
   // before the service, which needs the server) exists — an atomic slot
@@ -764,10 +843,13 @@ int cmd_serve(int argc, char** argv) {
   }
 
   if (p.seen("--port")) {
-    return serve_over_network(p, server, model, tel, service.get(), [&] {
-      calib_slot->store(nullptr, std::memory_order_release);
-      service.reset();
-    });
+    return serve_over_network(
+        p, server, model, tel, service.get(),
+        [&] {
+          calib_slot->store(nullptr, std::memory_order_release);
+          service.reset();
+        },
+        tenants);
   }
 
   // In-process closed-loop clients: each owns the validation indices
@@ -835,6 +917,11 @@ int cmd_client(int argc, char** argv) {
   p.add("--requests", "R", "samples to send (default 64)");
   p.add("--deadline-us", "D", "per-request deadline in microseconds (default none)");
   p.add("--gain", "G", "multiply every pixel by G — inject distribution drift (default 1)");
+  p.add("--tenant", "TOKEN", "tenant auth token attached to every request (wire v2)");
+  p.add("--hedge-ms", "N", "duplicate a slow request on a second connection after N ms; "
+                           "first response wins, the loser is cancelled");
+  p.add("--shed-retries", "R", "retry SHED rejections up to R times, doubling backoff "
+                               "(default 0)");
   if (!p.parse(argc, argv)) return 0;
   // The model name is sent as-is: the server owns the deployment namespace
   // and answers BAD_MODEL for anything it does not host.
@@ -848,9 +935,24 @@ int cmd_client(int argc, char** argv) {
   const uint32_t deadline_us =
       static_cast<uint32_t>(p.bounded("--deadline-us", 0, 1, INT_MAX));
   const float gain = p.positive_float("--gain", 1.0f);
+  const std::string token = p.value("--tenant", "");
+  if (p.seen("--tenant") && token.empty()) {
+    throw std::invalid_argument("--tenant expects a non-empty token");
+  }
+  if (token.size() > net::kMaxTokenBytes) {
+    throw std::invalid_argument("--tenant token must be at most " +
+                                std::to_string(net::kMaxTokenBytes) + " bytes");
+  }
+  const int hedge_ms = p.positive("--hedge-ms", 0);
+  const int shed_retries = p.bounded("--shed-retries", 0, 0, 1000);
 
   SyntheticImageDataset data(default_dataset_config());
   net::GatewayClient client(host, port);
+  client.set_token(token);
+  net::HedgeConfig hedge;
+  hedge.hedge_after_us = static_cast<uint32_t>(hedge_ms) * 1000u;
+  hedge.shed_retries = shed_retries;
+  client.set_hedge(hedge);
   Accuracy acc;
   // One slot per WireStatus value (kOk..kCorruptModel).
   uint64_t by_status[static_cast<size_t>(net::kMaxWireStatus) + 1] = {};
@@ -869,6 +971,11 @@ int cmd_client(int argc, char** argv) {
       std::printf("  %-18s %llu\n", net::to_string(static_cast<net::WireStatus>(s)),
                   static_cast<unsigned long long>(by_status[s]));
     }
+  }
+  if (hedge_ms > 0) {
+    std::fprintf(stderr, "hedges: sent %llu, won %llu\n",
+                 static_cast<unsigned long long>(client.hedges_sent()),
+                 static_cast<unsigned long long>(client.hedge_wins()));
   }
   // Non-OK responses are a useful probe result, not a transport failure —
   // exit 0 unless nothing succeeded.
@@ -889,6 +996,7 @@ int cmd_calib(int argc, char** argv) {
   p.add("--trigger", "", "force a calibrate/validate/promote cycle");
   p.add("--rollback", "", "reinstall the previous program version");
   p.add("--swap-file", "PATH", "validate + promote a server-side program file");
+  p.add("--reload-tenants", "", "hot-reload the gateway's tenant table from its file");
   p.add("--status", "", "print the service status JSON (the default action)");
   if (!p.parse(argc, argv)) return 0;
   const std::string model = p.positional("model");
@@ -943,8 +1051,10 @@ int cmd_calib(int argc, char** argv) {
   if (p.seen("--trigger")) run_op(net::AdminOp::kTrigger);
   if (p.seen("--rollback")) run_op(net::AdminOp::kRollback);
   if (p.seen("--swap-file")) run_op(net::AdminOp::kSwapFile, p.value("--swap-file"));
+  if (p.seen("--reload-tenants")) run_op(net::AdminOp::kReloadTenants);
   const bool any_action = batches > 0 || p.seen("--dry-run") || p.seen("--trigger") ||
-                          p.seen("--rollback") || p.seen("--swap-file");
+                          p.seen("--rollback") || p.seen("--swap-file") ||
+                          p.seen("--reload-tenants");
   if (p.seen("--status") || !any_action) run_op(net::AdminOp::kStatus);
   return all_ok ? 0 : 1;
 }

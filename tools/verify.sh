@@ -67,6 +67,19 @@ for threads in 1 4; do
     --output-on-failure -j "$(nproc)"
 done
 
+# tqt-qos end-to-end at both pool sizes: the token bucket / tenant table /
+# DWRR units, wire-v2 token round trips + truncation fuzz, typed
+# RATE_LIMITED / QUOTA_EXCEEDED / CANCELLED rejections, the admin-plane
+# tenant reload, slow-loris eviction, whole-zoo bit-exactness under 2 and 4
+# shards with mixed-tenant connections, the drain barrier, and hedged
+# clients. Under TQT_SANITIZE=thread this is the race check on the shared
+# TenantTable, the per-tenant buckets, and the multi-reactor accept paths.
+for threads in 1 4; do
+  echo "==== qos/shard tests with TQT_NUM_THREADS=$threads ===="
+  TQT_NUM_THREADS=$threads ctest --test-dir "$BUILD_DIR" -R '^Qos' \
+    --output-on-failure -j "$(nproc)"
+done
+
 # Fail fast on tqt-autocal: histogram determinism, the online calibrator's
 # bit-exactness against offline recalibration, the service's admin plane,
 # drift-triggered hot-swap, and the 4-connection soak, at both pool sizes.
@@ -116,6 +129,9 @@ done
 echo "==== bench_serve_throughput smoke -> $BUILD_DIR/BENCH_serve.json ===="
 "$BUILD_DIR/bench/bench_serve_throughput" --smoke -o "$BUILD_DIR/BENCH_serve.json"
 
+# The net bench doubles as the multi-tenant isolation gate: its open-loop
+# QoS phases exit nonzero if the abusive tenant is never rate-limited or if
+# it drags any well-behaved tenant's p99 past the recorded isolation bound.
 echo "==== bench_net_throughput smoke -> $BUILD_DIR/BENCH_net.json ===="
 "$BUILD_DIR/bench/bench_net_throughput" --smoke -o "$BUILD_DIR/BENCH_net.json"
 
@@ -244,6 +260,39 @@ if [[ -z "${TQT_SANITIZE:-}" ]]; then
   wait "$SERVE_PID"
   grep -q '"net.requests"' "$BUILD_DIR/verify_net_metrics.json"
   grep -q '"net.responses"' "$BUILD_DIR/verify_net_metrics.json"
+
+  # Multi-tenant sharded round trip through the CLI: serve 2 reactor shards
+  # with a tenant table, drive them with two clients at different priorities
+  # (one hedged), then drain — the metrics snapshot must show both per-shard
+  # net.shard<i>.* instruments and both tenants' qos.tenant.<name>.* counters.
+  echo "==== tqt_cli serve --shards 2 --tenants / two-priority clients smoke ===="
+  rm -f "$BUILD_DIR/verify_qos_metrics.json"
+  cat > "$BUILD_DIR/verify_tenants.cfg" <<'CFG'
+token=gold-tok   tenant=gold   class=high weight=4
+token=bronze-tok tenant=bronze class=low  weight=1 rate=500 burst=100
+CFG
+  "$BUILD_DIR/tools/tqt_cli" serve mini_vgg -i "$BUILD_DIR/verify_vgg.tqtp" --port 0 \
+    --shards 2 --tenants "$BUILD_DIR/verify_tenants.cfg" \
+    --metrics-json "$BUILD_DIR/verify_qos_metrics.json" \
+    > "$BUILD_DIR/verify_qos_out.txt" 2>&1 &
+  QOS_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q 'tqt-gateway: serving' "$BUILD_DIR/verify_qos_out.txt" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q '2 shards' "$BUILD_DIR/verify_qos_out.txt"
+  grep -q '3 tenants' "$BUILD_DIR/verify_qos_out.txt"   # gold + bronze + default
+  QOS_PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$BUILD_DIR/verify_qos_out.txt")
+  "$BUILD_DIR/tools/tqt_cli" client mini_vgg --port "$QOS_PORT" --requests 8 \
+    --tenant gold-tok --hedge-ms 500 | grep -q 'ok'
+  "$BUILD_DIR/tools/tqt_cli" client mini_vgg --port "$QOS_PORT" --requests 8 \
+    --tenant bronze-tok | grep -q 'ok'
+  kill -TERM "$QOS_PID"
+  wait "$QOS_PID"
+  grep -q '"net.shard0.requests"' "$BUILD_DIR/verify_qos_metrics.json"
+  grep -q '"net.shard1.' "$BUILD_DIR/verify_qos_metrics.json"
+  grep -q '"qos.tenant.gold.admitted"' "$BUILD_DIR/verify_qos_metrics.json"
+  grep -q '"qos.tenant.bronze.admitted"' "$BUILD_DIR/verify_qos_metrics.json"
 
   # Online-calibration round trip through the CLI: serve with the autocal
   # service attached (reusing the FP32 cache the export smoke warmed), stream
